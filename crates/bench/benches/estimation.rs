@@ -1,0 +1,42 @@
+//! eDmax estimation micro-benchmarks and an accuracy probe: how far the
+//! Equation (3) estimate sits from the true Dmax on uniform vs skewed
+//! data (the paper §4.3 predicts overestimation under skew).
+
+use amdj_core::{bruteforce, Correction, Estimator};
+use amdj_datagen::tiger::Geography;
+use amdj_datagen::{uniform_points, unit_universe};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_formulae(c: &mut Criterion) {
+    let est: Estimator<2> = Estimator::new(1.0, 100_000, 30_000);
+    c.bench_function("estimate/initial", |b| b.iter(|| est.initial(10_000)));
+    c.bench_function("estimate/corrected_max", |b| {
+        b.iter(|| est.corrected(10_000, 1_000, 0.001, Correction::MaxOfBoth))
+    });
+    c.bench_function("estimate/boundaries_64", |b| b.iter(|| est.queue_boundaries(4096, 64)));
+}
+
+fn accuracy_probe(c: &mut Criterion) {
+    // Not a timing benchmark per se: quantifies estimate quality once and
+    // prints it, then times the probe body.
+    let uni_a = uniform_points(2_000, unit_universe(), 1);
+    let uni_b = uniform_points(2_000, unit_universe(), 2);
+    let geo = Geography::arizona_like(9);
+    let skew_a = geo.streets(2_000);
+    let skew_b = geo.hydro(2_000);
+    let k = 500;
+    let est_uni: Estimator<2> = Estimator::new(1.0, 2_000, 2_000);
+    let true_uni = bruteforce::dmax_for_k(&uni_a, &uni_b, k).unwrap();
+    let true_skew = bruteforce::dmax_for_k(&skew_a, &skew_b, k).unwrap();
+    println!(
+        "eDmax/Dmax ratio — uniform: {:.2}, tiger-skewed: {:.2} (paper: ≈1 uniform, >1 skewed)",
+        est_uni.initial(k as u64) / true_uni,
+        est_uni.initial(k as u64) / true_skew,
+    );
+    c.bench_function("estimate/initial_vs_bruteforce_probe", |b| {
+        b.iter(|| est_uni.initial(k as u64));
+    });
+}
+
+criterion_group!(benches, bench_formulae, accuracy_probe);
+criterion_main!(benches);

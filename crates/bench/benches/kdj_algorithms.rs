@@ -1,0 +1,54 @@
+//! End-to-end k-distance-join timings: HS-KDJ vs B-KDJ vs AM-KDJ vs
+//! SJ-SORT on the TIGER-like workload (the timing view of Figure 10).
+
+use amdj_bench::{build_trees, reset, Workload};
+use amdj_core::{am_kdj, b_kdj, hs_kdj, sj_sort, AmKdjOptions, JoinConfig};
+use amdj_datagen::tiger;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn workload() -> Workload {
+    let (streets, hydro) = tiger::arizona_workload(0.01, 2000);
+    Workload { streets, hydro }
+}
+
+fn bench_kdj(c: &mut Criterion) {
+    let w = workload();
+    let (mut r, mut s) = build_trees(&w, 512 * 1024);
+    let cfg = JoinConfig::unbounded();
+    let mut g = c.benchmark_group("kdj");
+    g.sample_size(10);
+    for &k in &[10usize, 1_000] {
+        g.bench_with_input(BenchmarkId::new("hs_kdj", k), &k, |b, &k| {
+            b.iter(|| {
+                reset(&mut r, &mut s);
+                hs_kdj(&mut r, &mut s, k, &cfg).results.len()
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("b_kdj", k), &k, |b, &k| {
+            b.iter(|| {
+                reset(&mut r, &mut s);
+                b_kdj(&mut r, &mut s, k, &cfg).results.len()
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("am_kdj", k), &k, |b, &k| {
+            b.iter(|| {
+                reset(&mut r, &mut s);
+                am_kdj(&mut r, &mut s, k, &cfg, &AmKdjOptions::default()).results.len()
+            });
+        });
+        let dmax = {
+            reset(&mut r, &mut s);
+            b_kdj(&mut r, &mut s, k, &cfg).results.last().map_or(0.0, |p| p.dist)
+        };
+        g.bench_with_input(BenchmarkId::new("sj_sort", k), &k, |b, &k| {
+            b.iter(|| {
+                reset(&mut r, &mut s);
+                sj_sort(&mut r, &mut s, k, dmax, &cfg).results.len()
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_kdj);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Ablation bench for §3's optimizations: B-KDJ with sweeping-axis and
+//! direction selection on vs off (the timing view of Figure 11).
+
+use amdj_bench::{build_trees, Workload};
+use amdj_core::{b_kdj, JoinConfig};
+use amdj_datagen::tiger;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn workload() -> Workload {
+    let (streets, hydro) = tiger::arizona_workload(0.01, 2000);
+    Workload { streets, hydro }
+}
+
+fn bench_sweep_optimizations(c: &mut Criterion) {
+    let w = workload();
+    let (mut r, mut s) = build_trees(&w, 512 * 1024);
+    let mut g = c.benchmark_group("plane_sweep/bkdj_k1000");
+    g.sample_size(10);
+    let variants = [
+        ("optimized", true, true),
+        ("axis_only", true, false),
+        ("direction_only", false, true),
+        ("fixed", false, false),
+    ];
+    for (name, axis, dir) in variants {
+        let cfg = JoinConfig {
+            optimize_axis: axis,
+            optimize_direction: dir,
+            ..JoinConfig::unbounded()
+        };
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                amdj_bench::reset(&mut r, &mut s);
+                b_kdj(&mut r, &mut s, 1_000, &cfg).results.len()
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sweep_optimizations);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Index construction micro-benchmarks: STR bulk loading vs full R*
+//! insertion, across data set sizes and distributions.
+
+use amdj_datagen::tiger::Geography;
+use amdj_datagen::{uniform_points, unit_universe};
+use amdj_rtree::{RTree, RTreeParams};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_bulk_load(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rtree/bulk_load");
+    for &n in &[1_000usize, 10_000, 50_000] {
+        let data = uniform_points(n, unit_universe(), 7);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &data, |b, data| {
+            b.iter(|| RTree::bulk_load(RTreeParams::paper_defaults(), data.clone()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rtree/insert");
+    g.sample_size(10);
+    for &n in &[1_000usize, 10_000] {
+        let data = uniform_points(n, unit_universe(), 7);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &data, |b, data| {
+            b.iter(|| {
+                let mut t = RTree::new(RTreeParams::paper_defaults());
+                for &(mbr, id) in data {
+                    t.insert(mbr, id);
+                }
+                t
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_bulk_load_skewed(c: &mut Criterion) {
+    let geo = Geography::arizona_like(3);
+    let data = geo.streets(50_000);
+    c.bench_function("rtree/bulk_load/tiger_50k", |b| {
+        b.iter(|| RTree::bulk_load(RTreeParams::paper_defaults(), data.clone()));
+    });
+}
+
+criterion_group!(benches, bench_bulk_load, bench_insert, bench_bulk_load_skewed);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Single-index query micro-benchmarks: range, within-distance, k-NN.
+
+use amdj_datagen::{uniform_points, unit_universe};
+use amdj_geom::{Point, Rect};
+use amdj_rtree::{RTree, RTreeParams};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn tree(n: usize) -> RTree<2> {
+    RTree::bulk_load(RTreeParams::paper_defaults(), uniform_points(n, unit_universe(), 5))
+}
+
+fn bench_range(c: &mut Criterion) {
+    let mut t = tree(100_000);
+    let mut g = c.benchmark_group("rtree/range_query");
+    for &side in &[0.01f64, 0.05, 0.2] {
+        g.bench_with_input(BenchmarkId::from_parameter(side), &side, |b, &side| {
+            let q = Rect::new([0.4, 0.4], [0.4 + side, 0.4 + side]);
+            b.iter(|| t.range_query(&q).len());
+        });
+    }
+    g.finish();
+}
+
+fn bench_knn(c: &mut Criterion) {
+    let mut t = tree(100_000);
+    let mut g = c.benchmark_group("rtree/knn");
+    for &k in &[1usize, 10, 100] {
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            let q = Point::new([0.5, 0.5]);
+            b.iter(|| t.nearest_neighbors(&q, k).len());
+        });
+    }
+    g.finish();
+}
+
+fn bench_within(c: &mut Criterion) {
+    let mut t = tree(100_000);
+    c.bench_function("rtree/within_distance/0.02", |b| {
+        let q = Rect::from_point(Point::new([0.5, 0.5]));
+        b.iter(|| t.within_distance(&q, 0.02).len());
+    });
+}
+
+criterion_group!(benches, bench_range, bench_knn, bench_within);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Hybrid memory/disk queue micro-benchmarks: push/pop throughput under
+//! various memory budgets, and the value of Equation-3 boundaries.
+
+use amdj_storage::codec::{put_f64, put_u64, Reader};
+use amdj_storage::{SpillItem, SpillQueue, SpillQueueConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+#[derive(Clone, Copy)]
+struct Item {
+    key: f64,
+    id: u64,
+}
+
+impl SpillItem for Item {
+    fn key(&self) -> f64 {
+        self.key
+    }
+    fn encoded_len(&self) -> usize {
+        16
+    }
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_f64(out, self.key);
+        put_u64(out, self.id);
+    }
+    fn decode(r: &mut Reader<'_>) -> Self {
+        Item { key: r.f64(), id: r.u64() }
+    }
+}
+
+fn keys(n: usize) -> Vec<f64> {
+    (0..n).map(|i| ((i as u64).wrapping_mul(2654435761) % 1_000_000) as f64).collect()
+}
+
+fn bench_push_pop(c: &mut Criterion) {
+    let mut g = c.benchmark_group("spill_queue/push_pop_100k");
+    let ks = keys(100_000);
+    g.throughput(Throughput::Elements(ks.len() as u64));
+    for &budget in &[16 * 1024usize, 512 * 1024, usize::MAX] {
+        let label = if budget == usize::MAX { "unbounded".to_string() } else { format!("{}k", budget / 1024) };
+        g.bench_with_input(BenchmarkId::from_parameter(label), &budget, |b, &budget| {
+            b.iter(|| {
+                let mut q = SpillQueue::new(SpillQueueConfig {
+                    mem_budget: budget,
+                    boundaries: vec![],
+                    cost: amdj_storage::CostModel::free(),
+                });
+                for (i, &k) in ks.iter().enumerate() {
+                    q.push(Item { key: k, id: i as u64 });
+                }
+                let mut n = 0u64;
+                while q.pop().is_some() {
+                    n += 1;
+                }
+                n
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_boundary_guidance(c: &mut Criterion) {
+    // Equation-3 boundaries vs median splits for a uniform key stream.
+    let ks = keys(100_000);
+    let mut g = c.benchmark_group("spill_queue/boundaries");
+    for with in [false, true] {
+        let name = if with { "eq3" } else { "median" };
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let boundaries = if with {
+                    (1..=64).map(|i| (i * 4000) as f64).collect()
+                } else {
+                    vec![]
+                };
+                let mut q = SpillQueue::new(SpillQueueConfig {
+                    mem_budget: 64 * 1024,
+                    boundaries,
+                    cost: amdj_storage::CostModel::free(),
+                });
+                for (i, &k) in ks.iter().enumerate() {
+                    q.push(Item { key: k, id: i as u64 });
+                }
+                let mut n = 0u64;
+                while q.pop().is_some() {
+                    n += 1;
+                }
+                n
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_push_pop, bench_boundary_guidance);
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! Ablation: Equation (3) vs the histogram eDmax estimator (DESIGN.md §
+//! "Extensions beyond the paper").
+fn main() {
+    let w = amdj_bench::arizona();
+    amdj_bench::experiments::ablation_estimators(&w);
+}

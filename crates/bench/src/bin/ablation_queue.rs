@@ -1,0 +1,5 @@
+//! Ablation: Equation-3 queue segment boundaries vs median splits (§4.4).
+fn main() {
+    let w = amdj_bench::arizona();
+    amdj_bench::experiments::ablation_queue(&w);
+}

@@ -1,0 +1,200 @@
+//! `amdj` — a small command-line front end for the library: generate
+//! workloads, build persistent indexes, and run every join operation
+//! against them.
+//!
+//! ```text
+//! amdj generate --kind tiger-streets|tiger-hydro|uniform|clustered --n N [--seed S] --out data.csv
+//! amdj build    --input data.csv --out index.amdj
+//! amdj kdj      --r a.amdj --s b.amdj --k K [--algo am|b|hs]
+//! amdj idj      --r a.amdj --s b.amdj --take N [--batch B]
+//! amdj within   --r a.amdj --s b.amdj --dist D
+//! amdj knn      --r a.amdj --s b.amdj --k K
+//! ```
+//!
+//! CSV rows are `lo_x,lo_y,hi_x,hi_y,id`. Index files are the persistent
+//! R*-tree format of `amdj-rtree` (4 KB pages, paper configuration).
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufWriter, Write};
+use std::process::ExitCode;
+
+use amdj_core::{am_kdj, b_kdj, hs_kdj, knn_join, within_join, AmIdj, AmIdjOptions, AmKdjOptions, JoinConfig};
+use amdj_datagen::{clustered_points, tiger::Geography, uniform_points, unit_universe, Dataset};
+use amdj_geom::Rect;
+use amdj_rtree::{RTree, RTreeParams};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  amdj generate --kind tiger-streets|tiger-hydro|uniform|clustered --n N [--seed S] --out data.csv\n  amdj build    --input data.csv --out index.amdj\n  amdj kdj      --r a.amdj --s b.amdj --k K [--algo am|b|hs]\n  amdj idj      --r a.amdj --s b.amdj --take N [--batch B]\n  amdj within   --r a.amdj --s b.amdj --dist D\n  amdj knn      --r a.amdj --s b.amdj --k K"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_flags(args: &[String]) -> Option<HashMap<String, String>> {
+    let mut map = HashMap::new();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let key = flag.strip_prefix("--")?;
+        let value = it.next()?;
+        map.insert(key.to_string(), value.clone());
+    }
+    Some(map)
+}
+
+fn load_csv(path: &str) -> Result<Dataset, String> {
+    let file = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut out = Vec::new();
+    for (lineno, line) in std::io::BufReader::new(file).lines().enumerate() {
+        let line = line.map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
+        if line.trim().is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 5 {
+            return Err(format!("{path}:{}: expected 5 fields", lineno + 1));
+        }
+        let num = |i: usize| -> Result<f64, String> {
+            fields[i].trim().parse().map_err(|e| format!("{path}:{}: {e}", lineno + 1))
+        };
+        let (lx, ly, hx, hy) = (num(0)?, num(1)?, num(2)?, num(3)?);
+        let id: u64 =
+            fields[4].trim().parse().map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
+        out.push((Rect::new([lx, ly], [hx, hy]), id));
+    }
+    Ok(out)
+}
+
+fn save_csv(path: &str, data: &Dataset) -> Result<(), String> {
+    let file = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut w = BufWriter::new(file);
+    for (r, id) in data {
+        writeln!(w, "{},{},{},{},{}", r.lo()[0], r.lo()[1], r.hi()[0], r.hi()[1], id)
+            .map_err(|e| e.to_string())?;
+    }
+    w.flush().map_err(|e| e.to_string())
+}
+
+fn open_tree(path: &str) -> Result<RTree<2>, String> {
+    RTree::load_from_path(path, RTreeParams::paper_defaults()).map_err(|e| format!("{path}: {e}"))
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        return Err("missing command".into());
+    };
+    let flags = parse_flags(rest).ok_or("malformed flags")?;
+    let get = |k: &str| flags.get(k).cloned().ok_or_else(|| format!("missing --{k}"));
+    let cfg = JoinConfig::default();
+
+    match cmd.as_str() {
+        "generate" => {
+            let kind = get("kind")?;
+            let n: usize = get("n")?.parse().map_err(|e| format!("--n: {e}"))?;
+            let seed: u64 = flags.get("seed").map_or(Ok(1), |s| s.parse()).map_err(|e| format!("--seed: {e}"))?;
+            let out = get("out")?;
+            let data = match kind.as_str() {
+                "tiger-streets" => Geography::arizona_like(seed).streets(n),
+                "tiger-hydro" => Geography::arizona_like(seed).hydro(n),
+                "uniform" => uniform_points(n, unit_universe(), seed),
+                "clustered" => clustered_points(n, 16, 0.02, unit_universe(), seed),
+                other => return Err(format!("unknown kind '{other}'")),
+            };
+            save_csv(&out, &data)?;
+            println!("wrote {} objects to {out}", data.len());
+        }
+        "build" => {
+            let input = get("input")?;
+            let out = get("out")?;
+            let data = load_csv(&input)?;
+            let tree = RTree::bulk_load(RTreeParams::paper_defaults(), data);
+            tree.save_to_path(&out).map_err(|e| format!("{out}: {e}"))?;
+            println!(
+                "indexed {} objects ({} pages, height {}) into {out}",
+                tree.len(),
+                tree.page_count(),
+                tree.height()
+            );
+        }
+        "kdj" => {
+            let mut r = open_tree(&get("r")?)?;
+            let mut s = open_tree(&get("s")?)?;
+            let k: usize = get("k")?.parse().map_err(|e| format!("--k: {e}"))?;
+            let algo = flags.get("algo").map_or("am", String::as_str);
+            let out = match algo {
+                "am" => am_kdj(&mut r, &mut s, k, &cfg, &AmKdjOptions::default()),
+                "b" => b_kdj(&mut r, &mut s, k, &cfg),
+                "hs" => hs_kdj(&mut r, &mut s, k, &cfg),
+                other => return Err(format!("unknown algo '{other}'")),
+            };
+            for p in &out.results {
+                println!("{},{},{}", p.r, p.s, p.dist);
+            }
+            eprintln!(
+                "# {} results, {} distance computations, {:.3}s modeled response",
+                out.results.len(),
+                out.stats.real_dist,
+                out.stats.response_time()
+            );
+        }
+        "idj" => {
+            let mut r = open_tree(&get("r")?)?;
+            let mut s = open_tree(&get("s")?)?;
+            let take: usize = get("take")?.parse().map_err(|e| format!("--take: {e}"))?;
+            let batch: usize =
+                flags.get("batch").map_or(Ok(take), |b| b.parse()).map_err(|e| format!("--batch: {e}"))?;
+            let mut cursor = AmIdj::new(&mut r, &mut s, &cfg, AmIdjOptions::default());
+            let mut produced = 0;
+            while produced < take {
+                let chunk = batch.min(take - produced);
+                for _ in 0..chunk {
+                    match cursor.next() {
+                        Some(p) => {
+                            println!("{},{},{}", p.r, p.s, p.dist);
+                            produced += 1;
+                        }
+                        None => {
+                            eprintln!("# exhausted after {produced} pairs");
+                            return Ok(());
+                        }
+                    }
+                }
+                eprintln!("# {produced} pairs (stage {}, eDmax {:.6})", cursor.stage(), cursor.current_edmax());
+            }
+        }
+        "within" => {
+            let mut r = open_tree(&get("r")?)?;
+            let mut s = open_tree(&get("s")?)?;
+            let dist: f64 = get("dist")?.parse().map_err(|e| format!("--dist: {e}"))?;
+            let out = within_join(&mut r, &mut s, dist, &cfg);
+            for p in &out.results {
+                println!("{},{},{}", p.r, p.s, p.dist);
+            }
+            eprintln!("# {} pairs within {dist}", out.results.len());
+        }
+        "knn" => {
+            let mut r = open_tree(&get("r")?)?;
+            let mut s = open_tree(&get("s")?)?;
+            let k: usize = get("k")?.parse().map_err(|e| format!("--k: {e}"))?;
+            let out = knn_join(&mut r, &mut s, k);
+            for (rid, nn) in &out.groups {
+                for p in nn {
+                    println!("{rid},{},{}", p.s, p.dist);
+                }
+            }
+            eprintln!("# {} R-objects × {k} neighbours", out.groups.len());
+        }
+        _ => return Err(format!("unknown command '{cmd}'")),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            usage()
+        }
+    }
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's Figure 12(a–c) (see DESIGN.md for the experiment index).
+fn main() {
+    let w = amdj_bench::arizona();
+    amdj_bench::experiments::figure12(&w);
+}

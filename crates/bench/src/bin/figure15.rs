@@ -1,0 +1,5 @@
+//! Regenerates the paper's Figure 15 (see DESIGN.md for the experiment index).
+fn main() {
+    let w = amdj_bench::arizona();
+    amdj_bench::experiments::figure15(&w);
+}

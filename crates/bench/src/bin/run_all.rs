@@ -1,0 +1,15 @@
+//! Runs every experiment of the paper's §5 in sequence — the input from
+//! which EXPERIMENTS.md is compiled.
+use amdj_bench::experiments as e;
+fn main() {
+    let w = amdj_bench::arizona();
+    e::figure10(&w);
+    e::table2(&w);
+    e::figure11(&w);
+    e::figure12(&w);
+    e::figure13(&w);
+    e::figure14(&w);
+    e::figure15(&w);
+    e::ablation_estimators(&w);
+    e::ablation_queue(&w);
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's Table 2 (see DESIGN.md for the experiment index).
+fn main() {
+    let w = amdj_bench::arizona();
+    amdj_bench::experiments::table2(&w);
+}

@@ -1,0 +1,441 @@
+//! One function per table/figure of the paper's §5. Binaries in
+//! `src/bin/` are thin wrappers; `run_all` executes everything.
+
+use amdj_core::{
+    am_kdj, b_kdj, hs_kdj, sj_sort, AmIdj, AmIdjOptions, AmKdjOptions, EdmaxPolicy,
+    HistogramEstimator, HsIdj, JoinConfig, JoinOutput, JoinStats,
+};
+use amdj_rtree::RTree;
+
+use crate::{banner, build_trees, fmt_count, fmt_secs, k_max, k_sweep, reset, Table, Workload};
+
+/// Paper default: 512 KB for the queue memory and the R-tree buffer.
+const MEM_512K: usize = 512 * 1024;
+
+fn kdj_suite(
+    r: &mut RTree<2>,
+    s: &mut RTree<2>,
+    k: usize,
+    cfg: &JoinConfig,
+) -> [(&'static str, JoinOutput); 4] {
+    reset(r, s);
+    let hs = hs_kdj(r, s, k, cfg);
+    reset(r, s);
+    let bk = b_kdj(r, s, k, cfg);
+    reset(r, s);
+    let am = am_kdj(r, s, k, cfg, &AmKdjOptions::default());
+    let dmax = bk.results.last().map_or(0.0, |p| p.dist);
+    reset(r, s);
+    let sj = sj_sort(r, s, k, dmax, cfg);
+    [("HS-KDJ", hs), ("B-KDJ", bk), ("AM-KDJ", am), ("SJ-SORT", sj)]
+}
+
+/// Figure 10: k-distance joins — distance computations, queue insertions,
+/// and response time vs k for HS-KDJ, B-KDJ, AM-KDJ, SJ-SORT.
+pub fn figure10(w: &Workload) {
+    banner("Figure 10", w);
+    let (mut r, mut s) = build_trees(w, MEM_512K);
+    let cfg = JoinConfig::with_queue_memory(MEM_512K);
+    let header = ["k", "HS-KDJ", "B-KDJ", "AM-KDJ", "SJ-SORT"];
+    let mut dist = Table::new("Figure 10(a): real distance computations", &header);
+    let mut ins = Table::new("Figure 10(b): queue insertions", &header);
+    let mut time = Table::new("Figure 10(c): response time (model)", &header);
+    let mut time99 = Table::new("Figure 10(c'): response time (1999-CPU model)", &header);
+    for k in k_sweep() {
+        let outs = kdj_suite(&mut r, &mut s, k, &cfg);
+        dist.row(
+            std::iter::once(fmt_count(k as u64))
+                .chain(outs.iter().map(|(_, o)| fmt_count(o.stats.real_dist)))
+                .collect(),
+        );
+        ins.row(
+            std::iter::once(fmt_count(k as u64))
+                .chain(outs.iter().map(|(_, o)| fmt_count(o.stats.mainq_insertions)))
+                .collect(),
+        );
+        time.row(
+            std::iter::once(fmt_count(k as u64))
+                .chain(outs.iter().map(|(_, o)| fmt_secs(o.stats.response_time())))
+                .collect(),
+        );
+        time99.row(
+            std::iter::once(fmt_count(k as u64))
+                .chain(outs.iter().map(|(_, o)| fmt_secs(o.stats.response_time_1999())))
+                .collect(),
+        );
+    }
+    dist.print();
+    ins.print();
+    time.print();
+    time99.print();
+}
+
+/// Table 2: R-tree node accesses — disk fetches with a 512 KB buffer, and
+/// (parenthesized) total node requests, i.e. the no-buffer figure.
+pub fn table2(w: &Workload) {
+    banner("Table 2", w);
+    let (mut r, mut s) = build_trees(w, MEM_512K);
+    let cfg = JoinConfig::with_queue_memory(MEM_512K);
+    let ks: Vec<usize> = [100usize, 1_000, 10_000, 100_000]
+        .into_iter()
+        .filter(|&k| k <= k_max())
+        .collect();
+    let mut header = vec!["algorithm".to_string()];
+    header.extend(ks.iter().map(|k| format!("k={}", fmt_count(*k as u64))));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut t = Table::new(
+        "Table 2: R-tree node accesses, buffered (unbuffered in parens)",
+        &header_refs,
+    );
+    let mut rows: Vec<Vec<String>> = vec![
+        vec!["HS-KDJ".into()],
+        vec!["B-KDJ".into()],
+        vec!["AM-KDJ".into()],
+        vec!["SJ-SORT".into()],
+    ];
+    for &k in &ks {
+        let outs = kdj_suite(&mut r, &mut s, k, &cfg);
+        for (i, (_, o)) in outs.iter().enumerate() {
+            rows[i].push(format!(
+                "{} ({})",
+                fmt_count(o.stats.node_disk_reads),
+                fmt_count(o.stats.node_requests)
+            ));
+        }
+    }
+    for row in rows {
+        t.row(row);
+    }
+    t.print();
+}
+
+/// Figure 11: the optimized plane sweep (axis + direction selection) on
+/// vs off, measured in axis + real distance computations for B-KDJ.
+pub fn figure11(w: &Workload) {
+    banner("Figure 11", w);
+    let (mut r, mut s) = build_trees(w, MEM_512K);
+    let on = JoinConfig::with_queue_memory(MEM_512K);
+    let off = JoinConfig { optimize_axis: false, optimize_direction: false, ..on.clone() };
+    let mut t = Table::new(
+        "Figure 11: distance computations (axis + real), optimized plane sweep",
+        &["k", "optimized", "fixed x/fwd", "saved"],
+    );
+    for k in k_sweep() {
+        reset(&mut r, &mut s);
+        let opt = b_kdj(&mut r, &mut s, k, &on);
+        reset(&mut r, &mut s);
+        let fixed = b_kdj(&mut r, &mut s, k, &off);
+        let a = opt.stats.total_dist_computations();
+        let b = fixed.stats.total_dist_computations();
+        let saved = if b > 0 { 100.0 * (b as f64 - a as f64) / b as f64 } else { 0.0 };
+        t.row(vec![
+            fmt_count(k as u64),
+            fmt_count(a),
+            fmt_count(b),
+            format!("{saved:.1}%"),
+        ]);
+    }
+    t.print();
+}
+
+/// Figure 12: incremental distance joins — HS-IDJ vs AM-IDJ driven to k
+/// results (SJ-SORT as the non-incremental reference).
+pub fn figure12(w: &Workload) {
+    banner("Figure 12", w);
+    let (mut r, mut s) = build_trees(w, MEM_512K);
+    let cfg = JoinConfig::with_queue_memory(MEM_512K);
+    let header = ["k", "HS-IDJ", "AM-IDJ", "SJ-SORT"];
+    let mut dist = Table::new("Figure 12(a): real distance computations", &header);
+    let mut ins = Table::new("Figure 12(b): queue insertions", &header);
+    let mut time = Table::new("Figure 12(c): response time (model)", &header);
+    let mut time99 = Table::new("Figure 12(c'): response time (1999-CPU model)", &header);
+    for k in k_sweep() {
+        reset(&mut r, &mut s);
+        let hs = drive_idj_hs(&mut r, &mut s, k, &cfg);
+        reset(&mut r, &mut s);
+        let (am, last_dist) = drive_idj_am(&mut r, &mut s, k, &cfg);
+        reset(&mut r, &mut s);
+        let sj = sj_sort(&mut r, &mut s, k, last_dist, &cfg).stats;
+        dist.row(vec![
+            fmt_count(k as u64),
+            fmt_count(hs.real_dist),
+            fmt_count(am.real_dist),
+            fmt_count(sj.real_dist),
+        ]);
+        ins.row(vec![
+            fmt_count(k as u64),
+            fmt_count(hs.mainq_insertions),
+            fmt_count(am.mainq_insertions),
+            fmt_count(sj.mainq_insertions),
+        ]);
+        time.row(vec![
+            fmt_count(k as u64),
+            fmt_secs(hs.response_time()),
+            fmt_secs(am.response_time()),
+            fmt_secs(sj.response_time()),
+        ]);
+        time99.row(vec![
+            fmt_count(k as u64),
+            fmt_secs(hs.response_time_1999()),
+            fmt_secs(am.response_time_1999()),
+            fmt_secs(sj.response_time_1999()),
+        ]);
+    }
+    dist.print();
+    ins.print();
+    time.print();
+    time99.print();
+}
+
+fn drive_idj_hs(r: &mut RTree<2>, s: &mut RTree<2>, k: usize, cfg: &JoinConfig) -> JoinStats {
+    let mut cursor = HsIdj::new(r, s, cfg);
+    for _ in 0..k {
+        if cursor.next().is_none() {
+            break;
+        }
+    }
+    cursor.stats()
+}
+
+fn drive_idj_am(r: &mut RTree<2>, s: &mut RTree<2>, k: usize, cfg: &JoinConfig) -> (JoinStats, f64) {
+    let mut cursor = AmIdj::new(r, s, cfg, AmIdjOptions::default());
+    let mut last = 0.0;
+    for _ in 0..k {
+        match cursor.next() {
+            Some(p) => last = p.dist,
+            None => break,
+        }
+    }
+    (cursor.stats(), last)
+}
+
+/// Figure 13: response time vs memory (queue memory = R-tree buffer,
+/// 64 KB – 1024 KB) at the largest k.
+pub fn figure13(w: &Workload) {
+    banner("Figure 13", w);
+    let k = k_max();
+    let mut t = Table::new(
+        &format!("Figure 13: response time vs memory size (k = {})", fmt_count(k as u64)),
+        &["memory", "HS-KDJ", "B-KDJ", "AM-KDJ", "SJ-SORT"],
+    );
+    for mem_kb in [64usize, 128, 256, 512, 1024] {
+        let mem = mem_kb * 1024;
+        let (mut r, mut s) = build_trees(w, mem);
+        let cfg = JoinConfig::with_queue_memory(mem);
+        let outs = kdj_suite(&mut r, &mut s, k, &cfg);
+        t.row(
+            std::iter::once(format!("{mem_kb} KB"))
+                .chain(outs.iter().map(|(_, o)| fmt_secs(o.stats.response_time())))
+                .collect(),
+        );
+    }
+    t.print();
+}
+
+/// Figure 14: AM-KDJ sensitivity to the accuracy of `eDmax`
+/// (0.1×Dmax … 10×Dmax) at the largest k, with B-KDJ as the reference.
+pub fn figure14(w: &Workload) {
+    banner("Figure 14", w);
+    let k = k_max();
+    let (mut r, mut s) = build_trees(w, MEM_512K);
+    let cfg = JoinConfig::with_queue_memory(MEM_512K);
+    reset(&mut r, &mut s);
+    let bk = b_kdj(&mut r, &mut s, k, &cfg);
+    let dmax = bk.results.last().map_or(0.0, |p| p.dist);
+    let mut t = Table::new(
+        &format!(
+            "Figure 14: AM-KDJ vs eDmax accuracy (k = {}, Dmax = {dmax:.6})",
+            fmt_count(k as u64)
+        ),
+        &["eDmax/Dmax", "real dists", "queue ins", "resp. time", "stages"],
+    );
+    for factor in [0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0] {
+        reset(&mut r, &mut s);
+        let out = am_kdj(
+            &mut r,
+            &mut s,
+            k,
+            &cfg,
+            &AmKdjOptions { edmax_override: Some(dmax * factor) },
+        );
+        t.row(vec![
+            format!("{factor:.1}"),
+            fmt_count(out.stats.real_dist),
+            fmt_count(out.stats.mainq_insertions),
+            fmt_secs(out.stats.response_time()),
+            out.stats.stages.to_string(),
+        ]);
+    }
+    t.row(vec![
+        "B-KDJ ref".into(),
+        fmt_count(bk.stats.real_dist),
+        fmt_count(bk.stats.mainq_insertions),
+        fmt_secs(bk.stats.response_time()),
+        "1".into(),
+    ]);
+    t.print();
+}
+
+/// Figure 15: stepwise incremental execution — batches of k/10 results up
+/// to k, comparing HS-IDJ, AM-IDJ (estimated eDmax), AM-IDJ (real Dmax
+/// schedule), and SJ-SORT restarted per batch (cumulative).
+pub fn figure15(w: &Workload) {
+    banner("Figure 15", w);
+    let total = k_max();
+    let step = (total / 10).max(1);
+    let (mut r, mut s) = build_trees(w, MEM_512K);
+    let cfg = JoinConfig::with_queue_memory(MEM_512K);
+
+    // One exact run provides the real Dmax at every batch boundary.
+    reset(&mut r, &mut s);
+    let exact = b_kdj(&mut r, &mut s, total, &JoinConfig::unbounded());
+    let dmax_at = |i: usize| -> f64 {
+        exact
+            .results
+            .get((i * step).min(exact.results.len()) - 1)
+            .map_or(0.0, |p| p.dist)
+    };
+    let schedule: Vec<f64> = (1..=10).map(dmax_at).collect();
+
+    let mut t = Table::new(
+        &format!(
+            "Figure 15: stepwise incremental response time (batches of {})",
+            fmt_count(step as u64)
+        ),
+        &["pairs", "HS-IDJ", "AM-IDJ est.", "AM-IDJ real", "SJ-SORT cum."],
+    );
+
+    reset(&mut r, &mut s);
+    let mut hs_rows = Vec::new();
+    {
+        let mut hs = HsIdj::new(&mut r, &mut s, &cfg);
+        for _ in 0..10 {
+            for _ in 0..step {
+                if hs.next().is_none() {
+                    break;
+                }
+            }
+            hs_rows.push(hs.stats().response_time());
+        }
+    }
+
+    reset(&mut r, &mut s);
+    let mut am_est_rows = Vec::new();
+    {
+        let opts = AmIdjOptions { initial_k: step as u64, ..AmIdjOptions::default() };
+        let mut am = AmIdj::new(&mut r, &mut s, &cfg, opts);
+        for _ in 0..10 {
+            for _ in 0..step {
+                if am.next().is_none() {
+                    break;
+                }
+            }
+            am_est_rows.push(am.stats().response_time());
+        }
+    }
+
+    reset(&mut r, &mut s);
+    let mut am_real_rows = Vec::new();
+    {
+        let opts = AmIdjOptions {
+            initial_k: step as u64,
+            growth: 2.0,
+            edmax: EdmaxPolicy::Schedule(schedule),
+        };
+        let mut am = AmIdj::new(&mut r, &mut s, &cfg, opts);
+        for _ in 0..10 {
+            for _ in 0..step {
+                if am.next().is_none() {
+                    break;
+                }
+            }
+            am_real_rows.push(am.stats().response_time());
+        }
+    }
+
+    let mut sj_cum = 0.0;
+    let mut sj_rows = Vec::new();
+    for i in 1..=10 {
+        reset(&mut r, &mut s);
+        let out = sj_sort(&mut r, &mut s, i * step, dmax_at(i), &cfg);
+        sj_cum += out.stats.response_time();
+        sj_rows.push(sj_cum);
+    }
+
+    for i in 0..10 {
+        t.row(vec![
+            fmt_count(((i + 1) * step) as u64),
+            fmt_secs(hs_rows[i]),
+            fmt_secs(am_est_rows[i]),
+            fmt_secs(am_real_rows[i]),
+            fmt_secs(sj_rows[i]),
+        ]);
+    }
+    t.print();
+}
+
+/// Ablation (beyond the paper; its §6 future work): Equation (3)'s
+/// uniformity assumption vs the histogram estimator on the skewed
+/// TIGER-like workload — how close each initial `eDmax` lands to the true
+/// `Dmax`, and what that does to AM-KDJ's work.
+pub fn ablation_estimators(w: &Workload) {
+    banner("Ablation: eDmax estimators", w);
+    let (mut r, mut s) = build_trees(w, MEM_512K);
+    let cfg = JoinConfig::with_queue_memory(MEM_512K);
+    let hist = HistogramEstimator::from_items(&w.streets, &w.hydro, 64);
+    let mut t = Table::new(
+        "eDmax estimate quality and AM-KDJ work (Eq. 3 vs histogram)",
+        &["k", "Eq3/Dmax", "hist/Dmax", "ins Eq3", "ins hist", "time Eq3", "time hist"],
+    );
+    for k in k_sweep() {
+        reset(&mut r, &mut s);
+        let exact = b_kdj(&mut r, &mut s, k, &JoinConfig::unbounded());
+        let dmax = exact.results.last().map_or(0.0, |p| p.dist);
+        reset(&mut r, &mut s);
+        let eq3 = am_kdj(&mut r, &mut s, k, &cfg, &AmKdjOptions::default());
+        let h_edmax = hist.edmax(k as u64);
+        reset(&mut r, &mut s);
+        let hg = am_kdj(&mut r, &mut s, k, &cfg, &AmKdjOptions { edmax_override: Some(h_edmax) });
+        let est = amdj_core::Estimator::<2>::from_trees(&mut r, &mut s).expect("non-empty");
+        let ratio = |e: f64| if dmax > 0.0 { format!("{:.2}", e / dmax) } else { "inf".into() };
+        t.row(vec![
+            fmt_count(k as u64),
+            ratio(est.initial(k as u64)),
+            ratio(h_edmax),
+            fmt_count(eq3.stats.mainq_insertions),
+            fmt_count(hg.stats.mainq_insertions),
+            fmt_secs(eq3.stats.response_time()),
+            fmt_secs(hg.stats.response_time()),
+        ]);
+    }
+    t.print();
+}
+
+/// Ablation: the Equation-3 main-queue segment boundaries of §4.4 vs
+/// plain median splits, across memory budgets at the largest k.
+pub fn ablation_queue(w: &Workload) {
+    banner("Ablation: queue boundaries", w);
+    let k = k_max();
+    let mut t = Table::new(
+        &format!("B-KDJ queue spill traffic (k = {}): Eq. 3 boundaries vs median splits", fmt_count(k as u64)),
+        &["memory", "pages Eq3", "pages median", "time Eq3", "time median"],
+    );
+    for mem_kb in [128usize, 512] {
+        let mem = mem_kb * 1024;
+        let (mut r, mut s) = build_trees(w, mem);
+        let eq3_cfg = JoinConfig::with_queue_memory(mem);
+        let med_cfg = JoinConfig { eq3_queue_boundaries: false, ..eq3_cfg.clone() };
+        reset(&mut r, &mut s);
+        let eq3 = b_kdj(&mut r, &mut s, k, &eq3_cfg);
+        reset(&mut r, &mut s);
+        let med = b_kdj(&mut r, &mut s, k, &med_cfg);
+        t.row(vec![
+            format!("{mem_kb} KB"),
+            fmt_count(eq3.stats.queue_page_reads + eq3.stats.queue_page_writes),
+            fmt_count(med.stats.queue_page_reads + med.stats.queue_page_writes),
+            fmt_secs(eq3.stats.response_time()),
+            fmt_secs(med.stats.response_time()),
+        ]);
+    }
+    t.print();
+}

@@ -1,0 +1,406 @@
+//! AM-IDJ (§4.2): the adaptive multi-stage *incremental* distance join.
+//!
+//! No stopping cardinality is known, so there is no distance queue and no
+//! `qDmax`; each stage prunes on an estimated `eDmax_i` alone and streams
+//! out every pair closer than it. When the consumer wants more, the next
+//! stage raises the estimate (§4.3.2's corrections) and *compensates*: the
+//! per-anchor marks kept with every expanded pair let stage `i+1` examine
+//! exactly the child pairs stages `1..i` skipped.
+
+use amdj_rtree::{AccessStats, RTree};
+
+use crate::bkdj::{push_roots, to_result};
+use crate::mainq::MainQueue;
+use crate::sweep::{
+    compensation_sweep, expand_lists, plane_sweep, CompEntry, CompQueue, MarkMode, SweepSink,
+};
+use crate::{
+    AmIdjOptions, Correction, EdmaxPolicy, Estimator, JoinConfig, JoinStats, Pair, ResultPair,
+};
+
+/// Sink for AM-IDJ sweeps: `eDmax` is the only cutoff (§4.2) for both the
+/// axis and the real distance.
+struct IdjSink<'x, const D: usize> {
+    mainq: &'x mut MainQueue<D>,
+    edmax: f64,
+}
+
+impl<const D: usize> SweepSink<D> for IdjSink<'_, D> {
+    fn axis_cutoff(&self) -> f64 {
+        self.edmax
+    }
+    fn real_cutoff(&self) -> f64 {
+        self.edmax
+    }
+    fn emit(&mut self, pair: Pair<D>) {
+        self.mainq.push(pair);
+    }
+}
+
+/// The AM-IDJ cursor: call [`next`](AmIdj::next) repeatedly; stages are
+/// managed internally.
+///
+/// ```
+/// use amdj_core::{AmIdj, AmIdjOptions, JoinConfig};
+/// use amdj_geom::{Point, Rect};
+/// use amdj_rtree::{RTree, RTreeParams};
+///
+/// let pts = |off: f64| -> Vec<(Rect<2>, u64)> {
+///     (0..49).map(|i| {
+///         let p = Point::new([(i % 7) as f64 + off, (i / 7) as f64]);
+///         (Rect::from_point(p), i)
+///     }).collect()
+/// };
+/// let mut r = RTree::bulk_load(RTreeParams::for_tests(), pts(0.0));
+/// let mut s = RTree::bulk_load(RTreeParams::for_tests(), pts(0.4));
+/// let mut cursor = AmIdj::new(&mut r, &mut s, &JoinConfig::unbounded(), AmIdjOptions::default());
+/// let mut prev = 0.0;
+/// for _ in 0..20 {
+///     let pair = cursor.next().expect("plenty of pairs");
+///     assert!(pair.dist >= prev);     // ascending stream
+///     prev = pair.dist;
+/// }
+/// ```
+pub struct AmIdj<'a, const D: usize> {
+    r: &'a mut RTree<D>,
+    s: &'a mut RTree<D>,
+    cfg: JoinConfig,
+    opts: AmIdjOptions,
+    est: Option<Estimator<D>>,
+    mainq: MainQueue<D>,
+    compq: CompQueue<D>,
+    edmax: f64,
+    k_target: u64,
+    emitted: u64,
+    last_dist: f64,
+    /// Upper bound on any possible pair distance — the terminal `eDmax`.
+    max_possible: f64,
+    counters: JoinStats,
+    r_acc0: AccessStats,
+    s_acc0: AccessStats,
+    r_io0: f64,
+    s_io0: f64,
+}
+
+impl<'a, const D: usize> AmIdj<'a, D> {
+    /// Starts an incremental join over two indexes.
+    pub fn new(r: &'a mut RTree<D>, s: &'a mut RTree<D>, cfg: &JoinConfig, opts: AmIdjOptions) -> Self {
+        assert!(opts.growth > 1.0, "stage growth must exceed 1");
+        assert!(opts.initial_k >= 1, "initial k must be at least 1");
+        let est = Estimator::from_trees(r, s);
+        let mut mainq = MainQueue::new(cfg, est.as_ref());
+        push_roots(r, s, &mut mainq);
+        let max_possible = match (r.bounds(), s.bounds()) {
+            (Some(rb), Some(sb)) => rb.max_dist(&sb),
+            _ => 0.0,
+        };
+        let edmax = match &opts.edmax {
+            EdmaxPolicy::Estimated(_) => {
+                est.map(|e| e.initial(opts.initial_k)).unwrap_or(max_possible)
+            }
+            EdmaxPolicy::Schedule(v) => v.first().copied().unwrap_or(max_possible),
+        };
+        let (r_acc0, s_acc0) = (r.access_stats(), s.access_stats());
+        let (r_io0, s_io0) = (r.disk_stats().io_seconds, s.disk_stats().io_seconds);
+        let k_target = opts.initial_k;
+        AmIdj {
+            r,
+            s,
+            cfg: cfg.clone(),
+            opts,
+            est,
+            mainq,
+            compq: CompQueue::new(),
+            edmax,
+            k_target,
+            emitted: 0,
+            last_dist: 0.0,
+            max_possible,
+            counters: JoinStats { stages: 1, ..JoinStats::default() },
+            r_acc0,
+            s_acc0,
+            r_io0,
+            s_io0,
+        }
+    }
+
+    /// The stage currently executing (1-based).
+    pub fn stage(&self) -> u32 {
+        self.counters.stages
+    }
+
+    /// The cutoff currently in force.
+    pub fn current_edmax(&self) -> f64 {
+        self.edmax
+    }
+
+    /// Produces the next nearest pair, advancing stages as needed;
+    /// `None` when every pair has been produced.
+    #[allow(clippy::should_implement_trait)] // deliberate cursor API; &mut borrows preclude Iterator
+    pub fn next(&mut self) -> Option<ResultPair> {
+        let started = std::time::Instant::now();
+        let out = self.step();
+        self.counters.cpu_seconds += started.elapsed().as_secs_f64();
+        out
+    }
+
+    fn step(&mut self) -> Option<ResultPair> {
+        loop {
+            let main_key = self.mainq.peek_min();
+            let comp_key = self.compq.peek_key();
+            let (take_main, key) = match (main_key, comp_key) {
+                (None, None) => return None,
+                (Some(m), None) => (true, m),
+                (None, Some(c)) => (false, c),
+                (Some(m), Some(c)) => (m <= c, m.min(c)),
+            };
+            if key > self.edmax {
+                // Everything still queued lies beyond the stage cutoff:
+                // start the next stage with a larger eDmax.
+                self.advance_stage();
+                continue;
+            }
+            if take_main {
+                let pair = self.mainq.pop().expect("peeked");
+                if pair.is_result() {
+                    self.emitted += 1;
+                    self.last_dist = pair.dist;
+                    self.counters.results += 1;
+                    return Some(to_result(&pair));
+                }
+                let (left, right, axis) = expand_lists(self.r, self.s, &pair, self.edmax, &self.cfg);
+                let mut sink = IdjSink { mainq: &mut self.mainq, edmax: self.edmax };
+                let marks = plane_sweep(&left, &right, axis, &mut sink, &mut self.counters, MarkMode::Full)
+                    .expect("marks requested");
+                if !marks.exhausted(left.entries.len(), right.entries.len()) {
+                    // Every unexamined child pair lies *strictly* beyond
+                    // eDmax, so the park key must exceed eDmax strictly or
+                    // the entry would be re-processed in this same stage
+                    // without progress.
+                    self.compq.push(
+                        CompEntry { key: pair.dist.max(self.edmax.next_up()), axis, left, right, marks },
+                        &mut self.counters,
+                    );
+                }
+            } else {
+                let mut entry = self.compq.pop().expect("peeked");
+                let mut sink = IdjSink { mainq: &mut self.mainq, edmax: self.edmax };
+                compensation_sweep(
+                    &entry.left,
+                    &entry.right,
+                    entry.axis,
+                    &mut entry.marks,
+                    &mut sink,
+                    &mut self.counters,
+                );
+                if !entry.marks.exhausted(entry.left.entries.len(), entry.right.entries.len()) {
+                    // Unexamined pairs now all lie strictly beyond the
+                    // current cutoff: park for a later stage.
+                    entry.key = self.edmax.next_up();
+                    self.compq.push(entry, &mut self.counters);
+                }
+            }
+        }
+    }
+
+    fn advance_stage(&mut self) {
+        self.counters.stages += 1;
+        let stage_idx = self.counters.stages as usize - 1; // 0-based
+        self.k_target = ((self.k_target as f64 * self.opts.growth).ceil() as u64)
+            .max(self.emitted + 1);
+        let mut next = match &self.opts.edmax {
+            EdmaxPolicy::Estimated(corr) => self.correct(*corr),
+            EdmaxPolicy::Schedule(v) => v.get(stage_idx).copied().unwrap_or(f64::NEG_INFINITY),
+        };
+        if next <= self.edmax {
+            // The schedule or correction failed to grow the cutoff (ties,
+            // a zero-distance result prefix, or an exhausted schedule):
+            // fall back to the estimator's safe correction, which is
+            // strictly positive whenever more pairs are wanted.
+            next = next.max(self.correct(Correction::MaxOfBoth));
+        }
+        if next <= self.edmax {
+            // Last resort: geometric growth (or the whole space when no
+            // scale is known yet).
+            next = if self.edmax > 0.0 {
+                self.edmax * 2f64.powf(1.0 / D as f64)
+            } else {
+                self.max_possible
+            };
+        }
+        // Strict growth is required for progress; never exceed the space.
+        self.edmax = next.min(self.max_possible).max(self.edmax.next_up());
+    }
+
+    fn correct(&self, corr: Correction) -> f64 {
+        match self.est {
+            Some(e) => e.corrected(self.k_target, self.emitted, self.last_dist, corr),
+            None => self.max_possible,
+        }
+    }
+
+    /// A snapshot of the work done so far.
+    pub fn stats(&self) -> JoinStats {
+        let mut st = self.counters;
+        st.mainq_insertions = self.mainq.insertions();
+        let (ra, sa) = (self.r.access_stats(), self.s.access_stats());
+        st.node_requests = (ra.requests - self.r_acc0.requests) + (sa.requests - self.s_acc0.requests);
+        st.node_disk_reads =
+            (ra.disk_reads - self.r_acc0.disk_reads) + (sa.disk_reads - self.s_acc0.disk_reads);
+        let qd = self.mainq.disk_stats();
+        st.queue_page_reads = qd.pages_read;
+        st.queue_page_writes = qd.pages_written;
+        st.io_seconds = (self.r.disk_stats().io_seconds - self.r_io0)
+            + (self.s.disk_stats().io_seconds - self.s_io0)
+            + qd.io_seconds;
+        st
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bruteforce;
+    use amdj_geom::{Point, Rect};
+    use amdj_rtree::RTreeParams;
+
+    fn grid(n: usize, dx: f64, dy: f64) -> Vec<(Rect<2>, u64)> {
+        (0..n * n)
+            .map(|i| {
+                let p = Point::new([(i % n) as f64 + dx, (i / n) as f64 + dy]);
+                (Rect::from_point(Point::new([p[0], p[1]])), i as u64)
+            })
+            .collect()
+    }
+
+    fn trees(
+        a: &[(Rect<2>, u64)],
+        b: &[(Rect<2>, u64)],
+    ) -> (amdj_rtree::RTree<2>, amdj_rtree::RTree<2>) {
+        (
+            amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), a.to_vec()),
+            amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), b.to_vec()),
+        )
+    }
+
+    fn check_stream(a: &[(Rect<2>, u64)], b: &[(Rect<2>, u64)], take: usize, opts: AmIdjOptions) {
+        let (mut r, mut s) = trees(a, b);
+        let mut cursor = AmIdj::new(&mut r, &mut s, &JoinConfig::unbounded(), opts);
+        let want = bruteforce::k_closest_pairs(a, b, take);
+        let mut got = Vec::new();
+        for _ in 0..take {
+            match cursor.next() {
+                Some(p) => got.push(p),
+                None => break,
+            }
+        }
+        assert_eq!(got.len(), want.len());
+        for (i, (g, w)) in got.iter().zip(want.iter()).enumerate() {
+            assert!((g.dist - w.dist).abs() < 1e-9, "rank {i}: got {} want {}", g.dist, w.dist);
+        }
+        assert!(got.windows(2).all(|w| w[0].dist <= w[1].dist));
+    }
+
+    #[test]
+    fn streams_match_brute_force() {
+        let a = grid(12, 0.0, 0.0);
+        let b = grid(12, 0.29, 0.41);
+        check_stream(&a, &b, 300, AmIdjOptions::default());
+    }
+
+    #[test]
+    fn tiny_initial_k_forces_many_stages() {
+        let a = grid(10, 0.0, 0.0);
+        let b = grid(10, 0.33, 0.21);
+        let opts = AmIdjOptions { initial_k: 1, growth: 1.5, ..AmIdjOptions::default() };
+        let (mut r, mut s) = trees(&a, &b);
+        let mut cursor = AmIdj::new(&mut r, &mut s, &JoinConfig::unbounded(), opts);
+        let want = bruteforce::k_closest_pairs(&a, &b, 200);
+        for (i, w) in want.iter().enumerate() {
+            let g = cursor.next().unwrap_or_else(|| panic!("exhausted at {i}"));
+            assert!((g.dist - w.dist).abs() < 1e-9, "rank {i}");
+        }
+        assert!(cursor.stage() > 1, "must have advanced stages");
+    }
+
+    #[test]
+    fn schedule_policy_with_real_dmax() {
+        let a = grid(10, 0.0, 0.0);
+        let b = grid(10, 0.4, 0.3);
+        let d30 = bruteforce::dmax_for_k(&a, &b, 30).unwrap();
+        let d60 = bruteforce::dmax_for_k(&a, &b, 60).unwrap();
+        let d90 = bruteforce::dmax_for_k(&a, &b, 90).unwrap();
+        let opts = AmIdjOptions {
+            initial_k: 30,
+            growth: 2.0,
+            edmax: EdmaxPolicy::Schedule(vec![d30, d60, d90]),
+        };
+        check_stream(&a, &b, 90, opts);
+    }
+
+    #[test]
+    fn exhausts_the_full_cartesian_product() {
+        let a = grid(4, 0.0, 0.0);
+        let b = grid(4, 0.3, 0.3);
+        let (mut r, mut s) = trees(&a, &b);
+        let mut cursor = AmIdj::new(&mut r, &mut s, &JoinConfig::unbounded(), AmIdjOptions::default());
+        let mut n = 0;
+        let mut prev = -1.0;
+        while let Some(p) = cursor.next() {
+            assert!(p.dist >= prev);
+            prev = p.dist;
+            n += 1;
+        }
+        assert_eq!(n, 256, "all 16×16 pairs stream out");
+        assert!(cursor.next().is_none());
+    }
+
+    #[test]
+    fn underestimating_schedule_still_exact() {
+        // Schedule far below the real distances: every stage compensates.
+        let a = grid(9, 0.0, 0.0);
+        let b = grid(9, 0.37, 0.19);
+        let opts = AmIdjOptions {
+            initial_k: 8,
+            growth: 2.0,
+            edmax: EdmaxPolicy::Schedule(vec![1e-6, 2e-6, 4e-6]),
+        };
+        check_stream(&a, &b, 120, opts);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let a = grid(8, 0.0, 0.0);
+        let b = grid(8, 0.5, 0.5);
+        let (mut r, mut s) = trees(&a, &b);
+        let mut cursor = AmIdj::new(&mut r, &mut s, &JoinConfig::unbounded(), AmIdjOptions::default());
+        for _ in 0..40 {
+            cursor.next().unwrap();
+        }
+        let st = cursor.stats();
+        assert_eq!(st.results, 40);
+        assert!(st.real_dist > 0);
+        assert!(st.node_requests > 0);
+        assert!(st.cpu_seconds > 0.0);
+    }
+
+    #[test]
+    fn empty_side_yields_nothing() {
+        let mut r: amdj_rtree::RTree<2> = amdj_rtree::RTree::new(RTreeParams::for_tests());
+        let mut s = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), grid(3, 0.0, 0.0));
+        let mut cursor = AmIdj::new(&mut r, &mut s, &JoinConfig::unbounded(), AmIdjOptions::default());
+        assert!(cursor.next().is_none());
+    }
+
+    #[test]
+    fn min_of_both_correction_still_exact() {
+        let a = grid(9, 0.0, 0.0);
+        let b = grid(9, 0.21, 0.43);
+        let opts = AmIdjOptions {
+            initial_k: 4,
+            growth: 2.0,
+            edmax: EdmaxPolicy::Estimated(Correction::MinOfBoth),
+        };
+        check_stream(&a, &b, 150, opts);
+    }
+}

@@ -1,0 +1,302 @@
+//! AM-KDJ (§4.1, Algorithms 2 and 3): the adaptive multi-stage k-distance
+//! join. Stage one prunes *aggressively* on an estimated maximum distance
+//! `eDmax`; every skipped child pair is recoverable through per-anchor
+//! marks kept with the pair in the compensation queue, so stage two can
+//! finish the join exactly if the estimate was too small.
+//!
+//! One erratum is handled (see DESIGN.md): Algorithm 2 line 9 terminates
+//! stage one when the dequeued distance is *smaller* than `eDmax`, and
+//! emits object pairs before that check. Taken literally, both break the
+//! algorithm (the first dequeued pairs are the closest, and an emitted
+//! object pair beyond `eDmax` may be preceded by pruned pairs). We
+//! terminate when the dequeued distance *exceeds* `eDmax`, checking before
+//! emission — the reading consistent with §4.1's condition (3) and §5.6.
+
+use crate::bkdj::{push_roots, to_result, KdjSink};
+use crate::mainq::MainQueue;
+use crate::stats::Baseline;
+use crate::sweep::{compensation_sweep, expand_lists, plane_sweep, CompEntry, CompQueue, MarkMode, SweepSink};
+use crate::{
+    AmKdjOptions, DistanceQueue, Estimator, JoinConfig, JoinOutput, JoinStats, Pair,
+};
+use amdj_rtree::RTree;
+
+/// Sink for the aggressive stage: axis pruning against `eDmax`
+/// (Algorithm 2 line 22), real-distance pruning against the live `qDmax`
+/// (line 17 unchanged), object pairs feeding the distance queue.
+struct AggressiveSink<'x, const D: usize> {
+    mainq: &'x mut MainQueue<D>,
+    distq: &'x mut DistanceQueue,
+    edmax: f64,
+}
+
+impl<const D: usize> SweepSink<D> for AggressiveSink<'_, D> {
+    fn axis_cutoff(&self) -> f64 {
+        self.edmax
+    }
+    fn real_cutoff(&self) -> f64 {
+        self.distq.qdmax()
+    }
+    fn emit(&mut self, pair: Pair<D>) {
+        let is_result = pair.is_result();
+        let dist = pair.dist;
+        self.mainq.push(pair);
+        if is_result {
+            self.distq.insert(dist);
+        }
+    }
+}
+
+/// The AM-KDJ k-distance join. `opts.edmax_override` replaces the
+/// Equation (3) estimate (Figure 14's sweep).
+///
+/// ```
+/// use amdj_core::{am_kdj, AmKdjOptions, JoinConfig};
+/// use amdj_geom::{Point, Rect};
+/// use amdj_rtree::{RTree, RTreeParams};
+///
+/// let pts = |off: f64| -> Vec<(Rect<2>, u64)> {
+///     (0..64).map(|i| {
+///         let p = Point::new([(i % 8) as f64 + off, (i / 8) as f64]);
+///         (Rect::from_point(p), i)
+///     }).collect()
+/// };
+/// let mut r = RTree::bulk_load(RTreeParams::for_tests(), pts(0.0));
+/// let mut s = RTree::bulk_load(RTreeParams::for_tests(), pts(0.25));
+/// let out = am_kdj(&mut r, &mut s, 5, &JoinConfig::unbounded(), &AmKdjOptions::default());
+/// assert_eq!(out.results.len(), 5);
+/// assert!(out.results.iter().all(|p| p.dist == 0.25));
+/// ```
+pub fn am_kdj<const D: usize>(
+    r: &mut RTree<D>,
+    s: &mut RTree<D>,
+    k: usize,
+    cfg: &JoinConfig,
+    opts: &AmKdjOptions,
+) -> JoinOutput {
+    let baseline = Baseline::capture(r, s);
+    let mut stats = JoinStats { stages: 1, ..JoinStats::default() };
+    let est = Estimator::from_trees(r, s);
+    let mut mainq = MainQueue::new(cfg, est.as_ref());
+    let mut distq = DistanceQueue::new(k);
+    let mut compq: CompQueue<D> = CompQueue::new();
+    let mut results = Vec::with_capacity(k.min(1 << 20));
+    let mut edmax = opts
+        .edmax_override
+        .or_else(|| est.map(|e| e.initial(k as u64)))
+        .unwrap_or(f64::INFINITY);
+    if k > 0 {
+        push_roots(r, s, &mut mainq);
+    }
+
+    // ---- Stage one: aggressive pruning (Algorithm 2) ----
+    while results.len() < k {
+        let Some(pair) = mainq.pop() else { break };
+        // Line 8: an overestimated eDmax is detected and tightened; from
+        // here on the stage behaves exactly like B-KDJ.
+        let q = distq.qdmax();
+        if q <= edmax {
+            edmax = q;
+        }
+        // Condition (3) (erratum fixed): results beyond eDmax cannot be
+        // emitted safely — park the pair and move to compensation.
+        if pair.dist > edmax {
+            mainq.unpop(pair);
+            break;
+        }
+        if pair.is_result() {
+            results.push(to_result(&pair));
+            continue;
+        }
+        let (left, right, axis) = expand_lists(r, s, &pair, edmax, cfg);
+        let mut sink = AggressiveSink { mainq: &mut mainq, distq: &mut distq, edmax };
+        let marks = plane_sweep(&left, &right, axis, &mut sink, &mut stats, MarkMode::Suffix)
+            .expect("marks requested");
+        if !marks.exhausted(left.entries.len(), right.entries.len()) {
+            compq.push(
+                CompEntry { key: pair.dist.max(edmax.next_up()), axis, left, right, marks },
+                &mut stats,
+            );
+        }
+    }
+
+    // ---- Stage two: compensation (Algorithm 3) ----
+    if results.len() < k && (compq.len() > 0 || !mainq.is_empty()) {
+        stats.stages = 2;
+        while results.len() < k {
+            let main_key = mainq.peek_min();
+            let comp_key = compq.peek_key();
+            let take_main = match (main_key, comp_key) {
+                (None, None) => break,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (Some(m), Some(c)) => m <= c,
+            };
+            if take_main {
+                let pair = mainq.pop().expect("peeked");
+                if pair.is_result() {
+                    results.push(to_result(&pair));
+                    continue;
+                }
+                // Fresh pair never expanded in stage one: full sweep with
+                // exact qDmax cutoffs (B-KDJ behaviour); no further
+                // compensation can be needed.
+                let cutoff = distq.qdmax();
+                let (left, right, axis) = expand_lists(r, s, &pair, cutoff, cfg);
+                let mut sink = KdjSink { mainq: &mut mainq, distq: &mut distq };
+                plane_sweep(&left, &right, axis, &mut sink, &mut stats, MarkMode::None);
+            } else {
+                let mut entry = compq.pop().expect("peeked");
+                let mut sink = KdjSink { mainq: &mut mainq, distq: &mut distq };
+                compensation_sweep(&entry.left, &entry.right, entry.axis, &mut entry.marks, &mut sink, &mut stats);
+                // qDmax is exact, so whatever remains beyond it can never
+                // qualify: the entry is done.
+            }
+        }
+    }
+
+    stats.results = results.len() as u64;
+    stats.distq_insertions = distq.insertions();
+    let queue_io = mainq.account(&mut stats);
+    baseline.finish(r, s, &mut stats, queue_io);
+    JoinOutput { results, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{b_kdj, bruteforce};
+    use amdj_geom::{Point, Rect};
+    use amdj_rtree::RTreeParams;
+
+    fn grid(n: usize, dx: f64, dy: f64) -> Vec<(Rect<2>, u64)> {
+        (0..n * n)
+            .map(|i| {
+                let p = Point::new([(i % n) as f64 + dx, (i / n) as f64 + dy]);
+                (Rect::from_point(p), i as u64)
+            })
+            .collect()
+    }
+
+    fn trees(
+        a: &[(Rect<2>, u64)],
+        b: &[(Rect<2>, u64)],
+    ) -> (amdj_rtree::RTree<2>, amdj_rtree::RTree<2>) {
+        (
+            amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), a.to_vec()),
+            amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), b.to_vec()),
+        )
+    }
+
+    fn check(a: &[(Rect<2>, u64)], b: &[(Rect<2>, u64)], k: usize, opts: &AmKdjOptions) {
+        let (mut r, mut s) = trees(a, b);
+        let out = am_kdj(&mut r, &mut s, k, &JoinConfig::unbounded(), opts);
+        let want = bruteforce::k_closest_pairs(a, b, k);
+        assert_eq!(out.results.len(), want.len());
+        for (i, (got, exp)) in out.results.iter().zip(want.iter()).enumerate() {
+            assert!(
+                (got.dist - exp.dist).abs() < 1e-9,
+                "rank {i}: got {} want {} (opts {opts:?})",
+                got.dist,
+                exp.dist
+            );
+        }
+        assert!(out.results.windows(2).all(|w| w[0].dist <= w[1].dist));
+    }
+
+    #[test]
+    fn matches_brute_force_with_estimated_edmax() {
+        let a = grid(13, 0.0, 0.0);
+        let b = grid(13, 0.29, 0.37);
+        for k in [1, 10, 100, 250] {
+            check(&a, &b, k, &AmKdjOptions::default());
+        }
+    }
+
+    #[test]
+    fn underestimated_edmax_compensates_correctly() {
+        let a = grid(12, 0.0, 0.0);
+        let b = grid(12, 0.31, 0.17);
+        let true_dmax = bruteforce::dmax_for_k(&a, &b, 100).unwrap();
+        for factor in [0.01, 0.1, 0.5, 0.9] {
+            check(&a, &b, 100, &AmKdjOptions { edmax_override: Some(true_dmax * factor) });
+        }
+    }
+
+    #[test]
+    fn overestimated_edmax_still_exact() {
+        let a = grid(12, 0.0, 0.0);
+        let b = grid(12, 0.31, 0.17);
+        let true_dmax = bruteforce::dmax_for_k(&a, &b, 100).unwrap();
+        for factor in [1.0, 2.0, 10.0] {
+            check(&a, &b, 100, &AmKdjOptions { edmax_override: Some(true_dmax * factor) });
+        }
+    }
+
+    #[test]
+    fn zero_edmax_forces_full_compensation() {
+        let a = grid(9, 0.0, 0.0);
+        let b = grid(9, 0.4, 0.4);
+        check(&a, &b, 30, &AmKdjOptions { edmax_override: Some(0.0) });
+    }
+
+    #[test]
+    fn compensation_stage_is_recorded() {
+        let a = grid(10, 0.0, 0.0);
+        let b = grid(10, 0.3, 0.3);
+        let (mut r, mut s) = trees(&a, &b);
+        let dmax = bruteforce::dmax_for_k(&a, &b, 80).unwrap();
+        let out = am_kdj(
+            &mut r,
+            &mut s,
+            80,
+            &JoinConfig::unbounded(),
+            &AmKdjOptions { edmax_override: Some(dmax * 0.2) },
+        );
+        assert_eq!(out.stats.stages, 2, "underestimate must trigger compensation");
+        assert_eq!(out.results.len(), 80);
+    }
+
+    #[test]
+    fn no_worse_than_bkdj_when_overestimated() {
+        // §5.6: with eDmax ≥ Dmax, AM-KDJ needs no more distance
+        // computations or queue insertions than B-KDJ.
+        let a = grid(15, 0.0, 0.0);
+        let b = grid(15, 0.23, 0.41);
+        let (mut r, mut s) = trees(&a, &b);
+        let k = 50;
+        let dmax = bruteforce::dmax_for_k(&a, &b, k).unwrap();
+        let am = am_kdj(
+            &mut r,
+            &mut s,
+            k,
+            &JoinConfig::unbounded(),
+            &AmKdjOptions { edmax_override: Some(dmax * 1.5) },
+        );
+        let bk = b_kdj(&mut r, &mut s, k, &JoinConfig::unbounded());
+        assert!(am.stats.real_dist <= bk.stats.real_dist);
+        assert!(am.stats.mainq_insertions <= bk.stats.mainq_insertions);
+    }
+
+    #[test]
+    fn tight_memory_budget_still_exact() {
+        let a = grid(11, 0.0, 0.0);
+        let b = grid(11, 0.37, 0.21);
+        let mut cfg = JoinConfig::with_queue_memory(4096);
+        cfg.queue_cost.page_size = 1024;
+        let (mut r, mut s) = trees(&a, &b);
+        let out = am_kdj(&mut r, &mut s, 150, &cfg, &AmKdjOptions::default());
+        let want = bruteforce::k_closest_pairs(&a, &b, 150);
+        for (got, exp) in out.results.iter().zip(want.iter()) {
+            assert!((got.dist - exp.dist).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_tree_gives_empty_result() {
+        let mut r: amdj_rtree::RTree<2> = amdj_rtree::RTree::new(RTreeParams::for_tests());
+        let mut s = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), grid(3, 0.0, 0.0));
+        let out = am_kdj(&mut r, &mut s, 5, &JoinConfig::unbounded(), &AmKdjOptions::default());
+        assert!(out.results.is_empty());
+    }
+}

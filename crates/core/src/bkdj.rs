@@ -1,0 +1,246 @@
+//! B-KDJ (§3, Algorithm 1): k-distance join with bidirectional node
+//! expansion and the optimized plane sweep.
+
+use crate::mainq::MainQueue;
+use crate::stats::Baseline;
+use crate::sweep::{expand_lists, plane_sweep, MarkMode, SweepSink};
+use crate::{
+    DistanceQueue, Estimator, ItemRef, JoinConfig, JoinOutput, JoinStats, Pair, ResultPair,
+};
+use amdj_rtree::RTree;
+
+/// Sink for B-KDJ sweeps: both cutoffs are the live `qDmax`; enqueued
+/// object pairs feed the distance queue (Algorithm 1, lines 17–19).
+pub(crate) struct KdjSink<'x, const D: usize> {
+    pub mainq: &'x mut MainQueue<D>,
+    pub distq: &'x mut DistanceQueue,
+}
+
+impl<const D: usize> SweepSink<D> for KdjSink<'_, D> {
+    fn axis_cutoff(&self) -> f64 {
+        self.distq.qdmax()
+    }
+    fn real_cutoff(&self) -> f64 {
+        self.distq.qdmax()
+    }
+    fn emit(&mut self, pair: Pair<D>) {
+        let is_result = pair.is_result();
+        let dist = pair.dist;
+        self.mainq.push(pair);
+        if is_result {
+            self.distq.insert(dist);
+        }
+    }
+}
+
+/// Pushes the pair of root nodes, the starting point of every traversal.
+/// No-op when either tree is empty.
+pub(crate) fn push_roots<const D: usize>(
+    r: &mut RTree<D>,
+    s: &mut RTree<D>,
+    mainq: &mut MainQueue<D>,
+) {
+    if let (Some(rb), Some(sb), Some(rp), Some(sp)) =
+        (r.bounds(), s.bounds(), r.root_page(), s.root_page())
+    {
+        mainq.push(Pair {
+            dist: rb.min_dist(&sb),
+            a: ItemRef::Node { page: rp.0, level: r.height() - 1 },
+            b: ItemRef::Node { page: sp.0, level: s.height() - 1 },
+            a_mbr: rb,
+            b_mbr: sb,
+        });
+    }
+}
+
+pub(crate) fn to_result<const D: usize>(pair: &Pair<D>) -> ResultPair {
+    let (ItemRef::Object { oid: a }, ItemRef::Object { oid: b }) = (pair.a, pair.b) else {
+        panic!("not an object pair")
+    };
+    ResultPair { r: a, s: b, dist: pair.dist }
+}
+
+/// The B-KDJ k-distance join (Algorithm 1): returns the `k` nearest pairs
+/// in ascending distance order.
+pub fn b_kdj<const D: usize>(
+    r: &mut RTree<D>,
+    s: &mut RTree<D>,
+    k: usize,
+    cfg: &JoinConfig,
+) -> JoinOutput {
+    let baseline = Baseline::capture(r, s);
+    let mut stats = JoinStats { stages: 1, ..JoinStats::default() };
+    let est = Estimator::from_trees(r, s);
+    let mut mainq = MainQueue::new(cfg, est.as_ref());
+    let mut distq = DistanceQueue::new(k);
+    let mut results = Vec::with_capacity(k.min(1 << 20));
+    if k > 0 {
+        push_roots(r, s, &mut mainq);
+    }
+    while results.len() < k {
+        let Some(pair) = mainq.pop() else { break };
+        if pair.is_result() {
+            results.push(to_result(&pair));
+            continue;
+        }
+        let cutoff = distq.qdmax();
+        let (left, right, axis) = expand_lists(r, s, &pair, cutoff, cfg);
+        let mut sink = KdjSink { mainq: &mut mainq, distq: &mut distq };
+        plane_sweep(&left, &right, axis, &mut sink, &mut stats, MarkMode::None);
+    }
+    stats.results = results.len() as u64;
+    stats.distq_insertions = distq.insertions();
+    let queue_io = mainq.account(&mut stats);
+    baseline.finish(r, s, &mut stats, queue_io);
+    JoinOutput { results, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bruteforce;
+    use amdj_geom::{Point, Rect};
+    use amdj_rtree::RTreeParams;
+
+    fn pts(coords: &[(f64, f64)]) -> Vec<(Rect<2>, u64)> {
+        coords
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| (Rect::from_point(Point::new([x, y])), i as u64))
+            .collect()
+    }
+
+    fn grid(n: usize, dx: f64, dy: f64) -> Vec<(Rect<2>, u64)> {
+        (0..n * n)
+            .map(|i| {
+                let p = Point::new([(i % n) as f64 + dx, (i / n) as f64 + dy]);
+                (Rect::from_point(p), i as u64)
+            })
+            .collect()
+    }
+
+    fn check_against_brute(a: &[(Rect<2>, u64)], b: &[(Rect<2>, u64)], k: usize, cfg: &JoinConfig) {
+        let mut r = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), a.to_vec());
+        let mut s = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), b.to_vec());
+        let out = b_kdj(&mut r, &mut s, k, cfg);
+        let want = bruteforce::k_closest_pairs(a, b, k);
+        assert_eq!(out.results.len(), want.len(), "k={k}");
+        for (i, (got, exp)) in out.results.iter().zip(want.iter()).enumerate() {
+            assert!(
+                (got.dist - exp.dist).abs() < 1e-9,
+                "k={k} rank {i}: got {} want {}",
+                got.dist,
+                exp.dist
+            );
+        }
+        assert!(out.results.windows(2).all(|w| w[0].dist <= w[1].dist));
+    }
+
+    #[test]
+    fn matches_brute_force_on_grids() {
+        let a = grid(13, 0.0, 0.0);
+        let b = grid(13, 0.27, 0.41);
+        for k in [1, 5, 64, 300] {
+            check_against_brute(&a, &b, k, &JoinConfig::unbounded());
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_without_sweep_optimizations() {
+        let a = grid(10, 0.0, 0.0);
+        let b = grid(10, 0.5, 0.1);
+        let cfg = JoinConfig {
+            optimize_axis: false,
+            optimize_direction: false,
+            ..JoinConfig::unbounded()
+        };
+        for k in [3, 40] {
+            check_against_brute(&a, &b, k, &cfg);
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_with_tight_queue_memory() {
+        let a = grid(11, 0.0, 0.0);
+        let b = grid(11, 0.33, 0.15);
+        let mut cfg = JoinConfig::with_queue_memory(4 * 1024);
+        cfg.queue_cost.page_size = 1024;
+        for k in [10, 120] {
+            check_against_brute(&a, &b, k, &cfg);
+        }
+    }
+
+    #[test]
+    fn k_larger_than_pair_count() {
+        let a = pts(&[(0.0, 0.0), (5.0, 0.0)]);
+        let b = pts(&[(1.0, 0.0)]);
+        let mut r = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), a);
+        let mut s = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), b);
+        let out = b_kdj(&mut r, &mut s, 100, &JoinConfig::unbounded());
+        assert_eq!(out.results.len(), 2);
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let a = grid(10, 0.0, 0.0);
+        let b = grid(10, 0.4, 0.4);
+        let mut r = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), a);
+        let mut s = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), b);
+        let out = b_kdj(&mut r, &mut s, 20, &JoinConfig::unbounded());
+        let st = out.stats;
+        assert_eq!(st.results, 20);
+        assert!(st.real_dist > 0);
+        assert!(st.axis_dist >= st.real_dist, "every real dist was preceded by an axis dist");
+        assert!(st.mainq_insertions > 0);
+        assert!(st.node_requests >= st.node_disk_reads);
+        assert!(st.cpu_seconds > 0.0);
+    }
+
+    #[test]
+    fn prunes_against_uni_directional_baseline() {
+        // The headline claim of §3: far fewer distance computations than
+        // uni-directional expansion for the same answer.
+        let a = grid(18, 0.0, 0.0);
+        let b = grid(18, 0.21, 0.37);
+        let mut r = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), a.clone());
+        let mut s = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), b.clone());
+        let k = 10;
+        let bout = b_kdj(&mut r, &mut s, k, &JoinConfig::unbounded());
+        let hout = crate::hs_kdj(&mut r, &mut s, k, &JoinConfig::unbounded());
+        assert!(
+            bout.stats.real_dist < hout.stats.real_dist,
+            "B-KDJ {} vs HS-KDJ {}",
+            bout.stats.real_dist,
+            hout.stats.real_dist
+        );
+    }
+
+    #[test]
+    fn rect_objects_not_points() {
+        let a: Vec<(Rect<2>, u64)> = (0..60)
+            .map(|i| {
+                let x = (i % 10) as f64;
+                let y = (i / 10) as f64;
+                (Rect::new([x, y], [x + 0.8, y + 0.3]), i)
+            })
+            .collect();
+        let b: Vec<(Rect<2>, u64)> = (0..60)
+            .map(|i| {
+                let x = (i % 10) as f64 + 0.15;
+                let y = (i / 10) as f64 + 0.55;
+                (Rect::new([x, y], [x + 0.4, y + 0.6]), i)
+            })
+            .collect();
+        check_against_brute(&a, &b, 25, &JoinConfig::unbounded());
+    }
+
+    #[test]
+    fn identical_datasets_many_zero_distances() {
+        let a = grid(7, 0.0, 0.0);
+        let mut r = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), a.clone());
+        let mut s = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), a.clone());
+        let out = b_kdj(&mut r, &mut s, 49, &JoinConfig::unbounded());
+        assert_eq!(out.results.len(), 49);
+        assert!(out.results.iter().all(|p| p.dist == 0.0));
+    }
+}

@@ -1,0 +1,137 @@
+//! Exhaustive oracles used by tests and by experiment harnesses that need
+//! true `Dmax` values (e.g. SJ-SORT's favorable configuration in §5).
+//!
+//! All functions are `O(|R|·|S|)` — fine for validation data sizes, and
+//! deliberately independent of every structure they validate.
+
+use amdj_geom::Rect;
+
+use crate::ResultPair;
+
+/// The `k` closest pairs, ascending by `(dist, r, s)`.
+pub fn k_closest_pairs<const D: usize>(
+    r: &[(Rect<D>, u64)],
+    s: &[(Rect<D>, u64)],
+    k: usize,
+) -> Vec<ResultPair> {
+    // Max-heap of the k best so far, keyed by (dist, r, s) for determinism.
+    let mut heap: std::collections::BinaryHeap<(amdj_geom::TotalF64, u64, u64)> =
+        std::collections::BinaryHeap::with_capacity(k + 1);
+    for &(ra, rid) in r {
+        for &(sa, sid) in s {
+            let d = ra.min_dist(&sa);
+            let key = (amdj_geom::TotalF64::new(d), rid, sid);
+            if heap.len() < k {
+                heap.push(key);
+            } else if let Some(top) = heap.peek() {
+                if key < *top {
+                    heap.pop();
+                    heap.push(key);
+                }
+            }
+        }
+    }
+    let mut out: Vec<ResultPair> = heap
+        .into_iter()
+        .map(|(d, rid, sid)| ResultPair { r: rid, s: sid, dist: d.get() })
+        .collect();
+    out.sort_by(|a, b| {
+        (a.dist, a.r, a.s)
+            .partial_cmp(&(b.dist, b.r, b.s))
+            .expect("finite distances")
+    });
+    out
+}
+
+/// Every pair within distance `d` (boundary inclusive), unordered.
+pub fn pairs_within<const D: usize>(
+    r: &[(Rect<D>, u64)],
+    s: &[(Rect<D>, u64)],
+    d: f64,
+) -> Vec<ResultPair> {
+    let mut out = Vec::new();
+    for &(ra, rid) in r {
+        for &(sa, sid) in s {
+            let dist = ra.min_dist(&sa);
+            if dist <= d {
+                out.push(ResultPair { r: rid, s: sid, dist });
+            }
+        }
+    }
+    out
+}
+
+/// The distance of the `k`-th closest pair (the true `Dmax` for a
+/// k-distance join). Returns `None` when fewer than `k` pairs exist.
+pub fn dmax_for_k<const D: usize>(
+    r: &[(Rect<D>, u64)],
+    s: &[(Rect<D>, u64)],
+    k: usize,
+) -> Option<f64> {
+    if k == 0 {
+        return Some(0.0);
+    }
+    let top = k_closest_pairs(r, s, k);
+    if top.len() < k {
+        None
+    } else {
+        Some(top[k - 1].dist)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amdj_geom::Point;
+
+    fn pts(coords: &[(f64, f64)]) -> Vec<(Rect<2>, u64)> {
+        coords
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| (Rect::from_point(Point::new([x, y])), i as u64))
+            .collect()
+    }
+
+    #[test]
+    fn finds_the_closest_pairs() {
+        let r = pts(&[(0.0, 0.0), (10.0, 0.0)]);
+        let s = pts(&[(1.0, 0.0), (10.5, 0.0)]);
+        let top = k_closest_pairs(&r, &s, 2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].dist, 0.5);
+        assert_eq!((top[0].r, top[0].s), (1, 1));
+        assert_eq!(top[1].dist, 1.0);
+    }
+
+    #[test]
+    fn k_beyond_pair_count() {
+        let r = pts(&[(0.0, 0.0)]);
+        let s = pts(&[(1.0, 0.0), (2.0, 0.0)]);
+        assert_eq!(k_closest_pairs(&r, &s, 10).len(), 2);
+        assert!(dmax_for_k(&r, &s, 10).is_none());
+        assert_eq!(dmax_for_k(&r, &s, 2), Some(2.0));
+    }
+
+    #[test]
+    fn within_is_boundary_inclusive() {
+        let r = pts(&[(0.0, 0.0)]);
+        let s = pts(&[(1.0, 0.0), (2.0, 0.0)]);
+        assert_eq!(pairs_within(&r, &s, 1.0).len(), 1);
+        assert_eq!(pairs_within(&r, &s, 2.0).len(), 2);
+        assert_eq!(pairs_within(&r, &s, 0.5).len(), 0);
+    }
+
+    #[test]
+    fn deterministic_tie_break() {
+        let r = pts(&[(0.0, 0.0), (0.0, 0.0)]);
+        let s = pts(&[(1.0, 0.0)]);
+        let top = k_closest_pairs(&r, &s, 1);
+        assert_eq!((top[0].r, top[0].s), (0, 0), "smallest ids win ties");
+    }
+
+    #[test]
+    fn dmax_zero_k() {
+        let r = pts(&[(0.0, 0.0)]);
+        assert_eq!(dmax_for_k(&r, &r.clone(), 0), Some(0.0));
+    }
+}

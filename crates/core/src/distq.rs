@@ -1,0 +1,132 @@
+use std::collections::BinaryHeap;
+
+use amdj_geom::TotalF64;
+
+/// The *distance queue* (§2.1): a max-heap holding the `k` smallest
+/// object-pair distances seen so far. Its maximum is `qDmax`, the proven
+/// cutoff — at least `k` candidate pairs lie within it, so anything
+/// farther can be pruned.
+///
+/// Following the paper's footnote 1, only ⟨object, object⟩ distances are
+/// inserted (option 2): non-object pairs would enter with their *maximum*
+/// distance and almost never lower the cutoff.
+#[derive(Debug)]
+pub struct DistanceQueue {
+    k: usize,
+    heap: BinaryHeap<TotalF64>,
+    insertions: u64,
+}
+
+impl DistanceQueue {
+    /// A queue bounded to the `k` smallest distances.
+    pub fn new(k: usize) -> Self {
+        DistanceQueue { k, heap: BinaryHeap::with_capacity(k.min(1 << 20) + 1), insertions: 0 }
+    }
+
+    /// Offers a candidate distance; kept only while it is among the `k`
+    /// smallest.
+    pub fn insert(&mut self, dist: f64) {
+        if self.k == 0 {
+            return;
+        }
+        self.insertions += 1;
+        if self.heap.len() < self.k {
+            self.heap.push(TotalF64::new(dist));
+        } else if dist < self.qdmax() {
+            self.heap.pop();
+            self.heap.push(TotalF64::new(dist));
+        }
+    }
+
+    /// The current cutoff `qDmax`: the k-th smallest distance seen, or
+    /// `+∞` until `k` distances have been collected.
+    pub fn qdmax(&self) -> f64 {
+        if self.heap.len() < self.k {
+            f64::INFINITY
+        } else {
+            self.heap.peek().map_or(f64::INFINITY, |d| d.get())
+        }
+    }
+
+    /// Distances currently held.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no distances are held.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total [`insert`](DistanceQueue::insert) calls (the paper's
+    /// distance-queue insertion count).
+    pub fn insertions(&self) -> u64 {
+        self.insertions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qdmax_infinite_until_full() {
+        let mut q = DistanceQueue::new(3);
+        q.insert(1.0);
+        q.insert(2.0);
+        assert_eq!(q.qdmax(), f64::INFINITY);
+        q.insert(3.0);
+        assert_eq!(q.qdmax(), 3.0);
+    }
+
+    #[test]
+    fn keeps_k_smallest() {
+        let mut q = DistanceQueue::new(3);
+        for d in [5.0, 1.0, 4.0, 2.0, 3.0, 10.0] {
+            q.insert(d);
+        }
+        assert_eq!(q.qdmax(), 3.0);
+        assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn ignores_larger_when_full() {
+        let mut q = DistanceQueue::new(2);
+        q.insert(1.0);
+        q.insert(2.0);
+        q.insert(100.0);
+        assert_eq!(q.qdmax(), 2.0);
+    }
+
+    #[test]
+    fn counts_insertions() {
+        let mut q = DistanceQueue::new(2);
+        for d in [3.0, 2.0, 1.0] {
+            q.insert(d);
+        }
+        assert_eq!(q.insertions(), 3);
+    }
+
+    #[test]
+    fn zero_k_is_inert() {
+        let mut q = DistanceQueue::new(0);
+        q.insert(1.0);
+        assert!(q.is_empty());
+        assert_eq!(q.insertions(), 0);
+        // With k = 0 every distance is "beyond the k-th": cutoff is the
+        // smallest possible, but we report +∞ only when not full — k = 0
+        // means the heap is always "full" of nothing.
+        assert_eq!(q.qdmax(), f64::INFINITY);
+    }
+
+    #[test]
+    fn duplicates_count_separately() {
+        let mut q = DistanceQueue::new(3);
+        for _ in 0..3 {
+            q.insert(7.0);
+        }
+        assert_eq!(q.qdmax(), 7.0);
+        q.insert(6.0);
+        assert_eq!(q.qdmax(), 7.0, "one 7.0 replaced, another remains");
+    }
+}

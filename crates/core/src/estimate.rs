@@ -1,0 +1,198 @@
+use amdj_rtree::RTree;
+
+use crate::Correction;
+
+/// Maximum-distance estimation (§4.3), generalized to dimension `D`.
+///
+/// Under a uniformity assumption, the number of S-objects within distance
+/// `d` of an R-object is `|S| · V_D(d) / area(R ∩ S)`, where `V_D` is the
+/// volume of the `D`-ball (`π·d²` in the paper's 2-D setting). Solving for
+/// `d` at `k` total pairs gives Equation (3):
+///
+/// ```text
+/// eDmax = (k · ρ)^(1/D),   ρ = area(R ∩ S) / (c_D · |R| · |S|)
+/// ```
+///
+/// with `c_D` the unit-ball volume. The same `ρ` parameterizes the
+/// main-queue segment boundaries of §4.4.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Estimator<const D: usize> {
+    rho: f64,
+}
+
+/// Volume of the unit `D`-ball.
+fn unit_ball_volume(d: usize) -> f64 {
+    // V_0 = 1, V_1 = 2, V_D = V_{D-2} · 2π/D.
+    match d {
+        0 => 1.0,
+        1 => 2.0,
+        _ => unit_ball_volume(d - 2) * std::f64::consts::TAU / d as f64,
+    }
+}
+
+impl<const D: usize> Estimator<D> {
+    /// Builds an estimator from the joint data-space volume and the two
+    /// cardinalities. `area` must be positive.
+    pub fn new(area: f64, n_r: u64, n_s: u64) -> Self {
+        assert!(area > 0.0 && n_r > 0 && n_s > 0, "estimator needs a non-degenerate space");
+        Estimator { rho: area / (unit_ball_volume(D) * n_r as f64 * n_s as f64) }
+    }
+
+    /// Derives the estimator from two built indexes, using the area of the
+    /// intersection of their bounding rectangles (falling back to the
+    /// union when they are disjoint or the intersection is degenerate).
+    pub fn from_trees(r: &mut RTree<D>, s: &mut RTree<D>) -> Option<Self> {
+        let rb = r.bounds()?;
+        let sb = s.bounds()?;
+        let inter = rb.intersection(&sb).map(|i| i.area()).unwrap_or(0.0);
+        let area = if inter > 0.0 { inter } else { rb.union(&sb).area() };
+        if area <= 0.0 {
+            // Degenerate data (e.g. all objects on one point): any positive
+            // placeholder keeps the math finite; estimates will be 0-ish,
+            // which the multi-stage algorithms tolerate.
+            return Some(Estimator { rho: f64::MIN_POSITIVE });
+        }
+        Some(Estimator::new(area, r.len(), s.len()))
+    }
+
+    /// The density parameter `ρ`.
+    pub fn rho(&self) -> f64 {
+        self.rho
+    }
+
+    /// Equation (3): the initial `eDmax` for a target cardinality `k`.
+    pub fn initial(&self, k: u64) -> f64 {
+        (k as f64 * self.rho).powf(1.0 / D as f64)
+    }
+
+    /// Equation (4) (arithmetic correction): given `k0` results obtained
+    /// with the `k0`-th distance `d_k0`, the expected `k`-th distance.
+    pub fn arithmetic(&self, k: u64, k0: u64, d_k0: f64) -> f64 {
+        debug_assert!(k >= k0);
+        (d_k0.powi(D as i32) + (k - k0) as f64 * self.rho).powf(1.0 / D as f64)
+    }
+
+    /// Equation (5) (geometric correction). Requires `d_k0 > 0` and
+    /// `k0 > 0`; falls back to the arithmetic correction otherwise.
+    pub fn geometric(&self, k: u64, k0: u64, d_k0: f64) -> f64 {
+        if d_k0 > 0.0 && k0 > 0 {
+            d_k0 * (k as f64 / k0 as f64).powf(1.0 / D as f64)
+        } else {
+            self.arithmetic(k, k0, d_k0)
+        }
+    }
+
+    /// The correction of §4.3.2 under the chosen policy.
+    pub fn corrected(&self, k: u64, k0: u64, d_k0: f64, policy: Correction) -> f64 {
+        if k0 == 0 {
+            return self.initial(k);
+        }
+        match policy {
+            Correction::Arithmetic => self.arithmetic(k, k0, d_k0),
+            Correction::Geometric => self.geometric(k, k0, d_k0),
+            Correction::MinOfBoth => {
+                self.arithmetic(k, k0, d_k0).min(self.geometric(k, k0, d_k0))
+            }
+            Correction::MaxOfBoth => {
+                self.arithmetic(k, k0, d_k0).max(self.geometric(k, k0, d_k0))
+            }
+        }
+    }
+
+    /// Main-queue segment boundaries (§4.4): with an in-memory heap
+    /// holding `n` elements, boundary `i` is the expected distance of the
+    /// `(i·n)`-th pair, `(i·n·ρ)^(1/D)`.
+    pub fn queue_boundaries(&self, heap_capacity: usize, count: usize) -> Vec<f64> {
+        let n = heap_capacity.max(1) as f64;
+        (1..=count).map(|i| (i as f64 * n * self.rho).powf(1.0 / D as f64)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_ball_volumes() {
+        assert_eq!(unit_ball_volume(1), 2.0);
+        assert!((unit_ball_volume(2) - std::f64::consts::PI).abs() < 1e-12);
+        assert!((unit_ball_volume(3) - 4.0 / 3.0 * std::f64::consts::PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn initial_matches_paper_formula_2d() {
+        // k = |R|·|S|·π·d²/A  ⇔  d = sqrt(k·ρ).
+        let e: Estimator<2> = Estimator::new(100.0, 1000, 2000);
+        let k = 50;
+        let d = e.initial(k);
+        let back = 1000.0 * 2000.0 * std::f64::consts::PI * d * d / 100.0;
+        assert!((back - k as f64).abs() < 1e-6, "round-trips Equation (3), got {back}");
+    }
+
+    #[test]
+    fn initial_grows_with_k() {
+        let e: Estimator<2> = Estimator::new(1.0, 100, 100);
+        assert!(e.initial(10) < e.initial(100));
+        assert_eq!(e.initial(0), 0.0);
+    }
+
+    #[test]
+    fn arithmetic_correction_consistency() {
+        let e: Estimator<2> = Estimator::new(1.0, 500, 500);
+        // Correcting from the model's own prediction is a fixed point.
+        let d10 = e.initial(10);
+        let d40 = e.initial(40);
+        assert!((e.arithmetic(40, 10, d10) - d40).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geometric_correction_scaling() {
+        let e: Estimator<2> = Estimator::new(1.0, 500, 500);
+        // Quadrupling k doubles the distance in 2-D.
+        assert!((e.geometric(40, 10, 0.5) - 1.0).abs() < 1e-12);
+        // Zero observed distance falls back to arithmetic.
+        assert_eq!(e.geometric(40, 10, 0.0), e.arithmetic(40, 10, 0.0));
+    }
+
+    #[test]
+    fn corrected_policies_order() {
+        let e: Estimator<2> = Estimator::new(1.0, 500, 500);
+        // Observed distance above the model: geometric extrapolates higher.
+        let (k, k0, d) = (100, 10, 0.9);
+        let lo = e.corrected(k, k0, d, Correction::MinOfBoth);
+        let hi = e.corrected(k, k0, d, Correction::MaxOfBoth);
+        assert!(lo <= hi);
+        assert!(
+            [e.arithmetic(k, k0, d), e.geometric(k, k0, d)].contains(&lo)
+        );
+    }
+
+    #[test]
+    fn corrected_with_no_results_is_initial() {
+        let e: Estimator<2> = Estimator::new(1.0, 500, 500);
+        assert_eq!(e.corrected(100, 0, 0.0, Correction::Geometric), e.initial(100));
+    }
+
+    #[test]
+    fn boundaries_ascend() {
+        let e: Estimator<2> = Estimator::new(1.0, 100, 100);
+        let b = e.queue_boundaries(1000, 8);
+        assert_eq!(b.len(), 8);
+        assert!(b.windows(2).all(|w| w[0] < w[1]));
+        assert!((b[3] - (4.0 * 1000.0 * e.rho()).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn three_dimensional_initial() {
+        let e: Estimator<3> = Estimator::new(8.0, 100, 100);
+        let d = e.initial(10);
+        let back = 100.0 * 100.0 * unit_ball_volume(3) * d.powi(3) / 8.0;
+        assert!((back - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-degenerate")]
+    fn rejects_zero_area() {
+        let _: Estimator<2> = Estimator::new(0.0, 10, 10);
+    }
+}

@@ -1,0 +1,81 @@
+//! Adaptive multi-stage spatial distance join processing.
+//!
+//! This crate implements the algorithms of *"Adaptive Multi-Stage Distance
+//! Join Processing"* (Shin, Moon, Lee — SIGMOD 2000) over the
+//! [`amdj_rtree::RTree`] index:
+//!
+//! | Algorithm | Entry point | Paper section |
+//! |---|---|---|
+//! | HS-KDJ (uni-directional baseline) | [`hs_kdj`] | §2.2 |
+//! | HS-IDJ (incremental baseline) | [`HsIdj`] | §2.2 |
+//! | B-KDJ (bidirectional + optimized plane sweep) | [`b_kdj`] | §3 |
+//! | AM-KDJ (aggressive pruning + compensation) | [`am_kdj`] | §4.1 |
+//! | AM-IDJ (adaptive multi-stage incremental) | [`AmIdj`] | §4.2 |
+//! | SJ-SORT (spatial join + external sort baseline) | [`sj_sort`] | §5 |
+//!
+//! Supporting machinery, each its own module:
+//!
+//! * [`Estimator`] — the `eDmax` estimation of §4.3 (Equation 3, with the
+//!   arithmetic/geometric corrections of Equations 4 and 5), generalized
+//!   to any dimension;
+//! * [`DistanceQueue`] — the k-bounded max-heap producing `qDmax`;
+//! * the main queue — a hybrid memory/disk [`amdj_storage::SpillQueue`]
+//!   with Equation-3-derived segment boundaries (§4.4);
+//! * [`JoinStats`] — the counters the paper's figures plot (distance
+//!   computations, queue insertions, node accesses, modeled response
+//!   time).
+//!
+//! # Quick start
+//!
+//! ```
+//! use amdj_core::{b_kdj, JoinConfig};
+//! use amdj_geom::{Point, Rect};
+//! use amdj_rtree::{RTree, RTreeParams};
+//!
+//! let hotels: Vec<(Rect<2>, u64)> = (0..100)
+//!     .map(|i| (Rect::from_point(Point::new([(i % 10) as f64, (i / 10) as f64])), i))
+//!     .collect();
+//! let restaurants: Vec<(Rect<2>, u64)> = (0..100)
+//!     .map(|i| (Rect::from_point(Point::new([(i % 10) as f64 + 0.3, (i / 10) as f64 + 0.4])), i))
+//!     .collect();
+//!
+//! let mut r = RTree::bulk_load(RTreeParams::paper_defaults(), hotels);
+//! let mut s = RTree::bulk_load(RTreeParams::paper_defaults(), restaurants);
+//! let out = b_kdj(&mut r, &mut s, 5, &JoinConfig::default());
+//! assert_eq!(out.results.len(), 5);
+//! assert!(out.results.windows(2).all(|w| w[0].dist <= w[1].dist));
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+mod amidj;
+mod amkdj;
+mod bkdj;
+pub mod bruteforce;
+mod config;
+mod distq;
+mod estimate;
+pub mod histogram;
+mod hs;
+mod knnjoin;
+mod mainq;
+mod pair;
+mod sjsort;
+mod stats;
+pub(crate) mod sweep;
+mod within;
+
+pub use amidj::AmIdj;
+pub use amkdj::am_kdj;
+pub use bkdj::b_kdj;
+pub use config::{AmIdjOptions, AmKdjOptions, Correction, EdmaxPolicy, JoinConfig};
+pub use distq::DistanceQueue;
+pub use estimate::Estimator;
+pub use histogram::HistogramEstimator;
+pub use hs::{hs_kdj, HsIdj};
+pub use knnjoin::{knn_join, KnnJoinOutput};
+pub use pair::{ItemRef, Pair};
+pub use sjsort::sj_sort;
+pub use stats::{JoinOutput, JoinStats, ResultPair};
+pub use within::within_join;

@@ -1,0 +1,186 @@
+use amdj_geom::Rect;
+use amdj_storage::codec::{put_f64, put_u32, put_u64, put_u8, Reader};
+use amdj_storage::SpillItem;
+
+/// One side of a main-queue pair: an R-tree node or a data object.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ItemRef {
+    /// A tree node, identified by its page, with its level (0 = leaf).
+    Node {
+        /// Page id on the owning tree's disk.
+        page: u64,
+        /// Node level.
+        level: u32,
+    },
+    /// A data object.
+    Object {
+        /// Object id (as stored in leaf entries).
+        oid: u64,
+    },
+}
+
+impl ItemRef {
+    /// Whether this side is an object.
+    #[inline]
+    pub fn is_object(&self) -> bool {
+        matches!(self, ItemRef::Object { .. })
+    }
+}
+
+/// An element of the main queue: a ⟨left, right⟩ pair with its minimum
+/// distance as priority. `a` always refers to the outer (R) tree, `b` to
+/// the inner (S) tree. MBRs are carried so ⟨node, object⟩ pairs can be
+/// expanded and the sweeping axis chosen without re-fetching parents.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Pair<const D: usize> {
+    /// `dist(a, b)` — minimum distance between the MBRs.
+    pub dist: f64,
+    /// Left side (from R).
+    pub a: ItemRef,
+    /// Right side (from S).
+    pub b: ItemRef,
+    /// MBR of the left side.
+    pub a_mbr: Rect<D>,
+    /// MBR of the right side.
+    pub b_mbr: Rect<D>,
+}
+
+impl<const D: usize> Pair<D> {
+    /// Serialized size in bytes (fixed for a given `D`).
+    pub const ENCODED_LEN: usize = 8 + 2 * 13 + 2 * 16 * D;
+
+    /// Whether both sides are objects — i.e. this pair is a query result.
+    #[inline]
+    pub fn is_result(&self) -> bool {
+        self.a.is_object() && self.b.is_object()
+    }
+}
+
+fn encode_ref(out: &mut Vec<u8>, r: &ItemRef) {
+    match r {
+        ItemRef::Node { page, level } => {
+            put_u8(out, 0);
+            put_u64(out, *page);
+            put_u32(out, *level);
+        }
+        ItemRef::Object { oid } => {
+            put_u8(out, 1);
+            put_u64(out, *oid);
+            put_u32(out, 0);
+        }
+    }
+}
+
+fn decode_ref(r: &mut Reader<'_>) -> ItemRef {
+    let tag = r.u8();
+    let id = r.u64();
+    let level = r.u32();
+    match tag {
+        0 => ItemRef::Node { page: id, level },
+        1 => ItemRef::Object { oid: id },
+        t => panic!("corrupt pair record: ref tag {t}"),
+    }
+}
+
+fn encode_rect<const D: usize>(out: &mut Vec<u8>, rect: &Rect<D>) {
+    for d in 0..D {
+        put_f64(out, rect.lo()[d]);
+    }
+    for d in 0..D {
+        put_f64(out, rect.hi()[d]);
+    }
+}
+
+fn decode_rect<const D: usize>(r: &mut Reader<'_>) -> Rect<D> {
+    let mut lo = [0.0; D];
+    let mut hi = [0.0; D];
+    for slot in lo.iter_mut() {
+        *slot = r.f64();
+    }
+    for slot in hi.iter_mut() {
+        *slot = r.f64();
+    }
+    Rect::new(lo, hi)
+}
+
+impl<const D: usize> SpillItem for Pair<D> {
+    fn key(&self) -> f64 {
+        self.dist
+    }
+
+    fn encoded_len(&self) -> usize {
+        Self::ENCODED_LEN
+    }
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_f64(out, self.dist);
+        encode_ref(out, &self.a);
+        encode_ref(out, &self.b);
+        encode_rect(out, &self.a_mbr);
+        encode_rect(out, &self.b_mbr);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Self {
+        let dist = r.f64();
+        let a = decode_ref(r);
+        let b = decode_ref(r);
+        let a_mbr = decode_rect(r);
+        let b_mbr = decode_rect(r);
+        Pair { dist, a, b, a_mbr, b_mbr }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Pair<2> {
+        Pair {
+            dist: 3.25,
+            a: ItemRef::Node { page: 17, level: 2 },
+            b: ItemRef::Object { oid: u64::MAX },
+            a_mbr: Rect::new([0.0, 1.0], [2.0, 3.0]),
+            b_mbr: Rect::new([5.0, 5.0], [5.0, 5.0]),
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let p = sample();
+        let mut buf = Vec::new();
+        p.encode(&mut buf);
+        assert_eq!(buf.len(), p.encoded_len());
+        let mut r = Reader::new(&buf);
+        assert_eq!(Pair::<2>::decode(&mut r), p);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn key_is_distance() {
+        assert_eq!(sample().key(), 3.25);
+    }
+
+    #[test]
+    fn result_detection() {
+        let mut p = sample();
+        assert!(!p.is_result());
+        p.a = ItemRef::Object { oid: 1 };
+        assert!(p.is_result());
+        assert!(p.a.is_object());
+    }
+
+    #[test]
+    fn object_object_roundtrip() {
+        let p = Pair::<2> {
+            dist: 0.0,
+            a: ItemRef::Object { oid: 1 },
+            b: ItemRef::Object { oid: 2 },
+            a_mbr: Rect::new([0.0, 0.0], [0.0, 0.0]),
+            b_mbr: Rect::new([0.0, 0.0], [0.0, 0.0]),
+        };
+        let mut buf = Vec::new();
+        p.encode(&mut buf);
+        let mut r = Reader::new(&buf);
+        assert_eq!(Pair::<2>::decode(&mut r), p);
+    }
+}

@@ -1,0 +1,150 @@
+use amdj_rtree::{AccessStats, RTree};
+
+/// One k-distance-join result: an object from R, an object from S, and the
+/// distance between them.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ResultPair {
+    /// Object id from the outer (R) data set.
+    pub r: u64,
+    /// Object id from the inner (S) data set.
+    pub s: u64,
+    /// Distance between the objects' MBRs.
+    pub dist: f64,
+}
+
+/// The counters the paper's evaluation plots, accumulated over one join.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct JoinStats {
+    /// Real (Euclidean) distance computations (Figures 10a/12a/14a).
+    pub real_dist: u64,
+    /// Axis-distance computations made by the plane sweep (Figure 11).
+    pub axis_dist: u64,
+    /// Main-queue insertions (Figures 10b/12b/14b). For SJ-SORT this
+    /// counts sorter insertions, its analogous unit of queue work.
+    pub mainq_insertions: u64,
+    /// Distance-queue insertions.
+    pub distq_insertions: u64,
+    /// Compensation-queue insertions (AM algorithms only).
+    pub compq_insertions: u64,
+    /// Logical R-tree node accesses, both trees (Table 2's parenthesized
+    /// "no buffer" figure).
+    pub node_requests: u64,
+    /// R-tree nodes actually fetched from disk (Table 2's main figure).
+    pub node_disk_reads: u64,
+    /// Pages read by queue/sort spill traffic.
+    pub queue_page_reads: u64,
+    /// Pages written by queue/sort spill traffic.
+    pub queue_page_writes: u64,
+    /// Results produced.
+    pub results: u64,
+    /// Number of processing stages executed (1 for single-stage
+    /// algorithms; ≥ 1 for AM-KDJ/AM-IDJ).
+    pub stages: u32,
+    /// Measured compute wall time, seconds.
+    pub cpu_seconds: f64,
+    /// Modeled I/O time, seconds (tree disks + queue disks, per the cost
+    /// model).
+    pub io_seconds: f64,
+}
+
+impl JoinStats {
+    /// The paper's "response time": compute time plus modeled I/O time.
+    pub fn response_time(&self) -> f64 {
+        self.cpu_seconds + self.io_seconds
+    }
+
+    /// A period-faithful response time: modeled I/O plus a *modeled* CPU
+    /// cost calibrated to the paper's 1999 testbed (a ~300 MHz
+    /// UltraSPARC-II), where each distance computation and queue operation
+    /// cost microseconds rather than nanoseconds. On modern hardware the
+    /// measured CPU component all but vanishes, compressing the response
+    /// time ratios the paper reports; this model reconstructs the regime
+    /// in which CPU work and I/O both mattered. The constants are
+    /// order-of-magnitude calibrations, not measurements.
+    pub fn response_time_1999(&self) -> f64 {
+        const AXIS_DIST: f64 = 0.2e-6;
+        const REAL_DIST: f64 = 0.8e-6;
+        const QUEUE_INSERT: f64 = 4.0e-6;
+        const DISTQ_INSERT: f64 = 2.0e-6;
+        const NODE_VISIT: f64 = 10.0e-6;
+        self.io_seconds
+            + self.axis_dist as f64 * AXIS_DIST
+            + self.real_dist as f64 * REAL_DIST
+            + self.mainq_insertions as f64 * QUEUE_INSERT
+            + self.distq_insertions as f64 * DISTQ_INSERT
+            + self.node_requests as f64 * NODE_VISIT
+    }
+
+    /// All distance computations (axis + real), the quantity of Figure 11.
+    pub fn total_dist_computations(&self) -> u64 {
+        self.real_dist + self.axis_dist
+    }
+}
+
+/// Results plus statistics of one join execution.
+#[derive(Clone, Debug)]
+pub struct JoinOutput {
+    /// The k nearest pairs, ascending by distance.
+    pub results: Vec<ResultPair>,
+    /// Work counters.
+    pub stats: JoinStats,
+}
+
+/// Captures tree counters at join start so a join can report deltas even
+/// when the caller reuses trees across runs.
+pub(crate) struct Baseline {
+    r_acc: AccessStats,
+    s_acc: AccessStats,
+    r_io: f64,
+    s_io: f64,
+    started: std::time::Instant,
+}
+
+impl Baseline {
+    pub(crate) fn capture<const D: usize>(r: &RTree<D>, s: &RTree<D>) -> Self {
+        Baseline {
+            r_acc: r.access_stats(),
+            s_acc: s.access_stats(),
+            r_io: r.disk_stats().io_seconds,
+            s_io: s.disk_stats().io_seconds,
+            started: std::time::Instant::now(),
+        }
+    }
+
+    /// Folds tree deltas and elapsed time into `stats`. `queue_io_seconds`
+    /// is the total modeled I/O of any queues/sorters the join owned.
+    pub(crate) fn finish<const D: usize>(
+        self,
+        r: &RTree<D>,
+        s: &RTree<D>,
+        stats: &mut JoinStats,
+        queue_io_seconds: f64,
+    ) {
+        let ra = r.access_stats();
+        let sa = s.access_stats();
+        stats.node_requests += (ra.requests - self.r_acc.requests) + (sa.requests - self.s_acc.requests);
+        stats.node_disk_reads +=
+            (ra.disk_reads - self.r_acc.disk_reads) + (sa.disk_reads - self.s_acc.disk_reads);
+        let tree_io =
+            (r.disk_stats().io_seconds - self.r_io) + (s.disk_stats().io_seconds - self.s_io);
+        stats.io_seconds += tree_io + queue_io_seconds;
+        stats.cpu_seconds += self.started.elapsed().as_secs_f64();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn response_time_sums_components() {
+        let s = JoinStats { cpu_seconds: 1.5, io_seconds: 2.5, ..JoinStats::default() };
+        assert_eq!(s.response_time(), 4.0);
+    }
+
+    #[test]
+    fn total_dist_sums_axis_and_real() {
+        let s = JoinStats { real_dist: 10, axis_dist: 32, ..JoinStats::default() };
+        assert_eq!(s.total_dist_computations(), 42);
+    }
+}

@@ -1,0 +1,608 @@
+//! The bidirectional node-expansion engine (§3): plane sweep with
+//! per-pair sweeping-axis and sweeping-direction selection, plus the
+//! compensation bookkeeping that §4 builds on.
+//!
+//! A pair ⟨l, r⟩ is expanded by sorting both children lists along the
+//! chosen axis, then repeatedly taking the least-advanced entry (the
+//! *anchor*) and scanning the other list while the axis distance stays
+//! within the cutoff ([`plane_sweep`]). Axis distances are monotone along
+//! the scan, so the first partner beyond the cutoff ends the scan — and
+//! its index, recorded in [`SweepMarks`], is exactly where a later
+//! *compensation* pass ([`compensation_sweep`]) must resume when the
+//! cutoff was only an estimate (`eDmax`).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use amdj_geom::sweep_index::{choose_sweep_axis, choose_sweep_direction, SweepDirection};
+use amdj_geom::Rect;
+use amdj_rtree::{Node, RTree};
+use amdj_storage::PageId;
+
+use crate::{ItemRef, JoinConfig, JoinStats, Pair};
+
+/// A child entry prepared for sweeping: its MBR, its child id, and the
+/// (direction-folded) sort key along the sweep axis.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct SweepEntry<const D: usize> {
+    pub mbr: Rect<D>,
+    pub child: u64,
+    key: f64,
+}
+
+/// One side's children, sorted along the sweep axis.
+#[derive(Clone, Debug)]
+pub(crate) struct SweepList<const D: usize> {
+    pub entries: Vec<SweepEntry<D>>,
+    /// Whether the children are objects (parent was a leaf, or the side
+    /// was itself an object).
+    pub objects: bool,
+    /// Level of the children when they are nodes.
+    pub child_level: u32,
+}
+
+/// Axis and direction chosen for one expansion.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct SweepSetup {
+    pub axis: usize,
+    pub dir: SweepDirection,
+}
+
+/// Chooses axis (§3.2, by minimum sweeping index) and direction (§3.3)
+/// for expanding the pair with MBRs `a`, `b` under pruning cutoff `w`.
+/// The [`JoinConfig`] flags turn either optimization off (Figure 11).
+pub(crate) fn choose_setup<const D: usize>(
+    a: &Rect<D>,
+    b: &Rect<D>,
+    w: f64,
+    cfg: &JoinConfig,
+) -> SweepSetup {
+    let axis = if cfg.optimize_axis { choose_sweep_axis(a, b, w) } else { 0 };
+    let dir = if cfg.optimize_direction {
+        choose_sweep_direction(a, b, axis)
+    } else {
+        SweepDirection::Forward
+    };
+    SweepSetup { axis, dir }
+}
+
+fn sort_key<const D: usize>(mbr: &Rect<D>, setup: SweepSetup) -> f64 {
+    match setup.dir {
+        SweepDirection::Forward => mbr.lo()[setup.axis],
+        SweepDirection::Backward => -mbr.hi()[setup.axis],
+    }
+}
+
+impl<const D: usize> SweepList<D> {
+    /// Prepares a node's children for sweeping.
+    pub(crate) fn from_node(node: &Node<D>, setup: SweepSetup) -> Self {
+        let mut entries: Vec<SweepEntry<D>> = node
+            .entries
+            .iter()
+            .map(|e| SweepEntry { mbr: e.mbr, child: e.child, key: sort_key(&e.mbr, setup) })
+            .collect();
+        entries.sort_by(|a, b| a.key.partial_cmp(&b.key).expect("finite keys"));
+        SweepList { entries, objects: node.is_leaf(), child_level: node.level.saturating_sub(1) }
+    }
+
+    /// Wraps a single object as a one-entry list (for ⟨node, object⟩
+    /// pairs).
+    pub(crate) fn singleton_object(oid: u64, mbr: Rect<D>, setup: SweepSetup) -> Self {
+        SweepList {
+            entries: vec![SweepEntry { mbr, child: oid, key: sort_key(&mbr, setup) }],
+            objects: true,
+            child_level: 0,
+        }
+    }
+
+    fn item_ref(&self, e: &SweepEntry<D>) -> ItemRef {
+        if self.objects {
+            ItemRef::Object { oid: e.child }
+        } else {
+            ItemRef::Node { page: e.child, level: self.child_level }
+        }
+    }
+}
+
+/// Where swept candidate pairs go. One object implements both the cutoffs
+/// and the destination, so a cutoff that depends on state the destination
+/// mutates (`qDmax` shrinking as object pairs are enqueued) stays
+/// borrow-consistent.
+pub(crate) trait SweepSink<const D: usize> {
+    /// Pairs with axis distance beyond this are not examined (scan stops).
+    fn axis_cutoff(&self) -> f64;
+    /// Pairs with real distance beyond this are dropped.
+    fn real_cutoff(&self) -> f64;
+    /// Receives a candidate pair (`dist ≤ real_cutoff()` at call time).
+    fn emit(&mut self, pair: Pair<D>);
+}
+
+/// What compensation bookkeeping a sweep records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum MarkMode {
+    /// No bookkeeping (exact cutoffs throughout — B-KDJ, SJ-SORT).
+    None,
+    /// Per-anchor scan-stop positions only: the *real*-distance cutoff is
+    /// exact (`qDmax`), so mid-scan real-distance rejections are final
+    /// (AM-KDJ's aggressive stage).
+    Suffix,
+    /// Scan stops *and* explicit mid-scan rejections: the real-distance
+    /// cutoff is itself an estimate (`eDmax`), so a pair inside the axis
+    /// window but beyond the estimated real cutoff must stay recoverable
+    /// (AM-IDJ).
+    Full,
+}
+
+/// A pair that passed the axis check but failed an *estimated* real
+/// cutoff; re-offered on every later stage until it passes.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Reject {
+    left: u32,
+    right: u32,
+    dist: f64,
+}
+
+/// Compensation bookkeeping (§4.1, lines 19/21 of Algorithm 2, extended —
+/// see [`MarkMode`]).
+///
+/// `left_stops[i]` is the absolute index into the *right* list where the
+/// scan for left anchor `i` stopped (everything from there on is
+/// unexamined); symmetrically for `right_stops`. Anchors that never ran
+/// (the tail of one list once the other was exhausted) have no entry —
+/// their pairings were all covered by the other side's anchors.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct SweepMarks {
+    pub left_stops: Vec<u32>,
+    pub right_stops: Vec<u32>,
+    rejects: Vec<Reject>,
+    track_rejects: bool,
+}
+
+impl SweepMarks {
+    /// True when no unexamined or rejected pair remains.
+    pub(crate) fn exhausted(&self, left_len: usize, right_len: usize) -> bool {
+        self.rejects.is_empty()
+            && self.left_stops.iter().all(|&s| s as usize >= right_len)
+            && self.right_stops.iter().all(|&s| s as usize >= left_len)
+    }
+}
+
+/// Expands a pair bidirectionally (Algorithm 1's `PlaneSweep`; with a
+/// recording [`MarkMode`], Algorithm 2's `AggressivePlaneSweep`). Returns
+/// the compensation marks when recording.
+pub(crate) fn plane_sweep<const D: usize>(
+    left: &SweepList<D>,
+    right: &SweepList<D>,
+    axis: usize,
+    sink: &mut impl SweepSink<D>,
+    stats: &mut JoinStats,
+    mode: MarkMode,
+) -> Option<SweepMarks> {
+    let mut marks = match mode {
+        MarkMode::None => None,
+        MarkMode::Suffix => Some(SweepMarks::default()),
+        MarkMode::Full => Some(SweepMarks { track_rejects: true, ..SweepMarks::default() }),
+    };
+    let (mut li, mut ri) = (0usize, 0usize);
+    while li < left.entries.len() && ri < right.entries.len() {
+        if left.entries[li].key <= right.entries[ri].key {
+            let anchor_idx = li;
+            let anchor = left.entries[li];
+            li += 1;
+            let stop = scan(&anchor, anchor_idx, left, right, ri, true, axis, sink, stats, marks.as_mut());
+            if let Some(m) = &mut marks {
+                m.left_stops.push(stop as u32);
+            }
+        } else {
+            let anchor_idx = ri;
+            let anchor = right.entries[ri];
+            ri += 1;
+            let stop = scan(&anchor, anchor_idx, left, right, li, false, axis, sink, stats, marks.as_mut());
+            if let Some(m) = &mut marks {
+                m.right_stops.push(stop as u32);
+            }
+        }
+    }
+    marks
+}
+
+/// Scans partners for one anchor starting at `from` in the other list;
+/// returns the absolute index where the scan stopped (first unexamined).
+#[allow(clippy::too_many_arguments)]
+fn scan<const D: usize>(
+    anchor: &SweepEntry<D>,
+    anchor_idx: usize,
+    left: &SweepList<D>,
+    right: &SweepList<D>,
+    from: usize,
+    anchor_is_left: bool,
+    axis: usize,
+    sink: &mut impl SweepSink<D>,
+    stats: &mut JoinStats,
+    mut marks: Option<&mut SweepMarks>,
+) -> usize {
+    let partners = if anchor_is_left { &right.entries } else { &left.entries };
+    for (i, m) in partners.iter().enumerate().skip(from) {
+        stats.axis_dist += 1;
+        let ad = anchor.mbr.axis_dist(&m.mbr, axis);
+        if ad > sink.axis_cutoff() {
+            return i;
+        }
+        stats.real_dist += 1;
+        let real = anchor.mbr.min_dist(&m.mbr);
+        if real <= sink.real_cutoff() {
+            let (le, re) = if anchor_is_left { (anchor, m) } else { (m, anchor) };
+            sink.emit(Pair {
+                dist: real,
+                a: left.item_ref(le),
+                b: right.item_ref(re),
+                a_mbr: le.mbr,
+                b_mbr: re.mbr,
+            });
+        } else if let Some(m_) = marks.as_deref_mut() {
+            if m_.track_rejects {
+                let (li_, ri_) = if anchor_is_left { (anchor_idx, i) } else { (i, anchor_idx) };
+                m_.rejects.push(Reject { left: li_ as u32, right: ri_ as u32, dist: real });
+            }
+        }
+    }
+    partners.len()
+}
+
+/// Re-examines only the pairs a previous (aggressive) sweep skipped
+/// (Algorithm 3's `CompensatePlaneSweep`), updating the marks in place so
+/// AM-IDJ can compensate the same pair again in a later stage.
+pub(crate) fn compensation_sweep<const D: usize>(
+    left: &SweepList<D>,
+    right: &SweepList<D>,
+    axis: usize,
+    marks: &mut SweepMarks,
+    sink: &mut impl SweepSink<D>,
+    stats: &mut JoinStats,
+) {
+    // Re-offer earlier real-cutoff rejections first: ones inside the new
+    // cutoff are emitted (their distance is already known — no new
+    // distance computation), the rest stay parked.
+    if !marks.rejects.is_empty() {
+        let cutoff = sink.real_cutoff();
+        let mut kept = Vec::new();
+        for rej in marks.rejects.drain(..) {
+            if rej.dist <= cutoff {
+                let le = &left.entries[rej.left as usize];
+                let re = &right.entries[rej.right as usize];
+                sink.emit(Pair {
+                    dist: rej.dist,
+                    a: left.item_ref(le),
+                    b: right.item_ref(re),
+                    a_mbr: le.mbr,
+                    b_mbr: re.mbr,
+                });
+            } else {
+                kept.push(rej);
+            }
+        }
+        marks.rejects = kept;
+    }
+    // Then extend every anchor's scan past its recorded stop. New rejects
+    // (still-estimated cutoff) accumulate into the same marks.
+    let mut scratch = SweepMarks { track_rejects: marks.track_rejects, ..SweepMarks::default() };
+    for (i, stop) in marks.left_stops.iter_mut().enumerate() {
+        if (*stop as usize) < right.entries.len() {
+            let anchor = left.entries[i];
+            *stop = scan(&anchor, i, left, right, *stop as usize, true, axis, sink, stats, Some(&mut scratch)) as u32;
+        }
+    }
+    for (i, stop) in marks.right_stops.iter_mut().enumerate() {
+        if (*stop as usize) < left.entries.len() {
+            let anchor = right.entries[i];
+            *stop = scan(&anchor, i, left, right, *stop as usize, false, axis, sink, stats, Some(&mut scratch)) as u32;
+        }
+    }
+    marks.rejects.append(&mut scratch.rejects);
+}
+
+/// Fetches and prepares both sides of a pair for expansion, choosing the
+/// sweep setup from the pair's MBRs and the current cutoff.
+pub(crate) fn expand_lists<const D: usize>(
+    r: &mut RTree<D>,
+    s: &mut RTree<D>,
+    pair: &Pair<D>,
+    cutoff: f64,
+    cfg: &JoinConfig,
+) -> (SweepList<D>, SweepList<D>, usize) {
+    let setup = choose_setup(&pair.a_mbr, &pair.b_mbr, cutoff, cfg);
+    let left = match pair.a {
+        ItemRef::Node { page, .. } => SweepList::from_node(&r.fetch(PageId(page)), setup),
+        ItemRef::Object { oid } => SweepList::singleton_object(oid, pair.a_mbr, setup),
+    };
+    let right = match pair.b {
+        ItemRef::Node { page, .. } => SweepList::from_node(&s.fetch(PageId(page)), setup),
+        ItemRef::Object { oid } => SweepList::singleton_object(oid, pair.b_mbr, setup),
+    };
+    (left, right, setup.axis)
+}
+
+/// A parked expansion awaiting compensation: the sorted lists, the marks,
+/// and a key lower-bounding every unexamined pair's distance.
+#[derive(Debug)]
+pub(crate) struct CompEntry<const D: usize> {
+    pub key: f64,
+    pub axis: usize,
+    pub left: SweepList<D>,
+    pub right: SweepList<D>,
+    pub marks: SweepMarks,
+}
+
+struct CompOrd<const D: usize> {
+    seq: u64,
+    entry: CompEntry<D>,
+}
+
+impl<const D: usize> PartialEq for CompOrd<D> {
+    fn eq(&self, other: &Self) -> bool {
+        self.entry.key == other.entry.key && self.seq == other.seq
+    }
+}
+impl<const D: usize> Eq for CompOrd<D> {}
+impl<const D: usize> PartialOrd for CompOrd<D> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<const D: usize> Ord for CompOrd<D> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap by key, FIFO on ties.
+        other
+            .entry
+            .key
+            .partial_cmp(&self.entry.key)
+            .expect("finite comp keys")
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The compensation queue (`Q_C`). Holds only non-object node pairs, so —
+/// as §4.4 argues — it is orders of magnitude smaller than the main queue
+/// and kept in memory.
+pub(crate) struct CompQueue<const D: usize> {
+    heap: BinaryHeap<CompOrd<D>>,
+    seq: u64,
+}
+
+impl<const D: usize> CompQueue<D> {
+    pub(crate) fn new() -> Self {
+        CompQueue { heap: BinaryHeap::new(), seq: 0 }
+    }
+
+    pub(crate) fn push(&mut self, entry: CompEntry<D>, stats: &mut JoinStats) {
+        stats.compq_insertions += 1;
+        self.seq += 1;
+        self.heap.push(CompOrd { seq: self.seq, entry });
+    }
+
+    pub(crate) fn pop(&mut self) -> Option<CompEntry<D>> {
+        self.heap.pop().map(|c| c.entry)
+    }
+
+    pub(crate) fn peek_key(&self) -> Option<f64> {
+        self.heap.peek().map(|c| c.entry.key)
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amdj_geom::Point;
+
+    /// Collects every emitted pair; cutoffs are fixed.
+    struct Collect<const D: usize> {
+        axis: f64,
+        real: f64,
+        pairs: Vec<Pair<D>>,
+    }
+
+    impl<const D: usize> SweepSink<D> for Collect<D> {
+        fn axis_cutoff(&self) -> f64 {
+            self.axis
+        }
+        fn real_cutoff(&self) -> f64 {
+            self.real
+        }
+        fn emit(&mut self, pair: Pair<D>) {
+            self.pairs.push(pair);
+        }
+    }
+
+    fn leaf(points: &[(f64, f64)], base_id: u64) -> Node<2> {
+        Node {
+            level: 0,
+            entries: points
+                .iter()
+                .enumerate()
+                .map(|(i, &(x, y))| amdj_rtree::Entry {
+                    mbr: Rect::from_point(Point::new([x, y])),
+                    child: base_id + i as u64,
+                })
+                .collect(),
+        }
+    }
+
+    fn setup_fwd() -> SweepSetup {
+        SweepSetup { axis: 0, dir: SweepDirection::Forward }
+    }
+
+    fn brute_pairs(a: &[(f64, f64)], b: &[(f64, f64)], cutoff: f64) -> usize {
+        let mut n = 0;
+        for &(ax, ay) in a {
+            for &(bx, by) in b {
+                if ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt() <= cutoff {
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+
+    #[test]
+    fn sweep_finds_exactly_the_close_pairs() {
+        let a_pts = [(0.0, 0.0), (1.0, 0.5), (4.0, 0.0), (9.0, 1.0)];
+        let b_pts = [(0.5, 0.0), (3.5, 0.2), (8.0, 0.0)];
+        let la = SweepList::from_node(&leaf(&a_pts, 0), setup_fwd());
+        let lb = SweepList::from_node(&leaf(&b_pts, 100), setup_fwd());
+        for cutoff in [0.4, 0.6, 1.2, 3.0, 100.0] {
+            let mut sink = Collect { axis: cutoff, real: cutoff, pairs: vec![] };
+            let mut stats = JoinStats::default();
+            plane_sweep(&la, &lb, 0, &mut sink, &mut stats, MarkMode::None);
+            assert_eq!(
+                sink.pairs.len(),
+                brute_pairs(&a_pts, &b_pts, cutoff),
+                "cutoff = {cutoff}"
+            );
+            // Orientation: a is always from the left list.
+            for p in &sink.pairs {
+                assert!(matches!(p.a, ItemRef::Object { oid } if oid < 100));
+                assert!(matches!(p.b, ItemRef::Object { oid } if oid >= 100));
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_prunes_axis_distance_early() {
+        // Points spread along x; a small cutoff must keep the number of
+        // real distance computations near-linear.
+        let a_pts: Vec<(f64, f64)> = (0..50).map(|i| (i as f64, 0.0)).collect();
+        let b_pts: Vec<(f64, f64)> = (0..50).map(|i| (i as f64 + 0.5, 0.0)).collect();
+        let la = SweepList::from_node(&leaf(&a_pts, 0), setup_fwd());
+        let lb = SweepList::from_node(&leaf(&b_pts, 100), setup_fwd());
+        let mut sink = Collect { axis: 1.0, real: 1.0, pairs: vec![] };
+        let mut stats = JoinStats::default();
+        plane_sweep(&la, &lb, 0, &mut sink, &mut stats, MarkMode::None);
+        assert!(
+            stats.real_dist < 200,
+            "Cartesian would be 2500, sweep did {}",
+            stats.real_dist
+        );
+        assert_eq!(sink.pairs.len(), brute_pairs(&a_pts, &b_pts, 1.0));
+    }
+
+    #[test]
+    fn backward_direction_equivalent_results() {
+        let a_pts = [(0.0, 0.0), (2.0, 0.0), (5.0, 0.0)];
+        let b_pts = [(1.0, 0.0), (4.5, 0.0)];
+        let fwd = SweepSetup { axis: 0, dir: SweepDirection::Forward };
+        let bwd = SweepSetup { axis: 0, dir: SweepDirection::Backward };
+        for setup in [fwd, bwd] {
+            let la = SweepList::from_node(&leaf(&a_pts, 0), setup);
+            let lb = SweepList::from_node(&leaf(&b_pts, 100), setup);
+            let mut sink = Collect { axis: 1.1, real: 1.1, pairs: vec![] };
+            let mut stats = JoinStats::default();
+            plane_sweep(&la, &lb, 0, &mut sink, &mut stats, MarkMode::None);
+            let mut dists: Vec<f64> = sink.pairs.iter().map(|p| p.dist).collect();
+            dists.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            assert_eq!(dists, vec![0.5, 1.0, 1.0], "dir = {:?}", setup.dir);
+        }
+    }
+
+    #[test]
+    fn marks_plus_compensation_cover_everything() {
+        // Aggressive sweep with a small cutoff, then compensation with an
+        // infinite cutoff: together they must emit the full within-cutoff
+        // set of the infinite run.
+        let a_pts: Vec<(f64, f64)> = (0..20).map(|i| (i as f64 * 0.7, (i % 5) as f64)).collect();
+        let b_pts: Vec<(f64, f64)> = (0..15).map(|i| (i as f64 * 0.9 + 0.2, (i % 4) as f64)).collect();
+        let la = SweepList::from_node(&leaf(&a_pts, 0), setup_fwd());
+        let lb = SweepList::from_node(&leaf(&b_pts, 100), setup_fwd());
+
+        let mut aggressive = Collect { axis: 1.0, real: f64::INFINITY, pairs: vec![] };
+        let mut stats = JoinStats::default();
+        let mut marks = plane_sweep(&la, &lb, 0, &mut aggressive, &mut stats, MarkMode::Full).unwrap();
+
+        let mut comp = Collect { axis: f64::INFINITY, real: f64::INFINITY, pairs: vec![] };
+        compensation_sweep(&la, &lb, 0, &mut marks, &mut comp, &mut stats);
+        assert!(marks.exhausted(la.entries.len(), lb.entries.len()));
+
+        let total = aggressive.pairs.len() + comp.pairs.len();
+        assert_eq!(total, 20 * 15, "every pair examined exactly once");
+        // No duplicates between the two passes.
+        let mut seen = std::collections::HashSet::new();
+        for p in aggressive.pairs.iter().chain(comp.pairs.iter()) {
+            let (ItemRef::Object { oid: a }, ItemRef::Object { oid: b }) = (p.a, p.b) else {
+                panic!("objects expected")
+            };
+            assert!(seen.insert((a, b)), "duplicate pair {a},{b}");
+        }
+    }
+
+    #[test]
+    fn repeated_compensation_converges() {
+        // Grow the cutoff stage by stage; each compensation examines only
+        // the new shell.
+        let a_pts: Vec<(f64, f64)> = (0..30).map(|i| (i as f64, 0.0)).collect();
+        let b_pts: Vec<(f64, f64)> = (0..30).map(|i| (i as f64 + 0.3, 0.0)).collect();
+        let la = SweepList::from_node(&leaf(&a_pts, 0), setup_fwd());
+        let lb = SweepList::from_node(&leaf(&b_pts, 100), setup_fwd());
+        let mut stats = JoinStats::default();
+        let mut sink = Collect { axis: 1.0, real: f64::INFINITY, pairs: vec![] };
+        let mut marks = plane_sweep(&la, &lb, 0, &mut sink, &mut stats, MarkMode::Full).unwrap();
+        let mut total = sink.pairs.len();
+        for cutoff in [3.0, 9.0, f64::INFINITY] {
+            let mut sink = Collect { axis: cutoff, real: f64::INFINITY, pairs: vec![] };
+            compensation_sweep(&la, &lb, 0, &mut marks, &mut sink, &mut stats);
+            total += sink.pairs.len();
+        }
+        assert_eq!(total, 30 * 30);
+        assert!(marks.exhausted(30, 30));
+    }
+
+    #[test]
+    fn singleton_object_list() {
+        let setup = setup_fwd();
+        let obj = SweepList::<2>::singleton_object(7, Rect::from_point(Point::new([1.0, 1.0])), setup);
+        let la = SweepList::from_node(&leaf(&[(0.0, 1.0), (3.0, 1.0)], 0), setup);
+        let mut sink = Collect { axis: 1.5, real: 1.5, pairs: vec![] };
+        let mut stats = JoinStats::default();
+        plane_sweep(&la, &obj, 0, &mut sink, &mut stats, MarkMode::None);
+        assert_eq!(sink.pairs.len(), 1);
+        assert_eq!(sink.pairs[0].dist, 1.0);
+        assert_eq!(sink.pairs[0].b, ItemRef::Object { oid: 7 });
+    }
+
+    #[test]
+    fn comp_queue_orders_by_key() {
+        let mut stats = JoinStats::default();
+        let mut q: CompQueue<2> = CompQueue::new();
+        for key in [3.0, 1.0, 2.0] {
+            q.push(
+                CompEntry {
+                    key,
+                    axis: 0,
+                    left: SweepList { entries: vec![], objects: false, child_level: 0 },
+                    right: SweepList { entries: vec![], objects: false, child_level: 0 },
+                    marks: SweepMarks::default(),
+                },
+                &mut stats,
+            );
+        }
+        assert_eq!(q.peek_key(), Some(1.0));
+        assert_eq!(q.pop().unwrap().key, 1.0);
+        assert_eq!(q.pop().unwrap().key, 2.0);
+        assert_eq!(q.pop().unwrap().key, 3.0);
+        assert_eq!(stats.compq_insertions, 3);
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn non_leaf_lists_produce_node_refs() {
+        let node: Node<2> = Node {
+            level: 2,
+            entries: vec![amdj_rtree::Entry { mbr: Rect::new([0.0, 0.0], [1.0, 1.0]), child: 55 }],
+        };
+        let l = SweepList::from_node(&node, setup_fwd());
+        assert!(!l.objects);
+        assert_eq!(l.item_ref(&l.entries[0]), ItemRef::Node { page: 55, level: 1 });
+    }
+}

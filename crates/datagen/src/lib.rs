@@ -1,0 +1,226 @@
+//! Deterministic synthetic spatial workload generators.
+//!
+//! The paper evaluates on TIGER/Line 97 data for Arizona — 633,461 street
+//! segments joined with 189,642 hydrographic objects. That data set is not
+//! redistributable here, so this crate synthesizes workloads with the
+//! properties the join algorithms are sensitive to:
+//!
+//! * [`tiger::streets`] — many small, elongated segment MBRs clustered
+//!   into "towns" (with Zipf-distributed town sizes) plus long highway
+//!   polylines, mimicking a road network;
+//! * [`tiger::hydro`] — clustered blobs (lakes/ponds) plus river
+//!   polylines, spatially correlated with — but not identical to — the
+//!   street distribution;
+//! * [`uniform_points`] / [`uniform_rects`] — the uniformity baseline the
+//!   paper's Equation (3) assumes;
+//! * [`clustered_points`] — a Gaussian-mixture point cloud for skew
+//!   experiments.
+//!
+//! All generators are deterministic in their seed.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod tiger;
+
+use amdj_geom::{Point, Rect};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A generated data set: `(object MBR, object id)` pairs, ready for
+/// `amdj_rtree::RTree::bulk_load`.
+pub type Dataset = Vec<(Rect<2>, u64)>;
+
+/// The unit square universe used by all default workloads.
+pub fn unit_universe() -> Rect<2> {
+    Rect::new([0.0, 0.0], [1.0, 1.0])
+}
+
+/// `n` points uniformly distributed over `bounds`.
+pub fn uniform_points(n: usize, bounds: Rect<2>, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let p = random_point(&mut rng, &bounds);
+            (Rect::from_point(p), i as u64)
+        })
+        .collect()
+}
+
+/// `n` axis-aligned rectangles with corners uniform in `bounds` and side
+/// lengths uniform in `[0, max_side]` (clipped to the universe).
+pub fn uniform_rects(n: usize, bounds: Rect<2>, max_side: f64, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let p = random_point(&mut rng, &bounds);
+            let w = rng.gen::<f64>() * max_side;
+            let h = rng.gen::<f64>() * max_side;
+            let hi = [
+                (p[0] + w).min(bounds.hi()[0]),
+                (p[1] + h).min(bounds.hi()[1]),
+            ];
+            (Rect::new(p.coords(), hi), i as u64)
+        })
+        .collect()
+}
+
+/// `n` points drawn from a mixture of `clusters` isotropic Gaussians whose
+/// centers are uniform in `bounds`; `spread` is the standard deviation as a
+/// fraction of the universe diagonal. Points are clamped to `bounds`.
+pub fn clustered_points(n: usize, clusters: usize, spread: f64, bounds: Rect<2>, seed: u64) -> Dataset {
+    assert!(clusters > 0, "need at least one cluster");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centers: Vec<Point<2>> = (0..clusters).map(|_| random_point(&mut rng, &bounds)).collect();
+    let diag = {
+        let dx = bounds.side(0);
+        let dy = bounds.side(1);
+        (dx * dx + dy * dy).sqrt()
+    };
+    let sd = spread * diag;
+    (0..n)
+        .map(|i| {
+            let c = centers[rng.gen_range(0..clusters)];
+            let p = clamp_point(gaussian_around(&mut rng, c, sd), &bounds);
+            (Rect::from_point(p), i as u64)
+        })
+        .collect()
+}
+
+/// Zipf weights `1/rank^theta`, normalized.
+pub fn zipf_weights(n: usize, theta: f64) -> Vec<f64> {
+    let mut w: Vec<f64> = (1..=n).map(|r| 1.0 / (r as f64).powf(theta)).collect();
+    let sum: f64 = w.iter().sum();
+    for v in &mut w {
+        *v /= sum;
+    }
+    w
+}
+
+/// Samples an index from normalized `weights`.
+pub fn sample_weighted(rng: &mut StdRng, weights: &[f64]) -> usize {
+    let x = rng.gen::<f64>();
+    let mut acc = 0.0;
+    for (i, w) in weights.iter().enumerate() {
+        acc += w;
+        if x < acc {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+pub(crate) fn random_point(rng: &mut StdRng, bounds: &Rect<2>) -> Point<2> {
+    Point::new([
+        bounds.lo()[0] + rng.gen::<f64>() * bounds.side(0),
+        bounds.lo()[1] + rng.gen::<f64>() * bounds.side(1),
+    ])
+}
+
+/// Box–Muller standard normal.
+pub(crate) fn std_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(1e-12);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+pub(crate) fn gaussian_around(rng: &mut StdRng, c: Point<2>, sd: f64) -> Point<2> {
+    Point::new([c[0] + std_normal(rng) * sd, c[1] + std_normal(rng) * sd])
+}
+
+pub(crate) fn clamp_point(p: Point<2>, bounds: &Rect<2>) -> Point<2> {
+    Point::new([
+        p[0].clamp(bounds.lo()[0], bounds.hi()[0]),
+        p[1].clamp(bounds.lo()[1], bounds.hi()[1]),
+    ])
+}
+
+/// The tight bounding rectangle of a data set (`None` when empty).
+pub fn dataset_bounds(items: &Dataset) -> Option<Rect<2>> {
+    let mut it = items.iter();
+    let first = it.next()?.0;
+    Some(it.fold(first, |acc, (r, _)| acc.union(r)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_points_deterministic_and_bounded() {
+        let a = uniform_points(500, unit_universe(), 42);
+        let b = uniform_points(500, unit_universe(), 42);
+        assert_eq!(a.len(), 500);
+        assert_eq!(a, b, "same seed => same data");
+        let c = uniform_points(500, unit_universe(), 43);
+        assert_ne!(a, c, "different seed => different data");
+        let bounds = dataset_bounds(&a).unwrap();
+        assert!(unit_universe().contains_rect(&bounds));
+    }
+
+    #[test]
+    fn uniform_rects_clipped() {
+        let d = uniform_rects(300, unit_universe(), 0.2, 7);
+        for (r, _) in &d {
+            assert!(unit_universe().contains_rect(r));
+        }
+    }
+
+    #[test]
+    fn clustered_points_are_clustered() {
+        let d = clustered_points(2000, 5, 0.01, unit_universe(), 9);
+        assert_eq!(d.len(), 2000);
+        // Crude skew check: the occupied area of a fine grid is small.
+        let mut cells = std::collections::HashSet::new();
+        for (r, _) in &d {
+            let c = r.center();
+            cells.insert(((c[0] * 50.0) as i64, (c[1] * 50.0) as i64));
+        }
+        assert!(
+            cells.len() < 1000,
+            "clustered data must occupy few cells, got {}",
+            cells.len()
+        );
+        let u = uniform_points(2000, unit_universe(), 9);
+        let mut ucells = std::collections::HashSet::new();
+        for (r, _) in &u {
+            let c = r.center();
+            ucells.insert(((c[0] * 50.0) as i64, (c[1] * 50.0) as i64));
+        }
+        assert!(ucells.len() > cells.len());
+    }
+
+    #[test]
+    fn zipf_weights_normalized_and_skewed() {
+        let w = zipf_weights(100, 1.0);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(w[0] > w[50]);
+        assert!(w[0] > 10.0 * w[99]);
+    }
+
+    #[test]
+    fn sample_weighted_respects_mass() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = vec![0.9, 0.1];
+        let hits = (0..1000).filter(|_| sample_weighted(&mut rng, &w) == 0).count();
+        assert!(hits > 800, "90% weight must dominate, got {hits}");
+    }
+
+    #[test]
+    fn ids_are_sequential() {
+        let d = uniform_points(10, unit_universe(), 0);
+        let ids: Vec<u64> = d.iter().map(|&(_, id)| id).collect();
+        assert_eq!(ids, (0..10).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn std_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(123);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| std_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var = {var}");
+    }
+}

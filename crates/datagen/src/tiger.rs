@@ -1,0 +1,245 @@
+//! TIGER/Line-like synthetic geography.
+//!
+//! The Arizona extract the paper joins — street segments against
+//! hydrographic objects — has three properties the join algorithms care
+//! about: (1) strong spatial skew (most objects concentrate in a few urban
+//! areas), (2) small, elongated object MBRs, and (3) *correlated but not
+//! identical* distributions of the two sets (rivers and streets both
+//! follow population, imperfectly). This module synthesizes both sets from
+//! one shared "geography" so those correlations hold:
+//!
+//! * towns: Zipf-sized Gaussian clusters of short street segments,
+//! * highways: long polylines of segments crossing the universe,
+//! * hydro: lake blobs biased near towns plus river polylines.
+
+use amdj_geom::{Point, Rect};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{
+    clamp_point, gaussian_around, random_point, sample_weighted, std_normal, unit_universe,
+    zipf_weights, Dataset,
+};
+
+/// Shared geography from which both data sets are drawn.
+#[derive(Clone, Debug)]
+pub struct Geography {
+    towns: Vec<Point<2>>,
+    town_weights: Vec<f64>,
+    town_spread: f64,
+    bounds: Rect<2>,
+    seed: u64,
+}
+
+impl Geography {
+    /// Builds a geography over the unit square: `towns` Zipf-weighted town
+    /// centers (θ = 1.0) with the given spread (fraction of the diagonal).
+    pub fn new(towns: usize, town_spread: f64, seed: u64) -> Self {
+        assert!(towns > 0);
+        let bounds = unit_universe();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let centers = (0..towns).map(|_| random_point(&mut rng, &bounds)).collect();
+        Geography {
+            towns: centers,
+            town_weights: zipf_weights(towns, 1.0),
+            town_spread,
+            bounds,
+            seed,
+        }
+    }
+
+    /// The paper-like default geography: 40 towns, spread 2 % of diagonal.
+    pub fn arizona_like(seed: u64) -> Self {
+        Geography::new(40, 0.02, seed)
+    }
+
+    /// The universe rectangle.
+    pub fn bounds(&self) -> Rect<2> {
+        self.bounds
+    }
+
+    fn sd(&self) -> f64 {
+        self.town_spread * std::f64::consts::SQRT_2 // unit-square diagonal = √2
+    }
+
+    /// `n` street segments: 80 % short town-street segments around
+    /// Zipf-weighted towns, 20 % highway segments along long polylines.
+    /// Ids are `0..n`.
+    pub fn streets(&self, n: usize) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x5752_4545_5453_0001);
+        let mut out = Vec::with_capacity(n);
+        let n_highway = n / 5;
+        let n_town = n - n_highway;
+        let seg_len = 0.0015;
+        for i in 0..n_town {
+            let town = self.towns[sample_weighted(&mut rng, &self.town_weights)];
+            let a = clamp_point(gaussian_around(&mut rng, town, self.sd()), &self.bounds);
+            // Streets are axis-biased: mostly horizontal or vertical.
+            let along = rng.gen::<f64>() * seg_len + 0.0002;
+            let across = rng.gen::<f64>() * seg_len * 0.05;
+            let (dx, dy) = if rng.gen::<bool>() { (along, across) } else { (across, along) };
+            let b = clamp_point(Point::new([a[0] + dx, a[1] + dy]), &self.bounds);
+            out.push((Rect::from_corners(a, b), i as u64));
+        }
+        // Highways: polylines from one random town to another.
+        let mut i = n_town;
+        while i < n {
+            let from = self.towns[sample_weighted(&mut rng, &self.town_weights)];
+            let to = self.towns[sample_weighted(&mut rng, &self.town_weights)];
+            let steps = ((from.dist(&to) / 0.003).ceil() as usize).clamp(2, 400);
+            let mut prev = from;
+            for s in 1..=steps {
+                if i >= n {
+                    break;
+                }
+                let t = s as f64 / steps as f64;
+                let jitter = 0.0004;
+                let next = clamp_point(
+                    Point::new([
+                        from[0] + (to[0] - from[0]) * t + std_normal(&mut rng) * jitter,
+                        from[1] + (to[1] - from[1]) * t + std_normal(&mut rng) * jitter,
+                    ]),
+                    &self.bounds,
+                );
+                out.push((Rect::from_corners(prev, next), i as u64));
+                prev = next;
+                i += 1;
+            }
+        }
+        out.truncate(n);
+        out
+    }
+
+    /// `n` hydrographic objects: 60 % lake/pond blobs biased toward towns
+    /// (population follows water), 40 % river segments along meandering
+    /// polylines. Ids are `0..n`.
+    pub fn hydro(&self, n: usize) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x4859_4452_4f00_0002);
+        let mut out = Vec::with_capacity(n);
+        let n_river = (n * 2) / 5;
+        let n_lake = n - n_river;
+        for i in 0..n_lake {
+            // Half the lakes near towns (with a wider spread than streets),
+            // half anywhere — rural water exists.
+            let center = if rng.gen::<f64>() < 0.4 {
+                let town = self.towns[sample_weighted(&mut rng, &self.town_weights)];
+                clamp_point(gaussian_around(&mut rng, town, self.sd() * 4.0), &self.bounds)
+            } else {
+                random_point(&mut rng, &self.bounds)
+            };
+            let w = rng.gen::<f64>() * 0.001 + 0.0001;
+            let h = rng.gen::<f64>() * 0.001 + 0.0001;
+            let hi = clamp_point(Point::new([center[0] + w, center[1] + h]), &self.bounds);
+            out.push((Rect::from_corners(center, hi), i as u64));
+        }
+        // Rivers: meandering random walks.
+        let mut i = n_lake;
+        while i < n {
+            let mut prev = random_point(&mut rng, &self.bounds);
+            let mut heading = rng.gen::<f64>() * std::f64::consts::TAU;
+            let reach = rng.gen_range(20..150);
+            for _ in 0..reach {
+                if i >= n {
+                    break;
+                }
+                heading += std_normal(&mut rng) * 0.3;
+                let step = 0.002;
+                let next = clamp_point(
+                    Point::new([prev[0] + heading.cos() * step, prev[1] + heading.sin() * step]),
+                    &self.bounds,
+                );
+                out.push((Rect::from_corners(prev, next), i as u64));
+                prev = next;
+                i += 1;
+            }
+        }
+        out.truncate(n);
+        out
+    }
+}
+
+/// The default experiment workload at `scale` (1.0 reproduces the paper's
+/// cardinalities: 633,461 streets and 189,642 hydro objects). Returns
+/// `(streets, hydro)`.
+pub fn arizona_workload(scale: f64, seed: u64) -> (Dataset, Dataset) {
+    let geo = Geography::arizona_like(seed);
+    let n_streets = ((633_461.0 * scale).round() as usize).max(1);
+    let n_hydro = ((189_642.0 * scale).round() as usize).max(1);
+    (geo.streets(n_streets), geo.hydro(n_hydro))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset_bounds;
+
+    #[test]
+    fn streets_properties() {
+        let geo = Geography::arizona_like(11);
+        let s = geo.streets(5000);
+        assert_eq!(s.len(), 5000);
+        assert!(unit_universe().contains_rect(&dataset_bounds(&s).unwrap()));
+        // Objects are small relative to the universe.
+        let max_area = s.iter().map(|(r, _)| r.area()).fold(0.0, f64::max);
+        assert!(max_area < 0.01, "street MBRs must be small, got {max_area}");
+        // Deterministic.
+        assert_eq!(geo.streets(5000), s);
+    }
+
+    #[test]
+    fn hydro_properties() {
+        let geo = Geography::arizona_like(11);
+        let h = geo.hydro(2000);
+        assert_eq!(h.len(), 2000);
+        assert!(unit_universe().contains_rect(&dataset_bounds(&h).unwrap()));
+        assert_eq!(geo.hydro(2000), h);
+    }
+
+    #[test]
+    fn streets_are_skewed() {
+        let geo = Geography::arizona_like(3);
+        let s = geo.streets(10_000);
+        // Count occupancy of a 20x20 grid: the top cell must hold far more
+        // than the uniform share.
+        let mut counts = std::collections::HashMap::new();
+        for (r, _) in &s {
+            let c = r.center();
+            *counts.entry(((c[0] * 20.0) as i64, (c[1] * 20.0) as i64)).or_insert(0u32) += 1;
+        }
+        let max = counts.values().copied().max().unwrap();
+        assert!(max > 500, "skew expected: top cell {max} of 10k, uniform share would be 25");
+    }
+
+    #[test]
+    fn streets_and_hydro_are_correlated() {
+        // Hydro mass near the top towns exceeds what a uniform sample puts
+        // in the same region (town disks can be clipped by the universe
+        // edge, so compare against an empirical uniform baseline rather
+        // than an area formula).
+        let geo = Geography::arizona_like(5);
+        let h = geo.hydro(20_000);
+        let u = crate::uniform_points(20_000, unit_universe(), 999);
+        let near = |d: &Dataset| {
+            d.iter()
+                .filter(|(r, _)| geo.towns.iter().take(5).any(|t| r.center().dist(t) < 0.1))
+                .count()
+        };
+        let (hydro_near, uniform_near) = (near(&h), near(&u));
+        // Rivers are town-agnostic and lakes only partially town-biased,
+        // so the correlation is modest — like real geography. Require a
+        // clear (>10%) excess over uniform.
+        assert!(
+            hydro_near as f64 > 1.1 * uniform_near as f64,
+            "hydro near towns = {hydro_near}, uniform baseline = {uniform_near}"
+        );
+    }
+
+    #[test]
+    fn workload_scaling() {
+        let (s, h) = arizona_workload(0.001, 1);
+        assert_eq!(s.len(), 633);
+        assert_eq!(h.len(), 190);
+        let ratio = s.len() as f64 / h.len() as f64;
+        assert!((ratio - 3.34).abs() < 0.1);
+    }
+}

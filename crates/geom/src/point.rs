@@ -1,0 +1,115 @@
+use std::ops::Index;
+
+/// A `D`-dimensional point.
+///
+/// Coordinates are finite `f64`s. The paper's experiments use `D = 2`
+/// (TIGER/Line map data); all algorithms in this workspace are generic over
+/// `D`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Point<const D: usize> {
+    coords: [f64; D],
+}
+
+impl<const D: usize> Point<D> {
+    /// Creates a point from its coordinates. Panics on non-finite values.
+    #[inline]
+    pub fn new(coords: [f64; D]) -> Self {
+        assert!(
+            coords.iter().all(|c| c.is_finite()),
+            "point coordinates must be finite: {coords:?}"
+        );
+        Point { coords }
+    }
+
+    /// Returns the coordinate array.
+    #[inline]
+    pub fn coords(&self) -> [f64; D] {
+        self.coords
+    }
+
+    /// Returns the coordinate along dimension `dim`.
+    #[inline]
+    pub fn coord(&self, dim: usize) -> f64 {
+        self.coords[dim]
+    }
+
+    /// Squared Euclidean distance to another point.
+    #[inline]
+    pub fn dist_sq(&self, other: &Point<D>) -> f64 {
+        let mut acc = 0.0;
+        for d in 0..D {
+            let delta = self.coords[d] - other.coords[d];
+            acc += delta * delta;
+        }
+        acc
+    }
+
+    /// Euclidean distance to another point.
+    #[inline]
+    pub fn dist(&self, other: &Point<D>) -> f64 {
+        self.dist_sq(other).sqrt()
+    }
+
+    /// The origin (all coordinates zero).
+    #[inline]
+    pub fn origin() -> Self {
+        Point { coords: [0.0; D] }
+    }
+}
+
+impl<const D: usize> Index<usize> for Point<D> {
+    type Output = f64;
+
+    #[inline]
+    fn index(&self, dim: usize) -> &f64 {
+        &self.coords[dim]
+    }
+}
+
+impl<const D: usize> From<[f64; D]> for Point<D> {
+    #[inline]
+    fn from(coords: [f64; D]) -> Self {
+        Point::new(coords)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distances() {
+        let a = Point::new([0.0, 0.0]);
+        let b = Point::new([3.0, 4.0]);
+        assert_eq!(a.dist_sq(&b), 25.0);
+        assert_eq!(a.dist(&b), 5.0);
+        assert_eq!(a.dist(&a), 0.0);
+    }
+
+    #[test]
+    fn indexing_and_accessors() {
+        let p = Point::new([1.5, -2.5, 7.0]);
+        assert_eq!(p[0], 1.5);
+        assert_eq!(p.coord(2), 7.0);
+        assert_eq!(p.coords(), [1.5, -2.5, 7.0]);
+    }
+
+    #[test]
+    fn origin_is_zero() {
+        let o: Point<2> = Point::origin();
+        assert_eq!(o.coords(), [0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan_coordinates() {
+        let _ = Point::new([f64::NAN, 0.0]);
+    }
+
+    #[test]
+    fn one_dimensional() {
+        let a: Point<1> = Point::new([2.0]);
+        let b: Point<1> = Point::new([-1.0]);
+        assert_eq!(a.dist(&b), 3.0);
+    }
+}

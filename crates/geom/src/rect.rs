@@ -1,0 +1,371 @@
+use crate::Point;
+
+/// A `D`-dimensional axis-aligned rectangle — a minimum bounding rectangle
+/// (MBR) in R-tree terms.
+///
+/// `Rect` carries all the metrics the distance-join algorithms need:
+///
+/// * [`min_dist`](Rect::min_dist) — the minimum Euclidean distance between
+///   two MBRs (0 when they intersect); the priority used by every queue in
+///   the paper,
+/// * [`max_dist`](Rect::max_dist) — the maximum Euclidean distance,
+/// * [`axis_dist`](Rect::axis_dist) — the separation along one axis, the
+///   cheap lower bound used by the plane sweep (`axis_distance(n, m)` in
+///   Algorithms 1–3),
+/// * the usual R*-tree construction metrics (`area`, `margin`,
+///   `enlargement`, `overlap_area`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Rect<const D: usize> {
+    lo: [f64; D],
+    hi: [f64; D],
+}
+
+impl<const D: usize> Rect<D> {
+    /// Creates a rectangle from its lower and upper corners.
+    ///
+    /// Panics if any `lo[d] > hi[d]` or any coordinate is non-finite.
+    #[inline]
+    pub fn new(lo: [f64; D], hi: [f64; D]) -> Self {
+        for d in 0..D {
+            assert!(
+                lo[d].is_finite() && hi[d].is_finite() && lo[d] <= hi[d],
+                "invalid rect bounds on dim {d}: lo={:?} hi={:?}",
+                lo,
+                hi
+            );
+        }
+        Rect { lo, hi }
+    }
+
+    /// A degenerate rectangle covering a single point.
+    #[inline]
+    pub fn from_point(p: Point<D>) -> Self {
+        Rect { lo: p.coords(), hi: p.coords() }
+    }
+
+    /// The smallest rectangle containing both corner points (in any order).
+    #[inline]
+    pub fn from_corners(a: Point<D>, b: Point<D>) -> Self {
+        let mut lo = [0.0; D];
+        let mut hi = [0.0; D];
+        for d in 0..D {
+            lo[d] = a[d].min(b[d]);
+            hi[d] = a[d].max(b[d]);
+        }
+        Rect { lo, hi }
+    }
+
+    /// Lower corner.
+    #[inline]
+    pub fn lo(&self) -> [f64; D] {
+        self.lo
+    }
+
+    /// Upper corner.
+    #[inline]
+    pub fn hi(&self) -> [f64; D] {
+        self.hi
+    }
+
+    /// Side length along dimension `dim` (the paper's `|r|_x`).
+    #[inline]
+    pub fn side(&self, dim: usize) -> f64 {
+        self.hi[dim] - self.lo[dim]
+    }
+
+    /// Center point.
+    #[inline]
+    pub fn center(&self) -> Point<D> {
+        let mut c = [0.0; D];
+        for (d, slot) in c.iter_mut().enumerate() {
+            *slot = 0.5 * (self.lo[d] + self.hi[d]);
+        }
+        Point::new(c)
+    }
+
+    /// Volume (area for `D = 2`).
+    #[inline]
+    pub fn area(&self) -> f64 {
+        let mut a = 1.0;
+        for d in 0..D {
+            a *= self.side(d);
+        }
+        a
+    }
+
+    /// Sum of side lengths (the R*-tree "margin" metric, up to a constant).
+    #[inline]
+    pub fn margin(&self) -> f64 {
+        let mut m = 0.0;
+        for d in 0..D {
+            m += self.side(d);
+        }
+        m
+    }
+
+    /// The smallest rectangle containing `self` and `other`.
+    #[inline]
+    pub fn union(&self, other: &Rect<D>) -> Rect<D> {
+        let mut lo = self.lo;
+        let mut hi = self.hi;
+        for d in 0..D {
+            lo[d] = lo[d].min(other.lo[d]);
+            hi[d] = hi[d].max(other.hi[d]);
+        }
+        Rect { lo, hi }
+    }
+
+    /// Grows `self` in place to contain `other`.
+    #[inline]
+    pub fn union_assign(&mut self, other: &Rect<D>) {
+        for d in 0..D {
+            self.lo[d] = self.lo[d].min(other.lo[d]);
+            self.hi[d] = self.hi[d].max(other.hi[d]);
+        }
+    }
+
+    /// Area increase needed for `self` to contain `other`.
+    #[inline]
+    pub fn enlargement(&self, other: &Rect<D>) -> f64 {
+        self.union(other).area() - self.area()
+    }
+
+    /// Whether the two rectangles intersect (closed intervals: touching
+    /// counts).
+    #[inline]
+    pub fn intersects(&self, other: &Rect<D>) -> bool {
+        for d in 0..D {
+            if self.lo[d] > other.hi[d] || other.lo[d] > self.hi[d] {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Area of the intersection, 0 when disjoint.
+    #[inline]
+    pub fn overlap_area(&self, other: &Rect<D>) -> f64 {
+        let mut a = 1.0;
+        for d in 0..D {
+            let lo = self.lo[d].max(other.lo[d]);
+            let hi = self.hi[d].min(other.hi[d]);
+            if lo >= hi {
+                return 0.0;
+            }
+            a *= hi - lo;
+        }
+        a
+    }
+
+    /// The intersection rectangle, if non-empty (touching rectangles yield a
+    /// degenerate rect).
+    #[inline]
+    pub fn intersection(&self, other: &Rect<D>) -> Option<Rect<D>> {
+        let mut lo = [0.0; D];
+        let mut hi = [0.0; D];
+        for d in 0..D {
+            lo[d] = self.lo[d].max(other.lo[d]);
+            hi[d] = self.hi[d].min(other.hi[d]);
+            if lo[d] > hi[d] {
+                return None;
+            }
+        }
+        Some(Rect { lo, hi })
+    }
+
+    /// Whether `self` fully contains `other`.
+    #[inline]
+    pub fn contains_rect(&self, other: &Rect<D>) -> bool {
+        for d in 0..D {
+            if other.lo[d] < self.lo[d] || other.hi[d] > self.hi[d] {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Whether `self` contains the point `p`.
+    #[inline]
+    pub fn contains_point(&self, p: &Point<D>) -> bool {
+        for d in 0..D {
+            if p[d] < self.lo[d] || p[d] > self.hi[d] {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Separation along dimension `dim`: 0 when the projections overlap,
+    /// otherwise the gap between them. This is the `axis_distance` of the
+    /// paper's plane-sweep pruning and always lower-bounds
+    /// [`min_dist`](Rect::min_dist).
+    #[inline]
+    pub fn axis_dist(&self, other: &Rect<D>, dim: usize) -> f64 {
+        let gap = (self.lo[dim] - other.hi[dim]).max(other.lo[dim] - self.hi[dim]);
+        gap.max(0.0)
+    }
+
+    /// Squared minimum Euclidean distance between the MBRs.
+    #[inline]
+    pub fn min_dist_sq(&self, other: &Rect<D>) -> f64 {
+        let mut acc = 0.0;
+        for d in 0..D {
+            let gap = self.axis_dist(other, d);
+            acc += gap * gap;
+        }
+        acc
+    }
+
+    /// Minimum Euclidean distance between the MBRs (`dist(r, s)` in the
+    /// paper; 0 when they intersect).
+    #[inline]
+    pub fn min_dist(&self, other: &Rect<D>) -> f64 {
+        self.min_dist_sq(other).sqrt()
+    }
+
+    /// Squared maximum Euclidean distance between the MBRs.
+    #[inline]
+    pub fn max_dist_sq(&self, other: &Rect<D>) -> f64 {
+        let mut acc = 0.0;
+        for d in 0..D {
+            let a = (self.hi[d] - other.lo[d]).abs();
+            let b = (other.hi[d] - self.lo[d]).abs();
+            let m = a.max(b);
+            acc += m * m;
+        }
+        acc
+    }
+
+    /// Maximum Euclidean distance between the MBRs (used when non-object
+    /// pairs enter a distance queue — see the paper's footnote 1).
+    #[inline]
+    pub fn max_dist(&self, other: &Rect<D>) -> f64 {
+        self.max_dist_sq(other).sqrt()
+    }
+
+    /// Distance between centers; a convenient tie-break heuristic.
+    #[inline]
+    pub fn center_dist(&self, other: &Rect<D>) -> f64 {
+        self.center().dist(&other.center())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(lo: [f64; 2], hi: [f64; 2]) -> Rect<2> {
+        Rect::new(lo, hi)
+    }
+
+    #[test]
+    fn basic_metrics() {
+        let a = r([0.0, 0.0], [2.0, 4.0]);
+        assert_eq!(a.side(0), 2.0);
+        assert_eq!(a.side(1), 4.0);
+        assert_eq!(a.area(), 8.0);
+        assert_eq!(a.margin(), 6.0);
+        assert_eq!(a.center().coords(), [1.0, 2.0]);
+    }
+
+    #[test]
+    fn union_and_enlargement() {
+        let a = r([0.0, 0.0], [1.0, 1.0]);
+        let b = r([2.0, 2.0], [3.0, 3.0]);
+        let u = a.union(&b);
+        assert_eq!(u, r([0.0, 0.0], [3.0, 3.0]));
+        assert_eq!(a.enlargement(&b), 9.0 - 1.0);
+        let mut c = a;
+        c.union_assign(&b);
+        assert_eq!(c, u);
+    }
+
+    #[test]
+    fn intersection_cases() {
+        let a = r([0.0, 0.0], [2.0, 2.0]);
+        let b = r([1.0, 1.0], [3.0, 3.0]);
+        let c = r([5.0, 5.0], [6.0, 6.0]);
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+        assert_eq!(a.overlap_area(&b), 1.0);
+        assert_eq!(a.overlap_area(&c), 0.0);
+        assert_eq!(a.intersection(&b), Some(r([1.0, 1.0], [2.0, 2.0])));
+        assert!(a.intersection(&c).is_none());
+        // Touching rectangles intersect with zero overlap area.
+        let t = r([2.0, 0.0], [4.0, 2.0]);
+        assert!(a.intersects(&t));
+        assert_eq!(a.overlap_area(&t), 0.0);
+    }
+
+    #[test]
+    fn containment() {
+        let a = r([0.0, 0.0], [4.0, 4.0]);
+        let b = r([1.0, 1.0], [2.0, 2.0]);
+        assert!(a.contains_rect(&b));
+        assert!(!b.contains_rect(&a));
+        assert!(a.contains_point(&Point::new([0.0, 4.0])));
+        assert!(!a.contains_point(&Point::new([-0.1, 2.0])));
+    }
+
+    #[test]
+    fn axis_and_min_dist() {
+        let a = r([0.0, 0.0], [1.0, 1.0]);
+        let b = r([4.0, 5.0], [6.0, 7.0]);
+        assert_eq!(a.axis_dist(&b, 0), 3.0);
+        assert_eq!(a.axis_dist(&b, 1), 4.0);
+        assert_eq!(a.min_dist(&b), 5.0);
+        assert_eq!(b.min_dist(&a), 5.0);
+        // Overlapping projections give zero axis distance.
+        let c = r([0.5, 10.0], [2.0, 11.0]);
+        assert_eq!(a.axis_dist(&c, 0), 0.0);
+        assert_eq!(a.min_dist(&c), 9.0);
+    }
+
+    #[test]
+    fn min_dist_zero_when_intersecting() {
+        let a = r([0.0, 0.0], [2.0, 2.0]);
+        let b = r([1.0, 1.0], [3.0, 3.0]);
+        assert_eq!(a.min_dist(&b), 0.0);
+    }
+
+    #[test]
+    fn max_dist() {
+        let a = r([0.0, 0.0], [1.0, 1.0]);
+        let b = r([2.0, 0.0], [3.0, 1.0]);
+        // Farthest corners: (0,0)-(3,1) or (0,1)-(3,0): sqrt(9+1).
+        assert!((a.max_dist(&b) - 10.0_f64.sqrt()).abs() < 1e-12);
+        // max_dist of a rect with itself is its diagonal.
+        assert!((a.max_dist(&a) - 2.0_f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn axis_dist_lower_bounds_min_dist() {
+        let a = r([0.0, 0.0], [1.0, 2.0]);
+        let b = r([5.0, 7.0], [6.0, 9.0]);
+        for d in 0..2 {
+            assert!(a.axis_dist(&b, d) <= a.min_dist(&b));
+        }
+    }
+
+    #[test]
+    fn degenerate_point_rect() {
+        let p = Rect::from_point(Point::new([1.0, 2.0]));
+        assert_eq!(p.area(), 0.0);
+        assert_eq!(p.min_dist(&p), 0.0);
+        let q = Rect::from_point(Point::new([4.0, 6.0]));
+        assert_eq!(p.min_dist(&q), 5.0);
+        assert_eq!(p.max_dist(&q), 5.0);
+    }
+
+    #[test]
+    fn from_corners_normalizes() {
+        let a = Rect::from_corners(Point::new([3.0, 1.0]), Point::new([0.0, 2.0]));
+        assert_eq!(a, r([0.0, 1.0], [3.0, 2.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid rect")]
+    fn rejects_inverted_bounds() {
+        let _ = Rect::new([1.0, 0.0], [0.0, 1.0]);
+    }
+}

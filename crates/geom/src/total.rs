@@ -1,0 +1,113 @@
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A finite `f64` with a total order, usable as a key in heaps and B-trees.
+///
+/// Distances produced by the join algorithms are always finite and
+/// non-negative; `TotalF64` encodes that invariant once so that priority
+/// queues do not need to reason about NaN. Construction panics (in debug and
+/// release) on NaN, keeping the ordering total by construction.
+#[derive(Clone, Copy, PartialEq)]
+pub struct TotalF64(f64);
+
+impl TotalF64 {
+    /// Wraps `v`, panicking if it is NaN.
+    #[inline]
+    pub fn new(v: f64) -> Self {
+        assert!(!v.is_nan(), "TotalF64 cannot hold NaN");
+        TotalF64(v)
+    }
+
+    /// Returns the wrapped value.
+    #[inline]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl Eq for TotalF64 {}
+
+impl PartialOrd for TotalF64 {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TotalF64 {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Safe: NaN is excluded at construction.
+        self.0.partial_cmp(&other.0).expect("TotalF64 is never NaN")
+    }
+}
+
+impl From<f64> for TotalF64 {
+    #[inline]
+    fn from(v: f64) -> Self {
+        TotalF64::new(v)
+    }
+}
+
+impl From<TotalF64> for f64 {
+    #[inline]
+    fn from(v: TotalF64) -> Self {
+        v.0
+    }
+}
+
+impl fmt::Debug for TotalF64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+impl fmt::Display for TotalF64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_like_f64() {
+        let a = TotalF64::new(1.0);
+        let b = TotalF64::new(2.0);
+        assert!(a < b);
+        assert_eq!(a.cmp(&b), Ordering::Less);
+        assert_eq!(b.cmp(&a), Ordering::Greater);
+        assert_eq!(a.cmp(&a), Ordering::Equal);
+    }
+
+    #[test]
+    fn handles_infinities() {
+        let inf = TotalF64::new(f64::INFINITY);
+        let x = TotalF64::new(1e300);
+        assert!(x < inf);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn rejects_nan() {
+        let _ = TotalF64::new(f64::NAN);
+    }
+
+    #[test]
+    fn roundtrips() {
+        let v = TotalF64::from(3.5);
+        assert_eq!(f64::from(v), 3.5);
+        assert_eq!(v.get(), 3.5);
+    }
+
+    #[test]
+    fn sorts_in_heap() {
+        use std::collections::BinaryHeap;
+        let mut h: BinaryHeap<TotalF64> = [3.0, 1.0, 2.0].iter().map(|&v| TotalF64::new(v)).collect();
+        assert_eq!(h.pop().map(f64::from), Some(3.0));
+        assert_eq!(h.pop().map(f64::from), Some(2.0));
+        assert_eq!(h.pop().map(f64::from), Some(1.0));
+    }
+}

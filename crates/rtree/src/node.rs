@@ -1,0 +1,168 @@
+use amdj_geom::Rect;
+use amdj_storage::codec::{put_f64, put_u32, put_u64, put_u8, Reader};
+
+/// One slot of an R-tree node.
+///
+/// At level 0 (leaves) `child` is an **object id**; above level 0 it is the
+/// **page id** of the child node. The `mbr` tightly bounds the object or
+/// the child subtree respectively.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Entry<const D: usize> {
+    /// Minimum bounding rectangle of the object / subtree.
+    pub mbr: Rect<D>,
+    /// Object id (leaf) or child page id (internal).
+    pub child: u64,
+}
+
+/// An R-tree node: its level (0 = leaf) and its entries.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Node<const D: usize> {
+    /// 0 for leaves, parents of leaves are 1, and so on.
+    pub level: u32,
+    /// The node's entries, at most [`crate::RTreeParams::capacity`] many.
+    pub entries: Vec<Entry<D>>,
+}
+
+impl<const D: usize> Node<D> {
+    /// Creates an empty node at `level`.
+    pub fn new(level: u32) -> Self {
+        Node { level, entries: Vec::new() }
+    }
+
+    /// Whether this node's entries reference objects.
+    pub fn is_leaf(&self) -> bool {
+        self.level == 0
+    }
+
+    /// The tight bounding rectangle of all entries.
+    ///
+    /// Panics on an empty node (an empty node has no MBR).
+    pub fn mbr(&self) -> Rect<D> {
+        let mut it = self.entries.iter();
+        let first = it.next().expect("mbr of empty node").mbr;
+        it.fold(first, |acc, e| acc.union(&e.mbr))
+    }
+
+    /// Serializes the node. Layout (little-endian):
+    /// `level: u8`, 3 pad bytes, `count: u32`, then per entry
+    /// `lo[0..D], hi[0..D]: f64` and `child: u64`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        put_u8(out, u8::try_from(self.level).expect("level fits u8"));
+        out.extend_from_slice(&[0, 0, 0]);
+        put_u32(out, self.entries.len() as u32);
+        for e in &self.entries {
+            for d in 0..D {
+                put_f64(out, e.mbr.lo()[d]);
+            }
+            for d in 0..D {
+                put_f64(out, e.mbr.hi()[d]);
+            }
+            put_u64(out, e.child);
+        }
+    }
+
+    /// Deserializes a node from a page image produced by
+    /// [`encode`](Node::encode).
+    pub fn decode(buf: &[u8]) -> Self {
+        let mut r = Reader::new(buf);
+        let level = r.u8() as u32;
+        let _ = r.u8();
+        let _ = r.u8();
+        let _ = r.u8();
+        let count = r.u32() as usize;
+        let mut entries = Vec::with_capacity(count);
+        for _ in 0..count {
+            let mut lo = [0.0; D];
+            let mut hi = [0.0; D];
+            for slot in lo.iter_mut() {
+                *slot = r.f64();
+            }
+            for slot in hi.iter_mut() {
+                *slot = r.f64();
+            }
+            let child = r.u64();
+            entries.push(Entry { mbr: Rect::new(lo, hi), child });
+        }
+        Node { level, entries }
+    }
+
+    /// Encoded size in bytes for `n` entries of dimension `D`.
+    pub fn encoded_len(n: usize) -> usize {
+        8 + n * (16 * D + 8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Node<2> {
+        Node {
+            level: 3,
+            entries: vec![
+                Entry { mbr: Rect::new([0.0, 1.0], [2.0, 3.0]), child: 42 },
+                Entry { mbr: Rect::new([-5.5, -1.0], [0.0, 0.5]), child: u64::MAX },
+            ],
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let node = sample();
+        let mut buf = Vec::new();
+        node.encode(&mut buf);
+        assert_eq!(buf.len(), Node::<2>::encoded_len(2));
+        let back = Node::<2>::decode(&buf);
+        assert_eq!(back, node);
+    }
+
+    #[test]
+    fn empty_node_roundtrip() {
+        let node: Node<2> = Node::new(0);
+        let mut buf = Vec::new();
+        node.encode(&mut buf);
+        let back = Node::<2>::decode(&buf);
+        assert_eq!(back.level, 0);
+        assert!(back.entries.is_empty());
+    }
+
+    #[test]
+    fn decode_tolerates_page_padding() {
+        // Pages are zero-padded past the encoded bytes; decode must stop at
+        // `count` entries.
+        let node = sample();
+        let mut buf = Vec::new();
+        node.encode(&mut buf);
+        buf.resize(4096, 0);
+        assert_eq!(Node::<2>::decode(&buf), node);
+    }
+
+    #[test]
+    fn mbr_is_union() {
+        let node = sample();
+        assert_eq!(node.mbr(), Rect::new([-5.5, -1.0], [2.0, 3.0]));
+    }
+
+    #[test]
+    fn leaf_flag() {
+        assert!(Node::<2>::new(0).is_leaf());
+        assert!(!Node::<2>::new(1).is_leaf());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty node")]
+    fn mbr_of_empty_panics() {
+        let _ = Node::<2>::new(0).mbr();
+    }
+
+    #[test]
+    fn three_dimensional_roundtrip() {
+        let node: Node<3> = Node {
+            level: 1,
+            entries: vec![Entry { mbr: Rect::new([0.0, 1.0, 2.0], [3.0, 4.0, 5.0]), child: 7 }],
+        };
+        let mut buf = Vec::new();
+        node.encode(&mut buf);
+        assert_eq!(Node::<3>::decode(&buf), node);
+    }
+}

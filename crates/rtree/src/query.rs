@@ -1,0 +1,239 @@
+//! Classic single-index queries: range, within-distance, and best-first
+//! k-nearest-neighbour search. These make the index usable on its own and
+//! serve as correctness probes for the tree structure.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use amdj_geom::{Point, Rect};
+use amdj_storage::PageId;
+
+use crate::RTree;
+
+/// One k-NN result: object id, its MBR, and its distance from the query.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Neighbor<const D: usize> {
+    /// Object id.
+    pub oid: u64,
+    /// Object MBR.
+    pub mbr: Rect<D>,
+    /// Minimum distance from the query point to the MBR.
+    pub dist: f64,
+}
+
+enum HeapRef {
+    Node(PageId),
+    Object(u64),
+}
+
+struct HeapItem<const D: usize> {
+    dist: f64,
+    tie: u64,
+    mbr: Rect<D>,
+    target: HeapRef,
+}
+
+impl<const D: usize> PartialEq for HeapItem<D> {
+    fn eq(&self, other: &Self) -> bool {
+        self.dist == other.dist && self.tie == other.tie
+    }
+}
+impl<const D: usize> Eq for HeapItem<D> {}
+impl<const D: usize> PartialOrd for HeapItem<D> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<const D: usize> Ord for HeapItem<D> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap semantics under std's max-heap.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .expect("finite distances")
+            .then_with(|| other.tie.cmp(&self.tie))
+    }
+}
+
+impl<const D: usize> RTree<D> {
+    /// All objects whose MBRs intersect `query` (touching counts).
+    pub fn range_query(&mut self, query: &Rect<D>) -> Vec<(u64, Rect<D>)> {
+        let mut out = Vec::new();
+        let Some(root) = self.root_page() else {
+            return out;
+        };
+        let mut stack = vec![root];
+        while let Some(pid) = stack.pop() {
+            let node = self.fetch(pid);
+            for e in &node.entries {
+                if e.mbr.intersects(query) {
+                    if node.is_leaf() {
+                        out.push((e.child, e.mbr));
+                    } else {
+                        stack.push(PageId(e.child));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// All objects whose MBRs lie within distance `dist` of `query`
+    /// (boundary inclusive).
+    pub fn within_distance(&mut self, query: &Rect<D>, dist: f64) -> Vec<(u64, Rect<D>)> {
+        let mut out = Vec::new();
+        let Some(root) = self.root_page() else {
+            return out;
+        };
+        let mut stack = vec![root];
+        while let Some(pid) = stack.pop() {
+            let node = self.fetch(pid);
+            for e in &node.entries {
+                if e.mbr.min_dist(query) <= dist {
+                    if node.is_leaf() {
+                        out.push((e.child, e.mbr));
+                    } else {
+                        stack.push(PageId(e.child));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The `k` objects nearest to the point `query`, ascending by
+    /// distance, by best-first (Hjaltason–Samet) traversal.
+    pub fn nearest_neighbors(&mut self, query: &Point<D>, k: usize) -> Vec<Neighbor<D>> {
+        self.nearest_neighbors_rect(&Rect::from_point(*query), k)
+    }
+
+    /// The `k` objects whose MBRs are nearest to the rectangle `query`
+    /// (minimum MBR-to-MBR distance), ascending.
+    pub fn nearest_neighbors_rect(&mut self, query: &Rect<D>, k: usize) -> Vec<Neighbor<D>> {
+        let mut out = Vec::new();
+        let Some(root) = self.root_page() else {
+            return out;
+        };
+        if k == 0 {
+            return out;
+        }
+        let q = *query;
+        let mut tie = 0u64;
+        let mut heap: BinaryHeap<HeapItem<D>> = BinaryHeap::new();
+        let root_node = self.fetch(root);
+        let root_mbr = root_node.mbr();
+        heap.push(HeapItem { dist: root_mbr.min_dist(&q), tie, mbr: root_mbr, target: HeapRef::Node(root) });
+        while let Some(item) = heap.pop() {
+            match item.target {
+                HeapRef::Object(oid) => {
+                    out.push(Neighbor { oid, mbr: item.mbr, dist: item.dist });
+                    if out.len() == k {
+                        break;
+                    }
+                }
+                HeapRef::Node(pid) => {
+                    let node = self.fetch(pid);
+                    for e in &node.entries {
+                        tie += 1;
+                        let target = if node.is_leaf() {
+                            HeapRef::Object(e.child)
+                        } else {
+                            HeapRef::Node(PageId(e.child))
+                        };
+                        heap.push(HeapItem { dist: e.mbr.min_dist(&q), tie, mbr: e.mbr, target });
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RTreeParams;
+
+    fn grid_tree(n_side: usize) -> RTree<2> {
+        let items: Vec<(Rect<2>, u64)> = (0..n_side * n_side)
+            .map(|i| {
+                let x = (i % n_side) as f64;
+                let y = (i / n_side) as f64;
+                (Rect::from_point(Point::new([x, y])), i as u64)
+            })
+            .collect();
+        RTree::bulk_load(RTreeParams::for_tests(), items)
+    }
+
+    #[test]
+    fn range_query_exact_window() {
+        let mut t = grid_tree(20);
+        let hits = t.range_query(&Rect::new([2.0, 3.0], [4.0, 5.0]));
+        assert_eq!(hits.len(), 9, "3×3 grid points in the window");
+    }
+
+    #[test]
+    fn range_query_misses_outside() {
+        let mut t = grid_tree(10);
+        assert!(t.range_query(&Rect::new([100.0, 100.0], [101.0, 101.0])).is_empty());
+    }
+
+    #[test]
+    fn within_distance_matches_brute_force() {
+        let mut t = grid_tree(15);
+        let q = Rect::from_point(Point::new([7.3, 7.9]));
+        for dist in [0.5, 1.0, 2.5, 5.0] {
+            let mut got: Vec<u64> = t.within_distance(&q, dist).into_iter().map(|h| h.0).collect();
+            got.sort_unstable();
+            let mut want = Vec::new();
+            for i in 0..15 * 15 {
+                let p = Point::new([(i % 15) as f64, (i / 15) as f64]);
+                if Rect::from_point(p).min_dist(&q) <= dist {
+                    want.push(i as u64);
+                }
+            }
+            assert_eq!(got, want, "dist = {dist}");
+        }
+    }
+
+    #[test]
+    fn knn_matches_brute_force() {
+        let mut t = grid_tree(12);
+        let q = Point::new([5.2, 6.8]);
+        for k in [1, 3, 10, 50] {
+            let got = t.nearest_neighbors(&q, k);
+            assert_eq!(got.len(), k);
+            // Ascending distances.
+            assert!(got.windows(2).all(|w| w[0].dist <= w[1].dist));
+            // Same distance multiset as brute force.
+            let mut want: Vec<f64> = (0..144)
+                .map(|i| Point::new([(i % 12) as f64, (i / 12) as f64]).dist(&q))
+                .collect();
+            want.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            for (n, w) in got.iter().zip(want.iter()) {
+                assert!((n.dist - w).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn knn_with_k_larger_than_dataset() {
+        let mut t = grid_tree(3);
+        let got = t.nearest_neighbors(&Point::new([0.0, 0.0]), 100);
+        assert_eq!(got.len(), 9);
+    }
+
+    #[test]
+    fn queries_on_empty_tree() {
+        let mut t: RTree<2> = RTree::new(RTreeParams::for_tests());
+        assert!(t.range_query(&Rect::new([0.0, 0.0], [1.0, 1.0])).is_empty());
+        assert!(t.nearest_neighbors(&Point::new([0.0, 0.0]), 5).is_empty());
+        assert!(t.within_distance(&Rect::from_point(Point::new([0.0, 0.0])), 10.0).is_empty());
+    }
+
+    #[test]
+    fn knn_zero_k() {
+        let mut t = grid_tree(5);
+        assert!(t.nearest_neighbors(&Point::new([1.0, 1.0]), 0).is_empty());
+    }
+}

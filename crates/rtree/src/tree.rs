@@ -1,0 +1,213 @@
+use std::sync::Arc;
+
+use amdj_geom::Rect;
+use amdj_storage::{ByteLru, DiskStats, PageId, VirtualDisk};
+
+use crate::{Node, RTreeParams};
+
+/// Node access counters.
+///
+/// `requests` counts every logical node access; `disk_reads` counts the
+/// subset that missed the LRU buffer and hit the disk. The paper's Table 2
+/// reports `disk_reads` (and, in parentheses, the no-buffer figure — which
+/// equals `requests`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AccessStats {
+    /// Logical node accesses.
+    pub requests: u64,
+    /// Accesses that read the page from disk (buffer misses).
+    pub disk_reads: u64,
+}
+
+/// An R*-tree over object MBRs, stored on a paged virtual disk and
+/// accessed through a byte-budgeted LRU buffer.
+///
+/// Leaf entries carry `(object MBR, object id)`; internal entries carry
+/// `(subtree MBR, child page id)`. Build one with
+/// [`bulk_load`](RTree::bulk_load) (STR packing, what the experiments use)
+/// or incrementally with [`insert`](RTree::insert) (full R* insertion).
+///
+/// ```
+/// use amdj_geom::{Point, Rect};
+/// use amdj_rtree::{RTree, RTreeParams};
+///
+/// let items: Vec<(Rect<2>, u64)> = (0..1000)
+///     .map(|i| (Rect::from_point(Point::new([(i % 32) as f64, (i / 32) as f64])), i))
+///     .collect();
+/// let mut tree = RTree::bulk_load(RTreeParams::paper_defaults(), items);
+///
+/// let hits = tree.range_query(&Rect::new([3.0, 3.0], [5.0, 5.0]));
+/// assert_eq!(hits.len(), 9);
+///
+/// let nn = tree.nearest_neighbors(&Point::new([10.2, 10.3]), 1);
+/// assert_eq!(nn[0].mbr, Rect::from_point(Point::new([10.0, 10.0])));
+///
+/// tree.insert(Rect::from_point(Point::new([100.0, 100.0])), 9999);
+/// assert!(tree.delete(&Rect::from_point(Point::new([100.0, 100.0])), 9999));
+/// tree.validate().expect("invariants hold");
+/// ```
+pub struct RTree<const D: usize> {
+    params: RTreeParams,
+    pub(crate) disk: VirtualDisk,
+    buffer: ByteLru<PageId, Arc<Node<D>>>,
+    pub(crate) root: Option<PageId>,
+    pub(crate) height: u32,
+    pub(crate) len: u64,
+    stats: AccessStats,
+}
+
+impl<const D: usize> RTree<D> {
+    /// Creates an empty tree.
+    pub fn new(params: RTreeParams) -> Self {
+        let disk = VirtualDisk::new(amdj_storage::CostModel {
+            page_size: params.page_size,
+            ..params.cost
+        });
+        let buffer = ByteLru::new(params.buffer_bytes);
+        RTree { params, disk, buffer, root: None, height: 0, len: 0, stats: AccessStats::default() }
+    }
+
+    /// The tree's configuration.
+    pub fn params(&self) -> &RTreeParams {
+        &self.params
+    }
+
+    /// Number of objects stored.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the tree stores no objects.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of levels (0 when empty; a single leaf root is height 1).
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Root page id, if any.
+    pub fn root_page(&self) -> Option<PageId> {
+        self.root
+    }
+
+    /// The bounding rectangle of the whole data set, if non-empty.
+    pub fn bounds(&mut self) -> Option<Rect<D>> {
+        let root = self.root?;
+        Some(self.fetch(root).mbr())
+    }
+
+    /// Total pages (≈ nodes) allocated on the tree's disk.
+    pub fn page_count(&self) -> usize {
+        self.disk.live_pages()
+    }
+
+    /// Node access counters since the last [`reset_stats`](RTree::reset_stats).
+    pub fn access_stats(&self) -> AccessStats {
+        self.stats
+    }
+
+    /// Disk-level I/O statistics (reads, writes, modeled seconds).
+    pub fn disk_stats(&self) -> DiskStats {
+        self.disk.stats()
+    }
+
+    /// Clears access and disk statistics — typically called after building
+    /// an index so measurements cover queries only.
+    pub fn reset_stats(&mut self) {
+        self.stats = AccessStats::default();
+        self.disk.reset_stats();
+    }
+
+    /// Empties the node buffer (statistics are kept). Used by experiments
+    /// to cold-start each query.
+    pub fn clear_buffer(&mut self) {
+        self.buffer.clear();
+    }
+
+    /// Fetches a node, through the buffer.
+    pub fn fetch(&mut self, pid: PageId) -> Arc<Node<D>> {
+        self.stats.requests += 1;
+        if let Some(hit) = self.buffer.get(&pid) {
+            return Arc::clone(hit);
+        }
+        self.stats.disk_reads += 1;
+        let node = Arc::new(Node::decode(self.disk.read(pid)));
+        self.buffer.insert(pid, Arc::clone(&node), self.params.page_size);
+        node
+    }
+
+    /// Allocates a page for a new node.
+    pub(crate) fn alloc_page(&mut self) -> PageId {
+        self.disk.alloc()
+    }
+
+    /// Encodes and writes `node` to `pid`, keeping the buffer coherent.
+    pub(crate) fn write_node(&mut self, pid: PageId, node: &Node<D>) {
+        let mut buf = Vec::with_capacity(Node::<D>::encoded_len(node.entries.len()));
+        node.encode(&mut buf);
+        assert!(
+            buf.len() <= self.params.page_size,
+            "node with {} entries exceeds page size",
+            node.entries.len()
+        );
+        self.disk.write(pid, &buf);
+        self.buffer.insert(pid, Arc::new(node.clone()), self.params.page_size);
+    }
+}
+
+impl<const D: usize> std::fmt::Debug for RTree<D> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RTree")
+            .field("len", &self.len)
+            .field("height", &self.height)
+            .field("pages", &self.disk.live_pages())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_tree() {
+        let mut t: RTree<2> = RTree::new(RTreeParams::for_tests());
+        assert!(t.is_empty());
+        assert_eq!(t.height(), 0);
+        assert!(t.bounds().is_none());
+        assert!(t.root_page().is_none());
+    }
+
+    #[test]
+    fn fetch_counts_requests_and_misses() {
+        let mut t: RTree<2> = RTree::new(RTreeParams::for_tests());
+        let pid = t.alloc_page();
+        let node = Node { level: 0, entries: vec![] };
+        t.write_node(pid, &node);
+        t.reset_stats();
+        t.clear_buffer();
+        let _ = t.fetch(pid); // miss
+        let _ = t.fetch(pid); // hit
+        let s = t.access_stats();
+        assert_eq!(s.requests, 2);
+        assert_eq!(s.disk_reads, 1);
+    }
+
+    #[test]
+    fn zero_buffer_always_misses() {
+        let mut p = RTreeParams::for_tests();
+        p.buffer_bytes = 0;
+        let mut t: RTree<2> = RTree::new(p);
+        let pid = t.alloc_page();
+        t.write_node(pid, &Node { level: 0, entries: vec![] });
+        t.reset_stats();
+        for _ in 0..5 {
+            let _ = t.fetch(pid);
+        }
+        let s = t.access_stats();
+        assert_eq!(s.requests, 5);
+        assert_eq!(s.disk_reads, 5);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based validation of the R*-tree: any sequence of inserts and
+//! deletes must keep every structural invariant, and queries must agree
+//! with a linear scan.
+
+use amdj_geom::{Point, Rect};
+use amdj_rtree::{RTree, RTreeParams};
+use proptest::prelude::*;
+
+fn arb_rect() -> impl Strategy<Value = Rect<2>> {
+    (0.0..100.0f64, 0.0..100.0f64, 0.0..3.0f64, 0.0..3.0f64)
+        .prop_map(|(x, y, w, h)| Rect::new([x, y], [x + w, y + h]))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    #[test]
+    fn insert_preserves_invariants_and_queries(rects in prop::collection::vec(arb_rect(), 1..300)) {
+        let mut t: RTree<2> = RTree::new(RTreeParams::for_tests());
+        for (i, &mbr) in rects.iter().enumerate() {
+            t.insert(mbr, i as u64);
+        }
+        t.validate().expect("valid after inserts");
+        prop_assert_eq!(t.len() as usize, rects.len());
+        // Range query agrees with a scan.
+        let window = Rect::new([20.0, 20.0], [60.0, 70.0]);
+        let mut got: Vec<u64> = t.range_query(&window).into_iter().map(|(id, _)| id).collect();
+        got.sort_unstable();
+        let want: Vec<u64> = rects
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.intersects(&window))
+            .map(|(i, _)| i as u64)
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn bulk_load_equals_insert_built_contents(rects in prop::collection::vec(arb_rect(), 1..250)) {
+        let items: Vec<(Rect<2>, u64)> =
+            rects.iter().enumerate().map(|(i, &r)| (r, i as u64)).collect();
+        let mut bulk = RTree::bulk_load(RTreeParams::for_tests(), items.clone());
+        bulk.validate().expect("valid bulk tree");
+        let mut incr: RTree<2> = RTree::new(RTreeParams::for_tests());
+        for &(r, id) in &items {
+            incr.insert(r, id);
+        }
+        let everything = Rect::new([-1.0, -1.0], [200.0, 200.0]);
+        let mut a: Vec<u64> = bulk.range_query(&everything).into_iter().map(|(id, _)| id).collect();
+        let mut b: Vec<u64> = incr.range_query(&everything).into_iter().map(|(id, _)| id).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn delete_inverse_of_insert(
+        rects in prop::collection::vec(arb_rect(), 2..200),
+        delete_mask in prop::collection::vec(any::<bool>(), 2..200),
+    ) {
+        let mut t: RTree<2> = RTree::new(RTreeParams::for_tests());
+        for (i, &mbr) in rects.iter().enumerate() {
+            t.insert(mbr, i as u64);
+        }
+        let mut live: Vec<(Rect<2>, u64)> = Vec::new();
+        for (i, &mbr) in rects.iter().enumerate() {
+            if *delete_mask.get(i).unwrap_or(&false) {
+                prop_assert!(t.delete(&mbr, i as u64), "delete of live id {i}");
+            } else {
+                live.push((mbr, i as u64));
+            }
+        }
+        t.validate().expect("valid after deletes");
+        prop_assert_eq!(t.len() as usize, live.len());
+        let everything = Rect::new([-1.0, -1.0], [200.0, 200.0]);
+        let mut got: Vec<u64> = t.range_query(&everything).into_iter().map(|(id, _)| id).collect();
+        got.sort_unstable();
+        let mut want: Vec<u64> = live.iter().map(|&(_, id)| id).collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn knn_agrees_with_scan(
+        rects in prop::collection::vec(arb_rect(), 1..200),
+        qx in 0.0..100.0f64,
+        qy in 0.0..100.0f64,
+        k in 1usize..20,
+    ) {
+        let items: Vec<(Rect<2>, u64)> =
+            rects.iter().enumerate().map(|(i, &r)| (r, i as u64)).collect();
+        let mut t = RTree::bulk_load(RTreeParams::for_tests(), items.clone());
+        let q = Point::new([qx, qy]);
+        let got = t.nearest_neighbors(&q, k);
+        let mut want: Vec<f64> = items
+            .iter()
+            .map(|(r, _)| r.min_dist(&Rect::from_point(q)))
+            .collect();
+        want.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert_eq!(got.len(), k.min(items.len()));
+        for (n, w) in got.iter().zip(want.iter()) {
+            prop_assert!((n.dist - w).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Little-endian binary encode/decode helpers.
+//!
+//! Every paged structure in the workspace (R-tree nodes, spill-queue
+//! segments, sort runs) serializes through these helpers so the on-"disk"
+//! format is explicit and testable.
+
+/// Appends a `u8` to `out`.
+#[inline]
+pub fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+/// Appends a `u32` in little-endian order.
+#[inline]
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `u64` in little-endian order.
+#[inline]
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends an `f64` in little-endian IEEE-754 order.
+#[inline]
+pub fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// A cursor over an encoded byte slice.
+///
+/// Reads panic on truncated input: the storage layer writes complete
+/// records, so a short read is a logic error, not a recoverable condition.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Creates a reader over `buf`.
+    #[inline]
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes remaining.
+    #[inline]
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Current read offset.
+    #[inline]
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    fn take(&mut self, n: usize) -> &'a [u8] {
+        assert!(self.remaining() >= n, "codec: truncated record");
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        s
+    }
+
+    /// Reads a `u8`.
+    #[inline]
+    pub fn u8(&mut self) -> u8 {
+        self.take(1)[0]
+    }
+
+    /// Reads a little-endian `u32`.
+    #[inline]
+    pub fn u32(&mut self) -> u32 {
+        u32::from_le_bytes(self.take(4).try_into().expect("4 bytes"))
+    }
+
+    /// Reads a little-endian `u64`.
+    #[inline]
+    pub fn u64(&mut self) -> u64 {
+        u64::from_le_bytes(self.take(8).try_into().expect("8 bytes"))
+    }
+
+    /// Reads a little-endian `f64`.
+    #[inline]
+    pub fn f64(&mut self) -> f64 {
+        f64::from_le_bytes(self.take(8).try_into().expect("8 bytes"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_types() {
+        let mut buf = Vec::new();
+        put_u8(&mut buf, 7);
+        put_u32(&mut buf, 0xDEAD_BEEF);
+        put_u64(&mut buf, u64::MAX - 1);
+        put_f64(&mut buf, -1234.5678);
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u8(), 7);
+        assert_eq!(r.u32(), 0xDEAD_BEEF);
+        assert_eq!(r.u64(), u64::MAX - 1);
+        assert_eq!(r.f64(), -1234.5678);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn position_tracking() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 1);
+        put_u32(&mut buf, 2);
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.position(), 0);
+        let _ = r.u32();
+        assert_eq!(r.position(), 4);
+        assert_eq!(r.remaining(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "truncated")]
+    fn truncated_read_panics() {
+        let buf = vec![1, 2];
+        let mut r = Reader::new(&buf);
+        let _ = r.u32();
+    }
+
+    #[test]
+    fn f64_special_values() {
+        let mut buf = Vec::new();
+        put_f64(&mut buf, f64::INFINITY);
+        put_f64(&mut buf, 0.0);
+        put_f64(&mut buf, -0.0);
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.f64(), f64::INFINITY);
+        assert_eq!(r.f64(), 0.0);
+        assert!(r.f64().is_sign_negative());
+    }
+}

@@ -1,0 +1,77 @@
+/// A disk I/O cost model.
+///
+/// The paper's testbed (§5.1) measured ~0.5 MB/s for random accesses and
+/// ~5 MB/s for sequential accesses with 4 KB pages and Solaris direct I/O.
+/// [`crate::VirtualDisk`] charges this model for every page transfer so the
+/// experiment harness can report a *modeled response time* with the same
+/// random:sequential penalty the paper's wall-clock numbers embodied.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostModel {
+    /// Page size in bytes (paper: 4096).
+    pub page_size: usize,
+    /// Sequential transfer bandwidth in bytes/second (paper: ~5 MB/s).
+    pub seq_bytes_per_sec: f64,
+    /// Random transfer bandwidth in bytes/second (paper: ~0.5 MB/s).
+    pub rand_bytes_per_sec: f64,
+}
+
+impl CostModel {
+    /// The paper's testbed parameters: 4 KB pages, 5 MB/s sequential,
+    /// 0.5 MB/s random.
+    pub fn paper_1999_disk() -> Self {
+        CostModel {
+            page_size: 4096,
+            seq_bytes_per_sec: 5.0 * 1024.0 * 1024.0,
+            rand_bytes_per_sec: 0.5 * 1024.0 * 1024.0,
+        }
+    }
+
+    /// A free cost model (no I/O time charged); useful in unit tests.
+    pub fn free() -> Self {
+        CostModel {
+            page_size: 4096,
+            seq_bytes_per_sec: f64::INFINITY,
+            rand_bytes_per_sec: f64::INFINITY,
+        }
+    }
+
+    /// Modeled seconds to transfer one page.
+    #[inline]
+    pub fn page_time(&self, sequential: bool) -> f64 {
+        let bw = if sequential { self.seq_bytes_per_sec } else { self.rand_bytes_per_sec };
+        self.page_size as f64 / bw
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::paper_1999_disk()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_model_ratio() {
+        let m = CostModel::paper_1999_disk();
+        let r = m.page_time(false) / m.page_time(true);
+        assert!((r - 10.0).abs() < 1e-9, "random:sequential must be 10:1");
+    }
+
+    #[test]
+    fn free_model_charges_nothing() {
+        let m = CostModel::free();
+        assert_eq!(m.page_time(true), 0.0);
+        assert_eq!(m.page_time(false), 0.0);
+    }
+
+    #[test]
+    fn page_time_scales_with_page_size() {
+        let mut m = CostModel::paper_1999_disk();
+        let t1 = m.page_time(true);
+        m.page_size *= 2;
+        assert!((m.page_time(true) - 2.0 * t1).abs() < 1e-12);
+    }
+}

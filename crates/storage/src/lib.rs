@@ -1,0 +1,38 @@
+//! Paged storage substrate for the AMDJ distance-join library.
+//!
+//! The paper's evaluation (§5.1) runs on a workstation with a locally
+//! attached disk (~0.5 MB/s random, ~5 MB/s sequential, 4 KB pages) and
+//! measures algorithms under tight memory budgets for both the R-tree
+//! buffer and the priority queues. This crate reproduces that substrate in
+//! process:
+//!
+//! * [`VirtualDisk`] — a paged store that counts reads/writes, classifies
+//!   them as sequential or random, and charges a configurable
+//!   [`CostModel`], so "response time" can include modeled I/O exactly as
+//!   the paper's wall-clock times included real I/O;
+//! * [`ByteLru`] — a byte-budgeted LRU cache used as the R-tree page
+//!   buffer;
+//! * [`SpillQueue`] — the hybrid memory/disk priority queue of §4.4: an
+//!   in-memory heap for the shortest-distance range plus unsorted
+//!   disk-resident segments, with range boundaries derived from the
+//!   paper's Equation (3);
+//! * [`ExternalSorter`] — a budgeted external merge sort (used by the
+//!   SJ-SORT baseline);
+//! * [`codec`] — little-endian encode/decode helpers shared by all paged
+//!   structures.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod codec;
+mod cost;
+mod disk;
+mod external_sort;
+mod lru;
+mod spill;
+
+pub use cost::CostModel;
+pub use disk::{DiskStats, PageId, VirtualDisk};
+pub use external_sort::ExternalSorter;
+pub use lru::ByteLru;
+pub use spill::{SpillItem, SpillQueue, SpillQueueConfig, SpillQueueStats};

@@ -1,0 +1,206 @@
+use std::collections::{BTreeMap, HashMap};
+use std::hash::Hash;
+
+/// A byte-budgeted least-recently-used cache.
+///
+/// Used as the R-tree node buffer: each cached node charges one page worth
+/// of bytes, and the total budget corresponds to the paper's "R-tree buffer
+/// size" knob (64 KB – 1024 KB in §5.5). Eviction is strict LRU on *access*
+/// (both hits and inserts refresh recency).
+///
+/// The implementation keeps a monotone access counter per entry and a
+/// `BTreeMap` from counter to key, giving `O(log n)` operations without
+/// unsafe linked-list code — plenty for buffers of a few hundred pages.
+#[derive(Debug)]
+pub struct ByteLru<K, V> {
+    budget: usize,
+    used: usize,
+    tick: u64,
+    map: HashMap<K, Slot<V>>,
+    order: BTreeMap<u64, K>,
+    hits: u64,
+    misses: u64,
+}
+
+#[derive(Debug)]
+struct Slot<V> {
+    value: V,
+    bytes: usize,
+    tick: u64,
+}
+
+impl<K: Hash + Eq + Clone, V> ByteLru<K, V> {
+    /// Creates a cache that holds at most `budget` bytes. A zero budget
+    /// caches nothing (every lookup is a miss).
+    pub fn new(budget: usize) -> Self {
+        ByteLru {
+            budget,
+            used: 0,
+            tick: 0,
+            map: HashMap::new(),
+            order: BTreeMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The configured byte budget.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Bytes currently cached.
+    pub fn used_bytes(&self) -> usize {
+        self.used
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Cache hits observed by [`get`](ByteLru::get).
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses observed by [`get`](ByteLru::get).
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    fn touch(&mut self, key: &K) {
+        let slot = self.map.get_mut(key).expect("touch of present key");
+        self.order.remove(&slot.tick);
+        self.tick += 1;
+        slot.tick = self.tick;
+        self.order.insert(self.tick, key.clone());
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        if self.map.contains_key(key) {
+            self.hits += 1;
+            self.touch(key);
+            Some(&self.map[key].value)
+        } else {
+            self.misses += 1;
+            None
+        }
+    }
+
+    /// Inserts `key → value` charging `bytes`, evicting LRU entries as
+    /// needed. An entry larger than the whole budget is not cached at all.
+    /// Re-inserting an existing key replaces its value and cost.
+    pub fn insert(&mut self, key: K, value: V, bytes: usize) {
+        if let Some(old) = self.map.remove(&key) {
+            self.order.remove(&old.tick);
+            self.used -= old.bytes;
+        }
+        if bytes > self.budget {
+            return;
+        }
+        while self.used + bytes > self.budget {
+            let (&tick, _) = self.order.iter().next().expect("over budget implies entries");
+            let victim = self.order.remove(&tick).expect("tick present");
+            let slot = self.map.remove(&victim).expect("victim present");
+            self.used -= slot.bytes;
+        }
+        self.tick += 1;
+        self.order.insert(self.tick, key.clone());
+        self.map.insert(key, Slot { value, bytes, tick: self.tick });
+        self.used += bytes;
+    }
+
+    /// Removes every entry (statistics are kept).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.order.clear();
+        self.used = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_hit_miss() {
+        let mut c: ByteLru<u32, String> = ByteLru::new(100);
+        assert!(c.get(&1).is_none());
+        c.insert(1, "one".into(), 10);
+        assert_eq!(c.get(&1).map(String::as_str), Some("one"));
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c: ByteLru<u32, u32> = ByteLru::new(30);
+        c.insert(1, 10, 10);
+        c.insert(2, 20, 10);
+        c.insert(3, 30, 10);
+        // Touch 1 so 2 becomes LRU.
+        let _ = c.get(&1);
+        c.insert(4, 40, 10);
+        assert!(c.get(&2).is_none(), "2 was LRU and must be evicted");
+        assert!(c.get(&1).is_some());
+        assert!(c.get(&3).is_some());
+        assert!(c.get(&4).is_some());
+    }
+
+    #[test]
+    fn oversized_entry_not_cached() {
+        let mut c: ByteLru<u32, u32> = ByteLru::new(10);
+        c.insert(1, 1, 11);
+        assert!(c.get(&1).is_none());
+        assert_eq!(c.used_bytes(), 0);
+    }
+
+    #[test]
+    fn zero_budget_caches_nothing() {
+        let mut c: ByteLru<u32, u32> = ByteLru::new(0);
+        c.insert(1, 1, 1);
+        assert!(c.get(&1).is_none());
+    }
+
+    #[test]
+    fn reinsert_replaces_cost() {
+        let mut c: ByteLru<u32, u32> = ByteLru::new(20);
+        c.insert(1, 1, 15);
+        c.insert(1, 2, 5);
+        assert_eq!(c.used_bytes(), 5);
+        assert_eq!(c.get(&1), Some(&2));
+        c.insert(2, 2, 15);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn eviction_frees_enough_for_large_entry() {
+        let mut c: ByteLru<u32, u32> = ByteLru::new(30);
+        c.insert(1, 1, 10);
+        c.insert(2, 2, 10);
+        c.insert(3, 3, 10);
+        c.insert(4, 4, 30); // must evict everything
+        assert_eq!(c.len(), 1);
+        assert!(c.get(&4).is_some());
+        assert_eq!(c.used_bytes(), 30);
+    }
+
+    #[test]
+    fn clear_keeps_stats() {
+        let mut c: ByteLru<u32, u32> = ByteLru::new(10);
+        c.insert(1, 1, 1);
+        let _ = c.get(&1);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.hits(), 1);
+        let _ = c.get(&1);
+        assert_eq!(c.misses(), 1);
+    }
+}

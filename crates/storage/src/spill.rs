@@ -1,0 +1,731 @@
+//! The hybrid memory/disk priority queue of the paper's §4.4.
+//!
+//! A [`SpillQueue`] keeps the shortest-distance range of its contents in an
+//! in-memory min-heap bounded by a byte budget; the rest lives on a
+//! [`VirtualDisk`] as *unsorted piles* ("segments"), each covering a
+//! distance range. Inserts whose key falls in a disk-resident range append
+//! to that segment directly (a cheap, mostly sequential write) instead of
+//! churning the heap. When the heap overflows it is *split* — the
+//! longer-distance half is spilled as a new segment; when it empties, the
+//! segment with the shortest range is *swapped in*.
+//!
+//! Split boundaries prefer the caller-provided candidate boundaries — the
+//! paper derives them from Equation (3) as `b_i = sqrt(i · n · ρ)` for heap
+//! capacity `n` — and fall back to the median key, so the queue behaves
+//! sensibly even when the uniformity assumption behind Equation (3) fails.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, VecDeque};
+
+use crate::codec::Reader;
+use crate::{CostModel, DiskStats, PageId, VirtualDisk};
+
+/// Bookkeeping overhead charged per item resident in the in-memory heap, on
+/// top of its encoded length (key copy, sequence number, heap slot).
+const HEAP_ENTRY_OVERHEAD: usize = 24;
+
+/// Bytes at the start of each segment page recording the valid byte count.
+const PAGE_HEADER: usize = 4;
+
+/// Filled segment pages are buffered and flushed in contiguous extents of
+/// this many pages, so segment traffic is charged mostly sequentially —
+/// the behaviour of an OS write-buffered segment file, which is what the
+/// paper's hybrid queue writes to.
+const EXTENT_PAGES: usize = 8;
+
+/// An item storable in a [`SpillQueue`].
+///
+/// Items are ordered by [`key`](SpillItem::key) (ascending; the queue is a
+/// min-queue) and must serialize to exactly
+/// [`encoded_len`](SpillItem::encoded_len) bytes.
+pub trait SpillItem: Sized {
+    /// The priority key. Must be finite and non-NaN.
+    fn key(&self) -> f64;
+    /// Serialized size in bytes (must match what [`encode`](SpillItem::encode) writes).
+    fn encoded_len(&self) -> usize;
+    /// Appends the serialized form to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+    /// Decodes one item.
+    fn decode(r: &mut Reader<'_>) -> Self;
+}
+
+/// Configuration of a [`SpillQueue`].
+#[derive(Clone, Debug)]
+pub struct SpillQueueConfig {
+    /// Byte budget of the in-memory heap (the paper's "in-memory portion of
+    /// a main queue", 64 KB – 1024 KB in the experiments).
+    pub mem_budget: usize,
+    /// Ascending candidate split boundaries (distances), typically from
+    /// Equation (3). May be empty; the queue then always splits at the
+    /// median.
+    pub boundaries: Vec<f64>,
+    /// I/O cost model for the queue's backing disk.
+    pub cost: CostModel,
+}
+
+impl SpillQueueConfig {
+    /// A queue that never spills (effectively unbounded memory) — used in
+    /// tests and small examples.
+    pub fn unbounded() -> Self {
+        SpillQueueConfig { mem_budget: usize::MAX, boundaries: Vec::new(), cost: CostModel::free() }
+    }
+
+    /// A memory-budgeted queue with the paper's disk cost model.
+    pub fn budgeted(mem_budget: usize, boundaries: Vec<f64>) -> Self {
+        SpillQueueConfig { mem_budget, boundaries, cost: CostModel::paper_1999_disk() }
+    }
+}
+
+/// Counters describing a [`SpillQueue`]'s work (disk traffic is reported
+/// separately via [`SpillQueue::disk_stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpillQueueStats {
+    /// Total items inserted.
+    pub insertions: u64,
+    /// Total items popped.
+    pub pops: u64,
+    /// Heap splits (heap overflow → new disk segment).
+    pub splits: u64,
+    /// Segment swap-ins (heap underflow → segment loaded).
+    pub swap_ins: u64,
+    /// Items that were ever written to a disk segment.
+    pub items_spilled: u64,
+    /// High-water mark of live items.
+    pub max_len: u64,
+}
+
+#[derive(Debug)]
+struct HeapEntry<T> {
+    key: f64,
+    seq: u64,
+    item: T,
+}
+
+impl<T> PartialEq for HeapEntry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key && self.seq == other.seq
+    }
+}
+impl<T> Eq for HeapEntry<T> {}
+impl<T> PartialOrd for HeapEntry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for HeapEntry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the min key on top.
+        // Ties broken by insertion order (older first) for determinism.
+        other
+            .key
+            .partial_cmp(&self.key)
+            .expect("spill queue keys are never NaN")
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// An unsorted on-disk pile holding items with keys in `[lo, next.lo)`.
+#[derive(Debug)]
+struct Segment {
+    lo: f64,
+    pages: Vec<PageId>,
+    /// Filled-but-unflushed page images awaiting an extent flush.
+    pending: Vec<Vec<u8>>,
+    /// Write buffer for the currently filling page (`PAGE_HEADER` bytes
+    /// reserved at the front).
+    tail: Vec<u8>,
+    count: u64,
+    bytes: u64,
+}
+
+impl Segment {
+    fn new(lo: f64, page_size: usize) -> Self {
+        let mut tail = Vec::with_capacity(page_size);
+        tail.resize(PAGE_HEADER, 0);
+        Segment { lo, pages: Vec::new(), pending: Vec::new(), tail, count: 0, bytes: 0 }
+    }
+
+    fn seal_tail(&mut self, page_size: usize) {
+        let body_len = (self.tail.len() - PAGE_HEADER) as u32;
+        self.tail[..PAGE_HEADER].copy_from_slice(&body_len.to_le_bytes());
+        let sealed = std::mem::replace(&mut self.tail, {
+            let mut t = Vec::with_capacity(page_size);
+            t.resize(PAGE_HEADER, 0);
+            t
+        });
+        self.pending.push(sealed);
+    }
+
+    /// Writes all pending page images as one contiguous extent.
+    fn flush_extent(&mut self, disk: &mut VirtualDisk) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let ids = disk.alloc_contiguous(self.pending.len());
+        for (pid, image) in ids.iter().zip(self.pending.drain(..)) {
+            disk.write(*pid, &image);
+        }
+        self.pages.extend(ids);
+    }
+}
+
+/// The hybrid memory/disk min-priority queue of §4.4.
+pub struct SpillQueue<T: SpillItem> {
+    config: SpillQueueConfig,
+    disk: VirtualDisk,
+    heap: BinaryHeap<HeapEntry<T>>,
+    heap_bytes: usize,
+    seq: u64,
+    /// Ascending by `lo`; `front` holds the shortest-distance range.
+    segments: VecDeque<Segment>,
+    stats: SpillQueueStats,
+}
+
+impl<T: SpillItem> SpillQueue<T> {
+    /// Creates an empty queue with its own backing disk.
+    pub fn new(config: SpillQueueConfig) -> Self {
+        let disk = VirtualDisk::new(config.cost);
+        SpillQueue {
+            config,
+            disk,
+            heap: BinaryHeap::new(),
+            heap_bytes: 0,
+            seq: 0,
+            segments: VecDeque::new(),
+            stats: SpillQueueStats::default(),
+        }
+    }
+
+    /// Live item count.
+    pub fn len(&self) -> u64 {
+        self.heap.len() as u64 + self.segments.iter().map(|s| s.count).sum::<u64>()
+    }
+
+    /// Whether the queue holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty() && self.segments.iter().all(|s| s.count == 0)
+    }
+
+    /// Number of disk-resident segments.
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Bytes currently charged to the in-memory heap.
+    pub fn mem_bytes(&self) -> usize {
+        self.heap_bytes
+    }
+
+    /// Queue operation counters.
+    pub fn stats(&self) -> SpillQueueStats {
+        self.stats
+    }
+
+    /// I/O statistics of the queue's backing disk.
+    pub fn disk_stats(&self) -> DiskStats {
+        self.disk.stats()
+    }
+
+    fn item_cost(item: &T) -> usize {
+        item.encoded_len() + HEAP_ENTRY_OVERHEAD
+    }
+
+    /// Inserts an item.
+    pub fn push(&mut self, item: T) {
+        let key = item.key();
+        assert!(key.is_finite(), "spill queue key must be finite, got {key}");
+        self.stats.insertions += 1;
+        if let Some(front_lo) = self.segments.front().map(|s| s.lo) {
+            if key >= front_lo {
+                self.append_to_segment(item, key);
+                self.stats.max_len = self.stats.max_len.max(self.len());
+                return;
+            }
+        }
+        self.heap_bytes += Self::item_cost(&item);
+        self.seq += 1;
+        self.heap.push(HeapEntry { key, seq: self.seq, item });
+        if self.heap_bytes > self.config.mem_budget && self.heap.len() > 1 {
+            self.split();
+        }
+        self.stats.max_len = self.stats.max_len.max(self.len());
+    }
+
+    /// Removes and returns the item with the smallest key, or `None` when
+    /// empty.
+    pub fn pop(&mut self) -> Option<T> {
+        if self.heap.is_empty() {
+            self.swap_in()?;
+        }
+        let entry = self.heap.pop()?;
+        self.heap_bytes -= Self::item_cost(&entry.item);
+        self.stats.pops += 1;
+        Some(entry.item)
+    }
+
+    /// The smallest key currently in the in-memory heap, if any. (Segment
+    /// contents are unsorted, so this is only a valid global minimum when
+    /// the heap is non-empty — which [`pop`](SpillQueue::pop) guarantees
+    /// between calls.)
+    pub fn peek_key(&self) -> Option<f64> {
+        self.heap.peek().map(|e| e.key)
+    }
+
+    /// The smallest key in the whole queue, swapping a segment in if the
+    /// heap is empty. Returns `None` when the queue is empty.
+    pub fn peek_min(&mut self) -> Option<f64> {
+        if self.heap.is_empty() {
+            self.swap_in()?;
+        }
+        self.peek_key()
+    }
+
+    /// Drains the queue in ascending key order (test/debug helper).
+    pub fn drain_sorted(&mut self) -> Vec<T> {
+        let mut out = Vec::new();
+        while let Some(item) = self.pop() {
+            out.push(item);
+        }
+        out
+    }
+
+    fn append_to_segment(&mut self, item: T, key: f64) {
+        // Find the last segment whose lo <= key (segments ascend by lo;
+        // the front one exists and front.lo <= key by the caller's check).
+        let idx = match self.segments.iter().position(|s| s.lo > key) {
+            Some(0) => unreachable!("caller checked key >= front lo"),
+            Some(i) => i - 1,
+            None => self.segments.len() - 1,
+        };
+        let page_size = self.disk.page_size();
+        let encoded = item.encoded_len();
+        assert!(
+            encoded + PAGE_HEADER <= page_size,
+            "spill item of {encoded} bytes exceeds page capacity"
+        );
+        Self::append_into(&mut self.segments[idx], &mut self.disk, item, page_size);
+        self.stats.items_spilled += 1;
+    }
+
+    /// Low-level append of one encoded item to a segment's write buffer,
+    /// flushing extents as pages fill.
+    fn append_into(seg: &mut Segment, disk: &mut VirtualDisk, item: T, page_size: usize) {
+        let encoded = item.encoded_len();
+        if seg.tail.len() + encoded > page_size {
+            seg.seal_tail(page_size);
+            if seg.pending.len() >= EXTENT_PAGES {
+                seg.flush_extent(disk);
+            }
+        }
+        item.encode(&mut seg.tail);
+        seg.count += 1;
+        seg.bytes += encoded as u64;
+    }
+
+    /// Chooses a split boundary for the current heap contents: the
+    /// configured (Equation 3) boundary closest to the median key if one
+    /// separates the contents, otherwise the median key itself.
+    fn choose_boundary(entries: &mut [HeapEntry<T>], configured: &[f64], upper: f64) -> f64 {
+        let mid = entries.len() / 2;
+        let (_, median, _) = entries.select_nth_unstable_by(mid, |a, b| {
+            a.key.partial_cmp(&b.key).expect("finite keys")
+        });
+        let median = median.key;
+        let min = entries.iter().map(|e| e.key).fold(f64::INFINITY, f64::min);
+        let max = entries.iter().map(|e| e.key).fold(f64::NEG_INFINITY, f64::max);
+        let candidate = configured
+            .iter()
+            .copied()
+            .filter(|&b| b > min && b <= max && b < upper)
+            .min_by(|a, b| {
+                (a - median).abs().partial_cmp(&(b - median).abs()).expect("finite")
+            });
+        match candidate {
+            Some(b) => b,
+            None if median > min => median,
+            // Degenerate distribution (median == min): split just above min
+            // so at least the min-key items stay in memory.
+            None => max,
+        }
+    }
+
+    fn split(&mut self) {
+        self.stats.splits += 1;
+        let mut entries: Vec<HeapEntry<T>> = std::mem::take(&mut self.heap).into_vec();
+        let upper = self.segments.front().map_or(f64::INFINITY, |s| s.lo);
+        let boundary = Self::choose_boundary(&mut entries, &self.config.boundaries, upper);
+        let page_size = self.disk.page_size();
+        // Cap the number of segments (each keeps a one-page write buffer):
+        // past the cap, widen the front segment's range downward instead of
+        // creating a new one — it is an unsorted pile, so lowering its `lo`
+        // bound is always legal.
+        const MAX_SEGMENTS: usize = 64;
+        if self.segments.len() >= MAX_SEGMENTS {
+            self.segments.front_mut().expect("segments non-empty").lo = boundary;
+        } else {
+            self.segments.push_front(Segment::new(boundary, page_size));
+        }
+
+        let mut kept = Vec::new();
+        let mut spilled_any = false;
+        for e in entries {
+            // Keep strictly-below-boundary items; when everything shares one
+            // key, `boundary == max == min` and we fall through to spilling
+            // half below.
+            if e.key < boundary {
+                kept.push(e);
+            } else {
+                self.heap_bytes -= Self::item_cost(&e.item);
+                self.append_to_segment(e.item, e.key);
+                spilled_any = true;
+            }
+        }
+        if !spilled_any {
+            // All keys equal: forcibly spill the newer half for progress.
+            kept.sort_by_key(|e| e.seq);
+            let half = kept.len() / 2;
+            for e in kept.drain(half..) {
+                self.heap_bytes -= Self::item_cost(&e.item);
+                self.append_to_segment(e.item, e.key);
+            }
+        }
+        self.heap = kept.into();
+    }
+
+    /// Loads the shortest-range segment into the heap. Returns `None` when
+    /// no segment holds items. If the segment exceeds the memory budget,
+    /// the excess is immediately re-spilled as a tighter segment.
+    fn swap_in(&mut self) -> Option<()> {
+        // Drop exhausted segments.
+        while matches!(self.segments.front(), Some(s) if s.count == 0) {
+            let seg = self.segments.pop_front().expect("checked front");
+            for pid in seg.pages {
+                self.disk.free(pid);
+            }
+        }
+        let seg = self.segments.pop_front()?;
+        self.stats.swap_ins += 1;
+
+        let mut items: Vec<T> = Vec::with_capacity(seg.count as usize);
+        for pid in &seg.pages {
+            let image = self.disk.read(*pid).to_vec();
+            let body_len = u32::from_le_bytes(image[..PAGE_HEADER].try_into().expect("header")) as usize;
+            let mut r = Reader::new(&image[PAGE_HEADER..PAGE_HEADER + body_len]);
+            while r.remaining() > 0 {
+                items.push(T::decode(&mut r));
+            }
+        }
+        for image in &seg.pending {
+            let body_len = u32::from_le_bytes(image[..PAGE_HEADER].try_into().expect("header")) as usize;
+            let mut r = Reader::new(&image[PAGE_HEADER..PAGE_HEADER + body_len]);
+            while r.remaining() > 0 {
+                items.push(T::decode(&mut r));
+            }
+        }
+        if seg.tail.len() > PAGE_HEADER {
+            let mut r = Reader::new(&seg.tail[PAGE_HEADER..]);
+            while r.remaining() > 0 {
+                items.push(T::decode(&mut r));
+            }
+        }
+        for pid in seg.pages {
+            self.disk.free(pid);
+        }
+        debug_assert_eq!(items.len() as u64, seg.count);
+
+        let total: usize = items.iter().map(Self::item_cost).sum();
+        if total > self.config.mem_budget && items.len() > 1 {
+            // Partial swap-in: keep the smallest keys within budget and
+            // re-spill the rest — into heap-sized segments, so each future
+            // swap-in consumes exactly one segment and the total re-spill
+            // I/O over the queue's life stays linear.
+            items.sort_by(|a, b| a.key().partial_cmp(&b.key()).expect("finite keys"));
+            let mut used = 0;
+            let mut cut = items.len();
+            for (i, it) in items.iter().enumerate() {
+                used += Self::item_cost(it);
+                if used > self.config.mem_budget && i > 0 {
+                    cut = i;
+                    break;
+                }
+            }
+            let rest = items.split_off(cut);
+            if !rest.is_empty() {
+                let page_size = self.disk.page_size();
+                let mut chunks: Vec<Segment> = Vec::new();
+                let mut chunk: Option<Segment> = None;
+                let mut chunk_cost = 0usize;
+                for it in rest {
+                    if chunk.is_none() || chunk_cost > self.config.mem_budget {
+                        if let Some(done) = chunk.take() {
+                            chunks.push(done);
+                        }
+                        chunk = Some(Segment::new(it.key(), page_size));
+                        chunk_cost = 0;
+                    }
+                    chunk_cost += Self::item_cost(&it);
+                    let seg = chunk.as_mut().expect("just created");
+                    Self::append_into(seg, &mut self.disk, it, page_size);
+                    self.stats.items_spilled += 1;
+                }
+                if let Some(done) = chunk.take() {
+                    chunks.push(done);
+                }
+                // Ascending ranges: push to the front in reverse.
+                for seg in chunks.into_iter().rev() {
+                    self.segments.push_front(seg);
+                }
+            }
+        }
+        for item in items {
+            let key = item.key();
+            self.heap_bytes += Self::item_cost(&item);
+            self.seq += 1;
+            self.heap.push(HeapEntry { key, seq: self.seq, item });
+        }
+        if self.heap.is_empty() {
+            // Segment was empty after all; try the next one.
+            return self.swap_in();
+        }
+        Some(())
+    }
+}
+
+impl<T: SpillItem> std::fmt::Debug for SpillQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpillQueue")
+            .field("len", &self.len())
+            .field("heap_len", &self.heap.len())
+            .field("heap_bytes", &self.heap_bytes)
+            .field("segments", &self.segments.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A minimal item: key + payload id.
+    #[derive(Clone, Copy, Debug, PartialEq)]
+    struct Item {
+        key: f64,
+        id: u64,
+    }
+
+    impl SpillItem for Item {
+        fn key(&self) -> f64 {
+            self.key
+        }
+        fn encoded_len(&self) -> usize {
+            16
+        }
+        fn encode(&self, out: &mut Vec<u8>) {
+            crate::codec::put_f64(out, self.key);
+            crate::codec::put_u64(out, self.id);
+        }
+        fn decode(r: &mut Reader<'_>) -> Self {
+            Item { key: r.f64(), id: r.u64() }
+        }
+    }
+
+    fn items(keys: &[f64]) -> Vec<Item> {
+        keys.iter().enumerate().map(|(i, &k)| Item { key: k, id: i as u64 }).collect()
+    }
+
+    fn pop_keys<T: SpillItem>(q: &mut SpillQueue<T>) -> Vec<f64> {
+        q.drain_sorted().iter().map(|i| i.key()).collect()
+    }
+
+    #[test]
+    fn unbounded_orders_items() {
+        let mut q = SpillQueue::new(SpillQueueConfig::unbounded());
+        for it in items(&[5.0, 1.0, 3.0, 2.0, 4.0]) {
+            q.push(it);
+        }
+        assert_eq!(pop_keys(&mut q), vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(q.stats().splits, 0);
+        assert_eq!(q.disk_stats().total_ios(), 0);
+    }
+
+    #[test]
+    fn tiny_budget_spills_and_still_orders() {
+        let mut cfg = SpillQueueConfig::budgeted(200, vec![]);
+        cfg.cost.page_size = 128;
+        let mut q = SpillQueue::new(cfg);
+        let n = 2000;
+        // Pseudo-random insert order so disk segments keep receiving
+        // appends (filling their pages) after the first splits.
+        let mut keys: Vec<u64> = (0..n).collect();
+        for i in 0..keys.len() {
+            let j = (i * 48271 + 11) % keys.len();
+            keys.swap(i, j);
+        }
+        for (id, &k) in keys.iter().enumerate() {
+            q.push(Item { key: k as f64, id: id as u64 });
+        }
+        assert_eq!(q.len(), n);
+        assert!(q.stats().splits > 0, "budget must force splits");
+        let keys = pop_keys(&mut q);
+        let expect: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        assert_eq!(keys, expect);
+        assert!(q.disk_stats().pages_written > 0);
+        assert!(q.disk_stats().pages_read > 0);
+    }
+
+    #[test]
+    fn descending_inserts_bound_segment_count() {
+        // Descending keys are the worst case for splits: every split wants
+        // a new, lower segment. The cap must hold and ordering survive.
+        let mut cfg = SpillQueueConfig::budgeted(200, vec![]);
+        cfg.cost.page_size = 128;
+        let mut q = SpillQueue::new(cfg);
+        let n = 1500u64;
+        for i in (0..n).rev() {
+            q.push(Item { key: i as f64, id: i });
+        }
+        assert!(q.segment_count() <= 64, "segments = {}", q.segment_count());
+        let keys = pop_keys(&mut q);
+        let expect: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        assert_eq!(keys, expect);
+    }
+
+    #[test]
+    fn configured_boundaries_guide_splits() {
+        let mut cfg = SpillQueueConfig::budgeted(300, vec![10.0, 20.0, 30.0, 40.0]);
+        cfg.cost.page_size = 256;
+        let mut q = SpillQueue::new(cfg);
+        for i in 0..200 {
+            q.push(Item { key: (i % 50) as f64, id: i });
+        }
+        let keys = pop_keys(&mut q);
+        let mut expect: Vec<f64> = (0..200u64).map(|i| (i % 50) as f64).collect();
+        expect.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(keys, expect);
+    }
+
+    #[test]
+    fn inserts_below_and_above_spill_boundary() {
+        let mut cfg = SpillQueueConfig::budgeted(256, vec![]);
+        cfg.cost.page_size = 128;
+        let mut q = SpillQueue::new(cfg);
+        // Force a split with large keys, then insert small keys (go to heap)
+        // and large keys (go directly to segments).
+        for i in 0..50 {
+            q.push(Item { key: 100.0 + i as f64, id: i });
+        }
+        assert!(q.segment_count() > 0);
+        q.push(Item { key: 1.0, id: 1000 });
+        q.push(Item { key: 500.0, id: 1001 });
+        let keys = pop_keys(&mut q);
+        assert_eq!(keys.first(), Some(&1.0));
+        assert_eq!(keys.last(), Some(&500.0));
+        assert_eq!(keys.len(), 52);
+        assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn interleaved_push_pop() {
+        let mut cfg = SpillQueueConfig::budgeted(300, vec![]);
+        cfg.cost.page_size = 128;
+        let mut q = SpillQueue::new(cfg);
+        let mut popped = Vec::new();
+        for round in 0..20u64 {
+            for i in 0..30u64 {
+                let k = ((i * 7919 + round * 104729) % 1000) as f64;
+                q.push(Item { key: k, id: round * 100 + i });
+            }
+            // Pop a few each round; popped values must never decrease below
+            // a previously popped value *at pop time* relative to remaining
+            // contents — global sortedness is checked at the end.
+            for _ in 0..10 {
+                popped.push(q.pop().expect("non-empty").key);
+            }
+        }
+        popped.extend(pop_keys(&mut q));
+        assert_eq!(popped.len(), 20 * 30);
+        // Not globally sorted (pops interleave with pushes), but every
+        // prefix pop was the minimum of what was live. Re-verify by
+        // simulation with a reference heap.
+        let mut reference = std::collections::BinaryHeap::new();
+        let mut cfg = SpillQueueConfig::budgeted(300, vec![]);
+        cfg.cost.page_size = 128;
+        let mut q2 = SpillQueue::new(cfg);
+        let mut idx = 0;
+        for round in 0..20u64 {
+            for i in 0..30u64 {
+                let k = ((i * 7919 + round * 104729) % 1000) as f64;
+                q2.push(Item { key: k, id: round * 100 + i });
+                reference.push(std::cmp::Reverse((k * 1000.0) as i64));
+            }
+            for _ in 0..10 {
+                let got = q2.pop().unwrap().key;
+                let want = (reference.pop().unwrap().0 as f64) / 1000.0;
+                assert_eq!(got, want, "mismatch at pop {idx}");
+                idx += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn all_equal_keys_make_progress() {
+        let mut cfg = SpillQueueConfig::budgeted(200, vec![]);
+        cfg.cost.page_size = 128;
+        let mut q = SpillQueue::new(cfg);
+        for i in 0..100 {
+            q.push(Item { key: 7.0, id: i });
+        }
+        let keys = pop_keys(&mut q);
+        assert_eq!(keys.len(), 100);
+        assert!(keys.iter().all(|&k| k == 7.0));
+    }
+
+    #[test]
+    fn len_and_empty_track_contents() {
+        let mut q = SpillQueue::new(SpillQueueConfig::unbounded());
+        assert!(q.is_empty());
+        q.push(Item { key: 1.0, id: 0 });
+        assert_eq!(q.len(), 1);
+        let _ = q.pop();
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn stats_count_operations() {
+        let mut q = SpillQueue::new(SpillQueueConfig::unbounded());
+        for it in items(&[1.0, 2.0, 3.0]) {
+            q.push(it);
+        }
+        let _ = q.pop();
+        let s = q.stats();
+        assert_eq!(s.insertions, 3);
+        assert_eq!(s.pops, 1);
+        assert_eq!(s.max_len, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_non_finite_keys() {
+        let mut q = SpillQueue::new(SpillQueueConfig::unbounded());
+        q.push(Item { key: f64::INFINITY, id: 0 });
+    }
+
+    #[test]
+    fn partial_swap_in_respects_budget() {
+        // A segment larger than memory must be split on swap-in rather than
+        // blowing the budget.
+        let mut cfg = SpillQueueConfig::budgeted(240, vec![]);
+        cfg.cost.page_size = 4096;
+        let mut q = SpillQueue::new(cfg);
+        for i in 0..400u64 {
+            q.push(Item { key: 1000.0 - i as f64, id: i });
+        }
+        let keys = pop_keys(&mut q);
+        assert_eq!(keys.len(), 400);
+        assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+        // The budget fits ~6 items; the heap must never have exceeded it by
+        // more than one item's cost during the drain.
+        assert!(q.mem_bytes() == 0);
+    }
+}

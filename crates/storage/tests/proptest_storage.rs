@@ -1,0 +1,125 @@
+//! Property-based validation of the storage substrate: the spill queue
+//! must behave exactly like a reference binary heap under arbitrary
+//! push/pop interleavings, budgets, and boundary sets; the external
+//! sorter must sort; the LRU must respect its budget.
+
+use amdj_storage::codec::{put_f64, put_u64, Reader};
+use amdj_storage::{ByteLru, CostModel, ExternalSorter, SpillItem, SpillQueue, SpillQueueConfig};
+use proptest::prelude::*;
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct Item {
+    key: f64,
+    id: u64,
+}
+
+impl SpillItem for Item {
+    fn key(&self) -> f64 {
+        self.key
+    }
+    fn encoded_len(&self) -> usize {
+        16
+    }
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_f64(out, self.key);
+        put_u64(out, self.id);
+    }
+    fn decode(r: &mut Reader<'_>) -> Self {
+        Item { key: r.f64(), id: r.u64() }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Op {
+    Push(u16),
+    Pop,
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![3 => (0u16..500).prop_map(Op::Push), 2 => Just(Op::Pop)],
+        1..400,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn spill_queue_matches_reference_heap(
+        ops in ops(),
+        mem in 64usize..2048,
+        page in 64usize..512,
+        nbounds in 0usize..8,
+    ) {
+        let boundaries: Vec<f64> = (1..=nbounds).map(|i| (i * 60) as f64).collect();
+        let cost = CostModel { page_size: page, ..CostModel::paper_1999_disk() };
+        let mut q = SpillQueue::new(SpillQueueConfig { mem_budget: mem, boundaries, cost });
+        let mut reference: Vec<u16> = Vec::new();
+        let mut id = 0u64;
+        for op in ops {
+            match op {
+                Op::Push(k) => {
+                    q.push(Item { key: k as f64, id });
+                    id += 1;
+                    reference.push(k);
+                }
+                Op::Pop => {
+                    let got = q.pop().map(|i| i.key);
+                    let want = if reference.is_empty() {
+                        None
+                    } else {
+                        let min = *reference.iter().min().expect("non-empty");
+                        let pos = reference.iter().position(|&v| v == min).expect("present");
+                        reference.swap_remove(pos);
+                        Some(min as f64)
+                    };
+                    prop_assert_eq!(got, want);
+                }
+            }
+        }
+        prop_assert_eq!(q.len() as usize, reference.len());
+        // Drain the remainder: must come out sorted and complete.
+        let mut rest: Vec<f64> = Vec::new();
+        while let Some(i) = q.pop() {
+            rest.push(i.key);
+        }
+        let mut want: Vec<f64> = reference.iter().map(|&v| v as f64).collect();
+        want.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert!(rest.windows(2).all(|w| w[0] <= w[1]));
+        prop_assert_eq!(rest, want);
+    }
+
+    #[test]
+    fn external_sorter_sorts_everything(
+        keys in prop::collection::vec(0u32..10_000, 0..600),
+        mem in 64usize..1024,
+        page in 64usize..512,
+    ) {
+        let cost = CostModel { page_size: page, ..CostModel::free() };
+        let mut sorter = ExternalSorter::new(mem, cost);
+        for (i, &k) in keys.iter().enumerate() {
+            sorter.push(Item { key: k as f64, id: i as u64 });
+        }
+        let out: Vec<f64> = sorter.finish().map(|i| i.key).collect();
+        let mut want: Vec<f64> = keys.iter().map(|&k| k as f64).collect();
+        want.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert_eq!(out, want);
+    }
+
+    #[test]
+    fn lru_never_exceeds_budget(
+        inserts in prop::collection::vec((0u16..64, 1usize..64), 1..200),
+        budget in 16usize..256,
+    ) {
+        let mut lru: ByteLru<u16, u16> = ByteLru::new(budget);
+        for (k, bytes) in inserts {
+            lru.insert(k, k, bytes);
+            prop_assert!(lru.used_bytes() <= budget);
+            // A freshly inserted, affordable entry must be resident.
+            if bytes <= budget {
+                prop_assert!(lru.get(&k).is_some());
+            }
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Shared helpers for the repository-root integration test suite (the
+//! tests themselves live in `/tests`; see this package's `Cargo.toml`).
+
+#![deny(unsafe_code)]
+
+use amdj_datagen::Dataset;
+use amdj_rtree::{RTree, RTreeParams};
+
+/// Builds two small-page test trees from two data sets.
+pub fn build_trees(a: &Dataset, b: &Dataset) -> (RTree<2>, RTree<2>) {
+    (
+        RTree::bulk_load(RTreeParams::for_tests(), a.clone()),
+        RTree::bulk_load(RTreeParams::for_tests(), b.clone()),
+    )
+}
+
+/// Builds two paper-configuration trees (4 KB pages, 512 KB buffer).
+pub fn build_paper_trees(a: &Dataset, b: &Dataset) -> (RTree<2>, RTree<2>) {
+    (
+        RTree::bulk_load(RTreeParams::paper_defaults(), a.clone()),
+        RTree::bulk_load(RTreeParams::paper_defaults(), b.clone()),
+    )
+}
+
+/// Asserts two result streams carry the same distance sequence (object id
+/// ties may legitimately differ between algorithms).
+pub fn assert_same_distances(
+    got: &[amdj_core::ResultPair],
+    want: &[amdj_core::ResultPair],
+    label: &str,
+) {
+    assert_eq!(got.len(), want.len(), "{label}: result count");
+    for (i, (g, w)) in got.iter().zip(want.iter()).enumerate() {
+        assert!(
+            (g.dist - w.dist).abs() < 1e-9,
+            "{label}: rank {i} distance {} != {}",
+            g.dist,
+            w.dist
+        );
+    }
+}

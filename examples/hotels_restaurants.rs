@@ -1,0 +1,70 @@
+//! The paper's motivating query (§1):
+//!
+//! ```sql
+//! SELECT h.name, r.name
+//! FROM Hotel h, Restaurant r
+//! ORDER BY distance(h.location, r.location)
+//! STOP AFTER k;
+//! ```
+//!
+//! Hotels cluster downtown, restaurants cluster around nightlife spots —
+//! a skewed, realistic city. We run the same `STOP AFTER k` query with
+//! every k-distance-join algorithm and show they agree while doing very
+//! different amounts of work.
+//!
+//! Run with: `cargo run --release -p amdj-core --example hotels_restaurants`
+
+use amdj_core::{am_kdj, b_kdj, hs_kdj, AmKdjOptions, JoinConfig};
+use amdj_datagen::{clustered_points, unit_universe};
+use amdj_rtree::{RTree, RTreeParams};
+
+fn main() {
+    let k = 1_000;
+    // 30k hotels in 8 districts, 60k restaurants in 25 hot spots.
+    let hotels = clustered_points(30_000, 8, 0.03, unit_universe(), 71);
+    let restaurants = clustered_points(60_000, 25, 0.02, unit_universe(), 72);
+
+    let mut h = RTree::bulk_load(RTreeParams::paper_defaults(), hotels);
+    let mut r = RTree::bulk_load(RTreeParams::paper_defaults(), restaurants);
+    let cfg = JoinConfig::default();
+
+    println!("STOP AFTER {k}: nearest hotel–restaurant pairs\n");
+
+    let runs = [
+        ("HS-KDJ (baseline)", hs_kdj(&mut h, &mut r, k, &cfg)),
+        ("B-KDJ  (plane sweep)", b_kdj(&mut h, &mut r, k, &cfg)),
+        ("AM-KDJ (multi-stage)", am_kdj(&mut h, &mut r, k, &cfg, &AmKdjOptions::default())),
+    ];
+
+    // All algorithms must agree on the distances.
+    for w in runs.windows(2) {
+        for (a, b) in w[0].1.results.iter().zip(w[1].1.results.iter()) {
+            assert!((a.dist - b.dist).abs() < 1e-9, "algorithms disagree!");
+        }
+    }
+
+    println!("top pairs (from B-KDJ):");
+    for (rank, p) in runs[1].1.results.iter().take(8).enumerate() {
+        println!(
+            "  #{:<2} hotel {:>6} — restaurant {:>6}  dist {:.6}",
+            rank + 1,
+            p.r,
+            p.s,
+            p.dist
+        );
+    }
+
+    println!("\n{:<22} {:>14} {:>14} {:>12}", "algorithm", "real dists", "queue inserts", "resp. time");
+    for (name, out) in &runs {
+        println!(
+            "{:<22} {:>14} {:>14} {:>11.3}s",
+            name,
+            out.stats.real_dist,
+            out.stats.mainq_insertions,
+            out.stats.response_time()
+        );
+    }
+    println!("\nsame answers, different work — that is the paper in one table.");
+    println!("(B-KDJ computes ~3× fewer distances than HS-KDJ; AM-KDJ's eDmax");
+    println!(" pruning also keeps the queue small, which is what wins on I/O.)");
+}

@@ -1,0 +1,76 @@
+//! The whole stack is const-generic over the dimension; exercise it end
+//! to end in 3-D (the paper's algorithms are presented in 2-D but nothing
+//! in them is 2-D-specific).
+
+use amdj_core::{am_kdj, b_kdj, bruteforce, hs_kdj, AmIdj, AmIdjOptions, AmKdjOptions, JoinConfig};
+use amdj_geom::{Point, Rect};
+use amdj_rtree::{RTree, RTreeParams};
+
+fn lattice(n: usize, offset: f64) -> Vec<(Rect<3>, u64)> {
+    let mut v = Vec::new();
+    let mut id = 0;
+    for x in 0..n {
+        for y in 0..n {
+            for z in 0..n {
+                let p = Point::new([
+                    x as f64 + offset,
+                    y as f64 + offset * 0.5,
+                    z as f64 + offset * 0.25,
+                ]);
+                v.push((Rect::from_point(p), id));
+                id += 1;
+            }
+        }
+    }
+    v
+}
+
+#[test]
+fn three_dimensional_kdj_algorithms_agree_with_brute_force() {
+    let a = lattice(7, 0.0);
+    let b = lattice(7, 0.37);
+    let k = 120;
+    let want = bruteforce::k_closest_pairs(&a, &b, k);
+    let mut r = RTree::bulk_load(RTreeParams::for_tests(), a.clone());
+    let mut s = RTree::bulk_load(RTreeParams::for_tests(), b.clone());
+
+    let hs = hs_kdj(&mut r, &mut s, k, &JoinConfig::unbounded());
+    let bk = b_kdj(&mut r, &mut s, k, &JoinConfig::unbounded());
+    let am = am_kdj(&mut r, &mut s, k, &JoinConfig::unbounded(), &AmKdjOptions::default());
+    for (label, out) in [("HS", &hs), ("B", &bk), ("AM", &am)] {
+        assert_eq!(out.results.len(), k, "{label}");
+        for (i, (g, w)) in out.results.iter().zip(want.iter()).enumerate() {
+            assert!((g.dist - w.dist).abs() < 1e-9, "{label} rank {i}");
+        }
+    }
+}
+
+#[test]
+fn three_dimensional_incremental_stream() {
+    let a = lattice(6, 0.0);
+    let b = lattice(6, 0.41);
+    let want = bruteforce::k_closest_pairs(&a, &b, 200);
+    let mut r = RTree::bulk_load(RTreeParams::for_tests(), a);
+    let mut s = RTree::bulk_load(RTreeParams::for_tests(), b);
+    let mut cursor = AmIdj::new(&mut r, &mut s, &JoinConfig::unbounded(), AmIdjOptions::default());
+    for (i, w) in want.iter().enumerate() {
+        let g = cursor.next().unwrap_or_else(|| panic!("exhausted at {i}"));
+        assert!((g.dist - w.dist).abs() < 1e-9, "rank {i}");
+    }
+}
+
+#[test]
+fn three_dimensional_tree_lifecycle() {
+    let items = lattice(8, 0.0);
+    let mut t = RTree::bulk_load(RTreeParams::for_tests(), items.clone());
+    t.validate().expect("valid 3-D bulk load");
+    for (mbr, id) in items.iter().take(200) {
+        assert!(t.delete(mbr, *id));
+    }
+    t.validate().expect("valid after 3-D deletions");
+    for i in 0..100u64 {
+        t.insert(Rect::from_point(Point::new([0.5, 0.5, i as f64 * 0.01])), 10_000 + i);
+    }
+    t.validate().expect("valid after 3-D inserts");
+    assert_eq!(t.len(), 512 - 200 + 100);
+}

@@ -1,0 +1,128 @@
+//! Cross-crate correctness: every join algorithm must produce exactly the
+//! brute-force distance sequence on realistic workloads, with indexes
+//! built both by STR bulk loading and by R* insertion.
+
+use amdj_core::{
+    am_kdj, b_kdj, bruteforce, hs_kdj, sj_sort, AmIdj, AmIdjOptions, AmKdjOptions, JoinConfig,
+};
+use amdj_datagen::tiger::Geography;
+use amdj_datagen::{clustered_points, uniform_points, unit_universe, Dataset};
+use amdj_rtree::{RTree, RTreeParams};
+use amdj_tests::{assert_same_distances, build_trees};
+
+fn all_kdj_algorithms_agree(a: &Dataset, b: &Dataset, k: usize, cfg: &JoinConfig) {
+    let want = bruteforce::k_closest_pairs(a, b, k);
+    let (mut r, mut s) = build_trees(a, b);
+
+    let hs = hs_kdj(&mut r, &mut s, k, cfg);
+    assert_same_distances(&hs.results, &want, "HS-KDJ");
+
+    let bk = b_kdj(&mut r, &mut s, k, cfg);
+    assert_same_distances(&bk.results, &want, "B-KDJ");
+
+    let am = am_kdj(&mut r, &mut s, k, cfg, &AmKdjOptions::default());
+    assert_same_distances(&am.results, &want, "AM-KDJ");
+
+    if let Some(dmax) = want.last().map(|p| p.dist) {
+        let sj = sj_sort(&mut r, &mut s, k, dmax, cfg);
+        assert_same_distances(&sj.results, &want, "SJ-SORT");
+    }
+
+    let mut idj = AmIdj::new(&mut r, &mut s, cfg, AmIdjOptions::default());
+    let mut got = Vec::new();
+    while got.len() < k {
+        match idj.next() {
+            Some(p) => got.push(p),
+            None => break,
+        }
+    }
+    assert_same_distances(&got, &want, "AM-IDJ");
+}
+
+#[test]
+fn uniform_workload_all_algorithms() {
+    let a = uniform_points(900, unit_universe(), 11);
+    let b = uniform_points(700, unit_universe(), 12);
+    for k in [1, 17, 400] {
+        all_kdj_algorithms_agree(&a, &b, k, &JoinConfig::unbounded());
+    }
+}
+
+#[test]
+fn skewed_workload_all_algorithms() {
+    // Clustered data breaks the uniformity assumption behind eDmax —
+    // exactly where compensation must save correctness.
+    let a = clustered_points(800, 4, 0.01, unit_universe(), 31);
+    let b = clustered_points(600, 3, 0.015, unit_universe(), 32);
+    for k in [5, 150] {
+        all_kdj_algorithms_agree(&a, &b, k, &JoinConfig::unbounded());
+    }
+}
+
+#[test]
+fn tiger_workload_all_algorithms() {
+    let geo = Geography::arizona_like(9);
+    let a = geo.streets(1200);
+    let b = geo.hydro(500);
+    for k in [10, 250] {
+        all_kdj_algorithms_agree(&a, &b, k, &JoinConfig::unbounded());
+    }
+}
+
+#[test]
+fn rect_objects_all_algorithms() {
+    let a = amdj_datagen::uniform_rects(600, unit_universe(), 0.05, 41);
+    let b = amdj_datagen::uniform_rects(500, unit_universe(), 0.08, 42);
+    all_kdj_algorithms_agree(&a, &b, 120, &JoinConfig::unbounded());
+}
+
+#[test]
+fn disjoint_data_regions() {
+    // R entirely left of S: every distance crosses the gap; the estimator
+    // falls back to the union area.
+    let a = uniform_points(300, amdj_geom::Rect::new([0.0, 0.0], [0.4, 1.0]), 51);
+    let b = uniform_points(300, amdj_geom::Rect::new([0.6, 0.0], [1.0, 1.0]), 52);
+    all_kdj_algorithms_agree(&a, &b, 50, &JoinConfig::unbounded());
+}
+
+#[test]
+fn insert_built_trees_agree_with_bulk_loaded() {
+    let a = uniform_points(500, unit_universe(), 61);
+    let b = uniform_points(400, unit_universe(), 62);
+    let k = 80;
+    let want = bruteforce::k_closest_pairs(&a, &b, k);
+
+    let mut r = RTree::new(RTreeParams::for_tests());
+    for &(mbr, id) in &a {
+        r.insert(mbr, id);
+    }
+    let mut s = RTree::new(RTreeParams::for_tests());
+    for &(mbr, id) in &b {
+        s.insert(mbr, id);
+    }
+    r.validate().expect("R valid");
+    s.validate().expect("S valid");
+
+    let out = b_kdj(&mut r, &mut s, k, &JoinConfig::unbounded());
+    assert_same_distances(&out.results, &want, "B-KDJ over insert-built trees");
+}
+
+#[test]
+fn very_different_cardinalities() {
+    let a = uniform_points(2000, unit_universe(), 71);
+    let b = uniform_points(50, unit_universe(), 72);
+    all_kdj_algorithms_agree(&a, &b, 60, &JoinConfig::unbounded());
+    all_kdj_algorithms_agree(&b, &a, 60, &JoinConfig::unbounded());
+}
+
+#[test]
+fn duplicate_heavy_data() {
+    // Many coincident points: floods of zero distances and ties.
+    let mut a = Vec::new();
+    for i in 0..200u64 {
+        let x = (i % 5) as f64 * 0.2;
+        a.push((amdj_geom::Rect::from_point(amdj_geom::Point::new([x, x])), i));
+    }
+    let b = a.clone();
+    all_kdj_algorithms_agree(&a, &b, 300, &JoinConfig::unbounded());
+}

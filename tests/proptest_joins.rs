@@ -1,0 +1,145 @@
+//! Property-based end-to-end validation: random workloads, random
+//! parameters — every algorithm must reproduce the brute-force distance
+//! sequence exactly, under any memory budget and any `eDmax` estimate.
+
+use amdj_core::{
+    am_kdj, b_kdj, bruteforce, hs_kdj, sj_sort, AmIdj, AmIdjOptions, AmKdjOptions, Correction,
+    EdmaxPolicy, JoinConfig,
+};
+use amdj_geom::Rect;
+use amdj_rtree::{RTree, RTreeParams};
+use amdj_storage::CostModel;
+use proptest::prelude::*;
+
+fn arb_dataset(max_n: usize) -> impl Strategy<Value = Vec<(Rect<2>, u64)>> {
+    prop::collection::vec(
+        (0.0..1000.0f64, 0.0..1000.0f64, 0.0..5.0f64, 0.0..5.0f64),
+        1..max_n,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (x, y, w, h))| (Rect::new([x, y], [x + w, y + h]), i as u64))
+            .collect()
+    })
+}
+
+fn trees(
+    a: &[(Rect<2>, u64)],
+    b: &[(Rect<2>, u64)],
+) -> (RTree<2>, RTree<2>) {
+    (
+        RTree::bulk_load(RTreeParams::for_tests(), a.to_vec()),
+        RTree::bulk_load(RTreeParams::for_tests(), b.to_vec()),
+    )
+}
+
+fn same_distances(got: &[amdj_core::ResultPair], want: &[amdj_core::ResultPair]) -> Result<(), TestCaseError> {
+    prop_assert_eq!(got.len(), want.len());
+    for (g, w) in got.iter().zip(want.iter()) {
+        prop_assert!((g.dist - w.dist).abs() < 1e-9, "{} != {}", g.dist, w.dist);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn bkdj_equals_bruteforce(
+        a in arb_dataset(120),
+        b in arb_dataset(120),
+        k in 1usize..200,
+    ) {
+        let want = bruteforce::k_closest_pairs(&a, &b, k);
+        let (mut r, mut s) = trees(&a, &b);
+        let out = b_kdj(&mut r, &mut s, k, &JoinConfig::unbounded());
+        same_distances(&out.results, &want)?;
+    }
+
+    #[test]
+    fn amkdj_equals_bruteforce_any_edmax(
+        a in arb_dataset(100),
+        b in arb_dataset(100),
+        k in 1usize..150,
+        edmax_factor in 0.0f64..5.0,
+    ) {
+        let want = bruteforce::k_closest_pairs(&a, &b, k);
+        let scale = want.last().map_or(1.0, |p| p.dist);
+        let (mut r, mut s) = trees(&a, &b);
+        let opts = AmKdjOptions { edmax_override: Some(scale * edmax_factor) };
+        let out = am_kdj(&mut r, &mut s, k, &JoinConfig::unbounded(), &opts);
+        same_distances(&out.results, &want)?;
+    }
+
+    #[test]
+    fn hs_equals_bruteforce(
+        a in arb_dataset(80),
+        b in arb_dataset(80),
+        k in 1usize..100,
+    ) {
+        let want = bruteforce::k_closest_pairs(&a, &b, k);
+        let (mut r, mut s) = trees(&a, &b);
+        let out = hs_kdj(&mut r, &mut s, k, &JoinConfig::unbounded());
+        same_distances(&out.results, &want)?;
+    }
+
+    #[test]
+    fn sjsort_equals_bruteforce(
+        a in arb_dataset(80),
+        b in arb_dataset(80),
+        k in 1usize..100,
+    ) {
+        let want = bruteforce::k_closest_pairs(&a, &b, k);
+        if let Some(dmax) = want.last().map(|p| p.dist) {
+            let (mut r, mut s) = trees(&a, &b);
+            let out = sj_sort(&mut r, &mut s, k.min(want.len()), dmax, &JoinConfig::unbounded());
+            same_distances(&out.results, &want[..k.min(want.len())])?;
+        }
+    }
+
+    #[test]
+    fn amidj_streams_bruteforce_order(
+        a in arb_dataset(70),
+        b in arb_dataset(70),
+        take in 1usize..150,
+        initial_k in 1u64..64,
+        geometric in proptest::bool::ANY,
+    ) {
+        let want = bruteforce::k_closest_pairs(&a, &b, take);
+        let (mut r, mut s) = trees(&a, &b);
+        let corr = if geometric { Correction::Geometric } else { Correction::MinOfBoth };
+        let opts = AmIdjOptions {
+            initial_k,
+            growth: 2.0,
+            edmax: EdmaxPolicy::Estimated(corr),
+        };
+        let mut cursor = AmIdj::new(&mut r, &mut s, &JoinConfig::unbounded(), opts);
+        let mut got = Vec::new();
+        while got.len() < take {
+            match cursor.next() {
+                Some(p) => got.push(p),
+                None => break,
+            }
+        }
+        same_distances(&got, &want)?;
+    }
+
+    #[test]
+    fn bkdj_invariant_under_memory_budget(
+        a in arb_dataset(90),
+        b in arb_dataset(90),
+        k in 1usize..120,
+        mem_kb in 1usize..32,
+    ) {
+        let want = bruteforce::k_closest_pairs(&a, &b, k);
+        let (mut r, mut s) = trees(&a, &b);
+        let cfg = JoinConfig {
+            queue_mem_bytes: mem_kb * 1024,
+            queue_cost: CostModel { page_size: 1024, ..CostModel::paper_1999_disk() },
+            ..JoinConfig::default()
+        };
+        let out = b_kdj(&mut r, &mut s, k, &cfg);
+        same_distances(&out.results, &want)?;
+    }
+}
