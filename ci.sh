@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Local CI: formatting, lints, full test suite. Vendored crates under
+# vendor/ are workspace-excluded and deliberately not linted.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check =="
+cargo fmt --all --check
+
+echo "== cargo clippy (all targets, warnings are errors) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test =="
+cargo test -q
+
+echo "ci.sh: all checks passed"

@@ -13,7 +13,9 @@ fn bench_formulae(c: &mut Criterion) {
     c.bench_function("estimate/corrected_max", |b| {
         b.iter(|| est.corrected(10_000, 1_000, 0.001, Correction::MaxOfBoth))
     });
-    c.bench_function("estimate/boundaries_64", |b| b.iter(|| est.queue_boundaries(4096, 64)));
+    c.bench_function("estimate/boundaries_64", |b| {
+        b.iter(|| est.queue_boundaries(4096, 64))
+    });
 }
 
 fn accuracy_probe(c: &mut Criterion) {

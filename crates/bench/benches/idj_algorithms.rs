@@ -13,15 +13,15 @@ fn workload() -> Workload {
 
 fn bench_idj(c: &mut Criterion) {
     let w = workload();
-    let (mut r, mut s) = build_trees(&w, 512 * 1024);
+    let (r, s) = build_trees(&w, 512 * 1024);
     let cfg = JoinConfig::unbounded();
     let mut g = c.benchmark_group("idj");
     g.sample_size(10);
     for &k in &[100usize, 1_000] {
         g.bench_with_input(BenchmarkId::new("hs_idj", k), &k, |b, &k| {
             b.iter(|| {
-                reset(&mut r, &mut s);
-                let mut cur = HsIdj::new(&mut r, &mut s, &cfg);
+                reset(&r, &s);
+                let mut cur = HsIdj::new(&r, &s, &cfg);
                 let mut n = 0;
                 while n < k && cur.next().is_some() {
                     n += 1;
@@ -31,8 +31,8 @@ fn bench_idj(c: &mut Criterion) {
         });
         g.bench_with_input(BenchmarkId::new("am_idj", k), &k, |b, &k| {
             b.iter(|| {
-                reset(&mut r, &mut s);
-                let mut cur = AmIdj::new(&mut r, &mut s, &cfg, AmIdjOptions::default());
+                reset(&r, &s);
+                let mut cur = AmIdj::new(&r, &s, &cfg, AmIdjOptions::default());
                 let mut n = 0;
                 while n < k && cur.next().is_some() {
                     n += 1;

@@ -13,37 +13,42 @@ fn workload() -> Workload {
 
 fn bench_kdj(c: &mut Criterion) {
     let w = workload();
-    let (mut r, mut s) = build_trees(&w, 512 * 1024);
+    let (r, s) = build_trees(&w, 512 * 1024);
     let cfg = JoinConfig::unbounded();
     let mut g = c.benchmark_group("kdj");
     g.sample_size(10);
     for &k in &[10usize, 1_000] {
         g.bench_with_input(BenchmarkId::new("hs_kdj", k), &k, |b, &k| {
             b.iter(|| {
-                reset(&mut r, &mut s);
-                hs_kdj(&mut r, &mut s, k, &cfg).results.len()
+                reset(&r, &s);
+                hs_kdj(&r, &s, k, &cfg).results.len()
             });
         });
         g.bench_with_input(BenchmarkId::new("b_kdj", k), &k, |b, &k| {
             b.iter(|| {
-                reset(&mut r, &mut s);
-                b_kdj(&mut r, &mut s, k, &cfg).results.len()
+                reset(&r, &s);
+                b_kdj(&r, &s, k, &cfg).results.len()
             });
         });
         g.bench_with_input(BenchmarkId::new("am_kdj", k), &k, |b, &k| {
             b.iter(|| {
-                reset(&mut r, &mut s);
-                am_kdj(&mut r, &mut s, k, &cfg, &AmKdjOptions::default()).results.len()
+                reset(&r, &s);
+                am_kdj(&r, &s, k, &cfg, &AmKdjOptions::default())
+                    .results
+                    .len()
             });
         });
         let dmax = {
-            reset(&mut r, &mut s);
-            b_kdj(&mut r, &mut s, k, &cfg).results.last().map_or(0.0, |p| p.dist)
+            reset(&r, &s);
+            b_kdj(&r, &s, k, &cfg)
+                .results
+                .last()
+                .map_or(0.0, |p| p.dist)
         };
         g.bench_with_input(BenchmarkId::new("sj_sort", k), &k, |b, &k| {
             b.iter(|| {
-                reset(&mut r, &mut s);
-                sj_sort(&mut r, &mut s, k, dmax, &cfg).results.len()
+                reset(&r, &s);
+                sj_sort(&r, &s, k, dmax, &cfg).results.len()
             });
         });
     }

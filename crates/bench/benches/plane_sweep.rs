@@ -13,7 +13,7 @@ fn workload() -> Workload {
 
 fn bench_sweep_optimizations(c: &mut Criterion) {
     let w = workload();
-    let (mut r, mut s) = build_trees(&w, 512 * 1024);
+    let (r, s) = build_trees(&w, 512 * 1024);
     let mut g = c.benchmark_group("plane_sweep/bkdj_k1000");
     g.sample_size(10);
     let variants = [
@@ -30,8 +30,8 @@ fn bench_sweep_optimizations(c: &mut Criterion) {
         };
         g.bench_function(name, |b| {
             b.iter(|| {
-                amdj_bench::reset(&mut r, &mut s);
-                b_kdj(&mut r, &mut s, 1_000, &cfg).results.len()
+                amdj_bench::reset(&r, &s);
+                b_kdj(&r, &s, 1_000, &cfg).results.len()
             });
         });
     }

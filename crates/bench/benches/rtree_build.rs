@@ -45,5 +45,10 @@ fn bench_bulk_load_skewed(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_bulk_load, bench_insert, bench_bulk_load_skewed);
+criterion_group!(
+    benches,
+    bench_bulk_load,
+    bench_insert,
+    bench_bulk_load_skewed
+);
 criterion_main!(benches);

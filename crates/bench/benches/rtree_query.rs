@@ -6,11 +6,14 @@ use amdj_rtree::{RTree, RTreeParams};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn tree(n: usize) -> RTree<2> {
-    RTree::bulk_load(RTreeParams::paper_defaults(), uniform_points(n, unit_universe(), 5))
+    RTree::bulk_load(
+        RTreeParams::paper_defaults(),
+        uniform_points(n, unit_universe(), 5),
+    )
 }
 
 fn bench_range(c: &mut Criterion) {
-    let mut t = tree(100_000);
+    let t = tree(100_000);
     let mut g = c.benchmark_group("rtree/range_query");
     for &side in &[0.01f64, 0.05, 0.2] {
         g.bench_with_input(BenchmarkId::from_parameter(side), &side, |b, &side| {
@@ -22,7 +25,7 @@ fn bench_range(c: &mut Criterion) {
 }
 
 fn bench_knn(c: &mut Criterion) {
-    let mut t = tree(100_000);
+    let t = tree(100_000);
     let mut g = c.benchmark_group("rtree/knn");
     for &k in &[1usize, 10, 100] {
         g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
@@ -34,7 +37,7 @@ fn bench_knn(c: &mut Criterion) {
 }
 
 fn bench_within(c: &mut Criterion) {
-    let mut t = tree(100_000);
+    let t = tree(100_000);
     c.bench_function("rtree/within_distance/0.02", |b| {
         let q = Rect::from_point(Point::new([0.5, 0.5]));
         b.iter(|| t.within_distance(&q, 0.02).len());

@@ -23,12 +23,17 @@ impl SpillItem for Item {
         put_u64(out, self.id);
     }
     fn decode(r: &mut Reader<'_>) -> Self {
-        Item { key: r.f64(), id: r.u64() }
+        Item {
+            key: r.f64(),
+            id: r.u64(),
+        }
     }
 }
 
 fn keys(n: usize) -> Vec<f64> {
-    (0..n).map(|i| ((i as u64).wrapping_mul(2654435761) % 1_000_000) as f64).collect()
+    (0..n)
+        .map(|i| ((i as u64).wrapping_mul(2654435761) % 1_000_000) as f64)
+        .collect()
 }
 
 fn bench_push_pop(c: &mut Criterion) {
@@ -36,7 +41,11 @@ fn bench_push_pop(c: &mut Criterion) {
     let ks = keys(100_000);
     g.throughput(Throughput::Elements(ks.len() as u64));
     for &budget in &[16 * 1024usize, 512 * 1024, usize::MAX] {
-        let label = if budget == usize::MAX { "unbounded".to_string() } else { format!("{}k", budget / 1024) };
+        let label = if budget == usize::MAX {
+            "unbounded".to_string()
+        } else {
+            format!("{}k", budget / 1024)
+        };
         g.bench_with_input(BenchmarkId::from_parameter(label), &budget, |b, &budget| {
             b.iter(|| {
                 let mut q = SpillQueue::new(SpillQueueConfig {
@@ -45,7 +54,10 @@ fn bench_push_pop(c: &mut Criterion) {
                     cost: amdj_storage::CostModel::free(),
                 });
                 for (i, &k) in ks.iter().enumerate() {
-                    q.push(Item { key: k, id: i as u64 });
+                    q.push(Item {
+                        key: k,
+                        id: i as u64,
+                    });
                 }
                 let mut n = 0u64;
                 while q.pop().is_some() {
@@ -77,7 +89,10 @@ fn bench_boundary_guidance(c: &mut Criterion) {
                     cost: amdj_storage::CostModel::free(),
                 });
                 for (i, &k) in ks.iter().enumerate() {
-                    q.push(Item { key: k, id: i as u64 });
+                    q.push(Item {
+                        key: k,
+                        id: i as u64,
+                    });
                 }
                 let mut n = 0u64;
                 while q.pop().is_some() {

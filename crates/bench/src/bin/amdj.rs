@@ -5,7 +5,7 @@
 //! ```text
 //! amdj generate --kind tiger-streets|tiger-hydro|uniform|clustered --n N [--seed S] --out data.csv
 //! amdj build    --input data.csv --out index.amdj
-//! amdj kdj      --r a.amdj --s b.amdj --k K [--algo am|b|hs]
+//! amdj kdj      --r a.amdj --s b.amdj --k K [--algo am|b|hs|par] [--threads T]
 //! amdj idj      --r a.amdj --s b.amdj --take N [--batch B]
 //! amdj within   --r a.amdj --s b.amdj --dist D
 //! amdj knn      --r a.amdj --s b.amdj --k K
@@ -18,14 +18,17 @@ use std::collections::HashMap;
 use std::io::{BufRead, BufWriter, Write};
 use std::process::ExitCode;
 
-use amdj_core::{am_kdj, b_kdj, hs_kdj, knn_join, within_join, AmIdj, AmIdjOptions, AmKdjOptions, JoinConfig};
+use amdj_core::{
+    am_kdj, b_kdj, hs_kdj, knn_join, par_b_kdj, within_join, AmIdj, AmIdjOptions, AmKdjOptions,
+    JoinConfig,
+};
 use amdj_datagen::{clustered_points, tiger::Geography, uniform_points, unit_universe, Dataset};
 use amdj_geom::Rect;
 use amdj_rtree::{RTree, RTreeParams};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  amdj generate --kind tiger-streets|tiger-hydro|uniform|clustered --n N [--seed S] --out data.csv\n  amdj build    --input data.csv --out index.amdj\n  amdj kdj      --r a.amdj --s b.amdj --k K [--algo am|b|hs]\n  amdj idj      --r a.amdj --s b.amdj --take N [--batch B]\n  amdj within   --r a.amdj --s b.amdj --dist D\n  amdj knn      --r a.amdj --s b.amdj --k K"
+        "usage:\n  amdj generate --kind tiger-streets|tiger-hydro|uniform|clustered --n N [--seed S] --out data.csv\n  amdj build    --input data.csv --out index.amdj\n  amdj kdj      --r a.amdj --s b.amdj --k K [--algo am|b|hs|par] [--threads T]\n  amdj idj      --r a.amdj --s b.amdj --take N [--batch B]\n  amdj within   --r a.amdj --s b.amdj --dist D\n  amdj knn      --r a.amdj --s b.amdj --k K"
     );
     ExitCode::from(2)
 }
@@ -54,11 +57,16 @@ fn load_csv(path: &str) -> Result<Dataset, String> {
             return Err(format!("{path}:{}: expected 5 fields", lineno + 1));
         }
         let num = |i: usize| -> Result<f64, String> {
-            fields[i].trim().parse().map_err(|e| format!("{path}:{}: {e}", lineno + 1))
+            fields[i]
+                .trim()
+                .parse()
+                .map_err(|e| format!("{path}:{}: {e}", lineno + 1))
         };
         let (lx, ly, hx, hy) = (num(0)?, num(1)?, num(2)?, num(3)?);
-        let id: u64 =
-            fields[4].trim().parse().map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
+        let id: u64 = fields[4]
+            .trim()
+            .parse()
+            .map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
         out.push((Rect::new([lx, ly], [hx, hy]), id));
     }
     Ok(out)
@@ -68,8 +76,16 @@ fn save_csv(path: &str, data: &Dataset) -> Result<(), String> {
     let file = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
     let mut w = BufWriter::new(file);
     for (r, id) in data {
-        writeln!(w, "{},{},{},{},{}", r.lo()[0], r.lo()[1], r.hi()[0], r.hi()[1], id)
-            .map_err(|e| e.to_string())?;
+        writeln!(
+            w,
+            "{},{},{},{},{}",
+            r.lo()[0],
+            r.lo()[1],
+            r.hi()[0],
+            r.hi()[1],
+            id
+        )
+        .map_err(|e| e.to_string())?;
     }
     w.flush().map_err(|e| e.to_string())
 }
@@ -84,14 +100,22 @@ fn run() -> Result<(), String> {
         return Err("missing command".into());
     };
     let flags = parse_flags(rest).ok_or("malformed flags")?;
-    let get = |k: &str| flags.get(k).cloned().ok_or_else(|| format!("missing --{k}"));
+    let get = |k: &str| {
+        flags
+            .get(k)
+            .cloned()
+            .ok_or_else(|| format!("missing --{k}"))
+    };
     let cfg = JoinConfig::default();
 
     match cmd.as_str() {
         "generate" => {
             let kind = get("kind")?;
             let n: usize = get("n")?.parse().map_err(|e| format!("--n: {e}"))?;
-            let seed: u64 = flags.get("seed").map_or(Ok(1), |s| s.parse()).map_err(|e| format!("--seed: {e}"))?;
+            let seed: u64 = flags
+                .get("seed")
+                .map_or(Ok(1), |s| s.parse())
+                .map_err(|e| format!("--seed: {e}"))?;
             let out = get("out")?;
             let data = match kind.as_str() {
                 "tiger-streets" => Geography::arizona_like(seed).streets(n),
@@ -117,14 +141,22 @@ fn run() -> Result<(), String> {
             );
         }
         "kdj" => {
-            let mut r = open_tree(&get("r")?)?;
-            let mut s = open_tree(&get("s")?)?;
+            let r = open_tree(&get("r")?)?;
+            let s = open_tree(&get("s")?)?;
             let k: usize = get("k")?.parse().map_err(|e| format!("--k: {e}"))?;
             let algo = flags.get("algo").map_or("am", String::as_str);
+            let threads: usize = flags
+                .get("threads")
+                .map_or(Ok(0), |t| t.parse())
+                .map_err(|e| format!("--threads: {e}"))?;
+            if threads != 0 && algo != "par" {
+                return Err("--threads only applies to --algo par".to_string());
+            }
             let out = match algo {
-                "am" => am_kdj(&mut r, &mut s, k, &cfg, &AmKdjOptions::default()),
-                "b" => b_kdj(&mut r, &mut s, k, &cfg),
-                "hs" => hs_kdj(&mut r, &mut s, k, &cfg),
+                "am" => am_kdj(&r, &s, k, &cfg, &AmKdjOptions::default()),
+                "b" => b_kdj(&r, &s, k, &cfg),
+                "hs" => hs_kdj(&r, &s, k, &cfg),
+                "par" => par_b_kdj(&r, &s, k, &cfg, threads),
                 other => return Err(format!("unknown algo '{other}'")),
             };
             for p in &out.results {
@@ -138,12 +170,14 @@ fn run() -> Result<(), String> {
             );
         }
         "idj" => {
-            let mut r = open_tree(&get("r")?)?;
-            let mut s = open_tree(&get("s")?)?;
+            let r = open_tree(&get("r")?)?;
+            let s = open_tree(&get("s")?)?;
             let take: usize = get("take")?.parse().map_err(|e| format!("--take: {e}"))?;
-            let batch: usize =
-                flags.get("batch").map_or(Ok(take), |b| b.parse()).map_err(|e| format!("--batch: {e}"))?;
-            let mut cursor = AmIdj::new(&mut r, &mut s, &cfg, AmIdjOptions::default());
+            let batch: usize = flags
+                .get("batch")
+                .map_or(Ok(take), |b| b.parse())
+                .map_err(|e| format!("--batch: {e}"))?;
+            let mut cursor = AmIdj::new(&r, &s, &cfg, AmIdjOptions::default());
             let mut produced = 0;
             while produced < take {
                 let chunk = batch.min(take - produced);
@@ -159,24 +193,28 @@ fn run() -> Result<(), String> {
                         }
                     }
                 }
-                eprintln!("# {produced} pairs (stage {}, eDmax {:.6})", cursor.stage(), cursor.current_edmax());
+                eprintln!(
+                    "# {produced} pairs (stage {}, eDmax {:.6})",
+                    cursor.stage(),
+                    cursor.current_edmax()
+                );
             }
         }
         "within" => {
-            let mut r = open_tree(&get("r")?)?;
-            let mut s = open_tree(&get("s")?)?;
+            let r = open_tree(&get("r")?)?;
+            let s = open_tree(&get("s")?)?;
             let dist: f64 = get("dist")?.parse().map_err(|e| format!("--dist: {e}"))?;
-            let out = within_join(&mut r, &mut s, dist, &cfg);
+            let out = within_join(&r, &s, dist, &cfg);
             for p in &out.results {
                 println!("{},{},{}", p.r, p.s, p.dist);
             }
             eprintln!("# {} pairs within {dist}", out.results.len());
         }
         "knn" => {
-            let mut r = open_tree(&get("r")?)?;
-            let mut s = open_tree(&get("s")?)?;
+            let r = open_tree(&get("r")?)?;
+            let s = open_tree(&get("s")?)?;
             let k: usize = get("k")?.parse().map_err(|e| format!("--k: {e}"))?;
-            let out = knn_join(&mut r, &mut s, k);
+            let out = knn_join(&r, &s, k);
             for (rid, nn) in &out.groups {
                 for p in nn {
                     println!("{rid},{},{}", p.s, p.dist);

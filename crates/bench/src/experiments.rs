@@ -13,8 +13,8 @@ use crate::{banner, build_trees, fmt_count, fmt_secs, k_max, k_sweep, reset, Tab
 const MEM_512K: usize = 512 * 1024;
 
 fn kdj_suite(
-    r: &mut RTree<2>,
-    s: &mut RTree<2>,
+    r: &RTree<2>,
+    s: &RTree<2>,
     k: usize,
     cfg: &JoinConfig,
 ) -> [(&'static str, JoinOutput); 4] {
@@ -27,14 +27,19 @@ fn kdj_suite(
     let dmax = bk.results.last().map_or(0.0, |p| p.dist);
     reset(r, s);
     let sj = sj_sort(r, s, k, dmax, cfg);
-    [("HS-KDJ", hs), ("B-KDJ", bk), ("AM-KDJ", am), ("SJ-SORT", sj)]
+    [
+        ("HS-KDJ", hs),
+        ("B-KDJ", bk),
+        ("AM-KDJ", am),
+        ("SJ-SORT", sj),
+    ]
 }
 
 /// Figure 10: k-distance joins — distance computations, queue insertions,
 /// and response time vs k for HS-KDJ, B-KDJ, AM-KDJ, SJ-SORT.
 pub fn figure10(w: &Workload) {
     banner("Figure 10", w);
-    let (mut r, mut s) = build_trees(w, MEM_512K);
+    let (r, s) = build_trees(w, MEM_512K);
     let cfg = JoinConfig::with_queue_memory(MEM_512K);
     let header = ["k", "HS-KDJ", "B-KDJ", "AM-KDJ", "SJ-SORT"];
     let mut dist = Table::new("Figure 10(a): real distance computations", &header);
@@ -42,7 +47,7 @@ pub fn figure10(w: &Workload) {
     let mut time = Table::new("Figure 10(c): response time (model)", &header);
     let mut time99 = Table::new("Figure 10(c'): response time (1999-CPU model)", &header);
     for k in k_sweep() {
-        let outs = kdj_suite(&mut r, &mut s, k, &cfg);
+        let outs = kdj_suite(&r, &s, k, &cfg);
         dist.row(
             std::iter::once(fmt_count(k as u64))
                 .chain(outs.iter().map(|(_, o)| fmt_count(o.stats.real_dist)))
@@ -50,7 +55,10 @@ pub fn figure10(w: &Workload) {
         );
         ins.row(
             std::iter::once(fmt_count(k as u64))
-                .chain(outs.iter().map(|(_, o)| fmt_count(o.stats.mainq_insertions)))
+                .chain(
+                    outs.iter()
+                        .map(|(_, o)| fmt_count(o.stats.mainq_insertions)),
+                )
                 .collect(),
         );
         time.row(
@@ -60,7 +68,10 @@ pub fn figure10(w: &Workload) {
         );
         time99.row(
             std::iter::once(fmt_count(k as u64))
-                .chain(outs.iter().map(|(_, o)| fmt_secs(o.stats.response_time_1999())))
+                .chain(
+                    outs.iter()
+                        .map(|(_, o)| fmt_secs(o.stats.response_time_1999())),
+                )
                 .collect(),
         );
     }
@@ -74,7 +85,7 @@ pub fn figure10(w: &Workload) {
 /// (parenthesized) total node requests, i.e. the no-buffer figure.
 pub fn table2(w: &Workload) {
     banner("Table 2", w);
-    let (mut r, mut s) = build_trees(w, MEM_512K);
+    let (r, s) = build_trees(w, MEM_512K);
     let cfg = JoinConfig::with_queue_memory(MEM_512K);
     let ks: Vec<usize> = [100usize, 1_000, 10_000, 100_000]
         .into_iter()
@@ -94,7 +105,7 @@ pub fn table2(w: &Workload) {
         vec!["SJ-SORT".into()],
     ];
     for &k in &ks {
-        let outs = kdj_suite(&mut r, &mut s, k, &cfg);
+        let outs = kdj_suite(&r, &s, k, &cfg);
         for (i, (_, o)) in outs.iter().enumerate() {
             rows[i].push(format!(
                 "{} ({})",
@@ -113,21 +124,29 @@ pub fn table2(w: &Workload) {
 /// vs off, measured in axis + real distance computations for B-KDJ.
 pub fn figure11(w: &Workload) {
     banner("Figure 11", w);
-    let (mut r, mut s) = build_trees(w, MEM_512K);
+    let (r, s) = build_trees(w, MEM_512K);
     let on = JoinConfig::with_queue_memory(MEM_512K);
-    let off = JoinConfig { optimize_axis: false, optimize_direction: false, ..on.clone() };
+    let off = JoinConfig {
+        optimize_axis: false,
+        optimize_direction: false,
+        ..on.clone()
+    };
     let mut t = Table::new(
         "Figure 11: distance computations (axis + real), optimized plane sweep",
         &["k", "optimized", "fixed x/fwd", "saved"],
     );
     for k in k_sweep() {
-        reset(&mut r, &mut s);
-        let opt = b_kdj(&mut r, &mut s, k, &on);
-        reset(&mut r, &mut s);
-        let fixed = b_kdj(&mut r, &mut s, k, &off);
+        reset(&r, &s);
+        let opt = b_kdj(&r, &s, k, &on);
+        reset(&r, &s);
+        let fixed = b_kdj(&r, &s, k, &off);
         let a = opt.stats.total_dist_computations();
         let b = fixed.stats.total_dist_computations();
-        let saved = if b > 0 { 100.0 * (b as f64 - a as f64) / b as f64 } else { 0.0 };
+        let saved = if b > 0 {
+            100.0 * (b as f64 - a as f64) / b as f64
+        } else {
+            0.0
+        };
         t.row(vec![
             fmt_count(k as u64),
             fmt_count(a),
@@ -142,7 +161,7 @@ pub fn figure11(w: &Workload) {
 /// results (SJ-SORT as the non-incremental reference).
 pub fn figure12(w: &Workload) {
     banner("Figure 12", w);
-    let (mut r, mut s) = build_trees(w, MEM_512K);
+    let (r, s) = build_trees(w, MEM_512K);
     let cfg = JoinConfig::with_queue_memory(MEM_512K);
     let header = ["k", "HS-IDJ", "AM-IDJ", "SJ-SORT"];
     let mut dist = Table::new("Figure 12(a): real distance computations", &header);
@@ -150,12 +169,12 @@ pub fn figure12(w: &Workload) {
     let mut time = Table::new("Figure 12(c): response time (model)", &header);
     let mut time99 = Table::new("Figure 12(c'): response time (1999-CPU model)", &header);
     for k in k_sweep() {
-        reset(&mut r, &mut s);
-        let hs = drive_idj_hs(&mut r, &mut s, k, &cfg);
-        reset(&mut r, &mut s);
-        let (am, last_dist) = drive_idj_am(&mut r, &mut s, k, &cfg);
-        reset(&mut r, &mut s);
-        let sj = sj_sort(&mut r, &mut s, k, last_dist, &cfg).stats;
+        reset(&r, &s);
+        let hs = drive_idj_hs(&r, &s, k, &cfg);
+        reset(&r, &s);
+        let (am, last_dist) = drive_idj_am(&r, &s, k, &cfg);
+        reset(&r, &s);
+        let sj = sj_sort(&r, &s, k, last_dist, &cfg).stats;
         dist.row(vec![
             fmt_count(k as u64),
             fmt_count(hs.real_dist),
@@ -187,7 +206,7 @@ pub fn figure12(w: &Workload) {
     time99.print();
 }
 
-fn drive_idj_hs(r: &mut RTree<2>, s: &mut RTree<2>, k: usize, cfg: &JoinConfig) -> JoinStats {
+fn drive_idj_hs(r: &RTree<2>, s: &RTree<2>, k: usize, cfg: &JoinConfig) -> JoinStats {
     let mut cursor = HsIdj::new(r, s, cfg);
     for _ in 0..k {
         if cursor.next().is_none() {
@@ -197,7 +216,7 @@ fn drive_idj_hs(r: &mut RTree<2>, s: &mut RTree<2>, k: usize, cfg: &JoinConfig) 
     cursor.stats()
 }
 
-fn drive_idj_am(r: &mut RTree<2>, s: &mut RTree<2>, k: usize, cfg: &JoinConfig) -> (JoinStats, f64) {
+fn drive_idj_am(r: &RTree<2>, s: &RTree<2>, k: usize, cfg: &JoinConfig) -> (JoinStats, f64) {
     let mut cursor = AmIdj::new(r, s, cfg, AmIdjOptions::default());
     let mut last = 0.0;
     for _ in 0..k {
@@ -215,14 +234,17 @@ pub fn figure13(w: &Workload) {
     banner("Figure 13", w);
     let k = k_max();
     let mut t = Table::new(
-        &format!("Figure 13: response time vs memory size (k = {})", fmt_count(k as u64)),
+        &format!(
+            "Figure 13: response time vs memory size (k = {})",
+            fmt_count(k as u64)
+        ),
         &["memory", "HS-KDJ", "B-KDJ", "AM-KDJ", "SJ-SORT"],
     );
     for mem_kb in [64usize, 128, 256, 512, 1024] {
         let mem = mem_kb * 1024;
-        let (mut r, mut s) = build_trees(w, mem);
+        let (r, s) = build_trees(w, mem);
         let cfg = JoinConfig::with_queue_memory(mem);
-        let outs = kdj_suite(&mut r, &mut s, k, &cfg);
+        let outs = kdj_suite(&r, &s, k, &cfg);
         t.row(
             std::iter::once(format!("{mem_kb} KB"))
                 .chain(outs.iter().map(|(_, o)| fmt_secs(o.stats.response_time())))
@@ -237,26 +259,34 @@ pub fn figure13(w: &Workload) {
 pub fn figure14(w: &Workload) {
     banner("Figure 14", w);
     let k = k_max();
-    let (mut r, mut s) = build_trees(w, MEM_512K);
+    let (r, s) = build_trees(w, MEM_512K);
     let cfg = JoinConfig::with_queue_memory(MEM_512K);
-    reset(&mut r, &mut s);
-    let bk = b_kdj(&mut r, &mut s, k, &cfg);
+    reset(&r, &s);
+    let bk = b_kdj(&r, &s, k, &cfg);
     let dmax = bk.results.last().map_or(0.0, |p| p.dist);
     let mut t = Table::new(
         &format!(
             "Figure 14: AM-KDJ vs eDmax accuracy (k = {}, Dmax = {dmax:.6})",
             fmt_count(k as u64)
         ),
-        &["eDmax/Dmax", "real dists", "queue ins", "resp. time", "stages"],
+        &[
+            "eDmax/Dmax",
+            "real dists",
+            "queue ins",
+            "resp. time",
+            "stages",
+        ],
     );
     for factor in [0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0] {
-        reset(&mut r, &mut s);
+        reset(&r, &s);
         let out = am_kdj(
-            &mut r,
-            &mut s,
+            &r,
+            &s,
             k,
             &cfg,
-            &AmKdjOptions { edmax_override: Some(dmax * factor) },
+            &AmKdjOptions {
+                edmax_override: Some(dmax * factor),
+            },
         );
         t.row(vec![
             format!("{factor:.1}"),
@@ -283,12 +313,12 @@ pub fn figure15(w: &Workload) {
     banner("Figure 15", w);
     let total = k_max();
     let step = (total / 10).max(1);
-    let (mut r, mut s) = build_trees(w, MEM_512K);
+    let (r, s) = build_trees(w, MEM_512K);
     let cfg = JoinConfig::with_queue_memory(MEM_512K);
 
     // One exact run provides the real Dmax at every batch boundary.
-    reset(&mut r, &mut s);
-    let exact = b_kdj(&mut r, &mut s, total, &JoinConfig::unbounded());
+    reset(&r, &s);
+    let exact = b_kdj(&r, &s, total, &JoinConfig::unbounded());
     let dmax_at = |i: usize| -> f64 {
         exact
             .results
@@ -302,13 +332,19 @@ pub fn figure15(w: &Workload) {
             "Figure 15: stepwise incremental response time (batches of {})",
             fmt_count(step as u64)
         ),
-        &["pairs", "HS-IDJ", "AM-IDJ est.", "AM-IDJ real", "SJ-SORT cum."],
+        &[
+            "pairs",
+            "HS-IDJ",
+            "AM-IDJ est.",
+            "AM-IDJ real",
+            "SJ-SORT cum.",
+        ],
     );
 
-    reset(&mut r, &mut s);
+    reset(&r, &s);
     let mut hs_rows = Vec::new();
     {
-        let mut hs = HsIdj::new(&mut r, &mut s, &cfg);
+        let mut hs = HsIdj::new(&r, &s, &cfg);
         for _ in 0..10 {
             for _ in 0..step {
                 if hs.next().is_none() {
@@ -319,11 +355,14 @@ pub fn figure15(w: &Workload) {
         }
     }
 
-    reset(&mut r, &mut s);
+    reset(&r, &s);
     let mut am_est_rows = Vec::new();
     {
-        let opts = AmIdjOptions { initial_k: step as u64, ..AmIdjOptions::default() };
-        let mut am = AmIdj::new(&mut r, &mut s, &cfg, opts);
+        let opts = AmIdjOptions {
+            initial_k: step as u64,
+            ..AmIdjOptions::default()
+        };
+        let mut am = AmIdj::new(&r, &s, &cfg, opts);
         for _ in 0..10 {
             for _ in 0..step {
                 if am.next().is_none() {
@@ -334,7 +373,7 @@ pub fn figure15(w: &Workload) {
         }
     }
 
-    reset(&mut r, &mut s);
+    reset(&r, &s);
     let mut am_real_rows = Vec::new();
     {
         let opts = AmIdjOptions {
@@ -342,7 +381,7 @@ pub fn figure15(w: &Workload) {
             growth: 2.0,
             edmax: EdmaxPolicy::Schedule(schedule),
         };
-        let mut am = AmIdj::new(&mut r, &mut s, &cfg, opts);
+        let mut am = AmIdj::new(&r, &s, &cfg, opts);
         for _ in 0..10 {
             for _ in 0..step {
                 if am.next().is_none() {
@@ -356,8 +395,8 @@ pub fn figure15(w: &Workload) {
     let mut sj_cum = 0.0;
     let mut sj_rows = Vec::new();
     for i in 1..=10 {
-        reset(&mut r, &mut s);
-        let out = sj_sort(&mut r, &mut s, i * step, dmax_at(i), &cfg);
+        reset(&r, &s);
+        let out = sj_sort(&r, &s, i * step, dmax_at(i), &cfg);
         sj_cum += out.stats.response_time();
         sj_rows.push(sj_cum);
     }
@@ -380,24 +419,46 @@ pub fn figure15(w: &Workload) {
 /// `Dmax`, and what that does to AM-KDJ's work.
 pub fn ablation_estimators(w: &Workload) {
     banner("Ablation: eDmax estimators", w);
-    let (mut r, mut s) = build_trees(w, MEM_512K);
+    let (r, s) = build_trees(w, MEM_512K);
     let cfg = JoinConfig::with_queue_memory(MEM_512K);
     let hist = HistogramEstimator::from_items(&w.streets, &w.hydro, 64);
     let mut t = Table::new(
         "eDmax estimate quality and AM-KDJ work (Eq. 3 vs histogram)",
-        &["k", "Eq3/Dmax", "hist/Dmax", "ins Eq3", "ins hist", "time Eq3", "time hist"],
+        &[
+            "k",
+            "Eq3/Dmax",
+            "hist/Dmax",
+            "ins Eq3",
+            "ins hist",
+            "time Eq3",
+            "time hist",
+        ],
     );
     for k in k_sweep() {
-        reset(&mut r, &mut s);
-        let exact = b_kdj(&mut r, &mut s, k, &JoinConfig::unbounded());
+        reset(&r, &s);
+        let exact = b_kdj(&r, &s, k, &JoinConfig::unbounded());
         let dmax = exact.results.last().map_or(0.0, |p| p.dist);
-        reset(&mut r, &mut s);
-        let eq3 = am_kdj(&mut r, &mut s, k, &cfg, &AmKdjOptions::default());
+        reset(&r, &s);
+        let eq3 = am_kdj(&r, &s, k, &cfg, &AmKdjOptions::default());
         let h_edmax = hist.edmax(k as u64);
-        reset(&mut r, &mut s);
-        let hg = am_kdj(&mut r, &mut s, k, &cfg, &AmKdjOptions { edmax_override: Some(h_edmax) });
-        let est = amdj_core::Estimator::<2>::from_trees(&mut r, &mut s).expect("non-empty");
-        let ratio = |e: f64| if dmax > 0.0 { format!("{:.2}", e / dmax) } else { "inf".into() };
+        reset(&r, &s);
+        let hg = am_kdj(
+            &r,
+            &s,
+            k,
+            &cfg,
+            &AmKdjOptions {
+                edmax_override: Some(h_edmax),
+            },
+        );
+        let est = amdj_core::Estimator::<2>::from_trees(&r, &s).expect("non-empty");
+        let ratio = |e: f64| {
+            if dmax > 0.0 {
+                format!("{:.2}", e / dmax)
+            } else {
+                "inf".into()
+            }
+        };
         t.row(vec![
             fmt_count(k as u64),
             ratio(est.initial(k as u64)),
@@ -417,18 +478,30 @@ pub fn ablation_queue(w: &Workload) {
     banner("Ablation: queue boundaries", w);
     let k = k_max();
     let mut t = Table::new(
-        &format!("B-KDJ queue spill traffic (k = {}): Eq. 3 boundaries vs median splits", fmt_count(k as u64)),
-        &["memory", "pages Eq3", "pages median", "time Eq3", "time median"],
+        &format!(
+            "B-KDJ queue spill traffic (k = {}): Eq. 3 boundaries vs median splits",
+            fmt_count(k as u64)
+        ),
+        &[
+            "memory",
+            "pages Eq3",
+            "pages median",
+            "time Eq3",
+            "time median",
+        ],
     );
     for mem_kb in [128usize, 512] {
         let mem = mem_kb * 1024;
-        let (mut r, mut s) = build_trees(w, mem);
+        let (r, s) = build_trees(w, mem);
         let eq3_cfg = JoinConfig::with_queue_memory(mem);
-        let med_cfg = JoinConfig { eq3_queue_boundaries: false, ..eq3_cfg.clone() };
-        reset(&mut r, &mut s);
-        let eq3 = b_kdj(&mut r, &mut s, k, &eq3_cfg);
-        reset(&mut r, &mut s);
-        let med = b_kdj(&mut r, &mut s, k, &med_cfg);
+        let med_cfg = JoinConfig {
+            eq3_queue_boundaries: false,
+            ..eq3_cfg.clone()
+        };
+        reset(&r, &s);
+        let eq3 = b_kdj(&r, &s, k, &eq3_cfg);
+        reset(&r, &s);
+        let med = b_kdj(&r, &s, k, &med_cfg);
         t.row(vec![
             format!("{mem_kb} KB"),
             fmt_count(eq3.stats.queue_page_reads + eq3.stats.queue_page_writes),

@@ -31,12 +31,18 @@ pub struct Workload {
 
 /// Reads an `f64` env knob.
 fn env_f64(name: &str, default: f64) -> f64 {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 /// Reads a `u64` env knob.
 fn env_u64(name: &str, default: u64) -> u64 {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 /// The workload scale (`AMDJ_SCALE`, default 0.19).
@@ -71,7 +77,10 @@ pub fn arizona() -> Workload {
 /// Builds the two R*-trees at the paper's configuration with the given
 /// node-buffer budget.
 pub fn build_trees(w: &Workload, buffer_bytes: usize) -> (RTree<2>, RTree<2>) {
-    let params = RTreeParams { buffer_bytes, ..RTreeParams::paper_defaults() };
+    let params = RTreeParams {
+        buffer_bytes,
+        ..RTreeParams::paper_defaults()
+    };
     let r = RTree::bulk_load(params.clone(), w.streets.clone());
     let s = RTree::bulk_load(params, w.hydro.clone());
     (r, s)
@@ -79,7 +88,7 @@ pub fn build_trees(w: &Workload, buffer_bytes: usize) -> (RTree<2>, RTree<2>) {
 
 /// Cold-starts both trees for a measured run: clears buffers, resets
 /// counters.
-pub fn reset(r: &mut RTree<2>, s: &mut RTree<2>) {
+pub fn reset(r: &RTree<2>, s: &RTree<2>) {
     r.clear_buffer();
     s.clear_buffer();
     r.reset_stats();
@@ -88,7 +97,7 @@ pub fn reset(r: &mut RTree<2>, s: &mut RTree<2>) {
 
 /// The true `Dmax` for `k` — the paper's favorable SJ-SORT input —
 /// obtained by running B-KDJ with unbounded memory.
-pub fn oracle_dmax(r: &mut RTree<2>, s: &mut RTree<2>, k: usize) -> f64 {
+pub fn oracle_dmax(r: &RTree<2>, s: &RTree<2>, k: usize) -> f64 {
     let out = b_kdj(r, s, k, &JoinConfig::unbounded());
     out.results.last().map_or(0.0, |p| p.dist)
 }

@@ -53,7 +53,7 @@ impl<const D: usize> SweepSink<D> for IdjSink<'_, D> {
 /// };
 /// let mut r = RTree::bulk_load(RTreeParams::for_tests(), pts(0.0));
 /// let mut s = RTree::bulk_load(RTreeParams::for_tests(), pts(0.4));
-/// let mut cursor = AmIdj::new(&mut r, &mut s, &JoinConfig::unbounded(), AmIdjOptions::default());
+/// let mut cursor = AmIdj::new(&r, &s, &JoinConfig::unbounded(), AmIdjOptions::default());
 /// let mut prev = 0.0;
 /// for _ in 0..20 {
 ///     let pair = cursor.next().expect("plenty of pairs");
@@ -62,8 +62,8 @@ impl<const D: usize> SweepSink<D> for IdjSink<'_, D> {
 /// }
 /// ```
 pub struct AmIdj<'a, const D: usize> {
-    r: &'a mut RTree<D>,
-    s: &'a mut RTree<D>,
+    r: &'a RTree<D>,
+    s: &'a RTree<D>,
     cfg: JoinConfig,
     opts: AmIdjOptions,
     est: Option<Estimator<D>>,
@@ -84,7 +84,7 @@ pub struct AmIdj<'a, const D: usize> {
 
 impl<'a, const D: usize> AmIdj<'a, D> {
     /// Starts an incremental join over two indexes.
-    pub fn new(r: &'a mut RTree<D>, s: &'a mut RTree<D>, cfg: &JoinConfig, opts: AmIdjOptions) -> Self {
+    pub fn new(r: &'a RTree<D>, s: &'a RTree<D>, cfg: &JoinConfig, opts: AmIdjOptions) -> Self {
         assert!(opts.growth > 1.0, "stage growth must exceed 1");
         assert!(opts.initial_k >= 1, "initial k must be at least 1");
         let est = Estimator::from_trees(r, s);
@@ -95,9 +95,9 @@ impl<'a, const D: usize> AmIdj<'a, D> {
             _ => 0.0,
         };
         let edmax = match &opts.edmax {
-            EdmaxPolicy::Estimated(_) => {
-                est.map(|e| e.initial(opts.initial_k)).unwrap_or(max_possible)
-            }
+            EdmaxPolicy::Estimated(_) => est
+                .map(|e| e.initial(opts.initial_k))
+                .unwrap_or(max_possible),
             EdmaxPolicy::Schedule(v) => v.first().copied().unwrap_or(max_possible),
         };
         let (r_acc0, s_acc0) = (r.access_stats(), s.access_stats());
@@ -116,7 +116,10 @@ impl<'a, const D: usize> AmIdj<'a, D> {
             emitted: 0,
             last_dist: 0.0,
             max_possible,
-            counters: JoinStats { stages: 1, ..JoinStats::default() },
+            counters: JoinStats {
+                stages: 1,
+                ..JoinStats::default()
+            },
             r_acc0,
             s_acc0,
             r_io0,
@@ -168,23 +171,43 @@ impl<'a, const D: usize> AmIdj<'a, D> {
                     self.counters.results += 1;
                     return Some(to_result(&pair));
                 }
-                let (left, right, axis) = expand_lists(self.r, self.s, &pair, self.edmax, &self.cfg);
-                let mut sink = IdjSink { mainq: &mut self.mainq, edmax: self.edmax };
-                let marks = plane_sweep(&left, &right, axis, &mut sink, &mut self.counters, MarkMode::Full)
-                    .expect("marks requested");
+                let (left, right, axis) =
+                    expand_lists(self.r, self.s, &pair, self.edmax, &self.cfg);
+                let mut sink = IdjSink {
+                    mainq: &mut self.mainq,
+                    edmax: self.edmax,
+                };
+                let marks = plane_sweep(
+                    &left,
+                    &right,
+                    axis,
+                    &mut sink,
+                    &mut self.counters,
+                    MarkMode::Full,
+                )
+                .expect("marks requested");
                 if !marks.exhausted(left.entries.len(), right.entries.len()) {
                     // Every unexamined child pair lies *strictly* beyond
                     // eDmax, so the park key must exceed eDmax strictly or
                     // the entry would be re-processed in this same stage
                     // without progress.
                     self.compq.push(
-                        CompEntry { key: pair.dist.max(self.edmax.next_up()), axis, left, right, marks },
+                        CompEntry {
+                            key: pair.dist.max(self.edmax.next_up()),
+                            axis,
+                            left,
+                            right,
+                            marks,
+                        },
                         &mut self.counters,
                     );
                 }
             } else {
                 let mut entry = self.compq.pop().expect("peeked");
-                let mut sink = IdjSink { mainq: &mut self.mainq, edmax: self.edmax };
+                let mut sink = IdjSink {
+                    mainq: &mut self.mainq,
+                    edmax: self.edmax,
+                };
                 compensation_sweep(
                     &entry.left,
                     &entry.right,
@@ -193,7 +216,10 @@ impl<'a, const D: usize> AmIdj<'a, D> {
                     &mut sink,
                     &mut self.counters,
                 );
-                if !entry.marks.exhausted(entry.left.entries.len(), entry.right.entries.len()) {
+                if !entry
+                    .marks
+                    .exhausted(entry.left.entries.len(), entry.right.entries.len())
+                {
                     // Unexamined pairs now all lie strictly beyond the
                     // current cutoff: park for a later stage.
                     entry.key = self.edmax.next_up();
@@ -206,8 +232,8 @@ impl<'a, const D: usize> AmIdj<'a, D> {
     fn advance_stage(&mut self) {
         self.counters.stages += 1;
         let stage_idx = self.counters.stages as usize - 1; // 0-based
-        self.k_target = ((self.k_target as f64 * self.opts.growth).ceil() as u64)
-            .max(self.emitted + 1);
+        self.k_target =
+            ((self.k_target as f64 * self.opts.growth).ceil() as u64).max(self.emitted + 1);
         let mut next = match &self.opts.edmax {
             EdmaxPolicy::Estimated(corr) => self.correct(*corr),
             EdmaxPolicy::Schedule(v) => v.get(stage_idx).copied().unwrap_or(f64::NEG_INFINITY),
@@ -244,7 +270,8 @@ impl<'a, const D: usize> AmIdj<'a, D> {
         let mut st = self.counters;
         st.mainq_insertions = self.mainq.insertions();
         let (ra, sa) = (self.r.access_stats(), self.s.access_stats());
-        st.node_requests = (ra.requests - self.r_acc0.requests) + (sa.requests - self.s_acc0.requests);
+        st.node_requests =
+            (ra.requests - self.r_acc0.requests) + (sa.requests - self.s_acc0.requests);
         st.node_disk_reads =
             (ra.disk_reads - self.r_acc0.disk_reads) + (sa.disk_reads - self.s_acc0.disk_reads);
         let qd = self.mainq.disk_stats();
@@ -284,8 +311,8 @@ mod tests {
     }
 
     fn check_stream(a: &[(Rect<2>, u64)], b: &[(Rect<2>, u64)], take: usize, opts: AmIdjOptions) {
-        let (mut r, mut s) = trees(a, b);
-        let mut cursor = AmIdj::new(&mut r, &mut s, &JoinConfig::unbounded(), opts);
+        let (r, s) = trees(a, b);
+        let mut cursor = AmIdj::new(&r, &s, &JoinConfig::unbounded(), opts);
         let want = bruteforce::k_closest_pairs(a, b, take);
         let mut got = Vec::new();
         for _ in 0..take {
@@ -296,7 +323,12 @@ mod tests {
         }
         assert_eq!(got.len(), want.len());
         for (i, (g, w)) in got.iter().zip(want.iter()).enumerate() {
-            assert!((g.dist - w.dist).abs() < 1e-9, "rank {i}: got {} want {}", g.dist, w.dist);
+            assert!(
+                (g.dist - w.dist).abs() < 1e-9,
+                "rank {i}: got {} want {}",
+                g.dist,
+                w.dist
+            );
         }
         assert!(got.windows(2).all(|w| w[0].dist <= w[1].dist));
     }
@@ -312,9 +344,13 @@ mod tests {
     fn tiny_initial_k_forces_many_stages() {
         let a = grid(10, 0.0, 0.0);
         let b = grid(10, 0.33, 0.21);
-        let opts = AmIdjOptions { initial_k: 1, growth: 1.5, ..AmIdjOptions::default() };
-        let (mut r, mut s) = trees(&a, &b);
-        let mut cursor = AmIdj::new(&mut r, &mut s, &JoinConfig::unbounded(), opts);
+        let opts = AmIdjOptions {
+            initial_k: 1,
+            growth: 1.5,
+            ..AmIdjOptions::default()
+        };
+        let (r, s) = trees(&a, &b);
+        let mut cursor = AmIdj::new(&r, &s, &JoinConfig::unbounded(), opts);
         let want = bruteforce::k_closest_pairs(&a, &b, 200);
         for (i, w) in want.iter().enumerate() {
             let g = cursor.next().unwrap_or_else(|| panic!("exhausted at {i}"));
@@ -342,8 +378,8 @@ mod tests {
     fn exhausts_the_full_cartesian_product() {
         let a = grid(4, 0.0, 0.0);
         let b = grid(4, 0.3, 0.3);
-        let (mut r, mut s) = trees(&a, &b);
-        let mut cursor = AmIdj::new(&mut r, &mut s, &JoinConfig::unbounded(), AmIdjOptions::default());
+        let (r, s) = trees(&a, &b);
+        let mut cursor = AmIdj::new(&r, &s, &JoinConfig::unbounded(), AmIdjOptions::default());
         let mut n = 0;
         let mut prev = -1.0;
         while let Some(p) = cursor.next() {
@@ -372,8 +408,8 @@ mod tests {
     fn stats_accumulate() {
         let a = grid(8, 0.0, 0.0);
         let b = grid(8, 0.5, 0.5);
-        let (mut r, mut s) = trees(&a, &b);
-        let mut cursor = AmIdj::new(&mut r, &mut s, &JoinConfig::unbounded(), AmIdjOptions::default());
+        let (r, s) = trees(&a, &b);
+        let mut cursor = AmIdj::new(&r, &s, &JoinConfig::unbounded(), AmIdjOptions::default());
         for _ in 0..40 {
             cursor.next().unwrap();
         }
@@ -386,9 +422,9 @@ mod tests {
 
     #[test]
     fn empty_side_yields_nothing() {
-        let mut r: amdj_rtree::RTree<2> = amdj_rtree::RTree::new(RTreeParams::for_tests());
-        let mut s = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), grid(3, 0.0, 0.0));
-        let mut cursor = AmIdj::new(&mut r, &mut s, &JoinConfig::unbounded(), AmIdjOptions::default());
+        let r: amdj_rtree::RTree<2> = amdj_rtree::RTree::new(RTreeParams::for_tests());
+        let s = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), grid(3, 0.0, 0.0));
+        let mut cursor = AmIdj::new(&r, &s, &JoinConfig::unbounded(), AmIdjOptions::default());
         assert!(cursor.next().is_none());
     }
 

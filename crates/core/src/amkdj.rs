@@ -15,10 +15,10 @@
 use crate::bkdj::{push_roots, to_result, KdjSink};
 use crate::mainq::MainQueue;
 use crate::stats::Baseline;
-use crate::sweep::{compensation_sweep, expand_lists, plane_sweep, CompEntry, CompQueue, MarkMode, SweepSink};
-use crate::{
-    AmKdjOptions, DistanceQueue, Estimator, JoinConfig, JoinOutput, JoinStats, Pair,
+use crate::sweep::{
+    compensation_sweep, expand_lists, plane_sweep, CompEntry, CompQueue, MarkMode, SweepSink,
 };
+use crate::{AmKdjOptions, DistanceQueue, Estimator, JoinConfig, JoinOutput, JoinStats, Pair};
 use amdj_rtree::RTree;
 
 /// Sink for the aggressive stage: axis pruning against `eDmax`
@@ -63,19 +63,22 @@ impl<const D: usize> SweepSink<D> for AggressiveSink<'_, D> {
 /// };
 /// let mut r = RTree::bulk_load(RTreeParams::for_tests(), pts(0.0));
 /// let mut s = RTree::bulk_load(RTreeParams::for_tests(), pts(0.25));
-/// let out = am_kdj(&mut r, &mut s, 5, &JoinConfig::unbounded(), &AmKdjOptions::default());
+/// let out = am_kdj(&r, &s, 5, &JoinConfig::unbounded(), &AmKdjOptions::default());
 /// assert_eq!(out.results.len(), 5);
 /// assert!(out.results.iter().all(|p| p.dist == 0.25));
 /// ```
 pub fn am_kdj<const D: usize>(
-    r: &mut RTree<D>,
-    s: &mut RTree<D>,
+    r: &RTree<D>,
+    s: &RTree<D>,
     k: usize,
     cfg: &JoinConfig,
     opts: &AmKdjOptions,
 ) -> JoinOutput {
     let baseline = Baseline::capture(r, s);
-    let mut stats = JoinStats { stages: 1, ..JoinStats::default() };
+    let mut stats = JoinStats {
+        stages: 1,
+        ..JoinStats::default()
+    };
     let est = Estimator::from_trees(r, s);
     let mut mainq = MainQueue::new(cfg, est.as_ref());
     let mut distq = DistanceQueue::new(k);
@@ -109,12 +112,22 @@ pub fn am_kdj<const D: usize>(
             continue;
         }
         let (left, right, axis) = expand_lists(r, s, &pair, edmax, cfg);
-        let mut sink = AggressiveSink { mainq: &mut mainq, distq: &mut distq, edmax };
+        let mut sink = AggressiveSink {
+            mainq: &mut mainq,
+            distq: &mut distq,
+            edmax,
+        };
         let marks = plane_sweep(&left, &right, axis, &mut sink, &mut stats, MarkMode::Suffix)
             .expect("marks requested");
         if !marks.exhausted(left.entries.len(), right.entries.len()) {
             compq.push(
-                CompEntry { key: pair.dist.max(edmax.next_up()), axis, left, right, marks },
+                CompEntry {
+                    key: pair.dist.max(edmax.next_up()),
+                    axis,
+                    left,
+                    right,
+                    marks,
+                },
                 &mut stats,
             );
         }
@@ -143,12 +156,25 @@ pub fn am_kdj<const D: usize>(
                 // compensation can be needed.
                 let cutoff = distq.qdmax();
                 let (left, right, axis) = expand_lists(r, s, &pair, cutoff, cfg);
-                let mut sink = KdjSink { mainq: &mut mainq, distq: &mut distq };
+                let mut sink = KdjSink {
+                    mainq: &mut mainq,
+                    distq: &mut distq,
+                };
                 plane_sweep(&left, &right, axis, &mut sink, &mut stats, MarkMode::None);
             } else {
                 let mut entry = compq.pop().expect("peeked");
-                let mut sink = KdjSink { mainq: &mut mainq, distq: &mut distq };
-                compensation_sweep(&entry.left, &entry.right, entry.axis, &mut entry.marks, &mut sink, &mut stats);
+                let mut sink = KdjSink {
+                    mainq: &mut mainq,
+                    distq: &mut distq,
+                };
+                compensation_sweep(
+                    &entry.left,
+                    &entry.right,
+                    entry.axis,
+                    &mut entry.marks,
+                    &mut sink,
+                    &mut stats,
+                );
                 // qDmax is exact, so whatever remains beyond it can never
                 // qualify: the entry is done.
             }
@@ -189,8 +215,8 @@ mod tests {
     }
 
     fn check(a: &[(Rect<2>, u64)], b: &[(Rect<2>, u64)], k: usize, opts: &AmKdjOptions) {
-        let (mut r, mut s) = trees(a, b);
-        let out = am_kdj(&mut r, &mut s, k, &JoinConfig::unbounded(), opts);
+        let (r, s) = trees(a, b);
+        let out = am_kdj(&r, &s, k, &JoinConfig::unbounded(), opts);
         let want = bruteforce::k_closest_pairs(a, b, k);
         assert_eq!(out.results.len(), want.len());
         for (i, (got, exp)) in out.results.iter().zip(want.iter()).enumerate() {
@@ -219,7 +245,14 @@ mod tests {
         let b = grid(12, 0.31, 0.17);
         let true_dmax = bruteforce::dmax_for_k(&a, &b, 100).unwrap();
         for factor in [0.01, 0.1, 0.5, 0.9] {
-            check(&a, &b, 100, &AmKdjOptions { edmax_override: Some(true_dmax * factor) });
+            check(
+                &a,
+                &b,
+                100,
+                &AmKdjOptions {
+                    edmax_override: Some(true_dmax * factor),
+                },
+            );
         }
     }
 
@@ -229,7 +262,14 @@ mod tests {
         let b = grid(12, 0.31, 0.17);
         let true_dmax = bruteforce::dmax_for_k(&a, &b, 100).unwrap();
         for factor in [1.0, 2.0, 10.0] {
-            check(&a, &b, 100, &AmKdjOptions { edmax_override: Some(true_dmax * factor) });
+            check(
+                &a,
+                &b,
+                100,
+                &AmKdjOptions {
+                    edmax_override: Some(true_dmax * factor),
+                },
+            );
         }
     }
 
@@ -237,23 +277,35 @@ mod tests {
     fn zero_edmax_forces_full_compensation() {
         let a = grid(9, 0.0, 0.0);
         let b = grid(9, 0.4, 0.4);
-        check(&a, &b, 30, &AmKdjOptions { edmax_override: Some(0.0) });
+        check(
+            &a,
+            &b,
+            30,
+            &AmKdjOptions {
+                edmax_override: Some(0.0),
+            },
+        );
     }
 
     #[test]
     fn compensation_stage_is_recorded() {
         let a = grid(10, 0.0, 0.0);
         let b = grid(10, 0.3, 0.3);
-        let (mut r, mut s) = trees(&a, &b);
+        let (r, s) = trees(&a, &b);
         let dmax = bruteforce::dmax_for_k(&a, &b, 80).unwrap();
         let out = am_kdj(
-            &mut r,
-            &mut s,
+            &r,
+            &s,
             80,
             &JoinConfig::unbounded(),
-            &AmKdjOptions { edmax_override: Some(dmax * 0.2) },
+            &AmKdjOptions {
+                edmax_override: Some(dmax * 0.2),
+            },
         );
-        assert_eq!(out.stats.stages, 2, "underestimate must trigger compensation");
+        assert_eq!(
+            out.stats.stages, 2,
+            "underestimate must trigger compensation"
+        );
         assert_eq!(out.results.len(), 80);
     }
 
@@ -263,17 +315,19 @@ mod tests {
         // computations or queue insertions than B-KDJ.
         let a = grid(15, 0.0, 0.0);
         let b = grid(15, 0.23, 0.41);
-        let (mut r, mut s) = trees(&a, &b);
+        let (r, s) = trees(&a, &b);
         let k = 50;
         let dmax = bruteforce::dmax_for_k(&a, &b, k).unwrap();
         let am = am_kdj(
-            &mut r,
-            &mut s,
+            &r,
+            &s,
             k,
             &JoinConfig::unbounded(),
-            &AmKdjOptions { edmax_override: Some(dmax * 1.5) },
+            &AmKdjOptions {
+                edmax_override: Some(dmax * 1.5),
+            },
         );
-        let bk = b_kdj(&mut r, &mut s, k, &JoinConfig::unbounded());
+        let bk = b_kdj(&r, &s, k, &JoinConfig::unbounded());
         assert!(am.stats.real_dist <= bk.stats.real_dist);
         assert!(am.stats.mainq_insertions <= bk.stats.mainq_insertions);
     }
@@ -284,8 +338,8 @@ mod tests {
         let b = grid(11, 0.37, 0.21);
         let mut cfg = JoinConfig::with_queue_memory(4096);
         cfg.queue_cost.page_size = 1024;
-        let (mut r, mut s) = trees(&a, &b);
-        let out = am_kdj(&mut r, &mut s, 150, &cfg, &AmKdjOptions::default());
+        let (r, s) = trees(&a, &b);
+        let out = am_kdj(&r, &s, 150, &cfg, &AmKdjOptions::default());
         let want = bruteforce::k_closest_pairs(&a, &b, 150);
         for (got, exp) in out.results.iter().zip(want.iter()) {
             assert!((got.dist - exp.dist).abs() < 1e-9);
@@ -294,9 +348,15 @@ mod tests {
 
     #[test]
     fn empty_tree_gives_empty_result() {
-        let mut r: amdj_rtree::RTree<2> = amdj_rtree::RTree::new(RTreeParams::for_tests());
-        let mut s = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), grid(3, 0.0, 0.0));
-        let out = am_kdj(&mut r, &mut s, 5, &JoinConfig::unbounded(), &AmKdjOptions::default());
+        let r: amdj_rtree::RTree<2> = amdj_rtree::RTree::new(RTreeParams::for_tests());
+        let s = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), grid(3, 0.0, 0.0));
+        let out = am_kdj(
+            &r,
+            &s,
+            5,
+            &JoinConfig::unbounded(),
+            &AmKdjOptions::default(),
+        );
         assert!(out.results.is_empty());
     }
 }

@@ -35,18 +35,20 @@ impl<const D: usize> SweepSink<D> for KdjSink<'_, D> {
 
 /// Pushes the pair of root nodes, the starting point of every traversal.
 /// No-op when either tree is empty.
-pub(crate) fn push_roots<const D: usize>(
-    r: &mut RTree<D>,
-    s: &mut RTree<D>,
-    mainq: &mut MainQueue<D>,
-) {
+pub(crate) fn push_roots<const D: usize>(r: &RTree<D>, s: &RTree<D>, mainq: &mut MainQueue<D>) {
     if let (Some(rb), Some(sb), Some(rp), Some(sp)) =
         (r.bounds(), s.bounds(), r.root_page(), s.root_page())
     {
         mainq.push(Pair {
             dist: rb.min_dist(&sb),
-            a: ItemRef::Node { page: rp.0, level: r.height() - 1 },
-            b: ItemRef::Node { page: sp.0, level: s.height() - 1 },
+            a: ItemRef::Node {
+                page: rp.0,
+                level: r.height() - 1,
+            },
+            b: ItemRef::Node {
+                page: sp.0,
+                level: s.height() - 1,
+            },
             a_mbr: rb,
             b_mbr: sb,
         });
@@ -57,19 +59,21 @@ pub(crate) fn to_result<const D: usize>(pair: &Pair<D>) -> ResultPair {
     let (ItemRef::Object { oid: a }, ItemRef::Object { oid: b }) = (pair.a, pair.b) else {
         panic!("not an object pair")
     };
-    ResultPair { r: a, s: b, dist: pair.dist }
+    ResultPair {
+        r: a,
+        s: b,
+        dist: pair.dist,
+    }
 }
 
 /// The B-KDJ k-distance join (Algorithm 1): returns the `k` nearest pairs
 /// in ascending distance order.
-pub fn b_kdj<const D: usize>(
-    r: &mut RTree<D>,
-    s: &mut RTree<D>,
-    k: usize,
-    cfg: &JoinConfig,
-) -> JoinOutput {
+pub fn b_kdj<const D: usize>(r: &RTree<D>, s: &RTree<D>, k: usize, cfg: &JoinConfig) -> JoinOutput {
     let baseline = Baseline::capture(r, s);
-    let mut stats = JoinStats { stages: 1, ..JoinStats::default() };
+    let mut stats = JoinStats {
+        stages: 1,
+        ..JoinStats::default()
+    };
     let est = Estimator::from_trees(r, s);
     let mut mainq = MainQueue::new(cfg, est.as_ref());
     let mut distq = DistanceQueue::new(k);
@@ -85,7 +89,10 @@ pub fn b_kdj<const D: usize>(
         }
         let cutoff = distq.qdmax();
         let (left, right, axis) = expand_lists(r, s, &pair, cutoff, cfg);
-        let mut sink = KdjSink { mainq: &mut mainq, distq: &mut distq };
+        let mut sink = KdjSink {
+            mainq: &mut mainq,
+            distq: &mut distq,
+        };
         plane_sweep(&left, &right, axis, &mut sink, &mut stats, MarkMode::None);
     }
     stats.results = results.len() as u64;
@@ -120,9 +127,9 @@ mod tests {
     }
 
     fn check_against_brute(a: &[(Rect<2>, u64)], b: &[(Rect<2>, u64)], k: usize, cfg: &JoinConfig) {
-        let mut r = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), a.to_vec());
-        let mut s = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), b.to_vec());
-        let out = b_kdj(&mut r, &mut s, k, cfg);
+        let r = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), a.to_vec());
+        let s = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), b.to_vec());
+        let out = b_kdj(&r, &s, k, cfg);
         let want = bruteforce::k_closest_pairs(a, b, k);
         assert_eq!(out.results.len(), want.len(), "k={k}");
         for (i, (got, exp)) in out.results.iter().zip(want.iter()).enumerate() {
@@ -174,9 +181,9 @@ mod tests {
     fn k_larger_than_pair_count() {
         let a = pts(&[(0.0, 0.0), (5.0, 0.0)]);
         let b = pts(&[(1.0, 0.0)]);
-        let mut r = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), a);
-        let mut s = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), b);
-        let out = b_kdj(&mut r, &mut s, 100, &JoinConfig::unbounded());
+        let r = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), a);
+        let s = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), b);
+        let out = b_kdj(&r, &s, 100, &JoinConfig::unbounded());
         assert_eq!(out.results.len(), 2);
     }
 
@@ -184,13 +191,16 @@ mod tests {
     fn stats_are_populated() {
         let a = grid(10, 0.0, 0.0);
         let b = grid(10, 0.4, 0.4);
-        let mut r = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), a);
-        let mut s = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), b);
-        let out = b_kdj(&mut r, &mut s, 20, &JoinConfig::unbounded());
+        let r = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), a);
+        let s = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), b);
+        let out = b_kdj(&r, &s, 20, &JoinConfig::unbounded());
         let st = out.stats;
         assert_eq!(st.results, 20);
         assert!(st.real_dist > 0);
-        assert!(st.axis_dist >= st.real_dist, "every real dist was preceded by an axis dist");
+        assert!(
+            st.axis_dist >= st.real_dist,
+            "every real dist was preceded by an axis dist"
+        );
         assert!(st.mainq_insertions > 0);
         assert!(st.node_requests >= st.node_disk_reads);
         assert!(st.cpu_seconds > 0.0);
@@ -202,11 +212,11 @@ mod tests {
         // uni-directional expansion for the same answer.
         let a = grid(18, 0.0, 0.0);
         let b = grid(18, 0.21, 0.37);
-        let mut r = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), a.clone());
-        let mut s = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), b.clone());
+        let r = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), a.clone());
+        let s = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), b.clone());
         let k = 10;
-        let bout = b_kdj(&mut r, &mut s, k, &JoinConfig::unbounded());
-        let hout = crate::hs_kdj(&mut r, &mut s, k, &JoinConfig::unbounded());
+        let bout = b_kdj(&r, &s, k, &JoinConfig::unbounded());
+        let hout = crate::hs_kdj(&r, &s, k, &JoinConfig::unbounded());
         assert!(
             bout.stats.real_dist < hout.stats.real_dist,
             "B-KDJ {} vs HS-KDJ {}",
@@ -237,9 +247,9 @@ mod tests {
     #[test]
     fn identical_datasets_many_zero_distances() {
         let a = grid(7, 0.0, 0.0);
-        let mut r = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), a.clone());
-        let mut s = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), a.clone());
-        let out = b_kdj(&mut r, &mut s, 49, &JoinConfig::unbounded());
+        let r = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), a.clone());
+        let s = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), a.clone());
+        let out = b_kdj(&r, &s, 49, &JoinConfig::unbounded());
         assert_eq!(out.results.len(), 49);
         assert!(out.results.iter().all(|p| p.dist == 0.0));
     }

@@ -33,7 +33,11 @@ pub fn k_closest_pairs<const D: usize>(
     }
     let mut out: Vec<ResultPair> = heap
         .into_iter()
-        .map(|(d, rid, sid)| ResultPair { r: rid, s: sid, dist: d.get() })
+        .map(|(d, rid, sid)| ResultPair {
+            r: rid,
+            s: sid,
+            dist: d.get(),
+        })
         .collect();
     out.sort_by(|a, b| {
         (a.dist, a.r, a.s)
@@ -54,7 +58,11 @@ pub fn pairs_within<const D: usize>(
         for &(sa, sid) in s {
             let dist = ra.min_dist(&sa);
             if dist <= d {
-                out.push(ResultPair { r: rid, s: sid, dist });
+                out.push(ResultPair {
+                    r: rid,
+                    s: sid,
+                    dist,
+                });
             }
         }
     }

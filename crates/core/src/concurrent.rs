@@ -1,0 +1,395 @@
+//! Concurrent k-distance join over shared trees — the payoff of the
+//! `&self` read path.
+//!
+//! Every query entry point borrows its trees immutably, and
+//! `RTree<D>: Send + Sync`, so independent joins can already run
+//! concurrently over the same indexes with no coordination at all (each
+//! join owns its queues; the trees' page buffers synchronize internally).
+//! [`par_b_kdj`] goes one step further and parallelizes a *single* B-KDJ
+//! join: the pair space is partitioned at the top of both trees and each
+//! partition is processed by its own worker thread running the ordinary
+//! Algorithm-1 loop.
+//!
+//! # Exactness
+//!
+//! Bidirectional expansion replaces a node pair by the cross product of
+//! its children pairs, so every object pair descends from *exactly one*
+//! pair of any frontier cut through the expansion DAG. The frontier here
+//! is built by expanding node pairs with an infinite pruning cutoff
+//! (nothing is dropped) until there are enough pairs to feed every
+//! worker; partitioning that frontier therefore partitions the object-pair
+//! space. Each worker computes the exact k nearest pairs of its
+//! partition, and the global k nearest pairs — each living in exactly one
+//! partition, at local rank ≤ k — all survive into the merge, which sorts
+//! by `(dist, r, s)` and truncates to `k`.
+//!
+//! Workers prune only against their *local* `qDmax`, which is never
+//! smaller than the global one would be, so parallelism trades some
+//! pruning (more distance computations in aggregate) for wall-clock time —
+//! the answer is unchanged. Note also that `cfg.queue_mem_bytes` budgets
+//! each worker's main queue separately.
+
+use crate::bkdj::{to_result, KdjSink};
+use crate::mainq::MainQueue;
+use crate::stats::Baseline;
+use crate::sweep::{expand_lists, plane_sweep, MarkMode, SweepSink};
+use crate::{
+    DistanceQueue, Estimator, ItemRef, JoinConfig, JoinOutput, JoinStats, Pair, ResultPair,
+};
+use amdj_rtree::RTree;
+
+/// Collects every swept pair, pruning nothing — used to split frontier
+/// pairs without losing any descendant.
+struct CollectAll<const D: usize> {
+    pairs: Vec<Pair<D>>,
+}
+
+impl<const D: usize> SweepSink<D> for CollectAll<D> {
+    fn axis_cutoff(&self) -> f64 {
+        f64::INFINITY
+    }
+    fn real_cutoff(&self) -> f64 {
+        f64::INFINITY
+    }
+    fn emit(&mut self, pair: Pair<D>) {
+        self.pairs.push(pair);
+    }
+}
+
+/// Expands the root pair breadth-first (coarsest node pairs first, no
+/// pruning) until at least `target` pairs exist or only object pairs
+/// remain.
+fn seed_frontier<const D: usize>(
+    r: &RTree<D>,
+    s: &RTree<D>,
+    cfg: &JoinConfig,
+    target: usize,
+    stats: &mut JoinStats,
+) -> Vec<Pair<D>> {
+    let (Some(rb), Some(sb), Some(rp), Some(sp)) =
+        (r.bounds(), s.bounds(), r.root_page(), s.root_page())
+    else {
+        return Vec::new();
+    };
+    let mut frontier = vec![Pair {
+        dist: rb.min_dist(&sb),
+        a: ItemRef::Node {
+            page: rp.0,
+            level: r.height() - 1,
+        },
+        b: ItemRef::Node {
+            page: sp.0,
+            level: s.height() - 1,
+        },
+        a_mbr: rb,
+        b_mbr: sb,
+    }];
+    while frontier.len() < target {
+        // Split the coarsest remaining node pair so the frontier stays
+        // balanced; stop once only object pairs are left.
+        let Some(idx) = frontier
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| !p.is_result())
+            .max_by_key(|(_, p)| pair_level(p))
+            .map(|(i, _)| i)
+        else {
+            break;
+        };
+        let pair = frontier.swap_remove(idx);
+        let (left, right, axis) = expand_lists(r, s, &pair, f64::INFINITY, cfg);
+        let mut sink = CollectAll { pairs: Vec::new() };
+        plane_sweep(&left, &right, axis, &mut sink, stats, MarkMode::None);
+        frontier.append(&mut sink.pairs);
+    }
+    frontier
+}
+
+fn pair_level<const D: usize>(p: &Pair<D>) -> u32 {
+    let side = |i: ItemRef| match i {
+        ItemRef::Node { level, .. } => level + 1,
+        ItemRef::Object { .. } => 0,
+    };
+    side(p.a).max(side(p.b))
+}
+
+/// Runs the plain B-KDJ loop over one partition of the pair space.
+fn worker_join<const D: usize>(
+    r: &RTree<D>,
+    s: &RTree<D>,
+    k: usize,
+    cfg: &JoinConfig,
+    est: Option<&Estimator<D>>,
+    seed: Vec<Pair<D>>,
+) -> (Vec<ResultPair>, JoinStats, f64) {
+    let mut stats = JoinStats::default();
+    let mut mainq = MainQueue::new(cfg, est);
+    let mut distq = DistanceQueue::new(k);
+    let mut results = Vec::with_capacity(k.min(1 << 20));
+    for pair in seed {
+        let is_result = pair.is_result();
+        let dist = pair.dist;
+        mainq.push(pair);
+        if is_result {
+            distq.insert(dist);
+        }
+    }
+    while results.len() < k {
+        let Some(pair) = mainq.pop() else { break };
+        if pair.is_result() {
+            results.push(to_result(&pair));
+            continue;
+        }
+        let cutoff = distq.qdmax();
+        let (left, right, axis) = expand_lists(r, s, &pair, cutoff, cfg);
+        let mut sink = KdjSink {
+            mainq: &mut mainq,
+            distq: &mut distq,
+        };
+        plane_sweep(&left, &right, axis, &mut sink, &mut stats, MarkMode::None);
+    }
+    stats.distq_insertions = distq.insertions();
+    let queue_io = mainq.account(&mut stats);
+    (results, stats, queue_io)
+}
+
+/// Parallel B-KDJ: the exact k nearest pairs, computed by `threads`
+/// workers sharing both trees through `&RTree`.
+///
+/// `threads == 0` uses [`std::thread::available_parallelism`]. Results are
+/// returned in canonical `(dist, r, s)` order — ascending distance, ties
+/// broken by object ids — which for tie-free inputs is the same order
+/// [`crate::b_kdj`] produces. Aggregate work counters (distance
+/// computations, queue insertions) are summed across workers; they exceed
+/// the sequential join's because each worker prunes only against its own
+/// `qDmax`.
+pub fn par_b_kdj<const D: usize>(
+    r: &RTree<D>,
+    s: &RTree<D>,
+    k: usize,
+    cfg: &JoinConfig,
+    threads: usize,
+) -> JoinOutput {
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        threads
+    };
+    let baseline = Baseline::capture(r, s);
+    let mut stats = JoinStats {
+        stages: 1,
+        ..JoinStats::default()
+    };
+    let est = Estimator::from_trees(r, s);
+    let mut results = Vec::new();
+    let mut queue_io = 0.0;
+    if k > 0 {
+        let mut frontier = seed_frontier(r, s, cfg, threads * 4, &mut stats);
+        // Ascending by distance, then round-robin, so every worker gets a
+        // mix of near and far pairs.
+        frontier.sort_by(|a, b| a.dist.partial_cmp(&b.dist).expect("finite distances"));
+        let mut seeds: Vec<Vec<Pair<D>>> = (0..threads).map(|_| Vec::new()).collect();
+        for (i, pair) in frontier.into_iter().enumerate() {
+            seeds[i % threads].push(pair);
+        }
+        let est = est.as_ref();
+        let worker_outputs = std::thread::scope(|scope| {
+            let handles: Vec<_> = seeds
+                .into_iter()
+                .filter(|seed| !seed.is_empty())
+                .map(|seed| scope.spawn(move || worker_join(r, s, k, cfg, est, seed)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect::<Vec<_>>()
+        });
+        for (mut part, wstats, wio) in worker_outputs {
+            results.append(&mut part);
+            stats.real_dist += wstats.real_dist;
+            stats.axis_dist += wstats.axis_dist;
+            stats.mainq_insertions += wstats.mainq_insertions;
+            stats.distq_insertions += wstats.distq_insertions;
+            stats.queue_page_reads += wstats.queue_page_reads;
+            stats.queue_page_writes += wstats.queue_page_writes;
+            queue_io += wio;
+        }
+        results.sort_by(|a, b| {
+            a.dist
+                .partial_cmp(&b.dist)
+                .expect("finite distances")
+                .then_with(|| a.r.cmp(&b.r))
+                .then_with(|| a.s.cmp(&b.s))
+        });
+        results.truncate(k);
+    }
+    stats.results = results.len() as u64;
+    baseline.finish(r, s, &mut stats, queue_io);
+    JoinOutput { results, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{b_kdj, bruteforce};
+    use amdj_geom::{Point, Rect};
+    use amdj_rtree::RTreeParams;
+
+    fn grid(n: usize, dx: f64, dy: f64) -> Vec<(Rect<2>, u64)> {
+        (0..n * n)
+            .map(|i| {
+                let p = Point::new([(i % n) as f64 + dx, (i / n) as f64 + dy]);
+                (Rect::from_point(p), i as u64)
+            })
+            .collect()
+    }
+
+    fn trees(
+        a: &[(Rect<2>, u64)],
+        b: &[(Rect<2>, u64)],
+    ) -> (amdj_rtree::RTree<2>, amdj_rtree::RTree<2>) {
+        (
+            amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), a.to_vec()),
+            amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), b.to_vec()),
+        )
+    }
+
+    #[test]
+    fn matches_brute_force_across_thread_counts() {
+        let a = grid(13, 0.0, 0.0);
+        let b = grid(13, 0.27, 0.41);
+        let (r, s) = trees(&a, &b);
+        for threads in [1, 2, 3, 8] {
+            for k in [1, 5, 64, 300] {
+                let out = par_b_kdj(&r, &s, k, &JoinConfig::unbounded(), threads);
+                let want = bruteforce::k_closest_pairs(&a, &b, k);
+                assert_eq!(out.results.len(), want.len(), "threads={threads} k={k}");
+                for (i, (got, exp)) in out.results.iter().zip(want.iter()).enumerate() {
+                    assert!(
+                        (got.dist - exp.dist).abs() < 1e-9,
+                        "threads={threads} k={k} rank {i}: got {} want {}",
+                        got.dist,
+                        exp.dist
+                    );
+                }
+                assert!(out.results.windows(2).all(|w| w[0].dist <= w[1].dist));
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_sequential_b_kdj() {
+        // Irrational-ish offsets keep pair distances tie-free, so the
+        // sequential order is already canonical and the comparison exact.
+        let a: Vec<(Rect<2>, u64)> = (0..150)
+            .map(|i| {
+                let x = (i % 15) as f64 * 1.618 + (i as f64 * 0.0137).sin();
+                let y = (i / 15) as f64 * 2.414 + (i as f64 * 0.0271).cos();
+                (Rect::from_point(Point::new([x, y])), i as u64)
+            })
+            .collect();
+        let b: Vec<(Rect<2>, u64)> = (0..150)
+            .map(|i| {
+                let x = (i % 15) as f64 * 1.732 + 0.37;
+                let y = (i / 15) as f64 * 2.236 + 0.89;
+                (Rect::from_point(Point::new([x, y])), i as u64)
+            })
+            .collect();
+        let (r, s) = trees(&a, &b);
+        for k in [1, 17, 80] {
+            let seq = b_kdj(&r, &s, k, &JoinConfig::unbounded());
+            let par = par_b_kdj(&r, &s, k, &JoinConfig::unbounded(), 4);
+            assert_eq!(seq.results.len(), par.results.len(), "k={k}");
+            for (x, y) in seq.results.iter().zip(par.results.iter()) {
+                assert_eq!((x.r, x.s), (y.r, y.s), "k={k}");
+                assert_eq!(x.dist.to_bits(), y.dist.to_bits(), "k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_threads_means_auto() {
+        let a = grid(6, 0.0, 0.0);
+        let b = grid(6, 0.4, 0.2);
+        let (r, s) = trees(&a, &b);
+        let out = par_b_kdj(&r, &s, 10, &JoinConfig::unbounded(), 0);
+        assert_eq!(out.results.len(), 10);
+    }
+
+    #[test]
+    fn empty_inputs_and_zero_k() {
+        let a = grid(4, 0.0, 0.0);
+        let empty: Vec<(Rect<2>, u64)> = Vec::new();
+        let (r, s) = trees(&a, &empty);
+        assert!(par_b_kdj(&r, &s, 5, &JoinConfig::unbounded(), 2)
+            .results
+            .is_empty());
+        let (r, s) = trees(&a, &a);
+        assert!(par_b_kdj(&r, &s, 0, &JoinConfig::unbounded(), 2)
+            .results
+            .is_empty());
+    }
+
+    #[test]
+    fn k_larger_than_pair_count() {
+        let a = grid(3, 0.0, 0.0);
+        let b = grid(3, 0.5, 0.5);
+        let (r, s) = trees(&a, &b);
+        let out = par_b_kdj(&r, &s, 1000, &JoinConfig::unbounded(), 4);
+        assert_eq!(out.results.len(), 81);
+    }
+
+    #[test]
+    fn works_with_tight_queue_memory() {
+        let a = grid(11, 0.0, 0.0);
+        let b = grid(11, 0.33, 0.15);
+        let (r, s) = trees(&a, &b);
+        let mut cfg = JoinConfig::with_queue_memory(4 * 1024);
+        cfg.queue_cost.page_size = 1024;
+        let out = par_b_kdj(&r, &s, 50, &JoinConfig::unbounded(), 3);
+        let tight = par_b_kdj(&r, &s, 50, &cfg, 3);
+        for (x, y) in out.results.iter().zip(tight.results.iter()) {
+            assert!((x.dist - y.dist).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn stats_aggregate_across_workers() {
+        let a = grid(12, 0.0, 0.0);
+        let b = grid(12, 0.21, 0.37);
+        let (r, s) = trees(&a, &b);
+        let out = par_b_kdj(&r, &s, 25, &JoinConfig::unbounded(), 4);
+        let st = out.stats;
+        assert_eq!(st.results, 25);
+        assert!(st.real_dist > 0);
+        assert!(st.mainq_insertions > 0);
+        assert!(st.node_requests >= st.node_disk_reads);
+        assert!(st.cpu_seconds > 0.0);
+    }
+
+    #[test]
+    fn independent_joins_share_trees_concurrently() {
+        // The thread-safety smoke test: two unrelated joins run at the
+        // same time against the same pair of trees, each through &RTree.
+        let a = grid(10, 0.0, 0.0);
+        let b = grid(10, 0.4, 0.4);
+        let (r, s) = trees(&a, &b);
+        let expected = b_kdj(&r, &s, 30, &JoinConfig::unbounded());
+        let (out1, out2) = std::thread::scope(|scope| {
+            let h1 = scope.spawn(|| b_kdj(&r, &s, 30, &JoinConfig::unbounded()));
+            let h2 = scope.spawn(|| crate::hs_kdj(&r, &s, 30, &JoinConfig::unbounded()));
+            (
+                h1.join().expect("join 1 panicked"),
+                h2.join().expect("join 2 panicked"),
+            )
+        });
+        assert_eq!(out1.results.len(), 30);
+        assert_eq!(out2.results.len(), 30);
+        for (x, y) in expected.results.iter().zip(out1.results.iter()) {
+            assert!((x.dist - y.dist).abs() < 1e-12);
+        }
+        for (x, y) in expected.results.iter().zip(out2.results.iter()) {
+            assert!((x.dist - y.dist).abs() < 1e-12);
+        }
+    }
+}

@@ -48,7 +48,10 @@ impl JoinConfig {
 
     /// The paper's configuration with a specific queue memory budget.
     pub fn with_queue_memory(bytes: usize) -> Self {
-        JoinConfig { queue_mem_bytes: bytes, ..JoinConfig::default() }
+        JoinConfig {
+            queue_mem_bytes: bytes,
+            ..JoinConfig::default()
+        }
     }
 }
 

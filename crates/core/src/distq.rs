@@ -20,7 +20,11 @@ pub struct DistanceQueue {
 impl DistanceQueue {
     /// A queue bounded to the `k` smallest distances.
     pub fn new(k: usize) -> Self {
-        DistanceQueue { k, heap: BinaryHeap::with_capacity(k.min(1 << 20) + 1), insertions: 0 }
+        DistanceQueue {
+            k,
+            heap: BinaryHeap::with_capacity(k.min(1 << 20) + 1),
+            insertions: 0,
+        }
     }
 
     /// Offers a candidate distance; kept only while it is among the `k`

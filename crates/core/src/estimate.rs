@@ -34,23 +34,34 @@ impl<const D: usize> Estimator<D> {
     /// Builds an estimator from the joint data-space volume and the two
     /// cardinalities. `area` must be positive.
     pub fn new(area: f64, n_r: u64, n_s: u64) -> Self {
-        assert!(area > 0.0 && n_r > 0 && n_s > 0, "estimator needs a non-degenerate space");
-        Estimator { rho: area / (unit_ball_volume(D) * n_r as f64 * n_s as f64) }
+        assert!(
+            area > 0.0 && n_r > 0 && n_s > 0,
+            "estimator needs a non-degenerate space"
+        );
+        Estimator {
+            rho: area / (unit_ball_volume(D) * n_r as f64 * n_s as f64),
+        }
     }
 
     /// Derives the estimator from two built indexes, using the area of the
     /// intersection of their bounding rectangles (falling back to the
     /// union when they are disjoint or the intersection is degenerate).
-    pub fn from_trees(r: &mut RTree<D>, s: &mut RTree<D>) -> Option<Self> {
+    pub fn from_trees(r: &RTree<D>, s: &RTree<D>) -> Option<Self> {
         let rb = r.bounds()?;
         let sb = s.bounds()?;
         let inter = rb.intersection(&sb).map(|i| i.area()).unwrap_or(0.0);
-        let area = if inter > 0.0 { inter } else { rb.union(&sb).area() };
+        let area = if inter > 0.0 {
+            inter
+        } else {
+            rb.union(&sb).area()
+        };
         if area <= 0.0 {
             // Degenerate data (e.g. all objects on one point): any positive
             // placeholder keeps the math finite; estimates will be 0-ish,
             // which the multi-stage algorithms tolerate.
-            return Some(Estimator { rho: f64::MIN_POSITIVE });
+            return Some(Estimator {
+                rho: f64::MIN_POSITIVE,
+            });
         }
         Some(Estimator::new(area, r.len(), s.len()))
     }
@@ -90,12 +101,12 @@ impl<const D: usize> Estimator<D> {
         match policy {
             Correction::Arithmetic => self.arithmetic(k, k0, d_k0),
             Correction::Geometric => self.geometric(k, k0, d_k0),
-            Correction::MinOfBoth => {
-                self.arithmetic(k, k0, d_k0).min(self.geometric(k, k0, d_k0))
-            }
-            Correction::MaxOfBoth => {
-                self.arithmetic(k, k0, d_k0).max(self.geometric(k, k0, d_k0))
-            }
+            Correction::MinOfBoth => self
+                .arithmetic(k, k0, d_k0)
+                .min(self.geometric(k, k0, d_k0)),
+            Correction::MaxOfBoth => self
+                .arithmetic(k, k0, d_k0)
+                .max(self.geometric(k, k0, d_k0)),
         }
     }
 
@@ -104,7 +115,9 @@ impl<const D: usize> Estimator<D> {
     /// `(i·n)`-th pair, `(i·n·ρ)^(1/D)`.
     pub fn queue_boundaries(&self, heap_capacity: usize, count: usize) -> Vec<f64> {
         let n = heap_capacity.max(1) as f64;
-        (1..=count).map(|i| (i as f64 * n * self.rho).powf(1.0 / D as f64)).collect()
+        (1..=count)
+            .map(|i| (i as f64 * n * self.rho).powf(1.0 / D as f64))
+            .collect()
     }
 }
 
@@ -126,7 +139,10 @@ mod tests {
         let k = 50;
         let d = e.initial(k);
         let back = 1000.0 * 2000.0 * std::f64::consts::PI * d * d / 100.0;
-        assert!((back - k as f64).abs() < 1e-6, "round-trips Equation (3), got {back}");
+        assert!(
+            (back - k as f64).abs() < 1e-6,
+            "round-trips Equation (3), got {back}"
+        );
     }
 
     #[test]
@@ -162,15 +178,16 @@ mod tests {
         let lo = e.corrected(k, k0, d, Correction::MinOfBoth);
         let hi = e.corrected(k, k0, d, Correction::MaxOfBoth);
         assert!(lo <= hi);
-        assert!(
-            [e.arithmetic(k, k0, d), e.geometric(k, k0, d)].contains(&lo)
-        );
+        assert!([e.arithmetic(k, k0, d), e.geometric(k, k0, d)].contains(&lo));
     }
 
     #[test]
     fn corrected_with_no_results_is_initial() {
         let e: Estimator<2> = Estimator::new(1.0, 500, 500);
-        assert_eq!(e.corrected(100, 0, 0.0, Correction::Geometric), e.initial(100));
+        assert_eq!(
+            e.corrected(100, 0, 0.0, Correction::Geometric),
+            e.initial(100)
+        );
     }
 
     #[test]

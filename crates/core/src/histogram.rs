@@ -71,7 +71,10 @@ impl<const D: usize> HistogramEstimator<D> {
     /// Panics if either set is empty or `grid == 0`.
     pub fn from_items(r: &[(Rect<D>, u64)], s: &[(Rect<D>, u64)], grid: usize) -> Self {
         assert!(grid > 0, "grid must be positive");
-        assert!(!r.is_empty() && !s.is_empty(), "histogram needs non-empty inputs");
+        assert!(
+            !r.is_empty() && !s.is_empty(),
+            "histogram needs non-empty inputs"
+        );
         let mut bounds = r[0].0;
         for (mbr, _) in r.iter().chain(s.iter()) {
             bounds.union_assign(mbr);
@@ -106,7 +109,11 @@ impl<const D: usize> HistogramEstimator<D> {
         let mut idx = 0;
         for d in 0..D {
             let side = self.bounds.side(d);
-            let frac = if side > 0.0 { (c[d] - self.bounds.lo()[d]) / side } else { 0.0 };
+            let frac = if side > 0.0 {
+                (c[d] - self.bounds.lo()[d]) / side
+            } else {
+                0.0
+            };
             let coord = ((frac * self.grid as f64) as usize).min(self.grid - 1);
             idx = idx * self.grid + coord;
         }
@@ -214,10 +221,15 @@ mod tests {
 
     fn pseudo_uniform(n: usize, seed: u64) -> Vec<(Rect<2>, u64)> {
         points((0..n).map(move |i| {
-            let a = ((i as u64).wrapping_mul(6364136223846793005).wrapping_add(seed) >> 11) as f64
+            let a = ((i as u64)
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(seed)
+                >> 11) as f64
                 / (1u64 << 53) as f64;
-            let b = ((i as u64).wrapping_mul(2862933555777941757).wrapping_add(seed ^ 7) >> 11)
-                as f64
+            let b = ((i as u64)
+                .wrapping_mul(2862933555777941757)
+                .wrapping_add(seed ^ 7)
+                >> 11) as f64
                 / (1u64 << 53) as f64;
             (a, b)
         }))
@@ -258,10 +270,7 @@ mod tests {
         for k in [10u64, 1_000, 50_000] {
             let d = h.edmax(k);
             let e = h.expected_pairs_within(d);
-            assert!(
-                e >= k as f64 * 0.99,
-                "k={k}: estimate at edmax = {e}"
-            );
+            assert!(e >= k as f64 * 0.99, "k={k}: estimate at edmax = {e}");
         }
         assert_eq!(h.edmax(0), 0.0);
     }
@@ -298,7 +307,10 @@ mod tests {
             hist_err < eq3_err,
             "histogram off by {hist_err:.2}×, Eq. 3 off by {eq3_err:.2}× (truth {truth:.4})"
         );
-        assert!(eq3_err > 2.0, "the skew must actually break Eq. 3 (off by {eq3_err:.2}×)");
+        assert!(
+            eq3_err > 2.0,
+            "the skew must actually break Eq. 3 (off by {eq3_err:.2}×)"
+        );
     }
 
     #[test]
@@ -309,17 +321,25 @@ mod tests {
         let b = two_clusters(400);
         let k = 500;
         let h = HistogramEstimator::from_items(&a, &b, 16);
-        let mut r = RTree::bulk_load(RTreeParams::for_tests(), a.clone());
-        let mut s = RTree::bulk_load(RTreeParams::for_tests(), b.clone());
-        let opts = AmKdjOptions { edmax_override: Some(h.edmax(k as u64)) };
-        let out = am_kdj(&mut r, &mut s, k, &JoinConfig::unbounded(), &opts);
+        let r = RTree::bulk_load(RTreeParams::for_tests(), a.clone());
+        let s = RTree::bulk_load(RTreeParams::for_tests(), b.clone());
+        let opts = AmKdjOptions {
+            edmax_override: Some(h.edmax(k as u64)),
+        };
+        let out = am_kdj(&r, &s, k, &JoinConfig::unbounded(), &opts);
         let want = bruteforce::k_closest_pairs(&a, &b, k);
         for (g, w) in out.results.iter().zip(want.iter()) {
             assert!((g.dist - w.dist).abs() < 1e-9);
         }
         // And it should do no more work than the default (overestimating)
         // Eq. 3 run on this skewed workload.
-        let default = am_kdj(&mut r, &mut s, k, &JoinConfig::unbounded(), &AmKdjOptions::default());
+        let default = am_kdj(
+            &r,
+            &s,
+            k,
+            &JoinConfig::unbounded(),
+            &AmKdjOptions::default(),
+        );
         assert!(
             out.stats.mainq_insertions <= default.stats.mainq_insertions,
             "histogram {} vs Eq. 3 {}",

@@ -25,8 +25,8 @@ use crate::{
 /// The HS-IDJ cursor: yields pairs in ascending distance order, one per
 /// [`next`](HsIdj::next) call.
 pub struct HsIdj<'a, const D: usize> {
-    r: &'a mut RTree<D>,
-    s: &'a mut RTree<D>,
+    r: &'a RTree<D>,
+    s: &'a RTree<D>,
     mainq: MainQueue<D>,
     distq: Option<DistanceQueue>,
     counters: JoinStats,
@@ -38,13 +38,13 @@ pub struct HsIdj<'a, const D: usize> {
 
 impl<'a, const D: usize> HsIdj<'a, D> {
     /// Starts an incremental join (no distance queue, no k).
-    pub fn new(r: &'a mut RTree<D>, s: &'a mut RTree<D>, cfg: &JoinConfig) -> Self {
+    pub fn new(r: &'a RTree<D>, s: &'a RTree<D>, cfg: &JoinConfig) -> Self {
         Self::build(r, s, cfg, None)
     }
 
     fn build(
-        r: &'a mut RTree<D>,
-        s: &'a mut RTree<D>,
+        r: &'a RTree<D>,
+        s: &'a RTree<D>,
         cfg: &JoinConfig,
         distq: Option<DistanceQueue>,
     ) -> Self {
@@ -55,8 +55,14 @@ impl<'a, const D: usize> HsIdj<'a, D> {
         {
             mainq.push(Pair {
                 dist: rb.min_dist(&sb),
-                a: ItemRef::Node { page: rp.0, level: r.height() - 1 },
-                b: ItemRef::Node { page: sp.0, level: s.height() - 1 },
+                a: ItemRef::Node {
+                    page: rp.0,
+                    level: r.height() - 1,
+                },
+                b: ItemRef::Node {
+                    page: sp.0,
+                    level: s.height() - 1,
+                },
                 a_mbr: rb,
                 b_mbr: sb,
             });
@@ -68,7 +74,10 @@ impl<'a, const D: usize> HsIdj<'a, D> {
             s,
             mainq,
             distq,
-            counters: JoinStats { stages: 1, ..JoinStats::default() },
+            counters: JoinStats {
+                stages: 1,
+                ..JoinStats::default()
+            },
             r_acc0,
             s_acc0,
             r_io0,
@@ -93,7 +102,11 @@ impl<'a, const D: usize> HsIdj<'a, D> {
                     unreachable!("is_result checked")
                 };
                 self.counters.results += 1;
-                return Some(ResultPair { r: a, s: b, dist: pair.dist });
+                return Some(ResultPair {
+                    r: a,
+                    s: b,
+                    dist: pair.dist,
+                });
             }
             self.expand(pair);
         }
@@ -106,35 +119,61 @@ impl<'a, const D: usize> HsIdj<'a, D> {
         let expand_left = match (pair.a, pair.b) {
             (ItemRef::Node { .. }, ItemRef::Object { .. }) => true,
             (ItemRef::Object { .. }, ItemRef::Node { .. }) => false,
-            (ItemRef::Node { .. }, ItemRef::Node { .. }) => {
-                pair.a_mbr.area() >= pair.b_mbr.area()
+            (ItemRef::Node { .. }, ItemRef::Node { .. }) => pair.a_mbr.area() >= pair.b_mbr.area(),
+            (ItemRef::Object { .. }, ItemRef::Object { .. }) => {
+                unreachable!("results never expand")
             }
-            (ItemRef::Object { .. }, ItemRef::Object { .. }) => unreachable!("results never expand"),
         };
         let node = if expand_left {
-            let ItemRef::Node { page, .. } = pair.a else { unreachable!() };
+            let ItemRef::Node { page, .. } = pair.a else {
+                unreachable!()
+            };
             self.r.fetch(PageId(page))
         } else {
-            let ItemRef::Node { page, .. } = pair.b else { unreachable!() };
+            let ItemRef::Node { page, .. } = pair.b else {
+                unreachable!()
+            };
             self.s.fetch(PageId(page))
         };
-        let (other_ref, other_mbr) = if expand_left { (pair.b, pair.b_mbr) } else { (pair.a, pair.a_mbr) };
+        let (other_ref, other_mbr) = if expand_left {
+            (pair.b, pair.b_mbr)
+        } else {
+            (pair.a, pair.a_mbr)
+        };
         for e in &node.entries {
             self.counters.real_dist += 1;
             let d = e.mbr.min_dist(&other_mbr);
-            let qdmax = self.distq.as_ref().map_or(f64::INFINITY, DistanceQueue::qdmax);
+            let qdmax = self
+                .distq
+                .as_ref()
+                .map_or(f64::INFINITY, DistanceQueue::qdmax);
             if d > qdmax {
                 continue;
             }
             let child_ref = if node.is_leaf() {
                 ItemRef::Object { oid: e.child }
             } else {
-                ItemRef::Node { page: e.child, level: node.level - 1 }
+                ItemRef::Node {
+                    page: e.child,
+                    level: node.level - 1,
+                }
             };
             let new_pair = if expand_left {
-                Pair { dist: d, a: child_ref, b: other_ref, a_mbr: e.mbr, b_mbr: other_mbr }
+                Pair {
+                    dist: d,
+                    a: child_ref,
+                    b: other_ref,
+                    a_mbr: e.mbr,
+                    b_mbr: other_mbr,
+                }
             } else {
-                Pair { dist: d, a: other_ref, b: child_ref, a_mbr: other_mbr, b_mbr: e.mbr }
+                Pair {
+                    dist: d,
+                    a: other_ref,
+                    b: child_ref,
+                    a_mbr: other_mbr,
+                    b_mbr: e.mbr,
+                }
             };
             let is_result = new_pair.is_result();
             self.mainq.push(new_pair);
@@ -153,7 +192,8 @@ impl<'a, const D: usize> HsIdj<'a, D> {
         st.mainq_insertions = self.mainq.insertions();
         st.distq_insertions = self.distq.as_ref().map_or(0, DistanceQueue::insertions);
         let (ra, sa) = (self.r.access_stats(), self.s.access_stats());
-        st.node_requests = (ra.requests - self.r_acc0.requests) + (sa.requests - self.s_acc0.requests);
+        st.node_requests =
+            (ra.requests - self.r_acc0.requests) + (sa.requests - self.s_acc0.requests);
         st.node_disk_reads =
             (ra.disk_reads - self.r_acc0.disk_reads) + (sa.disk_reads - self.s_acc0.disk_reads);
         let qd = self.mainq.disk_stats();
@@ -169,8 +209,8 @@ impl<'a, const D: usize> HsIdj<'a, D> {
 /// HS-KDJ: the k-distance join of [13] — `HsIdj` plus a distance queue
 /// whose `qDmax` gates main-queue insertions.
 pub fn hs_kdj<const D: usize>(
-    r: &mut RTree<D>,
-    s: &mut RTree<D>,
+    r: &RTree<D>,
+    s: &RTree<D>,
     k: usize,
     cfg: &JoinConfig,
 ) -> JoinOutput {
@@ -206,10 +246,10 @@ mod tests {
     fn hs_kdj_matches_brute_force() {
         let a = grid(12, 0.0);
         let b = grid(12, 0.31);
-        let mut r = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), a.clone());
-        let mut s = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), b.clone());
+        let r = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), a.clone());
+        let s = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), b.clone());
         for k in [1, 7, 50, 200] {
-            let out = hs_kdj(&mut r, &mut s, k, &JoinConfig::unbounded());
+            let out = hs_kdj(&r, &s, k, &JoinConfig::unbounded());
             let want = bruteforce::k_closest_pairs(&a, &b, k);
             assert_eq!(out.results.len(), k);
             for (got, exp) in out.results.iter().zip(want.iter()) {
@@ -222,9 +262,9 @@ mod tests {
     fn hs_idj_streams_in_order() {
         let a = grid(8, 0.0);
         let b = grid(8, 0.4);
-        let mut r = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), a.clone());
-        let mut s = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), b.clone());
-        let mut cursor = HsIdj::new(&mut r, &mut s, &JoinConfig::unbounded());
+        let r = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), a.clone());
+        let s = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), b.clone());
+        let mut cursor = HsIdj::new(&r, &s, &JoinConfig::unbounded());
         let mut prev = -1.0;
         for _ in 0..100 {
             let p = cursor.next().expect("plenty of pairs");
@@ -241,9 +281,9 @@ mod tests {
     fn hs_idj_exhausts_completely() {
         let a = grid(3, 0.0);
         let b = grid(3, 0.2);
-        let mut r = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), a.clone());
-        let mut s = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), b.clone());
-        let mut cursor = HsIdj::new(&mut r, &mut s, &JoinConfig::unbounded());
+        let r = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), a.clone());
+        let s = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), b.clone());
+        let mut cursor = HsIdj::new(&r, &s, &JoinConfig::unbounded());
         let mut n = 0;
         while cursor.next().is_some() {
             n += 1;
@@ -254,18 +294,18 @@ mod tests {
 
     #[test]
     fn empty_inputs() {
-        let mut r: amdj_rtree::RTree<2> = amdj_rtree::RTree::new(RTreeParams::for_tests());
-        let mut s = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), grid(3, 0.0));
-        let out = hs_kdj(&mut r, &mut s, 5, &JoinConfig::unbounded());
+        let r: amdj_rtree::RTree<2> = amdj_rtree::RTree::new(RTreeParams::for_tests());
+        let s = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), grid(3, 0.0));
+        let out = hs_kdj(&r, &s, 5, &JoinConfig::unbounded());
         assert!(out.results.is_empty());
     }
 
     #[test]
     fn k_zero() {
         let g = grid(3, 0.0);
-        let mut r = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), g.clone());
-        let mut s = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), g);
-        let out = hs_kdj(&mut r, &mut s, 0, &JoinConfig::unbounded());
+        let r = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), g.clone());
+        let s = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), g);
+        let out = hs_kdj(&r, &s, 0, &JoinConfig::unbounded());
         assert!(out.results.is_empty());
     }
 }

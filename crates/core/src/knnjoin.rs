@@ -42,15 +42,18 @@ pub struct KnnJoinOutput {
 /// };
 /// let mut r = RTree::bulk_load(RTreeParams::for_tests(), pts(0.0));
 /// let mut s = RTree::bulk_load(RTreeParams::for_tests(), pts(0.1));
-/// let out = knn_join(&mut r, &mut s, 2);
+/// let out = knn_join(&r, &s, 2);
 /// assert_eq!(out.groups.len(), 25);
 /// for (rid, nn) in &out.groups {
 ///     assert_eq!(nn[0].s, *rid, "the shifted twin is the nearest");
 /// }
 /// ```
-pub fn knn_join<const D: usize>(r: &mut RTree<D>, s: &mut RTree<D>, k: usize) -> KnnJoinOutput {
+pub fn knn_join<const D: usize>(r: &RTree<D>, s: &RTree<D>, k: usize) -> KnnJoinOutput {
     let baseline = Baseline::capture(r, s);
-    let mut stats = JoinStats { stages: 1, ..JoinStats::default() };
+    let mut stats = JoinStats {
+        stages: 1,
+        ..JoinStats::default()
+    };
     let mut groups = Vec::with_capacity(r.len() as usize);
     if k > 0 && !r.is_empty() && !s.is_empty() {
         // Walk R's leaves in index order for S-buffer locality.
@@ -74,7 +77,11 @@ pub fn knn_join<const D: usize>(r: &mut RTree<D>, s: &mut RTree<D>, k: usize) ->
                 .into_iter()
                 .map(|n| {
                     stats.real_dist += 1;
-                    ResultPair { r: rid, s: n.oid, dist: n.dist }
+                    ResultPair {
+                        r: rid,
+                        s: n.oid,
+                        dist: n.dist,
+                    }
                 })
                 .collect();
             stats.results += pairs.len() as u64;
@@ -105,10 +112,10 @@ mod tests {
     fn every_object_gets_its_neighbours() {
         let a = grid(8, 0.0, 0.0);
         let b = grid(8, 0.3, 0.4);
-        let mut r = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), a.clone());
-        let mut s = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), b.clone());
+        let r = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), a.clone());
+        let s = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), b.clone());
         let k = 3;
-        let out = knn_join(&mut r, &mut s, k);
+        let out = knn_join(&r, &s, k);
         assert_eq!(out.groups.len(), 64);
         assert_eq!(out.stats.results, 64 * 3);
         for (rid, pairs) in &out.groups {
@@ -129,9 +136,9 @@ mod tests {
     fn groups_are_in_r_id_order() {
         let a = grid(5, 0.0, 0.0);
         let b = grid(5, 0.1, 0.1);
-        let mut r = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), a);
-        let mut s = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), b);
-        let out = knn_join(&mut r, &mut s, 1);
+        let r = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), a);
+        let s = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), b);
+        let out = knn_join(&r, &s, 1);
         let ids: Vec<u64> = out.groups.iter().map(|&(id, _)| id).collect();
         assert_eq!(ids, (0..25).collect::<Vec<u64>>());
     }
@@ -140,9 +147,9 @@ mod tests {
     fn k_exceeding_s_size() {
         let a = grid(3, 0.0, 0.0);
         let b = grid(2, 0.5, 0.5);
-        let mut r = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), a);
-        let mut s = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), b);
-        let out = knn_join(&mut r, &mut s, 10);
+        let r = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), a);
+        let s = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), b);
+        let out = knn_join(&r, &s, 10);
         for (_, pairs) in &out.groups {
             assert_eq!(pairs.len(), 4, "only 4 S-objects exist");
         }
@@ -150,10 +157,10 @@ mod tests {
 
     #[test]
     fn degenerate_inputs() {
-        let mut empty: amdj_rtree::RTree<2> = amdj_rtree::RTree::new(RTreeParams::for_tests());
-        let mut s = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), grid(3, 0.0, 0.0));
-        assert!(knn_join(&mut empty, &mut s, 3).groups.is_empty());
-        let mut r = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), grid(3, 0.0, 0.0));
-        assert!(knn_join(&mut r, &mut s, 0).groups.is_empty());
+        let empty: amdj_rtree::RTree<2> = amdj_rtree::RTree::new(RTreeParams::for_tests());
+        let s = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), grid(3, 0.0, 0.0));
+        assert!(knn_join(&empty, &s, 3).groups.is_empty());
+        let r = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), grid(3, 0.0, 0.0));
+        assert!(knn_join(&r, &s, 0).groups.is_empty());
     }
 }

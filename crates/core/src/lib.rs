@@ -12,6 +12,11 @@
 //! | AM-KDJ (aggressive pruning + compensation) | [`am_kdj`] | §4.1 |
 //! | AM-IDJ (adaptive multi-stage incremental) | [`AmIdj`] | §4.2 |
 //! | SJ-SORT (spatial join + external sort baseline) | [`sj_sort`] | §5 |
+//! | Parallel B-KDJ (workers sharing both trees) | [`par_b_kdj`] | — |
+//!
+//! Every join takes its trees by `&RTree` — the page buffer synchronizes
+//! internally — so joins can also run concurrently over shared indexes;
+//! see the [`par_b_kdj`] module docs for the exactness argument.
 //!
 //! Supporting machinery, each its own module:
 //!
@@ -39,9 +44,9 @@
 //!     .map(|i| (Rect::from_point(Point::new([(i % 10) as f64 + 0.3, (i / 10) as f64 + 0.4])), i))
 //!     .collect();
 //!
-//! let mut r = RTree::bulk_load(RTreeParams::paper_defaults(), hotels);
-//! let mut s = RTree::bulk_load(RTreeParams::paper_defaults(), restaurants);
-//! let out = b_kdj(&mut r, &mut s, 5, &JoinConfig::default());
+//! let r = RTree::bulk_load(RTreeParams::paper_defaults(), hotels);
+//! let s = RTree::bulk_load(RTreeParams::paper_defaults(), restaurants);
+//! let out = b_kdj(&r, &s, 5, &JoinConfig::default());
 //! assert_eq!(out.results.len(), 5);
 //! assert!(out.results.windows(2).all(|w| w[0].dist <= w[1].dist));
 //! ```
@@ -53,6 +58,7 @@ mod amidj;
 mod amkdj;
 mod bkdj;
 pub mod bruteforce;
+mod concurrent;
 mod config;
 mod distq;
 mod estimate;
@@ -69,6 +75,7 @@ mod within;
 pub use amidj::AmIdj;
 pub use amkdj::am_kdj;
 pub use bkdj::b_kdj;
+pub use concurrent::par_b_kdj;
 pub use config::{AmIdjOptions, AmKdjOptions, Correction, EdmaxPolicy, JoinConfig};
 pub use distq::DistanceQueue;
 pub use estimate::Estimator;

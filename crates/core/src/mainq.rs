@@ -92,7 +92,13 @@ mod tests {
 
     fn pair(d: f64) -> Pair<2> {
         let r = Rect::new([0.0, 0.0], [1.0, 1.0]);
-        Pair { dist: d, a: ItemRef::Object { oid: 1 }, b: ItemRef::Object { oid: 2 }, a_mbr: r, b_mbr: r }
+        Pair {
+            dist: d,
+            a: ItemRef::Object { oid: 1 },
+            b: ItemRef::Object { oid: 2 },
+            a_mbr: r,
+            b_mbr: r,
+        }
     }
 
     #[test]

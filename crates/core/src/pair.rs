@@ -126,7 +126,13 @@ impl<const D: usize> SpillItem for Pair<D> {
         let b = decode_ref(r);
         let a_mbr = decode_rect(r);
         let b_mbr = decode_rect(r);
-        Pair { dist, a, b, a_mbr, b_mbr }
+        Pair {
+            dist,
+            a,
+            b,
+            a_mbr,
+            b_mbr,
+        }
     }
 }
 

@@ -36,7 +36,11 @@ impl SpillItem for Candidate {
         put_u64(out, self.s);
     }
     fn decode(rd: &mut Reader<'_>) -> Self {
-        Candidate { dist: rd.f64(), r: rd.u64(), s: rd.u64() }
+        Candidate {
+            dist: rd.f64(),
+            r: rd.u64(),
+            s: rd.u64(),
+        }
     }
 }
 
@@ -76,8 +80,8 @@ impl<const D: usize> SweepSink<D> for SjSink<'_, D> {
 /// Shared by [`sj_sort`] and [`crate::within_join`].
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn visit<const D: usize>(
-    r: &mut RTree<D>,
-    s: &mut RTree<D>,
+    r: &RTree<D>,
+    s: &RTree<D>,
     pr: PageId,
     ps: PageId,
     dmax: f64,
@@ -113,7 +117,11 @@ pub(crate) fn visit<const D: usize>(
     let left = SweepList::from_node(&nr, setup);
     let right = SweepList::from_node(&ns, setup);
     let mut recurse = Vec::new();
-    let mut sink = SjSink { dmax, out, recurse: &mut recurse };
+    let mut sink = SjSink {
+        dmax,
+        out,
+        recurse: &mut recurse,
+    };
     plane_sweep(&left, &right, setup.axis, &mut sink, stats, MarkMode::None);
     for (a, b) in recurse {
         visit(r, s, a, b, dmax, cfg, out, stats);
@@ -124,14 +132,17 @@ pub(crate) fn visit<const D: usize>(
 /// distance, supplied by the caller), external sort, then the first `k`
 /// pairs.
 pub fn sj_sort<const D: usize>(
-    r: &mut RTree<D>,
-    s: &mut RTree<D>,
+    r: &RTree<D>,
+    s: &RTree<D>,
     k: usize,
     dmax: f64,
     cfg: &JoinConfig,
 ) -> JoinOutput {
     let baseline = Baseline::capture(r, s);
-    let mut stats = JoinStats { stages: 1, ..JoinStats::default() };
+    let mut stats = JoinStats {
+        stages: 1,
+        ..JoinStats::default()
+    };
     let mut sorter = ExternalSorter::new(cfg.queue_mem_bytes, cfg.queue_cost);
     if let (Some(rp), Some(sp)) = (r.root_page(), s.root_page()) {
         if k > 0 {
@@ -146,7 +157,11 @@ pub fn sj_sort<const D: usize>(
         if results.len() >= k {
             break;
         }
-        results.push(ResultPair { r: cand.r, s: cand.s, dist: cand.dist });
+        results.push(ResultPair {
+            r: cand.r,
+            s: cand.s,
+            dist: cand.dist,
+        });
     }
     stats.results = results.len() as u64;
     let d = stream.disk_stats();
@@ -176,11 +191,11 @@ mod tests {
     fn matches_brute_force_with_oracle_dmax() {
         let a = grid(12, 0.0, 0.0);
         let b = grid(12, 0.3, 0.45);
-        let mut r = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), a.clone());
-        let mut s = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), b.clone());
+        let r = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), a.clone());
+        let s = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), b.clone());
         for k in [1, 25, 140] {
             let dmax = bruteforce::dmax_for_k(&a, &b, k).unwrap();
-            let out = sj_sort(&mut r, &mut s, k, dmax, &JoinConfig::unbounded());
+            let out = sj_sort(&r, &s, k, dmax, &JoinConfig::unbounded());
             let want = bruteforce::k_closest_pairs(&a, &b, k);
             assert_eq!(out.results.len(), k);
             for (got, exp) in out.results.iter().zip(want.iter()) {
@@ -194,12 +209,12 @@ mod tests {
         // A big R against a tiny S exercises the level-descent arms.
         let a = grid(20, 0.0, 0.0);
         let b = grid(2, 0.4, 0.4);
-        let mut r = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), a.clone());
-        let mut s = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), b.clone());
+        let r = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), a.clone());
+        let s = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), b.clone());
         assert!(r.height() > s.height());
         let k = 10;
         let dmax = bruteforce::dmax_for_k(&a, &b, k).unwrap();
-        let out = sj_sort(&mut r, &mut s, k, dmax, &JoinConfig::unbounded());
+        let out = sj_sort(&r, &s, k, dmax, &JoinConfig::unbounded());
         let want = bruteforce::k_closest_pairs(&a, &b, k);
         for (got, exp) in out.results.iter().zip(want.iter()) {
             assert!((got.dist - exp.dist).abs() < 1e-9);
@@ -210,24 +225,27 @@ mod tests {
     fn sort_io_is_charged_under_budget() {
         let a = grid(15, 0.0, 0.0);
         let b = grid(15, 0.2, 0.3);
-        let mut r = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), a.clone());
-        let mut s = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), b.clone());
+        let r = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), a.clone());
+        let s = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), b.clone());
         let k = 150;
         let dmax = bruteforce::dmax_for_k(&a, &b, k).unwrap();
         let mut cfg = JoinConfig::with_queue_memory(1024);
         cfg.queue_cost.page_size = 512;
-        let out = sj_sort(&mut r, &mut s, k, dmax, &cfg);
+        let out = sj_sort(&r, &s, k, dmax, &cfg);
         assert_eq!(out.results.len(), k);
-        assert!(out.stats.queue_page_writes > 0, "external sort must spill runs");
+        assert!(
+            out.stats.queue_page_writes > 0,
+            "external sort must spill runs"
+        );
         assert!(out.stats.io_seconds > 0.0);
     }
 
     #[test]
     fn zero_k_does_no_traversal() {
         let a = grid(5, 0.0, 0.0);
-        let mut r = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), a.clone());
-        let mut s = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), a.clone());
-        let out = sj_sort(&mut r, &mut s, 0, 100.0, &JoinConfig::unbounded());
+        let r = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), a.clone());
+        let s = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), a.clone());
+        let out = sj_sort(&r, &s, 0, 100.0, &JoinConfig::unbounded());
         assert!(out.results.is_empty());
         assert_eq!(out.stats.real_dist, 0);
     }
@@ -236,10 +254,13 @@ mod tests {
     fn candidate_count_exceeds_k_with_generous_dmax() {
         let a = grid(8, 0.0, 0.0);
         let b = grid(8, 0.5, 0.5);
-        let mut r = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), a.clone());
-        let mut s = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), b.clone());
-        let out = sj_sort(&mut r, &mut s, 5, 3.0, &JoinConfig::unbounded());
+        let r = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), a.clone());
+        let s = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), b.clone());
+        let out = sj_sort(&r, &s, 5, 3.0, &JoinConfig::unbounded());
         assert_eq!(out.results.len(), 5);
-        assert!(out.stats.mainq_insertions > 5, "overestimated Dmax inflates the sort input");
+        assert!(
+            out.stats.mainq_insertions > 5,
+            "overestimated Dmax inflates the sort input"
+        );
     }
 }

@@ -122,7 +122,8 @@ impl Baseline {
     ) {
         let ra = r.access_stats();
         let sa = s.access_stats();
-        stats.node_requests += (ra.requests - self.r_acc.requests) + (sa.requests - self.s_acc.requests);
+        stats.node_requests +=
+            (ra.requests - self.r_acc.requests) + (sa.requests - self.s_acc.requests);
         stats.node_disk_reads +=
             (ra.disk_reads - self.r_acc.disk_reads) + (sa.disk_reads - self.s_acc.disk_reads);
         let tree_io =
@@ -138,13 +139,21 @@ mod tests {
 
     #[test]
     fn response_time_sums_components() {
-        let s = JoinStats { cpu_seconds: 1.5, io_seconds: 2.5, ..JoinStats::default() };
+        let s = JoinStats {
+            cpu_seconds: 1.5,
+            io_seconds: 2.5,
+            ..JoinStats::default()
+        };
         assert_eq!(s.response_time(), 4.0);
     }
 
     #[test]
     fn total_dist_sums_axis_and_real() {
-        let s = JoinStats { real_dist: 10, axis_dist: 32, ..JoinStats::default() };
+        let s = JoinStats {
+            real_dist: 10,
+            axis_dist: 32,
+            ..JoinStats::default()
+        };
         assert_eq!(s.total_dist_computations(), 42);
     }
 }

@@ -57,7 +57,11 @@ pub(crate) fn choose_setup<const D: usize>(
     w: f64,
     cfg: &JoinConfig,
 ) -> SweepSetup {
-    let axis = if cfg.optimize_axis { choose_sweep_axis(a, b, w) } else { 0 };
+    let axis = if cfg.optimize_axis {
+        choose_sweep_axis(a, b, w)
+    } else {
+        0
+    };
     let dir = if cfg.optimize_direction {
         choose_sweep_direction(a, b, axis)
     } else {
@@ -79,17 +83,29 @@ impl<const D: usize> SweepList<D> {
         let mut entries: Vec<SweepEntry<D>> = node
             .entries
             .iter()
-            .map(|e| SweepEntry { mbr: e.mbr, child: e.child, key: sort_key(&e.mbr, setup) })
+            .map(|e| SweepEntry {
+                mbr: e.mbr,
+                child: e.child,
+                key: sort_key(&e.mbr, setup),
+            })
             .collect();
         entries.sort_by(|a, b| a.key.partial_cmp(&b.key).expect("finite keys"));
-        SweepList { entries, objects: node.is_leaf(), child_level: node.level.saturating_sub(1) }
+        SweepList {
+            entries,
+            objects: node.is_leaf(),
+            child_level: node.level.saturating_sub(1),
+        }
     }
 
     /// Wraps a single object as a one-entry list (for ⟨node, object⟩
     /// pairs).
     pub(crate) fn singleton_object(oid: u64, mbr: Rect<D>, setup: SweepSetup) -> Self {
         SweepList {
-            entries: vec![SweepEntry { mbr, child: oid, key: sort_key(&mbr, setup) }],
+            entries: vec![SweepEntry {
+                mbr,
+                child: oid,
+                key: sort_key(&mbr, setup),
+            }],
             objects: true,
             child_level: 0,
         }
@@ -99,7 +115,10 @@ impl<const D: usize> SweepList<D> {
         if self.objects {
             ItemRef::Object { oid: e.child }
         } else {
-            ItemRef::Node { page: e.child, level: self.child_level }
+            ItemRef::Node {
+                page: e.child,
+                level: self.child_level,
+            }
         }
     }
 }
@@ -181,7 +200,10 @@ pub(crate) fn plane_sweep<const D: usize>(
     let mut marks = match mode {
         MarkMode::None => None,
         MarkMode::Suffix => Some(SweepMarks::default()),
-        MarkMode::Full => Some(SweepMarks { track_rejects: true, ..SweepMarks::default() }),
+        MarkMode::Full => Some(SweepMarks {
+            track_rejects: true,
+            ..SweepMarks::default()
+        }),
     };
     let (mut li, mut ri) = (0usize, 0usize);
     while li < left.entries.len() && ri < right.entries.len() {
@@ -189,7 +211,18 @@ pub(crate) fn plane_sweep<const D: usize>(
             let anchor_idx = li;
             let anchor = left.entries[li];
             li += 1;
-            let stop = scan(&anchor, anchor_idx, left, right, ri, true, axis, sink, stats, marks.as_mut());
+            let stop = scan(
+                &anchor,
+                anchor_idx,
+                left,
+                right,
+                ri,
+                true,
+                axis,
+                sink,
+                stats,
+                marks.as_mut(),
+            );
             if let Some(m) = &mut marks {
                 m.left_stops.push(stop as u32);
             }
@@ -197,7 +230,18 @@ pub(crate) fn plane_sweep<const D: usize>(
             let anchor_idx = ri;
             let anchor = right.entries[ri];
             ri += 1;
-            let stop = scan(&anchor, anchor_idx, left, right, li, false, axis, sink, stats, marks.as_mut());
+            let stop = scan(
+                &anchor,
+                anchor_idx,
+                left,
+                right,
+                li,
+                false,
+                axis,
+                sink,
+                stats,
+                marks.as_mut(),
+            );
             if let Some(m) = &mut marks {
                 m.right_stops.push(stop as u32);
             }
@@ -221,7 +265,11 @@ fn scan<const D: usize>(
     stats: &mut JoinStats,
     mut marks: Option<&mut SweepMarks>,
 ) -> usize {
-    let partners = if anchor_is_left { &right.entries } else { &left.entries };
+    let partners = if anchor_is_left {
+        &right.entries
+    } else {
+        &left.entries
+    };
     for (i, m) in partners.iter().enumerate().skip(from) {
         stats.axis_dist += 1;
         let ad = anchor.mbr.axis_dist(&m.mbr, axis);
@@ -231,7 +279,11 @@ fn scan<const D: usize>(
         stats.real_dist += 1;
         let real = anchor.mbr.min_dist(&m.mbr);
         if real <= sink.real_cutoff() {
-            let (le, re) = if anchor_is_left { (anchor, m) } else { (m, anchor) };
+            let (le, re) = if anchor_is_left {
+                (anchor, m)
+            } else {
+                (m, anchor)
+            };
             sink.emit(Pair {
                 dist: real,
                 a: left.item_ref(le),
@@ -241,8 +293,16 @@ fn scan<const D: usize>(
             });
         } else if let Some(m_) = marks.as_deref_mut() {
             if m_.track_rejects {
-                let (li_, ri_) = if anchor_is_left { (anchor_idx, i) } else { (i, anchor_idx) };
-                m_.rejects.push(Reject { left: li_ as u32, right: ri_ as u32, dist: real });
+                let (li_, ri_) = if anchor_is_left {
+                    (anchor_idx, i)
+                } else {
+                    (i, anchor_idx)
+                };
+                m_.rejects.push(Reject {
+                    left: li_ as u32,
+                    right: ri_ as u32,
+                    dist: real,
+                });
             }
         }
     }
@@ -285,17 +345,42 @@ pub(crate) fn compensation_sweep<const D: usize>(
     }
     // Then extend every anchor's scan past its recorded stop. New rejects
     // (still-estimated cutoff) accumulate into the same marks.
-    let mut scratch = SweepMarks { track_rejects: marks.track_rejects, ..SweepMarks::default() };
+    let mut scratch = SweepMarks {
+        track_rejects: marks.track_rejects,
+        ..SweepMarks::default()
+    };
     for (i, stop) in marks.left_stops.iter_mut().enumerate() {
         if (*stop as usize) < right.entries.len() {
             let anchor = left.entries[i];
-            *stop = scan(&anchor, i, left, right, *stop as usize, true, axis, sink, stats, Some(&mut scratch)) as u32;
+            *stop = scan(
+                &anchor,
+                i,
+                left,
+                right,
+                *stop as usize,
+                true,
+                axis,
+                sink,
+                stats,
+                Some(&mut scratch),
+            ) as u32;
         }
     }
     for (i, stop) in marks.right_stops.iter_mut().enumerate() {
         if (*stop as usize) < left.entries.len() {
             let anchor = right.entries[i];
-            *stop = scan(&anchor, i, left, right, *stop as usize, false, axis, sink, stats, Some(&mut scratch)) as u32;
+            *stop = scan(
+                &anchor,
+                i,
+                left,
+                right,
+                *stop as usize,
+                false,
+                axis,
+                sink,
+                stats,
+                Some(&mut scratch),
+            ) as u32;
         }
     }
     marks.rejects.append(&mut scratch.rejects);
@@ -304,8 +389,8 @@ pub(crate) fn compensation_sweep<const D: usize>(
 /// Fetches and prepares both sides of a pair for expansion, choosing the
 /// sweep setup from the pair's MBRs and the current cutoff.
 pub(crate) fn expand_lists<const D: usize>(
-    r: &mut RTree<D>,
-    s: &mut RTree<D>,
+    r: &RTree<D>,
+    s: &RTree<D>,
     pair: &Pair<D>,
     cutoff: f64,
     cfg: &JoinConfig,
@@ -371,13 +456,19 @@ pub(crate) struct CompQueue<const D: usize> {
 
 impl<const D: usize> CompQueue<D> {
     pub(crate) fn new() -> Self {
-        CompQueue { heap: BinaryHeap::new(), seq: 0 }
+        CompQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
     }
 
     pub(crate) fn push(&mut self, entry: CompEntry<D>, stats: &mut JoinStats) {
         stats.compq_insertions += 1;
         self.seq += 1;
-        self.heap.push(CompOrd { seq: self.seq, entry });
+        self.heap.push(CompOrd {
+            seq: self.seq,
+            entry,
+        });
     }
 
     pub(crate) fn pop(&mut self) -> Option<CompEntry<D>> {
@@ -432,7 +523,10 @@ mod tests {
     }
 
     fn setup_fwd() -> SweepSetup {
-        SweepSetup { axis: 0, dir: SweepDirection::Forward }
+        SweepSetup {
+            axis: 0,
+            dir: SweepDirection::Forward,
+        }
     }
 
     fn brute_pairs(a: &[(f64, f64)], b: &[(f64, f64)], cutoff: f64) -> usize {
@@ -454,7 +548,11 @@ mod tests {
         let la = SweepList::from_node(&leaf(&a_pts, 0), setup_fwd());
         let lb = SweepList::from_node(&leaf(&b_pts, 100), setup_fwd());
         for cutoff in [0.4, 0.6, 1.2, 3.0, 100.0] {
-            let mut sink = Collect { axis: cutoff, real: cutoff, pairs: vec![] };
+            let mut sink = Collect {
+                axis: cutoff,
+                real: cutoff,
+                pairs: vec![],
+            };
             let mut stats = JoinStats::default();
             plane_sweep(&la, &lb, 0, &mut sink, &mut stats, MarkMode::None);
             assert_eq!(
@@ -478,7 +576,11 @@ mod tests {
         let b_pts: Vec<(f64, f64)> = (0..50).map(|i| (i as f64 + 0.5, 0.0)).collect();
         let la = SweepList::from_node(&leaf(&a_pts, 0), setup_fwd());
         let lb = SweepList::from_node(&leaf(&b_pts, 100), setup_fwd());
-        let mut sink = Collect { axis: 1.0, real: 1.0, pairs: vec![] };
+        let mut sink = Collect {
+            axis: 1.0,
+            real: 1.0,
+            pairs: vec![],
+        };
         let mut stats = JoinStats::default();
         plane_sweep(&la, &lb, 0, &mut sink, &mut stats, MarkMode::None);
         assert!(
@@ -493,12 +595,22 @@ mod tests {
     fn backward_direction_equivalent_results() {
         let a_pts = [(0.0, 0.0), (2.0, 0.0), (5.0, 0.0)];
         let b_pts = [(1.0, 0.0), (4.5, 0.0)];
-        let fwd = SweepSetup { axis: 0, dir: SweepDirection::Forward };
-        let bwd = SweepSetup { axis: 0, dir: SweepDirection::Backward };
+        let fwd = SweepSetup {
+            axis: 0,
+            dir: SweepDirection::Forward,
+        };
+        let bwd = SweepSetup {
+            axis: 0,
+            dir: SweepDirection::Backward,
+        };
         for setup in [fwd, bwd] {
             let la = SweepList::from_node(&leaf(&a_pts, 0), setup);
             let lb = SweepList::from_node(&leaf(&b_pts, 100), setup);
-            let mut sink = Collect { axis: 1.1, real: 1.1, pairs: vec![] };
+            let mut sink = Collect {
+                axis: 1.1,
+                real: 1.1,
+                pairs: vec![],
+            };
             let mut stats = JoinStats::default();
             plane_sweep(&la, &lb, 0, &mut sink, &mut stats, MarkMode::None);
             let mut dists: Vec<f64> = sink.pairs.iter().map(|p| p.dist).collect();
@@ -513,15 +625,26 @@ mod tests {
         // infinite cutoff: together they must emit the full within-cutoff
         // set of the infinite run.
         let a_pts: Vec<(f64, f64)> = (0..20).map(|i| (i as f64 * 0.7, (i % 5) as f64)).collect();
-        let b_pts: Vec<(f64, f64)> = (0..15).map(|i| (i as f64 * 0.9 + 0.2, (i % 4) as f64)).collect();
+        let b_pts: Vec<(f64, f64)> = (0..15)
+            .map(|i| (i as f64 * 0.9 + 0.2, (i % 4) as f64))
+            .collect();
         let la = SweepList::from_node(&leaf(&a_pts, 0), setup_fwd());
         let lb = SweepList::from_node(&leaf(&b_pts, 100), setup_fwd());
 
-        let mut aggressive = Collect { axis: 1.0, real: f64::INFINITY, pairs: vec![] };
+        let mut aggressive = Collect {
+            axis: 1.0,
+            real: f64::INFINITY,
+            pairs: vec![],
+        };
         let mut stats = JoinStats::default();
-        let mut marks = plane_sweep(&la, &lb, 0, &mut aggressive, &mut stats, MarkMode::Full).unwrap();
+        let mut marks =
+            plane_sweep(&la, &lb, 0, &mut aggressive, &mut stats, MarkMode::Full).unwrap();
 
-        let mut comp = Collect { axis: f64::INFINITY, real: f64::INFINITY, pairs: vec![] };
+        let mut comp = Collect {
+            axis: f64::INFINITY,
+            real: f64::INFINITY,
+            pairs: vec![],
+        };
         compensation_sweep(&la, &lb, 0, &mut marks, &mut comp, &mut stats);
         assert!(marks.exhausted(la.entries.len(), lb.entries.len()));
 
@@ -546,11 +669,19 @@ mod tests {
         let la = SweepList::from_node(&leaf(&a_pts, 0), setup_fwd());
         let lb = SweepList::from_node(&leaf(&b_pts, 100), setup_fwd());
         let mut stats = JoinStats::default();
-        let mut sink = Collect { axis: 1.0, real: f64::INFINITY, pairs: vec![] };
+        let mut sink = Collect {
+            axis: 1.0,
+            real: f64::INFINITY,
+            pairs: vec![],
+        };
         let mut marks = plane_sweep(&la, &lb, 0, &mut sink, &mut stats, MarkMode::Full).unwrap();
         let mut total = sink.pairs.len();
         for cutoff in [3.0, 9.0, f64::INFINITY] {
-            let mut sink = Collect { axis: cutoff, real: f64::INFINITY, pairs: vec![] };
+            let mut sink = Collect {
+                axis: cutoff,
+                real: f64::INFINITY,
+                pairs: vec![],
+            };
             compensation_sweep(&la, &lb, 0, &mut marks, &mut sink, &mut stats);
             total += sink.pairs.len();
         }
@@ -561,9 +692,14 @@ mod tests {
     #[test]
     fn singleton_object_list() {
         let setup = setup_fwd();
-        let obj = SweepList::<2>::singleton_object(7, Rect::from_point(Point::new([1.0, 1.0])), setup);
+        let obj =
+            SweepList::<2>::singleton_object(7, Rect::from_point(Point::new([1.0, 1.0])), setup);
         let la = SweepList::from_node(&leaf(&[(0.0, 1.0), (3.0, 1.0)], 0), setup);
-        let mut sink = Collect { axis: 1.5, real: 1.5, pairs: vec![] };
+        let mut sink = Collect {
+            axis: 1.5,
+            real: 1.5,
+            pairs: vec![],
+        };
         let mut stats = JoinStats::default();
         plane_sweep(&la, &obj, 0, &mut sink, &mut stats, MarkMode::None);
         assert_eq!(sink.pairs.len(), 1);
@@ -580,8 +716,16 @@ mod tests {
                 CompEntry {
                     key,
                     axis: 0,
-                    left: SweepList { entries: vec![], objects: false, child_level: 0 },
-                    right: SweepList { entries: vec![], objects: false, child_level: 0 },
+                    left: SweepList {
+                        entries: vec![],
+                        objects: false,
+                        child_level: 0,
+                    },
+                    right: SweepList {
+                        entries: vec![],
+                        objects: false,
+                        child_level: 0,
+                    },
                     marks: SweepMarks::default(),
                 },
                 &mut stats,
@@ -599,10 +743,16 @@ mod tests {
     fn non_leaf_lists_produce_node_refs() {
         let node: Node<2> = Node {
             level: 2,
-            entries: vec![amdj_rtree::Entry { mbr: Rect::new([0.0, 0.0], [1.0, 1.0]), child: 55 }],
+            entries: vec![amdj_rtree::Entry {
+                mbr: Rect::new([0.0, 0.0], [1.0, 1.0]),
+                child: 55,
+            }],
         };
         let l = SweepList::from_node(&node, setup_fwd());
         assert!(!l.objects);
-        assert_eq!(l.item_ref(&l.entries[0]), ItemRef::Node { page: 55, level: 1 });
+        assert_eq!(
+            l.item_ref(&l.entries[0]),
+            ItemRef::Node { page: 55, level: 1 }
+        );
     }
 }

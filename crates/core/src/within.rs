@@ -24,18 +24,24 @@ use crate::{JoinConfig, JoinOutput, JoinStats, ResultPair};
 /// };
 /// let mut r = RTree::bulk_load(RTreeParams::for_tests(), line(0.0));
 /// let mut s = RTree::bulk_load(RTreeParams::for_tests(), line(0.3));
-/// let out = within_join(&mut r, &mut s, 0.3, &JoinConfig::unbounded());
+/// let out = within_join(&r, &s, 0.3, &JoinConfig::unbounded());
 /// assert_eq!(out.results.len(), 20, "each point pairs with its opposite");
 /// ```
 pub fn within_join<const D: usize>(
-    r: &mut RTree<D>,
-    s: &mut RTree<D>,
+    r: &RTree<D>,
+    s: &RTree<D>,
     dmax: f64,
     cfg: &JoinConfig,
 ) -> JoinOutput {
-    assert!(dmax >= 0.0 && dmax.is_finite(), "within_join needs a finite cutoff");
+    assert!(
+        dmax >= 0.0 && dmax.is_finite(),
+        "within_join needs a finite cutoff"
+    );
     let baseline = Baseline::capture(r, s);
-    let mut stats = JoinStats { stages: 1, ..JoinStats::default() };
+    let mut stats = JoinStats {
+        stages: 1,
+        ..JoinStats::default()
+    };
     let mut results: Vec<ResultPair> = Vec::new();
     if let (Some(rp), Some(sp)) = (r.root_page(), s.root_page()) {
         let mut out = |dist: f64, a: u64, b: u64| results.push(ResultPair { r: a, s: b, dist });
@@ -72,14 +78,12 @@ mod tests {
     fn matches_brute_force() {
         let a = grid(10, 0.0, 0.0);
         let b = grid(10, 0.35, 0.2);
-        let mut r = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), a.clone());
-        let mut s = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), b.clone());
+        let r = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), a.clone());
+        let s = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), b.clone());
         for d in [0.0, 0.41, 1.0, 2.5] {
-            let got = within_join(&mut r, &mut s, d, &JoinConfig::unbounded());
+            let got = within_join(&r, &s, d, &JoinConfig::unbounded());
             let mut want = bruteforce::pairs_within(&a, &b, d);
-            want.sort_by(|x, y| {
-                (x.dist, x.r, x.s).partial_cmp(&(y.dist, y.r, y.s)).unwrap()
-            });
+            want.sort_by(|x, y| (x.dist, x.r, x.s).partial_cmp(&(y.dist, y.r, y.s)).unwrap());
             assert_eq!(got.results.len(), want.len(), "d = {d}");
             for (g, w) in got.results.iter().zip(want.iter()) {
                 assert_eq!((g.r, g.s), (w.r, w.s), "d = {d}");
@@ -92,13 +96,13 @@ mod tests {
     fn zero_distance_finds_touching_pairs() {
         let a = vec![(Rect::new([0.0, 0.0], [1.0, 1.0]), 0u64)];
         let b = vec![
-            (Rect::new([1.0, 0.0], [2.0, 1.0]), 0u64),  // touching
-            (Rect::new([3.0, 0.0], [4.0, 1.0]), 1u64),  // apart
-            (Rect::new([0.5, 0.5], [0.7, 0.7]), 2u64),  // contained
+            (Rect::new([1.0, 0.0], [2.0, 1.0]), 0u64), // touching
+            (Rect::new([3.0, 0.0], [4.0, 1.0]), 1u64), // apart
+            (Rect::new([0.5, 0.5], [0.7, 0.7]), 2u64), // contained
         ];
-        let mut r = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), a);
-        let mut s = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), b);
-        let out = within_join(&mut r, &mut s, 0.0, &JoinConfig::unbounded());
+        let r = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), a);
+        let s = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), b);
+        let out = within_join(&r, &s, 0.0, &JoinConfig::unbounded());
         let ids: Vec<u64> = out.results.iter().map(|p| p.s).collect();
         assert_eq!(ids.len(), 2);
         assert!(ids.contains(&0) && ids.contains(&2));
@@ -106,9 +110,9 @@ mod tests {
 
     #[test]
     fn empty_inputs_and_stats() {
-        let mut r: amdj_rtree::RTree<2> = amdj_rtree::RTree::new(RTreeParams::for_tests());
-        let mut s = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), grid(3, 0.0, 0.0));
-        let out = within_join(&mut r, &mut s, 5.0, &JoinConfig::unbounded());
+        let r: amdj_rtree::RTree<2> = amdj_rtree::RTree::new(RTreeParams::for_tests());
+        let s = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), grid(3, 0.0, 0.0));
+        let out = within_join(&r, &s, 5.0, &JoinConfig::unbounded());
         assert!(out.results.is_empty());
         assert_eq!(out.stats.results, 0);
     }
@@ -119,12 +123,12 @@ mod tests {
         // join's results as a prefix (ties aside, counts must cover k).
         let a = grid(9, 0.0, 0.0);
         let b = grid(9, 0.45, 0.3);
-        let mut r = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), a.clone());
-        let mut s = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), b.clone());
+        let r = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), a.clone());
+        let s = amdj_rtree::RTree::bulk_load(RTreeParams::for_tests(), b.clone());
         let k = 60;
-        let kdj = crate::b_kdj(&mut r, &mut s, k, &JoinConfig::unbounded());
+        let kdj = crate::b_kdj(&r, &s, k, &JoinConfig::unbounded());
         let dmax = kdj.results.last().unwrap().dist;
-        let wj = within_join(&mut r, &mut s, dmax, &JoinConfig::unbounded());
+        let wj = within_join(&r, &s, dmax, &JoinConfig::unbounded());
         assert!(wj.results.len() >= k);
         for (g, w) in wj.results.iter().zip(kdj.results.iter()) {
             assert!((g.dist - w.dist).abs() < 1e-12);

@@ -68,10 +68,18 @@ pub fn uniform_rects(n: usize, bounds: Rect<2>, max_side: f64, seed: u64) -> Dat
 /// `n` points drawn from a mixture of `clusters` isotropic Gaussians whose
 /// centers are uniform in `bounds`; `spread` is the standard deviation as a
 /// fraction of the universe diagonal. Points are clamped to `bounds`.
-pub fn clustered_points(n: usize, clusters: usize, spread: f64, bounds: Rect<2>, seed: u64) -> Dataset {
+pub fn clustered_points(
+    n: usize,
+    clusters: usize,
+    spread: f64,
+    bounds: Rect<2>,
+    seed: u64,
+) -> Dataset {
     assert!(clusters > 0, "need at least one cluster");
     let mut rng = StdRng::seed_from_u64(seed);
-    let centers: Vec<Point<2>> = (0..clusters).map(|_| random_point(&mut rng, &bounds)).collect();
+    let centers: Vec<Point<2>> = (0..clusters)
+        .map(|_| random_point(&mut rng, &bounds))
+        .collect();
     let diag = {
         let dx = bounds.side(0);
         let dy = bounds.side(1);
@@ -202,7 +210,9 @@ mod tests {
     fn sample_weighted_respects_mass() {
         let mut rng = StdRng::seed_from_u64(1);
         let w = vec![0.9, 0.1];
-        let hits = (0..1000).filter(|_| sample_weighted(&mut rng, &w) == 0).count();
+        let hits = (0..1000)
+            .filter(|_| sample_weighted(&mut rng, &w) == 0)
+            .count();
         assert!(hits > 800, "90% weight must dominate, got {hits}");
     }
 

@@ -38,7 +38,9 @@ impl Geography {
         assert!(towns > 0);
         let bounds = unit_universe();
         let mut rng = StdRng::seed_from_u64(seed);
-        let centers = (0..towns).map(|_| random_point(&mut rng, &bounds)).collect();
+        let centers = (0..towns)
+            .map(|_| random_point(&mut rng, &bounds))
+            .collect();
         Geography {
             towns: centers,
             town_weights: zipf_weights(towns, 1.0),
@@ -77,7 +79,11 @@ impl Geography {
             // Streets are axis-biased: mostly horizontal or vertical.
             let along = rng.gen::<f64>() * seg_len + 0.0002;
             let across = rng.gen::<f64>() * seg_len * 0.05;
-            let (dx, dy) = if rng.gen::<bool>() { (along, across) } else { (across, along) };
+            let (dx, dy) = if rng.gen::<bool>() {
+                (along, across)
+            } else {
+                (across, along)
+            };
             let b = clamp_point(Point::new([a[0] + dx, a[1] + dy]), &self.bounds);
             out.push((Rect::from_corners(a, b), i as u64));
         }
@@ -123,7 +129,10 @@ impl Geography {
             // half anywhere — rural water exists.
             let center = if rng.gen::<f64>() < 0.4 {
                 let town = self.towns[sample_weighted(&mut rng, &self.town_weights)];
-                clamp_point(gaussian_around(&mut rng, town, self.sd() * 4.0), &self.bounds)
+                clamp_point(
+                    gaussian_around(&mut rng, town, self.sd() * 4.0),
+                    &self.bounds,
+                )
             } else {
                 random_point(&mut rng, &self.bounds)
             };
@@ -145,7 +154,10 @@ impl Geography {
                 heading += std_normal(&mut rng) * 0.3;
                 let step = 0.002;
                 let next = clamp_point(
-                    Point::new([prev[0] + heading.cos() * step, prev[1] + heading.sin() * step]),
+                    Point::new([
+                        prev[0] + heading.cos() * step,
+                        prev[1] + heading.sin() * step,
+                    ]),
                     &self.bounds,
                 );
                 out.push((Rect::from_corners(prev, next), i as u64));
@@ -204,10 +216,15 @@ mod tests {
         let mut counts = std::collections::HashMap::new();
         for (r, _) in &s {
             let c = r.center();
-            *counts.entry(((c[0] * 20.0) as i64, (c[1] * 20.0) as i64)).or_insert(0u32) += 1;
+            *counts
+                .entry(((c[0] * 20.0) as i64, (c[1] * 20.0) as i64))
+                .or_insert(0u32) += 1;
         }
         let max = counts.values().copied().max().unwrap();
-        assert!(max > 500, "skew expected: top cell {max} of 10k, uniform share would be 25");
+        assert!(
+            max > 500,
+            "skew expected: top cell {max} of 10k, uniform share would be 25"
+        );
     }
 
     #[test]

@@ -40,7 +40,10 @@ impl<const D: usize> Rect<D> {
     /// A degenerate rectangle covering a single point.
     #[inline]
     pub fn from_point(p: Point<D>) -> Self {
-        Rect { lo: p.coords(), hi: p.coords() }
+        Rect {
+            lo: p.coords(),
+            hi: p.coords(),
+        }
     }
 
     /// The smallest rectangle containing both corner points (in any order).

@@ -189,7 +189,11 @@ pub fn choose_sweep_axis<const D: usize>(r: &Rect<D>, s: &Rect<D>, w: f64) -> us
 /// intervals the four endpoints induce, compare the leftmost and rightmost:
 /// if the left interval is shorter, sweep forward, else backward. This makes
 /// close pairs meet early, driving `qDmax` down fast.
-pub fn choose_sweep_direction<const D: usize>(r: &Rect<D>, s: &Rect<D>, dim: usize) -> SweepDirection {
+pub fn choose_sweep_direction<const D: usize>(
+    r: &Rect<D>,
+    s: &Rect<D>,
+    dim: usize,
+) -> SweepDirection {
     let mut ends = [r.lo()[dim], r.hi()[dim], s.lo()[dim], s.hi()[dim]];
     ends.sort_by(|a, b| a.partial_cmp(b).expect("finite endpoints"));
     let left = ends[1] - ends[0];
@@ -335,7 +339,10 @@ mod tests {
         // Mirror image -> Backward.
         let r2: Rect<2> = Rect::new([6.0, 0.0], [10.0, 1.0]);
         let s2: Rect<2> = Rect::new([0.0, 0.0], [9.0, 1.0]);
-        assert_eq!(choose_sweep_direction(&r2, &s2, 0), SweepDirection::Backward);
+        assert_eq!(
+            choose_sweep_direction(&r2, &s2, 0),
+            SweepDirection::Backward
+        );
     }
 
     #[test]

@@ -105,7 +105,8 @@ mod tests {
     #[test]
     fn sorts_in_heap() {
         use std::collections::BinaryHeap;
-        let mut h: BinaryHeap<TotalF64> = [3.0, 1.0, 2.0].iter().map(|&v| TotalF64::new(v)).collect();
+        let mut h: BinaryHeap<TotalF64> =
+            [3.0, 1.0, 2.0].iter().map(|&v| TotalF64::new(v)).collect();
         assert_eq!(h.pop().map(f64::from), Some(3.0));
         assert_eq!(h.pop().map(f64::from), Some(2.0));
         assert_eq!(h.pop().map(f64::from), Some(1.0));

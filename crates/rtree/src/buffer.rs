@@ -1,0 +1,206 @@
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use amdj_storage::{CostModel, PageId, ShardedLru, VirtualDisk};
+
+use crate::{AccessStats, Node};
+
+/// The shared-read page-access layer of an [`crate::RTree`]: a virtual
+/// disk plus a sharded LRU node buffer behind interior mutability.
+///
+/// [`fetch`](BufferManager::fetch) takes `&self`, so any number of
+/// threads can traverse a tree concurrently: the buffer synchronizes
+/// internally (one mutex per shard, chosen by page-id hash) and the
+/// node-access counters are `AtomicU64`s. Structural mutation —
+/// [`alloc`](BufferManager::alloc), [`write`](BufferManager::write),
+/// [`free`](BufferManager::free), restore — still takes `&mut self`;
+/// that exclusivity is exactly what makes the shared-read path sound
+/// without any unsafe code.
+///
+/// Decoded nodes are cached as `Arc<Node<D>>`, so a buffer hit is one
+/// lock acquisition and one refcount bump; no page is ever decoded twice
+/// while it stays resident.
+#[derive(Debug)]
+pub struct BufferManager<const D: usize> {
+    disk: VirtualDisk,
+    cache: ShardedLru<PageId, Arc<Node<D>>>,
+    page_size: usize,
+    requests: AtomicU64,
+    disk_reads: AtomicU64,
+}
+
+impl<const D: usize> BufferManager<D> {
+    /// Creates a manager over a fresh disk charging `cost`, with a node
+    /// buffer of `buffer_bytes` (zero disables buffering).
+    pub fn new(cost: CostModel, buffer_bytes: usize) -> Self {
+        let page_size = cost.page_size;
+        let shards = ShardedLru::<PageId, Arc<Node<D>>>::shards_for(buffer_bytes, page_size);
+        BufferManager {
+            disk: VirtualDisk::new(cost),
+            cache: ShardedLru::new(buffer_bytes, shards),
+            page_size,
+            requests: AtomicU64::new(0),
+            disk_reads: AtomicU64::new(0),
+        }
+    }
+
+    /// Page size in bytes.
+    #[inline]
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Fetches a node through the buffer, charging the disk's cost model
+    /// on a miss.
+    pub fn fetch(&self, pid: PageId) -> Arc<Node<D>> {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        if let Some(hit) = self.cache.get(&pid) {
+            return hit;
+        }
+        self.disk_reads.fetch_add(1, Ordering::Relaxed);
+        let node = Arc::new(Node::decode(self.disk.read(pid)));
+        self.cache.insert(pid, Arc::clone(&node), self.page_size);
+        node
+    }
+
+    /// Allocates a page for a new node.
+    pub fn alloc(&mut self) -> PageId {
+        self.disk.alloc()
+    }
+
+    /// Encodes and writes `node` to `pid`, keeping the buffer coherent.
+    ///
+    /// Panics if the encoded node exceeds the page size.
+    pub fn write(&mut self, pid: PageId, node: &Node<D>) {
+        let mut buf = Vec::with_capacity(Node::<D>::encoded_len(node.entries.len()));
+        node.encode(&mut buf);
+        assert!(
+            buf.len() <= self.page_size,
+            "node with {} entries exceeds page size",
+            node.entries.len()
+        );
+        self.disk.write(pid, &buf);
+        self.cache
+            .insert(pid, Arc::new(node.clone()), self.page_size);
+    }
+
+    /// Frees `pid` on the disk. A buffered copy may linger until LRU
+    /// eviction — harmless, since the tree never references a freed page
+    /// again.
+    pub fn free(&mut self, pid: PageId) {
+        self.disk.free(pid);
+    }
+
+    /// Node access counters since the last
+    /// [`reset_stats`](BufferManager::reset_stats).
+    pub fn access_stats(&self) -> AccessStats {
+        AccessStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            disk_reads: self.disk_reads.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Buffer hits/misses as counted by the cache itself.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache.hits()
+    }
+
+    /// Buffer misses as counted by the cache itself.
+    pub fn cache_misses(&self) -> u64 {
+        self.cache.misses()
+    }
+
+    /// Clears node-access and disk statistics (lock-free).
+    pub fn reset_stats(&self) {
+        self.requests.store(0, Ordering::Relaxed);
+        self.disk_reads.store(0, Ordering::Relaxed);
+        self.cache.reset_stats();
+        self.disk.reset_stats();
+    }
+
+    /// Empties the node buffer (statistics are kept).
+    pub fn clear(&self) {
+        self.cache.clear();
+    }
+
+    /// The underlying disk (read-only: stats, persistence export).
+    pub fn disk(&self) -> &VirtualDisk {
+        &self.disk
+    }
+
+    /// The underlying disk, mutably (persistence import).
+    pub fn disk_mut(&mut self) -> &mut VirtualDisk {
+        &mut self.disk
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manager(buffer_bytes: usize) -> BufferManager<2> {
+        let cost = CostModel {
+            page_size: 256,
+            ..CostModel::free()
+        };
+        BufferManager::new(cost, buffer_bytes)
+    }
+
+    #[test]
+    fn fetch_counts_through_shared_ref() {
+        let mut m = manager(4 * 256);
+        let pid = m.alloc();
+        m.write(
+            pid,
+            &Node {
+                level: 0,
+                entries: vec![],
+            },
+        );
+        m.reset_stats();
+        m.clear();
+        let m = &m; // all reads below go through &BufferManager
+        let _ = m.fetch(pid); // miss
+        let _ = m.fetch(pid); // hit
+        let s = m.access_stats();
+        assert_eq!((s.requests, s.disk_reads), (2, 1));
+        assert_eq!((m.cache_hits(), m.cache_misses()), (1, 1));
+    }
+
+    #[test]
+    fn concurrent_fetches_count_every_request() {
+        let mut m = manager(4 * 256);
+        let pids: Vec<PageId> = (0..8)
+            .map(|_| {
+                let pid = m.alloc();
+                m.write(
+                    pid,
+                    &Node {
+                        level: 0,
+                        entries: vec![],
+                    },
+                );
+                pid
+            })
+            .collect();
+        m.reset_stats();
+        let threads = 4;
+        let per_thread = 250;
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let m = &m;
+                let pids = &pids;
+                scope.spawn(move || {
+                    for i in 0..per_thread {
+                        let node = m.fetch(pids[(t + i) % pids.len()]);
+                        assert_eq!(node.level, 0);
+                    }
+                });
+            }
+        });
+        let s = m.access_stats();
+        assert_eq!(s.requests, (threads * per_thread) as u64);
+        assert!(s.disk_reads >= 1, "at least the cold pages missed");
+        assert_eq!(s.requests, m.cache_hits() + m.cache_misses());
+    }
+}

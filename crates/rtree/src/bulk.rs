@@ -85,7 +85,11 @@ fn str_order<const D: usize>(items: &mut [(Rect<D>, u64)], dim: usize, cap: usiz
         });
         return;
     }
-    items.sort_by(|a, b| center(&a.0, dim).partial_cmp(&center(&b.0, dim)).expect("finite centers"));
+    items.sort_by(|a, b| {
+        center(&a.0, dim)
+            .partial_cmp(&center(&b.0, dim))
+            .expect("finite centers")
+    });
     let pages = n.div_ceil(cap);
     let slabs = (pages as f64).powf(1.0 / (D - dim) as f64).ceil() as usize;
     let slab_size = n.div_ceil(slabs.max(1));
@@ -126,7 +130,7 @@ mod tests {
 
     #[test]
     fn builds_multi_level_tree() {
-        let mut t = RTree::bulk_load(RTreeParams::for_tests(), grid_points(40));
+        let t = RTree::bulk_load(RTreeParams::for_tests(), grid_points(40));
         assert_eq!(t.len(), 1600);
         assert!(t.height() >= 2, "height = {}", t.height());
         assert_eq!(t.bounds().unwrap(), Rect::new([0.0, 0.0], [39.0, 39.0]));
@@ -148,7 +152,7 @@ mod tests {
 
     #[test]
     fn all_objects_reachable() {
-        let mut t = RTree::bulk_load(RTreeParams::for_tests(), grid_points(15));
+        let t = RTree::bulk_load(RTreeParams::for_tests(), grid_points(15));
         let found = t.range_query(&Rect::new([-1.0, -1.0], [20.0, 20.0]));
         assert_eq!(found.len(), 225);
         let mut ids: Vec<u64> = found.iter().map(|f| f.0).collect();
@@ -160,9 +164,15 @@ mod tests {
     #[test]
     fn respects_min_fill_everywhere() {
         for n in [5usize, 6, 7, 13, 50, 333, 1000] {
-            let pts: Vec<(Rect<2>, u64)> =
-                (0..n).map(|i| (Rect::from_point(Point::new([(i % 97) as f64, (i / 97) as f64])), i as u64)).collect();
-            let mut t = RTree::bulk_load(RTreeParams::for_tests(), pts);
+            let pts: Vec<(Rect<2>, u64)> = (0..n)
+                .map(|i| {
+                    (
+                        Rect::from_point(Point::new([(i % 97) as f64, (i / 97) as f64])),
+                        i as u64,
+                    )
+                })
+                .collect();
+            let t = RTree::bulk_load(RTreeParams::for_tests(), pts);
             t.validate().unwrap_or_else(|e| panic!("n={n}: {e:?}"));
         }
     }
@@ -172,10 +182,13 @@ mod tests {
         let pts: Vec<(Rect<3>, u64)> = (0..500)
             .map(|i| {
                 let f = i as f64;
-                (Rect::from_point(Point::new([f % 8.0, (f / 8.0) % 8.0, f / 64.0])), i as u64)
+                (
+                    Rect::from_point(Point::new([f % 8.0, (f / 8.0) % 8.0, f / 64.0])),
+                    i as u64,
+                )
             })
             .collect();
-        let mut t = RTree::bulk_load(RTreeParams::for_tests(), pts);
+        let t = RTree::bulk_load(RTreeParams::for_tests(), pts);
         assert_eq!(t.len(), 500);
         t.validate().expect("valid 3-D tree");
     }

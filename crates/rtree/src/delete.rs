@@ -35,7 +35,7 @@ impl<const D: usize> RTree<D> {
                 None => {
                     // At the root.
                     if current.entries.is_empty() {
-                        self.disk.free(current_pid);
+                        self.pages.free(current_pid);
                         self.root = None;
                         self.height = 0;
                     } else {
@@ -51,7 +51,7 @@ impl<const D: usize> RTree<D> {
                         parent.entries.remove(idx);
                         let level = current.level;
                         orphans.extend(current.entries.drain(..).map(|e| (e, level)));
-                        self.disk.free(current_pid);
+                        self.pages.free(current_pid);
                     } else {
                         self.write_node(current_pid, &current);
                         parent.entries[idx].mbr = current.mbr();
@@ -69,7 +69,7 @@ impl<const D: usize> RTree<D> {
                 break;
             }
             let child = PageId(root_node.entries[0].child);
-            self.disk.free(rpid);
+            self.pages.free(rpid);
             self.root = Some(child);
             self.height -= 1;
         }
@@ -82,7 +82,13 @@ impl<const D: usize> RTree<D> {
             if self.root.is_none() {
                 debug_assert_eq!(level, 0, "only leaf entries can seed an empty tree");
                 let pid = self.alloc_page();
-                self.write_node(pid, &crate::Node { level: 0, entries: vec![entry] });
+                self.write_node(
+                    pid,
+                    &crate::Node {
+                        level: 0,
+                        entries: vec![entry],
+                    },
+                );
                 self.root = Some(pid);
                 self.height = 1;
                 continue;
@@ -99,10 +105,20 @@ impl<const D: usize> RTree<D> {
     /// Depth-first search for a leaf entry matching `(mbr, oid)`; fills
     /// `path` with `(page, child index)` steps, the last being the leaf
     /// and the entry's index.
-    fn find_leaf(&mut self, pid: PageId, mbr: &Rect<D>, oid: u64, path: &mut Vec<(PageId, usize)>) -> bool {
+    fn find_leaf(
+        &mut self,
+        pid: PageId,
+        mbr: &Rect<D>,
+        oid: u64,
+        path: &mut Vec<(PageId, usize)>,
+    ) -> bool {
         let node = self.fetch(pid);
         if node.is_leaf() {
-            if let Some(i) = node.entries.iter().position(|e| e.child == oid && e.mbr == *mbr) {
+            if let Some(i) = node
+                .entries
+                .iter()
+                .position(|e| e.child == oid && e.mbr == *mbr)
+            {
                 path.push((pid, i));
                 return true;
             }
@@ -132,7 +148,9 @@ mod tests {
     }
 
     fn grid_items(n: usize) -> Vec<(Rect<2>, u64)> {
-        (0..n * n).map(|i| (pt((i % n) as f64, (i / n) as f64), i as u64)).collect()
+        (0..n * n)
+            .map(|i| (pt((i % n) as f64, (i / n) as f64), i as u64))
+            .collect()
     }
 
     #[test]
@@ -160,7 +178,8 @@ mod tests {
         let mut t = RTree::bulk_load(RTreeParams::for_tests(), items.clone());
         for (mbr, id) in items.iter().filter(|(_, id)| id % 2 == 0) {
             assert!(t.delete(mbr, *id), "id {id}");
-            t.validate().unwrap_or_else(|e| panic!("after deleting {id}: {e:?}"));
+            t.validate()
+                .unwrap_or_else(|e| panic!("after deleting {id}: {e:?}"));
         }
         assert_eq!(t.len(), 72);
         let found = t.range_query(&Rect::new([-1.0, -1.0], [20.0, 20.0]));
@@ -195,7 +214,11 @@ mod tests {
             assert!(t.delete(mbr, *id));
         }
         t.validate().expect("valid after mass deletion");
-        assert!(t.height() < tall, "height {} should shrink below {tall}", t.height());
+        assert!(
+            t.height() < tall,
+            "height {} should shrink below {tall}",
+            t.height()
+        );
         assert_eq!(t.len(), 10);
     }
 

@@ -14,7 +14,13 @@ impl<const D: usize> RTree<D> {
         let entry = Entry { mbr, child: oid };
         if self.root.is_none() {
             let pid = self.alloc_page();
-            self.write_node(pid, &Node { level: 0, entries: vec![entry] });
+            self.write_node(
+                pid,
+                &Node {
+                    level: 0,
+                    entries: vec![entry],
+                },
+            );
             self.root = Some(pid);
             self.height = 1;
             return;
@@ -62,13 +68,20 @@ impl<const D: usize> RTree<D> {
                         pending.push((e, node.level));
                     }
                 } else {
-                    let (keep, split_off) = rstar_split(std::mem::take(&mut node.entries), min_fill);
+                    let (keep, split_off) =
+                        rstar_split(std::mem::take(&mut node.entries), min_fill);
                     node.entries = keep;
-                    let sibling = Node { level: node.level, entries: split_off };
+                    let sibling = Node {
+                        level: node.level,
+                        entries: split_off,
+                    };
                     let spid = self.alloc_page();
                     let smbr = sibling.mbr();
                     self.write_node(spid, &sibling);
-                    carry = Some(Entry { mbr: smbr, child: spid.0 });
+                    carry = Some(Entry {
+                        mbr: smbr,
+                        child: spid.0,
+                    });
                 }
             }
             self.write_node(pid, &node);
@@ -79,7 +92,13 @@ impl<const D: usize> RTree<D> {
                         // Root split: grow the tree by one level.
                         let new_root = Node {
                             level: node.level + 1,
-                            entries: vec![Entry { mbr: node_mbr, child: pid.0 }, c],
+                            entries: vec![
+                                Entry {
+                                    mbr: node_mbr,
+                                    child: pid.0,
+                                },
+                                c,
+                            ],
                         };
                         let rpid = self.alloc_page();
                         self.write_node(rpid, &new_root);
@@ -157,7 +176,11 @@ fn pick_reinsert<const D: usize>(node: &mut Node<D>, n: usize) -> Vec<Entry<D>> 
     // Ascending by distance; the tail is removed.
     tagged.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
     let keep_n = tagged.len() - n.min(tagged.len() - 1);
-    let removed: Vec<Entry<D>> = tagged.split_off(keep_n).into_iter().map(|(_, e)| e).collect();
+    let removed: Vec<Entry<D>> = tagged
+        .split_off(keep_n)
+        .into_iter()
+        .map(|(_, e)| e)
+        .collect();
     node.entries = tagged.into_iter().map(|(_, e)| e).collect();
     removed
 }
@@ -165,9 +188,15 @@ fn pick_reinsert<const D: usize>(node: &mut Node<D>, n: usize) -> Vec<Entry<D>> 
 /// The R* split: choose the split axis by minimum margin sum over all
 /// allowed distributions, then the distribution with minimum overlap
 /// (ties: minimum combined area).
-fn rstar_split<const D: usize>(entries: Vec<Entry<D>>, min_fill: usize) -> (Vec<Entry<D>>, Vec<Entry<D>>) {
+fn rstar_split<const D: usize>(
+    entries: Vec<Entry<D>>,
+    min_fill: usize,
+) -> (Vec<Entry<D>>, Vec<Entry<D>>) {
     let total = entries.len();
-    debug_assert!(total >= 2 * min_fill, "split needs at least 2·min_fill entries");
+    debug_assert!(
+        total >= 2 * min_fill,
+        "split needs at least 2·min_fill entries"
+    );
 
     // For each axis, two sort orders (by lo and by hi).
     let mut best_axis = 0;
@@ -330,7 +359,10 @@ mod tests {
     #[test]
     fn split_respects_min_fill() {
         let entries: Vec<Entry<2>> = (0..11)
-            .map(|i| Entry { mbr: pt(i as f64, 0.0), child: i })
+            .map(|i| Entry {
+                mbr: pt(i as f64, 0.0),
+                child: i,
+            })
             .collect();
         let (a, b) = rstar_split(entries, 4);
         assert!(a.len() >= 4 && b.len() >= 4);
@@ -343,9 +375,15 @@ mod tests {
 
     #[test]
     fn reinsert_removes_farthest() {
-        let mut node: Node<2> = Node { level: 0, entries: vec![] };
+        let mut node: Node<2> = Node {
+            level: 0,
+            entries: vec![],
+        };
         for i in 0..10 {
-            node.entries.push(Entry { mbr: pt(i as f64, 0.0), child: i });
+            node.entries.push(Entry {
+                mbr: pt(i as f64, 0.0),
+                child: i,
+            });
         }
         // Center x = 4.5; farthest are 0 and 9, then 1 and 8.
         let removed = pick_reinsert(&mut node, 2);
@@ -357,7 +395,9 @@ mod tests {
 
     #[test]
     fn mixed_bulk_and_insert() {
-        let pts: Vec<(Rect<2>, u64)> = (0..500).map(|i| (pt((i % 50) as f64, (i / 50) as f64), i)).collect();
+        let pts: Vec<(Rect<2>, u64)> = (0..500)
+            .map(|i| (pt((i % 50) as f64, (i / 50) as f64), i))
+            .collect();
         let mut t = RTree::bulk_load(RTreeParams::for_tests(), pts);
         for i in 500..700u64 {
             t.insert(pt((i % 50) as f64 + 0.5, (i % 10) as f64 + 0.5), i);

@@ -20,6 +20,7 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+mod buffer;
 mod bulk;
 mod delete;
 mod insert;
@@ -30,6 +31,7 @@ mod query;
 mod tree;
 mod validate;
 
+pub use buffer::BufferManager;
 pub use node::{Entry, Node};
 pub use params::RTreeParams;
 pub use query::Neighbor;

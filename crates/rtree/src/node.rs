@@ -26,7 +26,10 @@ pub struct Node<const D: usize> {
 impl<const D: usize> Node<D> {
     /// Creates an empty node at `level`.
     pub fn new(level: u32) -> Self {
-        Node { level, entries: Vec::new() }
+        Node {
+            level,
+            entries: Vec::new(),
+        }
     }
 
     /// Whether this node's entries reference objects.
@@ -81,7 +84,10 @@ impl<const D: usize> Node<D> {
                 *slot = r.f64();
             }
             let child = r.u64();
-            entries.push(Entry { mbr: Rect::new(lo, hi), child });
+            entries.push(Entry {
+                mbr: Rect::new(lo, hi),
+                child,
+            });
         }
         Node { level, entries }
     }
@@ -100,8 +106,14 @@ mod tests {
         Node {
             level: 3,
             entries: vec![
-                Entry { mbr: Rect::new([0.0, 1.0], [2.0, 3.0]), child: 42 },
-                Entry { mbr: Rect::new([-5.5, -1.0], [0.0, 0.5]), child: u64::MAX },
+                Entry {
+                    mbr: Rect::new([0.0, 1.0], [2.0, 3.0]),
+                    child: 42,
+                },
+                Entry {
+                    mbr: Rect::new([-5.5, -1.0], [0.0, 0.5]),
+                    child: u64::MAX,
+                },
             ],
         }
     }
@@ -159,7 +171,10 @@ mod tests {
     fn three_dimensional_roundtrip() {
         let node: Node<3> = Node {
             level: 1,
-            entries: vec![Entry { mbr: Rect::new([0.0, 1.0, 2.0], [3.0, 4.0, 5.0]), child: 7 }],
+            entries: vec![Entry {
+                mbr: Rect::new([0.0, 1.0, 2.0], [3.0, 4.0, 5.0]),
+                child: 7,
+            }],
         };
         let mut buf = Vec::new();
         node.encode(&mut buf);

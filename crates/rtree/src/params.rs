@@ -37,7 +37,10 @@ impl RTreeParams {
             buffer_bytes: 4 * 256,
             min_fill_ratio: 0.4,
             reinsert_ratio: 0.3,
-            cost: CostModel { page_size: 256, ..CostModel::free() },
+            cost: CostModel {
+                page_size: 256,
+                ..CostModel::free()
+            },
         }
     }
 
@@ -48,7 +51,11 @@ impl RTreeParams {
     pub fn capacity<const D: usize>(&self) -> usize {
         let entry = 16 * D + 8;
         let cap = (self.page_size - 8) / entry;
-        assert!(cap >= 4, "page size {} too small for 4 entries of dim {D}", self.page_size);
+        assert!(
+            cap >= 4,
+            "page size {} too small for 4 entries of dim {D}",
+            self.page_size
+        );
         cap
     }
 

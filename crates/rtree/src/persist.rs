@@ -42,7 +42,7 @@ impl<const D: usize> RTree<D> {
         w.write_all(&0u32.to_le_bytes())?;
         w.write_all(&self.len.to_le_bytes())?;
         w.write_all(&self.root.map_or(0, |p| p.0 + 1).to_le_bytes())?;
-        let pages: Vec<(PageId, &[u8])> = self.disk.live_page_images().collect();
+        let pages: Vec<(PageId, &[u8])> = self.pages.disk().live_page_images().collect();
         w.write_all(&(pages.len() as u64).to_le_bytes())?;
         for (pid, img) in pages {
             w.write_all(&pid.0.to_le_bytes())?;
@@ -85,11 +85,15 @@ impl<const D: usize> RTree<D> {
         for _ in 0..page_count {
             let pid = u64::from_le_bytes(read_exact_array::<8>(r)?);
             r.read_exact(&mut img)?;
-            tree.disk.restore_page(PageId(pid), &img);
+            tree.pages.disk_mut().restore_page(PageId(pid), &img);
         }
-        tree.disk.finish_restore();
-        tree.disk.reset_stats();
-        tree.root = if root_plus1 == 0 { None } else { Some(PageId(root_plus1 - 1)) };
+        tree.pages.disk_mut().finish_restore();
+        tree.reset_stats();
+        tree.root = if root_plus1 == 0 {
+            None
+        } else {
+            Some(PageId(root_plus1 - 1))
+        };
         tree.height = height;
         tree.len = len;
         if tree.root.is_some() != (len > 0) || (tree.root.is_none() && height != 0) {
@@ -112,7 +116,12 @@ mod tests {
 
     fn grid(n: usize) -> Vec<(Rect<2>, u64)> {
         (0..n * n)
-            .map(|i| (Rect::from_point(Point::new([(i % n) as f64, (i / n) as f64])), i as u64))
+            .map(|i| {
+                (
+                    Rect::from_point(Point::new([(i % n) as f64, (i / n) as f64])),
+                    i as u64,
+                )
+            })
             .collect()
     }
 
@@ -125,7 +134,7 @@ mod tests {
     #[test]
     fn save_load_roundtrip() {
         let t = RTree::bulk_load(RTreeParams::for_tests(), grid(15));
-        let mut back = roundtrip(&t);
+        let back = roundtrip(&t);
         assert_eq!(back.len(), 225);
         assert_eq!(back.height(), t.height());
         back.validate().expect("loaded tree valid");
@@ -142,7 +151,8 @@ mod tests {
         }
         let pages_before = t.page_count();
         let mut back = roundtrip(&t);
-        back.validate().expect("valid after loading a deleted-from tree");
+        back.validate()
+            .expect("valid after loading a deleted-from tree");
         assert_eq!(back.len(), t.len());
         assert_eq!(back.page_count(), pages_before);
         // Inserting reuses freed slots rather than growing unboundedly.
@@ -153,9 +163,11 @@ mod tests {
     #[test]
     fn empty_tree_roundtrip() {
         let t: RTree<2> = RTree::new(RTreeParams::for_tests());
-        let mut back = roundtrip(&t);
+        let back = roundtrip(&t);
         assert!(back.is_empty());
-        assert!(back.range_query(&Rect::new([0.0, 0.0], [1.0, 1.0])).is_empty());
+        assert!(back
+            .range_query(&Rect::new([0.0, 0.0], [1.0, 1.0]))
+            .is_empty());
     }
 
     #[test]
@@ -165,7 +177,8 @@ mod tests {
         let path = dir.join("tree.amdj");
         let t = RTree::bulk_load(RTreeParams::for_tests(), grid(10));
         t.save_to_path(&path).expect("save file");
-        let mut back: RTree<2> = RTree::load_from_path(&path, RTreeParams::for_tests()).expect("load file");
+        let back: RTree<2> =
+            RTree::load_from_path(&path, RTreeParams::for_tests()).expect("load file");
         back.validate().expect("valid");
         assert_eq!(back.len(), 100);
         std::fs::remove_file(&path).ok();
@@ -213,8 +226,8 @@ mod tests {
         // the original.
         let a = grid(10);
         let t = RTree::bulk_load(RTreeParams::for_tests(), a);
-        let mut orig = roundtrip(&t);
-        let mut reloaded = roundtrip(&t);
+        let orig = roundtrip(&t);
+        let reloaded = roundtrip(&t);
         let q = Point::new([4.3, 4.7]);
         let x = orig.nearest_neighbors(&q, 7);
         let y = reloaded.nearest_neighbors(&q, 7);

@@ -57,7 +57,7 @@ impl<const D: usize> Ord for HeapItem<D> {
 
 impl<const D: usize> RTree<D> {
     /// All objects whose MBRs intersect `query` (touching counts).
-    pub fn range_query(&mut self, query: &Rect<D>) -> Vec<(u64, Rect<D>)> {
+    pub fn range_query(&self, query: &Rect<D>) -> Vec<(u64, Rect<D>)> {
         let mut out = Vec::new();
         let Some(root) = self.root_page() else {
             return out;
@@ -80,7 +80,7 @@ impl<const D: usize> RTree<D> {
 
     /// All objects whose MBRs lie within distance `dist` of `query`
     /// (boundary inclusive).
-    pub fn within_distance(&mut self, query: &Rect<D>, dist: f64) -> Vec<(u64, Rect<D>)> {
+    pub fn within_distance(&self, query: &Rect<D>, dist: f64) -> Vec<(u64, Rect<D>)> {
         let mut out = Vec::new();
         let Some(root) = self.root_page() else {
             return out;
@@ -103,13 +103,13 @@ impl<const D: usize> RTree<D> {
 
     /// The `k` objects nearest to the point `query`, ascending by
     /// distance, by best-first (Hjaltason–Samet) traversal.
-    pub fn nearest_neighbors(&mut self, query: &Point<D>, k: usize) -> Vec<Neighbor<D>> {
+    pub fn nearest_neighbors(&self, query: &Point<D>, k: usize) -> Vec<Neighbor<D>> {
         self.nearest_neighbors_rect(&Rect::from_point(*query), k)
     }
 
     /// The `k` objects whose MBRs are nearest to the rectangle `query`
     /// (minimum MBR-to-MBR distance), ascending.
-    pub fn nearest_neighbors_rect(&mut self, query: &Rect<D>, k: usize) -> Vec<Neighbor<D>> {
+    pub fn nearest_neighbors_rect(&self, query: &Rect<D>, k: usize) -> Vec<Neighbor<D>> {
         let mut out = Vec::new();
         let Some(root) = self.root_page() else {
             return out;
@@ -122,11 +122,20 @@ impl<const D: usize> RTree<D> {
         let mut heap: BinaryHeap<HeapItem<D>> = BinaryHeap::new();
         let root_node = self.fetch(root);
         let root_mbr = root_node.mbr();
-        heap.push(HeapItem { dist: root_mbr.min_dist(&q), tie, mbr: root_mbr, target: HeapRef::Node(root) });
+        heap.push(HeapItem {
+            dist: root_mbr.min_dist(&q),
+            tie,
+            mbr: root_mbr,
+            target: HeapRef::Node(root),
+        });
         while let Some(item) = heap.pop() {
             match item.target {
                 HeapRef::Object(oid) => {
-                    out.push(Neighbor { oid, mbr: item.mbr, dist: item.dist });
+                    out.push(Neighbor {
+                        oid,
+                        mbr: item.mbr,
+                        dist: item.dist,
+                    });
                     if out.len() == k {
                         break;
                     }
@@ -140,7 +149,12 @@ impl<const D: usize> RTree<D> {
                         } else {
                             HeapRef::Node(PageId(e.child))
                         };
-                        heap.push(HeapItem { dist: e.mbr.min_dist(&q), tie, mbr: e.mbr, target });
+                        heap.push(HeapItem {
+                            dist: e.mbr.min_dist(&q),
+                            tie,
+                            mbr: e.mbr,
+                            target,
+                        });
                     }
                 }
             }
@@ -167,23 +181,29 @@ mod tests {
 
     #[test]
     fn range_query_exact_window() {
-        let mut t = grid_tree(20);
+        let t = grid_tree(20);
         let hits = t.range_query(&Rect::new([2.0, 3.0], [4.0, 5.0]));
         assert_eq!(hits.len(), 9, "3×3 grid points in the window");
     }
 
     #[test]
     fn range_query_misses_outside() {
-        let mut t = grid_tree(10);
-        assert!(t.range_query(&Rect::new([100.0, 100.0], [101.0, 101.0])).is_empty());
+        let t = grid_tree(10);
+        assert!(t
+            .range_query(&Rect::new([100.0, 100.0], [101.0, 101.0]))
+            .is_empty());
     }
 
     #[test]
     fn within_distance_matches_brute_force() {
-        let mut t = grid_tree(15);
+        let t = grid_tree(15);
         let q = Rect::from_point(Point::new([7.3, 7.9]));
         for dist in [0.5, 1.0, 2.5, 5.0] {
-            let mut got: Vec<u64> = t.within_distance(&q, dist).into_iter().map(|h| h.0).collect();
+            let mut got: Vec<u64> = t
+                .within_distance(&q, dist)
+                .into_iter()
+                .map(|h| h.0)
+                .collect();
             got.sort_unstable();
             let mut want = Vec::new();
             for i in 0..15 * 15 {
@@ -198,7 +218,7 @@ mod tests {
 
     #[test]
     fn knn_matches_brute_force() {
-        let mut t = grid_tree(12);
+        let t = grid_tree(12);
         let q = Point::new([5.2, 6.8]);
         for k in [1, 3, 10, 50] {
             let got = t.nearest_neighbors(&q, k);
@@ -218,22 +238,24 @@ mod tests {
 
     #[test]
     fn knn_with_k_larger_than_dataset() {
-        let mut t = grid_tree(3);
+        let t = grid_tree(3);
         let got = t.nearest_neighbors(&Point::new([0.0, 0.0]), 100);
         assert_eq!(got.len(), 9);
     }
 
     #[test]
     fn queries_on_empty_tree() {
-        let mut t: RTree<2> = RTree::new(RTreeParams::for_tests());
+        let t: RTree<2> = RTree::new(RTreeParams::for_tests());
         assert!(t.range_query(&Rect::new([0.0, 0.0], [1.0, 1.0])).is_empty());
         assert!(t.nearest_neighbors(&Point::new([0.0, 0.0]), 5).is_empty());
-        assert!(t.within_distance(&Rect::from_point(Point::new([0.0, 0.0])), 10.0).is_empty());
+        assert!(t
+            .within_distance(&Rect::from_point(Point::new([0.0, 0.0])), 10.0)
+            .is_empty());
     }
 
     #[test]
     fn knn_zero_k() {
-        let mut t = grid_tree(5);
+        let t = grid_tree(5);
         assert!(t.nearest_neighbors(&Point::new([1.0, 1.0]), 0).is_empty());
     }
 }

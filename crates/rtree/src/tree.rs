@@ -1,9 +1,9 @@
 use std::sync::Arc;
 
 use amdj_geom::Rect;
-use amdj_storage::{ByteLru, DiskStats, PageId, VirtualDisk};
+use amdj_storage::{DiskStats, PageId};
 
-use crate::{Node, RTreeParams};
+use crate::{BufferManager, Node, RTreeParams};
 
 /// Node access counters.
 ///
@@ -20,12 +20,18 @@ pub struct AccessStats {
 }
 
 /// An R*-tree over object MBRs, stored on a paged virtual disk and
-/// accessed through a byte-budgeted LRU buffer.
+/// accessed through a sharded, byte-budgeted LRU buffer.
 ///
 /// Leaf entries carry `(object MBR, object id)`; internal entries carry
 /// `(subtree MBR, child page id)`. Build one with
 /// [`bulk_load`](RTree::bulk_load) (STR packing, what the experiments use)
 /// or incrementally with [`insert`](RTree::insert) (full R* insertion).
+///
+/// Every query path takes `&self` — the page buffer synchronizes
+/// internally (see [`BufferManager`]) — so a tree can be shared across
+/// threads (`RTree<D>: Send + Sync`) and any number of joins or queries
+/// can read it concurrently. Only structural mutation (insert, delete,
+/// load) needs `&mut self`.
 ///
 /// ```
 /// use amdj_geom::{Point, Rect};
@@ -48,23 +54,27 @@ pub struct AccessStats {
 /// ```
 pub struct RTree<const D: usize> {
     params: RTreeParams,
-    pub(crate) disk: VirtualDisk,
-    buffer: ByteLru<PageId, Arc<Node<D>>>,
+    pub(crate) pages: BufferManager<D>,
     pub(crate) root: Option<PageId>,
     pub(crate) height: u32,
     pub(crate) len: u64,
-    stats: AccessStats,
 }
 
 impl<const D: usize> RTree<D> {
     /// Creates an empty tree.
     pub fn new(params: RTreeParams) -> Self {
-        let disk = VirtualDisk::new(amdj_storage::CostModel {
+        let cost = amdj_storage::CostModel {
             page_size: params.page_size,
             ..params.cost
-        });
-        let buffer = ByteLru::new(params.buffer_bytes);
-        RTree { params, disk, buffer, root: None, height: 0, len: 0, stats: AccessStats::default() }
+        };
+        let pages = BufferManager::new(cost, params.buffer_bytes);
+        RTree {
+            params,
+            pages,
+            root: None,
+            height: 0,
+            len: 0,
+        }
     }
 
     /// The tree's configuration.
@@ -93,67 +103,51 @@ impl<const D: usize> RTree<D> {
     }
 
     /// The bounding rectangle of the whole data set, if non-empty.
-    pub fn bounds(&mut self) -> Option<Rect<D>> {
+    pub fn bounds(&self) -> Option<Rect<D>> {
         let root = self.root?;
         Some(self.fetch(root).mbr())
     }
 
     /// Total pages (≈ nodes) allocated on the tree's disk.
     pub fn page_count(&self) -> usize {
-        self.disk.live_pages()
+        self.pages.disk().live_pages()
     }
 
     /// Node access counters since the last [`reset_stats`](RTree::reset_stats).
     pub fn access_stats(&self) -> AccessStats {
-        self.stats
+        self.pages.access_stats()
     }
 
     /// Disk-level I/O statistics (reads, writes, modeled seconds).
     pub fn disk_stats(&self) -> DiskStats {
-        self.disk.stats()
+        self.pages.disk().stats()
     }
 
     /// Clears access and disk statistics — typically called after building
-    /// an index so measurements cover queries only.
-    pub fn reset_stats(&mut self) {
-        self.stats = AccessStats::default();
-        self.disk.reset_stats();
+    /// an index so measurements cover queries only. Lock-free.
+    pub fn reset_stats(&self) {
+        self.pages.reset_stats();
     }
 
     /// Empties the node buffer (statistics are kept). Used by experiments
     /// to cold-start each query.
-    pub fn clear_buffer(&mut self) {
-        self.buffer.clear();
+    pub fn clear_buffer(&self) {
+        self.pages.clear();
     }
 
     /// Fetches a node, through the buffer.
-    pub fn fetch(&mut self, pid: PageId) -> Arc<Node<D>> {
-        self.stats.requests += 1;
-        if let Some(hit) = self.buffer.get(&pid) {
-            return Arc::clone(hit);
-        }
-        self.stats.disk_reads += 1;
-        let node = Arc::new(Node::decode(self.disk.read(pid)));
-        self.buffer.insert(pid, Arc::clone(&node), self.params.page_size);
-        node
+    pub fn fetch(&self, pid: PageId) -> Arc<Node<D>> {
+        self.pages.fetch(pid)
     }
 
     /// Allocates a page for a new node.
     pub(crate) fn alloc_page(&mut self) -> PageId {
-        self.disk.alloc()
+        self.pages.alloc()
     }
 
     /// Encodes and writes `node` to `pid`, keeping the buffer coherent.
     pub(crate) fn write_node(&mut self, pid: PageId, node: &Node<D>) {
-        let mut buf = Vec::with_capacity(Node::<D>::encoded_len(node.entries.len()));
-        node.encode(&mut buf);
-        assert!(
-            buf.len() <= self.params.page_size,
-            "node with {} entries exceeds page size",
-            node.entries.len()
-        );
-        self.disk.write(pid, &buf);
-        self.buffer.insert(pid, Arc::new(node.clone()), self.params.page_size);
+        self.pages.write(pid, node);
     }
 }
 
@@ -162,7 +156,7 @@ impl<const D: usize> std::fmt::Debug for RTree<D> {
         f.debug_struct("RTree")
             .field("len", &self.len)
             .field("height", &self.height)
-            .field("pages", &self.disk.live_pages())
+            .field("pages", &self.pages.disk().live_pages())
             .finish()
     }
 }
@@ -173,7 +167,7 @@ mod tests {
 
     #[test]
     fn empty_tree() {
-        let mut t: RTree<2> = RTree::new(RTreeParams::for_tests());
+        let t: RTree<2> = RTree::new(RTreeParams::for_tests());
         assert!(t.is_empty());
         assert_eq!(t.height(), 0);
         assert!(t.bounds().is_none());
@@ -184,10 +178,14 @@ mod tests {
     fn fetch_counts_requests_and_misses() {
         let mut t: RTree<2> = RTree::new(RTreeParams::for_tests());
         let pid = t.alloc_page();
-        let node = Node { level: 0, entries: vec![] };
+        let node = Node {
+            level: 0,
+            entries: vec![],
+        };
         t.write_node(pid, &node);
         t.reset_stats();
         t.clear_buffer();
+        let t = &t; // the whole read path is &self
         let _ = t.fetch(pid); // miss
         let _ = t.fetch(pid); // hit
         let s = t.access_stats();
@@ -201,7 +199,13 @@ mod tests {
         p.buffer_bytes = 0;
         let mut t: RTree<2> = RTree::new(p);
         let pid = t.alloc_page();
-        t.write_node(pid, &Node { level: 0, entries: vec![] });
+        t.write_node(
+            pid,
+            &Node {
+                level: 0,
+                entries: vec![],
+            },
+        );
         t.reset_stats();
         for _ in 0..5 {
             let _ = t.fetch(pid);
@@ -209,5 +213,14 @@ mod tests {
         let s = t.access_stats();
         assert_eq!(s.requests, 5);
         assert_eq!(s.disk_reads, 5);
+    }
+
+    #[test]
+    fn trees_are_send_and_sync() {
+        // Compile-time assertion: the whole point of the buffer manager.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<RTree<2>>();
+        assert_send_sync::<RTree<3>>();
+        assert_send_sync::<BufferManager<2>>();
     }
 }

@@ -55,12 +55,15 @@ impl std::error::Error for ValidationError {}
 impl<const D: usize> RTree<D> {
     /// Checks every structural invariant: consecutive levels, tight parent
     /// MBRs, fill factors, object count, and height.
-    pub fn validate(&mut self) -> Result<(), ValidationError> {
+    pub fn validate(&self) -> Result<(), ValidationError> {
         let Some(root) = self.root_page() else {
             return if self.is_empty() && self.height() == 0 {
                 Ok(())
             } else {
-                Err(ValidationError::WrongObjectCount { found: 0, expected: self.len() })
+                Err(ValidationError::WrongObjectCount {
+                    found: 0,
+                    expected: self.len(),
+                })
             };
         };
         let cap = self.params().capacity::<D>();
@@ -86,7 +89,10 @@ impl<const D: usize> RTree<D> {
             }
             let is_root = pid == root;
             if node.entries.len() > cap || (!is_root && node.entries.len() < min_fill) {
-                return Err(ValidationError::BadFill { page: pid.0, count: node.entries.len() });
+                return Err(ValidationError::BadFill {
+                    page: pid.0,
+                    count: node.entries.len(),
+                });
             }
             if let Some(req) = required_mbr {
                 if node.mbr() != req {
@@ -102,7 +108,10 @@ impl<const D: usize> RTree<D> {
             }
         }
         if objects != self.len() {
-            return Err(ValidationError::WrongObjectCount { found: objects, expected: self.len() });
+            return Err(ValidationError::WrongObjectCount {
+                found: objects,
+                expected: self.len(),
+            });
         }
         Ok(())
     }
@@ -116,7 +125,7 @@ mod tests {
 
     #[test]
     fn empty_tree_is_valid() {
-        let mut t: RTree<2> = RTree::new(RTreeParams::for_tests());
+        let t: RTree<2> = RTree::new(RTreeParams::for_tests());
         t.validate().expect("empty is valid");
     }
 
@@ -124,7 +133,10 @@ mod tests {
     fn detects_stale_parent_mbr() {
         let mut t: RTree<2> = RTree::new(RTreeParams::for_tests());
         for i in 0..200u64 {
-            t.insert(Rect::from_point(Point::new([(i % 14) as f64, (i / 14) as f64])), i);
+            t.insert(
+                Rect::from_point(Point::new([(i % 14) as f64, (i / 14) as f64])),
+                i,
+            );
         }
         t.validate().expect("valid before corruption");
         // Corrupt: widen one child's content beyond its parent entry.
@@ -139,7 +151,10 @@ mod tests {
         t.write_node(victim, &child);
         let err = t.validate().expect_err("corruption detected");
         assert!(
-            matches!(err, ValidationError::LooseMbr { .. } | ValidationError::WrongObjectCount { .. }),
+            matches!(
+                err,
+                ValidationError::LooseMbr { .. } | ValidationError::WrongObjectCount { .. }
+            ),
             "got {err:?}"
         );
     }
@@ -151,7 +166,10 @@ mod tests {
         t.len += 5;
         assert!(matches!(
             t.validate().expect_err("count mismatch"),
-            ValidationError::WrongObjectCount { found: 1, expected: 6 }
+            ValidationError::WrongObjectCount {
+                found: 1,
+                expected: 6
+            }
         ));
     }
 
@@ -162,11 +180,20 @@ mod tests {
         let leaf_pid = t.alloc_page();
         let leaf = Node {
             level: 0,
-            entries: vec![Entry { mbr: Rect::from_point(Point::new([0.0, 0.0])), child: 0 }],
+            entries: vec![Entry {
+                mbr: Rect::from_point(Point::new([0.0, 0.0])),
+                child: 0,
+            }],
         };
         t.write_node(leaf_pid, &leaf);
         let root_pid = t.alloc_page();
-        let root = Node { level: 1, entries: vec![Entry { mbr: leaf.mbr(), child: leaf_pid.0 }] };
+        let root = Node {
+            level: 1,
+            entries: vec![Entry {
+                mbr: leaf.mbr(),
+                child: leaf_pid.0,
+            }],
+        };
         t.write_node(root_pid, &root);
         t.root = Some(root_pid);
         t.height = 2;

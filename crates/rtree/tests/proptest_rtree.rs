@@ -39,7 +39,7 @@ proptest! {
     fn bulk_load_equals_insert_built_contents(rects in prop::collection::vec(arb_rect(), 1..250)) {
         let items: Vec<(Rect<2>, u64)> =
             rects.iter().enumerate().map(|(i, &r)| (r, i as u64)).collect();
-        let mut bulk = RTree::bulk_load(RTreeParams::for_tests(), items.clone());
+        let bulk = RTree::bulk_load(RTreeParams::for_tests(), items.clone());
         bulk.validate().expect("valid bulk tree");
         let mut incr: RTree<2> = RTree::new(RTreeParams::for_tests());
         for &(r, id) in &items {
@@ -89,7 +89,7 @@ proptest! {
     ) {
         let items: Vec<(Rect<2>, u64)> =
             rects.iter().enumerate().map(|(i, &r)| (r, i as u64)).collect();
-        let mut t = RTree::bulk_load(RTreeParams::for_tests(), items.clone());
+        let t = RTree::bulk_load(RTreeParams::for_tests(), items.clone());
         let q = Point::new([qx, qy]);
         let got = t.nearest_neighbors(&q, k);
         let mut want: Vec<f64> = items

@@ -38,7 +38,11 @@ impl CostModel {
     /// Modeled seconds to transfer one page.
     #[inline]
     pub fn page_time(&self, sequential: bool) -> f64 {
-        let bw = if sequential { self.seq_bytes_per_sec } else { self.rand_bytes_per_sec };
+        let bw = if sequential {
+            self.seq_bytes_per_sec
+        } else {
+            self.rand_bytes_per_sec
+        };
         self.page_size as f64 / bw
     }
 }

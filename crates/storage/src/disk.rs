@@ -1,3 +1,5 @@
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use crate::CostModel;
 
 /// Identifier of a page on a [`VirtualDisk`]. Allocation order is physical
@@ -15,7 +17,7 @@ pub struct DiskStats {
     pub seq_reads: u64,
     /// Pages written.
     pub pages_written: u64,
-    /// Pages written that were classified sequential.
+    /// Writes classified sequential.
     pub seq_writes: u64,
     /// Total modeled I/O time in seconds, per the disk's [`CostModel`].
     pub io_seconds: f64,
@@ -38,6 +40,65 @@ impl DiskStats {
     }
 }
 
+/// `last_accessed` sentinel: no page has been touched since the last
+/// stats reset. Page ids never reach this value in practice.
+const NO_PAGE: u64 = u64::MAX;
+
+/// Atomic accumulator behind [`DiskStats`], so metering works from
+/// `&self` and concurrent readers never contend on a lock.
+///
+/// `io_seconds` is an `f64` stored as its bit pattern in an `AtomicU64`
+/// and accumulated with a compare-and-swap loop; counter updates use
+/// relaxed ordering since they are statistics, not synchronization.
+#[derive(Debug, Default)]
+struct AtomicDiskStats {
+    pages_read: AtomicU64,
+    seq_reads: AtomicU64,
+    pages_written: AtomicU64,
+    seq_writes: AtomicU64,
+    io_second_bits: AtomicU64,
+}
+
+impl AtomicDiskStats {
+    fn add_io_seconds(&self, secs: f64) {
+        if secs == 0.0 {
+            return;
+        }
+        let mut current = self.io_second_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + secs).to_bits();
+            match self.io_second_bits.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    fn snapshot(&self) -> DiskStats {
+        DiskStats {
+            pages_read: self.pages_read.load(Ordering::Relaxed),
+            seq_reads: self.seq_reads.load(Ordering::Relaxed),
+            pages_written: self.pages_written.load(Ordering::Relaxed),
+            seq_writes: self.seq_writes.load(Ordering::Relaxed),
+            io_seconds: f64::from_bits(self.io_second_bits.load(Ordering::Relaxed)),
+        }
+    }
+
+    fn reset(&self) {
+        self.pages_read.store(0, Ordering::Relaxed);
+        self.seq_reads.store(0, Ordering::Relaxed);
+        self.pages_written.store(0, Ordering::Relaxed);
+        self.seq_writes.store(0, Ordering::Relaxed);
+        self.io_second_bits
+            .store(0.0f64.to_bits(), Ordering::Relaxed);
+    }
+}
+
 /// An in-process paged store standing in for the paper's locally attached
 /// disk.
 ///
@@ -48,6 +109,12 @@ impl DiskStats {
 /// while preserving the I/O economics that separate the paper's algorithms
 /// — the quantity the harness reports as *modeled response time*.
 ///
+/// Reads are `&self`: metering runs on atomics, so any number of threads
+/// may read pages of a shared disk concurrently. Structural mutation
+/// (write / alloc / free / restore) still takes `&mut self`, which is what
+/// makes the shared-read guarantee airtight — Rust's aliasing rules forbid
+/// a writer while readers exist.
+///
 /// Pages are fixed-size; short writes are zero-padded to the page size.
 #[derive(Debug)]
 pub struct VirtualDisk {
@@ -55,8 +122,8 @@ pub struct VirtualDisk {
     cost: CostModel,
     pages: Vec<Option<Box<[u8]>>>,
     free_list: Vec<PageId>,
-    last_accessed: Option<u64>,
-    stats: DiskStats,
+    last_accessed: AtomicU64,
+    stats: AtomicDiskStats,
 }
 
 impl VirtualDisk {
@@ -67,8 +134,8 @@ impl VirtualDisk {
             cost,
             pages: Vec::new(),
             free_list: Vec::new(),
-            last_accessed: None,
-            stats: DiskStats::default(),
+            last_accessed: AtomicU64::new(NO_PAGE),
+            stats: AtomicDiskStats::default(),
         }
     }
 
@@ -91,7 +158,8 @@ impl VirtualDisk {
             return id;
         }
         let id = PageId(self.pages.len() as u64);
-        self.pages.push(Some(vec![0u8; self.page_size].into_boxed_slice()));
+        self.pages
+            .push(Some(vec![0u8; self.page_size].into_boxed_slice()));
         id
     }
 
@@ -101,25 +169,26 @@ impl VirtualDisk {
         let start = self.pages.len() as u64;
         let mut ids = Vec::with_capacity(n);
         for i in 0..n {
-            self.pages.push(Some(vec![0u8; self.page_size].into_boxed_slice()));
+            self.pages
+                .push(Some(vec![0u8; self.page_size].into_boxed_slice()));
             ids.push(PageId(start + i as u64));
         }
         ids
     }
 
-    fn charge(&mut self, id: PageId, write: bool) {
-        let sequential = self.last_accessed == Some(id.0.wrapping_sub(1));
-        self.last_accessed = Some(id.0);
-        self.stats.io_seconds += self.cost.page_time(sequential);
+    fn charge(&self, id: PageId, write: bool) {
+        let prev = self.last_accessed.swap(id.0, Ordering::Relaxed);
+        let sequential = prev != NO_PAGE && prev == id.0.wrapping_sub(1);
+        self.stats.add_io_seconds(self.cost.page_time(sequential));
         if write {
-            self.stats.pages_written += 1;
+            self.stats.pages_written.fetch_add(1, Ordering::Relaxed);
             if sequential {
-                self.stats.seq_writes += 1;
+                self.stats.seq_writes.fetch_add(1, Ordering::Relaxed);
             }
         } else {
-            self.stats.pages_read += 1;
+            self.stats.pages_read.fetch_add(1, Ordering::Relaxed);
             if sequential {
-                self.stats.seq_reads += 1;
+                self.stats.seq_reads.fetch_add(1, Ordering::Relaxed);
             }
         }
     }
@@ -129,7 +198,9 @@ impl VirtualDisk {
     /// Panics if `data` exceeds the page size or `id` is not allocated.
     pub fn write(&mut self, id: PageId, data: &[u8]) {
         assert!(data.len() <= self.page_size, "write exceeds page size");
-        let slot = self.pages[id.0 as usize].as_mut().expect("write to freed page");
+        let slot = self.pages[id.0 as usize]
+            .as_mut()
+            .expect("write to freed page");
         slot[..data.len()].copy_from_slice(data);
         slot[data.len()..].fill(0);
         self.charge(id, true);
@@ -138,9 +209,11 @@ impl VirtualDisk {
     /// Reads page `id`, returning its full (padded) image.
     ///
     /// Panics if `id` is not allocated.
-    pub fn read(&mut self, id: PageId) -> &[u8] {
+    pub fn read(&self, id: PageId) -> &[u8] {
         self.charge(id, false);
-        self.pages[id.0 as usize].as_deref().expect("read of freed page")
+        self.pages[id.0 as usize]
+            .as_deref()
+            .expect("read of freed page")
     }
 
     /// Frees page `id`, making the slot reusable. Freeing is a metadata
@@ -152,16 +225,17 @@ impl VirtualDisk {
         self.free_list.push(id);
     }
 
-    /// Cumulative statistics.
+    /// Cumulative statistics (a consistent-enough snapshot: counters are
+    /// read individually with relaxed ordering).
     pub fn stats(&self) -> DiskStats {
-        self.stats
+        self.stats.snapshot()
     }
 
     /// Resets the statistics (page contents are untouched). Useful to
     /// exclude index-construction I/O from query measurements.
-    pub fn reset_stats(&mut self) {
-        self.stats = DiskStats::default();
-        self.last_accessed = None;
+    pub fn reset_stats(&self) {
+        self.stats.reset();
+        self.last_accessed.store(NO_PAGE, Ordering::Relaxed);
     }
 
     /// Iterates the live pages (id + image) without charging I/O — the
@@ -178,7 +252,10 @@ impl VirtualDisk {
     /// Call [`finish_restore`](VirtualDisk::finish_restore) once all pages
     /// are in.
     pub fn restore_page(&mut self, id: PageId, data: &[u8]) {
-        assert!(data.len() <= self.page_size, "restored page exceeds page size");
+        assert!(
+            data.len() <= self.page_size,
+            "restored page exceeds page size"
+        );
         let idx = id.0 as usize;
         if idx >= self.pages.len() {
             self.pages.resize_with(idx + 1, || None);
@@ -207,7 +284,10 @@ mod tests {
     use super::*;
 
     fn disk() -> VirtualDisk {
-        VirtualDisk::new(CostModel { page_size: 64, ..CostModel::paper_1999_disk() })
+        VirtualDisk::new(CostModel {
+            page_size: 64,
+            ..CostModel::paper_1999_disk()
+        })
     }
 
     #[test]
@@ -244,7 +324,10 @@ mod tests {
 
     #[test]
     fn random_access_costs_more() {
-        let cost = CostModel { page_size: 4096, ..CostModel::paper_1999_disk() };
+        let cost = CostModel {
+            page_size: 4096,
+            ..CostModel::paper_1999_disk()
+        };
         let mut d = VirtualDisk::new(cost);
         let ids = d.alloc_contiguous(10);
         d.reset_stats();
@@ -258,7 +341,21 @@ mod tests {
             let _ = d.read(ids[i]);
         }
         let rand_time = d.stats().io_seconds;
-        assert!(rand_time > seq_time * 5.0, "rand={rand_time} seq={seq_time}");
+        assert!(
+            rand_time > seq_time * 5.0,
+            "rand={rand_time} seq={seq_time}"
+        );
+    }
+
+    #[test]
+    fn page_zero_after_reset_is_random() {
+        let mut d = disk();
+        let ids = d.alloc_contiguous(2);
+        d.reset_stats();
+        // No predecessor: must not be classified sequential, even though
+        // the internal "no page" sentinel is numerically `0 - 1`.
+        let _ = d.read(ids[0]);
+        assert_eq!(d.stats().seq_reads, 0);
     }
 
     #[test]
@@ -303,9 +400,45 @@ mod tests {
 
     #[test]
     fn stats_helpers() {
-        let s = DiskStats { pages_read: 10, seq_reads: 4, pages_written: 6, seq_writes: 6, io_seconds: 0.0 };
+        let s = DiskStats {
+            pages_read: 10,
+            seq_reads: 4,
+            pages_written: 6,
+            seq_writes: 6,
+            io_seconds: 0.0,
+        };
         assert_eq!(s.rand_reads(), 6);
         assert_eq!(s.rand_writes(), 0);
         assert_eq!(s.total_ios(), 16);
+    }
+
+    #[test]
+    fn concurrent_reads_count_exactly() {
+        let cost = CostModel {
+            page_size: 64,
+            ..CostModel::paper_1999_disk()
+        };
+        let mut d = VirtualDisk::new(cost);
+        let ids = d.alloc_contiguous(8);
+        for &id in &ids {
+            d.write(id, b"x");
+        }
+        d.reset_stats();
+        let threads = 4;
+        let reads_per_thread = 500;
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let d = &d;
+                let ids = &ids;
+                scope.spawn(move || {
+                    for i in 0..reads_per_thread {
+                        let _ = d.read(ids[(t + i) % ids.len()]);
+                    }
+                });
+            }
+        });
+        let s = d.stats();
+        assert_eq!(s.pages_read, (threads * reads_per_thread) as u64);
+        assert!(s.io_seconds > 0.0);
     }
 }

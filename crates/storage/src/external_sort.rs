@@ -119,13 +119,25 @@ impl<T: SpillItem> ExternalSorter<T> {
         let mut cursors = Vec::with_capacity(self.runs.len() + 1);
         let runs = std::mem::take(&mut self.runs);
         for pages in runs {
-            cursors.push(RunCursor { pages, next_page: 0, pending: std::collections::VecDeque::new() });
+            cursors.push(RunCursor {
+                pages,
+                next_page: 0,
+                pending: std::collections::VecDeque::new(),
+            });
         }
         let buffer: std::collections::VecDeque<T> = std::mem::take(&mut self.buffer).into();
         if !buffer.is_empty() {
-            cursors.push(RunCursor { pages: Vec::new(), next_page: 0, pending: buffer });
+            cursors.push(RunCursor {
+                pages: Vec::new(),
+                next_page: 0,
+                pending: buffer,
+            });
         }
-        let mut stream = SortedStream { disk: self.disk, cursors, heap: BinaryHeap::new() };
+        let mut stream = SortedStream {
+            disk: self.disk,
+            cursors,
+            heap: BinaryHeap::new(),
+        };
         for i in 0..stream.cursors.len() {
             stream.refill(i);
         }
@@ -188,7 +200,8 @@ impl<T: SpillItem> SortedStream<T> {
             let pid = cursor.pages[cursor.next_page];
             cursor.next_page += 1;
             let image = self.disk.read(pid).to_vec();
-            let body_len = u32::from_le_bytes(image[..PAGE_HEADER].try_into().expect("header")) as usize;
+            let body_len =
+                u32::from_le_bytes(image[..PAGE_HEADER].try_into().expect("header")) as usize;
             let mut r = Reader::new(&image[PAGE_HEADER..PAGE_HEADER + body_len]);
             while r.remaining() > 0 {
                 cursor.pending.push_back(T::decode(&mut r));
@@ -238,7 +251,10 @@ mod tests {
             put_u64(out, self.id);
         }
         fn decode(r: &mut Reader<'_>) -> Self {
-            Item { key: r.f64(), id: r.u64() }
+            Item {
+                key: r.f64(),
+                id: r.u64(),
+            }
         }
     }
 
@@ -255,7 +271,10 @@ mod tests {
 
     #[test]
     fn spills_runs_and_merges() {
-        let cost = CostModel { page_size: 256, ..CostModel::paper_1999_disk() };
+        let cost = CostModel {
+            page_size: 256,
+            ..CostModel::paper_1999_disk()
+        };
         let mut s = ExternalSorter::new(400, cost);
         let n = 1000u64;
         for i in 0..n {
@@ -272,16 +291,25 @@ mod tests {
 
     #[test]
     fn io_is_charged_for_runs() {
-        let cost = CostModel { page_size: 256, ..CostModel::paper_1999_disk() };
+        let cost = CostModel {
+            page_size: 256,
+            ..CostModel::paper_1999_disk()
+        };
         let mut s = ExternalSorter::new(300, cost);
         for i in 0..500u64 {
-            s.push(Item { key: (500 - i) as f64, id: i });
+            s.push(Item {
+                key: (500 - i) as f64,
+                id: i,
+            });
         }
         let mut stream = s.finish();
         while stream.next().is_some() {}
         let stats = stream.disk_stats();
         assert!(stats.pages_written > 0);
-        assert_eq!(stats.pages_read, stats.pages_written, "every run page read back");
+        assert_eq!(
+            stats.pages_read, stats.pages_written,
+            "every run page read back"
+        );
         assert!(stats.io_seconds > 0.0);
         // Run writes are contiguous, so most writes are sequential.
         assert!(stats.seq_writes as f64 >= 0.5 * stats.pages_written as f64);
@@ -296,10 +324,16 @@ mod tests {
 
     #[test]
     fn duplicate_keys_all_survive() {
-        let cost = CostModel { page_size: 128, ..CostModel::free() };
+        let cost = CostModel {
+            page_size: 128,
+            ..CostModel::free()
+        };
         let mut s = ExternalSorter::new(200, cost);
         for i in 0..300u64 {
-            s.push(Item { key: (i % 3) as f64, id: i });
+            s.push(Item {
+                key: (i % 3) as f64,
+                id: i,
+            });
         }
         let items: Vec<Item> = s.finish().collect();
         assert_eq!(items.len(), 300);
@@ -310,10 +344,16 @@ mod tests {
     #[test]
     fn take_k_is_cheap_after_merge_start() {
         // Streaming: taking only k items must not read every run page.
-        let cost = CostModel { page_size: 4096, ..CostModel::paper_1999_disk() };
+        let cost = CostModel {
+            page_size: 4096,
+            ..CostModel::paper_1999_disk()
+        };
         let mut s = ExternalSorter::new(40_000, cost);
         for i in 0..20_000u64 {
-            s.push(Item { key: i as f64, id: i });
+            s.push(Item {
+                key: i as f64,
+                id: i,
+            });
         }
         let written = s.disk_stats().pages_written;
         let mut stream = s.finish();

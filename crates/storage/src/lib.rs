@@ -12,6 +12,8 @@
 //!   the paper's wall-clock times included real I/O;
 //! * [`ByteLru`] — a byte-budgeted LRU cache used as the R-tree page
 //!   buffer;
+//! * [`ShardedLru`] — the internally synchronized, sharded variant that
+//!   lets any number of threads share one page buffer (`&self` reads);
 //! * [`SpillQueue`] — the hybrid memory/disk priority queue of §4.4: an
 //!   in-memory heap for the shortest-distance range plus unsorted
 //!   disk-resident segments, with range boundaries derived from the
@@ -29,10 +31,12 @@ mod cost;
 mod disk;
 mod external_sort;
 mod lru;
+mod sharded;
 mod spill;
 
 pub use cost::CostModel;
 pub use disk::{DiskStats, PageId, VirtualDisk};
 pub use external_sort::ExternalSorter;
 pub use lru::ByteLru;
+pub use sharded::ShardedLru;
 pub use spill::{SpillItem, SpillQueue, SpillQueueConfig, SpillQueueStats};

@@ -106,14 +106,25 @@ impl<K: Hash + Eq + Clone, V> ByteLru<K, V> {
             return;
         }
         while self.used + bytes > self.budget {
-            let (&tick, _) = self.order.iter().next().expect("over budget implies entries");
+            let (&tick, _) = self
+                .order
+                .iter()
+                .next()
+                .expect("over budget implies entries");
             let victim = self.order.remove(&tick).expect("tick present");
             let slot = self.map.remove(&victim).expect("victim present");
             self.used -= slot.bytes;
         }
         self.tick += 1;
         self.order.insert(self.tick, key.clone());
-        self.map.insert(key, Slot { value, bytes, tick: self.tick });
+        self.map.insert(
+            key,
+            Slot {
+                value,
+                bytes,
+                tick: self.tick,
+            },
+        );
         self.used += bytes;
     }
 

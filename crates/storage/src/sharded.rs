@@ -1,0 +1,217 @@
+use std::hash::{BuildHasher, BuildHasherDefault, Hash};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::ByteLru;
+
+/// A sharded, internally synchronized [`ByteLru`]: the concurrent page
+/// buffer behind shared-read R-tree access.
+///
+/// The byte budget is split evenly across `N` independent
+/// `Mutex<ByteLru>` shards; a key's shard is chosen by hash, so two
+/// threads faulting in different pages almost always lock different
+/// shards. Hit/miss counters live outside the shards as `AtomicU64`s, so
+/// statistics reads never take a lock.
+///
+/// Semantics compared to a single [`ByteLru`]:
+///
+/// * recency is tracked *per shard* — eviction is LRU within a shard,
+///   approximately LRU globally (the standard sharded-cache trade-off);
+/// * an entry larger than its shard's budget is not cached at all, so
+///   pick a shard count that keeps `budget / shards` comfortably above
+///   the entry size (see [`ShardedLru::shards_for`]);
+/// * values are returned by clone, not by reference — callers cache
+///   `Arc`s, making a hit one refcount bump.
+#[derive(Debug)]
+pub struct ShardedLru<K, V> {
+    shards: Box<[Mutex<ByteLru<K, V>>]>,
+    hasher: BuildHasherDefault<std::collections::hash_map::DefaultHasher>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> ShardedLru<K, V> {
+    /// Creates a cache of `shards` shards sharing `budget` bytes evenly.
+    ///
+    /// Panics if `shards` is zero.
+    pub fn new(budget: usize, shards: usize) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        let per_shard = budget / shards;
+        ShardedLru {
+            shards: (0..shards)
+                .map(|_| Mutex::new(ByteLru::new(per_shard)))
+                .collect(),
+            hasher: BuildHasherDefault::default(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// A shard count that balances contention against budget
+    /// fragmentation: at most 16, and never so many that a shard holds
+    /// fewer than four entries of `entry_bytes`.
+    pub fn shards_for(budget: usize, entry_bytes: usize) -> usize {
+        let max_by_budget = budget / (4 * entry_bytes.max(1));
+        max_by_budget.clamp(1, 16)
+    }
+
+    fn shard(&self, key: &K) -> &Mutex<ByteLru<K, V>> {
+        let h = self.hasher.hash_one(key) as usize;
+        &self.shards[h % self.shards.len()]
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit.
+    pub fn get(&self, key: &K) -> Option<V> {
+        let found = self
+            .shard(key)
+            .lock()
+            .expect("shard poisoned")
+            .get(key)
+            .cloned();
+        match found {
+            Some(v) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts `key → value` charging `bytes` against the key's shard,
+    /// evicting that shard's LRU entries as needed.
+    pub fn insert(&self, key: K, value: V, bytes: usize) {
+        self.shard(&key)
+            .lock()
+            .expect("shard poisoned")
+            .insert(key, value, bytes);
+    }
+
+    /// Removes every entry (statistics are kept).
+    pub fn clear(&self) {
+        for shard in self.shards.iter() {
+            shard.lock().expect("shard poisoned").clear();
+        }
+    }
+
+    /// Cache hits observed by [`get`](ShardedLru::get).
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses observed by [`get`](ShardedLru::get).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Resets the hit/miss counters (contents are untouched).
+    pub fn reset_stats(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+
+    /// Bytes currently cached across all shards.
+    pub fn used_bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("shard poisoned").used_bytes())
+            .sum()
+    }
+
+    /// Entries currently cached across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("shard poisoned").len())
+            .sum()
+    }
+
+    /// Whether no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_and_miss_counters() {
+        let c: ShardedLru<u32, u32> = ShardedLru::new(1024, 4);
+        assert!(c.get(&1).is_none());
+        c.insert(1, 10, 8);
+        assert_eq!(c.get(&1), Some(10));
+        assert_eq!((c.hits(), c.misses()), (1, 1));
+        c.reset_stats();
+        assert_eq!((c.hits(), c.misses()), (0, 0));
+        assert_eq!(c.get(&1), Some(10), "reset_stats keeps contents");
+    }
+
+    #[test]
+    fn budget_split_across_shards() {
+        let c: ShardedLru<u32, u32> = ShardedLru::new(64, 4);
+        // Each shard holds 16 bytes: two 8-byte entries per shard at most.
+        for k in 0..32 {
+            c.insert(k, k, 8);
+        }
+        assert!(c.used_bytes() <= 64);
+        assert!(c.len() <= 8);
+    }
+
+    #[test]
+    fn single_shard_behaves_like_byte_lru() {
+        let c: ShardedLru<u32, u32> = ShardedLru::new(30, 1);
+        c.insert(1, 10, 10);
+        c.insert(2, 20, 10);
+        c.insert(3, 30, 10);
+        let _ = c.get(&1);
+        c.insert(4, 40, 10);
+        assert!(c.get(&2).is_none(), "2 was LRU and must be evicted");
+        assert_eq!(c.get(&1), Some(10));
+    }
+
+    #[test]
+    fn shards_for_keeps_entries_cacheable() {
+        // Paper defaults: 512 KB buffer, 4 KB pages → 16 shards.
+        assert_eq!(ShardedLru::<u32, u32>::shards_for(512 * 1024, 4096), 16);
+        // Test params: 4 pages of 256 B → a single shard.
+        assert_eq!(ShardedLru::<u32, u32>::shards_for(1024, 256), 1);
+        // Zero budget still needs one (empty) shard.
+        assert_eq!(ShardedLru::<u32, u32>::shards_for(0, 4096), 1);
+    }
+
+    #[test]
+    fn counters_consistent_under_contention() {
+        let c: ShardedLru<u64, u64> = ShardedLru::new(16 * 1024, 8);
+        let threads = 8u64;
+        let ops = 2_000u64;
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let c = &c;
+                scope.spawn(move || {
+                    for i in 0..ops {
+                        let key = (t * 31 + i) % 64;
+                        if c.get(&key).is_none() {
+                            c.insert(key, key, 16);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            c.hits() + c.misses(),
+            threads * ops,
+            "every get counted exactly once"
+        );
+        assert!(c.hits() > 0, "warm keys must hit");
+        assert!(c.used_bytes() <= 16 * 1024);
+    }
+}

@@ -67,12 +67,20 @@ impl SpillQueueConfig {
     /// A queue that never spills (effectively unbounded memory) — used in
     /// tests and small examples.
     pub fn unbounded() -> Self {
-        SpillQueueConfig { mem_budget: usize::MAX, boundaries: Vec::new(), cost: CostModel::free() }
+        SpillQueueConfig {
+            mem_budget: usize::MAX,
+            boundaries: Vec::new(),
+            cost: CostModel::free(),
+        }
     }
 
     /// A memory-budgeted queue with the paper's disk cost model.
     pub fn budgeted(mem_budget: usize, boundaries: Vec<f64>) -> Self {
-        SpillQueueConfig { mem_budget, boundaries, cost: CostModel::paper_1999_disk() }
+        SpillQueueConfig {
+            mem_budget,
+            boundaries,
+            cost: CostModel::paper_1999_disk(),
+        }
     }
 }
 
@@ -142,7 +150,14 @@ impl Segment {
     fn new(lo: f64, page_size: usize) -> Self {
         let mut tail = Vec::with_capacity(page_size);
         tail.resize(PAGE_HEADER, 0);
-        Segment { lo, pages: Vec::new(), pending: Vec::new(), tail, count: 0, bytes: 0 }
+        Segment {
+            lo,
+            pages: Vec::new(),
+            pending: Vec::new(),
+            tail,
+            count: 0,
+            bytes: 0,
+        }
     }
 
     fn seal_tail(&mut self, page_size: usize) {
@@ -244,7 +259,11 @@ impl<T: SpillItem> SpillQueue<T> {
         }
         self.heap_bytes += Self::item_cost(&item);
         self.seq += 1;
-        self.heap.push(HeapEntry { key, seq: self.seq, item });
+        self.heap.push(HeapEntry {
+            key,
+            seq: self.seq,
+            item,
+        });
         if self.heap_bytes > self.config.mem_budget && self.heap.len() > 1 {
             self.split();
         }
@@ -327,18 +346,23 @@ impl<T: SpillItem> SpillQueue<T> {
     /// separates the contents, otherwise the median key itself.
     fn choose_boundary(entries: &mut [HeapEntry<T>], configured: &[f64], upper: f64) -> f64 {
         let mid = entries.len() / 2;
-        let (_, median, _) = entries.select_nth_unstable_by(mid, |a, b| {
-            a.key.partial_cmp(&b.key).expect("finite keys")
-        });
+        let (_, median, _) = entries
+            .select_nth_unstable_by(mid, |a, b| a.key.partial_cmp(&b.key).expect("finite keys"));
         let median = median.key;
         let min = entries.iter().map(|e| e.key).fold(f64::INFINITY, f64::min);
-        let max = entries.iter().map(|e| e.key).fold(f64::NEG_INFINITY, f64::max);
+        let max = entries
+            .iter()
+            .map(|e| e.key)
+            .fold(f64::NEG_INFINITY, f64::max);
         let candidate = configured
             .iter()
             .copied()
             .filter(|&b| b > min && b <= max && b < upper)
             .min_by(|a, b| {
-                (a - median).abs().partial_cmp(&(b - median).abs()).expect("finite")
+                (a - median)
+                    .abs()
+                    .partial_cmp(&(b - median).abs())
+                    .expect("finite")
             });
         match candidate {
             Some(b) => b,
@@ -409,14 +433,16 @@ impl<T: SpillItem> SpillQueue<T> {
         let mut items: Vec<T> = Vec::with_capacity(seg.count as usize);
         for pid in &seg.pages {
             let image = self.disk.read(*pid).to_vec();
-            let body_len = u32::from_le_bytes(image[..PAGE_HEADER].try_into().expect("header")) as usize;
+            let body_len =
+                u32::from_le_bytes(image[..PAGE_HEADER].try_into().expect("header")) as usize;
             let mut r = Reader::new(&image[PAGE_HEADER..PAGE_HEADER + body_len]);
             while r.remaining() > 0 {
                 items.push(T::decode(&mut r));
             }
         }
         for image in &seg.pending {
-            let body_len = u32::from_le_bytes(image[..PAGE_HEADER].try_into().expect("header")) as usize;
+            let body_len =
+                u32::from_le_bytes(image[..PAGE_HEADER].try_into().expect("header")) as usize;
             let mut r = Reader::new(&image[PAGE_HEADER..PAGE_HEADER + body_len]);
             while r.remaining() > 0 {
                 items.push(T::decode(&mut r));
@@ -481,7 +507,11 @@ impl<T: SpillItem> SpillQueue<T> {
             let key = item.key();
             self.heap_bytes += Self::item_cost(&item);
             self.seq += 1;
-            self.heap.push(HeapEntry { key, seq: self.seq, item });
+            self.heap.push(HeapEntry {
+                key,
+                seq: self.seq,
+                item,
+            });
         }
         if self.heap.is_empty() {
             // Segment was empty after all; try the next one.
@@ -525,12 +555,21 @@ mod tests {
             crate::codec::put_u64(out, self.id);
         }
         fn decode(r: &mut Reader<'_>) -> Self {
-            Item { key: r.f64(), id: r.u64() }
+            Item {
+                key: r.f64(),
+                id: r.u64(),
+            }
         }
     }
 
     fn items(keys: &[f64]) -> Vec<Item> {
-        keys.iter().enumerate().map(|(i, &k)| Item { key: k, id: i as u64 }).collect()
+        keys.iter()
+            .enumerate()
+            .map(|(i, &k)| Item {
+                key: k,
+                id: i as u64,
+            })
+            .collect()
     }
 
     fn pop_keys<T: SpillItem>(q: &mut SpillQueue<T>) -> Vec<f64> {
@@ -562,7 +601,10 @@ mod tests {
             keys.swap(i, j);
         }
         for (id, &k) in keys.iter().enumerate() {
-            q.push(Item { key: k as f64, id: id as u64 });
+            q.push(Item {
+                key: k as f64,
+                id: id as u64,
+            });
         }
         assert_eq!(q.len(), n);
         assert!(q.stats().splits > 0, "budget must force splits");
@@ -582,7 +624,10 @@ mod tests {
         let mut q = SpillQueue::new(cfg);
         let n = 1500u64;
         for i in (0..n).rev() {
-            q.push(Item { key: i as f64, id: i });
+            q.push(Item {
+                key: i as f64,
+                id: i,
+            });
         }
         assert!(q.segment_count() <= 64, "segments = {}", q.segment_count());
         let keys = pop_keys(&mut q);
@@ -596,7 +641,10 @@ mod tests {
         cfg.cost.page_size = 256;
         let mut q = SpillQueue::new(cfg);
         for i in 0..200 {
-            q.push(Item { key: (i % 50) as f64, id: i });
+            q.push(Item {
+                key: (i % 50) as f64,
+                id: i,
+            });
         }
         let keys = pop_keys(&mut q);
         let mut expect: Vec<f64> = (0..200u64).map(|i| (i % 50) as f64).collect();
@@ -612,11 +660,17 @@ mod tests {
         // Force a split with large keys, then insert small keys (go to heap)
         // and large keys (go directly to segments).
         for i in 0..50 {
-            q.push(Item { key: 100.0 + i as f64, id: i });
+            q.push(Item {
+                key: 100.0 + i as f64,
+                id: i,
+            });
         }
         assert!(q.segment_count() > 0);
         q.push(Item { key: 1.0, id: 1000 });
-        q.push(Item { key: 500.0, id: 1001 });
+        q.push(Item {
+            key: 500.0,
+            id: 1001,
+        });
         let keys = pop_keys(&mut q);
         assert_eq!(keys.first(), Some(&1.0));
         assert_eq!(keys.last(), Some(&500.0));
@@ -633,7 +687,10 @@ mod tests {
         for round in 0..20u64 {
             for i in 0..30u64 {
                 let k = ((i * 7919 + round * 104729) % 1000) as f64;
-                q.push(Item { key: k, id: round * 100 + i });
+                q.push(Item {
+                    key: k,
+                    id: round * 100 + i,
+                });
             }
             // Pop a few each round; popped values must never decrease below
             // a previously popped value *at pop time* relative to remaining
@@ -655,7 +712,10 @@ mod tests {
         for round in 0..20u64 {
             for i in 0..30u64 {
                 let k = ((i * 7919 + round * 104729) % 1000) as f64;
-                q2.push(Item { key: k, id: round * 100 + i });
+                q2.push(Item {
+                    key: k,
+                    id: round * 100 + i,
+                });
                 reference.push(std::cmp::Reverse((k * 1000.0) as i64));
             }
             for _ in 0..10 {
@@ -708,7 +768,10 @@ mod tests {
     #[should_panic(expected = "finite")]
     fn rejects_non_finite_keys() {
         let mut q = SpillQueue::new(SpillQueueConfig::unbounded());
-        q.push(Item { key: f64::INFINITY, id: 0 });
+        q.push(Item {
+            key: f64::INFINITY,
+            id: 0,
+        });
     }
 
     #[test]
@@ -719,7 +782,10 @@ mod tests {
         cfg.cost.page_size = 4096;
         let mut q = SpillQueue::new(cfg);
         for i in 0..400u64 {
-            q.push(Item { key: 1000.0 - i as f64, id: i });
+            q.push(Item {
+                key: 1000.0 - i as f64,
+                id: i,
+            });
         }
         let keys = pop_keys(&mut q);
         assert_eq!(keys.len(), 400);

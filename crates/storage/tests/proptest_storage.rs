@@ -25,7 +25,10 @@ impl SpillItem for Item {
         put_u64(out, self.id);
     }
     fn decode(r: &mut Reader<'_>) -> Self {
-        Item { key: r.f64(), id: r.u64() }
+        Item {
+            key: r.f64(),
+            id: r.u64(),
+        }
     }
 }
 

@@ -19,7 +19,7 @@ fn build() -> (RTree<2>, RTree<2>) {
     )
 }
 
-fn reset(r: &mut RTree<2>, s: &mut RTree<2>) {
+fn reset(r: &RTree<2>, s: &RTree<2>) {
     r.clear_buffer();
     s.clear_buffer();
     r.reset_stats();
@@ -29,7 +29,7 @@ fn reset(r: &mut RTree<2>, s: &mut RTree<2>) {
 fn main() {
     let k = 1_000;
     let cfg = JoinConfig::default();
-    let (mut r, mut s) = build();
+    let (r, s) = build();
     println!(
         "joining {} streets × {} hydro objects, k = {k}\n",
         r.len(),
@@ -38,19 +38,19 @@ fn main() {
 
     let mut runs: Vec<(&str, JoinOutput)> = Vec::new();
 
-    reset(&mut r, &mut s);
-    runs.push(("HS-KDJ", hs_kdj(&mut r, &mut s, k, &cfg)));
+    reset(&r, &s);
+    runs.push(("HS-KDJ", hs_kdj(&r, &s, k, &cfg)));
 
-    reset(&mut r, &mut s);
-    runs.push(("B-KDJ", b_kdj(&mut r, &mut s, k, &cfg)));
+    reset(&r, &s);
+    runs.push(("B-KDJ", b_kdj(&r, &s, k, &cfg)));
 
-    reset(&mut r, &mut s);
-    runs.push(("AM-KDJ", am_kdj(&mut r, &mut s, k, &cfg, &AmKdjOptions::default())));
+    reset(&r, &s);
+    runs.push(("AM-KDJ", am_kdj(&r, &s, k, &cfg, &AmKdjOptions::default())));
 
     // AM-IDJ has no k; drive the cursor until k pairs have streamed out.
-    reset(&mut r, &mut s);
+    reset(&r, &s);
     let (results, stats) = {
-        let mut cursor = AmIdj::new(&mut r, &mut s, &cfg, AmIdjOptions::default());
+        let mut cursor = AmIdj::new(&r, &s, &cfg, AmIdjOptions::default());
         let mut results = Vec::with_capacity(k);
         while results.len() < k {
             match cursor.next() {
@@ -64,8 +64,8 @@ fn main() {
 
     // SJ-SORT gets the true Dmax — the paper's favorable assumption.
     let dmax = runs[1].1.results.last().map_or(0.0, |p| p.dist);
-    reset(&mut r, &mut s);
-    runs.push(("SJ-SORT", sj_sort(&mut r, &mut s, k, dmax, &cfg)));
+    reset(&r, &s);
+    runs.push(("SJ-SORT", sj_sort(&r, &s, k, dmax, &cfg)));
 
     // Cross-check: identical distance sequences everywhere.
     for (name, out) in &runs[1..] {

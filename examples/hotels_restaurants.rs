@@ -24,16 +24,19 @@ fn main() {
     let hotels = clustered_points(30_000, 8, 0.03, unit_universe(), 71);
     let restaurants = clustered_points(60_000, 25, 0.02, unit_universe(), 72);
 
-    let mut h = RTree::bulk_load(RTreeParams::paper_defaults(), hotels);
-    let mut r = RTree::bulk_load(RTreeParams::paper_defaults(), restaurants);
+    let h = RTree::bulk_load(RTreeParams::paper_defaults(), hotels);
+    let r = RTree::bulk_load(RTreeParams::paper_defaults(), restaurants);
     let cfg = JoinConfig::default();
 
     println!("STOP AFTER {k}: nearest hotel–restaurant pairs\n");
 
     let runs = [
-        ("HS-KDJ (baseline)", hs_kdj(&mut h, &mut r, k, &cfg)),
-        ("B-KDJ  (plane sweep)", b_kdj(&mut h, &mut r, k, &cfg)),
-        ("AM-KDJ (multi-stage)", am_kdj(&mut h, &mut r, k, &cfg, &AmKdjOptions::default())),
+        ("HS-KDJ (baseline)", hs_kdj(&h, &r, k, &cfg)),
+        ("B-KDJ  (plane sweep)", b_kdj(&h, &r, k, &cfg)),
+        (
+            "AM-KDJ (multi-stage)",
+            am_kdj(&h, &r, k, &cfg, &AmKdjOptions::default()),
+        ),
     ];
 
     // All algorithms must agree on the distances.
@@ -54,7 +57,10 @@ fn main() {
         );
     }
 
-    println!("\n{:<22} {:>14} {:>14} {:>12}", "algorithm", "real dists", "queue inserts", "resp. time");
+    println!(
+        "\n{:<22} {:>14} {:>14} {:>12}",
+        "algorithm", "real dists", "queue inserts", "resp. time"
+    );
     for (name, out) in &runs {
         println!(
             "{:<22} {:>14} {:>14} {:>11.3}s",

@@ -17,11 +17,14 @@ fn main() {
     // stage advances (and eDmax growth) are visible batch by batch.
     let red = uniform_points(40_000, unit_universe(), 7);
     let blue = uniform_points(40_000, unit_universe(), 8);
-    let mut r = RTree::bulk_load(RTreeParams::paper_defaults(), red);
-    let mut s = RTree::bulk_load(RTreeParams::paper_defaults(), blue);
+    let r = RTree::bulk_load(RTreeParams::paper_defaults(), red);
+    let s = RTree::bulk_load(RTreeParams::paper_defaults(), blue);
 
-    let opts = AmIdjOptions { initial_k: 1_000, ..AmIdjOptions::default() };
-    let mut cursor = AmIdj::new(&mut r, &mut s, &JoinConfig::default(), opts);
+    let opts = AmIdjOptions {
+        initial_k: 1_000,
+        ..AmIdjOptions::default()
+    };
+    let mut cursor = AmIdj::new(&r, &s, &JoinConfig::default(), opts);
 
     println!("streaming red–blue pairs in distance order, 1,000 at a time:\n");
     println!(

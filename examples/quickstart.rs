@@ -13,20 +13,29 @@ fn main() {
 
     // Index both sides (STR bulk load, 4 KB pages, 512 KB buffer — the
     // paper's configuration).
-    let mut r = RTree::bulk_load(RTreeParams::paper_defaults(), red);
-    let mut s = RTree::bulk_load(RTreeParams::paper_defaults(), blue);
+    let r = RTree::bulk_load(RTreeParams::paper_defaults(), red);
+    let s = RTree::bulk_load(RTreeParams::paper_defaults(), blue);
 
     // k-distance join: the 10 closest red/blue pairs.
-    let out = b_kdj(&mut r, &mut s, 10, &JoinConfig::default());
+    let out = b_kdj(&r, &s, 10, &JoinConfig::default());
 
     println!("the 10 closest pairs:");
     for (rank, p) in out.results.iter().enumerate() {
-        println!("  #{:<2} red {:>6} — blue {:>6}   dist {:.6}", rank + 1, p.r, p.s, p.dist);
+        println!(
+            "  #{:<2} red {:>6} — blue {:>6}   dist {:.6}",
+            rank + 1,
+            p.r,
+            p.s,
+            p.dist
+        );
     }
     let st = out.stats;
     println!("\nwork done:");
     println!("  distance computations : {}", st.real_dist);
     println!("  main-queue insertions : {}", st.mainq_insertions);
-    println!("  node accesses         : {} ({} from disk)", st.node_requests, st.node_disk_reads);
+    println!(
+        "  node accesses         : {} ({} from disk)",
+        st.node_requests, st.node_disk_reads
+    );
     println!("  response time (model) : {:.3}s", st.response_time());
 }

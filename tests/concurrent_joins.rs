@@ -1,0 +1,146 @@
+//! Concurrency end-to-end validation: the parallel B-KDJ must reproduce
+//! the sequential join bit-for-bit, and independent joins must be able to
+//! share a pair of trees across threads.
+
+use amdj_core::{b_kdj, hs_kdj, par_b_kdj, JoinConfig, ResultPair};
+use amdj_geom::Rect;
+use amdj_rtree::{RTree, RTreeParams};
+use amdj_storage::CostModel;
+use proptest::prelude::*;
+
+fn arb_dataset(max_n: usize) -> impl Strategy<Value = Vec<(Rect<2>, u64)>> {
+    prop::collection::vec(
+        (0.0..1000.0f64, 0.0..1000.0f64, 0.0..5.0f64, 0.0..5.0f64),
+        1..max_n,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (x, y, w, h))| (Rect::new([x, y], [x + w, y + h]), i as u64))
+            .collect()
+    })
+}
+
+fn trees(a: &[(Rect<2>, u64)], b: &[(Rect<2>, u64)]) -> (RTree<2>, RTree<2>) {
+    (
+        RTree::bulk_load(RTreeParams::for_tests(), a.to_vec()),
+        RTree::bulk_load(RTreeParams::for_tests(), b.to_vec()),
+    )
+}
+
+/// Both joins promise exact answers; pair *sets* must therefore agree
+/// whenever distances are tie-free. Sorting both sides by the canonical
+/// `(dist, r, s)` key removes the only legitimate divergence (tie order at
+/// equal distance) and then the comparison is byte-identical: same object
+/// ids, same `f64` bits.
+fn canonical(mut v: Vec<ResultPair>) -> Vec<ResultPair> {
+    v.sort_by(|a, b| {
+        a.dist
+            .partial_cmp(&b.dist)
+            .expect("finite distances")
+            .then_with(|| a.r.cmp(&b.r))
+            .then_with(|| a.s.cmp(&b.s))
+    });
+    v
+}
+
+fn assert_identical(seq: &[ResultPair], par: &[ResultPair]) -> Result<(), TestCaseError> {
+    prop_assert_eq!(seq.len(), par.len());
+    let seq = canonical(seq.to_vec());
+    let par = canonical(par.to_vec());
+    for (i, (a, b)) in seq.iter().zip(par.iter()).enumerate() {
+        prop_assert_eq!(a.dist.to_bits(), b.dist.to_bits(), "rank {}", i);
+        // Ids may legitimately differ only when the boundary distance
+        // ties; random continuous rectangles make that measure-zero, so
+        // any mismatch here is a real partitioning bug.
+        prop_assert_eq!((a.r, a.s), (b.r, b.s), "rank {}", i);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn par_bkdj_identical_to_sequential(
+        a in arb_dataset(120),
+        b in arb_dataset(120),
+        k in 1usize..200,
+        threads in 1usize..7,
+    ) {
+        let (r, s) = trees(&a, &b);
+        let seq = b_kdj(&r, &s, k, &JoinConfig::unbounded());
+        let par = par_b_kdj(&r, &s, k, &JoinConfig::unbounded(), threads);
+        assert_identical(&seq.results, &par.results)?;
+    }
+
+    #[test]
+    fn par_bkdj_identical_under_memory_budget(
+        a in arb_dataset(90),
+        b in arb_dataset(90),
+        k in 1usize..120,
+        mem_kb in 1usize..32,
+    ) {
+        let (r, s) = trees(&a, &b);
+        let cfg = JoinConfig {
+            queue_mem_bytes: mem_kb * 1024,
+            queue_cost: CostModel { page_size: 1024, ..CostModel::paper_1999_disk() },
+            ..JoinConfig::default()
+        };
+        let seq = b_kdj(&r, &s, k, &JoinConfig::unbounded());
+        let par = par_b_kdj(&r, &s, k, &cfg, 4);
+        assert_identical(&seq.results, &par.results)?;
+    }
+}
+
+#[test]
+fn two_joins_share_trees_across_threads() {
+    let a: Vec<(Rect<2>, u64)> = (0..400)
+        .map(|i| {
+            let x = (i % 20) as f64 * 3.7;
+            let y = (i / 20) as f64 * 2.9;
+            (Rect::new([x, y], [x + 1.0, y + 1.0]), i as u64)
+        })
+        .collect();
+    let b: Vec<(Rect<2>, u64)> = (0..400)
+        .map(|i| {
+            let x = (i % 20) as f64 * 3.7 + 1.3;
+            let y = (i / 20) as f64 * 2.9 + 0.7;
+            (Rect::new([x, y], [x + 0.8, y + 0.8]), i as u64)
+        })
+        .collect();
+    let (r, s) = trees(&a, &b);
+    let want_b = b_kdj(&r, &s, 60, &JoinConfig::unbounded());
+    let want_h = hs_kdj(&r, &s, 60, &JoinConfig::unbounded());
+    // Two different algorithms traverse the same trees at the same time,
+    // each owning only `&RTree` — the tentpole's end-to-end smoke test.
+    let (got_b, got_h) = std::thread::scope(|scope| {
+        let hb = scope.spawn(|| b_kdj(&r, &s, 60, &JoinConfig::unbounded()));
+        let hh = scope.spawn(|| hs_kdj(&r, &s, 60, &JoinConfig::unbounded()));
+        (
+            hb.join().expect("b_kdj panicked"),
+            hh.join().expect("hs_kdj panicked"),
+        )
+    });
+    assert_eq!(
+        canonical(want_b.results.clone()),
+        canonical(got_b.results),
+        "b_kdj under concurrency"
+    );
+    assert_eq!(
+        canonical(want_h.results),
+        canonical(got_h.results),
+        "hs_kdj under concurrency"
+    );
+}
+
+#[test]
+fn par_bkdj_more_threads_than_work() {
+    let a: Vec<(Rect<2>, u64)> = (0..3)
+        .map(|i| (Rect::new([i as f64, 0.0], [i as f64 + 0.5, 0.5]), i as u64))
+        .collect();
+    let (r, s) = trees(&a, &a);
+    let out = par_b_kdj(&r, &s, 9, &JoinConfig::unbounded(), 16);
+    assert_eq!(out.results.len(), 9);
+    assert!(out.results.windows(2).all(|w| w[0].dist <= w[1].dist));
+}

@@ -31,12 +31,18 @@ fn three_dimensional_kdj_algorithms_agree_with_brute_force() {
     let b = lattice(7, 0.37);
     let k = 120;
     let want = bruteforce::k_closest_pairs(&a, &b, k);
-    let mut r = RTree::bulk_load(RTreeParams::for_tests(), a.clone());
-    let mut s = RTree::bulk_load(RTreeParams::for_tests(), b.clone());
+    let r = RTree::bulk_load(RTreeParams::for_tests(), a.clone());
+    let s = RTree::bulk_load(RTreeParams::for_tests(), b.clone());
 
-    let hs = hs_kdj(&mut r, &mut s, k, &JoinConfig::unbounded());
-    let bk = b_kdj(&mut r, &mut s, k, &JoinConfig::unbounded());
-    let am = am_kdj(&mut r, &mut s, k, &JoinConfig::unbounded(), &AmKdjOptions::default());
+    let hs = hs_kdj(&r, &s, k, &JoinConfig::unbounded());
+    let bk = b_kdj(&r, &s, k, &JoinConfig::unbounded());
+    let am = am_kdj(
+        &r,
+        &s,
+        k,
+        &JoinConfig::unbounded(),
+        &AmKdjOptions::default(),
+    );
     for (label, out) in [("HS", &hs), ("B", &bk), ("AM", &am)] {
         assert_eq!(out.results.len(), k, "{label}");
         for (i, (g, w)) in out.results.iter().zip(want.iter()).enumerate() {
@@ -50,9 +56,9 @@ fn three_dimensional_incremental_stream() {
     let a = lattice(6, 0.0);
     let b = lattice(6, 0.41);
     let want = bruteforce::k_closest_pairs(&a, &b, 200);
-    let mut r = RTree::bulk_load(RTreeParams::for_tests(), a);
-    let mut s = RTree::bulk_load(RTreeParams::for_tests(), b);
-    let mut cursor = AmIdj::new(&mut r, &mut s, &JoinConfig::unbounded(), AmIdjOptions::default());
+    let r = RTree::bulk_load(RTreeParams::for_tests(), a);
+    let s = RTree::bulk_load(RTreeParams::for_tests(), b);
+    let mut cursor = AmIdj::new(&r, &s, &JoinConfig::unbounded(), AmIdjOptions::default());
     for (i, w) in want.iter().enumerate() {
         let g = cursor.next().unwrap_or_else(|| panic!("exhausted at {i}"));
         assert!((g.dist - w.dist).abs() < 1e-9, "rank {i}");
@@ -69,7 +75,10 @@ fn three_dimensional_tree_lifecycle() {
     }
     t.validate().expect("valid after 3-D deletions");
     for i in 0..100u64 {
-        t.insert(Rect::from_point(Point::new([0.5, 0.5, i as f64 * 0.01])), 10_000 + i);
+        t.insert(
+            Rect::from_point(Point::new([0.5, 0.5, i as f64 * 0.01])),
+            10_000 + i,
+        );
     }
     t.validate().expect("valid after 3-D inserts");
     assert_eq!(t.len(), 512 - 200 + 100);

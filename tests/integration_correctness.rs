@@ -12,23 +12,23 @@ use amdj_tests::{assert_same_distances, build_trees};
 
 fn all_kdj_algorithms_agree(a: &Dataset, b: &Dataset, k: usize, cfg: &JoinConfig) {
     let want = bruteforce::k_closest_pairs(a, b, k);
-    let (mut r, mut s) = build_trees(a, b);
+    let (r, s) = build_trees(a, b);
 
-    let hs = hs_kdj(&mut r, &mut s, k, cfg);
+    let hs = hs_kdj(&r, &s, k, cfg);
     assert_same_distances(&hs.results, &want, "HS-KDJ");
 
-    let bk = b_kdj(&mut r, &mut s, k, cfg);
+    let bk = b_kdj(&r, &s, k, cfg);
     assert_same_distances(&bk.results, &want, "B-KDJ");
 
-    let am = am_kdj(&mut r, &mut s, k, cfg, &AmKdjOptions::default());
+    let am = am_kdj(&r, &s, k, cfg, &AmKdjOptions::default());
     assert_same_distances(&am.results, &want, "AM-KDJ");
 
     if let Some(dmax) = want.last().map(|p| p.dist) {
-        let sj = sj_sort(&mut r, &mut s, k, dmax, cfg);
+        let sj = sj_sort(&r, &s, k, dmax, cfg);
         assert_same_distances(&sj.results, &want, "SJ-SORT");
     }
 
-    let mut idj = AmIdj::new(&mut r, &mut s, cfg, AmIdjOptions::default());
+    let mut idj = AmIdj::new(&r, &s, cfg, AmIdjOptions::default());
     let mut got = Vec::new();
     while got.len() < k {
         match idj.next() {
@@ -103,7 +103,7 @@ fn insert_built_trees_agree_with_bulk_loaded() {
     r.validate().expect("R valid");
     s.validate().expect("S valid");
 
-    let out = b_kdj(&mut r, &mut s, k, &JoinConfig::unbounded());
+    let out = b_kdj(&r, &s, k, &JoinConfig::unbounded());
     assert_same_distances(&out.results, &want, "B-KDJ over insert-built trees");
 }
 
@@ -121,7 +121,10 @@ fn duplicate_heavy_data() {
     let mut a = Vec::new();
     for i in 0..200u64 {
         let x = (i % 5) as f64 * 0.2;
-        a.push((amdj_geom::Rect::from_point(amdj_geom::Point::new([x, x])), i));
+        a.push((
+            amdj_geom::Rect::from_point(amdj_geom::Point::new([x, x])),
+            i,
+        ));
     }
     let b = a.clone();
     all_kdj_algorithms_agree(&a, &b, 300, &JoinConfig::unbounded());

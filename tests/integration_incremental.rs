@@ -11,14 +11,19 @@ fn hs_and_am_idj_stream_identically() {
     let geo = Geography::arizona_like(17);
     let a = geo.streets(900);
     let b = geo.hydro(400);
-    let (mut r1, mut s1) = build_trees(&a, &b);
-    let (mut r2, mut s2) = build_trees(&a, &b);
-    let mut hs = HsIdj::new(&mut r1, &mut s1, &JoinConfig::unbounded());
-    let mut am = AmIdj::new(&mut r2, &mut s2, &JoinConfig::unbounded(), AmIdjOptions::default());
+    let (r1, s1) = build_trees(&a, &b);
+    let (r2, s2) = build_trees(&a, &b);
+    let mut hs = HsIdj::new(&r1, &s1, &JoinConfig::unbounded());
+    let mut am = AmIdj::new(&r2, &s2, &JoinConfig::unbounded(), AmIdjOptions::default());
     for i in 0..500 {
         let h = hs.next().expect("HS stream");
         let a_ = am.next().expect("AM stream");
-        assert!((h.dist - a_.dist).abs() < 1e-9, "rank {i}: {} vs {}", h.dist, a_.dist);
+        assert!(
+            (h.dist - a_.dist).abs() < 1e-9,
+            "rank {i}: {} vs {}",
+            h.dist,
+            a_.dist
+        );
     }
 }
 
@@ -28,12 +33,16 @@ fn batched_consumption_matches_one_shot() {
     let a = clustered_points(700, 5, 0.02, unit_universe(), 3);
     let b = clustered_points(500, 5, 0.02, unit_universe(), 4);
     let want = bruteforce::k_closest_pairs(&a, &b, 350);
-    let (mut r, mut s) = build_trees(&a, &b);
+    let (r, s) = build_trees(&a, &b);
     let mut cursor = AmIdj::new(
-        &mut r,
-        &mut s,
+        &r,
+        &s,
         &JoinConfig::unbounded(),
-        AmIdjOptions { initial_k: 10, growth: 3.0, ..AmIdjOptions::default() },
+        AmIdjOptions {
+            initial_k: 10,
+            growth: 3.0,
+            ..AmIdjOptions::default()
+        },
     );
     let mut got = Vec::new();
     for batch in [1usize, 9, 40, 100, 100, 50, 50] {
@@ -51,12 +60,12 @@ fn batched_consumption_matches_one_shot() {
 fn stages_advance_and_are_observable() {
     let a = clustered_points(600, 3, 0.01, unit_universe(), 5);
     let b = clustered_points(600, 3, 0.01, unit_universe(), 6);
-    let (mut r, mut s) = build_trees(&a, &b);
+    let (r, s) = build_trees(&a, &b);
     // Clustered data makes Equation (3) overestimate; force tiny stages
     // via a schedule so compensation must run repeatedly.
     let mut cursor = AmIdj::new(
-        &mut r,
-        &mut s,
+        &r,
+        &s,
         &JoinConfig::unbounded(),
         AmIdjOptions {
             initial_k: 1,
@@ -71,7 +80,10 @@ fn stages_advance_and_are_observable() {
         assert!(e >= edmax_prev, "eDmax never shrinks");
         edmax_prev = e;
     }
-    assert!(cursor.stage() >= 2, "schedule far below Dmax must force stages");
+    assert!(
+        cursor.stage() >= 2,
+        "schedule far below Dmax must force stages"
+    );
     assert_eq!(cursor.stats().results, 200);
 }
 
@@ -87,15 +99,21 @@ fn estimated_policy_min_and_max_agree_on_results() {
         Correction::MinOfBoth,
         Correction::MaxOfBoth,
     ] {
-        let (mut r, mut s) = build_trees(&a, &b);
+        let (r, s) = build_trees(&a, &b);
         let mut cursor = AmIdj::new(
-            &mut r,
-            &mut s,
+            &r,
+            &s,
             &JoinConfig::unbounded(),
-            AmIdjOptions { initial_k: 16, growth: 2.5, edmax: EdmaxPolicy::Estimated(corr) },
+            AmIdjOptions {
+                initial_k: 16,
+                growth: 2.5,
+                edmax: EdmaxPolicy::Estimated(corr),
+            },
         );
         for (i, w) in want.iter().enumerate() {
-            let g = cursor.next().unwrap_or_else(|| panic!("{corr:?}: exhausted at {i}"));
+            let g = cursor
+                .next()
+                .unwrap_or_else(|| panic!("{corr:?}: exhausted at {i}"));
             assert!((g.dist - w.dist).abs() < 1e-9, "{corr:?} rank {i}");
         }
     }
@@ -105,8 +123,8 @@ fn estimated_policy_min_and_max_agree_on_results() {
 fn exhaustion_is_stable_and_complete() {
     let a = clustered_points(40, 2, 0.05, unit_universe(), 7);
     let b = clustered_points(30, 2, 0.05, unit_universe(), 8);
-    let (mut r, mut s) = build_trees(&a, &b);
-    let mut cursor = AmIdj::new(&mut r, &mut s, &JoinConfig::unbounded(), AmIdjOptions::default());
+    let (r, s) = build_trees(&a, &b);
+    let mut cursor = AmIdj::new(&r, &s, &JoinConfig::unbounded(), AmIdjOptions::default());
     let mut n = 0;
     while cursor.next().is_some() {
         n += 1;

@@ -13,14 +13,23 @@ fn trees_with_buffer(
     b: &amdj_datagen::Dataset,
     buffer: usize,
 ) -> (RTree<2>, RTree<2>) {
-    let params = RTreeParams { buffer_bytes: buffer, ..RTreeParams::for_tests() };
-    (RTree::bulk_load(params.clone(), a.clone()), RTree::bulk_load(params, b.clone()))
+    let params = RTreeParams {
+        buffer_bytes: buffer,
+        ..RTreeParams::for_tests()
+    };
+    (
+        RTree::bulk_load(params.clone(), a.clone()),
+        RTree::bulk_load(params, b.clone()),
+    )
 }
 
 fn tight_cfg(mem: usize) -> JoinConfig {
     JoinConfig {
         queue_mem_bytes: mem,
-        queue_cost: CostModel { page_size: 1024, ..CostModel::paper_1999_disk() },
+        queue_cost: CostModel {
+            page_size: 1024,
+            ..CostModel::paper_1999_disk()
+        },
         ..JoinConfig::default()
     }
 }
@@ -33,10 +42,10 @@ fn results_invariant_under_queue_memory() {
     let k = 500;
     let want = bruteforce::k_closest_pairs(&a, &b, k);
     for mem in [2 * 1024, 16 * 1024, 1 << 22] {
-        let (mut r, mut s) = trees_with_buffer(&a, &b, 64 * 1024);
-        let out = b_kdj(&mut r, &mut s, k, &tight_cfg(mem));
+        let (r, s) = trees_with_buffer(&a, &b, 64 * 1024);
+        let out = b_kdj(&r, &s, k, &tight_cfg(mem));
         assert_same_distances(&out.results, &want, &format!("B-KDJ mem={mem}"));
-        let out = am_kdj(&mut r, &mut s, k, &tight_cfg(mem), &AmKdjOptions::default());
+        let out = am_kdj(&r, &s, k, &tight_cfg(mem), &AmKdjOptions::default());
         assert_same_distances(&out.results, &want, &format!("AM-KDJ mem={mem}"));
     }
 }
@@ -47,17 +56,20 @@ fn tight_queue_memory_causes_spill_io() {
     let a = geo.streets(2000);
     let b = geo.hydro(800);
     let k = 600;
-    let (mut r, mut s) = trees_with_buffer(&a, &b, 64 * 1024);
-    let tight = b_kdj(&mut r, &mut s, k, &tight_cfg(2 * 1024));
+    let (r, s) = trees_with_buffer(&a, &b, 64 * 1024);
+    let tight = b_kdj(&r, &s, k, &tight_cfg(2 * 1024));
     r.clear_buffer();
     s.clear_buffer();
-    let roomy = b_kdj(&mut r, &mut s, k, &tight_cfg(1 << 24));
+    let roomy = b_kdj(&r, &s, k, &tight_cfg(1 << 24));
     assert!(
         tight.stats.queue_page_writes > 0,
         "a 2 KB queue must spill (insertions: {})",
         tight.stats.mainq_insertions
     );
-    assert_eq!(roomy.stats.queue_page_writes, 0, "a 16 MB queue must not spill");
+    assert_eq!(
+        roomy.stats.queue_page_writes, 0,
+        "a 16 MB queue must not spill"
+    );
     assert!(tight.stats.io_seconds > roomy.stats.io_seconds);
 }
 
@@ -67,18 +79,25 @@ fn smaller_tree_buffer_more_disk_reads() {
     let a = geo.streets(2500);
     let b = geo.hydro(900);
     let k = 400;
-    let (mut r_small, mut s_small) = trees_with_buffer(&a, &b, 2 * 256);
-    let (mut r_big, mut s_big) = trees_with_buffer(&a, &b, 1 << 20);
-    let small = b_kdj(&mut r_small, &mut s_small, k, &JoinConfig::unbounded());
-    let big = b_kdj(&mut r_big, &mut s_big, k, &JoinConfig::unbounded());
-    assert_eq!(small.stats.node_requests, big.stats.node_requests, "same traversal");
+    let (r_small, s_small) = trees_with_buffer(&a, &b, 2 * 256);
+    let (r_big, s_big) = trees_with_buffer(&a, &b, 1 << 20);
+    let small = b_kdj(&r_small, &s_small, k, &JoinConfig::unbounded());
+    let big = b_kdj(&r_big, &s_big, k, &JoinConfig::unbounded());
+    assert_eq!(
+        small.stats.node_requests, big.stats.node_requests,
+        "same traversal"
+    );
     assert!(
         small.stats.node_disk_reads > big.stats.node_disk_reads,
         "small buffer {} vs big buffer {}",
         small.stats.node_disk_reads,
         big.stats.node_disk_reads
     );
-    assert_same_distances(&small.results, &big.results, "buffer size changes no answer");
+    assert_same_distances(
+        &small.results,
+        &big.results,
+        "buffer size changes no answer",
+    );
 }
 
 #[test]
@@ -86,8 +105,8 @@ fn zero_buffer_reads_equal_requests() {
     let geo = Geography::arizona_like(39);
     let a = geo.streets(800);
     let b = geo.hydro(300);
-    let (mut r, mut s) = trees_with_buffer(&a, &b, 0);
-    let out = b_kdj(&mut r, &mut s, 100, &JoinConfig::unbounded());
+    let (r, s) = trees_with_buffer(&a, &b, 0);
+    let out = b_kdj(&r, &s, 100, &JoinConfig::unbounded());
     assert_eq!(
         out.stats.node_requests, out.stats.node_disk_reads,
         "without a buffer every request hits disk (Table 2's parenthesized column)"

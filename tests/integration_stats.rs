@@ -16,10 +16,10 @@ fn bkdj_beats_hs_on_distance_computations() {
     // realistic fanout (~100 entries/node, the paper's 4 KB pages): with
     // toy fanout the Cartesian child product is too small to matter.
     let (a, b) = workload();
-    let (mut r, mut s) = build_paper_trees(&a, &b);
+    let (r, s) = build_paper_trees(&a, &b);
     let k = 100;
-    let hs = hs_kdj(&mut r, &mut s, k, &JoinConfig::unbounded());
-    let bk = b_kdj(&mut r, &mut s, k, &JoinConfig::unbounded());
+    let hs = hs_kdj(&r, &s, k, &JoinConfig::unbounded());
+    let bk = b_kdj(&r, &s, k, &JoinConfig::unbounded());
     assert_same_distances(&bk.results, &hs.results, "answers agree");
     assert!(
         (bk.stats.real_dist as f64) < 0.5 * hs.stats.real_dist as f64,
@@ -34,10 +34,16 @@ fn amkdj_no_worse_than_bkdj() {
     // §5.6: AM-KDJ with the default estimate never needs more queue
     // insertions than B-KDJ (the estimate tends to overestimate).
     let (a, b) = workload();
-    let (mut r, mut s) = build_trees(&a, &b);
+    let (r, s) = build_trees(&a, &b);
     for k in [10, 300] {
-        let bk = b_kdj(&mut r, &mut s, k, &JoinConfig::unbounded());
-        let am = am_kdj(&mut r, &mut s, k, &JoinConfig::unbounded(), &AmKdjOptions::default());
+        let bk = b_kdj(&r, &s, k, &JoinConfig::unbounded());
+        let am = am_kdj(
+            &r,
+            &s,
+            k,
+            &JoinConfig::unbounded(),
+            &AmKdjOptions::default(),
+        );
         assert_same_distances(&am.results, &bk.results, "answers agree");
         assert!(
             am.stats.mainq_insertions <= bk.stats.mainq_insertions,
@@ -51,8 +57,8 @@ fn amkdj_no_worse_than_bkdj() {
 #[test]
 fn node_requests_dominate_disk_reads() {
     let (a, b) = workload();
-    let (mut r, mut s) = build_trees(&a, &b);
-    let out = b_kdj(&mut r, &mut s, 200, &JoinConfig::unbounded());
+    let (r, s) = build_trees(&a, &b);
+    let out = b_kdj(&r, &s, 200, &JoinConfig::unbounded());
     assert!(out.stats.node_requests >= out.stats.node_disk_reads);
     assert!(out.stats.node_disk_reads > 0);
 }
@@ -61,8 +67,8 @@ fn node_requests_dominate_disk_reads() {
 fn axis_distances_bound_real_distances() {
     // Every real distance computation is gated by an axis check first.
     let (a, b) = workload();
-    let (mut r, mut s) = build_trees(&a, &b);
-    let out = b_kdj(&mut r, &mut s, 150, &JoinConfig::unbounded());
+    let (r, s) = build_trees(&a, &b);
+    let out = b_kdj(&r, &s, 150, &JoinConfig::unbounded());
     assert!(out.stats.axis_dist >= out.stats.real_dist);
 }
 
@@ -71,16 +77,18 @@ fn underestimated_edmax_bounded_by_twice_bkdj() {
     // §5.6: even badly underestimated, AM-KDJ's work is bounded by about
     // twice B-KDJ (each child pair examined at most once per stage).
     let (a, b) = workload();
-    let (mut r, mut s) = build_trees(&a, &b);
+    let (r, s) = build_trees(&a, &b);
     let k = 200;
-    let bk = b_kdj(&mut r, &mut s, k, &JoinConfig::unbounded());
+    let bk = b_kdj(&r, &s, k, &JoinConfig::unbounded());
     let dmax = bk.results.last().unwrap().dist;
     let am = am_kdj(
-        &mut r,
-        &mut s,
+        &r,
+        &s,
         k,
         &JoinConfig::unbounded(),
-        &AmKdjOptions { edmax_override: Some(0.1 * dmax) },
+        &AmKdjOptions {
+            edmax_override: Some(0.1 * dmax),
+        },
     );
     assert_same_distances(&am.results, &bk.results, "answers agree");
     assert!(
@@ -96,12 +104,12 @@ fn sjsort_oracle_run_is_competitive_on_distances() {
     // Figure 10(a): AM-KDJ is almost identical to SJ-SORT in distance
     // computations; both are far below HS-KDJ.
     let (a, b) = workload();
-    let (mut r, mut s) = build_trees(&a, &b);
+    let (r, s) = build_trees(&a, &b);
     let k = 100;
-    let bk = b_kdj(&mut r, &mut s, k, &JoinConfig::unbounded());
+    let bk = b_kdj(&r, &s, k, &JoinConfig::unbounded());
     let dmax = bk.results.last().unwrap().dist;
-    let sj = sj_sort(&mut r, &mut s, k, dmax, &JoinConfig::unbounded());
-    let hs = hs_kdj(&mut r, &mut s, k, &JoinConfig::unbounded());
+    let sj = sj_sort(&r, &s, k, dmax, &JoinConfig::unbounded());
+    let hs = hs_kdj(&r, &s, k, &JoinConfig::unbounded());
     assert!(sj.stats.real_dist < hs.stats.real_dist);
     assert_same_distances(&sj.results, &bk.results, "answers agree");
 }
@@ -109,8 +117,14 @@ fn sjsort_oracle_run_is_competitive_on_distances() {
 #[test]
 fn results_count_matches_stats() {
     let (a, b) = workload();
-    let (mut r, mut s) = build_trees(&a, &b);
-    let out = am_kdj(&mut r, &mut s, 77, &JoinConfig::unbounded(), &AmKdjOptions::default());
+    let (r, s) = build_trees(&a, &b);
+    let out = am_kdj(
+        &r,
+        &s,
+        77,
+        &JoinConfig::unbounded(),
+        &AmKdjOptions::default(),
+    );
     assert_eq!(out.stats.results, out.results.len() as u64);
     assert_eq!(out.results.len(), 77);
 }

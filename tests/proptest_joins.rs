@@ -24,17 +24,17 @@ fn arb_dataset(max_n: usize) -> impl Strategy<Value = Vec<(Rect<2>, u64)>> {
     })
 }
 
-fn trees(
-    a: &[(Rect<2>, u64)],
-    b: &[(Rect<2>, u64)],
-) -> (RTree<2>, RTree<2>) {
+fn trees(a: &[(Rect<2>, u64)], b: &[(Rect<2>, u64)]) -> (RTree<2>, RTree<2>) {
     (
         RTree::bulk_load(RTreeParams::for_tests(), a.to_vec()),
         RTree::bulk_load(RTreeParams::for_tests(), b.to_vec()),
     )
 }
 
-fn same_distances(got: &[amdj_core::ResultPair], want: &[amdj_core::ResultPair]) -> Result<(), TestCaseError> {
+fn same_distances(
+    got: &[amdj_core::ResultPair],
+    want: &[amdj_core::ResultPair],
+) -> Result<(), TestCaseError> {
     prop_assert_eq!(got.len(), want.len());
     for (g, w) in got.iter().zip(want.iter()) {
         prop_assert!((g.dist - w.dist).abs() < 1e-9, "{} != {}", g.dist, w.dist);
@@ -52,8 +52,8 @@ proptest! {
         k in 1usize..200,
     ) {
         let want = bruteforce::k_closest_pairs(&a, &b, k);
-        let (mut r, mut s) = trees(&a, &b);
-        let out = b_kdj(&mut r, &mut s, k, &JoinConfig::unbounded());
+        let (r, s) = trees(&a, &b);
+        let out = b_kdj(&r, &s, k, &JoinConfig::unbounded());
         same_distances(&out.results, &want)?;
     }
 
@@ -66,9 +66,9 @@ proptest! {
     ) {
         let want = bruteforce::k_closest_pairs(&a, &b, k);
         let scale = want.last().map_or(1.0, |p| p.dist);
-        let (mut r, mut s) = trees(&a, &b);
+        let (r, s) = trees(&a, &b);
         let opts = AmKdjOptions { edmax_override: Some(scale * edmax_factor) };
-        let out = am_kdj(&mut r, &mut s, k, &JoinConfig::unbounded(), &opts);
+        let out = am_kdj(&r, &s, k, &JoinConfig::unbounded(), &opts);
         same_distances(&out.results, &want)?;
     }
 
@@ -79,8 +79,8 @@ proptest! {
         k in 1usize..100,
     ) {
         let want = bruteforce::k_closest_pairs(&a, &b, k);
-        let (mut r, mut s) = trees(&a, &b);
-        let out = hs_kdj(&mut r, &mut s, k, &JoinConfig::unbounded());
+        let (r, s) = trees(&a, &b);
+        let out = hs_kdj(&r, &s, k, &JoinConfig::unbounded());
         same_distances(&out.results, &want)?;
     }
 
@@ -92,8 +92,8 @@ proptest! {
     ) {
         let want = bruteforce::k_closest_pairs(&a, &b, k);
         if let Some(dmax) = want.last().map(|p| p.dist) {
-            let (mut r, mut s) = trees(&a, &b);
-            let out = sj_sort(&mut r, &mut s, k.min(want.len()), dmax, &JoinConfig::unbounded());
+            let (r, s) = trees(&a, &b);
+            let out = sj_sort(&r, &s, k.min(want.len()), dmax, &JoinConfig::unbounded());
             same_distances(&out.results, &want[..k.min(want.len())])?;
         }
     }
@@ -107,14 +107,14 @@ proptest! {
         geometric in proptest::bool::ANY,
     ) {
         let want = bruteforce::k_closest_pairs(&a, &b, take);
-        let (mut r, mut s) = trees(&a, &b);
+        let (r, s) = trees(&a, &b);
         let corr = if geometric { Correction::Geometric } else { Correction::MinOfBoth };
         let opts = AmIdjOptions {
             initial_k,
             growth: 2.0,
             edmax: EdmaxPolicy::Estimated(corr),
         };
-        let mut cursor = AmIdj::new(&mut r, &mut s, &JoinConfig::unbounded(), opts);
+        let mut cursor = AmIdj::new(&r, &s, &JoinConfig::unbounded(), opts);
         let mut got = Vec::new();
         while got.len() < take {
             match cursor.next() {
@@ -133,13 +133,13 @@ proptest! {
         mem_kb in 1usize..32,
     ) {
         let want = bruteforce::k_closest_pairs(&a, &b, k);
-        let (mut r, mut s) = trees(&a, &b);
+        let (r, s) = trees(&a, &b);
         let cfg = JoinConfig {
             queue_mem_bytes: mem_kb * 1024,
             queue_cost: CostModel { page_size: 1024, ..CostModel::paper_1999_disk() },
             ..JoinConfig::default()
         };
-        let out = b_kdj(&mut r, &mut s, k, &cfg);
+        let out = b_kdj(&r, &s, k, &cfg);
         same_distances(&out.results, &want)?;
     }
 }
