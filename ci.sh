@@ -10,6 +10,9 @@ cargo fmt --all --check
 echo "== cargo clippy (all targets, warnings are errors) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== cargo bench --no-run (benches must keep compiling) =="
+cargo bench --no-run --workspace
+
 echo "== cargo test =="
 cargo test -q
 

@@ -1,8 +1,8 @@
 //! Incremental-join timings: HS-IDJ vs AM-IDJ streaming k results (the
-//! timing view of Figure 12).
+//! timing view of Figure 12), plus the parallel AM-IDJ driver.
 
 use amdj_bench::{build_trees, reset, Workload};
-use amdj_core::{AmIdj, AmIdjOptions, HsIdj, JoinConfig};
+use amdj_core::{par_am_idj, AmIdj, AmIdjOptions, HsIdj, JoinConfig};
 use amdj_datagen::tiger;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -40,6 +40,20 @@ fn bench_idj(c: &mut Criterion) {
                 n
             });
         });
+        for threads in [2usize, 4] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("par_am_idj/t{threads}"), k),
+                &k,
+                |b, &k| {
+                    b.iter(|| {
+                        reset(&r, &s);
+                        par_am_idj(&r, &s, k, &cfg, &AmIdjOptions::default(), threads)
+                            .results
+                            .len()
+                    });
+                },
+            );
+        }
     }
     g.finish();
 }

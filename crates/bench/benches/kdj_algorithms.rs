@@ -1,8 +1,9 @@
 //! End-to-end k-distance-join timings: HS-KDJ vs B-KDJ vs AM-KDJ vs
-//! SJ-SORT on the TIGER-like workload (the timing view of Figure 10).
+//! SJ-SORT on the TIGER-like workload (the timing view of Figure 10),
+//! plus the parallel drivers at several thread counts.
 
 use amdj_bench::{build_trees, reset, Workload};
-use amdj_core::{am_kdj, b_kdj, hs_kdj, sj_sort, AmKdjOptions, JoinConfig};
+use amdj_core::{am_kdj, b_kdj, hs_kdj, par_am_kdj, par_b_kdj, sj_sort, AmKdjOptions, JoinConfig};
 use amdj_datagen::tiger;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -51,6 +52,30 @@ fn bench_kdj(c: &mut Criterion) {
                 sj_sort(&r, &s, k, dmax, &cfg).results.len()
             });
         });
+        for threads in [2usize, 4] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("par_b_kdj/t{threads}"), k),
+                &k,
+                |b, &k| {
+                    b.iter(|| {
+                        reset(&r, &s);
+                        par_b_kdj(&r, &s, k, &cfg, threads).results.len()
+                    });
+                },
+            );
+            g.bench_with_input(
+                BenchmarkId::new(format!("par_am_kdj/t{threads}"), k),
+                &k,
+                |b, &k| {
+                    b.iter(|| {
+                        reset(&r, &s);
+                        par_am_kdj(&r, &s, k, &cfg, &AmKdjOptions::default(), threads)
+                            .results
+                            .len()
+                    });
+                },
+            );
+        }
     }
     g.finish();
 }

@@ -5,10 +5,11 @@
 //! ```text
 //! amdj generate --kind tiger-streets|tiger-hydro|uniform|clustered --n N [--seed S] --out data.csv
 //! amdj build    --input data.csv --out index.amdj
-//! amdj kdj      --r a.amdj --s b.amdj --k K [--algo am|b|hs|par] [--threads T]
-//! amdj idj      --r a.amdj --s b.amdj --take N [--batch B]
+//! amdj kdj      --r a.amdj --s b.amdj --k K [--algo am|b|hs|par|par-am] [--threads T]
+//! amdj idj      --r a.amdj --s b.amdj --take N [--batch B] [--algo am|par-am] [--threads T]
 //! amdj within   --r a.amdj --s b.amdj --dist D
 //! amdj knn      --r a.amdj --s b.amdj --k K
+//! amdj bench    [--n N] [--k K] [--seed S] [--json [FILE]]
 //! ```
 //!
 //! CSV rows are `lo_x,lo_y,hi_x,hi_y,id`. Index files are the persistent
@@ -19,8 +20,8 @@ use std::io::{BufRead, BufWriter, Write};
 use std::process::ExitCode;
 
 use amdj_core::{
-    am_kdj, b_kdj, hs_kdj, knn_join, par_b_kdj, within_join, AmIdj, AmIdjOptions, AmKdjOptions,
-    JoinConfig,
+    am_kdj, b_kdj, hs_kdj, knn_join, par_am_idj, par_am_kdj, par_b_kdj, within_join, AmIdj,
+    AmIdjOptions, AmKdjOptions, JoinConfig, JoinOutput,
 };
 use amdj_datagen::{clustered_points, tiger::Geography, uniform_points, unit_universe, Dataset};
 use amdj_geom::Rect;
@@ -28,18 +29,22 @@ use amdj_rtree::{RTree, RTreeParams};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  amdj generate --kind tiger-streets|tiger-hydro|uniform|clustered --n N [--seed S] --out data.csv\n  amdj build    --input data.csv --out index.amdj\n  amdj kdj      --r a.amdj --s b.amdj --k K [--algo am|b|hs|par] [--threads T]\n  amdj idj      --r a.amdj --s b.amdj --take N [--batch B]\n  amdj within   --r a.amdj --s b.amdj --dist D\n  amdj knn      --r a.amdj --s b.amdj --k K"
+        "usage:\n  amdj generate --kind tiger-streets|tiger-hydro|uniform|clustered --n N [--seed S] --out data.csv\n  amdj build    --input data.csv --out index.amdj\n  amdj kdj      --r a.amdj --s b.amdj --k K [--algo am|b|hs|par|par-am] [--threads T]\n  amdj idj      --r a.amdj --s b.amdj --take N [--batch B] [--algo am|par-am] [--threads T]\n  amdj within   --r a.amdj --s b.amdj --dist D\n  amdj knn      --r a.amdj --s b.amdj --k K\n  amdj bench    [--n N] [--k K] [--seed S] [--json [FILE]]"
     );
     ExitCode::from(2)
 }
 
 fn parse_flags(args: &[String]) -> Option<HashMap<String, String>> {
     let mut map = HashMap::new();
-    let mut it = args.iter();
+    let mut it = args.iter().peekable();
     while let Some(flag) = it.next() {
         let key = flag.strip_prefix("--")?;
-        let value = it.next()?;
-        map.insert(key.to_string(), value.clone());
+        // A flag followed by another flag (or nothing) is boolean-valued.
+        let value = match it.peek() {
+            Some(next) if !next.starts_with("--") => it.next().unwrap().clone(),
+            _ => "true".to_string(),
+        };
+        map.insert(key.to_string(), value);
     }
     Some(map)
 }
@@ -149,14 +154,15 @@ fn run() -> Result<(), String> {
                 .get("threads")
                 .map_or(Ok(0), |t| t.parse())
                 .map_err(|e| format!("--threads: {e}"))?;
-            if threads != 0 && algo != "par" {
-                return Err("--threads only applies to --algo par".to_string());
+            if threads != 0 && algo != "par" && algo != "par-am" {
+                return Err("--threads only applies to --algo par or par-am".to_string());
             }
             let out = match algo {
                 "am" => am_kdj(&r, &s, k, &cfg, &AmKdjOptions::default()),
                 "b" => b_kdj(&r, &s, k, &cfg),
                 "hs" => hs_kdj(&r, &s, k, &cfg),
                 "par" => par_b_kdj(&r, &s, k, &cfg, threads),
+                "par-am" => par_am_kdj(&r, &s, k, &cfg, &AmKdjOptions::default(), threads),
                 other => return Err(format!("unknown algo '{other}'")),
             };
             for p in &out.results {
@@ -177,6 +183,30 @@ fn run() -> Result<(), String> {
                 .get("batch")
                 .map_or(Ok(take), |b| b.parse())
                 .map_err(|e| format!("--batch: {e}"))?;
+            let algo = flags.get("algo").map_or("am", String::as_str);
+            let threads: usize = flags
+                .get("threads")
+                .map_or(Ok(0), |t| t.parse())
+                .map_err(|e| format!("--threads: {e}"))?;
+            if threads != 0 && algo != "par-am" {
+                return Err("--threads only applies to --algo par-am".to_string());
+            }
+            if algo == "par-am" {
+                let out = par_am_idj(&r, &s, take, &cfg, &AmIdjOptions::default(), threads);
+                for p in &out.results {
+                    println!("{},{},{}", p.r, p.s, p.dist);
+                }
+                eprintln!(
+                    "# {} pairs ({} stages, {} bound tightenings)",
+                    out.results.len(),
+                    out.stats.stages,
+                    out.stats.bound_tightenings
+                );
+                return Ok(());
+            }
+            if algo != "am" {
+                return Err(format!("unknown algo '{algo}'"));
+            }
             let mut cursor = AmIdj::new(&r, &s, &cfg, AmIdjOptions::default());
             let mut produced = 0;
             while produced < take {
@@ -222,9 +252,148 @@ fn run() -> Result<(), String> {
             }
             eprintln!("# {} R-objects × {k} neighbours", out.groups.len());
         }
+        "bench" => {
+            let n: usize = flags
+                .get("n")
+                .map_or(Ok(2000), |v| v.parse())
+                .map_err(|e| format!("--n: {e}"))?;
+            let k: usize = flags
+                .get("k")
+                .map_or(Ok(100), |v| v.parse())
+                .map_err(|e| format!("--k: {e}"))?;
+            let seed: u64 = flags
+                .get("seed")
+                .map_or(Ok(1), |v| v.parse())
+                .map_err(|e| format!("--seed: {e}"))?;
+            let json_out = flags.get("json").map(|v| {
+                if v == "true" {
+                    "BENCH_kdj.json".to_string()
+                } else {
+                    v.clone()
+                }
+            });
+            let rows = run_bench_matrix(n, k, seed, &cfg);
+            for row in &rows {
+                eprintln!(
+                    "# {:<4} {:<7} threads={} k={} wall={:.4}s nodes={} dists={} results={}",
+                    row.op,
+                    row.algo,
+                    row.threads,
+                    row.k,
+                    row.wall_time_s,
+                    row.node_accesses,
+                    row.pairs_computed,
+                    row.results
+                );
+            }
+            if let Some(path) = json_out {
+                let json = bench_rows_json(n, k, seed, &rows);
+                std::fs::write(&path, json).map_err(|e| format!("{path}: {e}"))?;
+                println!("wrote {} bench rows to {path}", rows.len());
+            }
+        }
         _ => return Err(format!("unknown command '{cmd}'")),
     }
     Ok(())
+}
+
+/// One measured cell of the benchmark matrix.
+struct BenchRow {
+    op: &'static str,
+    algo: &'static str,
+    threads: usize,
+    k: usize,
+    wall_time_s: f64,
+    node_accesses: u64,
+    pairs_computed: u64,
+    results: usize,
+}
+
+/// Runs every kdj/idj algorithm (sequential and parallel at several thread
+/// counts) over a deterministic generated workload and reports wall time
+/// plus the paper's work counters.
+fn run_bench_matrix(n: usize, k: usize, seed: u64, cfg: &JoinConfig) -> Vec<BenchRow> {
+    let a = uniform_points(n, unit_universe(), seed);
+    let b = clustered_points(n, 16, 0.02, unit_universe(), seed + 1);
+    let r = RTree::bulk_load(RTreeParams::paper_defaults(), a);
+    let s = RTree::bulk_load(RTreeParams::paper_defaults(), b);
+    let thread_counts = [1usize, 2, 4];
+    let mut rows = Vec::new();
+    let mut record = |op, algo, threads, run: &mut dyn FnMut() -> JoinOutput| {
+        let start = std::time::Instant::now();
+        let out = run();
+        let wall = start.elapsed().as_secs_f64();
+        rows.push(BenchRow {
+            op,
+            algo,
+            threads,
+            k,
+            wall_time_s: wall,
+            node_accesses: out.stats.node_requests,
+            pairs_computed: out.stats.real_dist,
+            results: out.results.len(),
+        });
+    };
+    record("kdj", "hs", 1, &mut || hs_kdj(&r, &s, k, cfg));
+    record("kdj", "b", 1, &mut || b_kdj(&r, &s, k, cfg));
+    record("kdj", "am", 1, &mut || {
+        am_kdj(&r, &s, k, cfg, &AmKdjOptions::default())
+    });
+    for t in thread_counts {
+        record("kdj", "par", t, &mut || par_b_kdj(&r, &s, k, cfg, t));
+    }
+    for t in thread_counts {
+        record("kdj", "par-am", t, &mut || {
+            par_am_kdj(&r, &s, k, cfg, &AmKdjOptions::default(), t)
+        });
+    }
+    record("idj", "am", 1, &mut || {
+        let mut cursor = AmIdj::new(&r, &s, cfg, AmIdjOptions::default());
+        let mut results = Vec::with_capacity(k);
+        while results.len() < k {
+            match cursor.next() {
+                Some(p) => results.push(p),
+                None => break,
+            }
+        }
+        JoinOutput {
+            results,
+            stats: cursor.stats(),
+        }
+    });
+    for t in thread_counts {
+        record("idj", "par-am", t, &mut || {
+            par_am_idj(&r, &s, k, cfg, &AmIdjOptions::default(), t)
+        });
+    }
+    rows
+}
+
+/// Serializes the matrix without a JSON dependency: every value is a
+/// number or a fixed-vocabulary string, so manual escaping is not needed.
+fn bench_rows_json(n: usize, k: usize, seed: u64, rows: &[BenchRow]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!(
+        "  \"workload\": {{ \"n\": {n}, \"k\": {k}, \"seed\": {seed}, \"r\": \"uniform\", \"s\": \"clustered\" }},\n"
+    ));
+    out.push_str("  \"runs\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{ \"op\": \"{}\", \"algo\": \"{}\", \"threads\": {}, \"k\": {}, \"wall_time_s\": {:.6}, \"node_accesses\": {}, \"pairs_computed\": {}, \"results\": {} }}{}\n",
+            row.op,
+            row.algo,
+            row.threads,
+            row.k,
+            row.wall_time_s,
+            row.node_accesses,
+            row.pairs_computed,
+            row.results,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 fn main() -> ExitCode {

@@ -10,10 +10,9 @@
 use amdj_rtree::{AccessStats, RTree};
 
 use crate::bkdj::{push_roots, to_result};
+use crate::concurrent::MinBound;
 use crate::mainq::MainQueue;
-use crate::sweep::{
-    compensation_sweep, expand_lists, plane_sweep, CompEntry, CompQueue, MarkMode, SweepSink,
-};
+use crate::sweep::{CompQueue, MarkMode, SweepScratch, SweepSink};
 use crate::{
     AmIdjOptions, Correction, EdmaxPolicy, Estimator, JoinConfig, JoinStats, Pair, ResultPair,
 };
@@ -69,6 +68,11 @@ pub struct AmIdj<'a, const D: usize> {
     est: Option<Estimator<D>>,
     mainq: MainQueue<D>,
     compq: CompQueue<D>,
+    scratch: SweepScratch<D>,
+    /// A global pruning bound shared with sibling cursors (parallel
+    /// incremental join): cutoffs are clamped to it, and the owning worker
+    /// stops consuming once the stream passes it. `None` when standalone.
+    shared: Option<&'a MinBound>,
     edmax: f64,
     k_target: u64,
     emitted: u64,
@@ -85,11 +89,43 @@ pub struct AmIdj<'a, const D: usize> {
 impl<'a, const D: usize> AmIdj<'a, D> {
     /// Starts an incremental join over two indexes.
     pub fn new(r: &'a RTree<D>, s: &'a RTree<D>, cfg: &JoinConfig, opts: AmIdjOptions) -> Self {
+        Self::build(r, s, cfg, opts, None, None)
+    }
+
+    /// Starts a cursor over one partition of the pair space (`seeds`),
+    /// clamping its cutoffs to a bound shared with sibling cursors — the
+    /// building block of [`crate::par_am_idj`].
+    pub(crate) fn with_seeds(
+        r: &'a RTree<D>,
+        s: &'a RTree<D>,
+        cfg: &JoinConfig,
+        opts: AmIdjOptions,
+        seeds: Vec<Pair<D>>,
+        shared: &'a MinBound,
+    ) -> Self {
+        Self::build(r, s, cfg, opts, Some(seeds), Some(shared))
+    }
+
+    fn build(
+        r: &'a RTree<D>,
+        s: &'a RTree<D>,
+        cfg: &JoinConfig,
+        opts: AmIdjOptions,
+        seeds: Option<Vec<Pair<D>>>,
+        shared: Option<&'a MinBound>,
+    ) -> Self {
         assert!(opts.growth > 1.0, "stage growth must exceed 1");
         assert!(opts.initial_k >= 1, "initial k must be at least 1");
         let est = Estimator::from_trees(r, s);
         let mut mainq = MainQueue::new(cfg, est.as_ref());
-        push_roots(r, s, &mut mainq);
+        match seeds {
+            Some(seeds) => {
+                for pair in seeds {
+                    mainq.push(pair);
+                }
+            }
+            None => push_roots(r, s, &mut mainq),
+        }
         let max_possible = match (r.bounds(), s.bounds()) {
             (Some(rb), Some(sb)) => rb.max_dist(&sb),
             _ => 0.0,
@@ -111,6 +147,8 @@ impl<'a, const D: usize> AmIdj<'a, D> {
             est,
             mainq,
             compq: CompQueue::new(),
+            scratch: SweepScratch::new(),
+            shared,
             edmax,
             k_target,
             emitted: 0,
@@ -137,6 +175,30 @@ impl<'a, const D: usize> AmIdj<'a, D> {
         self.edmax
     }
 
+    /// The stage cutoff clamped to the shared bound (if any): pairs beyond
+    /// the shared bound cannot matter globally, so sweeping past it is
+    /// wasted work. Everything skipped stays recoverable through the
+    /// `MarkMode::Full` bookkeeping.
+    fn clamped_edmax(&self) -> f64 {
+        match self.shared {
+            Some(b) => self.edmax.min(b.get()),
+            None => self.edmax,
+        }
+    }
+
+    /// A lower bound on the distance of every future emission (`None` when
+    /// exhausted). Lets the parallel driver stop a worker before it does
+    /// the work of producing a pair that is already beyond the shared
+    /// bound.
+    pub(crate) fn peek_key(&mut self) -> Option<f64> {
+        match (self.mainq.peek_min(), self.compq.peek_key()) {
+            (None, None) => None,
+            (Some(m), None) => Some(m),
+            (None, Some(c)) => Some(c),
+            (Some(m), Some(c)) => Some(m.min(c)),
+        }
+    }
+
     /// Produces the next nearest pair, advancing stages as needed;
     /// `None` when every pair has been produced.
     #[allow(clippy::should_implement_trait)] // deliberate cursor API; &mut borrows preclude Iterator
@@ -157,6 +219,15 @@ impl<'a, const D: usize> AmIdj<'a, D> {
                 (None, Some(c)) => (false, c),
                 (Some(m), Some(c)) => (m <= c, m.min(c)),
             };
+            if self.shared.is_some_and(|b| key > b.get()) {
+                // Worker cursor: `key` lower-bounds every pair this cursor
+                // can still produce, and the shared bound only tightens, so
+                // nothing left here can enter the global result set. Stop
+                // now — advancing stages cannot help, because the sweep
+                // cutoff stays clamped to the shared bound and the parked
+                // entries would never clear.
+                return None;
+            }
             if key > self.edmax {
                 // Everything still queued lies beyond the stage cutoff:
                 // start the next stage with a larger eDmax.
@@ -171,51 +242,37 @@ impl<'a, const D: usize> AmIdj<'a, D> {
                     self.counters.results += 1;
                     return Some(to_result(&pair));
                 }
-                let (left, right, axis) =
-                    expand_lists(self.r, self.s, &pair, self.edmax, &self.cfg);
+                let cutoff = self.clamped_edmax();
+                self.scratch
+                    .expand(self.r, self.s, &pair, cutoff, &self.cfg);
+                if self.counters.stages == 1 {
+                    self.counters.stage1_expansions += 1;
+                } else {
+                    self.counters.stage2_expansions += 1;
+                }
                 let mut sink = IdjSink {
                     mainq: &mut self.mainq,
-                    edmax: self.edmax,
+                    edmax: cutoff,
                 };
-                let marks = plane_sweep(
-                    &left,
-                    &right,
-                    axis,
-                    &mut sink,
-                    &mut self.counters,
-                    MarkMode::Full,
-                )
-                .expect("marks requested");
-                if !marks.exhausted(left.entries.len(), right.entries.len()) {
+                self.scratch
+                    .sweep(&mut sink, &mut self.counters, MarkMode::Full);
+                if !self.scratch.marks_exhausted() {
                     // Every unexamined child pair lies *strictly* beyond
-                    // eDmax, so the park key must exceed eDmax strictly or
-                    // the entry would be re-processed in this same stage
+                    // the cutoff, so the park key must exceed it strictly
+                    // or the entry would be re-processed in this same stage
                     // without progress.
-                    self.compq.push(
-                        CompEntry {
-                            key: pair.dist.max(self.edmax.next_up()),
-                            axis,
-                            left,
-                            right,
-                            marks,
-                        },
-                        &mut self.counters,
-                    );
+                    let entry = self.scratch.park(pair.dist.max(cutoff.next_up()));
+                    self.compq.push(entry, &mut self.counters);
                 }
             } else {
                 let mut entry = self.compq.pop().expect("peeked");
+                let cutoff = self.clamped_edmax();
                 let mut sink = IdjSink {
                     mainq: &mut self.mainq,
-                    edmax: self.edmax,
+                    edmax: cutoff,
                 };
-                compensation_sweep(
-                    &entry.left,
-                    &entry.right,
-                    entry.axis,
-                    &mut entry.marks,
-                    &mut sink,
-                    &mut self.counters,
-                );
+                self.scratch
+                    .compensate(&mut entry, &mut sink, &mut self.counters);
                 if !entry
                     .marks
                     .exhausted(entry.left.entries.len(), entry.right.entries.len())
@@ -263,6 +320,17 @@ impl<'a, const D: usize> AmIdj<'a, D> {
             Some(e) => e.corrected(self.k_target, self.emitted, self.last_dist, corr),
             None => self.max_possible,
         }
+    }
+
+    /// Consumes the cursor, folding its queue work into the returned
+    /// counters (plus the queue's modeled I/O seconds). Unlike
+    /// [`stats`](Self::stats) this reports no tree access deltas — those
+    /// counters are shared across concurrent cursors, so attribution is
+    /// the parallel driver's job.
+    pub(crate) fn finish_worker(self) -> (JoinStats, f64) {
+        let mut st = self.counters;
+        let io = self.mainq.account(&mut st);
+        (st, io)
     }
 
     /// A snapshot of the work done so far.

@@ -15,9 +15,7 @@
 use crate::bkdj::{push_roots, to_result, KdjSink};
 use crate::mainq::MainQueue;
 use crate::stats::Baseline;
-use crate::sweep::{
-    compensation_sweep, expand_lists, plane_sweep, CompEntry, CompQueue, MarkMode, SweepSink,
-};
+use crate::sweep::{CompQueue, MarkMode, SweepScratch, SweepSink};
 use crate::{AmKdjOptions, DistanceQueue, Estimator, JoinConfig, JoinOutput, JoinStats, Pair};
 use amdj_rtree::RTree;
 
@@ -84,6 +82,7 @@ pub fn am_kdj<const D: usize>(
     let mut distq = DistanceQueue::new(k);
     let mut compq: CompQueue<D> = CompQueue::new();
     let mut results = Vec::with_capacity(k.min(1 << 20));
+    let mut scratch = SweepScratch::new();
     let mut edmax = opts
         .edmax_override
         .or_else(|| est.map(|e| e.initial(k as u64)))
@@ -111,25 +110,16 @@ pub fn am_kdj<const D: usize>(
             results.push(to_result(&pair));
             continue;
         }
-        let (left, right, axis) = expand_lists(r, s, &pair, edmax, cfg);
+        scratch.expand(r, s, &pair, edmax, cfg);
+        stats.stage1_expansions += 1;
         let mut sink = AggressiveSink {
             mainq: &mut mainq,
             distq: &mut distq,
             edmax,
         };
-        let marks = plane_sweep(&left, &right, axis, &mut sink, &mut stats, MarkMode::Suffix)
-            .expect("marks requested");
-        if !marks.exhausted(left.entries.len(), right.entries.len()) {
-            compq.push(
-                CompEntry {
-                    key: pair.dist.max(edmax.next_up()),
-                    axis,
-                    left,
-                    right,
-                    marks,
-                },
-                &mut stats,
-            );
+        scratch.sweep(&mut sink, &mut stats, MarkMode::Suffix);
+        if !scratch.marks_exhausted() {
+            compq.push(scratch.park(pair.dist.max(edmax.next_up())), &mut stats);
         }
     }
 
@@ -155,26 +145,20 @@ pub fn am_kdj<const D: usize>(
                 // exact qDmax cutoffs (B-KDJ behaviour); no further
                 // compensation can be needed.
                 let cutoff = distq.qdmax();
-                let (left, right, axis) = expand_lists(r, s, &pair, cutoff, cfg);
+                scratch.expand(r, s, &pair, cutoff, cfg);
+                stats.stage2_expansions += 1;
                 let mut sink = KdjSink {
                     mainq: &mut mainq,
                     distq: &mut distq,
                 };
-                plane_sweep(&left, &right, axis, &mut sink, &mut stats, MarkMode::None);
+                scratch.sweep(&mut sink, &mut stats, MarkMode::None);
             } else {
                 let mut entry = compq.pop().expect("peeked");
                 let mut sink = KdjSink {
                     mainq: &mut mainq,
                     distq: &mut distq,
                 };
-                compensation_sweep(
-                    &entry.left,
-                    &entry.right,
-                    entry.axis,
-                    &mut entry.marks,
-                    &mut sink,
-                    &mut stats,
-                );
+                scratch.compensate(&mut entry, &mut sink, &mut stats);
                 // qDmax is exact, so whatever remains beyond it can never
                 // qualify: the entry is done.
             }

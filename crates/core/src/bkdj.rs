@@ -3,7 +3,7 @@
 
 use crate::mainq::MainQueue;
 use crate::stats::Baseline;
-use crate::sweep::{expand_lists, plane_sweep, MarkMode, SweepSink};
+use crate::sweep::{MarkMode, SweepScratch, SweepSink};
 use crate::{
     DistanceQueue, Estimator, ItemRef, JoinConfig, JoinOutput, JoinStats, Pair, ResultPair,
 };
@@ -78,6 +78,7 @@ pub fn b_kdj<const D: usize>(r: &RTree<D>, s: &RTree<D>, k: usize, cfg: &JoinCon
     let mut mainq = MainQueue::new(cfg, est.as_ref());
     let mut distq = DistanceQueue::new(k);
     let mut results = Vec::with_capacity(k.min(1 << 20));
+    let mut scratch = SweepScratch::new();
     if k > 0 {
         push_roots(r, s, &mut mainq);
     }
@@ -88,12 +89,13 @@ pub fn b_kdj<const D: usize>(r: &RTree<D>, s: &RTree<D>, k: usize, cfg: &JoinCon
             continue;
         }
         let cutoff = distq.qdmax();
-        let (left, right, axis) = expand_lists(r, s, &pair, cutoff, cfg);
+        scratch.expand(r, s, &pair, cutoff, cfg);
+        stats.stage1_expansions += 1;
         let mut sink = KdjSink {
             mainq: &mut mainq,
             distq: &mut distq,
         };
-        plane_sweep(&left, &right, axis, &mut sink, &mut stats, MarkMode::None);
+        scratch.sweep(&mut sink, &mut stats, MarkMode::None);
     }
     stats.results = results.len() as u64;
     stats.distq_insertions = distq.insertions();

@@ -39,10 +39,11 @@ pub fn k_closest_pairs<const D: usize>(
             dist: d.get(),
         })
         .collect();
-    out.sort_by(|a, b| {
-        (a.dist, a.r, a.s)
-            .partial_cmp(&(b.dist, b.r, b.s))
-            .expect("finite distances")
+    out.sort_unstable_by(|a, b| {
+        a.dist
+            .total_cmp(&b.dist)
+            .then_with(|| a.r.cmp(&b.r))
+            .then_with(|| a.s.cmp(&b.s))
     });
     out
 }

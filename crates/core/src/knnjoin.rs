@@ -125,7 +125,7 @@ mod tests {
             // MBR distance).
             let rm = a[*rid as usize].0;
             let mut want: Vec<f64> = b.iter().map(|(sm, _)| rm.min_dist(sm)).collect();
-            want.sort_by(|x, y| x.partial_cmp(y).unwrap());
+            want.sort_unstable_by(f64::total_cmp);
             for (p, w) in pairs.iter().zip(want.iter()) {
                 assert!((p.dist - w).abs() < 1e-9, "r = {rid}");
             }

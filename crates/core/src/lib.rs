@@ -13,10 +13,14 @@
 //! | AM-IDJ (adaptive multi-stage incremental) | [`AmIdj`] | §4.2 |
 //! | SJ-SORT (spatial join + external sort baseline) | [`sj_sort`] | §5 |
 //! | Parallel B-KDJ (workers sharing both trees) | [`par_b_kdj`] | — |
+//! | Parallel AM-KDJ (shared pruning bound + parallel compensation) | [`par_am_kdj`] | — |
+//! | Parallel AM-IDJ (cursor workers sharing a bound) | [`par_am_idj`] | — |
 //!
 //! Every join takes its trees by `&RTree` — the page buffer synchronizes
 //! internally — so joins can also run concurrently over shared indexes;
-//! see the [`par_b_kdj`] module docs for the exactness argument.
+//! see the [`par_b_kdj`] module docs for the exactness argument and the
+//! shared-bound ([`MinBound`]) soundness argument the parallel adaptive
+//! joins rest on.
 //!
 //! Supporting machinery, each its own module:
 //!
@@ -75,7 +79,7 @@ mod within;
 pub use amidj::AmIdj;
 pub use amkdj::am_kdj;
 pub use bkdj::b_kdj;
-pub use concurrent::par_b_kdj;
+pub use concurrent::{par_am_idj, par_am_kdj, par_b_kdj, MinBound};
 pub use config::{AmIdjOptions, AmKdjOptions, Correction, EdmaxPolicy, JoinConfig};
 pub use distq::DistanceQueue;
 pub use estimate::Estimator;

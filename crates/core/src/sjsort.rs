@@ -12,7 +12,7 @@ use amdj_storage::codec::{put_f64, put_u64, Reader};
 use amdj_storage::{ExternalSorter, PageId, SpillItem};
 
 use crate::stats::Baseline;
-use crate::sweep::{choose_setup, plane_sweep, MarkMode, SweepList, SweepSink};
+use crate::sweep::{choose_setup, MarkMode, SweepScratch, SweepSink};
 use crate::{ItemRef, JoinConfig, JoinOutput, JoinStats, Pair, ResultPair};
 
 /// A candidate object pair headed for the external sorter.
@@ -88,6 +88,7 @@ pub(crate) fn visit<const D: usize>(
     cfg: &JoinConfig,
     out: &mut dyn FnMut(f64, u64, u64),
     stats: &mut JoinStats,
+    scratch: &mut SweepScratch<D>,
 ) {
     let nr = r.fetch(pr);
     let ns = s.fetch(ps);
@@ -97,7 +98,7 @@ pub(crate) fn visit<const D: usize>(
         for e in &nr.entries {
             stats.real_dist += 1;
             if e.mbr.min_dist(&smbr) <= dmax {
-                visit(r, s, PageId(e.child), ps, dmax, cfg, out, stats);
+                visit(r, s, PageId(e.child), ps, dmax, cfg, out, stats, scratch);
             }
         }
         return;
@@ -107,24 +108,26 @@ pub(crate) fn visit<const D: usize>(
         for e in &ns.entries {
             stats.real_dist += 1;
             if e.mbr.min_dist(&rmbr) <= dmax {
-                visit(r, s, pr, PageId(e.child), dmax, cfg, out, stats);
+                visit(r, s, pr, PageId(e.child), dmax, cfg, out, stats, scratch);
             }
         }
         return;
     }
-    // Same level: sweep children against children.
+    // Same level: sweep children against children. The scratch is free to
+    // reuse during recursion: its sweep output is fully drained into
+    // `recurse` before any recursive call runs.
     let setup = choose_setup(&nr.mbr(), &ns.mbr(), dmax, cfg);
-    let left = SweepList::from_node(&nr, setup);
-    let right = SweepList::from_node(&ns, setup);
+    scratch.expand_nodes(&nr, &ns, setup);
+    stats.stage1_expansions += 1;
     let mut recurse = Vec::new();
     let mut sink = SjSink {
         dmax,
         out,
         recurse: &mut recurse,
     };
-    plane_sweep(&left, &right, setup.axis, &mut sink, stats, MarkMode::None);
+    scratch.sweep(&mut sink, stats, MarkMode::None);
     for (a, b) in recurse {
-        visit(r, s, a, b, dmax, cfg, out, stats);
+        visit(r, s, a, b, dmax, cfg, out, stats, scratch);
     }
 }
 
@@ -147,7 +150,8 @@ pub fn sj_sort<const D: usize>(
     if let (Some(rp), Some(sp)) = (r.root_page(), s.root_page()) {
         if k > 0 {
             let mut out = |dist: f64, a: u64, b: u64| sorter.push(Candidate { dist, r: a, s: b });
-            visit(r, s, rp, sp, dmax, cfg, &mut out, &mut stats);
+            let mut scratch = SweepScratch::new();
+            visit(r, s, rp, sp, dmax, cfg, &mut out, &mut stats, &mut scratch);
         }
     }
     stats.mainq_insertions = sorter.len();

@@ -26,6 +26,21 @@ pub struct JoinStats {
     pub distq_insertions: u64,
     /// Compensation-queue insertions (AM algorithms only).
     pub compq_insertions: u64,
+    /// Compensation sweeps replayed (AM algorithms only): how often a
+    /// parked expansion's skipped pairs were re-examined.
+    pub comp_replays: u64,
+    /// Successful tightenings of the shared pruning bound (parallel
+    /// adaptive joins only): how often one worker's progress shrank every
+    /// other worker's cutoffs.
+    pub bound_tightenings: u64,
+    /// Node-pair expansions performed during the aggressive stage (stage
+    /// 1); with [`Self::stage2_expansions`] this attributes traversal work
+    /// per stage even when tree-level access counters are shared across
+    /// concurrent workers.
+    pub stage1_expansions: u64,
+    /// Node-pair expansions performed during the compensation stage
+    /// (stage 2).
+    pub stage2_expansions: u64,
     /// Logical R-tree node accesses, both trees (Table 2's parenthesized
     /// "no buffer" figure).
     pub node_requests: u64,

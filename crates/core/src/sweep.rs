@@ -10,6 +10,21 @@
 //! its index, recorded in [`SweepMarks`], is exactly where a later
 //! *compensation* pass ([`compensation_sweep`]) must resume when the
 //! cutoff was only an estimate (`eDmax`).
+//!
+//! # Allocation discipline
+//!
+//! Expansion is the hottest path of every join, so its buffers are owned
+//! by a reusable [`SweepScratch`] rather than allocated per node pair:
+//! the two sorted entry lists, the mark vectors, and the compensation
+//! staging area all live in the scratch and are `clear()`ed between
+//! expansions. In the steady state (capacities warmed up to the tree
+//! fanout) an expansion performs **zero** heap allocations. The only
+//! allocating operation is [`SweepScratch::park`], which surrenders the
+//! current buffers to a long-lived [`CompEntry`] — the parked pair
+//! legitimately owns its data — leaving fresh (empty, unallocated) vectors
+//! behind. Sorting uses `sort_unstable_by` over [`f64::total_cmp`] (with
+//! the child id as tiebreaker for determinism), which neither panics on
+//! NaN nor allocates a merge buffer.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -30,7 +45,8 @@ pub(crate) struct SweepEntry<const D: usize> {
     key: f64,
 }
 
-/// One side's children, sorted along the sweep axis.
+/// One side's children, sorted along the sweep axis — the *owned* form,
+/// used when an expansion outlives its scratch (parked [`CompEntry`]s).
 #[derive(Clone, Debug)]
 pub(crate) struct SweepList<const D: usize> {
     pub entries: Vec<SweepEntry<D>>,
@@ -38,6 +54,15 @@ pub(crate) struct SweepList<const D: usize> {
     /// was itself an object).
     pub objects: bool,
     /// Level of the children when they are nodes.
+    pub child_level: u32,
+}
+
+/// A borrowed view of one side: what the sweep loops actually consume.
+/// Copyable so the loops can pass it around freely.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct SweepSide<'a, const D: usize> {
+    pub entries: &'a [SweepEntry<D>],
+    pub objects: bool,
     pub child_level: u32,
 }
 
@@ -77,19 +102,26 @@ fn sort_key<const D: usize>(mbr: &Rect<D>, setup: SweepSetup) -> f64 {
     }
 }
 
+/// Fills `buf` with a node's children keyed for sweeping, sorted without
+/// allocating. Equal keys are ordered by child id so the sweep order — and
+/// therefore every downstream tie order — is deterministic.
+fn fill_from_node<const D: usize>(buf: &mut Vec<SweepEntry<D>>, node: &Node<D>, setup: SweepSetup) {
+    buf.clear();
+    buf.extend(node.entries.iter().map(|e| SweepEntry {
+        mbr: e.mbr,
+        child: e.child,
+        key: sort_key(&e.mbr, setup),
+    }));
+    buf.sort_unstable_by(|a, b| a.key.total_cmp(&b.key).then_with(|| a.child.cmp(&b.child)));
+}
+
 impl<const D: usize> SweepList<D> {
-    /// Prepares a node's children for sweeping.
+    /// Prepares a node's children for sweeping (owned; prefer
+    /// [`SweepScratch::expand`] on hot paths).
+    #[cfg(test)]
     pub(crate) fn from_node(node: &Node<D>, setup: SweepSetup) -> Self {
-        let mut entries: Vec<SweepEntry<D>> = node
-            .entries
-            .iter()
-            .map(|e| SweepEntry {
-                mbr: e.mbr,
-                child: e.child,
-                key: sort_key(&e.mbr, setup),
-            })
-            .collect();
-        entries.sort_by(|a, b| a.key.partial_cmp(&b.key).expect("finite keys"));
+        let mut entries = Vec::new();
+        fill_from_node(&mut entries, node, setup);
         SweepList {
             entries,
             objects: node.is_leaf(),
@@ -99,6 +131,7 @@ impl<const D: usize> SweepList<D> {
 
     /// Wraps a single object as a one-entry list (for ⟨node, object⟩
     /// pairs).
+    #[cfg(test)]
     pub(crate) fn singleton_object(oid: u64, mbr: Rect<D>, setup: SweepSetup) -> Self {
         SweepList {
             entries: vec![SweepEntry {
@@ -111,6 +144,16 @@ impl<const D: usize> SweepList<D> {
         }
     }
 
+    pub(crate) fn view(&self) -> SweepSide<'_, D> {
+        SweepSide {
+            entries: &self.entries,
+            objects: self.objects,
+            child_level: self.child_level,
+        }
+    }
+}
+
+impl<const D: usize> SweepSide<'_, D> {
     fn item_ref(&self, e: &SweepEntry<D>) -> ItemRef {
         if self.objects {
             ItemRef::Object { oid: e.child }
@@ -184,14 +227,206 @@ impl SweepMarks {
             && self.left_stops.iter().all(|&s| s as usize >= right_len)
             && self.right_stops.iter().all(|&s| s as usize >= left_len)
     }
+
+    /// Empties the bookkeeping for reuse, keeping vector capacities.
+    fn reset(&mut self, track_rejects: bool) {
+        self.left_stops.clear();
+        self.right_stops.clear();
+        self.rejects.clear();
+        self.track_rejects = track_rejects;
+    }
+}
+
+/// Reusable staging for [`compensation_sweep`]: the retained-rejects
+/// buffer and the scratch marks that collect newly discovered rejects.
+#[derive(Debug, Default)]
+pub(crate) struct CompScratch {
+    kept: Vec<Reject>,
+    fresh: SweepMarks,
+}
+
+/// Reusable expansion state: the two sorted entry buffers, the mark
+/// vectors, and the compensation staging area. One scratch per worker (or
+/// per sequential join); see the module docs for the ownership rules.
+#[derive(Debug)]
+pub(crate) struct SweepScratch<const D: usize> {
+    left: Vec<SweepEntry<D>>,
+    right: Vec<SweepEntry<D>>,
+    left_objects: bool,
+    left_child_level: u32,
+    right_objects: bool,
+    right_child_level: u32,
+    axis: usize,
+    marks: SweepMarks,
+    comp: CompScratch,
+}
+
+impl<const D: usize> SweepScratch<D> {
+    pub(crate) fn new() -> Self {
+        SweepScratch {
+            left: Vec::new(),
+            right: Vec::new(),
+            left_objects: false,
+            left_child_level: 0,
+            right_objects: false,
+            right_child_level: 0,
+            axis: 0,
+            marks: SweepMarks::default(),
+            comp: CompScratch::default(),
+        }
+    }
+
+    /// Fetches and prepares both sides of a pair for expansion, choosing
+    /// the sweep setup from the pair's MBRs and the current cutoff.
+    pub(crate) fn expand(
+        &mut self,
+        r: &RTree<D>,
+        s: &RTree<D>,
+        pair: &Pair<D>,
+        cutoff: f64,
+        cfg: &JoinConfig,
+    ) {
+        let setup = choose_setup(&pair.a_mbr, &pair.b_mbr, cutoff, cfg);
+        self.axis = setup.axis;
+        match pair.a {
+            ItemRef::Node { page, .. } => {
+                let node = r.fetch(PageId(page));
+                fill_from_node(&mut self.left, &node, setup);
+                self.left_objects = node.is_leaf();
+                self.left_child_level = node.level.saturating_sub(1);
+            }
+            ItemRef::Object { oid } => {
+                self.left.clear();
+                self.left.push(SweepEntry {
+                    mbr: pair.a_mbr,
+                    child: oid,
+                    key: sort_key(&pair.a_mbr, setup),
+                });
+                self.left_objects = true;
+                self.left_child_level = 0;
+            }
+        }
+        match pair.b {
+            ItemRef::Node { page, .. } => {
+                let node = s.fetch(PageId(page));
+                fill_from_node(&mut self.right, &node, setup);
+                self.right_objects = node.is_leaf();
+                self.right_child_level = node.level.saturating_sub(1);
+            }
+            ItemRef::Object { oid } => {
+                self.right.clear();
+                self.right.push(SweepEntry {
+                    mbr: pair.b_mbr,
+                    child: oid,
+                    key: sort_key(&pair.b_mbr, setup),
+                });
+                self.right_objects = true;
+                self.right_child_level = 0;
+            }
+        }
+    }
+
+    /// Prepares two level-matched nodes directly (SJ-SORT's sync
+    /// traversal, which never carries `Pair`s).
+    pub(crate) fn expand_nodes(&mut self, nr: &Node<D>, ns: &Node<D>, setup: SweepSetup) {
+        self.axis = setup.axis;
+        fill_from_node(&mut self.left, nr, setup);
+        self.left_objects = nr.is_leaf();
+        self.left_child_level = nr.level.saturating_sub(1);
+        fill_from_node(&mut self.right, ns, setup);
+        self.right_objects = ns.is_leaf();
+        self.right_child_level = ns.level.saturating_sub(1);
+    }
+
+    /// Sweeps the prepared lists. With a recording [`MarkMode`] the
+    /// bookkeeping lands in the scratch's own marks — check
+    /// [`marks_exhausted`](Self::marks_exhausted) and, if compensation is
+    /// owed, [`park`](Self::park) the expansion.
+    pub(crate) fn sweep(
+        &mut self,
+        sink: &mut impl SweepSink<D>,
+        stats: &mut JoinStats,
+        mode: MarkMode,
+    ) {
+        let left = SweepSide {
+            entries: &self.left,
+            objects: self.left_objects,
+            child_level: self.left_child_level,
+        };
+        let right = SweepSide {
+            entries: &self.right,
+            objects: self.right_objects,
+            child_level: self.right_child_level,
+        };
+        let marks = match mode {
+            MarkMode::None => None,
+            MarkMode::Suffix => {
+                self.marks.reset(false);
+                Some(&mut self.marks)
+            }
+            MarkMode::Full => {
+                self.marks.reset(true);
+                Some(&mut self.marks)
+            }
+        };
+        plane_sweep_into(left, right, self.axis, sink, stats, marks);
+    }
+
+    /// Whether the last recording sweep left unexamined or rejected pairs.
+    pub(crate) fn marks_exhausted(&self) -> bool {
+        self.marks.exhausted(self.left.len(), self.right.len())
+    }
+
+    /// Surrenders the current expansion to a long-lived [`CompEntry`].
+    /// The scratch is left with fresh (empty) buffers; this is the one
+    /// deliberately allocating hand-off in the sweep path.
+    pub(crate) fn park(&mut self, key: f64) -> CompEntry<D> {
+        CompEntry {
+            key,
+            axis: self.axis,
+            left: SweepList {
+                entries: std::mem::take(&mut self.left),
+                objects: self.left_objects,
+                child_level: self.left_child_level,
+            },
+            right: SweepList {
+                entries: std::mem::take(&mut self.right),
+                objects: self.right_objects,
+                child_level: self.right_child_level,
+            },
+            marks: std::mem::take(&mut self.marks),
+        }
+    }
+
+    /// Replays the pairs a parked expansion skipped, reusing the scratch's
+    /// compensation staging buffers (see [`compensation_sweep`]).
+    pub(crate) fn compensate(
+        &mut self,
+        entry: &mut CompEntry<D>,
+        sink: &mut impl SweepSink<D>,
+        stats: &mut JoinStats,
+    ) {
+        stats.comp_replays += 1;
+        compensation_sweep_into(
+            entry.left.view(),
+            entry.right.view(),
+            entry.axis,
+            &mut entry.marks,
+            sink,
+            stats,
+            &mut self.comp,
+        );
+    }
 }
 
 /// Expands a pair bidirectionally (Algorithm 1's `PlaneSweep`; with a
 /// recording [`MarkMode`], Algorithm 2's `AggressivePlaneSweep`). Returns
-/// the compensation marks when recording.
+/// freshly allocated compensation marks when recording — the hot paths use
+/// [`SweepScratch::sweep`] instead, which reuses buffers.
+#[cfg(test)]
 pub(crate) fn plane_sweep<const D: usize>(
-    left: &SweepList<D>,
-    right: &SweepList<D>,
+    left: SweepSide<'_, D>,
+    right: SweepSide<'_, D>,
     axis: usize,
     sink: &mut impl SweepSink<D>,
     stats: &mut JoinStats,
@@ -205,6 +440,18 @@ pub(crate) fn plane_sweep<const D: usize>(
             ..SweepMarks::default()
         }),
     };
+    plane_sweep_into(left, right, axis, sink, stats, marks.as_mut());
+    marks
+}
+
+fn plane_sweep_into<const D: usize>(
+    left: SweepSide<'_, D>,
+    right: SweepSide<'_, D>,
+    axis: usize,
+    sink: &mut impl SweepSink<D>,
+    stats: &mut JoinStats,
+    mut marks: Option<&mut SweepMarks>,
+) {
     let (mut li, mut ri) = (0usize, 0usize);
     while li < left.entries.len() && ri < right.entries.len() {
         if left.entries[li].key <= right.entries[ri].key {
@@ -221,7 +468,7 @@ pub(crate) fn plane_sweep<const D: usize>(
                 axis,
                 sink,
                 stats,
-                marks.as_mut(),
+                marks.as_deref_mut(),
             );
             if let Some(m) = &mut marks {
                 m.left_stops.push(stop as u32);
@@ -240,14 +487,13 @@ pub(crate) fn plane_sweep<const D: usize>(
                 axis,
                 sink,
                 stats,
-                marks.as_mut(),
+                marks.as_deref_mut(),
             );
             if let Some(m) = &mut marks {
                 m.right_stops.push(stop as u32);
             }
         }
     }
-    marks
 }
 
 /// Scans partners for one anchor starting at `from` in the other list;
@@ -256,8 +502,8 @@ pub(crate) fn plane_sweep<const D: usize>(
 fn scan<const D: usize>(
     anchor: &SweepEntry<D>,
     anchor_idx: usize,
-    left: &SweepList<D>,
-    right: &SweepList<D>,
+    left: SweepSide<'_, D>,
+    right: SweepSide<'_, D>,
     from: usize,
     anchor_is_left: bool,
     axis: usize,
@@ -266,9 +512,9 @@ fn scan<const D: usize>(
     mut marks: Option<&mut SweepMarks>,
 ) -> usize {
     let partners = if anchor_is_left {
-        &right.entries
+        right.entries
     } else {
-        &left.entries
+        left.entries
     };
     for (i, m) in partners.iter().enumerate().skip(from) {
         stats.axis_dist += 1;
@@ -311,21 +557,36 @@ fn scan<const D: usize>(
 
 /// Re-examines only the pairs a previous (aggressive) sweep skipped
 /// (Algorithm 3's `CompensatePlaneSweep`), updating the marks in place so
-/// AM-IDJ can compensate the same pair again in a later stage.
+/// AM-IDJ can compensate the same pair again in a later stage. Allocates
+/// its own staging; hot paths use [`SweepScratch::compensate`].
+#[cfg(test)]
 pub(crate) fn compensation_sweep<const D: usize>(
-    left: &SweepList<D>,
-    right: &SweepList<D>,
+    left: SweepSide<'_, D>,
+    right: SweepSide<'_, D>,
     axis: usize,
     marks: &mut SweepMarks,
     sink: &mut impl SweepSink<D>,
     stats: &mut JoinStats,
+) {
+    let mut comp = CompScratch::default();
+    compensation_sweep_into(left, right, axis, marks, sink, stats, &mut comp);
+}
+
+fn compensation_sweep_into<const D: usize>(
+    left: SweepSide<'_, D>,
+    right: SweepSide<'_, D>,
+    axis: usize,
+    marks: &mut SweepMarks,
+    sink: &mut impl SweepSink<D>,
+    stats: &mut JoinStats,
+    comp: &mut CompScratch,
 ) {
     // Re-offer earlier real-cutoff rejections first: ones inside the new
     // cutoff are emitted (their distance is already known — no new
     // distance computation), the rest stay parked.
     if !marks.rejects.is_empty() {
         let cutoff = sink.real_cutoff();
-        let mut kept = Vec::new();
+        comp.kept.clear();
         for rej in marks.rejects.drain(..) {
             if rej.dist <= cutoff {
                 let le = &left.entries[rej.left as usize];
@@ -338,17 +599,16 @@ pub(crate) fn compensation_sweep<const D: usize>(
                     b_mbr: re.mbr,
                 });
             } else {
-                kept.push(rej);
+                comp.kept.push(rej);
             }
         }
-        marks.rejects = kept;
+        // The retained rejects go back; `kept` inherits the drained
+        // vector's capacity for next time.
+        std::mem::swap(&mut marks.rejects, &mut comp.kept);
     }
     // Then extend every anchor's scan past its recorded stop. New rejects
     // (still-estimated cutoff) accumulate into the same marks.
-    let mut scratch = SweepMarks {
-        track_rejects: marks.track_rejects,
-        ..SweepMarks::default()
-    };
+    comp.fresh.reset(marks.track_rejects);
     for (i, stop) in marks.left_stops.iter_mut().enumerate() {
         if (*stop as usize) < right.entries.len() {
             let anchor = left.entries[i];
@@ -362,7 +622,7 @@ pub(crate) fn compensation_sweep<const D: usize>(
                 axis,
                 sink,
                 stats,
-                Some(&mut scratch),
+                Some(&mut comp.fresh),
             ) as u32;
         }
     }
@@ -379,32 +639,11 @@ pub(crate) fn compensation_sweep<const D: usize>(
                 axis,
                 sink,
                 stats,
-                Some(&mut scratch),
+                Some(&mut comp.fresh),
             ) as u32;
         }
     }
-    marks.rejects.append(&mut scratch.rejects);
-}
-
-/// Fetches and prepares both sides of a pair for expansion, choosing the
-/// sweep setup from the pair's MBRs and the current cutoff.
-pub(crate) fn expand_lists<const D: usize>(
-    r: &RTree<D>,
-    s: &RTree<D>,
-    pair: &Pair<D>,
-    cutoff: f64,
-    cfg: &JoinConfig,
-) -> (SweepList<D>, SweepList<D>, usize) {
-    let setup = choose_setup(&pair.a_mbr, &pair.b_mbr, cutoff, cfg);
-    let left = match pair.a {
-        ItemRef::Node { page, .. } => SweepList::from_node(&r.fetch(PageId(page)), setup),
-        ItemRef::Object { oid } => SweepList::singleton_object(oid, pair.a_mbr, setup),
-    };
-    let right = match pair.b {
-        ItemRef::Node { page, .. } => SweepList::from_node(&s.fetch(PageId(page)), setup),
-        ItemRef::Object { oid } => SweepList::singleton_object(oid, pair.b_mbr, setup),
-    };
-    (left, right, setup.axis)
+    marks.rejects.append(&mut comp.fresh.rejects);
 }
 
 /// A parked expansion awaiting compensation: the sorted lists, the marks,
@@ -440,8 +679,7 @@ impl<const D: usize> Ord for CompOrd<D> {
         other
             .entry
             .key
-            .partial_cmp(&self.entry.key)
-            .expect("finite comp keys")
+            .total_cmp(&self.entry.key)
             .then_with(|| other.seq.cmp(&self.seq))
     }
 }
@@ -481,6 +719,15 @@ impl<const D: usize> CompQueue<D> {
 
     pub(crate) fn len(&self) -> usize {
         self.heap.len()
+    }
+
+    /// Drains every parked entry, cheapest key first.
+    pub(crate) fn drain_sorted(&mut self) -> Vec<CompEntry<D>> {
+        let mut out = Vec::with_capacity(self.heap.len());
+        while let Some(e) = self.pop() {
+            out.push(e);
+        }
+        out
     }
 }
 
@@ -554,7 +801,14 @@ mod tests {
                 pairs: vec![],
             };
             let mut stats = JoinStats::default();
-            plane_sweep(&la, &lb, 0, &mut sink, &mut stats, MarkMode::None);
+            plane_sweep(
+                la.view(),
+                lb.view(),
+                0,
+                &mut sink,
+                &mut stats,
+                MarkMode::None,
+            );
             assert_eq!(
                 sink.pairs.len(),
                 brute_pairs(&a_pts, &b_pts, cutoff),
@@ -582,7 +836,14 @@ mod tests {
             pairs: vec![],
         };
         let mut stats = JoinStats::default();
-        plane_sweep(&la, &lb, 0, &mut sink, &mut stats, MarkMode::None);
+        plane_sweep(
+            la.view(),
+            lb.view(),
+            0,
+            &mut sink,
+            &mut stats,
+            MarkMode::None,
+        );
         assert!(
             stats.real_dist < 200,
             "Cartesian would be 2500, sweep did {}",
@@ -612,9 +873,16 @@ mod tests {
                 pairs: vec![],
             };
             let mut stats = JoinStats::default();
-            plane_sweep(&la, &lb, 0, &mut sink, &mut stats, MarkMode::None);
+            plane_sweep(
+                la.view(),
+                lb.view(),
+                0,
+                &mut sink,
+                &mut stats,
+                MarkMode::None,
+            );
             let mut dists: Vec<f64> = sink.pairs.iter().map(|p| p.dist).collect();
-            dists.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            dists.sort_unstable_by(f64::total_cmp);
             assert_eq!(dists, vec![0.5, 1.0, 1.0], "dir = {:?}", setup.dir);
         }
     }
@@ -637,15 +905,22 @@ mod tests {
             pairs: vec![],
         };
         let mut stats = JoinStats::default();
-        let mut marks =
-            plane_sweep(&la, &lb, 0, &mut aggressive, &mut stats, MarkMode::Full).unwrap();
+        let mut marks = plane_sweep(
+            la.view(),
+            lb.view(),
+            0,
+            &mut aggressive,
+            &mut stats,
+            MarkMode::Full,
+        )
+        .unwrap();
 
         let mut comp = Collect {
             axis: f64::INFINITY,
             real: f64::INFINITY,
             pairs: vec![],
         };
-        compensation_sweep(&la, &lb, 0, &mut marks, &mut comp, &mut stats);
+        compensation_sweep(la.view(), lb.view(), 0, &mut marks, &mut comp, &mut stats);
         assert!(marks.exhausted(la.entries.len(), lb.entries.len()));
 
         let total = aggressive.pairs.len() + comp.pairs.len();
@@ -674,7 +949,15 @@ mod tests {
             real: f64::INFINITY,
             pairs: vec![],
         };
-        let mut marks = plane_sweep(&la, &lb, 0, &mut sink, &mut stats, MarkMode::Full).unwrap();
+        let mut marks = plane_sweep(
+            la.view(),
+            lb.view(),
+            0,
+            &mut sink,
+            &mut stats,
+            MarkMode::Full,
+        )
+        .unwrap();
         let mut total = sink.pairs.len();
         for cutoff in [3.0, 9.0, f64::INFINITY] {
             let mut sink = Collect {
@@ -682,7 +965,7 @@ mod tests {
                 real: f64::INFINITY,
                 pairs: vec![],
             };
-            compensation_sweep(&la, &lb, 0, &mut marks, &mut sink, &mut stats);
+            compensation_sweep(la.view(), lb.view(), 0, &mut marks, &mut sink, &mut stats);
             total += sink.pairs.len();
         }
         assert_eq!(total, 30 * 30);
@@ -701,7 +984,14 @@ mod tests {
             pairs: vec![],
         };
         let mut stats = JoinStats::default();
-        plane_sweep(&la, &obj, 0, &mut sink, &mut stats, MarkMode::None);
+        plane_sweep(
+            la.view(),
+            obj.view(),
+            0,
+            &mut sink,
+            &mut stats,
+            MarkMode::None,
+        );
         assert_eq!(sink.pairs.len(), 1);
         assert_eq!(sink.pairs[0].dist, 1.0);
         assert_eq!(sink.pairs[0].b, ItemRef::Object { oid: 7 });
@@ -750,9 +1040,56 @@ mod tests {
         };
         let l = SweepList::from_node(&node, setup_fwd());
         assert!(!l.objects);
+        let v = l.view();
         assert_eq!(
-            l.item_ref(&l.entries[0]),
+            v.item_ref(&v.entries[0]),
             ItemRef::Node { page: 55, level: 1 }
         );
+    }
+
+    #[test]
+    fn scratch_reuses_buffers_and_parks_cleanly() {
+        // Two expansions through the same scratch; the second must see
+        // fresh state. Parking hands the lists off and resets the scratch.
+        let a = leaf(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0)], 0);
+        let b = leaf(&[(0.4, 0.0), (1.4, 0.0)], 100);
+        let mut scratch: SweepScratch<2> = SweepScratch::new();
+        let mut stats = JoinStats::default();
+        scratch.expand_nodes(&a, &b, setup_fwd());
+        let mut sink = Collect {
+            axis: 0.5,
+            real: f64::INFINITY,
+            pairs: vec![],
+        };
+        scratch.sweep(&mut sink, &mut stats, MarkMode::Full);
+        assert!(!scratch.marks_exhausted(), "0.5 axis cutoff must truncate");
+        let entry = scratch.park(1.0);
+        assert_eq!(entry.left.entries.len(), 3);
+        assert_eq!(entry.right.entries.len(), 2);
+        assert!(scratch.left.is_empty() && scratch.right.is_empty());
+
+        // Scratch is immediately reusable for an unrelated expansion.
+        scratch.expand_nodes(&b, &a, setup_fwd());
+        let mut sink2 = Collect {
+            axis: f64::INFINITY,
+            real: f64::INFINITY,
+            pairs: vec![],
+        };
+        scratch.sweep(&mut sink2, &mut stats, MarkMode::None);
+        assert_eq!(sink2.pairs.len(), 6);
+
+        // And the parked entry compensates through the same scratch.
+        let mut entry = entry;
+        let mut sink3 = Collect {
+            axis: f64::INFINITY,
+            real: f64::INFINITY,
+            pairs: vec![],
+        };
+        scratch.compensate(&mut entry, &mut sink3, &mut stats);
+        assert!(entry
+            .marks
+            .exhausted(entry.left.entries.len(), entry.right.entries.len()));
+        assert_eq!(sink.pairs.len() + sink3.pairs.len(), 6);
+        assert_eq!(stats.comp_replays, 1);
     }
 }

@@ -45,12 +45,14 @@ pub fn within_join<const D: usize>(
     let mut results: Vec<ResultPair> = Vec::new();
     if let (Some(rp), Some(sp)) = (r.root_page(), s.root_page()) {
         let mut out = |dist: f64, a: u64, b: u64| results.push(ResultPair { r: a, s: b, dist });
-        visit(r, s, rp, sp, dmax, cfg, &mut out, &mut stats);
+        let mut scratch = crate::sweep::SweepScratch::new();
+        visit(r, s, rp, sp, dmax, cfg, &mut out, &mut stats, &mut scratch);
     }
-    results.sort_by(|a, b| {
-        (a.dist, a.r, a.s)
-            .partial_cmp(&(b.dist, b.r, b.s))
-            .expect("finite distances")
+    results.sort_unstable_by(|a, b| {
+        a.dist
+            .total_cmp(&b.dist)
+            .then_with(|| a.r.cmp(&b.r))
+            .then_with(|| a.s.cmp(&b.s))
     });
     stats.results = results.len() as u64;
     stats.mainq_insertions = stats.results;
@@ -83,7 +85,12 @@ mod tests {
         for d in [0.0, 0.41, 1.0, 2.5] {
             let got = within_join(&r, &s, d, &JoinConfig::unbounded());
             let mut want = bruteforce::pairs_within(&a, &b, d);
-            want.sort_by(|x, y| (x.dist, x.r, x.s).partial_cmp(&(y.dist, y.r, y.s)).unwrap());
+            want.sort_by(|x, y| {
+                x.dist
+                    .total_cmp(&y.dist)
+                    .then_with(|| x.r.cmp(&y.r))
+                    .then_with(|| x.s.cmp(&y.s))
+            });
             assert_eq!(got.results.len(), want.len(), "d = {d}");
             for (g, w) in got.results.iter().zip(want.iter()) {
                 assert_eq!((g.r, g.s), (w.r, w.s), "d = {d}");

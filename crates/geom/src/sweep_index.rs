@@ -47,7 +47,7 @@ fn overlap_integral(r0: f64, r1: f64, s0: f64, s1: f64, w: f64) -> f64 {
     let h = |u: f64| (u + w).min(s1) - u.max(s0);
     // Sort the interior breakpoints into [r0, r1].
     let mut cuts = [r0, r1, s0.clamp(r0, r1), (s1 - w).clamp(r0, r1)];
-    cuts.sort_by(|a, b| a.partial_cmp(b).expect("finite cuts"));
+    cuts.sort_unstable_by(f64::total_cmp);
     let mut total = 0.0;
     for i in 0..cuts.len() - 1 {
         let (a, b) = (cuts[i], cuts[i + 1]);
@@ -195,7 +195,7 @@ pub fn choose_sweep_direction<const D: usize>(
     dim: usize,
 ) -> SweepDirection {
     let mut ends = [r.lo()[dim], r.hi()[dim], s.lo()[dim], s.hi()[dim]];
-    ends.sort_by(|a, b| a.partial_cmp(b).expect("finite endpoints"));
+    ends.sort_unstable_by(f64::total_cmp);
     let left = ends[1] - ends[0];
     let right = ends[3] - ends[2];
     if left < right {

@@ -7,7 +7,7 @@ use std::fmt;
 /// non-negative; `TotalF64` encodes that invariant once so that priority
 /// queues do not need to reason about NaN. Construction panics (in debug and
 /// release) on NaN, keeping the ordering total by construction.
-#[derive(Clone, Copy, PartialEq)]
+#[derive(Clone, Copy)]
 pub struct TotalF64(f64);
 
 impl TotalF64 {
@@ -25,6 +25,15 @@ impl TotalF64 {
     }
 }
 
+impl PartialEq for TotalF64 {
+    #[inline]
+    fn eq(&self, other: &Self) -> bool {
+        // Must agree with `Ord` below: equality under the total order,
+        // so -0.0 and +0.0 are distinct (total_cmp orders them).
+        self.0.total_cmp(&other.0) == Ordering::Equal
+    }
+}
+
 impl Eq for TotalF64 {}
 
 impl PartialOrd for TotalF64 {
@@ -37,8 +46,9 @@ impl PartialOrd for TotalF64 {
 impl Ord for TotalF64 {
     #[inline]
     fn cmp(&self, other: &Self) -> Ordering {
-        // Safe: NaN is excluded at construction.
-        self.0.partial_cmp(&other.0).expect("TotalF64 is never NaN")
+        // NaN is excluded at construction, so total_cmp agrees with the
+        // IEEE order on every value this can hold (and never panics).
+        self.0.total_cmp(&other.0)
     }
 }
 

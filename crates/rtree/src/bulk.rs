@@ -78,18 +78,10 @@ fn pack_level<const D: usize>(items: &mut [(Rect<D>, u64)], cap: usize) -> Vec<V
 fn str_order<const D: usize>(items: &mut [(Rect<D>, u64)], dim: usize, cap: usize) {
     let n = items.len();
     if n <= cap || dim + 1 >= D {
-        items.sort_by(|a, b| {
-            center(&a.0, dim.min(D - 1))
-                .partial_cmp(&center(&b.0, dim.min(D - 1)))
-                .expect("finite centers")
-        });
+        items.sort_by(|a, b| center(&a.0, dim.min(D - 1)).total_cmp(&center(&b.0, dim.min(D - 1))));
         return;
     }
-    items.sort_by(|a, b| {
-        center(&a.0, dim)
-            .partial_cmp(&center(&b.0, dim))
-            .expect("finite centers")
-    });
+    items.sort_by(|a, b| center(&a.0, dim).total_cmp(&center(&b.0, dim)));
     let pages = n.div_ceil(cap);
     let slabs = (pages as f64).powf(1.0 / (D - dim) as f64).ceil() as usize;
     let slab_size = n.div_ceil(slabs.max(1));

@@ -174,7 +174,7 @@ fn pick_reinsert<const D: usize>(node: &mut Node<D>, n: usize) -> Vec<Entry<D>> 
         .map(|e| (e.mbr.center().dist_sq(&center), e))
         .collect();
     // Ascending by distance; the tail is removed.
-    tagged.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
+    tagged.sort_by(|a, b| a.0.total_cmp(&b.0));
     let keep_n = tagged.len() - n.min(tagged.len() - 1);
     let removed: Vec<Entry<D>> = tagged
         .split_off(keep_n)
@@ -246,7 +246,7 @@ fn sorted_entries<const D: usize>(entries: &[Entry<D>], axis: usize, by_hi: bool
         } else {
             (a.mbr.lo()[axis], b.mbr.lo()[axis])
         };
-        x.partial_cmp(&y).expect("finite bounds")
+        x.total_cmp(&y)
     });
     v
 }

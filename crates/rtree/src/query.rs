@@ -35,7 +35,7 @@ struct HeapItem<const D: usize> {
 
 impl<const D: usize> PartialEq for HeapItem<D> {
     fn eq(&self, other: &Self) -> bool {
-        self.dist == other.dist && self.tie == other.tie
+        self.dist.total_cmp(&other.dist) == Ordering::Equal && self.tie == other.tie
     }
 }
 impl<const D: usize> Eq for HeapItem<D> {}
@@ -46,11 +46,11 @@ impl<const D: usize> PartialOrd for HeapItem<D> {
 }
 impl<const D: usize> Ord for HeapItem<D> {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Min-heap semantics under std's max-heap.
+        // Min-heap semantics under std's max-heap; total_cmp keeps the
+        // order total even if a NaN distance ever slips in.
         other
             .dist
-            .partial_cmp(&self.dist)
-            .expect("finite distances")
+            .total_cmp(&self.dist)
             .then_with(|| other.tie.cmp(&self.tie))
     }
 }
@@ -229,7 +229,7 @@ mod tests {
             let mut want: Vec<f64> = (0..144)
                 .map(|i| Point::new([(i % 12) as f64, (i / 12) as f64]).dist(&q))
                 .collect();
-            want.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            want.sort_unstable_by(f64::total_cmp);
             for (n, w) in got.iter().zip(want.iter()) {
                 assert!((n.dist - w).abs() < 1e-9);
             }

@@ -96,7 +96,7 @@ proptest! {
             .iter()
             .map(|(r, _)| r.min_dist(&Rect::from_point(q)))
             .collect();
-        want.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        want.sort_unstable_by(f64::total_cmp);
         prop_assert_eq!(got.len(), k.min(items.len()));
         for (n, w) in got.iter().zip(want.iter()) {
             prop_assert!((n.dist - w).abs() < 1e-9);

@@ -74,8 +74,7 @@ impl<T: SpillItem> ExternalSorter<T> {
     }
 
     fn flush_run(&mut self) {
-        self.buffer
-            .sort_by(|a, b| a.key().partial_cmp(&b.key()).expect("finite sort keys"));
+        self.buffer.sort_by(|a, b| a.key().total_cmp(&b.key()));
         let page_size = self.disk.page_size();
         let usable = page_size - PAGE_HEADER;
         // Estimate page count to allocate contiguously (sequential writes).
@@ -114,8 +113,7 @@ impl<T: SpillItem> ExternalSorter<T> {
     /// items in ascending key order. The final in-memory buffer is merged
     /// directly without a disk round-trip.
     pub fn finish(mut self) -> SortedStream<T> {
-        self.buffer
-            .sort_by(|a, b| a.key().partial_cmp(&b.key()).expect("finite sort keys"));
+        self.buffer.sort_by(|a, b| a.key().total_cmp(&b.key()));
         let mut cursors = Vec::with_capacity(self.runs.len() + 1);
         let runs = std::mem::take(&mut self.runs);
         for pages in runs {
@@ -158,7 +156,7 @@ struct MergeHead {
 
 impl PartialEq for MergeHead {
     fn eq(&self, other: &Self) -> bool {
-        self.key == other.key && self.cursor == other.cursor
+        self.key.total_cmp(&other.key) == Ordering::Equal && self.cursor == other.cursor
     }
 }
 impl Eq for MergeHead {}
@@ -172,8 +170,7 @@ impl Ord for MergeHead {
         // Min-heap by key (reversed for BinaryHeap), ties by cursor index.
         other
             .key
-            .partial_cmp(&self.key)
-            .expect("finite keys")
+            .total_cmp(&self.key)
             .then_with(|| other.cursor.cmp(&self.cursor))
     }
 }

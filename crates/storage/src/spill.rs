@@ -111,7 +111,7 @@ struct HeapEntry<T> {
 
 impl<T> PartialEq for HeapEntry<T> {
     fn eq(&self, other: &Self) -> bool {
-        self.key == other.key && self.seq == other.seq
+        self.key.total_cmp(&other.key) == Ordering::Equal && self.seq == other.seq
     }
 }
 impl<T> Eq for HeapEntry<T> {}
@@ -126,8 +126,7 @@ impl<T> Ord for HeapEntry<T> {
         // Ties broken by insertion order (older first) for determinism.
         other
             .key
-            .partial_cmp(&self.key)
-            .expect("spill queue keys are never NaN")
+            .total_cmp(&self.key)
             .then_with(|| other.seq.cmp(&self.seq))
     }
 }
@@ -346,8 +345,7 @@ impl<T: SpillItem> SpillQueue<T> {
     /// separates the contents, otherwise the median key itself.
     fn choose_boundary(entries: &mut [HeapEntry<T>], configured: &[f64], upper: f64) -> f64 {
         let mid = entries.len() / 2;
-        let (_, median, _) = entries
-            .select_nth_unstable_by(mid, |a, b| a.key.partial_cmp(&b.key).expect("finite keys"));
+        let (_, median, _) = entries.select_nth_unstable_by(mid, |a, b| a.key.total_cmp(&b.key));
         let median = median.key;
         let min = entries.iter().map(|e| e.key).fold(f64::INFINITY, f64::min);
         let max = entries
@@ -358,12 +356,7 @@ impl<T: SpillItem> SpillQueue<T> {
             .iter()
             .copied()
             .filter(|&b| b > min && b <= max && b < upper)
-            .min_by(|a, b| {
-                (a - median)
-                    .abs()
-                    .partial_cmp(&(b - median).abs())
-                    .expect("finite")
-            });
+            .min_by(|a, b| (a - median).abs().total_cmp(&(b - median).abs()));
         match candidate {
             Some(b) => b,
             None if median > min => median,
@@ -465,7 +458,7 @@ impl<T: SpillItem> SpillQueue<T> {
             // re-spill the rest — into heap-sized segments, so each future
             // swap-in consumes exactly one segment and the total re-spill
             // I/O over the queue's life stays linear.
-            items.sort_by(|a, b| a.key().partial_cmp(&b.key()).expect("finite keys"));
+            items.sort_by(|a, b| a.key().total_cmp(&b.key()));
             let mut used = 0;
             let mut cut = items.len();
             for (i, it) in items.iter().enumerate() {
@@ -648,7 +641,7 @@ mod tests {
         }
         let keys = pop_keys(&mut q);
         let mut expect: Vec<f64> = (0..200u64).map(|i| (i % 50) as f64).collect();
-        expect.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        expect.sort_unstable_by(f64::total_cmp);
         assert_eq!(keys, expect);
     }
 

@@ -88,7 +88,7 @@ proptest! {
             rest.push(i.key);
         }
         let mut want: Vec<f64> = reference.iter().map(|&v| v as f64).collect();
-        want.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        want.sort_unstable_by(f64::total_cmp);
         prop_assert!(rest.windows(2).all(|w| w[0] <= w[1]));
         prop_assert_eq!(rest, want);
     }
@@ -106,7 +106,7 @@ proptest! {
         }
         let out: Vec<f64> = sorter.finish().map(|i| i.key).collect();
         let mut want: Vec<f64> = keys.iter().map(|&k| k as f64).collect();
-        want.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        want.sort_unstable_by(f64::total_cmp);
         prop_assert_eq!(out, want);
     }
 

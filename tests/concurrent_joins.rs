@@ -1,8 +1,13 @@
-//! Concurrency end-to-end validation: the parallel B-KDJ must reproduce
-//! the sequential join bit-for-bit, and independent joins must be able to
+//! Concurrency end-to-end validation: the parallel joins must reproduce
+//! their sequential counterparts bit-for-bit — B-KDJ directly, AM-KDJ
+//! under every `eDmax` estimate (including badly under-estimated ones that
+//! force the compensation stage) — and independent joins must be able to
 //! share a pair of trees across threads.
 
-use amdj_core::{b_kdj, hs_kdj, par_b_kdj, JoinConfig, ResultPair};
+use amdj_core::{
+    am_kdj, b_kdj, hs_kdj, par_am_idj, par_am_kdj, par_b_kdj, AmIdj, AmIdjOptions, AmKdjOptions,
+    JoinConfig, MinBound, ResultPair,
+};
 use amdj_geom::Rect;
 use amdj_rtree::{RTree, RTreeParams};
 use amdj_storage::CostModel;
@@ -36,8 +41,7 @@ fn trees(a: &[(Rect<2>, u64)], b: &[(Rect<2>, u64)]) -> (RTree<2>, RTree<2>) {
 fn canonical(mut v: Vec<ResultPair>) -> Vec<ResultPair> {
     v.sort_by(|a, b| {
         a.dist
-            .partial_cmp(&b.dist)
-            .expect("finite distances")
+            .total_cmp(&b.dist)
             .then_with(|| a.r.cmp(&b.r))
             .then_with(|| a.s.cmp(&b.s))
     });
@@ -91,6 +95,112 @@ proptest! {
         let par = par_b_kdj(&r, &s, k, &cfg, 4);
         assert_identical(&seq.results, &par.results)?;
     }
+
+    /// The headline exactness property: parallel AM-KDJ equals sequential
+    /// AM-KDJ for every thread count, with the estimator-driven eDmax.
+    #[test]
+    fn par_amkdj_identical_to_sequential(
+        a in arb_dataset(110),
+        b in arb_dataset(110),
+        k in 1usize..160,
+        threads in (0usize..4).prop_map(|i| [1usize, 2, 3, 8][i]),
+    ) {
+        let (r, s) = trees(&a, &b);
+        let opts = AmKdjOptions::default();
+        let seq = am_kdj(&r, &s, k, &JoinConfig::unbounded(), &opts);
+        let par = par_am_kdj(&r, &s, k, &JoinConfig::unbounded(), &opts, threads);
+        assert_identical(&seq.results, &par.results)?;
+    }
+
+    /// Under- and over-estimated eDmax: scaling the true k-th distance by
+    /// a factor below 1 forces the compensation stage, a factor above 1
+    /// makes stage one near-exhaustive — the answer must not move.
+    #[test]
+    fn par_amkdj_identical_under_bad_edmax(
+        a in arb_dataset(90),
+        b in arb_dataset(90),
+        k in 1usize..100,
+        threads in (0usize..4).prop_map(|i| [1usize, 2, 3, 8][i]),
+        factor in (0usize..6).prop_map(|i| [0.0, 0.1, 0.5, 0.9, 1.5, 10.0][i]),
+    ) {
+        let (r, s) = trees(&a, &b);
+        let exact = b_kdj(&r, &s, k, &JoinConfig::unbounded());
+        let Some(last) = exact.results.last() else { return Ok(()); };
+        let opts = AmKdjOptions { edmax_override: Some(last.dist * factor) };
+        let seq = am_kdj(&r, &s, k, &JoinConfig::unbounded(), &opts);
+        let par = par_am_kdj(&r, &s, k, &JoinConfig::unbounded(), &opts, threads);
+        assert_identical(&exact.results, &seq.results)?;
+        assert_identical(&seq.results, &par.results)?;
+    }
+
+    /// The parallel incremental join returns the same pair set as the
+    /// sequential cursor's first `take` emissions.
+    #[test]
+    fn par_amidj_identical_to_sequential_cursor(
+        a in arb_dataset(80),
+        b in arb_dataset(80),
+        take in 1usize..120,
+        threads in (0usize..3).prop_map(|i| [1usize, 2, 4][i]),
+    ) {
+        let (r, s) = trees(&a, &b);
+        let mut cursor = AmIdj::new(&r, &s, &JoinConfig::unbounded(), AmIdjOptions::default());
+        let mut seq = Vec::new();
+        while seq.len() < take {
+            match cursor.next() {
+                Some(p) => seq.push(p),
+                None => break,
+            }
+        }
+        let par = par_am_idj(&r, &s, take, &JoinConfig::unbounded(), &AmIdjOptions::default(), threads);
+        assert_identical(&seq, &par.results)?;
+    }
+}
+
+/// The shared pruning bound must be monotone non-increasing no matter how
+/// many threads race on it: every published value is only accepted if it
+/// tightens, so a sampled history can never loosen.
+#[test]
+fn shared_bound_never_loosens() {
+    let bound = MinBound::new(f64::INFINITY);
+    let observed = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let bound = &bound;
+                scope.spawn(move || {
+                    let mut history = Vec::new();
+                    // Deterministic pseudo-random publish sequence per thread.
+                    let mut x = 0x9e3779b97f4a7c15u64.wrapping_mul(t as u64 + 1);
+                    for _ in 0..10_000 {
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        let v = (x % 1_000_000) as f64 / 10.0;
+                        bound.tighten(v);
+                        history.push(bound.get());
+                    }
+                    history
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("publisher panicked"))
+            .collect::<Vec<_>>()
+    });
+    for history in &observed {
+        for w in history.windows(2) {
+            assert!(w[1] <= w[0], "bound loosened from {} to {}", w[0], w[1]);
+        }
+    }
+    // All threads drew from the same value range; the final bound is the
+    // global minimum any of them could have published.
+    let min_published = observed
+        .iter()
+        .map(|h| *h.last().unwrap())
+        .fold(f64::INFINITY, f64::min);
+    assert_eq!(bound.get(), min_published);
+    assert!(!bound.tighten(bound.get()), "equal value must not tighten");
+    assert!(!bound.tighten(f64::NAN), "NaN must be ignored");
 }
 
 #[test]
