@@ -13,6 +13,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo bench --no-run (benches must keep compiling) =="
 cargo bench --no-run --workspace
 
+echo "== cargo doc (no deps, warnings are errors) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
 echo "== cargo test =="
 cargo test -q
 

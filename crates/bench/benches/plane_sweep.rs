@@ -1,8 +1,10 @@
 //! Ablation bench for §3's optimizations: B-KDJ with sweeping-axis and
-//! direction selection on vs off (the timing view of Figure 11).
+//! direction selection on vs off (the timing view of Figure 11), plus the
+//! batched SoA leaf kernel against the per-pair scalar sweep on
+//! leaf-heavy workloads.
 
 use amdj_bench::{build_trees, Workload};
-use amdj_core::{b_kdj, JoinConfig};
+use amdj_core::{am_kdj, b_kdj, within_join, AmKdjOptions, JoinConfig};
 use amdj_datagen::tiger;
 use criterion::{criterion_group, criterion_main, Criterion};
 
@@ -38,5 +40,44 @@ fn bench_sweep_optimizations(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_sweep_optimizations);
+/// Per-pair `min_dist` calls vs the batched one-pass SoA kernel, on the
+/// two leaf-heaviest shapes we have: a `within` join at the k-th oracle
+/// distance (every qualifying leaf pair is swept with a frozen cutoff)
+/// and AM-KDJ stage one under a deliberate under-estimate (frozen `eDmax`
+/// axis cutoff plus a compensation stage). Both paths are bit-identical —
+/// the `engine_matrix` suite pins that — so this group measures pure
+/// kernel throughput.
+fn bench_leaf_kernel(c: &mut Criterion) {
+    let w = workload();
+    let (r, s) = build_trees(&w, 512 * 1024);
+    amdj_bench::reset(&r, &s);
+    let oracle = b_kdj(&r, &s, 1_000, &JoinConfig::unbounded());
+    let dmax = oracle.results.last().map_or(0.01, |p| p.dist);
+    let mut g = c.benchmark_group("plane_sweep/leaf_kernel");
+    g.sample_size(10);
+    for (name, batched) in [("batched", true), ("per_pair", false)] {
+        let cfg = JoinConfig {
+            batched_leaf_sweep: batched,
+            ..JoinConfig::unbounded()
+        };
+        g.bench_function(format!("within/{name}"), |b| {
+            b.iter(|| {
+                amdj_bench::reset(&r, &s);
+                within_join(&r, &s, dmax, &cfg).results.len()
+            });
+        });
+        let opts = AmKdjOptions {
+            edmax_override: Some(dmax * 0.5),
+        };
+        g.bench_function(format!("amkdj_underest/{name}"), |b| {
+            b.iter(|| {
+                amdj_bench::reset(&r, &s);
+                am_kdj(&r, &s, 1_000, &cfg, &opts).results.len()
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sweep_optimizations, bench_leaf_kernel);
 criterion_main!(benches);

@@ -20,8 +20,8 @@ use std::io::{BufRead, BufWriter, Write};
 use std::process::ExitCode;
 
 use amdj_core::{
-    am_kdj, b_kdj, hs_kdj, knn_join, par_am_idj, par_am_kdj, par_b_kdj, within_join, AmIdj,
-    AmIdjOptions, AmKdjOptions, JoinConfig, JoinOutput,
+    am_kdj, b_kdj, hs_kdj, knn_join, par_am_idj, par_am_kdj, par_b_kdj, sj_sort, within_join,
+    AmIdj, AmIdjOptions, AmKdjOptions, HsIdj, JoinConfig, JoinOutput,
 };
 use amdj_datagen::{clustered_points, tiger::Geography, uniform_points, unit_universe, Dataset};
 use amdj_geom::Rect;
@@ -339,6 +339,12 @@ fn run_bench_matrix(n: usize, k: usize, seed: u64, cfg: &JoinConfig) -> Vec<Benc
     record("kdj", "am", 1, &mut || {
         am_kdj(&r, &s, k, cfg, &AmKdjOptions::default())
     });
+    // SJ-SORT gets the paper's favorable oracle: the true k-th distance
+    // (taken from an uncounted B-KDJ run before the measured one starts).
+    let oracle_dmax = b_kdj(&r, &s, k, cfg).results.last().map_or(0.0, |p| p.dist);
+    record("kdj", "sjsort", 1, &mut || {
+        sj_sort(&r, &s, k, oracle_dmax, cfg)
+    });
     for t in thread_counts {
         record("kdj", "par", t, &mut || par_b_kdj(&r, &s, k, cfg, t));
     }
@@ -347,6 +353,20 @@ fn run_bench_matrix(n: usize, k: usize, seed: u64, cfg: &JoinConfig) -> Vec<Benc
             par_am_kdj(&r, &s, k, cfg, &AmKdjOptions::default(), t)
         });
     }
+    record("idj", "hs", 1, &mut || {
+        let mut cursor = HsIdj::new(&r, &s, cfg);
+        let mut results = Vec::with_capacity(k);
+        while results.len() < k {
+            match cursor.next() {
+                Some(p) => results.push(p),
+                None => break,
+            }
+        }
+        JoinOutput {
+            results,
+            stats: cursor.stats(),
+        }
+    });
     record("idj", "am", 1, &mut || {
         let mut cursor = AmIdj::new(&r, &s, cfg, AmIdjOptions::default());
         let mut results = Vec::with_capacity(k);
@@ -374,6 +394,9 @@ fn run_bench_matrix(n: usize, k: usize, seed: u64, cfg: &JoinConfig) -> Vec<Benc
 fn bench_rows_json(n: usize, k: usize, seed: u64, rows: &[BenchRow]) -> String {
     let mut out = String::new();
     out.push_str("{\n");
+    // Bumped whenever rows/fields change shape: 2 added the sjsort kdj row
+    // and the hs idj row.
+    out.push_str("  \"schema_version\": 2,\n");
     out.push_str(&format!(
         "  \"workload\": {{ \"n\": {n}, \"k\": {k}, \"seed\": {seed}, \"r\": \"uniform\", \"s\": \"clustered\" }},\n"
     ));

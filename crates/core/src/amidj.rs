@@ -1,40 +1,14 @@
 //! AM-IDJ (§4.2): the adaptive multi-stage *incremental* distance join.
 //!
-//! No stopping cardinality is known, so there is no distance queue and no
-//! `qDmax`; each stage prunes on an estimated `eDmax_i` alone and streams
-//! out every pair closer than it. When the consumer wants more, the next
-//! stage raises the estimate (§4.3.2's corrections) and *compensates*: the
-//! per-anchor marks kept with every expanded pair let stage `i+1` examine
-//! exactly the child pairs stages `1..i` skipped.
+//! Adapter over the unified engine: the cursor wraps the engine's
+//! [`StageDriver`], which owns the stage loop (`k₁ < k₂ < …`, the §4.3.2
+//! eDmax corrections, and per-stage compensation) and is shared with the
+//! parallel incremental backend.
 
-use amdj_rtree::{AccessStats, RTree};
+use amdj_rtree::RTree;
 
-use crate::bkdj::{push_roots, to_result};
-use crate::concurrent::MinBound;
-use crate::mainq::MainQueue;
-use crate::sweep::{CompQueue, MarkMode, SweepScratch, SweepSink};
-use crate::{
-    AmIdjOptions, Correction, EdmaxPolicy, Estimator, JoinConfig, JoinStats, Pair, ResultPair,
-};
-
-/// Sink for AM-IDJ sweeps: `eDmax` is the only cutoff (§4.2) for both the
-/// axis and the real distance.
-struct IdjSink<'x, const D: usize> {
-    mainq: &'x mut MainQueue<D>,
-    edmax: f64,
-}
-
-impl<const D: usize> SweepSink<D> for IdjSink<'_, D> {
-    fn axis_cutoff(&self) -> f64 {
-        self.edmax
-    }
-    fn real_cutoff(&self) -> f64 {
-        self.edmax
-    }
-    fn emit(&mut self, pair: Pair<D>) {
-        self.mainq.push(pair);
-    }
-}
+use crate::engine::StageDriver;
+use crate::{AmIdjOptions, JoinConfig, JoinStats, ResultPair};
 
 /// The AM-IDJ cursor: call [`next`](AmIdj::next) repeatedly; stages are
 /// managed internally.
@@ -61,294 +35,37 @@ impl<const D: usize> SweepSink<D> for IdjSink<'_, D> {
 /// }
 /// ```
 pub struct AmIdj<'a, const D: usize> {
-    r: &'a RTree<D>,
-    s: &'a RTree<D>,
-    cfg: JoinConfig,
-    opts: AmIdjOptions,
-    est: Option<Estimator<D>>,
-    mainq: MainQueue<D>,
-    compq: CompQueue<D>,
-    scratch: SweepScratch<D>,
-    /// A global pruning bound shared with sibling cursors (parallel
-    /// incremental join): cutoffs are clamped to it, and the owning worker
-    /// stops consuming once the stream passes it. `None` when standalone.
-    shared: Option<&'a MinBound>,
-    edmax: f64,
-    k_target: u64,
-    emitted: u64,
-    last_dist: f64,
-    /// Upper bound on any possible pair distance — the terminal `eDmax`.
-    max_possible: f64,
-    counters: JoinStats,
-    r_acc0: AccessStats,
-    s_acc0: AccessStats,
-    r_io0: f64,
-    s_io0: f64,
+    driver: StageDriver<'a, D>,
 }
 
 impl<'a, const D: usize> AmIdj<'a, D> {
     /// Starts an incremental join over two indexes.
     pub fn new(r: &'a RTree<D>, s: &'a RTree<D>, cfg: &JoinConfig, opts: AmIdjOptions) -> Self {
-        Self::build(r, s, cfg, opts, None, None)
-    }
-
-    /// Starts a cursor over one partition of the pair space (`seeds`),
-    /// clamping its cutoffs to a bound shared with sibling cursors — the
-    /// building block of [`crate::par_am_idj`].
-    pub(crate) fn with_seeds(
-        r: &'a RTree<D>,
-        s: &'a RTree<D>,
-        cfg: &JoinConfig,
-        opts: AmIdjOptions,
-        seeds: Vec<Pair<D>>,
-        shared: &'a MinBound,
-    ) -> Self {
-        Self::build(r, s, cfg, opts, Some(seeds), Some(shared))
-    }
-
-    fn build(
-        r: &'a RTree<D>,
-        s: &'a RTree<D>,
-        cfg: &JoinConfig,
-        opts: AmIdjOptions,
-        seeds: Option<Vec<Pair<D>>>,
-        shared: Option<&'a MinBound>,
-    ) -> Self {
-        assert!(opts.growth > 1.0, "stage growth must exceed 1");
-        assert!(opts.initial_k >= 1, "initial k must be at least 1");
-        let est = Estimator::from_trees(r, s);
-        let mut mainq = MainQueue::new(cfg, est.as_ref());
-        match seeds {
-            Some(seeds) => {
-                for pair in seeds {
-                    mainq.push(pair);
-                }
-            }
-            None => push_roots(r, s, &mut mainq),
-        }
-        let max_possible = match (r.bounds(), s.bounds()) {
-            (Some(rb), Some(sb)) => rb.max_dist(&sb),
-            _ => 0.0,
-        };
-        let edmax = match &opts.edmax {
-            EdmaxPolicy::Estimated(_) => est
-                .map(|e| e.initial(opts.initial_k))
-                .unwrap_or(max_possible),
-            EdmaxPolicy::Schedule(v) => v.first().copied().unwrap_or(max_possible),
-        };
-        let (r_acc0, s_acc0) = (r.access_stats(), s.access_stats());
-        let (r_io0, s_io0) = (r.disk_stats().io_seconds, s.disk_stats().io_seconds);
-        let k_target = opts.initial_k;
         AmIdj {
-            r,
-            s,
-            cfg: cfg.clone(),
-            opts,
-            est,
-            mainq,
-            compq: CompQueue::new(),
-            scratch: SweepScratch::new(),
-            shared,
-            edmax,
-            k_target,
-            emitted: 0,
-            last_dist: 0.0,
-            max_possible,
-            counters: JoinStats {
-                stages: 1,
-                ..JoinStats::default()
-            },
-            r_acc0,
-            s_acc0,
-            r_io0,
-            s_io0,
+            driver: StageDriver::new(r, s, cfg, opts),
         }
     }
 
     /// The stage currently executing (1-based).
     pub fn stage(&self) -> u32 {
-        self.counters.stages
+        self.driver.stage()
     }
 
     /// The cutoff currently in force.
     pub fn current_edmax(&self) -> f64 {
-        self.edmax
-    }
-
-    /// The stage cutoff clamped to the shared bound (if any): pairs beyond
-    /// the shared bound cannot matter globally, so sweeping past it is
-    /// wasted work. Everything skipped stays recoverable through the
-    /// `MarkMode::Full` bookkeeping.
-    fn clamped_edmax(&self) -> f64 {
-        match self.shared {
-            Some(b) => self.edmax.min(b.get()),
-            None => self.edmax,
-        }
-    }
-
-    /// A lower bound on the distance of every future emission (`None` when
-    /// exhausted). Lets the parallel driver stop a worker before it does
-    /// the work of producing a pair that is already beyond the shared
-    /// bound.
-    pub(crate) fn peek_key(&mut self) -> Option<f64> {
-        match (self.mainq.peek_min(), self.compq.peek_key()) {
-            (None, None) => None,
-            (Some(m), None) => Some(m),
-            (None, Some(c)) => Some(c),
-            (Some(m), Some(c)) => Some(m.min(c)),
-        }
+        self.driver.current_edmax()
     }
 
     /// Produces the next nearest pair, advancing stages as needed;
     /// `None` when every pair has been produced.
     #[allow(clippy::should_implement_trait)] // deliberate cursor API; &mut borrows preclude Iterator
     pub fn next(&mut self) -> Option<ResultPair> {
-        let started = std::time::Instant::now();
-        let out = self.step();
-        self.counters.cpu_seconds += started.elapsed().as_secs_f64();
-        out
-    }
-
-    fn step(&mut self) -> Option<ResultPair> {
-        loop {
-            let main_key = self.mainq.peek_min();
-            let comp_key = self.compq.peek_key();
-            let (take_main, key) = match (main_key, comp_key) {
-                (None, None) => return None,
-                (Some(m), None) => (true, m),
-                (None, Some(c)) => (false, c),
-                (Some(m), Some(c)) => (m <= c, m.min(c)),
-            };
-            if self.shared.is_some_and(|b| key > b.get()) {
-                // Worker cursor: `key` lower-bounds every pair this cursor
-                // can still produce, and the shared bound only tightens, so
-                // nothing left here can enter the global result set. Stop
-                // now — advancing stages cannot help, because the sweep
-                // cutoff stays clamped to the shared bound and the parked
-                // entries would never clear.
-                return None;
-            }
-            if key > self.edmax {
-                // Everything still queued lies beyond the stage cutoff:
-                // start the next stage with a larger eDmax.
-                self.advance_stage();
-                continue;
-            }
-            if take_main {
-                let pair = self.mainq.pop().expect("peeked");
-                if pair.is_result() {
-                    self.emitted += 1;
-                    self.last_dist = pair.dist;
-                    self.counters.results += 1;
-                    return Some(to_result(&pair));
-                }
-                let cutoff = self.clamped_edmax();
-                self.scratch
-                    .expand(self.r, self.s, &pair, cutoff, &self.cfg);
-                if self.counters.stages == 1 {
-                    self.counters.stage1_expansions += 1;
-                } else {
-                    self.counters.stage2_expansions += 1;
-                }
-                let mut sink = IdjSink {
-                    mainq: &mut self.mainq,
-                    edmax: cutoff,
-                };
-                self.scratch
-                    .sweep(&mut sink, &mut self.counters, MarkMode::Full);
-                if !self.scratch.marks_exhausted() {
-                    // Every unexamined child pair lies *strictly* beyond
-                    // the cutoff, so the park key must exceed it strictly
-                    // or the entry would be re-processed in this same stage
-                    // without progress.
-                    let entry = self.scratch.park(pair.dist.max(cutoff.next_up()));
-                    self.compq.push(entry, &mut self.counters);
-                }
-            } else {
-                let mut entry = self.compq.pop().expect("peeked");
-                let cutoff = self.clamped_edmax();
-                let mut sink = IdjSink {
-                    mainq: &mut self.mainq,
-                    edmax: cutoff,
-                };
-                self.scratch
-                    .compensate(&mut entry, &mut sink, &mut self.counters);
-                if !entry
-                    .marks
-                    .exhausted(entry.left.entries.len(), entry.right.entries.len())
-                {
-                    // Unexamined pairs now all lie strictly beyond the
-                    // current cutoff: park for a later stage.
-                    entry.key = self.edmax.next_up();
-                    self.compq.push(entry, &mut self.counters);
-                }
-            }
-        }
-    }
-
-    fn advance_stage(&mut self) {
-        self.counters.stages += 1;
-        let stage_idx = self.counters.stages as usize - 1; // 0-based
-        self.k_target =
-            ((self.k_target as f64 * self.opts.growth).ceil() as u64).max(self.emitted + 1);
-        let mut next = match &self.opts.edmax {
-            EdmaxPolicy::Estimated(corr) => self.correct(*corr),
-            EdmaxPolicy::Schedule(v) => v.get(stage_idx).copied().unwrap_or(f64::NEG_INFINITY),
-        };
-        if next <= self.edmax {
-            // The schedule or correction failed to grow the cutoff (ties,
-            // a zero-distance result prefix, or an exhausted schedule):
-            // fall back to the estimator's safe correction, which is
-            // strictly positive whenever more pairs are wanted.
-            next = next.max(self.correct(Correction::MaxOfBoth));
-        }
-        if next <= self.edmax {
-            // Last resort: geometric growth (or the whole space when no
-            // scale is known yet).
-            next = if self.edmax > 0.0 {
-                self.edmax * 2f64.powf(1.0 / D as f64)
-            } else {
-                self.max_possible
-            };
-        }
-        // Strict growth is required for progress; never exceed the space.
-        self.edmax = next.min(self.max_possible).max(self.edmax.next_up());
-    }
-
-    fn correct(&self, corr: Correction) -> f64 {
-        match self.est {
-            Some(e) => e.corrected(self.k_target, self.emitted, self.last_dist, corr),
-            None => self.max_possible,
-        }
-    }
-
-    /// Consumes the cursor, folding its queue work into the returned
-    /// counters (plus the queue's modeled I/O seconds). Unlike
-    /// [`stats`](Self::stats) this reports no tree access deltas — those
-    /// counters are shared across concurrent cursors, so attribution is
-    /// the parallel driver's job.
-    pub(crate) fn finish_worker(self) -> (JoinStats, f64) {
-        let mut st = self.counters;
-        let io = self.mainq.account(&mut st);
-        (st, io)
+        self.driver.next()
     }
 
     /// A snapshot of the work done so far.
     pub fn stats(&self) -> JoinStats {
-        let mut st = self.counters;
-        st.mainq_insertions = self.mainq.insertions();
-        let (ra, sa) = (self.r.access_stats(), self.s.access_stats());
-        st.node_requests =
-            (ra.requests - self.r_acc0.requests) + (sa.requests - self.s_acc0.requests);
-        st.node_disk_reads =
-            (ra.disk_reads - self.r_acc0.disk_reads) + (sa.disk_reads - self.s_acc0.disk_reads);
-        let qd = self.mainq.disk_stats();
-        st.queue_page_reads = qd.pages_read;
-        st.queue_page_writes = qd.pages_written;
-        st.io_seconds = (self.r.disk_stats().io_seconds - self.r_io0)
-            + (self.s.disk_stats().io_seconds - self.s_io0)
-            + qd.io_seconds;
-        st
+        self.driver.stats()
     }
 }
 
@@ -356,6 +73,7 @@ impl<'a, const D: usize> AmIdj<'a, D> {
 mod tests {
     use super::*;
     use crate::bruteforce;
+    use crate::{Correction, EdmaxPolicy};
     use amdj_geom::{Point, Rect};
     use amdj_rtree::RTreeParams;
 

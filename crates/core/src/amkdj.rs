@@ -11,39 +11,13 @@
 //! object pair beyond `eDmax` may be preceded by pruned pairs). We
 //! terminate when the dequeued distance *exceeds* `eDmax`, checking before
 //! emission — the reading consistent with §4.1's condition (3) and §5.6.
+//!
+//! Adapter over the unified engine: AM-KDJ is the [`Aggressive`] pruning
+//! policy on the [`Sequential`] backend.
 
-use crate::bkdj::{push_roots, to_result, KdjSink};
-use crate::mainq::MainQueue;
-use crate::stats::Baseline;
-use crate::sweep::{CompQueue, MarkMode, SweepScratch, SweepSink};
-use crate::{AmKdjOptions, DistanceQueue, Estimator, JoinConfig, JoinOutput, JoinStats, Pair};
+use crate::engine::{self, Aggressive, Sequential};
+use crate::{AmKdjOptions, JoinConfig, JoinOutput};
 use amdj_rtree::RTree;
-
-/// Sink for the aggressive stage: axis pruning against `eDmax`
-/// (Algorithm 2 line 22), real-distance pruning against the live `qDmax`
-/// (line 17 unchanged), object pairs feeding the distance queue.
-struct AggressiveSink<'x, const D: usize> {
-    mainq: &'x mut MainQueue<D>,
-    distq: &'x mut DistanceQueue,
-    edmax: f64,
-}
-
-impl<const D: usize> SweepSink<D> for AggressiveSink<'_, D> {
-    fn axis_cutoff(&self) -> f64 {
-        self.edmax
-    }
-    fn real_cutoff(&self) -> f64 {
-        self.distq.qdmax()
-    }
-    fn emit(&mut self, pair: Pair<D>) {
-        let is_result = pair.is_result();
-        let dist = pair.dist;
-        self.mainq.push(pair);
-        if is_result {
-            self.distq.insert(dist);
-        }
-    }
-}
 
 /// The AM-KDJ k-distance join. `opts.edmax_override` replaces the
 /// Equation (3) estimate (Figure 14's sweep).
@@ -72,104 +46,10 @@ pub fn am_kdj<const D: usize>(
     cfg: &JoinConfig,
     opts: &AmKdjOptions,
 ) -> JoinOutput {
-    let baseline = Baseline::capture(r, s);
-    let mut stats = JoinStats {
-        stages: 1,
-        ..JoinStats::default()
+    let policy = Aggressive {
+        edmax_override: opts.edmax_override,
     };
-    let est = Estimator::from_trees(r, s);
-    let mut mainq = MainQueue::new(cfg, est.as_ref());
-    let mut distq = DistanceQueue::new(k);
-    let mut compq: CompQueue<D> = CompQueue::new();
-    let mut results = Vec::with_capacity(k.min(1 << 20));
-    let mut scratch = SweepScratch::new();
-    let mut edmax = opts
-        .edmax_override
-        .or_else(|| est.map(|e| e.initial(k as u64)))
-        .unwrap_or(f64::INFINITY);
-    if k > 0 {
-        push_roots(r, s, &mut mainq);
-    }
-
-    // ---- Stage one: aggressive pruning (Algorithm 2) ----
-    while results.len() < k {
-        let Some(pair) = mainq.pop() else { break };
-        // Line 8: an overestimated eDmax is detected and tightened; from
-        // here on the stage behaves exactly like B-KDJ.
-        let q = distq.qdmax();
-        if q <= edmax {
-            edmax = q;
-        }
-        // Condition (3) (erratum fixed): results beyond eDmax cannot be
-        // emitted safely — park the pair and move to compensation.
-        if pair.dist > edmax {
-            mainq.unpop(pair);
-            break;
-        }
-        if pair.is_result() {
-            results.push(to_result(&pair));
-            continue;
-        }
-        scratch.expand(r, s, &pair, edmax, cfg);
-        stats.stage1_expansions += 1;
-        let mut sink = AggressiveSink {
-            mainq: &mut mainq,
-            distq: &mut distq,
-            edmax,
-        };
-        scratch.sweep(&mut sink, &mut stats, MarkMode::Suffix);
-        if !scratch.marks_exhausted() {
-            compq.push(scratch.park(pair.dist.max(edmax.next_up())), &mut stats);
-        }
-    }
-
-    // ---- Stage two: compensation (Algorithm 3) ----
-    if results.len() < k && (compq.len() > 0 || !mainq.is_empty()) {
-        stats.stages = 2;
-        while results.len() < k {
-            let main_key = mainq.peek_min();
-            let comp_key = compq.peek_key();
-            let take_main = match (main_key, comp_key) {
-                (None, None) => break,
-                (Some(_), None) => true,
-                (None, Some(_)) => false,
-                (Some(m), Some(c)) => m <= c,
-            };
-            if take_main {
-                let pair = mainq.pop().expect("peeked");
-                if pair.is_result() {
-                    results.push(to_result(&pair));
-                    continue;
-                }
-                // Fresh pair never expanded in stage one: full sweep with
-                // exact qDmax cutoffs (B-KDJ behaviour); no further
-                // compensation can be needed.
-                let cutoff = distq.qdmax();
-                scratch.expand(r, s, &pair, cutoff, cfg);
-                stats.stage2_expansions += 1;
-                let mut sink = KdjSink {
-                    mainq: &mut mainq,
-                    distq: &mut distq,
-                };
-                scratch.sweep(&mut sink, &mut stats, MarkMode::None);
-            } else {
-                let mut entry = compq.pop().expect("peeked");
-                let mut sink = KdjSink {
-                    mainq: &mut mainq,
-                    distq: &mut distq,
-                };
-                scratch.compensate(&mut entry, &mut sink, &mut stats);
-                // qDmax is exact, so whatever remains beyond it can never
-                // qualify: the entry is done.
-            }
-        }
-    }
-
-    stats.results = results.len() as u64;
-    stats.distq_insertions = distq.insertions();
-    let queue_io = mainq.account(&mut stats);
-    baseline.finish(r, s, &mut stats, queue_io);
-    JoinOutput { results, stats }
+    engine::kdj(r, s, k, cfg, &policy, &Sequential)
 }
 
 #[cfg(test)]

@@ -1,107 +1,18 @@
 //! B-KDJ (§3, Algorithm 1): k-distance join with bidirectional node
 //! expansion and the optimized plane sweep.
+//!
+//! Adapter over the unified engine: B-KDJ is the [`Exact`] pruning policy
+//! on the [`Sequential`] backend — the only cutoff is the proven `qDmax`,
+//! so stage one finishes the join outright.
 
-use crate::mainq::MainQueue;
-use crate::stats::Baseline;
-use crate::sweep::{MarkMode, SweepScratch, SweepSink};
-use crate::{
-    DistanceQueue, Estimator, ItemRef, JoinConfig, JoinOutput, JoinStats, Pair, ResultPair,
-};
+use crate::engine::{self, Exact, Sequential};
+use crate::{JoinConfig, JoinOutput};
 use amdj_rtree::RTree;
-
-/// Sink for B-KDJ sweeps: both cutoffs are the live `qDmax`; enqueued
-/// object pairs feed the distance queue (Algorithm 1, lines 17–19).
-pub(crate) struct KdjSink<'x, const D: usize> {
-    pub mainq: &'x mut MainQueue<D>,
-    pub distq: &'x mut DistanceQueue,
-}
-
-impl<const D: usize> SweepSink<D> for KdjSink<'_, D> {
-    fn axis_cutoff(&self) -> f64 {
-        self.distq.qdmax()
-    }
-    fn real_cutoff(&self) -> f64 {
-        self.distq.qdmax()
-    }
-    fn emit(&mut self, pair: Pair<D>) {
-        let is_result = pair.is_result();
-        let dist = pair.dist;
-        self.mainq.push(pair);
-        if is_result {
-            self.distq.insert(dist);
-        }
-    }
-}
-
-/// Pushes the pair of root nodes, the starting point of every traversal.
-/// No-op when either tree is empty.
-pub(crate) fn push_roots<const D: usize>(r: &RTree<D>, s: &RTree<D>, mainq: &mut MainQueue<D>) {
-    if let (Some(rb), Some(sb), Some(rp), Some(sp)) =
-        (r.bounds(), s.bounds(), r.root_page(), s.root_page())
-    {
-        mainq.push(Pair {
-            dist: rb.min_dist(&sb),
-            a: ItemRef::Node {
-                page: rp.0,
-                level: r.height() - 1,
-            },
-            b: ItemRef::Node {
-                page: sp.0,
-                level: s.height() - 1,
-            },
-            a_mbr: rb,
-            b_mbr: sb,
-        });
-    }
-}
-
-pub(crate) fn to_result<const D: usize>(pair: &Pair<D>) -> ResultPair {
-    let (ItemRef::Object { oid: a }, ItemRef::Object { oid: b }) = (pair.a, pair.b) else {
-        panic!("not an object pair")
-    };
-    ResultPair {
-        r: a,
-        s: b,
-        dist: pair.dist,
-    }
-}
 
 /// The B-KDJ k-distance join (Algorithm 1): returns the `k` nearest pairs
 /// in ascending distance order.
 pub fn b_kdj<const D: usize>(r: &RTree<D>, s: &RTree<D>, k: usize, cfg: &JoinConfig) -> JoinOutput {
-    let baseline = Baseline::capture(r, s);
-    let mut stats = JoinStats {
-        stages: 1,
-        ..JoinStats::default()
-    };
-    let est = Estimator::from_trees(r, s);
-    let mut mainq = MainQueue::new(cfg, est.as_ref());
-    let mut distq = DistanceQueue::new(k);
-    let mut results = Vec::with_capacity(k.min(1 << 20));
-    let mut scratch = SweepScratch::new();
-    if k > 0 {
-        push_roots(r, s, &mut mainq);
-    }
-    while results.len() < k {
-        let Some(pair) = mainq.pop() else { break };
-        if pair.is_result() {
-            results.push(to_result(&pair));
-            continue;
-        }
-        let cutoff = distq.qdmax();
-        scratch.expand(r, s, &pair, cutoff, cfg);
-        stats.stage1_expansions += 1;
-        let mut sink = KdjSink {
-            mainq: &mut mainq,
-            distq: &mut distq,
-        };
-        scratch.sweep(&mut sink, &mut stats, MarkMode::None);
-    }
-    stats.results = results.len() as u64;
-    stats.distq_insertions = distq.insertions();
-    let queue_io = mainq.account(&mut stats);
-    baseline.finish(r, s, &mut stats, queue_io);
-    JoinOutput { results, stats }
+    engine::kdj(r, s, k, cfg, &Exact, &Sequential)
 }
 
 #[cfg(test)]

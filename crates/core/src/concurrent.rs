@@ -1,293 +1,19 @@
-//! Concurrent distance joins over shared trees — the payoff of the
-//! `&self` read path.
+//! Parallel k-distance and incremental joins (§6 of DESIGN.md).
 //!
-//! Every query entry point borrows its trees immutably, and
-//! `RTree<D>: Send + Sync`, so independent joins can already run
-//! concurrently over the same indexes with no coordination at all (each
-//! join owns its queues; the trees' page buffers synchronize internally).
-//! Three drivers parallelize a *single* join:
-//!
-//! * [`par_b_kdj`] — B-KDJ, each worker running the ordinary Algorithm-1
-//!   loop over one partition of the pair space;
-//! * [`par_am_kdj`] — AM-KDJ, same partitioning, but all workers share one
-//!   global pruning bound (a lock-free CAS-min cell, [`MinBound`]) and the
-//!   compensation stage is itself parallel;
-//! * [`par_am_idj`] — the incremental join, one [`crate::AmIdj`] cursor per
-//!   partition clamped to the shared bound.
-//!
-//! # Exactness
-//!
-//! Bidirectional expansion replaces a node pair by the cross product of
-//! its children pairs, so every object pair descends from *exactly one*
-//! pair of any frontier cut through the expansion DAG. The frontier here
-//! is built by expanding node pairs with an infinite pruning cutoff
-//! (nothing is dropped) until there are enough pairs to feed every
-//! worker; partitioning that frontier therefore partitions the object-pair
-//! space. Each worker computes the exact k nearest pairs of its
-//! partition, and the global k nearest pairs — each living in exactly one
-//! partition, at local rank ≤ k — all survive into the merge, which sorts
-//! by `(dist, r, s)` and truncates to `k`.
-//!
-//! In [`par_b_kdj`] workers prune only against their *local* `qDmax`,
-//! which is never smaller than the global one would be, so parallelism
-//! trades some pruning (more distance computations in aggregate) for
-//! wall-clock time — the answer is unchanged.
-//!
-//! # The shared bound
-//!
-//! [`par_am_kdj`] recovers most of that lost pruning: every worker
-//! publishes its `qDmax` into a shared [`MinBound`] whenever it tightens,
-//! and every worker's axis and real cutoffs are clamped to the shared
-//! value. The clamp is sound because each published value is the k-th
-//! smallest of k *real pair distances* — any such value upper-bounds the
-//! global `Dmax(k)`, so a pair beyond the shared bound can never be among
-//! the global k nearest. The bound is monotone non-increasing by
-//! construction (CAS-min), so a stale read is merely a *larger* bound:
-//! reads can be `Relaxed` and correctness never depends on timing.
-//!
-//! Aggressive pruning against the estimated `eDmax` works exactly as in
-//! the sequential algorithm, except each worker parks its skipped-pair
-//! bookkeeping in a *per-worker* compensation queue (no contention). When
-//! every worker has finished its aggressive stage, the leftovers — parked
-//! compensation entries and unprocessed main-queue pairs — are pooled,
-//! pruned against the now-tight shared bound (each entry's key lower
-//! bounds every pair it can still produce), redistributed round-robin, and
-//! replayed by a second parallel stage whose cutoffs are exact
-//! (`min(qDmax, shared)`), preserving the no-false-dismissals guarantee.
+//! Adapters over the unified engine's [`Parallel`] backend: the frontier
+//! is split across workers by a breadth-first expansion of the node-pair
+//! space, and every worker — exact or aggressive — clamps its cutoffs to
+//! and publishes into a shared lock-free [`MinBound`](crate::MinBound), so
+//! one worker's progress tightens every other worker's pruning. See
+//! `engine::backend` for the partitioning and exactness arguments.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-
-use crate::bkdj::{to_result, KdjSink};
-use crate::mainq::MainQueue;
-use crate::stats::Baseline;
-use crate::sweep::{CompEntry, MarkMode, SweepScratch, SweepSink};
-use crate::{
-    AmIdj, AmIdjOptions, AmKdjOptions, DistanceQueue, Estimator, ItemRef, JoinConfig, JoinOutput,
-    JoinStats, Pair, ResultPair,
-};
+use crate::engine::{self, Aggressive, Exact, Parallel};
+use crate::{AmIdjOptions, AmKdjOptions, JoinConfig, JoinOutput};
 use amdj_rtree::RTree;
 
-/// A lock-free monotone-decreasing `f64` cell: the global pruning bound
-/// shared by the workers of one parallel adaptive join.
-///
-/// The value only ever moves down ([`tighten`](Self::tighten) is a CAS-min
-/// loop), so readers may use relaxed loads: a stale value is simply a
-/// larger bound, which prunes less but never prunes wrongly. `NaN` inputs
-/// are ignored (a `NaN` never compares less than the current value).
-pub struct MinBound {
-    bits: AtomicU64,
-}
-
-impl MinBound {
-    /// Creates a bound holding `v` (use `f64::INFINITY` for "no bound
-    /// yet").
-    pub fn new(v: f64) -> Self {
-        MinBound {
-            bits: AtomicU64::new(v.to_bits()),
-        }
-    }
-
-    /// The current bound. Monotone: successive calls never increase.
-    pub fn get(&self) -> f64 {
-        f64::from_bits(self.bits.load(Ordering::Relaxed))
-    }
-
-    /// Lowers the bound to `v` if `v` is smaller; returns whether this
-    /// call tightened it.
-    pub fn tighten(&self, v: f64) -> bool {
-        let mut cur = self.bits.load(Ordering::Relaxed);
-        loop {
-            // NaN compares `None` here and is rejected like any
-            // non-smaller value.
-            if v.partial_cmp(&f64::from_bits(cur)) != Some(std::cmp::Ordering::Less) {
-                return false;
-            }
-            match self.bits.compare_exchange_weak(
-                cur,
-                v.to_bits(),
-                Ordering::Relaxed,
-                Ordering::Relaxed,
-            ) {
-                Ok(_) => return true,
-                Err(observed) => cur = observed,
-            }
-        }
-    }
-}
-
-/// Collects every swept pair, pruning nothing — used to split frontier
-/// pairs without losing any descendant.
-struct CollectAll<const D: usize> {
-    pairs: Vec<Pair<D>>,
-}
-
-impl<const D: usize> SweepSink<D> for CollectAll<D> {
-    fn axis_cutoff(&self) -> f64 {
-        f64::INFINITY
-    }
-    fn real_cutoff(&self) -> f64 {
-        f64::INFINITY
-    }
-    fn emit(&mut self, pair: Pair<D>) {
-        self.pairs.push(pair);
-    }
-}
-
-/// Expands the root pair breadth-first (coarsest node pairs first, no
-/// pruning) until at least `target` pairs exist or only object pairs
-/// remain.
-fn seed_frontier<const D: usize>(
-    r: &RTree<D>,
-    s: &RTree<D>,
-    cfg: &JoinConfig,
-    target: usize,
-    stats: &mut JoinStats,
-) -> Vec<Pair<D>> {
-    let (Some(rb), Some(sb), Some(rp), Some(sp)) =
-        (r.bounds(), s.bounds(), r.root_page(), s.root_page())
-    else {
-        return Vec::new();
-    };
-    let mut frontier = vec![Pair {
-        dist: rb.min_dist(&sb),
-        a: ItemRef::Node {
-            page: rp.0,
-            level: r.height() - 1,
-        },
-        b: ItemRef::Node {
-            page: sp.0,
-            level: s.height() - 1,
-        },
-        a_mbr: rb,
-        b_mbr: sb,
-    }];
-    let mut scratch = SweepScratch::new();
-    while frontier.len() < target {
-        // Split the coarsest remaining node pair so the frontier stays
-        // balanced; stop once only object pairs are left.
-        let Some(idx) = frontier
-            .iter()
-            .enumerate()
-            .filter(|(_, p)| !p.is_result())
-            .max_by_key(|(_, p)| pair_level(p))
-            .map(|(i, _)| i)
-        else {
-            break;
-        };
-        let pair = frontier.swap_remove(idx);
-        scratch.expand(r, s, &pair, f64::INFINITY, cfg);
-        let mut sink = CollectAll { pairs: Vec::new() };
-        scratch.sweep(&mut sink, stats, MarkMode::None);
-        frontier.append(&mut sink.pairs);
-    }
-    frontier
-}
-
-fn pair_level<const D: usize>(p: &Pair<D>) -> u32 {
-    let side = |i: ItemRef| match i {
-        ItemRef::Node { level, .. } => level + 1,
-        ItemRef::Object { .. } => 0,
-    };
-    side(p.a).max(side(p.b))
-}
-
-fn resolve_threads(threads: usize) -> usize {
-    if threads == 0 {
-        std::thread::available_parallelism().map_or(1, |n| n.get())
-    } else {
-        threads
-    }
-}
-
-/// Splits `items` (already sorted ascending by urgency) round-robin so
-/// every worker gets a mix of near and far work.
-fn round_robin<T>(items: Vec<T>, buckets: usize) -> Vec<Vec<T>> {
-    let mut out: Vec<Vec<T>> = (0..buckets).map(|_| Vec::new()).collect();
-    for (i, item) in items.into_iter().enumerate() {
-        out[i % buckets].push(item);
-    }
-    out
-}
-
-/// Sorts results into the canonical `(dist, r, s)` order all parallel
-/// drivers merge with.
-fn sort_canonical(results: &mut [ResultPair]) {
-    results.sort_unstable_by(|a, b| {
-        a.dist
-            .total_cmp(&b.dist)
-            .then_with(|| a.r.cmp(&b.r))
-            .then_with(|| a.s.cmp(&b.s))
-    });
-}
-
-/// Sums one worker's work counters into the driver's stats. Stages,
-/// wall-clock and I/O time are the driver's own concern.
-fn add_worker_stats(total: &mut JoinStats, w: &JoinStats) {
-    total.real_dist += w.real_dist;
-    total.axis_dist += w.axis_dist;
-    total.mainq_insertions += w.mainq_insertions;
-    total.distq_insertions += w.distq_insertions;
-    total.compq_insertions += w.compq_insertions;
-    total.comp_replays += w.comp_replays;
-    total.bound_tightenings += w.bound_tightenings;
-    total.stage1_expansions += w.stage1_expansions;
-    total.stage2_expansions += w.stage2_expansions;
-    total.queue_page_reads += w.queue_page_reads;
-    total.queue_page_writes += w.queue_page_writes;
-}
-
-/// Runs the plain B-KDJ loop over one partition of the pair space.
-fn worker_join<const D: usize>(
-    r: &RTree<D>,
-    s: &RTree<D>,
-    k: usize,
-    cfg: &JoinConfig,
-    est: Option<&Estimator<D>>,
-    seed: Vec<Pair<D>>,
-) -> (Vec<ResultPair>, JoinStats, f64) {
-    let mut stats = JoinStats::default();
-    let mut mainq = MainQueue::new(cfg, est);
-    let mut distq = DistanceQueue::new(k);
-    let mut scratch = SweepScratch::new();
-    let mut results = Vec::with_capacity(k.min(1 << 20));
-    for pair in seed {
-        let is_result = pair.is_result();
-        let dist = pair.dist;
-        mainq.push(pair);
-        if is_result {
-            distq.insert(dist);
-        }
-    }
-    while results.len() < k {
-        let Some(pair) = mainq.pop() else { break };
-        if pair.is_result() {
-            results.push(to_result(&pair));
-            continue;
-        }
-        let cutoff = distq.qdmax();
-        scratch.expand(r, s, &pair, cutoff, cfg);
-        stats.stage1_expansions += 1;
-        let mut sink = KdjSink {
-            mainq: &mut mainq,
-            distq: &mut distq,
-        };
-        scratch.sweep(&mut sink, &mut stats, MarkMode::None);
-    }
-    stats.distq_insertions = distq.insertions();
-    let queue_io = mainq.account(&mut stats);
-    (results, stats, queue_io)
-}
-
-/// Parallel B-KDJ: the exact k nearest pairs, computed by `threads`
-/// workers sharing both trees through `&RTree`.
-///
-/// `threads == 0` uses [`std::thread::available_parallelism`]. Results are
-/// returned in canonical `(dist, r, s)` order — ascending distance, ties
-/// broken by object ids — which for tie-free inputs is the same order
-/// [`crate::b_kdj`] produces. Aggregate work counters (distance
-/// computations, queue insertions) are summed across workers; they exceed
-/// the sequential join's because each worker prunes only against its own
-/// `qDmax`.
+/// Parallel B-KDJ: frontier-partitioned workers, each running the exact
+/// (`qDmax`-only) expansion loop against the shared bound. `threads == 0`
+/// selects the available parallelism.
 pub fn par_b_kdj<const D: usize>(
     r: &RTree<D>,
     s: &RTree<D>,
@@ -295,303 +21,14 @@ pub fn par_b_kdj<const D: usize>(
     cfg: &JoinConfig,
     threads: usize,
 ) -> JoinOutput {
-    let threads = resolve_threads(threads);
-    let baseline = Baseline::capture(r, s);
-    let mut stats = JoinStats {
-        stages: 1,
-        ..JoinStats::default()
-    };
-    let est = Estimator::from_trees(r, s);
-    let mut results = Vec::new();
-    let mut queue_io = 0.0;
-    if k > 0 {
-        let mut frontier = seed_frontier(r, s, cfg, threads * 4, &mut stats);
-        // Ascending by distance, then round-robin, so every worker gets a
-        // mix of near and far pairs.
-        frontier.sort_unstable_by(|a, b| a.dist.total_cmp(&b.dist));
-        let seeds = round_robin(frontier, threads);
-        let est = est.as_ref();
-        let worker_outputs = std::thread::scope(|scope| {
-            let handles: Vec<_> = seeds
-                .into_iter()
-                .filter(|seed| !seed.is_empty())
-                .map(|seed| scope.spawn(move || worker_join(r, s, k, cfg, est, seed)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker panicked"))
-                .collect::<Vec<_>>()
-        });
-        for (mut part, wstats, wio) in worker_outputs {
-            results.append(&mut part);
-            add_worker_stats(&mut stats, &wstats);
-            queue_io += wio;
-        }
-        sort_canonical(&mut results);
-        results.truncate(k);
-    }
-    stats.results = results.len() as u64;
-    baseline.finish(r, s, &mut stats, queue_io);
-    JoinOutput { results, stats }
+    engine::kdj(r, s, k, cfg, &Exact, &Parallel { threads })
 }
 
-// ---------------------------------------------------------------------------
-// Parallel AM-KDJ
-// ---------------------------------------------------------------------------
-
-/// Sink for the parallel aggressive stage: axis pruning against the
-/// worker's current `eDmax` (already clamped to the shared bound when it
-/// was refreshed), real-distance pruning against the *minimum* of the
-/// worker's live `qDmax` and the shared bound, and every `qDmax`
-/// improvement published.
-struct SharedAggressiveSink<'x, const D: usize> {
-    mainq: &'x mut MainQueue<D>,
-    distq: &'x mut DistanceQueue,
-    edmax: f64,
-    shared: &'x MinBound,
-    tightenings: &'x mut u64,
-}
-
-impl<const D: usize> SweepSink<D> for SharedAggressiveSink<'_, D> {
-    fn axis_cutoff(&self) -> f64 {
-        self.edmax
-    }
-    fn real_cutoff(&self) -> f64 {
-        self.distq.qdmax().min(self.shared.get())
-    }
-    fn emit(&mut self, pair: Pair<D>) {
-        let is_result = pair.is_result();
-        let dist = pair.dist;
-        self.mainq.push(pair);
-        if is_result {
-            self.distq.insert(dist);
-            let q = self.distq.qdmax();
-            if q.is_finite() && self.shared.tighten(q) {
-                *self.tightenings += 1;
-            }
-        }
-    }
-}
-
-/// Sink for the parallel compensation stage: both cutoffs are
-/// `min(qDmax, shared)` — exact in the global sense, so nothing pruned
-/// here needs further bookkeeping.
-struct SharedKdjSink<'x, const D: usize> {
-    mainq: &'x mut MainQueue<D>,
-    distq: &'x mut DistanceQueue,
-    shared: &'x MinBound,
-    tightenings: &'x mut u64,
-}
-
-impl<const D: usize> SweepSink<D> for SharedKdjSink<'_, D> {
-    fn axis_cutoff(&self) -> f64 {
-        self.distq.qdmax().min(self.shared.get())
-    }
-    fn real_cutoff(&self) -> f64 {
-        self.distq.qdmax().min(self.shared.get())
-    }
-    fn emit(&mut self, pair: Pair<D>) {
-        let is_result = pair.is_result();
-        let dist = pair.dist;
-        self.mainq.push(pair);
-        if is_result {
-            self.distq.insert(dist);
-            let q = self.distq.qdmax();
-            if q.is_finite() && self.shared.tighten(q) {
-                *self.tightenings += 1;
-            }
-        }
-    }
-}
-
-/// Everything one aggressive-stage worker hands back: its emitted
-/// results, the main-queue pairs it never processed, its parked
-/// compensation entries, and its counters.
-struct AggressiveOutcome<const D: usize> {
-    results: Vec<ResultPair>,
-    leftovers: Vec<Pair<D>>,
-    comps: Vec<CompEntry<D>>,
-    stats: JoinStats,
-    queue_io: f64,
-}
-
-/// One worker's aggressive stage (Algorithm 2 over a partition, clamped
-/// to the shared bound).
-#[allow(clippy::too_many_arguments)]
-fn am_aggressive_worker<const D: usize>(
-    r: &RTree<D>,
-    s: &RTree<D>,
-    k: usize,
-    cfg: &JoinConfig,
-    est: Option<&Estimator<D>>,
-    seed: Vec<Pair<D>>,
-    edmax0: f64,
-    shared: &MinBound,
-) -> AggressiveOutcome<D> {
-    let mut stats = JoinStats::default();
-    let mut mainq = MainQueue::new(cfg, est);
-    let mut distq = DistanceQueue::new(k);
-    let mut compq = crate::sweep::CompQueue::new();
-    let mut scratch = SweepScratch::new();
-    let mut results = Vec::with_capacity(k.min(1 << 20));
-    let mut edmax = edmax0;
-    let mut tightenings = 0u64;
-    for pair in seed {
-        let is_result = pair.is_result();
-        let dist = pair.dist;
-        mainq.push(pair);
-        if is_result {
-            distq.insert(dist);
-        }
-    }
-    while results.len() < k {
-        let Some(pair) = mainq.pop() else { break };
-        // An overestimated eDmax — locally (k results queued) or globally
-        // (another worker's bound) — is detected and tightened here.
-        let q = distq.qdmax().min(shared.get());
-        if q <= edmax {
-            edmax = q;
-        }
-        // Results beyond eDmax cannot be emitted safely: park the pair and
-        // move to the compensation stage.
-        if pair.dist > edmax {
-            mainq.unpop(pair);
-            break;
-        }
-        if pair.is_result() {
-            results.push(to_result(&pair));
-            continue;
-        }
-        scratch.expand(r, s, &pair, edmax, cfg);
-        stats.stage1_expansions += 1;
-        let mut sink = SharedAggressiveSink {
-            mainq: &mut mainq,
-            distq: &mut distq,
-            edmax,
-            shared,
-            tightenings: &mut tightenings,
-        };
-        scratch.sweep(&mut sink, &mut stats, MarkMode::Suffix);
-        if !scratch.marks_exhausted() {
-            compq.push(scratch.park(pair.dist.max(edmax.next_up())), &mut stats);
-        }
-    }
-    // Drain what's left for redistribution, dropping anything already
-    // provably beyond the shared bound (keys lower-bound every pair an
-    // entry can still produce).
-    let bound = shared.get();
-    let mut leftovers = Vec::new();
-    while let Some(pair) = mainq.pop() {
-        if pair.dist > bound {
-            break;
-        }
-        leftovers.push(pair);
-    }
-    let mut comps: Vec<CompEntry<D>> = compq.drain_sorted();
-    comps.retain(|e| e.key <= bound);
-    stats.bound_tightenings = tightenings;
-    stats.distq_insertions = distq.insertions();
-    let queue_io = mainq.account(&mut stats);
-    AggressiveOutcome {
-        results,
-        leftovers,
-        comps,
-        stats,
-        queue_io,
-    }
-}
-
-/// One worker's compensation stage: replays redistributed leftovers and
-/// parked entries with exact (`min(qDmax, shared)`) cutoffs.
-fn am_comp_worker<const D: usize>(
-    r: &RTree<D>,
-    s: &RTree<D>,
-    k: usize,
-    cfg: &JoinConfig,
-    est: Option<&Estimator<D>>,
-    work: (Vec<Pair<D>>, Vec<CompEntry<D>>),
-    shared: &MinBound,
-) -> (Vec<ResultPair>, JoinStats, f64) {
-    let (seeds, comps) = work;
-    let mut stats = JoinStats::default();
-    let mut mainq = MainQueue::new(cfg, est);
-    let mut distq = DistanceQueue::new(k);
-    let mut compq = crate::sweep::CompQueue::new();
-    let mut scratch = SweepScratch::new();
-    let mut results = Vec::with_capacity(k.min(1 << 20));
-    let mut tightenings = 0u64;
-    for pair in seeds {
-        let is_result = pair.is_result();
-        let dist = pair.dist;
-        mainq.push(pair);
-        if is_result {
-            distq.insert(dist);
-        }
-    }
-    for entry in comps {
-        compq.push(entry, &mut stats);
-    }
-    while results.len() < k {
-        let main_key = mainq.peek_min();
-        let comp_key = compq.peek_key();
-        let (take_main, key) = match (main_key, comp_key) {
-            (None, None) => break,
-            (Some(m), None) => (true, m),
-            (None, Some(c)) => (false, c),
-            (Some(m), Some(c)) => (m <= c, m.min(c)),
-        };
-        // Every remaining local pair has distance ≥ key; once that
-        // exceeds both bounds, none can be a global winner.
-        if key > distq.qdmax().min(shared.get()) {
-            break;
-        }
-        if take_main {
-            let pair = mainq.pop().expect("peeked");
-            if pair.is_result() {
-                results.push(to_result(&pair));
-                continue;
-            }
-            let cutoff = distq.qdmax().min(shared.get());
-            scratch.expand(r, s, &pair, cutoff, cfg);
-            stats.stage2_expansions += 1;
-            let mut sink = SharedKdjSink {
-                mainq: &mut mainq,
-                distq: &mut distq,
-                shared,
-                tightenings: &mut tightenings,
-            };
-            scratch.sweep(&mut sink, &mut stats, MarkMode::None);
-        } else {
-            let mut entry = compq.pop().expect("peeked");
-            let mut sink = SharedKdjSink {
-                mainq: &mut mainq,
-                distq: &mut distq,
-                shared,
-                tightenings: &mut tightenings,
-            };
-            scratch.compensate(&mut entry, &mut sink, &mut stats);
-            // The cutoffs were exact: whatever remains beyond them can
-            // never qualify, so the entry is done.
-        }
-    }
-    stats.bound_tightenings += tightenings;
-    stats.distq_insertions = distq.insertions();
-    let queue_io = mainq.account(&mut stats);
-    (results, stats, queue_io)
-}
-
-/// Parallel AM-KDJ: the exact k nearest pairs via aggressive `eDmax`
-/// pruning, computed by `threads` workers that share one global pruning
-/// bound ([`MinBound`]) — so any worker's progress immediately shrinks
-/// every other worker's cutoffs — with a parallel compensation stage
-/// replaying whatever the aggressive stage skipped.
-///
-/// `threads == 0` uses [`std::thread::available_parallelism`]. Results are
-/// in canonical `(dist, r, s)` order; for tie-free inputs this equals
-/// [`crate::am_kdj`]'s output exactly, for every thread count and every
-/// `eDmax` estimate (under- or over-estimated). `stats.stages` is 2 iff
-/// the compensation stage had work, and `stats.bound_tightenings` counts
-/// successful CAS-min publications.
+/// Parallel AM-KDJ: stage one runs the aggressive policy per worker;
+/// retained stage-one state is pooled, the bound tightened from the pooled
+/// k best distances, and surviving leftovers plus compensation entries are
+/// redistributed to stage-two workers. `threads == 0` selects the
+/// available parallelism.
 pub fn par_am_kdj<const D: usize>(
     r: &RTree<D>,
     s: &RTree<D>,
@@ -600,158 +37,16 @@ pub fn par_am_kdj<const D: usize>(
     opts: &AmKdjOptions,
     threads: usize,
 ) -> JoinOutput {
-    let threads = resolve_threads(threads);
-    let baseline = Baseline::capture(r, s);
-    let mut stats = JoinStats {
-        stages: 1,
-        ..JoinStats::default()
+    let policy = Aggressive {
+        edmax_override: opts.edmax_override,
     };
-    let est = Estimator::from_trees(r, s);
-    let edmax0 = opts
-        .edmax_override
-        .or_else(|| est.map(|e| e.initial(k as u64)))
-        .unwrap_or(f64::INFINITY);
-    let shared = MinBound::new(f64::INFINITY);
-    let mut results = Vec::new();
-    let mut queue_io = 0.0;
-    if k > 0 {
-        let mut frontier = seed_frontier(r, s, cfg, threads * 4, &mut stats);
-        frontier.sort_unstable_by(|a, b| a.dist.total_cmp(&b.dist));
-        let seeds = round_robin(frontier, threads);
-        let est = est.as_ref();
-        let shared = &shared;
-
-        // ---- Stage one: aggressive pruning, in parallel ----
-        let outcomes = std::thread::scope(|scope| {
-            let handles: Vec<_> = seeds
-                .into_iter()
-                .filter(|seed| !seed.is_empty())
-                .map(|seed| {
-                    scope.spawn(move || {
-                        am_aggressive_worker(r, s, k, cfg, est, seed, edmax0, shared)
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker panicked"))
-                .collect::<Vec<_>>()
-        });
-        let mut leftovers = Vec::new();
-        let mut comps = Vec::new();
-        for outcome in outcomes {
-            results.extend(outcome.results);
-            leftovers.extend(outcome.leftovers);
-            comps.extend(outcome.comps);
-            add_worker_stats(&mut stats, &outcome.stats);
-            queue_io += outcome.queue_io;
-        }
-
-        // The merged stage-one results tighten the bound once more: with k
-        // real pairs in hand, the k-th smallest bounds the global Dmax(k).
-        if results.len() >= k {
-            let mut dists: Vec<f64> = results.iter().map(|p| p.dist).collect();
-            dists.sort_unstable_by(f64::total_cmp);
-            if shared.tighten(dists[k - 1]) {
-                stats.bound_tightenings += 1;
-            }
-        }
-        let bound = shared.get();
-        leftovers.retain(|p| p.dist <= bound);
-        comps.retain(|e| e.key <= bound);
-
-        // ---- Stage two: compensation, in parallel ----
-        if !leftovers.is_empty() || !comps.is_empty() {
-            stats.stages = 2;
-            leftovers.sort_unstable_by(|a, b| a.dist.total_cmp(&b.dist));
-            comps.sort_unstable_by(|a, b| a.key.total_cmp(&b.key));
-            let work: Vec<_> = round_robin(leftovers, threads)
-                .into_iter()
-                .zip(round_robin(comps, threads))
-                .collect();
-            let comp_outputs = std::thread::scope(|scope| {
-                let handles: Vec<_> = work
-                    .into_iter()
-                    .filter(|(pairs, entries)| !pairs.is_empty() || !entries.is_empty())
-                    .map(|w| scope.spawn(move || am_comp_worker(r, s, k, cfg, est, w, shared)))
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("worker panicked"))
-                    .collect::<Vec<_>>()
-            });
-            for (mut part, wstats, wio) in comp_outputs {
-                results.append(&mut part);
-                add_worker_stats(&mut stats, &wstats);
-                queue_io += wio;
-            }
-        }
-        sort_canonical(&mut results);
-        results.truncate(k);
-    }
-    stats.results = results.len() as u64;
-    baseline.finish(r, s, &mut stats, queue_io);
-    JoinOutput { results, stats }
+    engine::kdj(r, s, k, cfg, &policy, &Parallel { threads })
 }
 
-// ---------------------------------------------------------------------------
-// Parallel AM-IDJ
-// ---------------------------------------------------------------------------
-
-/// One worker of the parallel incremental join: an [`AmIdj`] cursor over a
-/// partition, consuming until it has `take` pairs or its stream provably
-/// passed the shared bound.
-fn idj_worker<const D: usize>(
-    r: &RTree<D>,
-    s: &RTree<D>,
-    take: usize,
-    cfg: &JoinConfig,
-    opts: AmIdjOptions,
-    seed: Vec<Pair<D>>,
-    shared: &MinBound,
-) -> (Vec<ResultPair>, JoinStats, f64) {
-    let mut cursor = AmIdj::with_seeds(r, s, cfg, opts, seed, shared);
-    // A worker's `take`-th smallest distance bounds the global one (its
-    // emitted pairs are a candidate set), so it is publishable.
-    let mut distq = DistanceQueue::new(take);
-    let mut results = Vec::new();
-    let mut tightenings = 0u64;
-    while results.len() < take {
-        // The cursor's minimum queue key lower-bounds every future
-        // emission: stop before doing the work once it passes the bound.
-        match cursor.peek_key() {
-            Some(key) if key <= shared.get() => {}
-            _ => break,
-        }
-        let Some(pair) = cursor.next() else { break };
-        if pair.dist > shared.get() {
-            // The stream is ascending; everything later is farther still.
-            break;
-        }
-        distq.insert(pair.dist);
-        let q = distq.qdmax();
-        if q.is_finite() && shared.tighten(q) {
-            tightenings += 1;
-        }
-        results.push(pair);
-    }
-    let (mut stats, queue_io) = cursor.finish_worker();
-    stats.bound_tightenings += tightenings;
-    stats.distq_insertions += distq.insertions();
-    (results, stats, queue_io)
-}
-
-/// Parallel AM-IDJ driver: the first `take` pairs of the incremental
-/// join, computed by `threads` cursor workers sharing one pruning bound.
-///
-/// Each worker streams its partition in ascending order, publishing its
-/// local `take`-th distance into the shared [`MinBound`]; every cursor's
-/// stage cutoffs are clamped to the bound, so one worker's progress
-/// shrinks the others' sweeps. Results are merged in canonical
-/// `(dist, r, s)` order and truncated to `take` — the same *set* of pairs
-/// (identical distances) the sequential [`AmIdj`] cursor yields.
-/// `threads == 0` uses [`std::thread::available_parallelism`];
-/// `stats.stages` reports the deepest stage any worker reached.
+/// Parallel AM-IDJ: each worker advances its own multi-stage incremental
+/// cursor over a frontier partition; the shared bound carries the merged
+/// stream's k-th distance so exhausted partitions stop early. `threads ==
+/// 0` selects the available parallelism.
 pub fn par_am_idj<const D: usize>(
     r: &RTree<D>,
     s: &RTree<D>,
@@ -760,46 +55,7 @@ pub fn par_am_idj<const D: usize>(
     opts: &AmIdjOptions,
     threads: usize,
 ) -> JoinOutput {
-    let threads = resolve_threads(threads);
-    let baseline = Baseline::capture(r, s);
-    let mut stats = JoinStats {
-        stages: 1,
-        ..JoinStats::default()
-    };
-    let shared = MinBound::new(f64::INFINITY);
-    let mut results = Vec::new();
-    let mut queue_io = 0.0;
-    if take > 0 {
-        let mut frontier = seed_frontier(r, s, cfg, threads * 4, &mut stats);
-        frontier.sort_unstable_by(|a, b| a.dist.total_cmp(&b.dist));
-        let seeds = round_robin(frontier, threads);
-        let shared = &shared;
-        let worker_outputs = std::thread::scope(|scope| {
-            let handles: Vec<_> = seeds
-                .into_iter()
-                .filter(|seed| !seed.is_empty())
-                .map(|seed| {
-                    let opts = opts.clone();
-                    scope.spawn(move || idj_worker(r, s, take, cfg, opts, seed, shared))
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker panicked"))
-                .collect::<Vec<_>>()
-        });
-        for (mut part, wstats, wio) in worker_outputs {
-            results.append(&mut part);
-            stats.stages = stats.stages.max(wstats.stages);
-            add_worker_stats(&mut stats, &wstats);
-            queue_io += wio;
-        }
-        sort_canonical(&mut results);
-        results.truncate(take);
-    }
-    stats.results = results.len() as u64;
-    baseline.finish(r, s, &mut stats, queue_io);
-    JoinOutput { results, stats }
+    engine::idj(r, s, take, cfg, opts, &Parallel { threads })
 }
 
 #[cfg(test)]
@@ -966,22 +222,6 @@ mod tests {
         for (x, y) in expected.results.iter().zip(out2.results.iter()) {
             assert!((x.dist - y.dist).abs() < 1e-12);
         }
-    }
-
-    #[test]
-    fn min_bound_tightens_monotonically() {
-        let b = MinBound::new(f64::INFINITY);
-        assert!(b.tighten(10.0));
-        assert_eq!(b.get(), 10.0);
-        assert!(!b.tighten(10.0), "equal value is not a tightening");
-        assert!(!b.tighten(11.0), "larger value must be rejected");
-        assert_eq!(b.get(), 10.0);
-        assert!(b.tighten(3.5));
-        assert_eq!(b.get(), 3.5);
-        assert!(!b.tighten(f64::NAN), "NaN is ignored");
-        assert_eq!(b.get(), 3.5);
-        assert!(b.tighten(0.0));
-        assert_eq!(b.get(), 0.0);
     }
 
     #[test]

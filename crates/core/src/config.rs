@@ -20,6 +20,11 @@ pub struct JoinConfig {
     /// When `false` the queue always splits at the median key (the
     /// ablation of the paper's boundary-selection contribution).
     pub eq3_queue_boundaries: bool,
+    /// Compute leaf–leaf candidate distances in one pass over SoA scratch
+    /// buffers whenever the sweep's axis cutoff is frozen, instead of
+    /// per-pair `min_dist` calls. Bit-identical to the scalar path; the
+    /// switch exists so benches can ablate the batched kernel.
+    pub batched_leaf_sweep: bool,
 }
 
 impl Default for JoinConfig {
@@ -30,6 +35,7 @@ impl Default for JoinConfig {
             optimize_axis: true,
             optimize_direction: true,
             eq3_queue_boundaries: true,
+            batched_leaf_sweep: true,
         }
     }
 }
@@ -43,6 +49,7 @@ impl JoinConfig {
             optimize_axis: true,
             optimize_direction: true,
             eq3_queue_boundaries: true,
+            batched_leaf_sweep: true,
         }
     }
 

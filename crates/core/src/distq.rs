@@ -42,6 +42,27 @@ impl DistanceQueue {
         }
     }
 
+    /// Offers a candidate distance without counting it as new work: used
+    /// when a parallel stage-two queue is pre-seeded with distances the
+    /// stage-one workers already counted on first insertion.
+    pub fn seed(&mut self, dist: f64) {
+        if self.k == 0 {
+            return;
+        }
+        if self.heap.len() < self.k {
+            self.heap.push(TotalF64::new(dist));
+        } else if dist < self.qdmax() {
+            self.heap.pop();
+            self.heap.push(TotalF64::new(dist));
+        }
+    }
+
+    /// The distances currently retained (the `k` smallest seen so far),
+    /// in no particular order.
+    pub fn retained(&self) -> Vec<f64> {
+        self.heap.iter().map(|d| d.get()).collect()
+    }
+
     /// The current cutoff `qDmax`: the k-th smallest distance seen, or
     /// `+∞` until `k` distances have been collected.
     pub fn qdmax(&self) -> f64 {

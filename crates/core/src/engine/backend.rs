@@ -1,0 +1,517 @@
+//! Execution backends: how many expansion drivers run, and how their
+//! stages hand work to each other.
+//!
+//! [`Sequential`] runs one [`ExpansionDriver`] (or one
+//! [`StageDriver`](super::stage::StageDriver)) to completion.
+//! [`Parallel`] partitions the pair space across workers that share both
+//! trees through `&RTree` and one global CAS-min pruning bound
+//! ([`MinBound`]).
+//!
+//! # Exactness of the parallel backend
+//!
+//! Bidirectional expansion replaces a node pair by the cross product of
+//! its children pairs, so every object pair descends from *exactly one*
+//! pair of any frontier cut through the expansion DAG. The frontier here
+//! is built by expanding node pairs with an infinite pruning cutoff
+//! (nothing is dropped) until there are enough pairs to feed every
+//! worker; partitioning that frontier therefore partitions the
+//! object-pair space. Each worker computes the exact k nearest pairs of
+//! its partition, and the global k nearest pairs — each living in exactly
+//! one partition, at local rank ≤ k — all survive into the merge, which
+//! sorts by `(dist, r, s)` and truncates to `k`.
+//!
+//! # The shared bound
+//!
+//! Every worker — under either policy — publishes its `qDmax` into the
+//! shared [`MinBound`] whenever it tightens, and clamps its own cutoffs
+//! to the shared value. The clamp is sound because each published value
+//! is the k-th smallest of k *real pair distances* of distinct pairs —
+//! any such value upper-bounds the global `Dmax(k)`, so a pair beyond the
+//! shared bound can never be among the global k nearest. The bound is
+//! monotone non-increasing (CAS-min), so a stale read is merely a
+//! *larger* bound: reads can be `Relaxed` and correctness never depends
+//! on timing.
+//!
+//! Under the aggressive policy, each worker parks its skipped-pair
+//! bookkeeping in a *per-worker* compensation queue (no contention). When
+//! every worker has finished its aggressive stage, the leftovers — parked
+//! compensation entries and unprocessed main-queue pairs — are pooled,
+//! pruned against the now-tight shared bound, redistributed round-robin,
+//! and replayed by a second parallel stage whose cutoffs are exact
+//! (`min(qDmax, shared)`), preserving the no-false-dismissals guarantee.
+//! The stage-two workers' distance queues are pre-seeded (uncounted) with
+//! the pooled k smallest stage-one distances, so their `qDmax` starts
+//! tight instead of at infinity.
+//!
+//! # Where work stealing will plug in
+//!
+//! The stage-one/stage-two barrier is the natural seam: a stealing
+//! backend would replace the pooled redistribution with a deque of
+//! `(Pair, CompEntry)` work items that idle workers pop — nothing in the
+//! driver or policies needs to change. See DESIGN.md §7.
+
+use amdj_rtree::RTree;
+
+use crate::stats::Baseline;
+use crate::{
+    AmIdjOptions, DistanceQueue, Estimator, ItemRef, JoinConfig, JoinOutput, JoinStats, Pair,
+    ResultPair,
+};
+
+use super::bound::MinBound;
+use super::driver::{ExpansionDriver, StageOnePool};
+use super::policy::PruningPolicy;
+use super::stage::StageDriver;
+use super::sweep::{CompEntry, MarkMode, SweepScratch, SweepSink};
+
+/// How a join executes: one driver, or a fleet of frontier-partitioned
+/// workers. Backends own thread management, work distribution between
+/// stages, and stats aggregation; all join logic lives in the drivers.
+pub trait ExecBackend {
+    /// Runs a k-distance join under `policy`: the `k` nearest pairs in
+    /// canonical `(dist, r, s)` order.
+    fn run_kdj<const D: usize, P: PruningPolicy>(
+        &self,
+        r: &RTree<D>,
+        s: &RTree<D>,
+        k: usize,
+        cfg: &JoinConfig,
+        policy: &P,
+    ) -> JoinOutput;
+
+    /// Runs the incremental distance join, materializing its first `take`
+    /// pairs.
+    fn run_idj<const D: usize>(
+        &self,
+        r: &RTree<D>,
+        s: &RTree<D>,
+        take: usize,
+        cfg: &JoinConfig,
+        opts: &AmIdjOptions,
+    ) -> JoinOutput;
+}
+
+/// One driver, one thread: the paper's sequential algorithms.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Sequential;
+
+impl ExecBackend for Sequential {
+    fn run_kdj<const D: usize, P: PruningPolicy>(
+        &self,
+        r: &RTree<D>,
+        s: &RTree<D>,
+        k: usize,
+        cfg: &JoinConfig,
+        policy: &P,
+    ) -> JoinOutput {
+        let baseline = Baseline::capture(r, s);
+        let est = Estimator::from_trees(r, s);
+        let edmax0 = policy.initial_edmax(est.as_ref(), k);
+        let mut drv = ExpansionDriver::new(r, s, cfg, k, est.as_ref(), P::AGGRESSIVE, edmax0, None);
+        if k > 0 {
+            drv.seed_roots();
+        }
+        drv.run_stage_one();
+        if P::AGGRESSIVE && drv.needs_stage_two() {
+            drv.stats.stages = 2;
+            drv.run_stage_two();
+        }
+        let (results, mut stats, queue_io) = drv.finish();
+        stats.results = results.len() as u64;
+        baseline.finish(r, s, &mut stats, queue_io);
+        JoinOutput { results, stats }
+    }
+
+    fn run_idj<const D: usize>(
+        &self,
+        r: &RTree<D>,
+        s: &RTree<D>,
+        take: usize,
+        cfg: &JoinConfig,
+        opts: &AmIdjOptions,
+    ) -> JoinOutput {
+        let mut cursor = StageDriver::new(r, s, cfg, opts.clone());
+        let mut results = Vec::with_capacity(take.min(1 << 20));
+        while results.len() < take {
+            let Some(pair) = cursor.next() else { break };
+            results.push(pair);
+        }
+        let stats = cursor.stats();
+        JoinOutput { results, stats }
+    }
+}
+
+/// Frontier-partitioned workers sharing the CAS-min [`MinBound`], with
+/// pooled compensation queues between the stages. `threads == 0` uses
+/// [`std::thread::available_parallelism`].
+#[derive(Clone, Copy, Debug)]
+pub struct Parallel {
+    /// Worker count; `0` resolves to the machine's available parallelism.
+    pub threads: usize,
+}
+
+impl ExecBackend for Parallel {
+    fn run_kdj<const D: usize, P: PruningPolicy>(
+        &self,
+        r: &RTree<D>,
+        s: &RTree<D>,
+        k: usize,
+        cfg: &JoinConfig,
+        policy: &P,
+    ) -> JoinOutput {
+        let threads = resolve_threads(self.threads);
+        let baseline = Baseline::capture(r, s);
+        let mut stats = JoinStats {
+            stages: 1,
+            ..JoinStats::default()
+        };
+        let est = Estimator::from_trees(r, s);
+        let edmax0 = policy.initial_edmax(est.as_ref(), k);
+        let shared = MinBound::new(f64::INFINITY);
+        let mut results = Vec::new();
+        let mut queue_io = 0.0;
+        if k > 0 {
+            let mut frontier = seed_frontier(r, s, cfg, frontier_target(threads), &mut stats);
+            // Ascending by distance, then round-robin, so every worker
+            // gets a mix of near and far pairs.
+            frontier.sort_unstable_by(|a, b| a.dist.total_cmp(&b.dist));
+            let seeds = round_robin(frontier, threads);
+            let est = est.as_ref();
+            let shared = &shared;
+
+            // ---- Stage one, in parallel ----
+            let outcomes = std::thread::scope(|scope| {
+                let handles: Vec<_> = seeds
+                    .into_iter()
+                    .filter(|seed| !seed.is_empty())
+                    .map(|seed| {
+                        scope.spawn(move || {
+                            stage_one_worker::<D, P>(r, s, k, cfg, est, seed, edmax0, shared)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("worker panicked"))
+                    .collect::<Vec<_>>()
+            });
+            let mut leftovers = Vec::new();
+            let mut comps = Vec::new();
+            let mut pool = Vec::new();
+            for outcome in outcomes {
+                results.extend(outcome.results);
+                leftovers.extend(outcome.leftovers);
+                comps.extend(outcome.comps);
+                pool.extend(outcome.dists);
+                stats.absorb_worker(&outcome.stats);
+                queue_io += outcome.queue_io;
+            }
+
+            if P::AGGRESSIVE {
+                // Pool the workers' retained distance queues: their merged
+                // k-th smallest is the tightest proven bound stage one
+                // produced (every retained distance is a real pair
+                // distance of a distinct pair), so publish it once more
+                // before pruning the pooled leftovers.
+                pool.sort_unstable_by(f64::total_cmp);
+                pool.truncate(k);
+                if pool.len() == k {
+                    let kth = pool[k - 1];
+                    if kth.is_finite() && shared.tighten(kth) {
+                        stats.bound_tightenings += 1;
+                    }
+                }
+                let bound = shared.get();
+                leftovers.retain(|p| p.dist <= bound);
+                comps.retain(|e| e.key <= bound);
+
+                // ---- Stage two: compensation, in parallel ----
+                if !leftovers.is_empty() || !comps.is_empty() {
+                    stats.stages = 2;
+                    leftovers.sort_unstable_by(|a, b| a.dist.total_cmp(&b.dist));
+                    comps.sort_unstable_by(|a, b| a.key.total_cmp(&b.key));
+                    let work: Vec<_> = round_robin(leftovers, threads)
+                        .into_iter()
+                        .zip(round_robin(comps, threads))
+                        .collect();
+                    let pool = &pool;
+                    let comp_outputs = std::thread::scope(|scope| {
+                        let handles: Vec<_> = work
+                            .into_iter()
+                            .filter(|(pairs, entries)| !pairs.is_empty() || !entries.is_empty())
+                            .map(|w| {
+                                scope.spawn(move || {
+                                    stage_two_worker(r, s, k, cfg, est, w, pool, shared)
+                                })
+                            })
+                            .collect();
+                        handles
+                            .into_iter()
+                            .map(|h| h.join().expect("worker panicked"))
+                            .collect::<Vec<_>>()
+                    });
+                    for (mut part, wstats, wio) in comp_outputs {
+                        results.append(&mut part);
+                        stats.absorb_worker(&wstats);
+                        queue_io += wio;
+                    }
+                }
+            }
+            sort_canonical(&mut results);
+            results.truncate(k);
+        }
+        stats.results = results.len() as u64;
+        baseline.finish(r, s, &mut stats, queue_io);
+        JoinOutput { results, stats }
+    }
+
+    fn run_idj<const D: usize>(
+        &self,
+        r: &RTree<D>,
+        s: &RTree<D>,
+        take: usize,
+        cfg: &JoinConfig,
+        opts: &AmIdjOptions,
+    ) -> JoinOutput {
+        let threads = resolve_threads(self.threads);
+        let baseline = Baseline::capture(r, s);
+        let mut stats = JoinStats {
+            stages: 1,
+            ..JoinStats::default()
+        };
+        let shared = MinBound::new(f64::INFINITY);
+        let mut results = Vec::new();
+        let mut queue_io = 0.0;
+        if take > 0 {
+            let mut frontier = seed_frontier(r, s, cfg, frontier_target(threads), &mut stats);
+            frontier.sort_unstable_by(|a, b| a.dist.total_cmp(&b.dist));
+            let seeds = round_robin(frontier, threads);
+            let shared = &shared;
+            let worker_outputs = std::thread::scope(|scope| {
+                let handles: Vec<_> = seeds
+                    .into_iter()
+                    .filter(|seed| !seed.is_empty())
+                    .map(|seed| {
+                        let opts = opts.clone();
+                        scope.spawn(move || idj_worker(r, s, take, cfg, opts, seed, shared))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("worker panicked"))
+                    .collect::<Vec<_>>()
+            });
+            for (mut part, wstats, wio) in worker_outputs {
+                results.append(&mut part);
+                stats.stages = stats.stages.max(wstats.stages);
+                stats.absorb_worker(&wstats);
+                queue_io += wio;
+            }
+            sort_canonical(&mut results);
+            results.truncate(take);
+        }
+        stats.results = results.len() as u64;
+        baseline.finish(r, s, &mut stats, queue_io);
+        JoinOutput { results, stats }
+    }
+}
+
+/// One worker's stage one: an [`ExpansionDriver`] over a frontier
+/// partition, clamped to (and publishing into) the shared bound. Exact
+/// workers finish their partition outright and return no pooled work.
+#[allow(clippy::too_many_arguments)]
+fn stage_one_worker<const D: usize, P: PruningPolicy>(
+    r: &RTree<D>,
+    s: &RTree<D>,
+    k: usize,
+    cfg: &JoinConfig,
+    est: Option<&Estimator<D>>,
+    seed: Vec<Pair<D>>,
+    edmax0: f64,
+    shared: &MinBound,
+) -> StageOnePool<D> {
+    let mut drv = ExpansionDriver::new(r, s, cfg, k, est, P::AGGRESSIVE, edmax0, Some(shared));
+    drv.seed_counted(seed);
+    drv.run_stage_one();
+    drv.into_pool(P::AGGRESSIVE)
+}
+
+/// One worker's compensation stage: replays redistributed leftovers and
+/// parked entries with exact (`min(qDmax, shared)`) cutoffs, its distance
+/// queue pre-seeded with the pooled stage-one distances.
+#[allow(clippy::too_many_arguments)] // internal worker; mirrors stage_one_worker
+fn stage_two_worker<const D: usize>(
+    r: &RTree<D>,
+    s: &RTree<D>,
+    k: usize,
+    cfg: &JoinConfig,
+    est: Option<&Estimator<D>>,
+    work: (Vec<Pair<D>>, Vec<CompEntry<D>>),
+    pool: &[f64],
+    shared: &MinBound,
+) -> (Vec<ResultPair>, JoinStats, f64) {
+    let (pairs, comps) = work;
+    let mut drv = ExpansionDriver::new(r, s, cfg, k, est, false, f64::INFINITY, Some(shared));
+    drv.seed_replayed(pairs, comps, pool);
+    drv.run_stage_two();
+    drv.finish()
+}
+
+/// One worker of the parallel incremental join: a [`StageDriver`] cursor
+/// over a partition, consuming until it has `take` pairs or its stream
+/// provably passed the shared bound.
+fn idj_worker<const D: usize>(
+    r: &RTree<D>,
+    s: &RTree<D>,
+    take: usize,
+    cfg: &JoinConfig,
+    opts: AmIdjOptions,
+    seed: Vec<Pair<D>>,
+    shared: &MinBound,
+) -> (Vec<ResultPair>, JoinStats, f64) {
+    let mut cursor = StageDriver::with_seeds(r, s, cfg, opts, seed, shared);
+    // A worker's `take`-th smallest distance bounds the global one (its
+    // emitted pairs are a candidate set), so it is publishable.
+    let mut distq = DistanceQueue::new(take);
+    let mut results = Vec::new();
+    let mut tightenings = 0u64;
+    while results.len() < take {
+        // The cursor's minimum queue key lower-bounds every future
+        // emission: stop before doing the work once it passes the bound.
+        match cursor.peek_key() {
+            Some(key) if key <= shared.get() => {}
+            _ => break,
+        }
+        let Some(pair) = cursor.next() else { break };
+        if pair.dist > shared.get() {
+            // The stream is ascending; everything later is farther still.
+            break;
+        }
+        distq.insert(pair.dist);
+        let q = distq.qdmax();
+        if q.is_finite() && shared.tighten(q) {
+            tightenings += 1;
+        }
+        results.push(pair);
+    }
+    let (mut stats, queue_io) = cursor.finish_worker();
+    stats.bound_tightenings += tightenings;
+    stats.distq_insertions += distq.insertions();
+    (results, stats, queue_io)
+}
+
+/// Collects every swept pair, pruning nothing — used to split frontier
+/// pairs without losing any descendant.
+struct CollectAll<const D: usize> {
+    pairs: Vec<Pair<D>>,
+}
+
+impl<const D: usize> SweepSink<D> for CollectAll<D> {
+    fn axis_cutoff(&self) -> f64 {
+        f64::INFINITY
+    }
+    fn real_cutoff(&self) -> f64 {
+        f64::INFINITY
+    }
+    fn emit(&mut self, pair: Pair<D>) {
+        self.pairs.push(pair);
+    }
+}
+
+/// Expands the root pair breadth-first (coarsest node pairs first, no
+/// pruning) until at least `target` pairs exist or only object pairs
+/// remain.
+fn seed_frontier<const D: usize>(
+    r: &RTree<D>,
+    s: &RTree<D>,
+    cfg: &JoinConfig,
+    target: usize,
+    stats: &mut JoinStats,
+) -> Vec<Pair<D>> {
+    let (Some(rb), Some(sb), Some(rp), Some(sp)) =
+        (r.bounds(), s.bounds(), r.root_page(), s.root_page())
+    else {
+        return Vec::new();
+    };
+    let mut frontier = vec![Pair {
+        dist: rb.min_dist(&sb),
+        a: ItemRef::Node {
+            page: rp.0,
+            level: r.height() - 1,
+        },
+        b: ItemRef::Node {
+            page: sp.0,
+            level: s.height() - 1,
+        },
+        a_mbr: rb,
+        b_mbr: sb,
+    }];
+    let mut scratch = SweepScratch::new();
+    while frontier.len() < target {
+        // Split the coarsest remaining node pair so the frontier stays
+        // balanced; stop once only object pairs are left.
+        let Some(idx) = frontier
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| !p.is_result())
+            .max_by_key(|(_, p)| pair_level(p))
+            .map(|(i, _)| i)
+        else {
+            break;
+        };
+        let pair = frontier.swap_remove(idx);
+        scratch.expand(r, s, &pair, f64::INFINITY, cfg);
+        let mut sink = CollectAll { pairs: Vec::new() };
+        scratch.sweep(&mut sink, stats, MarkMode::None);
+        frontier.append(&mut sink.pairs);
+    }
+    frontier
+}
+
+fn pair_level<const D: usize>(p: &Pair<D>) -> u32 {
+    let side = |i: ItemRef| match i {
+        ItemRef::Node { level, .. } => level + 1,
+        ItemRef::Object { .. } => 0,
+    };
+    side(p.a).max(side(p.b))
+}
+
+/// On one thread the frontier stays the root pair alone, so the single
+/// worker replays the sequential join bit for bit (and counter for
+/// counter). More threads get `4×` oversplit for balance.
+fn frontier_target(threads: usize) -> usize {
+    if threads == 1 {
+        1
+    } else {
+        threads * 4
+    }
+}
+
+fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        threads
+    }
+}
+
+/// Splits `items` (already sorted ascending by urgency) round-robin so
+/// every worker gets a mix of near and far work.
+fn round_robin<T>(items: Vec<T>, buckets: usize) -> Vec<Vec<T>> {
+    let mut out: Vec<Vec<T>> = (0..buckets).map(|_| Vec::new()).collect();
+    for (i, item) in items.into_iter().enumerate() {
+        out[i % buckets].push(item);
+    }
+    out
+}
+
+/// Sorts results into the canonical `(dist, r, s)` order all parallel
+/// backends merge with.
+fn sort_canonical(results: &mut [ResultPair]) {
+    results.sort_unstable_by(|a, b| {
+        a.dist
+            .total_cmp(&b.dist)
+            .then_with(|| a.r.cmp(&b.r))
+            .then_with(|| a.s.cmp(&b.s))
+    });
+}

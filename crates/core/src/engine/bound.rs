@@ -1,0 +1,72 @@
+//! The shared pruning bound of the parallel backends.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A lock-free monotone-decreasing `f64` cell: the global pruning bound
+/// shared by the workers of one parallel adaptive join.
+///
+/// The value only ever moves down ([`tighten`](Self::tighten) is a CAS-min
+/// loop), so readers may use relaxed loads: a stale value is simply a
+/// larger bound, which prunes less but never prunes wrongly. `NaN` inputs
+/// are ignored (a `NaN` never compares less than the current value).
+pub struct MinBound {
+    bits: AtomicU64,
+}
+
+impl MinBound {
+    /// Creates a bound holding `v` (use `f64::INFINITY` for "no bound
+    /// yet").
+    pub fn new(v: f64) -> Self {
+        MinBound {
+            bits: AtomicU64::new(v.to_bits()),
+        }
+    }
+
+    /// The current bound. Monotone: successive calls never increase.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+
+    /// Lowers the bound to `v` if `v` is smaller; returns whether this
+    /// call tightened it.
+    pub fn tighten(&self, v: f64) -> bool {
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        loop {
+            // NaN compares `None` here and is rejected like any
+            // non-smaller value.
+            if v.partial_cmp(&f64::from_bits(cur)) != Some(std::cmp::Ordering::Less) {
+                return false;
+            }
+            match self.bits.compare_exchange_weak(
+                cur,
+                v.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(observed) => cur = observed,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_bound_tightens_monotonically() {
+        let b = MinBound::new(f64::INFINITY);
+        assert!(b.tighten(10.0));
+        assert_eq!(b.get(), 10.0);
+        assert!(!b.tighten(10.0), "equal value is not a tightening");
+        assert!(!b.tighten(11.0), "larger value must be rejected");
+        assert_eq!(b.get(), 10.0);
+        assert!(b.tighten(3.5));
+        assert_eq!(b.get(), 3.5);
+        assert!(!b.tighten(f64::NAN), "NaN is ignored");
+        assert_eq!(b.get(), 3.5);
+        assert!(b.tighten(0.0));
+        assert_eq!(b.get(), 0.0);
+    }
+}

@@ -42,7 +42,7 @@ use crate::{ItemRef, JoinConfig, JoinStats, Pair};
 pub(crate) struct SweepEntry<const D: usize> {
     pub mbr: Rect<D>,
     pub child: u64,
-    key: f64,
+    pub(crate) key: f64,
 }
 
 /// One side's children, sorted along the sweep axis — the *owned* form,
@@ -154,7 +154,7 @@ impl<const D: usize> SweepList<D> {
 }
 
 impl<const D: usize> SweepSide<'_, D> {
-    fn item_ref(&self, e: &SweepEntry<D>) -> ItemRef {
+    pub(crate) fn item_ref(&self, e: &SweepEntry<D>) -> ItemRef {
         if self.objects {
             ItemRef::Object { oid: e.child }
         } else {
@@ -177,6 +177,15 @@ pub(crate) trait SweepSink<const D: usize> {
     fn real_cutoff(&self) -> f64;
     /// Receives a candidate pair (`dist ≤ real_cutoff()` at call time).
     fn emit(&mut self, pair: Pair<D>);
+    /// `Some(w)` when the **axis** cutoff is frozen at `w` for the whole
+    /// sweep (it does not depend on state that `emit` mutates). A frozen
+    /// axis cutoff means the set of examined partners is fixed up front,
+    /// which lets leaf–leaf sweeps use the batched SoA distance kernel
+    /// without changing which distances are computed. The *real* cutoff
+    /// may still be live; it is re-read per candidate in scan order.
+    fn fixed_axis_cutoff(&self) -> Option<f64> {
+        None
+    }
 }
 
 /// What compensation bookkeeping a sweep records.
@@ -199,9 +208,9 @@ pub(crate) enum MarkMode {
 /// cutoff; re-offered on every later stage until it passes.
 #[derive(Clone, Copy, Debug)]
 pub(crate) struct Reject {
-    left: u32,
-    right: u32,
-    dist: f64,
+    pub(crate) left: u32,
+    pub(crate) right: u32,
+    pub(crate) dist: f64,
 }
 
 /// Compensation bookkeeping (§4.1, lines 19/21 of Algorithm 2, extended —
@@ -216,8 +225,8 @@ pub(crate) struct Reject {
 pub(crate) struct SweepMarks {
     pub left_stops: Vec<u32>,
     pub right_stops: Vec<u32>,
-    rejects: Vec<Reject>,
-    track_rejects: bool,
+    pub(crate) rejects: Vec<Reject>,
+    pub(crate) track_rejects: bool,
 }
 
 impl SweepMarks {
@@ -259,6 +268,10 @@ pub(crate) struct SweepScratch<const D: usize> {
     axis: usize,
     marks: SweepMarks,
     comp: CompScratch,
+    /// Taken from [`JoinConfig::batched_leaf_sweep`] at expansion time;
+    /// gates the SoA leaf kernel so benches can ablate it.
+    batch_enabled: bool,
+    batch: super::batch::BatchScratch,
 }
 
 impl<const D: usize> SweepScratch<D> {
@@ -273,6 +286,8 @@ impl<const D: usize> SweepScratch<D> {
             axis: 0,
             marks: SweepMarks::default(),
             comp: CompScratch::default(),
+            batch_enabled: true,
+            batch: super::batch::BatchScratch::default(),
         }
     }
 
@@ -288,6 +303,7 @@ impl<const D: usize> SweepScratch<D> {
     ) {
         let setup = choose_setup(&pair.a_mbr, &pair.b_mbr, cutoff, cfg);
         self.axis = setup.axis;
+        self.batch_enabled = cfg.batched_leaf_sweep;
         match pair.a {
             ItemRef::Node { page, .. } => {
                 let node = r.fetch(PageId(page));
@@ -328,8 +344,15 @@ impl<const D: usize> SweepScratch<D> {
 
     /// Prepares two level-matched nodes directly (SJ-SORT's sync
     /// traversal, which never carries `Pair`s).
-    pub(crate) fn expand_nodes(&mut self, nr: &Node<D>, ns: &Node<D>, setup: SweepSetup) {
+    pub(crate) fn expand_nodes(
+        &mut self,
+        nr: &Node<D>,
+        ns: &Node<D>,
+        setup: SweepSetup,
+        cfg: &JoinConfig,
+    ) {
         self.axis = setup.axis;
+        self.batch_enabled = cfg.batched_leaf_sweep;
         fill_from_node(&mut self.left, nr, setup);
         self.left_objects = nr.is_leaf();
         self.left_child_level = nr.level.saturating_sub(1);
@@ -369,6 +392,25 @@ impl<const D: usize> SweepScratch<D> {
                 Some(&mut self.marks)
             }
         };
+        // Leaf–leaf sweeps under a frozen axis cutoff take the batched SoA
+        // kernel; everything else takes the scalar per-pair path. Both are
+        // bit-identical (see `engine::batch`), so the flag is purely an
+        // ablation/performance switch.
+        if self.batch_enabled && left.objects && right.objects {
+            if let Some(w) = sink.fixed_axis_cutoff() {
+                super::batch::batched_plane_sweep_into(
+                    left,
+                    right,
+                    self.axis,
+                    w,
+                    sink,
+                    stats,
+                    marks,
+                    &mut self.batch,
+                );
+                return;
+            }
+        }
         plane_sweep_into(left, right, self.axis, sink, stats, marks);
     }
 
@@ -702,6 +744,18 @@ impl<const D: usize> CompQueue<D> {
 
     pub(crate) fn push(&mut self, entry: CompEntry<D>, stats: &mut JoinStats) {
         stats.compq_insertions += 1;
+        self.seq += 1;
+        self.heap.push(CompOrd {
+            seq: self.seq,
+            entry,
+        });
+    }
+
+    /// Re-enqueues an entry whose original park was already counted (a
+    /// parallel stage-two worker receiving pooled compensation work): no
+    /// stats impact. Entries seeded in `drain_sorted` order keep their
+    /// relative FIFO order on equal keys.
+    pub(crate) fn seed(&mut self, entry: CompEntry<D>) {
         self.seq += 1;
         self.heap.push(CompOrd {
             seq: self.seq,
@@ -1055,7 +1109,7 @@ mod tests {
         let b = leaf(&[(0.4, 0.0), (1.4, 0.0)], 100);
         let mut scratch: SweepScratch<2> = SweepScratch::new();
         let mut stats = JoinStats::default();
-        scratch.expand_nodes(&a, &b, setup_fwd());
+        scratch.expand_nodes(&a, &b, setup_fwd(), &JoinConfig::unbounded());
         let mut sink = Collect {
             axis: 0.5,
             real: f64::INFINITY,
@@ -1069,7 +1123,7 @@ mod tests {
         assert!(scratch.left.is_empty() && scratch.right.is_empty());
 
         // Scratch is immediately reusable for an unrelated expansion.
-        scratch.expand_nodes(&b, &a, setup_fwd());
+        scratch.expand_nodes(&b, &a, setup_fwd(), &JoinConfig::unbounded());
         let mut sink2 = Collect {
             axis: f64::INFINITY,
             real: f64::INFINITY,

@@ -206,7 +206,7 @@ impl<'a, const D: usize> HsIdj<'a, D> {
     }
 }
 
-/// HS-KDJ: the k-distance join of [13] — `HsIdj` plus a distance queue
+/// HS-KDJ: the k-distance join of \[13\] — `HsIdj` plus a distance queue
 /// whose `qDmax` gates main-queue insertions.
 pub fn hs_kdj<const D: usize>(
     r: &RTree<D>,

@@ -4,23 +4,28 @@
 //! Join Processing"* (Shin, Moon, Lee — SIGMOD 2000) over the
 //! [`amdj_rtree::RTree`] index:
 //!
-//! | Algorithm | Entry point | Paper section |
-//! |---|---|---|
-//! | HS-KDJ (uni-directional baseline) | [`hs_kdj`] | §2.2 |
-//! | HS-IDJ (incremental baseline) | [`HsIdj`] | §2.2 |
-//! | B-KDJ (bidirectional + optimized plane sweep) | [`b_kdj`] | §3 |
-//! | AM-KDJ (aggressive pruning + compensation) | [`am_kdj`] | §4.1 |
-//! | AM-IDJ (adaptive multi-stage incremental) | [`AmIdj`] | §4.2 |
-//! | SJ-SORT (spatial join + external sort baseline) | [`sj_sort`] | §5 |
-//! | Parallel B-KDJ (workers sharing both trees) | [`par_b_kdj`] | — |
-//! | Parallel AM-KDJ (shared pruning bound + parallel compensation) | [`par_am_kdj`] | — |
-//! | Parallel AM-IDJ (cursor workers sharing a bound) | [`par_am_idj`] | — |
+//! The paper's join algorithms are thin configurations of one unified
+//! [`engine`]: a pruning *policy* ([`engine::Exact`] or
+//! [`engine::Aggressive`]) crossed with an execution *backend*
+//! ([`engine::Sequential`] or [`engine::Parallel`]):
+//!
+//! | Algorithm | Entry point | Engine configuration | Paper section |
+//! |---|---|---|---|
+//! | HS-KDJ (uni-directional baseline) | [`hs_kdj`] | — (own loop) | §2.2 |
+//! | HS-IDJ (incremental baseline) | [`HsIdj`] | — (own loop) | §2.2 |
+//! | B-KDJ (bidirectional + optimized plane sweep) | [`b_kdj`] | Exact × Sequential | §3 |
+//! | AM-KDJ (aggressive pruning + compensation) | [`am_kdj`] | Aggressive × Sequential | §4.1 |
+//! | AM-IDJ (adaptive multi-stage incremental) | [`AmIdj`] | [`engine::StageDriver`] | §4.2 |
+//! | SJ-SORT (spatial join + external sort baseline) | [`sj_sort`] | — (own loop) | §5 |
+//! | Parallel B-KDJ | [`par_b_kdj`] | Exact × Parallel | — |
+//! | Parallel AM-KDJ | [`par_am_kdj`] | Aggressive × Parallel | — |
+//! | Parallel AM-IDJ | [`par_am_idj`] | StageDriver × Parallel | — |
 //!
 //! Every join takes its trees by `&RTree` — the page buffer synchronizes
 //! internally — so joins can also run concurrently over shared indexes;
-//! see the [`par_b_kdj`] module docs for the exactness argument and the
-//! shared-bound ([`MinBound`]) soundness argument the parallel adaptive
-//! joins rest on.
+//! see the [`engine`] module docs for the parallel exactness argument and
+//! the shared-bound ([`MinBound`]) soundness argument the parallel joins
+//! rest on.
 //!
 //! Supporting machinery, each its own module:
 //!
@@ -65,6 +70,7 @@ pub mod bruteforce;
 mod concurrent;
 mod config;
 mod distq;
+pub mod engine;
 mod estimate;
 pub mod histogram;
 mod hs;
@@ -73,15 +79,15 @@ mod mainq;
 mod pair;
 mod sjsort;
 mod stats;
-pub(crate) mod sweep;
 mod within;
 
 pub use amidj::AmIdj;
 pub use amkdj::am_kdj;
 pub use bkdj::b_kdj;
-pub use concurrent::{par_am_idj, par_am_kdj, par_b_kdj, MinBound};
+pub use concurrent::{par_am_idj, par_am_kdj, par_b_kdj};
 pub use config::{AmIdjOptions, AmKdjOptions, Correction, EdmaxPolicy, JoinConfig};
 pub use distq::DistanceQueue;
+pub use engine::MinBound;
 pub use estimate::Estimator;
 pub use histogram::HistogramEstimator;
 pub use hs::{hs_kdj, HsIdj};

@@ -11,8 +11,8 @@ use amdj_rtree::RTree;
 use amdj_storage::codec::{put_f64, put_u64, Reader};
 use amdj_storage::{ExternalSorter, PageId, SpillItem};
 
+use crate::engine::sweep::{choose_setup, MarkMode, SweepScratch, SweepSink};
 use crate::stats::Baseline;
-use crate::sweep::{choose_setup, MarkMode, SweepScratch, SweepSink};
 use crate::{ItemRef, JoinConfig, JoinOutput, JoinStats, Pair, ResultPair};
 
 /// A candidate object pair headed for the external sorter.
@@ -59,6 +59,9 @@ impl<const D: usize> SweepSink<D> for SjSink<'_, D> {
     }
     fn real_cutoff(&self) -> f64 {
         self.dmax
+    }
+    fn fixed_axis_cutoff(&self) -> Option<f64> {
+        Some(self.dmax)
     }
     fn emit(&mut self, pair: Pair<D>) {
         match (pair.a, pair.b) {
@@ -117,7 +120,7 @@ pub(crate) fn visit<const D: usize>(
     // reuse during recursion: its sweep output is fully drained into
     // `recurse` before any recursive call runs.
     let setup = choose_setup(&nr.mbr(), &ns.mbr(), dmax, cfg);
-    scratch.expand_nodes(&nr, &ns, setup);
+    scratch.expand_nodes(&nr, &ns, setup, cfg);
     stats.stage1_expansions += 1;
     let mut recurse = Vec::new();
     let mut sink = SjSink {

@@ -94,6 +94,27 @@ impl JoinStats {
     pub fn total_dist_computations(&self) -> u64 {
         self.real_dist + self.axis_dist
     }
+
+    /// Folds one parallel worker's counters into an aggregate. Work
+    /// counters *sum*: every unit of work — a distance computation, a
+    /// queue insertion (counted once, when a pair first enters a queue),
+    /// an expansion, a compensation replay — happens in exactly one
+    /// worker, so on one thread the totals equal the sequential join's.
+    /// Driver-owned fields (`results`, `stages`, node access deltas,
+    /// wall-clock and I/O time) are left to the driver.
+    pub fn absorb_worker(&mut self, w: &JoinStats) {
+        self.real_dist += w.real_dist;
+        self.axis_dist += w.axis_dist;
+        self.mainq_insertions += w.mainq_insertions;
+        self.distq_insertions += w.distq_insertions;
+        self.compq_insertions += w.compq_insertions;
+        self.comp_replays += w.comp_replays;
+        self.bound_tightenings += w.bound_tightenings;
+        self.stage1_expansions += w.stage1_expansions;
+        self.stage2_expansions += w.stage2_expansions;
+        self.queue_page_reads += w.queue_page_reads;
+        self.queue_page_writes += w.queue_page_writes;
+    }
 }
 
 /// Results plus statistics of one join execution.

@@ -45,7 +45,7 @@ pub fn within_join<const D: usize>(
     let mut results: Vec<ResultPair> = Vec::new();
     if let (Some(rp), Some(sp)) = (r.root_page(), s.root_page()) {
         let mut out = |dist: f64, a: u64, b: u64| results.push(ResultPair { r: a, s: b, dist });
-        let mut scratch = crate::sweep::SweepScratch::new();
+        let mut scratch = crate::engine::sweep::SweepScratch::new();
         visit(r, s, rp, sp, dmax, cfg, &mut out, &mut stats, &mut scratch);
     }
     results.sort_unstable_by(|a, b| {

@@ -5,12 +5,12 @@
 //! redistributable here, so this crate synthesizes workloads with the
 //! properties the join algorithms are sensitive to:
 //!
-//! * [`tiger::streets`] — many small, elongated segment MBRs clustered
-//!   into "towns" (with Zipf-distributed town sizes) plus long highway
-//!   polylines, mimicking a road network;
-//! * [`tiger::hydro`] — clustered blobs (lakes/ponds) plus river
-//!   polylines, spatially correlated with — but not identical to — the
-//!   street distribution;
+//! * [`tiger::Geography::streets`] — many small, elongated segment MBRs
+//!   clustered into "towns" (with Zipf-distributed town sizes) plus long
+//!   highway polylines, mimicking a road network;
+//! * [`tiger::Geography::hydro`] — clustered blobs (lakes/ponds) plus
+//!   river polylines, spatially correlated with — but not identical to —
+//!   the street distribution;
 //! * [`uniform_points`] / [`uniform_rects`] — the uniformity baseline the
 //!   paper's Equation (3) assumes;
 //! * [`clustered_points`] — a Gaussian-mixture point cloud for skew

@@ -113,7 +113,7 @@ fn one_term(r0: f64, r1: f64, s0: f64, s1: f64, w: f64) -> f64 {
 }
 
 /// The sweeping index of Equation (2) for dimension `dim`, window (cutoff)
-/// length `w`, normalized per anchor extent (see [`one_term`]): the expected
+/// length `w`, normalized per anchor extent (see `one_term`): the expected
 /// fraction of child pairs that will need a real distance computation if
 /// `dim` is the sweeping axis. Lower is better.
 pub fn sweeping_index<const D: usize>(r: &Rect<D>, s: &Rect<D>, w: f64, dim: usize) -> f64 {

@@ -1,11 +1,10 @@
-//! Property-based end-to-end validation: random workloads, random
-//! parameters — every algorithm must reproduce the brute-force distance
-//! sequence exactly, under any memory budget and any `eDmax` estimate.
+//! Property-based end-to-end validation of the joins that live *outside*
+//! the unified engine (HS-KDJ and SJ-SORT keep their own loops), plus the
+//! memory-budget invariance of the engine's reference configuration. The
+//! engine-resident algorithms are covered across every policy × backend
+//! cell in `engine_matrix.rs`.
 
-use amdj_core::{
-    am_kdj, b_kdj, bruteforce, hs_kdj, sj_sort, AmIdj, AmIdjOptions, AmKdjOptions, Correction,
-    EdmaxPolicy, JoinConfig,
-};
+use amdj_core::{b_kdj, bruteforce, hs_kdj, sj_sort, JoinConfig};
 use amdj_geom::Rect;
 use amdj_rtree::{RTree, RTreeParams};
 use amdj_storage::CostModel;
@@ -46,33 +45,6 @@ proptest! {
     #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
 
     #[test]
-    fn bkdj_equals_bruteforce(
-        a in arb_dataset(120),
-        b in arb_dataset(120),
-        k in 1usize..200,
-    ) {
-        let want = bruteforce::k_closest_pairs(&a, &b, k);
-        let (r, s) = trees(&a, &b);
-        let out = b_kdj(&r, &s, k, &JoinConfig::unbounded());
-        same_distances(&out.results, &want)?;
-    }
-
-    #[test]
-    fn amkdj_equals_bruteforce_any_edmax(
-        a in arb_dataset(100),
-        b in arb_dataset(100),
-        k in 1usize..150,
-        edmax_factor in 0.0f64..5.0,
-    ) {
-        let want = bruteforce::k_closest_pairs(&a, &b, k);
-        let scale = want.last().map_or(1.0, |p| p.dist);
-        let (r, s) = trees(&a, &b);
-        let opts = AmKdjOptions { edmax_override: Some(scale * edmax_factor) };
-        let out = am_kdj(&r, &s, k, &JoinConfig::unbounded(), &opts);
-        same_distances(&out.results, &want)?;
-    }
-
-    #[test]
     fn hs_equals_bruteforce(
         a in arb_dataset(80),
         b in arb_dataset(80),
@@ -96,33 +68,6 @@ proptest! {
             let out = sj_sort(&r, &s, k.min(want.len()), dmax, &JoinConfig::unbounded());
             same_distances(&out.results, &want[..k.min(want.len())])?;
         }
-    }
-
-    #[test]
-    fn amidj_streams_bruteforce_order(
-        a in arb_dataset(70),
-        b in arb_dataset(70),
-        take in 1usize..150,
-        initial_k in 1u64..64,
-        geometric in proptest::bool::ANY,
-    ) {
-        let want = bruteforce::k_closest_pairs(&a, &b, take);
-        let (r, s) = trees(&a, &b);
-        let corr = if geometric { Correction::Geometric } else { Correction::MinOfBoth };
-        let opts = AmIdjOptions {
-            initial_k,
-            growth: 2.0,
-            edmax: EdmaxPolicy::Estimated(corr),
-        };
-        let mut cursor = AmIdj::new(&r, &s, &JoinConfig::unbounded(), opts);
-        let mut got = Vec::new();
-        while got.len() < take {
-            match cursor.next() {
-                Some(p) => got.push(p),
-                None => break,
-            }
-        }
-        same_distances(&got, &want)?;
     }
 
     #[test]
