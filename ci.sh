@@ -19,4 +19,14 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 echo "== cargo test =="
 cargo test -q
 
+# Stress tier (opt-in: STRESS=1 ./ci.sh): rerun the engine-matrix and
+# schedule-perturbation properties in release mode with 4× the proptest
+# cases. Both suites include 8-thread cells, so this is where racy
+# work-stealing regressions that survive the quick tier get shaken out.
+if [ "${STRESS:-0}" = "1" ]; then
+    echo "== stress tier: engine_matrix + steal_schedules, 4x cases =="
+    AMDJ_PROPTEST_CASES=48 cargo test -q --release \
+        --package amdj-tests --test engine_matrix --test steal_schedules
+fi
+
 echo "ci.sh: all checks passed"

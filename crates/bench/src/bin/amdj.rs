@@ -275,15 +275,18 @@ fn run() -> Result<(), String> {
             let rows = run_bench_matrix(n, k, seed, &cfg);
             for row in &rows {
                 eprintln!(
-                    "# {:<4} {:<7} threads={} k={} wall={:.4}s nodes={} dists={} results={}",
+                    "# {:<4} {:<7} threads={} steal={} k={} wall={:.4}s nodes={} dists={} results={} stolen={} idle={}ns",
                     row.op,
                     row.algo,
                     row.threads,
+                    row.steal,
                     row.k,
                     row.wall_time_s,
                     row.node_accesses,
                     row.pairs_computed,
-                    row.results
+                    row.results,
+                    row.pairs_stolen,
+                    row.barrier_idle_ns
                 );
             }
             if let Some(path) = json_out {
@@ -302,11 +305,15 @@ struct BenchRow {
     op: &'static str,
     algo: &'static str,
     threads: usize,
+    steal: bool,
     k: usize,
     wall_time_s: f64,
     node_accesses: u64,
     pairs_computed: u64,
     results: usize,
+    pairs_stolen: u64,
+    steal_attempts: u64,
+    barrier_idle_ns: u64,
 }
 
 /// Runs every kdj/idj algorithm (sequential and parallel at several thread
@@ -317,9 +324,14 @@ fn run_bench_matrix(n: usize, k: usize, seed: u64, cfg: &JoinConfig) -> Vec<Benc
     let b = clustered_points(n, 16, 0.02, unit_universe(), seed + 1);
     let r = RTree::bulk_load(RTreeParams::paper_defaults(), a);
     let s = RTree::bulk_load(RTreeParams::paper_defaults(), b);
-    let thread_counts = [1usize, 2, 4];
+    let thread_counts = [1usize, 2, 4, 8];
+    // The parallel rows run twice per thread count: work-stealing (the
+    // default) against the static round-robin split, so the JSON carries
+    // the barrier-idle comparison the scheduler exists to win.
+    let mut rr_cfg = cfg.clone();
+    rr_cfg.steal = false;
     let mut rows = Vec::new();
-    let mut record = |op, algo, threads, run: &mut dyn FnMut() -> JoinOutput| {
+    let mut record = |op, algo, threads, steal, run: &mut dyn FnMut() -> JoinOutput| {
         let start = std::time::Instant::now();
         let out = run();
         let wall = start.elapsed().as_secs_f64();
@@ -327,33 +339,41 @@ fn run_bench_matrix(n: usize, k: usize, seed: u64, cfg: &JoinConfig) -> Vec<Benc
             op,
             algo,
             threads,
+            steal,
             k,
             wall_time_s: wall,
             node_accesses: out.stats.node_requests,
             pairs_computed: out.stats.real_dist,
             results: out.results.len(),
+            pairs_stolen: out.stats.pairs_stolen,
+            steal_attempts: out.stats.steal_attempts,
+            barrier_idle_ns: out.stats.barrier_idle_ns,
         });
     };
-    record("kdj", "hs", 1, &mut || hs_kdj(&r, &s, k, cfg));
-    record("kdj", "b", 1, &mut || b_kdj(&r, &s, k, cfg));
-    record("kdj", "am", 1, &mut || {
+    record("kdj", "hs", 1, false, &mut || hs_kdj(&r, &s, k, cfg));
+    record("kdj", "b", 1, false, &mut || b_kdj(&r, &s, k, cfg));
+    record("kdj", "am", 1, false, &mut || {
         am_kdj(&r, &s, k, cfg, &AmKdjOptions::default())
     });
     // SJ-SORT gets the paper's favorable oracle: the true k-th distance
     // (taken from an uncounted B-KDJ run before the measured one starts).
     let oracle_dmax = b_kdj(&r, &s, k, cfg).results.last().map_or(0.0, |p| p.dist);
-    record("kdj", "sjsort", 1, &mut || {
+    record("kdj", "sjsort", 1, false, &mut || {
         sj_sort(&r, &s, k, oracle_dmax, cfg)
     });
     for t in thread_counts {
-        record("kdj", "par", t, &mut || par_b_kdj(&r, &s, k, cfg, t));
+        for (steal, c) in [(true, cfg), (false, &rr_cfg)] {
+            record("kdj", "par", t, steal, &mut || par_b_kdj(&r, &s, k, c, t));
+        }
     }
     for t in thread_counts {
-        record("kdj", "par-am", t, &mut || {
-            par_am_kdj(&r, &s, k, cfg, &AmKdjOptions::default(), t)
-        });
+        for (steal, c) in [(true, cfg), (false, &rr_cfg)] {
+            record("kdj", "par-am", t, steal, &mut || {
+                par_am_kdj(&r, &s, k, c, &AmKdjOptions::default(), t)
+            });
+        }
     }
-    record("idj", "hs", 1, &mut || {
+    record("idj", "hs", 1, false, &mut || {
         let mut cursor = HsIdj::new(&r, &s, cfg);
         let mut results = Vec::with_capacity(k);
         while results.len() < k {
@@ -367,7 +387,7 @@ fn run_bench_matrix(n: usize, k: usize, seed: u64, cfg: &JoinConfig) -> Vec<Benc
             stats: cursor.stats(),
         }
     });
-    record("idj", "am", 1, &mut || {
+    record("idj", "am", 1, false, &mut || {
         let mut cursor = AmIdj::new(&r, &s, cfg, AmIdjOptions::default());
         let mut results = Vec::with_capacity(k);
         while results.len() < k {
@@ -382,9 +402,11 @@ fn run_bench_matrix(n: usize, k: usize, seed: u64, cfg: &JoinConfig) -> Vec<Benc
         }
     });
     for t in thread_counts {
-        record("idj", "par-am", t, &mut || {
-            par_am_idj(&r, &s, k, cfg, &AmIdjOptions::default(), t)
-        });
+        for (steal, c) in [(true, cfg), (false, &rr_cfg)] {
+            record("idj", "par-am", t, steal, &mut || {
+                par_am_idj(&r, &s, k, c, &AmIdjOptions::default(), t)
+            });
+        }
     }
     rows
 }
@@ -395,23 +417,29 @@ fn bench_rows_json(n: usize, k: usize, seed: u64, rows: &[BenchRow]) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     // Bumped whenever rows/fields change shape: 2 added the sjsort kdj row
-    // and the hs idj row.
-    out.push_str("  \"schema_version\": 2,\n");
+    // and the hs idj row; 3 added the steal column, the scheduler
+    // counters (pairs_stolen / steal_attempts / barrier_idle_ns), and the
+    // 8-thread steal-on vs steal-off rows.
+    out.push_str("  \"schema_version\": 3,\n");
     out.push_str(&format!(
         "  \"workload\": {{ \"n\": {n}, \"k\": {k}, \"seed\": {seed}, \"r\": \"uniform\", \"s\": \"clustered\" }},\n"
     ));
     out.push_str("  \"runs\": [\n");
     for (i, row) in rows.iter().enumerate() {
         out.push_str(&format!(
-            "    {{ \"op\": \"{}\", \"algo\": \"{}\", \"threads\": {}, \"k\": {}, \"wall_time_s\": {:.6}, \"node_accesses\": {}, \"pairs_computed\": {}, \"results\": {} }}{}\n",
+            "    {{ \"op\": \"{}\", \"algo\": \"{}\", \"threads\": {}, \"steal\": {}, \"k\": {}, \"wall_time_s\": {:.6}, \"node_accesses\": {}, \"pairs_computed\": {}, \"results\": {}, \"pairs_stolen\": {}, \"steal_attempts\": {}, \"barrier_idle_ns\": {} }}{}\n",
             row.op,
             row.algo,
             row.threads,
+            row.steal,
             row.k,
             row.wall_time_s,
             row.node_accesses,
             row.pairs_computed,
             row.results,
+            row.pairs_stolen,
+            row.steal_attempts,
+            row.barrier_idle_ns,
             if i + 1 == rows.len() { "" } else { "," }
         ));
     }

@@ -21,7 +21,7 @@ pub fn par_b_kdj<const D: usize>(
     cfg: &JoinConfig,
     threads: usize,
 ) -> JoinOutput {
-    engine::kdj(r, s, k, cfg, &Exact, &Parallel { threads })
+    engine::kdj(r, s, k, cfg, &Exact, &Parallel::new(threads))
 }
 
 /// Parallel AM-KDJ: stage one runs the aggressive policy per worker;
@@ -40,7 +40,7 @@ pub fn par_am_kdj<const D: usize>(
     let policy = Aggressive {
         edmax_override: opts.edmax_override,
     };
-    engine::kdj(r, s, k, cfg, &policy, &Parallel { threads })
+    engine::kdj(r, s, k, cfg, &policy, &Parallel::new(threads))
 }
 
 /// Parallel AM-IDJ: each worker advances its own multi-stage incremental
@@ -55,7 +55,7 @@ pub fn par_am_idj<const D: usize>(
     opts: &AmIdjOptions,
     threads: usize,
 ) -> JoinOutput {
-    engine::idj(r, s, take, cfg, opts, &Parallel { threads })
+    engine::idj(r, s, take, cfg, opts, &Parallel::new(threads))
 }
 
 #[cfg(test)]

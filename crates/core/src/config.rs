@@ -25,6 +25,13 @@ pub struct JoinConfig {
     /// per-pair `min_dist` calls. Bit-identical to the scalar path; the
     /// switch exists so benches can ablate the batched kernel.
     pub batched_leaf_sweep: bool,
+    /// Let parallel workers steal frontier pairs (and stage-two work
+    /// items) from loaded peers instead of idling at the stage barrier
+    /// once their own partition drains. Results are bit-identical either
+    /// way; the switch exists so benches can compare against the static
+    /// round-robin partitioning and so `JoinStats::pairs_stolen` can be
+    /// pinned to zero in tests.
+    pub steal: bool,
 }
 
 impl Default for JoinConfig {
@@ -36,6 +43,7 @@ impl Default for JoinConfig {
             optimize_direction: true,
             eq3_queue_boundaries: true,
             batched_leaf_sweep: true,
+            steal: true,
         }
     }
 }
@@ -50,6 +58,7 @@ impl JoinConfig {
             optimize_direction: true,
             eq3_queue_boundaries: true,
             batched_leaf_sweep: true,
+            steal: true,
         }
     }
 

@@ -43,12 +43,23 @@
 //! the pooled k smallest stage-one distances, so their `qDmax` starts
 //! tight instead of at infinity.
 //!
-//! # Where work stealing will plug in
+//! # Work stealing
 //!
-//! The stage-one/stage-two barrier is the natural seam: a stealing
-//! backend would replace the pooled redistribution with a deque of
-//! `(Pair, CompEntry)` work items that idle workers pop — nothing in the
-//! driver or policies needs to change. See DESIGN.md §7.
+//! [`Parallel`] has two scheduling modes, selected by
+//! [`JoinConfig::steal`]. With stealing off, this module's static path
+//! runs: the frontier is partitioned round-robin once and a drained
+//! worker idles at the stage barrier ([`JoinStats::barrier_idle_ns`]
+//! measures exactly that idle time). With stealing on (the default), the
+//! [`steal`](super::steal) module keeps the frontier in per-worker deques
+//! that drained workers steal from — same drivers, same shared bound,
+//! same pooled compensation hand-off; only the distribution of seeds to
+//! workers becomes dynamic. Results are bit-identical either way, which
+//! `tests/steal_schedules.rs` pins under adversarial
+//! [`TestSchedule`](super::steal::TestSchedule) perturbations. See
+//! DESIGN.md §7 for the full design.
+//!
+//! [`JoinConfig::steal`]: crate::JoinConfig::steal
+//! [`JoinStats::barrier_idle_ns`]: crate::JoinStats::barrier_idle_ns
 
 use amdj_rtree::RTree;
 
@@ -62,6 +73,7 @@ use super::bound::MinBound;
 use super::driver::{ExpansionDriver, StageOnePool};
 use super::policy::PruningPolicy;
 use super::stage::StageDriver;
+use super::steal::{self, TestSchedule};
 use super::sweep::{CompEntry, MarkMode, SweepScratch, SweepSink};
 
 /// How a join executes: one driver, or a fleet of frontier-partitioned
@@ -143,11 +155,26 @@ impl ExecBackend for Sequential {
 
 /// Frontier-partitioned workers sharing the CAS-min [`MinBound`], with
 /// pooled compensation queues between the stages. `threads == 0` uses
-/// [`std::thread::available_parallelism`].
-#[derive(Clone, Copy, Debug)]
+/// [`std::thread::available_parallelism`]. Workers steal from each other
+/// unless [`JoinConfig::steal`](crate::JoinConfig::steal) turns the
+/// dynamic scheduling off.
+#[derive(Clone, Copy, Debug, Default)]
 pub struct Parallel {
     /// Worker count; `0` resolves to the machine's available parallelism.
     pub threads: usize,
+    /// Deterministic schedule perturbation for the work-stealing path —
+    /// test-only machinery; leave `None` in production use.
+    pub schedule: Option<TestSchedule>,
+}
+
+impl Parallel {
+    /// A backend with `threads` workers and no schedule perturbation.
+    pub fn new(threads: usize) -> Self {
+        Parallel {
+            threads,
+            schedule: None,
+        }
+    }
 }
 
 impl ExecBackend for Parallel {
@@ -160,6 +187,9 @@ impl ExecBackend for Parallel {
         policy: &P,
     ) -> JoinOutput {
         let threads = resolve_threads(self.threads);
+        if cfg.steal {
+            return steal::run_kdj::<D, P>(r, s, k, cfg, policy, threads, self.schedule);
+        }
         let baseline = Baseline::capture(r, s);
         let mut stats = JoinStats {
             stages: 1,
@@ -180,13 +210,16 @@ impl ExecBackend for Parallel {
             let shared = &shared;
 
             // ---- Stage one, in parallel ----
+            let t0 = std::time::Instant::now();
             let outcomes = std::thread::scope(|scope| {
                 let handles: Vec<_> = seeds
                     .into_iter()
                     .filter(|seed| !seed.is_empty())
                     .map(|seed| {
                         scope.spawn(move || {
-                            stage_one_worker::<D, P>(r, s, k, cfg, est, seed, edmax0, shared)
+                            let out =
+                                stage_one_worker::<D, P>(r, s, k, cfg, est, seed, edmax0, shared);
+                            (out, t0.elapsed().as_nanos() as u64)
                         })
                     })
                     .collect();
@@ -195,10 +228,12 @@ impl ExecBackend for Parallel {
                     .map(|h| h.join().expect("worker panicked"))
                     .collect::<Vec<_>>()
             });
+            let finishes: Vec<u64> = outcomes.iter().map(|(_, ns)| *ns).collect();
+            stats.barrier_idle_ns += barrier_idle(&finishes);
             let mut leftovers = Vec::new();
             let mut comps = Vec::new();
             let mut pool = Vec::new();
-            for outcome in outcomes {
+            for (outcome, _) in outcomes {
                 results.extend(outcome.results);
                 leftovers.extend(outcome.leftovers);
                 comps.extend(outcome.comps);
@@ -235,13 +270,15 @@ impl ExecBackend for Parallel {
                         .zip(round_robin(comps, threads))
                         .collect();
                     let pool = &pool;
+                    let t0 = std::time::Instant::now();
                     let comp_outputs = std::thread::scope(|scope| {
                         let handles: Vec<_> = work
                             .into_iter()
                             .filter(|(pairs, entries)| !pairs.is_empty() || !entries.is_empty())
                             .map(|w| {
                                 scope.spawn(move || {
-                                    stage_two_worker(r, s, k, cfg, est, w, pool, shared)
+                                    let out = stage_two_worker(r, s, k, cfg, est, w, pool, shared);
+                                    (out, t0.elapsed().as_nanos() as u64)
                                 })
                             })
                             .collect();
@@ -250,7 +287,9 @@ impl ExecBackend for Parallel {
                             .map(|h| h.join().expect("worker panicked"))
                             .collect::<Vec<_>>()
                     });
-                    for (mut part, wstats, wio) in comp_outputs {
+                    let finishes: Vec<u64> = comp_outputs.iter().map(|(_, ns)| *ns).collect();
+                    stats.barrier_idle_ns += barrier_idle(&finishes);
+                    for ((mut part, wstats, wio), _) in comp_outputs {
                         results.append(&mut part);
                         stats.absorb_worker(&wstats);
                         queue_io += wio;
@@ -274,6 +313,9 @@ impl ExecBackend for Parallel {
         opts: &AmIdjOptions,
     ) -> JoinOutput {
         let threads = resolve_threads(self.threads);
+        if cfg.steal {
+            return steal::run_idj(r, s, take, cfg, opts, threads, self.schedule);
+        }
         let baseline = Baseline::capture(r, s);
         let mut stats = JoinStats {
             stages: 1,
@@ -287,13 +329,17 @@ impl ExecBackend for Parallel {
             frontier.sort_unstable_by(|a, b| a.dist.total_cmp(&b.dist));
             let seeds = round_robin(frontier, threads);
             let shared = &shared;
+            let t0 = std::time::Instant::now();
             let worker_outputs = std::thread::scope(|scope| {
                 let handles: Vec<_> = seeds
                     .into_iter()
                     .filter(|seed| !seed.is_empty())
                     .map(|seed| {
                         let opts = opts.clone();
-                        scope.spawn(move || idj_worker(r, s, take, cfg, opts, seed, shared))
+                        scope.spawn(move || {
+                            let out = idj_worker(r, s, take, cfg, opts, seed, shared);
+                            (out, t0.elapsed().as_nanos() as u64)
+                        })
                     })
                     .collect();
                 handles
@@ -301,7 +347,9 @@ impl ExecBackend for Parallel {
                     .map(|h| h.join().expect("worker panicked"))
                     .collect::<Vec<_>>()
             });
-            for (mut part, wstats, wio) in worker_outputs {
+            let finishes: Vec<u64> = worker_outputs.iter().map(|(_, ns)| *ns).collect();
+            stats.barrier_idle_ns += barrier_idle(&finishes);
+            for ((mut part, wstats, wio), _) in worker_outputs {
                 results.append(&mut part);
                 stats.stages = stats.stages.max(wstats.stages);
                 stats.absorb_worker(&wstats);
@@ -418,10 +466,17 @@ impl<const D: usize> SweepSink<D> for CollectAll<D> {
     }
 }
 
+/// Sum over workers of `last_finish − own_finish`: the idle time a stage
+/// barrier imposed on the workers that finished early.
+pub(crate) fn barrier_idle(finish_ns: &[u64]) -> u64 {
+    let max = finish_ns.iter().copied().max().unwrap_or(0);
+    finish_ns.iter().map(|&ns| max - ns).sum()
+}
+
 /// Expands the root pair breadth-first (coarsest node pairs first, no
 /// pruning) until at least `target` pairs exist or only object pairs
 /// remain.
-fn seed_frontier<const D: usize>(
+pub(crate) fn seed_frontier<const D: usize>(
     r: &RTree<D>,
     s: &RTree<D>,
     cfg: &JoinConfig,
@@ -496,8 +551,9 @@ fn resolve_threads(threads: usize) -> usize {
 }
 
 /// Splits `items` (already sorted ascending by urgency) round-robin so
-/// every worker gets a mix of near and far work.
-fn round_robin<T>(items: Vec<T>, buckets: usize) -> Vec<Vec<T>> {
+/// every worker gets a mix of near and far work — and so each bucket
+/// stays ascending, the invariant the stealing pool's deques rely on.
+pub(crate) fn round_robin<T>(items: Vec<T>, buckets: usize) -> Vec<Vec<T>> {
     let mut out: Vec<Vec<T>> = (0..buckets).map(|_| Vec::new()).collect();
     for (i, item) in items.into_iter().enumerate() {
         out[i % buckets].push(item);
@@ -507,7 +563,7 @@ fn round_robin<T>(items: Vec<T>, buckets: usize) -> Vec<Vec<T>> {
 
 /// Sorts results into the canonical `(dist, r, s)` order all parallel
 /// backends merge with.
-fn sort_canonical(results: &mut [ResultPair]) {
+pub(crate) fn sort_canonical(results: &mut [ResultPair]) {
     results.sort_unstable_by(|a, b| {
         a.dist
             .total_cmp(&b.dist)

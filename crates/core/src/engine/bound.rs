@@ -27,6 +27,12 @@ impl MinBound {
         f64::from_bits(self.bits.load(Ordering::Relaxed))
     }
 
+    /// `v` clamped to the bound — the pattern every driver cutoff uses.
+    /// `clamp(v) == v.min(get())`, so a stale read only loosens.
+    pub fn clamp(&self, v: f64) -> f64 {
+        v.min(self.get())
+    }
+
     /// Lowers the bound to `v` if `v` is smaller; returns whether this
     /// call tightened it.
     pub fn tighten(&self, v: f64) -> bool {

@@ -54,7 +54,7 @@ impl<const D: usize> EngineSink<'_, D> {
     fn qdmax(&self) -> f64 {
         let q = self.distq.qdmax();
         match self.shared {
-            Some(bound) => q.min(bound.get()),
+            Some(bound) => bound.clamp(q),
             None => q,
         }
     }
@@ -232,9 +232,30 @@ impl<'x, const D: usize> ExpansionDriver<'x, D> {
     fn cutoff(&self) -> f64 {
         let q = self.distq.qdmax();
         match self.shared {
-            Some(bound) => q.min(bound.get()),
+            Some(bound) => bound.clamp(q),
             None => q,
         }
+    }
+
+    /// The largest frontier key this driver's stage one would still
+    /// process — the work-stealing claim predicate. The aggressive policy
+    /// refuses seeds beyond its (ratcheted) `eDmax`: stage one could not
+    /// emit their results anyway, and leaving them in the pool lets the
+    /// backend route them straight to stage two instead of shuffling them
+    /// through a worker that would only unpop them.
+    pub(crate) fn stage_one_claim_bound(&self) -> f64 {
+        if self.aggressive {
+            self.edmax
+        } else {
+            self.cutoff()
+        }
+    }
+
+    /// The work-stealing claim predicate of stage two: the clamped
+    /// `qDmax`, beyond which no pair or compensation entry can contribute
+    /// to the merged answer.
+    pub(crate) fn stage_two_claim_bound(&self) -> f64 {
+        self.cutoff()
     }
 
     /// Stage one. Exact (`aggressive == false`): Algorithm 1's loop, the
@@ -243,7 +264,32 @@ impl<'x, const D: usize> ExpansionDriver<'x, D> {
     /// distance exceeds `eDmax` (erratum fixed, see `amkdj`), sweep with
     /// suffix marks, and park any expansion that skipped work.
     pub(crate) fn run_stage_one(&mut self) {
-        while self.results.len() < self.k {
+        self.stage_one_loop(false);
+    }
+
+    /// Stage one under the work-stealing backend. Identical to
+    /// [`run_stage_one`](Self::run_stage_one) except that reaching `k`
+    /// results does not stop the loop while queued keys can still beat the
+    /// cutoff: with dynamically claimed seeds a worker's first `k`
+    /// emissions are not necessarily its partition's top `k` (a later
+    /// steal may hold closer pairs), so the ascending-prefix argument that
+    /// justifies stopping at `k` no longer applies. Surplus results are
+    /// harmless — the backend's canonical merge sorts and truncates.
+    pub(crate) fn run_stage_one_stealing(&mut self) {
+        self.stage_one_loop(true);
+    }
+
+    fn stage_one_loop(&mut self, past_k: bool) {
+        loop {
+            if self.results.len() >= self.k {
+                if !past_k {
+                    break;
+                }
+                match self.mainq.peek_min() {
+                    Some(key) if key <= self.cutoff() => {}
+                    _ => break,
+                }
+            }
             let Some(pair) = self.mainq.pop() else { break };
             if self.aggressive {
                 // Algorithm 2 line 8: an overestimated eDmax is detected
@@ -307,7 +353,24 @@ impl<'x, const D: usize> ExpansionDriver<'x, D> {
     /// replay exactly the child pairs stage one skipped. `qDmax` is exact
     /// here, so nothing needs parking again.
     pub(crate) fn run_stage_two(&mut self) {
-        while self.results.len() < self.k {
+        self.stage_two_loop(false);
+    }
+
+    /// Stage two under the work-stealing backend: the `k`-results stop is
+    /// lifted for the same reason as in
+    /// [`run_stage_one_stealing`](Self::run_stage_one_stealing); the
+    /// `key > cutoff` break alone terminates the loop, and it is sound
+    /// because the clamped `qDmax` upper-bounds the global k-th answer
+    /// distance (module docs).
+    pub(crate) fn run_stage_two_stealing(&mut self) {
+        self.stage_two_loop(true);
+    }
+
+    fn stage_two_loop(&mut self, past_k: bool) {
+        loop {
+            if !past_k && self.results.len() >= self.k {
+                break;
+            }
             let main_key = self.mainq.peek_min();
             let comp_key = self.compq.peek_key();
             let (take_main, key) = match (main_key, comp_key) {

@@ -31,12 +31,14 @@ mod bound;
 mod driver;
 mod policy;
 mod stage;
+mod steal;
 pub(crate) mod sweep;
 
 pub use backend::{ExecBackend, Parallel, Sequential};
 pub use bound::MinBound;
 pub use policy::{Aggressive, Exact, PruningPolicy};
 pub use stage::StageDriver;
+pub use steal::TestSchedule;
 
 use crate::{AmIdjOptions, JoinConfig, JoinOutput};
 use amdj_rtree::RTree;

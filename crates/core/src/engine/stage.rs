@@ -178,8 +178,19 @@ impl<'a, const D: usize> StageDriver<'a, D> {
     /// `MarkMode::Full` bookkeeping.
     fn clamped_edmax(&self) -> f64 {
         match self.shared {
-            Some(b) => self.edmax.min(b.get()),
+            Some(b) => b.clamp(self.edmax),
             None => self.edmax,
+        }
+    }
+
+    /// Injects claimed or stolen frontier seeds into the cursor. Counted
+    /// as fresh queue work: under the work-stealing backend seeds wait in
+    /// the shared pool (never in any cursor's queue) until exactly one
+    /// worker claims them here, so the push below is each seed's first —
+    /// and only — main-queue insertion.
+    pub(crate) fn push_seeds(&mut self, seeds: Vec<Pair<D>>) {
+        for pair in seeds {
+            self.mainq.push(pair);
         }
     }
 

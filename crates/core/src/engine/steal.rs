@@ -1,0 +1,675 @@
+//! The work-stealing execution path of the [`Parallel`] backend.
+//!
+//! The static round-robin scheme in `backend.rs` partitions the frontier
+//! once and lets a drained worker idle at the stage barrier — on skewed
+//! frontiers (a clustered partition next to a uniform one) that idle time
+//! dominates wall clock. Here the frontier lives in a [`StealPool`]: one
+//! deque per worker, each sorted ascending by key. A worker repeatedly
+//! *claims* a prefix of its own deque and runs its driver over it; once
+//! its deque holds nothing below its claim bound it scans the peers
+//! (most-loaded first) and steals the *tail* half of a victim's claimable
+//! prefix — the victim keeps the near pairs it is about to process, the
+//! thief takes the far ones.
+//!
+//! # Why dynamic claiming stays exact
+//!
+//! Any cut of the expansion DAG partitions the object-pair space, and
+//! stealing only ever re-partitions the frontier — every seed is still
+//! processed by exactly one worker. Two things do change:
+//!
+//! * **Past-`k` processing.** With a static partition a worker's first
+//!   `k` emissions are its partition's top `k` (ascending pops), so it
+//!   may stop at `k`. A stolen seed can arrive *after* the `k`-th
+//!   emission and still hold closer pairs, so the stealing drivers
+//!   ([`ExpansionDriver::run_stage_one_stealing`] /
+//!   [`run_stage_two_stealing`]) keep consuming while the queue minimum
+//!   beats the cutoff. Surplus results are sorted away by the canonical
+//!   merge.
+//! * **Dropped seeds must be justified per worker.** A worker exits only
+//!   after its own claim *and* a full steal scan over every peer found
+//!   nothing at or below its bound; the pool only ever shrinks, so the
+//!   exit is race-free. Seeds left in the pool were therefore rejected
+//!   against *every* worker's exit bound. For exact stage one, stage two,
+//!   and the incremental join that bound clamps to a published `qDmax` —
+//!   the k-th smallest of k real pair distances, hence an upper bound on
+//!   the global `Dmax(k)` — so the seeds are provably outside the answer.
+//!   For aggressive stage one the bound is the (ratcheted) `eDmax`, which
+//!   proves nothing; unclaimed seeds are routed to stage two as
+//!   [`Work::Unclaimed`] items instead of being dropped.
+//!
+//! # Counter discipline
+//!
+//! Pool seeds are counted as main-queue insertions when a worker claims
+//! them (its driver's `seed_counted` / `push_seeds`) — each seed is
+//! claimed exactly once, so totals match the static path. Stage-two items
+//! know their history: [`Work::Fresh`] and [`Work::Comp`] were counted by
+//! the stage-one worker that first enqueued them and re-enter uncounted;
+//! [`Work::Unclaimed`] seeds never entered any queue and are counted on
+//! entry, exactly as stage one would have. On one thread the frontier is
+//! a single seed, the claim protocol degenerates to "take it", and the
+//! whole path replays the sequential join bit for bit and counter for
+//! counter.
+//!
+//! # Schedule perturbation
+//!
+//! Thread timing cannot be controlled from a test, so [`TestSchedule`]
+//! injects it deterministically: before every claim a worker consults a
+//! splitmix64 hash of `(seed, worker, step)` to decide whether to stall
+//! (a yield loop) and whether to *force* a steal attempt ahead of its own
+//! deque. Tests sweep the seed to drive pathological interleavings —
+//! thieves racing the victim's first claim, stalls straddling the bound
+//! ratchet — while every decision stays reproducible.
+//!
+//! [`Parallel`]: super::backend::Parallel
+//! [`ExpansionDriver::run_stage_one_stealing`]: ExpansionDriver::run_stage_one_stealing
+//! [`run_stage_two_stealing`]: ExpansionDriver::run_stage_two_stealing
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use amdj_rtree::RTree;
+
+use crate::stats::Baseline;
+use crate::{
+    AmIdjOptions, DistanceQueue, Estimator, JoinConfig, JoinOutput, JoinStats, Pair, ResultPair,
+};
+
+use super::backend::{barrier_idle, round_robin, seed_frontier, sort_canonical};
+use super::bound::MinBound;
+use super::driver::{ExpansionDriver, StageOnePool};
+use super::policy::PruningPolicy;
+use super::stage::StageDriver;
+use super::sweep::CompEntry;
+
+/// Deterministic schedule perturbation for the work-stealing backend.
+///
+/// Attached to a [`Parallel`](super::backend::Parallel) backend it makes
+/// workers stall and steal at points derived purely from `seed`, the
+/// worker index, and the worker's claim-step counter — so a test failure
+/// reproduces from its seed. The default (`one_in` fields zero) perturbs
+/// nothing.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TestSchedule {
+    /// Seed every stall/steal decision derives from.
+    pub seed: u64,
+    /// Stall before roughly one in this many claim points (`0` = never).
+    pub stall_one_in: u32,
+    /// `yield_now` iterations per stall.
+    pub stall_spins: u32,
+    /// Force a steal attempt (probing peers before the worker's own
+    /// deque) at roughly one in this many claim points (`0` = never).
+    pub force_steal_one_in: u32,
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl TestSchedule {
+    fn decision(&self, worker: usize, step: u64, salt: u64) -> u64 {
+        splitmix64(
+            self.seed
+                ^ (worker as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                ^ step.wrapping_mul(0xbf58_476d_1ce4_e5b9)
+                ^ salt,
+        )
+    }
+
+    fn stall(&self, worker: usize, step: u64) -> bool {
+        self.stall_one_in != 0
+            && self
+                .decision(worker, step, 1)
+                .is_multiple_of(self.stall_one_in as u64)
+    }
+
+    fn force_steal(&self, worker: usize, step: u64) -> bool {
+        self.force_steal_one_in != 0
+            && self
+                .decision(worker, step, 2)
+                .is_multiple_of(self.force_steal_one_in as u64)
+    }
+
+    fn spin(&self) {
+        for _ in 0..self.stall_spins {
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// One deque of pending work per worker, each kept ascending by key.
+///
+/// The per-deque `Mutex` is uncontended in the common case (a worker
+/// claiming its own deque); the mirrored lengths let thieves rank victims
+/// and skip empty deques without locking. Nothing is ever pushed back
+/// into a pool, so a worker that observes "no claimable work anywhere"
+/// may exit for good.
+struct StealPool<T> {
+    deques: Vec<Mutex<VecDeque<T>>>,
+    lens: Vec<AtomicUsize>,
+    key: fn(&T) -> f64,
+}
+
+impl<T> StealPool<T> {
+    fn new(buckets: Vec<Vec<T>>, key: fn(&T) -> f64) -> Self {
+        let lens = buckets.iter().map(|b| AtomicUsize::new(b.len())).collect();
+        StealPool {
+            deques: buckets
+                .into_iter()
+                .map(|b| Mutex::new(VecDeque::from(b)))
+                .collect(),
+            lens,
+            key,
+        }
+    }
+
+    /// Takes the front of worker `w`'s claimable prefix (keys ≤ `bound`):
+    /// all of it when `all`, else half (rounded up), leaving the rest
+    /// stealable. Returns ascending items.
+    fn claim_own(&self, w: usize, bound: f64, all: bool) -> Vec<T> {
+        if self.lens[w].load(Ordering::Relaxed) == 0 {
+            return Vec::new();
+        }
+        let mut dq = self.deques[w].lock().unwrap();
+        let p = dq.partition_point(|t| (self.key)(t) <= bound);
+        let n = if all { p } else { p.div_ceil(2) };
+        let out: Vec<T> = dq.drain(..n).collect();
+        self.lens[w].store(dq.len(), Ordering::Relaxed);
+        out
+    }
+
+    /// Scans every peer, most-loaded first, and takes the *tail* half of
+    /// the first non-empty claimable prefix found — the victim keeps the
+    /// near work it is about to claim itself. Returns the stolen items
+    /// (ascending) and the number of deques probed (locked); an empty
+    /// result means a full scan found nothing at or below `bound`.
+    fn steal(&self, thief: usize, bound: f64) -> (Vec<T>, u64) {
+        let mut attempts = 0u64;
+        let mut order: Vec<usize> = (0..self.deques.len()).filter(|&i| i != thief).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(self.lens[i].load(Ordering::Relaxed)));
+        for v in order {
+            // Racy reads are fine: the pool only shrinks, so an observed
+            // zero stays zero.
+            if self.lens[v].load(Ordering::Relaxed) == 0 {
+                continue;
+            }
+            attempts += 1;
+            let mut dq = self.deques[v].lock().unwrap();
+            let p = dq.partition_point(|t| (self.key)(t) <= bound);
+            if p == 0 {
+                continue;
+            }
+            let n = p.div_ceil(2);
+            let out: Vec<T> = dq.drain(p - n..p).collect();
+            self.lens[v].store(dq.len(), Ordering::Relaxed);
+            return (out, attempts);
+        }
+        (Vec::new(), attempts)
+    }
+
+    /// Everything no worker claimed, in worker order.
+    fn into_remaining(self) -> Vec<T> {
+        self.deques
+            .into_iter()
+            .flat_map(|m| m.into_inner().unwrap())
+            .collect()
+    }
+}
+
+/// One claim round: the worker's own deque first, then a full steal scan
+/// (`forced` inverts the order — and falls back to own work, so a forced
+/// decision can never fabricate an early exit). `None` means both the own
+/// claim and a scan of every peer found nothing at or below `bound`:
+/// since the pool only shrinks, the worker may exit.
+fn claim_round<T>(
+    pool: &StealPool<T>,
+    w: usize,
+    bound: f64,
+    all_own: bool,
+    forced: bool,
+    stolen: &mut u64,
+    attempts: &mut u64,
+) -> Option<Vec<T>> {
+    if !forced {
+        let own = pool.claim_own(w, bound, all_own);
+        if !own.is_empty() {
+            return Some(own);
+        }
+    }
+    let (loot, probes) = pool.steal(w, bound);
+    *attempts += probes;
+    if !loot.is_empty() {
+        *stolen += loot.len() as u64;
+        return Some(loot);
+    }
+    if forced {
+        let own = pool.claim_own(w, bound, all_own);
+        if !own.is_empty() {
+            return Some(own);
+        }
+    }
+    None
+}
+
+/// The stealing path oversplits the frontier more than the static one
+/// (`8×` threads): dynamic balancing thrives on fine granularity, and a
+/// claim moves a whole prefix at once so per-seed overhead stays small.
+/// One thread keeps the single root seed so the lone worker replays the
+/// sequential join exactly.
+fn frontier_target(threads: usize) -> usize {
+    if threads == 1 {
+        1
+    } else {
+        threads * 8
+    }
+}
+
+/// One stage-one worker: an [`ExpansionDriver`] fed by claim rounds. The
+/// claim bound is the driver's own stage-one predicate — the clamped
+/// `qDmax` for exact policies, the ratcheted `eDmax` for aggressive ones
+/// (seeds beyond it could not be emitted in stage one anyway; leaving
+/// them unclaimed routes them straight to stage two).
+#[allow(clippy::too_many_arguments)]
+fn stage_one_worker<const D: usize, P: PruningPolicy>(
+    r: &RTree<D>,
+    s: &RTree<D>,
+    k: usize,
+    cfg: &JoinConfig,
+    est: Option<&Estimator<D>>,
+    pool: &StealPool<Pair<D>>,
+    w: usize,
+    edmax0: f64,
+    shared: &MinBound,
+    schedule: Option<TestSchedule>,
+) -> StageOnePool<D> {
+    let mut drv = ExpansionDriver::new(r, s, cfg, k, est, P::AGGRESSIVE, edmax0, Some(shared));
+    let mut step = 0u64;
+    loop {
+        step += 1;
+        if let Some(sch) = &schedule {
+            if sch.stall(w, step) {
+                sch.spin();
+            }
+        }
+        let forced = schedule.is_some_and(|sch| sch.force_steal(w, step));
+        let bound = drv.stage_one_claim_bound();
+        let Some(claimed) = claim_round(
+            pool,
+            w,
+            bound,
+            false,
+            forced,
+            &mut drv.stats.pairs_stolen,
+            &mut drv.stats.steal_attempts,
+        ) else {
+            break;
+        };
+        drv.seed_counted(claimed);
+        drv.run_stage_one_stealing();
+    }
+    drv.into_pool(P::AGGRESSIVE)
+}
+
+/// A stage-two work item, keyed for the pool's ascending deques. The
+/// variants track counting history (module docs): `Fresh` pairs and
+/// `Comp` entries re-enter a queue uncounted, `Unclaimed` seeds are
+/// counted on entry. A stolen `Comp` entry carries its own sweep lists
+/// and per-anchor marks, so skip bookkeeping migrates losslessly with it.
+enum Work<const D: usize> {
+    Fresh(Pair<D>),
+    Unclaimed(Pair<D>),
+    Comp(CompEntry<D>),
+}
+
+fn work_key<const D: usize>(w: &Work<D>) -> f64 {
+    match w {
+        Work::Fresh(p) | Work::Unclaimed(p) => p.dist,
+        Work::Comp(e) => e.key,
+    }
+}
+
+/// One stage-two worker: exact cutoffs, distance queue pre-seeded
+/// (uncounted) with the pooled stage-one distances. The *first* claim
+/// takes the worker's entire own deque — mirroring the static path's
+/// whole-partition seeding, which is what keeps one-thread runs
+/// counter-identical — later claims (after steals) use the exact
+/// `qDmax`-clamped bound.
+#[allow(clippy::too_many_arguments)]
+fn stage_two_worker<const D: usize>(
+    r: &RTree<D>,
+    s: &RTree<D>,
+    k: usize,
+    cfg: &JoinConfig,
+    est: Option<&Estimator<D>>,
+    pool: &StealPool<Work<D>>,
+    w: usize,
+    dists: &[f64],
+    shared: &MinBound,
+    schedule: Option<TestSchedule>,
+) -> (Vec<ResultPair>, JoinStats, f64) {
+    let mut drv = ExpansionDriver::new(r, s, cfg, k, est, false, f64::INFINITY, Some(shared));
+    drv.seed_replayed(Vec::new(), Vec::new(), dists);
+    let mut first = true;
+    let mut step = 0u64;
+    loop {
+        step += 1;
+        if let Some(sch) = &schedule {
+            if sch.stall(w, step) {
+                sch.spin();
+            }
+        }
+        let forced = !first && schedule.is_some_and(|sch| sch.force_steal(w, step));
+        let bound = if first {
+            f64::INFINITY
+        } else {
+            drv.stage_two_claim_bound()
+        };
+        let Some(claimed) = claim_round(
+            pool,
+            w,
+            bound,
+            first,
+            forced,
+            &mut drv.stats.pairs_stolen,
+            &mut drv.stats.steal_attempts,
+        ) else {
+            break;
+        };
+        first = false;
+        let mut fresh = Vec::new();
+        let mut unclaimed = Vec::new();
+        let mut comps = Vec::new();
+        for item in claimed {
+            match item {
+                Work::Fresh(p) => fresh.push(p),
+                Work::Unclaimed(p) => unclaimed.push(p),
+                Work::Comp(e) => comps.push(e),
+            }
+        }
+        drv.seed_replayed(fresh, comps, &[]);
+        drv.seed_counted(unclaimed);
+        drv.run_stage_two_stealing();
+    }
+    drv.finish()
+}
+
+/// One worker of the stealing incremental join: a [`StageDriver`] cursor
+/// fed by claim rounds, pumped while its next emission can still beat the
+/// shared bound. There is no `take` cap on the pump — after `take`
+/// insertions the worker's own published `qDmax` caps it through the
+/// shared bound, and a cap on locally-claimed work would be wrong anyway
+/// once seeds move between workers.
+#[allow(clippy::too_many_arguments)]
+fn idj_worker<const D: usize>(
+    r: &RTree<D>,
+    s: &RTree<D>,
+    take: usize,
+    cfg: &JoinConfig,
+    opts: AmIdjOptions,
+    pool: &StealPool<Pair<D>>,
+    w: usize,
+    shared: &MinBound,
+    schedule: Option<TestSchedule>,
+) -> (Vec<ResultPair>, JoinStats, f64) {
+    let mut cursor = StageDriver::with_seeds(r, s, cfg, opts, Vec::new(), shared);
+    let mut distq = DistanceQueue::new(take);
+    let mut results = Vec::new();
+    let mut tightenings = 0u64;
+    let (mut stolen, mut attempts) = (0u64, 0u64);
+    let mut step = 0u64;
+    loop {
+        step += 1;
+        if let Some(sch) = &schedule {
+            if sch.stall(w, step) {
+                sch.spin();
+            }
+        }
+        let forced = schedule.is_some_and(|sch| sch.force_steal(w, step));
+        let Some(claimed) = claim_round(
+            pool,
+            w,
+            shared.get(),
+            false,
+            forced,
+            &mut stolen,
+            &mut attempts,
+        ) else {
+            break;
+        };
+        cursor.push_seeds(claimed);
+        loop {
+            // The cursor's minimum queue key lower-bounds every future
+            // emission: stop before doing the work once it passes the
+            // bound.
+            match cursor.peek_key() {
+                Some(key) if key <= shared.get() => {}
+                _ => break,
+            }
+            let Some(pair) = cursor.next() else { break };
+            if pair.dist > shared.get() {
+                // The stream is ascending; everything later is farther
+                // still (and a tighter bound may admit new claims, which
+                // the outer loop handles).
+                break;
+            }
+            distq.insert(pair.dist);
+            let q = distq.qdmax();
+            if q.is_finite() && shared.tighten(q) {
+                tightenings += 1;
+            }
+            results.push(pair);
+        }
+    }
+    let (mut stats, queue_io) = cursor.finish_worker();
+    stats.bound_tightenings += tightenings;
+    stats.distq_insertions += distq.insertions();
+    stats.pairs_stolen += stolen;
+    stats.steal_attempts += attempts;
+    (results, stats, queue_io)
+}
+
+/// The stealing k-distance join: [`Parallel::run_kdj`] with the static
+/// partitioning replaced by [`StealPool`] claim rounds. `threads` is
+/// already resolved.
+///
+/// [`Parallel::run_kdj`]: super::backend::Parallel
+pub(crate) fn run_kdj<const D: usize, P: PruningPolicy>(
+    r: &RTree<D>,
+    s: &RTree<D>,
+    k: usize,
+    cfg: &JoinConfig,
+    policy: &P,
+    threads: usize,
+    schedule: Option<TestSchedule>,
+) -> JoinOutput {
+    let baseline = Baseline::capture(r, s);
+    let mut stats = JoinStats {
+        stages: 1,
+        ..JoinStats::default()
+    };
+    let est = Estimator::from_trees(r, s);
+    let edmax0 = policy.initial_edmax(est.as_ref(), k);
+    let shared = MinBound::new(f64::INFINITY);
+    let mut results = Vec::new();
+    let mut queue_io = 0.0;
+    if k > 0 {
+        let mut frontier = seed_frontier(r, s, cfg, frontier_target(threads), &mut stats);
+        frontier.sort_unstable_by(|a, b| a.dist.total_cmp(&b.dist));
+        let pool = StealPool::new(round_robin(frontier, threads), |p: &Pair<D>| p.dist);
+        let est = est.as_ref();
+        let shared = &shared;
+
+        // ---- Stage one: claim rounds over the frontier pool ----
+        let t0 = std::time::Instant::now();
+        let outcomes = {
+            let pool = &pool;
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|w| {
+                        scope.spawn(move || {
+                            let out = stage_one_worker::<D, P>(
+                                r, s, k, cfg, est, pool, w, edmax0, shared, schedule,
+                            );
+                            (out, t0.elapsed().as_nanos() as u64)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("worker panicked"))
+                    .collect::<Vec<_>>()
+            })
+        };
+        let finishes: Vec<u64> = outcomes.iter().map(|(_, ns)| *ns).collect();
+        stats.barrier_idle_ns += barrier_idle(&finishes);
+        let mut leftovers = Vec::new();
+        let mut comps = Vec::new();
+        let mut dists = Vec::new();
+        for (outcome, _) in outcomes {
+            results.extend(outcome.results);
+            leftovers.extend(outcome.leftovers);
+            comps.extend(outcome.comps);
+            dists.extend(outcome.dists);
+            stats.absorb_worker(&outcome.stats);
+            queue_io += outcome.queue_io;
+        }
+
+        if P::AGGRESSIVE {
+            // Pooled k-th smallest stage-one distance: the tightest proven
+            // bound stage one produced (see the static path).
+            dists.sort_unstable_by(f64::total_cmp);
+            dists.truncate(k);
+            if dists.len() == k {
+                let kth = dists[k - 1];
+                if kth.is_finite() && shared.tighten(kth) {
+                    stats.bound_tightenings += 1;
+                }
+            }
+            let bound = shared.get();
+            leftovers.retain(|p| p.dist <= bound);
+            comps.retain(|e| e.key <= bound);
+            // Seeds no stage-one worker claimed (all beyond every ratcheted
+            // eDmax) still belong to stage two — they were rejected against
+            // an estimate, not a proven bound.
+            let mut unclaimed = pool.into_remaining();
+            unclaimed.retain(|p| p.dist <= bound);
+
+            let mut work: Vec<Work<D>> =
+                Vec::with_capacity(leftovers.len() + unclaimed.len() + comps.len());
+            work.extend(leftovers.into_iter().map(Work::Fresh));
+            work.extend(unclaimed.into_iter().map(Work::Unclaimed));
+            work.extend(comps.into_iter().map(Work::Comp));
+
+            // ---- Stage two: claim rounds over the work-item pool ----
+            if !work.is_empty() {
+                stats.stages = 2;
+                // Stable: parked compensation entries share equal keys en
+                // masse (all at `eDmax.next_up()`), and one-thread parity
+                // with the static path needs their original order kept.
+                work.sort_by(|a, b| work_key(a).total_cmp(&work_key(b)));
+                let wpool = StealPool::new(round_robin(work, threads), work_key);
+                let dists = &dists[..];
+                let t0 = std::time::Instant::now();
+                let outputs = {
+                    let wpool = &wpool;
+                    std::thread::scope(|scope| {
+                        let handles: Vec<_> = (0..threads)
+                            .map(|w| {
+                                scope.spawn(move || {
+                                    let out = stage_two_worker(
+                                        r, s, k, cfg, est, wpool, w, dists, shared, schedule,
+                                    );
+                                    (out, t0.elapsed().as_nanos() as u64)
+                                })
+                            })
+                            .collect();
+                        handles
+                            .into_iter()
+                            .map(|h| h.join().expect("worker panicked"))
+                            .collect::<Vec<_>>()
+                    })
+                };
+                let finishes: Vec<u64> = outputs.iter().map(|(_, ns)| *ns).collect();
+                stats.barrier_idle_ns += barrier_idle(&finishes);
+                for ((mut part, wstats, wio), _) in outputs {
+                    results.append(&mut part);
+                    stats.absorb_worker(&wstats);
+                    queue_io += wio;
+                }
+            }
+        }
+        // Exact policies may leave unclaimed seeds behind: every worker
+        // rejected them against its qDmax-clamped exit bound, which
+        // upper-bounds the global Dmax(k), so they are provably outside
+        // the answer and the pool drops with them.
+        sort_canonical(&mut results);
+        results.truncate(k);
+    }
+    stats.results = results.len() as u64;
+    baseline.finish(r, s, &mut stats, queue_io);
+    JoinOutput { results, stats }
+}
+
+/// The stealing incremental join: [`Parallel::run_idj`] with claim rounds
+/// in place of the static seed partitioning.
+///
+/// [`Parallel::run_idj`]: super::backend::Parallel
+pub(crate) fn run_idj<const D: usize>(
+    r: &RTree<D>,
+    s: &RTree<D>,
+    take: usize,
+    cfg: &JoinConfig,
+    opts: &AmIdjOptions,
+    threads: usize,
+    schedule: Option<TestSchedule>,
+) -> JoinOutput {
+    let baseline = Baseline::capture(r, s);
+    let mut stats = JoinStats {
+        stages: 1,
+        ..JoinStats::default()
+    };
+    let shared = MinBound::new(f64::INFINITY);
+    let mut results = Vec::new();
+    let mut queue_io = 0.0;
+    if take > 0 {
+        let mut frontier = seed_frontier(r, s, cfg, frontier_target(threads), &mut stats);
+        frontier.sort_unstable_by(|a, b| a.dist.total_cmp(&b.dist));
+        let pool = StealPool::new(round_robin(frontier, threads), |p: &Pair<D>| p.dist);
+        let shared = &shared;
+        let t0 = std::time::Instant::now();
+        let outputs = {
+            let pool = &pool;
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|w| {
+                        let opts = opts.clone();
+                        scope.spawn(move || {
+                            let out = idj_worker(r, s, take, cfg, opts, pool, w, shared, schedule);
+                            (out, t0.elapsed().as_nanos() as u64)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("worker panicked"))
+                    .collect::<Vec<_>>()
+            })
+        };
+        let finishes: Vec<u64> = outputs.iter().map(|(_, ns)| *ns).collect();
+        stats.barrier_idle_ns += barrier_idle(&finishes);
+        for ((mut part, wstats, wio), _) in outputs {
+            results.append(&mut part);
+            stats.stages = stats.stages.max(wstats.stages);
+            stats.absorb_worker(&wstats);
+            queue_io += wio;
+        }
+        sort_canonical(&mut results);
+        results.truncate(take);
+    }
+    stats.results = results.len() as u64;
+    baseline.finish(r, s, &mut stats, queue_io);
+    JoinOutput { results, stats }
+}

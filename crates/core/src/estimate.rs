@@ -212,4 +212,90 @@ mod tests {
     fn rejects_zero_area() {
         let _: Estimator<2> = Estimator::new(0.0, 10, 10);
     }
+
+    use amdj_geom::{Point, Rect};
+    use amdj_rtree::{RTree, RTreeParams};
+
+    fn tree(points: &[(f64, f64)]) -> RTree<2> {
+        let data = points
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| (Rect::from_point(Point::new([x, y])), i as u64))
+            .collect();
+        RTree::bulk_load(RTreeParams::for_tests(), data)
+    }
+
+    #[test]
+    fn from_trees_disjoint_extents_fall_back_to_union() {
+        // Zero-overlap extents: ρ must come from the union area, not a
+        // zero intersection (which would collapse every estimate to 0 and
+        // strand the aggressive stage one with nothing to prune against).
+        let r = tree(&[(0.0, 0.0), (1.0, 1.0)]);
+        let s = tree(&[(10.0, 10.0), (12.0, 13.0)]);
+        let e = Estimator::from_trees(&r, &s).unwrap();
+        let union = 12.0 * 13.0;
+        let want = union / (unit_ball_volume(2) * 4.0);
+        assert!((e.rho() - want).abs() < 1e-12, "rho {} != {want}", e.rho());
+        assert!(e.initial(1) > 0.0);
+    }
+
+    #[test]
+    fn from_trees_coincident_points_stay_finite() {
+        // Every object on one point: area 0 in both the intersection and
+        // the union. ρ degrades to the smallest positive value instead of
+        // 0 or NaN, and the estimates stay finite (≈ 0).
+        let r = tree(&[(5.0, 5.0), (5.0, 5.0), (5.0, 5.0)]);
+        let s = tree(&[(5.0, 5.0), (5.0, 5.0)]);
+        let e = Estimator::from_trees(&r, &s).unwrap();
+        assert_eq!(e.rho(), f64::MIN_POSITIVE);
+        let d = e.initial(u64::MAX);
+        assert!(d.is_finite() && d >= 0.0);
+    }
+
+    #[test]
+    fn from_trees_empty_tree_is_none() {
+        let empty = RTree::bulk_load(RTreeParams::for_tests(), Vec::new());
+        let full = tree(&[(0.0, 0.0), (1.0, 1.0)]);
+        assert!(Estimator::<2>::from_trees(&empty, &full).is_none());
+        assert!(Estimator::<2>::from_trees(&full, &empty).is_none());
+    }
+
+    #[test]
+    fn k_beyond_total_pairs_stays_finite_and_monotone() {
+        // Joins clamp k to |R|·|S| results, but the estimator is also
+        // consulted with raw k (e.g. an incremental cursor's next stage
+        // target). Past the total pair count it must keep extrapolating
+        // finitely and monotonically, never saturate or overflow.
+        let e: Estimator<2> = Estimator::new(100.0, 10, 10);
+        let total = 100u64;
+        let at_total = e.initial(total);
+        let beyond = e.initial(total * 1000);
+        assert!(at_total.is_finite() && beyond.is_finite());
+        assert!(beyond > at_total);
+        let corrected = e.corrected(total * 1000, 10, e.initial(10), Correction::MinOfBoth);
+        assert!(corrected.is_finite() && corrected > at_total);
+    }
+
+    #[test]
+    fn corrections_with_degenerate_samples() {
+        let e: Estimator<2> = Estimator::new(1.0, 500, 500);
+        // k == k0: nothing left to extrapolate — every policy returns the
+        // observed distance itself.
+        for policy in [
+            Correction::Arithmetic,
+            Correction::Geometric,
+            Correction::MinOfBoth,
+            Correction::MaxOfBoth,
+        ] {
+            assert!((e.corrected(10, 10, 0.25, policy) - 0.25).abs() < 1e-12);
+        }
+        // d_k0 == 0 with k0 > 0 (k0 coincident pairs observed): the
+        // geometric ratio is undefined, so both paths reduce to the
+        // arithmetic form, which degrades gracefully to the density model
+        // over the remaining k − k0 pairs.
+        let want = ((10.0 - 3.0) * e.rho()).sqrt();
+        assert!((e.arithmetic(10, 3, 0.0) - want).abs() < 1e-12);
+        assert_eq!(e.geometric(10, 3, 0.0), e.arithmetic(10, 3, 0.0));
+        assert!((e.corrected(10, 3, 0.0, Correction::MaxOfBoth) - want).abs() < 1e-12);
+    }
 }

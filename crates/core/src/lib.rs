@@ -87,7 +87,7 @@ pub use bkdj::b_kdj;
 pub use concurrent::{par_am_idj, par_am_kdj, par_b_kdj};
 pub use config::{AmIdjOptions, AmKdjOptions, Correction, EdmaxPolicy, JoinConfig};
 pub use distq::DistanceQueue;
-pub use engine::MinBound;
+pub use engine::{MinBound, TestSchedule};
 pub use estimate::Estimator;
 pub use histogram::HistogramEstimator;
 pub use hs::{hs_kdj, HsIdj};

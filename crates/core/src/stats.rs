@@ -33,6 +33,18 @@ pub struct JoinStats {
     /// adaptive joins only): how often one worker's progress shrank every
     /// other worker's cutoffs.
     pub bound_tightenings: u64,
+    /// Work items (frontier pairs, stage-two pairs, compensation entries)
+    /// a parallel worker took from a peer's deque instead of idling
+    /// (work-stealing backend only; zero when `JoinConfig::steal` is off
+    /// or a single worker runs).
+    pub pairs_stolen: u64,
+    /// Steal probes: how often a drained worker locked a peer's deque
+    /// looking for work, successful or not.
+    pub steal_attempts: u64,
+    /// Total nanoseconds workers spent finished-but-waiting at a stage
+    /// barrier (the sum over workers of `last_finish − own_finish` per
+    /// stage). The load-balance figure work stealing exists to shrink.
+    pub barrier_idle_ns: u64,
     /// Node-pair expansions performed during the aggressive stage (stage
     /// 1); with [`Self::stage2_expansions`] this attributes traversal work
     /// per stage even when tree-level access counters are shared across
@@ -101,6 +113,7 @@ impl JoinStats {
     /// an expansion, a compensation replay — happens in exactly one
     /// worker, so on one thread the totals equal the sequential join's.
     /// Driver-owned fields (`results`, `stages`, node access deltas,
+    /// `barrier_idle_ns` — measured by the backend across a whole stage —
     /// wall-clock and I/O time) are left to the driver.
     pub fn absorb_worker(&mut self, w: &JoinStats) {
         self.real_dist += w.real_dist;
@@ -110,6 +123,8 @@ impl JoinStats {
         self.compq_insertions += w.compq_insertions;
         self.comp_replays += w.comp_replays;
         self.bound_tightenings += w.bound_tightenings;
+        self.pairs_stolen += w.pairs_stolen;
+        self.steal_attempts += w.steal_attempts;
         self.stage1_expansions += w.stage1_expansions;
         self.stage2_expansions += w.stage2_expansions;
         self.queue_page_reads += w.queue_page_reads;

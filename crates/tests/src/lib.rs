@@ -6,6 +6,16 @@
 use amdj_datagen::Dataset;
 use amdj_rtree::{RTree, RTreeParams};
 
+/// Number of cases a property test should run: `AMDJ_PROPTEST_CASES`
+/// when set — the CI stress tier (`STRESS=1 ./ci.sh`) raises it — else
+/// the test's own `default`.
+pub fn proptest_cases(default: u32) -> u32 {
+    std::env::var("AMDJ_PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
 /// Builds two small-page test trees from two data sets.
 pub fn build_trees(a: &Dataset, b: &Dataset) -> (RTree<2>, RTree<2>) {
     (

@@ -81,7 +81,7 @@ fn run_cell(
 ) -> Vec<ResultPair> {
     let out = match (policy, threads) {
         (None, None) => engine::kdj(r, s, k, cfg, &Exact, &Sequential),
-        (None, Some(t)) => engine::kdj(r, s, k, cfg, &Exact, &Parallel { threads: t }),
+        (None, Some(t)) => engine::kdj(r, s, k, cfg, &Exact, &Parallel::new(t)),
         (Some(e), None) => {
             engine::kdj(r, s, k, cfg, &Aggressive { edmax_override: e }, &Sequential)
         }
@@ -91,7 +91,7 @@ fn run_cell(
             k,
             cfg,
             &Aggressive { edmax_override: e },
-            &Parallel { threads: t },
+            &Parallel::new(t),
         ),
     };
     canonical(out.results)
@@ -111,7 +111,10 @@ fn policy_cells(scale: f64) -> Vec<(String, Option<Option<f64>>)> {
 const BACKENDS: [Option<usize>; 5] = [None, Some(1), Some(2), Some(3), Some(8)];
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig {
+        cases: amdj_tests::proptest_cases(12),
+        ..ProptestConfig::default()
+    })]
 
     /// Every (policy × backend × thread count) cell equals brute force and
     /// the sequential exact reference.
@@ -160,7 +163,7 @@ proptest! {
         }
         for threads in [1usize, 2, 4] {
             let got = canonical(
-                engine::idj(&r, &s, take, &cfg, &opts, &Parallel { threads }).results,
+                engine::idj(&r, &s, take, &cfg, &opts, &Parallel::new(threads)).results,
             );
             assert_identical(&format!("idj × {threads}"), &reference, &got)?;
         }
