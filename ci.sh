@@ -19,6 +19,25 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 echo "== cargo test =="
 cargo test -q
 
+echo "== bench smoke: emitted JSON schema =="
+# A tiny bench run; then validate the schema version and required columns
+# so consumers of BENCH_kdj.json notice shape drift here, not downstream.
+BENCH_SMOKE_JSON="$(mktemp -t bench_smoke.XXXXXX.json)"
+trap 'rm -f "$BENCH_SMOKE_JSON"' EXIT
+cargo run --release -q -p amdj-bench --bin amdj -- \
+    bench --n 300 --k 20 --json "$BENCH_SMOKE_JSON" 2>/dev/null
+grep -q '"schema_version": 4' "$BENCH_SMOKE_JSON" \
+    || { echo "bench smoke: schema_version != 4"; exit 1; }
+for col in op algo threads steal partition k wall_time_s node_accesses \
+           pairs_computed results pairs_stolen steal_attempts barrier_idle_ns \
+           buffer_hits buffer_misses buffer_hits_by_worker buffer_misses_by_worker; do
+    grep -q "\"$col\":" "$BENCH_SMOKE_JSON" \
+        || { echo "bench smoke: missing column '$col'"; exit 1; }
+done
+grep -q '"partition": "rr"' "$BENCH_SMOKE_JSON" \
+    || { echo "bench smoke: missing round-robin ablation rows"; exit 1; }
+echo "bench smoke: schema_version 4 with all required columns"
+
 # Stress tier (opt-in: STRESS=1 ./ci.sh): rerun the engine-matrix and
 # schedule-perturbation properties in release mode with 4× the proptest
 # cases. Both suites include 8-thread cells, so this is where racy

@@ -21,7 +21,7 @@ use std::process::ExitCode;
 
 use amdj_core::{
     am_kdj, b_kdj, hs_kdj, knn_join, par_am_idj, par_am_kdj, par_b_kdj, sj_sort, within_join,
-    AmIdj, AmIdjOptions, AmKdjOptions, HsIdj, JoinConfig, JoinOutput,
+    AmIdj, AmIdjOptions, AmKdjOptions, HsIdj, JoinConfig, JoinOutput, Partition,
 };
 use amdj_datagen::{clustered_points, tiger::Geography, uniform_points, unit_universe, Dataset};
 use amdj_geom::Rect;
@@ -275,18 +275,21 @@ fn run() -> Result<(), String> {
             let rows = run_bench_matrix(n, k, seed, &cfg);
             for row in &rows {
                 eprintln!(
-                    "# {:<4} {:<7} threads={} steal={} k={} wall={:.4}s nodes={} dists={} results={} stolen={} idle={}ns",
+                    "# {:<4} {:<7} threads={} steal={} part={} k={} wall={:.4}s nodes={} dists={} results={} stolen={} idle={}ns buf={}h/{}m",
                     row.op,
                     row.algo,
                     row.threads,
                     row.steal,
+                    row.partition,
                     row.k,
                     row.wall_time_s,
                     row.node_accesses,
                     row.pairs_computed,
                     row.results,
                     row.pairs_stolen,
-                    row.barrier_idle_ns
+                    row.barrier_idle_ns,
+                    row.buffer_hits,
+                    row.buffer_misses
                 );
             }
             if let Some(path) = json_out {
@@ -306,6 +309,10 @@ struct BenchRow {
     algo: &'static str,
     threads: usize,
     steal: bool,
+    /// `"locality"` or `"rr"` — the seed/work partitioner of the
+    /// parallel rows (sequential rows report the default, which they
+    /// never consult).
+    partition: &'static str,
     k: usize,
     wall_time_s: f64,
     node_accesses: u64,
@@ -314,6 +321,12 @@ struct BenchRow {
     pairs_stolen: u64,
     steal_attempts: u64,
     barrier_idle_ns: u64,
+    buffer_hits: u64,
+    buffer_misses: u64,
+    /// Per-worker buffer hits, trimmed to the row's thread count — the
+    /// cache-residency split the locality partitioner exists to improve.
+    hits_by_worker: Vec<u64>,
+    misses_by_worker: Vec<u64>,
 }
 
 /// Runs every kdj/idj algorithm (sequential and parallel at several thread
@@ -325,55 +338,88 @@ fn run_bench_matrix(n: usize, k: usize, seed: u64, cfg: &JoinConfig) -> Vec<Benc
     let r = RTree::bulk_load(RTreeParams::paper_defaults(), a);
     let s = RTree::bulk_load(RTreeParams::paper_defaults(), b);
     let thread_counts = [1usize, 2, 4, 8];
-    // The parallel rows run twice per thread count: work-stealing (the
-    // default) against the static round-robin split, so the JSON carries
-    // the barrier-idle comparison the scheduler exists to win.
-    let mut rr_cfg = cfg.clone();
-    rr_cfg.steal = false;
-    let mut rows = Vec::new();
-    let mut record = |op, algo, threads, steal, run: &mut dyn FnMut() -> JoinOutput| {
-        let start = std::time::Instant::now();
-        let out = run();
-        let wall = start.elapsed().as_secs_f64();
-        rows.push(BenchRow {
-            op,
-            algo,
-            threads,
-            steal,
-            k,
-            wall_time_s: wall,
-            node_accesses: out.stats.node_requests,
-            pairs_computed: out.stats.real_dist,
-            results: out.results.len(),
-            pairs_stolen: out.stats.pairs_stolen,
-            steal_attempts: out.stats.steal_attempts,
-            barrier_idle_ns: out.stats.barrier_idle_ns,
-        });
+    // The parallel rows run twice per thread count — work-stealing (the
+    // default) against the static split, so the JSON carries the
+    // barrier-idle comparison the scheduler exists to win — and, at the
+    // widest thread count, once more per partitioner (locality vs
+    // round-robin), so it also carries the per-worker buffer-hit
+    // comparison the locality partitioner exists to win.
+    let sched_cells = |t: usize| -> Vec<(bool, &'static str, JoinConfig)> {
+        let mut cells = Vec::new();
+        for steal in [true, false] {
+            for part in [Partition::Locality, Partition::RoundRobin] {
+                if part == Partition::RoundRobin && t != 8 {
+                    continue;
+                }
+                let mut c = cfg.clone();
+                c.steal = steal;
+                c.partition = part;
+                let name = match part {
+                    Partition::Locality => "locality",
+                    Partition::RoundRobin => "rr",
+                };
+                cells.push((steal, name, c));
+            }
+        }
+        cells
     };
-    record("kdj", "hs", 1, false, &mut || hs_kdj(&r, &s, k, cfg));
-    record("kdj", "b", 1, false, &mut || b_kdj(&r, &s, k, cfg));
-    record("kdj", "am", 1, false, &mut || {
+    let mut rows = Vec::new();
+    let mut record =
+        |op, algo, threads: usize, steal, partition, run: &mut dyn FnMut() -> JoinOutput| {
+            let start = std::time::Instant::now();
+            let out = run();
+            let wall = start.elapsed().as_secs_f64();
+            let trim = threads.min(out.stats.buffer_hits_by_worker.len());
+            rows.push(BenchRow {
+                op,
+                algo,
+                threads,
+                steal,
+                partition,
+                k,
+                wall_time_s: wall,
+                node_accesses: out.stats.node_requests,
+                pairs_computed: out.stats.real_dist,
+                results: out.results.len(),
+                pairs_stolen: out.stats.pairs_stolen,
+                steal_attempts: out.stats.steal_attempts,
+                barrier_idle_ns: out.stats.barrier_idle_ns,
+                buffer_hits: out.stats.buffer_hits,
+                buffer_misses: out.stats.buffer_misses,
+                hits_by_worker: out.stats.buffer_hits_by_worker[..trim].to_vec(),
+                misses_by_worker: out.stats.buffer_misses_by_worker[..trim].to_vec(),
+            });
+        };
+    record("kdj", "hs", 1, false, "locality", &mut || {
+        hs_kdj(&r, &s, k, cfg)
+    });
+    record("kdj", "b", 1, false, "locality", &mut || {
+        b_kdj(&r, &s, k, cfg)
+    });
+    record("kdj", "am", 1, false, "locality", &mut || {
         am_kdj(&r, &s, k, cfg, &AmKdjOptions::default())
     });
     // SJ-SORT gets the paper's favorable oracle: the true k-th distance
     // (taken from an uncounted B-KDJ run before the measured one starts).
     let oracle_dmax = b_kdj(&r, &s, k, cfg).results.last().map_or(0.0, |p| p.dist);
-    record("kdj", "sjsort", 1, false, &mut || {
+    record("kdj", "sjsort", 1, false, "locality", &mut || {
         sj_sort(&r, &s, k, oracle_dmax, cfg)
     });
     for t in thread_counts {
-        for (steal, c) in [(true, cfg), (false, &rr_cfg)] {
-            record("kdj", "par", t, steal, &mut || par_b_kdj(&r, &s, k, c, t));
-        }
-    }
-    for t in thread_counts {
-        for (steal, c) in [(true, cfg), (false, &rr_cfg)] {
-            record("kdj", "par-am", t, steal, &mut || {
-                par_am_kdj(&r, &s, k, c, &AmKdjOptions::default(), t)
+        for (steal, part, c) in sched_cells(t) {
+            record("kdj", "par", t, steal, part, &mut || {
+                par_b_kdj(&r, &s, k, &c, t)
             });
         }
     }
-    record("idj", "hs", 1, false, &mut || {
+    for t in thread_counts {
+        for (steal, part, c) in sched_cells(t) {
+            record("kdj", "par-am", t, steal, part, &mut || {
+                par_am_kdj(&r, &s, k, &c, &AmKdjOptions::default(), t)
+            });
+        }
+    }
+    record("idj", "hs", 1, false, "locality", &mut || {
         let mut cursor = HsIdj::new(&r, &s, cfg);
         let mut results = Vec::with_capacity(k);
         while results.len() < k {
@@ -387,7 +433,7 @@ fn run_bench_matrix(n: usize, k: usize, seed: u64, cfg: &JoinConfig) -> Vec<Benc
             stats: cursor.stats(),
         }
     });
-    record("idj", "am", 1, false, &mut || {
+    record("idj", "am", 1, false, "locality", &mut || {
         let mut cursor = AmIdj::new(&r, &s, cfg, AmIdjOptions::default());
         let mut results = Vec::with_capacity(k);
         while results.len() < k {
@@ -402,13 +448,19 @@ fn run_bench_matrix(n: usize, k: usize, seed: u64, cfg: &JoinConfig) -> Vec<Benc
         }
     });
     for t in thread_counts {
-        for (steal, c) in [(true, cfg), (false, &rr_cfg)] {
-            record("idj", "par-am", t, steal, &mut || {
-                par_am_idj(&r, &s, k, c, &AmIdjOptions::default(), t)
+        for (steal, part, c) in sched_cells(t) {
+            record("idj", "par-am", t, steal, part, &mut || {
+                par_am_idj(&r, &s, k, &c, &AmIdjOptions::default(), t)
             });
         }
     }
     rows
+}
+
+/// `[a, b, c]` — no JSON dependency, numbers only.
+fn json_u64_array(vals: &[u64]) -> String {
+    let inner: Vec<String> = vals.iter().map(u64::to_string).collect();
+    format!("[{}]", inner.join(", "))
 }
 
 /// Serializes the matrix without a JSON dependency: every value is a
@@ -419,19 +471,22 @@ fn bench_rows_json(n: usize, k: usize, seed: u64, rows: &[BenchRow]) -> String {
     // Bumped whenever rows/fields change shape: 2 added the sjsort kdj row
     // and the hs idj row; 3 added the steal column, the scheduler
     // counters (pairs_stolen / steal_attempts / barrier_idle_ns), and the
-    // 8-thread steal-on vs steal-off rows.
-    out.push_str("  \"schema_version\": 3,\n");
+    // 8-thread steal-on vs steal-off rows; 4 added the partition column,
+    // the buffer hit/miss totals with their per-worker breakdowns, and
+    // the 8-thread locality vs round-robin rows.
+    out.push_str("  \"schema_version\": 4,\n");
     out.push_str(&format!(
         "  \"workload\": {{ \"n\": {n}, \"k\": {k}, \"seed\": {seed}, \"r\": \"uniform\", \"s\": \"clustered\" }},\n"
     ));
     out.push_str("  \"runs\": [\n");
     for (i, row) in rows.iter().enumerate() {
         out.push_str(&format!(
-            "    {{ \"op\": \"{}\", \"algo\": \"{}\", \"threads\": {}, \"steal\": {}, \"k\": {}, \"wall_time_s\": {:.6}, \"node_accesses\": {}, \"pairs_computed\": {}, \"results\": {}, \"pairs_stolen\": {}, \"steal_attempts\": {}, \"barrier_idle_ns\": {} }}{}\n",
+            "    {{ \"op\": \"{}\", \"algo\": \"{}\", \"threads\": {}, \"steal\": {}, \"partition\": \"{}\", \"k\": {}, \"wall_time_s\": {:.6}, \"node_accesses\": {}, \"pairs_computed\": {}, \"results\": {}, \"pairs_stolen\": {}, \"steal_attempts\": {}, \"barrier_idle_ns\": {}, \"buffer_hits\": {}, \"buffer_misses\": {}, \"buffer_hits_by_worker\": {}, \"buffer_misses_by_worker\": {} }}{}\n",
             row.op,
             row.algo,
             row.threads,
             row.steal,
+            row.partition,
             row.k,
             row.wall_time_s,
             row.node_accesses,
@@ -440,6 +495,10 @@ fn bench_rows_json(n: usize, k: usize, seed: u64, rows: &[BenchRow]) -> String {
             row.pairs_stolen,
             row.steal_attempts,
             row.barrier_idle_ns,
+            row.buffer_hits,
+            row.buffer_misses,
+            json_u64_array(&row.hits_by_worker),
+            json_u64_array(&row.misses_by_worker),
             if i + 1 == rows.len() { "" } else { "," }
         ));
     }

@@ -199,6 +199,36 @@ mod tests {
     }
 
     #[test]
+    fn per_worker_buffer_counters_attribute_traffic() {
+        let a = grid(12, 0.0, 0.0);
+        let b = grid(12, 0.21, 0.37);
+        let (r, s) = trees(&a, &b);
+        let st = par_b_kdj(&r, &s, 25, &JoinConfig::unbounded(), 4).stats;
+        assert!(
+            st.buffer_hits + st.buffer_misses > 0,
+            "a join that touches nodes must see buffer traffic"
+        );
+        let worker_hits: u64 = st.buffer_hits_by_worker.iter().sum();
+        let worker_misses: u64 = st.buffer_misses_by_worker.iter().sum();
+        // Totals = workers + the coordinating thread (frontier seeding).
+        assert!(worker_hits <= st.buffer_hits);
+        assert!(worker_misses <= st.buffer_misses);
+        assert!(
+            worker_hits + worker_misses > 0,
+            "workers do the traversal, so some slot must be nonzero"
+        );
+        for w in 4..crate::MAX_TRACKED_WORKERS {
+            assert_eq!(st.buffer_hits_by_worker[w], 0, "only 4 workers ran");
+            assert_eq!(st.buffer_misses_by_worker[w], 0);
+        }
+        // Sequential joins leave the per-worker arrays untouched.
+        let seq = b_kdj(&r, &s, 25, &JoinConfig::unbounded()).stats;
+        assert!(seq.buffer_hits + seq.buffer_misses > 0);
+        assert_eq!(seq.buffer_hits_by_worker, [0; crate::MAX_TRACKED_WORKERS]);
+        assert_eq!(seq.buffer_misses_by_worker, [0; crate::MAX_TRACKED_WORKERS]);
+    }
+
+    #[test]
     fn independent_joins_share_trees_concurrently() {
         // The thread-safety smoke test: two unrelated joins run at the
         // same time against the same pair of trees, each through &RTree.

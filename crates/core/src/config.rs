@@ -32,6 +32,11 @@ pub struct JoinConfig {
     /// round-robin partitioning and so `JoinStats::pairs_stolen` can be
     /// pinned to zero in tests.
     pub steal: bool,
+    /// How parallel backends carve a batch of work (frontier seeds,
+    /// stage-two leftovers, compensation entries) into per-worker shares.
+    /// Results are bit-identical under every choice; the switch trades
+    /// buffer locality against nothing but bench ablation clarity.
+    pub partition: Partition,
 }
 
 impl Default for JoinConfig {
@@ -44,6 +49,7 @@ impl Default for JoinConfig {
             eq3_queue_boundaries: true,
             batched_leaf_sweep: true,
             steal: true,
+            partition: Partition::Locality,
         }
     }
 }
@@ -59,6 +65,7 @@ impl JoinConfig {
             eq3_queue_boundaries: true,
             batched_leaf_sweep: true,
             steal: true,
+            partition: Partition::Locality,
         }
     }
 
@@ -69,6 +76,23 @@ impl JoinConfig {
             ..JoinConfig::default()
         }
     }
+}
+
+/// How parallel backends split a batch of work items across workers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Partition {
+    /// Deal items round-robin in priority order. Every worker sees a
+    /// representative slice of the whole batch — and, with it, the whole
+    /// data space, so concurrent workers churn each other's buffer pages.
+    /// Kept for ablation.
+    RoundRobin,
+    /// Order items by a Z-order (Morton) key of each pair's combined-MBR
+    /// centroid and hand each worker one contiguous run, balanced by
+    /// estimated expansion cost. Spatially close work lands on the same
+    /// worker, so the node pages it touches stay hot in the shared
+    /// buffer; the default.
+    #[default]
+    Locality,
 }
 
 /// How a new `eDmax` estimate is derived from partial results (§4.3.2).

@@ -36,7 +36,8 @@
 //! bookkeeping in a *per-worker* compensation queue (no contention). When
 //! every worker has finished its aggressive stage, the leftovers — parked
 //! compensation entries and unprocessed main-queue pairs — are pooled,
-//! pruned against the now-tight shared bound, redistributed round-robin,
+//! pruned against the now-tight shared bound, redistributed by the
+//! configured [`partition`](super::partition) mode,
 //! and replayed by a second parallel stage whose cutoffs are exact
 //! (`min(qDmax, shared)`), preserving the no-false-dismissals guarantee.
 //! The stage-two workers' distance queues are pre-seeded (uncounted) with
@@ -47,7 +48,8 @@
 //!
 //! [`Parallel`] has two scheduling modes, selected by
 //! [`JoinConfig::steal`]. With stealing off, this module's static path
-//! runs: the frontier is partitioned round-robin once and a drained
+//! runs: the frontier is partitioned once (per
+//! [`JoinConfig::partition`](crate::JoinConfig::partition)) and a drained
 //! worker idles at the stage barrier ([`JoinStats::barrier_idle_ns`]
 //! measures exactly that idle time). With stealing on (the default), the
 //! [`steal`](super::steal) module keeps the frontier in per-worker deques
@@ -63,7 +65,7 @@
 
 use amdj_rtree::RTree;
 
-use crate::stats::Baseline;
+use crate::stats::{Baseline, WorkerBufferSpan};
 use crate::{
     AmIdjOptions, DistanceQueue, Estimator, ItemRef, JoinConfig, JoinOutput, JoinStats, Pair,
     ResultPair,
@@ -71,6 +73,7 @@ use crate::{
 
 use super::bound::MinBound;
 use super::driver::{ExpansionDriver, StageOnePool};
+use super::partition::partition;
 use super::policy::PruningPolicy;
 use super::stage::StageDriver;
 use super::steal::{self, TestSchedule};
@@ -202,10 +205,10 @@ impl ExecBackend for Parallel {
         let mut queue_io = 0.0;
         if k > 0 {
             let mut frontier = seed_frontier(r, s, cfg, frontier_target(threads), &mut stats);
-            // Ascending by distance, then round-robin, so every worker
-            // gets a mix of near and far pairs.
+            // Ascending by distance, then partitioned per `cfg.partition`
+            // (each share stays ascending either way).
             frontier.sort_unstable_by(|a, b| a.dist.total_cmp(&b.dist));
-            let seeds = round_robin(frontier, threads);
+            let seeds = partition(frontier, threads, cfg.partition);
             let est = est.as_ref();
             let shared = &shared;
 
@@ -214,11 +217,14 @@ impl ExecBackend for Parallel {
             let outcomes = std::thread::scope(|scope| {
                 let handles: Vec<_> = seeds
                     .into_iter()
-                    .filter(|seed| !seed.is_empty())
-                    .map(|seed| {
+                    .enumerate()
+                    .filter(|(_, seed)| !seed.is_empty())
+                    .map(|(w, seed)| {
                         scope.spawn(move || {
-                            let out =
+                            let span = WorkerBufferSpan::begin(w);
+                            let mut out =
                                 stage_one_worker::<D, P>(r, s, k, cfg, est, seed, edmax0, shared);
+                            span.record(&mut out.stats);
                             (out, t0.elapsed().as_nanos() as u64)
                         })
                     })
@@ -265,19 +271,25 @@ impl ExecBackend for Parallel {
                     stats.stages = 2;
                     leftovers.sort_unstable_by(|a, b| a.dist.total_cmp(&b.dist));
                     comps.sort_unstable_by(|a, b| a.key.total_cmp(&b.key));
-                    let work: Vec<_> = round_robin(leftovers, threads)
+                    let work: Vec<_> = partition(leftovers, threads, cfg.partition)
                         .into_iter()
-                        .zip(round_robin(comps, threads))
+                        .zip(partition(comps, threads, cfg.partition))
                         .collect();
                     let pool = &pool;
                     let t0 = std::time::Instant::now();
                     let comp_outputs = std::thread::scope(|scope| {
                         let handles: Vec<_> = work
                             .into_iter()
-                            .filter(|(pairs, entries)| !pairs.is_empty() || !entries.is_empty())
-                            .map(|w| {
+                            .enumerate()
+                            .filter(|(_, (pairs, entries))| {
+                                !pairs.is_empty() || !entries.is_empty()
+                            })
+                            .map(|(w, work)| {
                                 scope.spawn(move || {
-                                    let out = stage_two_worker(r, s, k, cfg, est, w, pool, shared);
+                                    let span = WorkerBufferSpan::begin(w);
+                                    let mut out =
+                                        stage_two_worker(r, s, k, cfg, est, work, pool, shared);
+                                    span.record(&mut out.1);
                                     (out, t0.elapsed().as_nanos() as u64)
                                 })
                             })
@@ -327,17 +339,20 @@ impl ExecBackend for Parallel {
         if take > 0 {
             let mut frontier = seed_frontier(r, s, cfg, frontier_target(threads), &mut stats);
             frontier.sort_unstable_by(|a, b| a.dist.total_cmp(&b.dist));
-            let seeds = round_robin(frontier, threads);
+            let seeds = partition(frontier, threads, cfg.partition);
             let shared = &shared;
             let t0 = std::time::Instant::now();
             let worker_outputs = std::thread::scope(|scope| {
                 let handles: Vec<_> = seeds
                     .into_iter()
-                    .filter(|seed| !seed.is_empty())
-                    .map(|seed| {
+                    .enumerate()
+                    .filter(|(_, seed)| !seed.is_empty())
+                    .map(|(w, seed)| {
                         let opts = opts.clone();
                         scope.spawn(move || {
-                            let out = idj_worker(r, s, take, cfg, opts, seed, shared);
+                            let span = WorkerBufferSpan::begin(w);
+                            let mut out = idj_worker(r, s, take, cfg, opts, seed, shared);
+                            span.record(&mut out.1);
                             (out, t0.elapsed().as_nanos() as u64)
                         })
                     })
@@ -548,17 +563,6 @@ fn resolve_threads(threads: usize) -> usize {
     } else {
         threads
     }
-}
-
-/// Splits `items` (already sorted ascending by urgency) round-robin so
-/// every worker gets a mix of near and far work — and so each bucket
-/// stays ascending, the invariant the stealing pool's deques rely on.
-pub(crate) fn round_robin<T>(items: Vec<T>, buckets: usize) -> Vec<Vec<T>> {
-    let mut out: Vec<Vec<T>> = (0..buckets).map(|_| Vec::new()).collect();
-    for (i, item) in items.into_iter().enumerate() {
-        out[i % buckets].push(item);
-    }
-    out
 }
 
 /// Sorts results into the canonical `(dist, r, s)` order all parallel

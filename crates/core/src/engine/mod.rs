@@ -29,6 +29,7 @@ mod backend;
 pub(crate) mod batch;
 mod bound;
 mod driver;
+mod partition;
 mod policy;
 mod stage;
 mod steal;

@@ -1,0 +1,352 @@
+//! Work partitioning for the parallel backends: how a batch of work items
+//! (frontier seeds, stage-two leftovers, compensation entries) is carved
+//! into per-worker shares.
+//!
+//! Both backends share one structural requirement — each share must stay
+//! *ascending by priority key*, because the static path's drivers consume
+//! their seed batch front-to-near and the stealing pool's deques claim
+//! prefixes by `partition_point` on the key. Within that constraint the
+//! assignment of items to workers is free, and [`Partition`] picks it:
+//!
+//! * [`Partition::RoundRobin`] deals the key-sorted batch out card by
+//!   card. Every worker gets a representative slice of the key range —
+//!   good for static load balance, terrible for buffer locality, because
+//!   every worker now touches node pages from the *whole* data space and
+//!   the workers evict each other's pages from the shared LRU.
+//! * [`Partition::Locality`] orders items by a Z-order (Morton) key of
+//!   each pair's combined-MBR centroid and hands each worker one
+//!   contiguous run of that space-filling order, balanced by estimated
+//!   expansion cost. Spatially close pairs expand largely the same tree
+//!   nodes, so keeping them on one worker keeps those pages hot — the
+//!   per-worker hit rates in
+//!   [`JoinStats::buffer_hits_by_worker`](crate::JoinStats::buffer_hits_by_worker)
+//!   are the figure this exists to move.
+//!
+//! Results are bit-identical under every choice (the partition only
+//! decides *who* processes a pair, never *whether*), which
+//! `tests/engine_matrix.rs` and `tests/steal_schedules.rs` pin across the
+//! whole policy × backend × partition cube. With one bucket both modes
+//! return the batch untouched, so single-worker runs replay the
+//! sequential join bit for bit no matter the switch.
+
+use amdj_geom::Rect;
+
+use crate::config::Partition;
+use crate::pair::{ItemRef, Pair};
+
+use super::sweep::CompEntry;
+
+/// Assumed node fanout for expansion-cost estimates. The exact value
+/// hardly matters — costs only weigh items against each other, and any
+/// base > 1 orders "object pair ≪ leaf pair ≪ interior pair" correctly.
+const EST_FANOUT: u64 = 8;
+
+/// A unit of parallel work the partitioner can place: it has a priority
+/// key (what the per-worker deques/batches are ordered by), a spatial
+/// region (what the Morton order is computed from), and an estimated
+/// expansion cost (what the contiguous runs are balanced by).
+pub(crate) trait PartitionItem<const D: usize> {
+    /// Priority key — ascending per bucket is the invariant both
+    /// backends rely on.
+    fn order_key(&self) -> f64;
+    /// The region of data space this item's expansion will touch.
+    fn region(&self) -> Rect<D>;
+    /// Estimated expansion cost (any unit; only ratios matter).
+    fn cost(&self) -> u64;
+}
+
+fn side_cost(i: ItemRef) -> u64 {
+    match i {
+        // A node at level L roughly covers FANOUT^(L+1) objects.
+        ItemRef::Node { level, .. } => EST_FANOUT.saturating_pow(level + 1),
+        ItemRef::Object { .. } => 1,
+    }
+}
+
+impl<const D: usize> PartitionItem<D> for Pair<D> {
+    fn order_key(&self) -> f64 {
+        self.dist
+    }
+    fn region(&self) -> Rect<D> {
+        self.a_mbr.union(&self.b_mbr)
+    }
+    fn cost(&self) -> u64 {
+        // Expansion replaces a pair by the cross product of its children
+        // pairs, so descendant count — the work estimate — multiplies.
+        side_cost(self.a).saturating_mul(side_cost(self.b))
+    }
+}
+
+impl<const D: usize> PartitionItem<D> for CompEntry<D> {
+    fn order_key(&self) -> f64 {
+        self.key
+    }
+    fn region(&self) -> Rect<D> {
+        let mut acc: Option<Rect<D>> = None;
+        for e in self.left.entries.iter().chain(&self.right.entries) {
+            acc = Some(match acc {
+                Some(r) => r.union(&e.mbr),
+                None => e.mbr,
+            });
+        }
+        acc.unwrap_or_else(|| Rect::new([0.0; D], [0.0; D]))
+    }
+    fn cost(&self) -> u64 {
+        // A replay sweeps left × right; the +1 keeps empty entries from
+        // vanishing out of the balance.
+        (self.left.entries.len() as u64).saturating_mul(self.right.entries.len() as u64) + 1
+    }
+}
+
+/// Splits `items` (already sorted ascending by priority) into exactly
+/// `buckets` per-worker shares under `mode`. Every bucket comes back
+/// ascending by [`PartitionItem::order_key`]. One bucket returns the
+/// batch untouched — the single-worker parity guarantee.
+pub(crate) fn partition<const D: usize, T: PartitionItem<D>>(
+    items: Vec<T>,
+    buckets: usize,
+    mode: Partition,
+) -> Vec<Vec<T>> {
+    if buckets <= 1 {
+        return vec![items];
+    }
+    match mode {
+        Partition::RoundRobin => round_robin(items, buckets),
+        Partition::Locality => locality(items, buckets),
+    }
+}
+
+/// Deals `items` round-robin: bucket `i % buckets` gets item `i`. Keeps
+/// each bucket ascending when the input is.
+pub(crate) fn round_robin<T>(items: Vec<T>, buckets: usize) -> Vec<Vec<T>> {
+    let mut out: Vec<Vec<T>> = (0..buckets).map(|_| Vec::new()).collect();
+    for (i, item) in items.into_iter().enumerate() {
+        out[i % buckets].push(item);
+    }
+    out
+}
+
+/// The locality partitioner: Morton-order the items by combined-MBR
+/// centroid, cut the order into `buckets` contiguous runs of roughly
+/// equal estimated cost, then restore each run to key order.
+fn locality<const D: usize, T: PartitionItem<D>>(items: Vec<T>, buckets: usize) -> Vec<Vec<T>> {
+    let mut out: Vec<Vec<T>> = (0..buckets).map(|_| Vec::new()).collect();
+    if items.is_empty() {
+        return out;
+    }
+    let centroids: Vec<[f64; D]> = items.iter().map(|t| t.region().center().coords()).collect();
+    let (mut lo, mut hi) = ([f64::INFINITY; D], [f64::NEG_INFINITY; D]);
+    for c in &centroids {
+        for a in 0..D {
+            lo[a] = lo[a].min(c[a]);
+            hi[a] = hi[a].max(c[a]);
+        }
+    }
+    let mut inv = [0.0f64; D];
+    for a in 0..D {
+        let extent = hi[a] - lo[a];
+        // Degenerate axes (all centroids equal, or non-finite data)
+        // contribute a constant 0 cell — they cannot discriminate anyway.
+        inv[a] = if extent > 0.0 && extent.is_finite() {
+            1.0 / extent
+        } else {
+            0.0
+        };
+    }
+    let bits = (64 / D as u32).min(16);
+    let mut keyed: Vec<(u64, u64, T)> = items
+        .into_iter()
+        .zip(&centroids)
+        .map(|(t, c)| {
+            let m = morton_key::<D>(c, &lo, &inv, bits);
+            let cost = t.cost().max(1);
+            (m, cost, t)
+        })
+        .collect();
+    // Stable: equal Morton cells keep their input (ascending-key) order.
+    keyed.sort_by_key(|&(m, _, _)| m);
+
+    // Cut the Morton order into contiguous runs of ~equal cost: an item
+    // goes to the bucket its cost midpoint falls in. `mid < total`
+    // always, so the bucket index stays in range.
+    let total: u128 = keyed
+        .iter()
+        .map(|&(_, c, _)| c as u128)
+        .sum::<u128>()
+        .max(1);
+    let mut acc: u128 = 0;
+    for (_, cost, item) in keyed {
+        let mid = acc + (cost as u128) / 2;
+        let b = ((mid * buckets as u128) / total) as usize;
+        out[b].push(item);
+        acc += cost as u128;
+    }
+    // Restore the per-bucket key order both backends require. Stable, so
+    // equal keys stay in Morton order — spatial neighbours remain
+    // adjacent in the deque even among ties.
+    for bucket in &mut out {
+        bucket.sort_by(|a, b| a.order_key().total_cmp(&b.order_key()));
+    }
+    out
+}
+
+/// The Morton (Z-order) key of one centroid: normalize per axis into
+/// `bits`-bit cells, then interleave the cell bits MSB-first.
+fn morton_key<const D: usize>(c: &[f64; D], lo: &[f64; D], inv: &[f64; D], bits: u32) -> u64 {
+    let scale = ((1u64 << bits) - 1) as f64;
+    let mut cell = [0u64; D];
+    for a in 0..D {
+        let t = ((c[a] - lo[a]) * inv[a]).clamp(0.0, 1.0);
+        cell[a] = (t * scale) as u64;
+    }
+    let mut key = 0u64;
+    for b in (0..bits).rev() {
+        for v in cell {
+            key = (key << 1) | ((v >> b) & 1);
+        }
+    }
+    key
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj_pair(x: f64, y: f64, dist: f64, id: u64) -> Pair<2> {
+        let r = Rect::new([x, y], [x + 1.0, y + 1.0]);
+        Pair {
+            dist,
+            a: ItemRef::Object { oid: id },
+            b: ItemRef::Object { oid: id + 1000 },
+            a_mbr: r,
+            b_mbr: r,
+        }
+    }
+
+    fn node_pair(level: u32, dist: f64) -> Pair<2> {
+        let r = Rect::new([0.0, 0.0], [10.0, 10.0]);
+        Pair {
+            dist,
+            a: ItemRef::Node { page: 1, level },
+            b: ItemRef::Node { page: 2, level },
+            a_mbr: r,
+            b_mbr: r,
+        }
+    }
+
+    #[test]
+    fn one_bucket_is_a_passthrough_for_both_modes() {
+        let items: Vec<Pair<2>> = (0..7)
+            .map(|i| obj_pair(i as f64, 0.0, i as f64, i))
+            .collect();
+        for mode in [Partition::RoundRobin, Partition::Locality] {
+            let got = partition(items.clone(), 1, mode);
+            assert_eq!(got.len(), 1);
+            assert_eq!(got[0], items);
+        }
+    }
+
+    #[test]
+    fn both_modes_emit_exactly_buckets_shares_and_lose_nothing() {
+        let items: Vec<Pair<2>> = (0..23)
+            .map(|i| obj_pair((i * 37 % 11) as f64, (i * 17 % 7) as f64, i as f64, i))
+            .collect();
+        for mode in [Partition::RoundRobin, Partition::Locality] {
+            for buckets in [2usize, 3, 8, 40] {
+                let got = partition(items.clone(), buckets, mode);
+                assert_eq!(got.len(), buckets);
+                let total: usize = got.iter().map(Vec::len).sum();
+                assert_eq!(total, items.len());
+                for bucket in &got {
+                    assert!(
+                        bucket.windows(2).all(|w| w[0].dist <= w[1].dist),
+                        "bucket must stay ascending by key"
+                    );
+                }
+                // Same multiset: every input id appears exactly once.
+                let mut ids: Vec<u64> = got
+                    .iter()
+                    .flatten()
+                    .map(|p| match p.a {
+                        ItemRef::Object { oid } => oid,
+                        _ => unreachable!(),
+                    })
+                    .collect();
+                ids.sort_unstable();
+                assert_eq!(ids, (0..23).collect::<Vec<_>>());
+            }
+        }
+    }
+
+    #[test]
+    fn locality_groups_spatial_clusters_onto_the_same_worker() {
+        // Two tight clusters far apart, interleaved in key order so
+        // round-robin would shuffle them across both workers.
+        let mut items = Vec::new();
+        for i in 0..8u64 {
+            let (cx, cy) = if i % 2 == 0 {
+                (0.0, 0.0)
+            } else {
+                (1000.0, 1000.0)
+            };
+            items.push(obj_pair(cx + (i / 2) as f64, cy, i as f64, i));
+        }
+        let got = partition(items, 2, Partition::Locality);
+        for bucket in &got {
+            assert!(!bucket.is_empty());
+            let left = bucket.iter().all(|p| p.a_mbr.lo()[0] < 500.0);
+            let right = bucket.iter().all(|p| p.a_mbr.lo()[0] > 500.0);
+            assert!(left || right, "a bucket mixed the two clusters: {bucket:?}");
+        }
+    }
+
+    #[test]
+    fn locality_balances_by_cost_not_count() {
+        // One heavy interior pair and many cheap object pairs, all
+        // co-located: the heavy pair should get a bucket (nearly) to
+        // itself rather than splitting the count evenly.
+        let mut items = vec![node_pair(2, 0.5)];
+        for i in 0..16u64 {
+            items.push(obj_pair(2000.0 + i as f64, 0.0, 1.0 + i as f64, i));
+        }
+        let got = partition(items, 2, Partition::Locality);
+        let heavy_bucket = got
+            .iter()
+            .find(|b| b.iter().any(|p| !p.is_result()))
+            .expect("the node pair landed somewhere");
+        assert!(
+            heavy_bucket.iter().filter(|p| p.is_result()).count() <= 1,
+            "cost balancing should isolate the expensive pair"
+        );
+    }
+
+    #[test]
+    fn degenerate_geometry_still_partitions() {
+        // All centroids identical: Morton keys collapse to one cell and
+        // the cost cut alone decides — still exactly `buckets` shares,
+        // nothing lost.
+        let items: Vec<Pair<2>> = (0..10).map(|i| obj_pair(5.0, 5.0, i as f64, i)).collect();
+        let got = partition(items, 3, Partition::Locality);
+        assert_eq!(got.len(), 3);
+        assert_eq!(got.iter().map(Vec::len).sum::<usize>(), 10);
+    }
+
+    #[test]
+    fn morton_key_interleaves_msb_first() {
+        let lo = [0.0, 0.0];
+        let inv = [1.0, 1.0];
+        // (0,0) is the smallest cell, (1,1) the largest.
+        let k00 = morton_key::<2>(&[0.0, 0.0], &lo, &inv, 16);
+        let k11 = morton_key::<2>(&[1.0, 1.0], &lo, &inv, 16);
+        let kmid = morton_key::<2>(&[0.5, 0.5], &lo, &inv, 16);
+        assert_eq!(k00, 0);
+        assert_eq!(k11, u32::MAX as u64);
+        assert!(k00 < kmid && kmid < k11);
+        // Quadrant order: both-low < x-high (x interleaved first ⇒ more
+        // significant) is decided by the leading bit pair.
+        let k10 = morton_key::<2>(&[1.0, 0.0], &lo, &inv, 16);
+        let k01 = morton_key::<2>(&[0.0, 1.0], &lo, &inv, 16);
+        assert!(k00 < k10 && k00 < k01);
+        assert!(k10 < k11 && k01 < k11);
+    }
+}

@@ -68,16 +68,18 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use amdj_geom::Rect;
 use amdj_rtree::RTree;
 
-use crate::stats::Baseline;
+use crate::stats::{Baseline, WorkerBufferSpan};
 use crate::{
     AmIdjOptions, DistanceQueue, Estimator, JoinConfig, JoinOutput, JoinStats, Pair, ResultPair,
 };
 
-use super::backend::{barrier_idle, round_robin, seed_frontier, sort_canonical};
+use super::backend::{barrier_idle, seed_frontier, sort_canonical};
 use super::bound::MinBound;
 use super::driver::{ExpansionDriver, StageOnePool};
+use super::partition::{partition, PartitionItem};
 use super::policy::PruningPolicy;
 use super::stage::StageDriver;
 use super::sweep::CompEntry;
@@ -331,6 +333,24 @@ fn work_key<const D: usize>(w: &Work<D>) -> f64 {
     }
 }
 
+impl<const D: usize> PartitionItem<D> for Work<D> {
+    fn order_key(&self) -> f64 {
+        work_key(self)
+    }
+    fn region(&self) -> Rect<D> {
+        match self {
+            Work::Fresh(p) | Work::Unclaimed(p) => p.region(),
+            Work::Comp(e) => e.region(),
+        }
+    }
+    fn cost(&self) -> u64 {
+        match self {
+            Work::Fresh(p) | Work::Unclaimed(p) => PartitionItem::cost(p),
+            Work::Comp(e) => PartitionItem::cost(e),
+        }
+    }
+}
+
 /// One stage-two worker: exact cutoffs, distance queue pre-seeded
 /// (uncounted) with the pooled stage-one distances. The *first* claim
 /// takes the worker's entire own deque — mirroring the static path's
@@ -498,7 +518,8 @@ pub(crate) fn run_kdj<const D: usize, P: PruningPolicy>(
     if k > 0 {
         let mut frontier = seed_frontier(r, s, cfg, frontier_target(threads), &mut stats);
         frontier.sort_unstable_by(|a, b| a.dist.total_cmp(&b.dist));
-        let pool = StealPool::new(round_robin(frontier, threads), |p: &Pair<D>| p.dist);
+        let seeds = partition(frontier, threads, cfg.partition);
+        let pool = StealPool::new(seeds, |p: &Pair<D>| p.dist);
         let est = est.as_ref();
         let shared = &shared;
 
@@ -510,9 +531,11 @@ pub(crate) fn run_kdj<const D: usize, P: PruningPolicy>(
                 let handles: Vec<_> = (0..threads)
                     .map(|w| {
                         scope.spawn(move || {
-                            let out = stage_one_worker::<D, P>(
+                            let span = WorkerBufferSpan::begin(w);
+                            let mut out = stage_one_worker::<D, P>(
                                 r, s, k, cfg, est, pool, w, edmax0, shared, schedule,
                             );
+                            span.record(&mut out.stats);
                             (out, t0.elapsed().as_nanos() as u64)
                         })
                     })
@@ -570,7 +593,7 @@ pub(crate) fn run_kdj<const D: usize, P: PruningPolicy>(
                 // masse (all at `eDmax.next_up()`), and one-thread parity
                 // with the static path needs their original order kept.
                 work.sort_by(|a, b| work_key(a).total_cmp(&work_key(b)));
-                let wpool = StealPool::new(round_robin(work, threads), work_key);
+                let wpool = StealPool::new(partition(work, threads, cfg.partition), work_key);
                 let dists = &dists[..];
                 let t0 = std::time::Instant::now();
                 let outputs = {
@@ -579,9 +602,11 @@ pub(crate) fn run_kdj<const D: usize, P: PruningPolicy>(
                         let handles: Vec<_> = (0..threads)
                             .map(|w| {
                                 scope.spawn(move || {
-                                    let out = stage_two_worker(
+                                    let span = WorkerBufferSpan::begin(w);
+                                    let mut out = stage_two_worker(
                                         r, s, k, cfg, est, wpool, w, dists, shared, schedule,
                                     );
+                                    span.record(&mut out.1);
                                     (out, t0.elapsed().as_nanos() as u64)
                                 })
                             })
@@ -637,7 +662,8 @@ pub(crate) fn run_idj<const D: usize>(
     if take > 0 {
         let mut frontier = seed_frontier(r, s, cfg, frontier_target(threads), &mut stats);
         frontier.sort_unstable_by(|a, b| a.dist.total_cmp(&b.dist));
-        let pool = StealPool::new(round_robin(frontier, threads), |p: &Pair<D>| p.dist);
+        let seeds = partition(frontier, threads, cfg.partition);
+        let pool = StealPool::new(seeds, |p: &Pair<D>| p.dist);
         let shared = &shared;
         let t0 = std::time::Instant::now();
         let outputs = {
@@ -647,7 +673,10 @@ pub(crate) fn run_idj<const D: usize>(
                     .map(|w| {
                         let opts = opts.clone();
                         scope.spawn(move || {
-                            let out = idj_worker(r, s, take, cfg, opts, pool, w, shared, schedule);
+                            let span = WorkerBufferSpan::begin(w);
+                            let mut out =
+                                idj_worker(r, s, take, cfg, opts, pool, w, shared, schedule);
+                            span.record(&mut out.1);
                             (out, t0.elapsed().as_nanos() as u64)
                         })
                     })

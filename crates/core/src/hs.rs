@@ -34,6 +34,7 @@ pub struct HsIdj<'a, const D: usize> {
     s_acc0: AccessStats,
     r_io0: f64,
     s_io0: f64,
+    buf0: (u64, u64),
 }
 
 impl<'a, const D: usize> HsIdj<'a, D> {
@@ -82,6 +83,7 @@ impl<'a, const D: usize> HsIdj<'a, D> {
             s_acc0,
             r_io0,
             s_io0,
+            buf0: amdj_rtree::thread_buffer_counters(),
         }
     }
 
@@ -202,6 +204,11 @@ impl<'a, const D: usize> HsIdj<'a, D> {
         st.io_seconds = (self.r.disk_stats().io_seconds - self.r_io0)
             + (self.s.disk_stats().io_seconds - self.s_io0)
             + qd.io_seconds;
+        // Single-threaded cursor: every fetch since construction happened
+        // on this thread.
+        let (h, m) = amdj_rtree::thread_buffer_counters();
+        st.buffer_hits = h - self.buf0.0;
+        st.buffer_misses = m - self.buf0.1;
         st
     }
 }

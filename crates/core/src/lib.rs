@@ -85,7 +85,7 @@ pub use amidj::AmIdj;
 pub use amkdj::am_kdj;
 pub use bkdj::b_kdj;
 pub use concurrent::{par_am_idj, par_am_kdj, par_b_kdj};
-pub use config::{AmIdjOptions, AmKdjOptions, Correction, EdmaxPolicy, JoinConfig};
+pub use config::{AmIdjOptions, AmKdjOptions, Correction, EdmaxPolicy, JoinConfig, Partition};
 pub use distq::DistanceQueue;
 pub use engine::{MinBound, TestSchedule};
 pub use estimate::Estimator;
@@ -94,5 +94,5 @@ pub use hs::{hs_kdj, HsIdj};
 pub use knnjoin::{knn_join, KnnJoinOutput};
 pub use pair::{ItemRef, Pair};
 pub use sjsort::sj_sort;
-pub use stats::{JoinOutput, JoinStats, ResultPair};
+pub use stats::{JoinOutput, JoinStats, ResultPair, MAX_TRACKED_WORKERS};
 pub use within::within_join;

@@ -2,10 +2,6 @@ use amdj_storage::{DiskStats, SpillQueue, SpillQueueConfig};
 
 use crate::{Estimator, JoinConfig, JoinStats, Pair};
 
-/// Overhead assumed per in-heap pair (matches the spill queue's own
-/// bookkeeping constant) when sizing Equation-3 boundaries.
-const HEAP_OVERHEAD: usize = 24;
-
 /// How many Equation-3 segment boundaries to precompute.
 const BOUNDARY_COUNT: usize = 64;
 
@@ -21,7 +17,10 @@ impl<const D: usize> MainQueue<D> {
     pub(crate) fn new(cfg: &JoinConfig, est: Option<&Estimator<D>>) -> Self {
         let boundaries = match est {
             Some(e) if cfg.queue_mem_bytes < usize::MAX && cfg.eq3_queue_boundaries => {
-                let per_item = Pair::<D>::ENCODED_LEN + HEAP_OVERHEAD;
+                // The spill queue's own per-item accounting, so the heap
+                // capacity `n` behind the boundaries cannot drift from
+                // what the queue actually holds.
+                let per_item = SpillQueue::<Pair<D>>::per_item_cost(Pair::<D>::ENCODED_LEN);
                 let n = (cfg.queue_mem_bytes / per_item).max(1);
                 e.queue_boundaries(n, BOUNDARY_COUNT)
             }
@@ -47,9 +46,10 @@ impl<const D: usize> MainQueue<D> {
     }
 
     /// Re-inserts a pair without counting it as new work (used when a
-    /// stage boundary parks the popped head).
+    /// stage boundary parks the popped head). Routed through the spill
+    /// queue's uncounted path so `SpillQueueStats` stays truthful too.
     pub(crate) fn unpop(&mut self, pair: Pair<D>) {
-        self.q.push(pair);
+        self.q.reinsert(pair);
     }
 
     pub(crate) fn pop(&mut self) -> Option<Pair<D>> {
@@ -111,6 +111,10 @@ mod tests {
         q.unpop(head);
         assert_eq!(q.insertions(), 2);
         assert_eq!(q.len(), 2);
+        // The underlying spill queue's own counters must agree: a parked
+        // head is not a new insertion there either.
+        assert_eq!(q.q.stats().insertions, 2);
+        assert_eq!(q.q.stats().max_len, 2);
     }
 
     #[test]

@@ -1,4 +1,9 @@
-use amdj_rtree::{AccessStats, RTree};
+use amdj_rtree::{thread_buffer_counters, AccessStats, RTree};
+
+/// Worker slots tracked by the per-worker buffer counters in
+/// [`JoinStats`]. Joins running more workers fold the excess into the
+/// last slot (the struct stays `Copy`, so the arrays are fixed-size).
+pub const MAX_TRACKED_WORKERS: usize = 16;
 
 /// One k-distance-join result: an object from R, an object from S, and the
 /// distance between them.
@@ -58,6 +63,22 @@ pub struct JoinStats {
     pub node_requests: u64,
     /// R-tree nodes actually fetched from disk (Table 2's main figure).
     pub node_disk_reads: u64,
+    /// R-tree buffer hits observed by this join's own threads (workers
+    /// plus the coordinating thread). Like `node_disk_reads`, this
+    /// depends on buffer state carried across runs, so it is excluded
+    /// from cross-run parity comparisons.
+    pub buffer_hits: u64,
+    /// R-tree buffer misses observed by this join's own threads.
+    pub buffer_misses: u64,
+    /// Per-worker buffer hits: slot `w` belongs to parallel worker `w`
+    /// (workers past [`MAX_TRACKED_WORKERS`] fold into the last slot).
+    /// The cache-residency figure locality partitioning exists to
+    /// improve. Sequential joins leave the array zero — their fetches
+    /// appear only in [`Self::buffer_hits`].
+    pub buffer_hits_by_worker: [u64; MAX_TRACKED_WORKERS],
+    /// Per-worker buffer misses, laid out like
+    /// [`Self::buffer_hits_by_worker`].
+    pub buffer_misses_by_worker: [u64; MAX_TRACKED_WORKERS],
     /// Pages read by queue/sort spill traffic.
     pub queue_page_reads: u64,
     /// Pages written by queue/sort spill traffic.
@@ -129,6 +150,54 @@ impl JoinStats {
         self.stage2_expansions += w.stage2_expansions;
         self.queue_page_reads += w.queue_page_reads;
         self.queue_page_writes += w.queue_page_writes;
+        self.buffer_hits += w.buffer_hits;
+        self.buffer_misses += w.buffer_misses;
+        for (a, b) in self
+            .buffer_hits_by_worker
+            .iter_mut()
+            .zip(&w.buffer_hits_by_worker)
+        {
+            *a += b;
+        }
+        for (a, b) in self
+            .buffer_misses_by_worker
+            .iter_mut()
+            .zip(&w.buffer_misses_by_worker)
+        {
+            *a += b;
+        }
+    }
+}
+
+/// Attributes the calling thread's buffer hits and misses over one
+/// worker's run to that worker's [`JoinStats`] slot: capture at worker
+/// start, [`record`](WorkerBufferSpan::record) at worker end. Works
+/// because each parallel worker owns its spawned thread for its whole
+/// run, so the thread-local delta is exactly the worker's traffic.
+pub(crate) struct WorkerBufferSpan {
+    worker: usize,
+    hits0: u64,
+    misses0: u64,
+}
+
+impl WorkerBufferSpan {
+    pub(crate) fn begin(worker: usize) -> Self {
+        let (hits0, misses0) = thread_buffer_counters();
+        WorkerBufferSpan {
+            worker,
+            hits0,
+            misses0,
+        }
+    }
+
+    pub(crate) fn record(self, stats: &mut JoinStats) {
+        let (h, m) = thread_buffer_counters();
+        let (dh, dm) = (h - self.hits0, m - self.misses0);
+        let slot = self.worker.min(MAX_TRACKED_WORKERS - 1);
+        stats.buffer_hits += dh;
+        stats.buffer_misses += dm;
+        stats.buffer_hits_by_worker[slot] += dh;
+        stats.buffer_misses_by_worker[slot] += dm;
     }
 }
 
@@ -148,16 +217,21 @@ pub(crate) struct Baseline {
     s_acc: AccessStats,
     r_io: f64,
     s_io: f64,
+    buf_hits: u64,
+    buf_misses: u64,
     started: std::time::Instant,
 }
 
 impl Baseline {
     pub(crate) fn capture<const D: usize>(r: &RTree<D>, s: &RTree<D>) -> Self {
+        let (buf_hits, buf_misses) = thread_buffer_counters();
         Baseline {
             r_acc: r.access_stats(),
             s_acc: s.access_stats(),
             r_io: r.disk_stats().io_seconds,
             s_io: s.disk_stats().io_seconds,
+            buf_hits,
+            buf_misses,
             started: std::time::Instant::now(),
         }
     }
@@ -180,6 +254,12 @@ impl Baseline {
         let tree_io =
             (r.disk_stats().io_seconds - self.r_io) + (s.disk_stats().io_seconds - self.s_io);
         stats.io_seconds += tree_io + queue_io_seconds;
+        // The coordinating thread's own buffer traffic (sequential joins:
+        // all of it; parallel joins: frontier seeding) — workers report
+        // their per-thread deltas separately via `WorkerBufferSpan`.
+        let (h, m) = thread_buffer_counters();
+        stats.buffer_hits += h - self.buf_hits;
+        stats.buffer_misses += m - self.buf_misses;
         stats.cpu_seconds += self.started.elapsed().as_secs_f64();
     }
 }

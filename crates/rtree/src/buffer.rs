@@ -1,9 +1,28 @@
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use amdj_storage::{CostModel, PageId, ShardedLru, VirtualDisk};
 
 use crate::{AccessStats, Node};
+
+thread_local! {
+    static TL_BUFFER_HITS: Cell<u64> = const { Cell::new(0) };
+    static TL_BUFFER_MISSES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Cumulative buffer `(hits, misses)` observed by the *calling thread*,
+/// across every [`BufferManager`] it has ever fetched through.
+///
+/// The sharded buffer's own hit/miss counters are process-wide atomics;
+/// they cannot say *which* worker enjoyed the hits. These monotone
+/// thread-local counters can: a caller attributes a span of work to
+/// itself by reading the counters before and after and differencing —
+/// which is how the join engine builds its per-worker
+/// cache-residency aggregates. Never reset; always cheap (no atomics).
+pub fn thread_buffer_counters() -> (u64, u64) {
+    (TL_BUFFER_HITS.get(), TL_BUFFER_MISSES.get())
+}
 
 /// The shared-read page-access layer of an [`crate::RTree`]: a virtual
 /// disk plus a sharded LRU node buffer behind interior mutability.
@@ -55,9 +74,11 @@ impl<const D: usize> BufferManager<D> {
     pub fn fetch(&self, pid: PageId) -> Arc<Node<D>> {
         self.requests.fetch_add(1, Ordering::Relaxed);
         if let Some(hit) = self.cache.get(&pid) {
+            TL_BUFFER_HITS.set(TL_BUFFER_HITS.get() + 1);
             return hit;
         }
         self.disk_reads.fetch_add(1, Ordering::Relaxed);
+        TL_BUFFER_MISSES.set(TL_BUFFER_MISSES.get() + 1);
         let node = Arc::new(Node::decode(self.disk.read(pid)));
         self.cache.insert(pid, Arc::clone(&node), self.page_size);
         node
@@ -165,6 +186,37 @@ mod tests {
         let s = m.access_stats();
         assert_eq!((s.requests, s.disk_reads), (2, 1));
         assert_eq!((m.cache_hits(), m.cache_misses()), (1, 1));
+    }
+
+    #[test]
+    fn thread_counters_track_the_calling_thread_only() {
+        let mut m = manager(4 * 256);
+        let pid = m.alloc();
+        m.write(
+            pid,
+            &Node {
+                level: 0,
+                entries: vec![],
+            },
+        );
+        m.clear();
+        let (h0, m0) = thread_buffer_counters();
+        let _ = m.fetch(pid); // miss
+        let _ = m.fetch(pid); // hit
+        let _ = m.fetch(pid); // hit
+        let (h1, m1) = thread_buffer_counters();
+        assert_eq!((h1 - h0, m1 - m0), (2, 1));
+        // A fetch on another thread moves that thread's counters, not ours.
+        std::thread::scope(|scope| {
+            let m = &m;
+            scope.spawn(move || {
+                let (h, ms) = thread_buffer_counters();
+                assert_eq!((h, ms), (0, 0), "fresh thread starts at zero");
+                let _ = m.fetch(pid);
+                assert_eq!(thread_buffer_counters(), (h + 1, ms));
+            });
+        });
+        assert_eq!(thread_buffer_counters(), (h1, m1));
     }
 
     #[test]

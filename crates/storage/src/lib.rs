@@ -39,4 +39,4 @@ pub use disk::{DiskStats, PageId, VirtualDisk};
 pub use external_sort::ExternalSorter;
 pub use lru::ByteLru;
 pub use sharded::ShardedLru;
-pub use spill::{SpillItem, SpillQueue, SpillQueueConfig, SpillQueueStats};
+pub use spill::{SpillItem, SpillQueue, SpillQueueConfig, SpillQueueStats, HEAP_ENTRY_OVERHEAD};

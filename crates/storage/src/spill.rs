@@ -22,7 +22,12 @@ use crate::{CostModel, DiskStats, PageId, VirtualDisk};
 
 /// Bookkeeping overhead charged per item resident in the in-memory heap, on
 /// top of its encoded length (key copy, sequence number, heap slot).
-const HEAP_ENTRY_OVERHEAD: usize = 24;
+///
+/// Exported so callers sizing heap capacities — e.g. the Equation-3
+/// boundary derivation, which needs the number of items a budget holds —
+/// charge exactly what the queue charges. See
+/// [`SpillQueue::per_item_cost`].
+pub const HEAP_ENTRY_OVERHEAD: usize = 24;
 
 /// Bytes at the start of each segment page recording the valid byte count.
 const PAGE_HEADER: usize = 4;
@@ -240,19 +245,40 @@ impl<T: SpillItem> SpillQueue<T> {
         self.disk.stats()
     }
 
+    /// Memory charged for one heap-resident item of the given encoded
+    /// length: the encoding plus [`HEAP_ENTRY_OVERHEAD`]. Callers deriving
+    /// heap capacities from a byte budget (Equation-3 boundary sizing)
+    /// must use this figure so their arithmetic cannot drift from the
+    /// queue's own accounting.
+    pub const fn per_item_cost(encoded_len: usize) -> usize {
+        encoded_len + HEAP_ENTRY_OVERHEAD
+    }
+
     fn item_cost(item: &T) -> usize {
-        item.encoded_len() + HEAP_ENTRY_OVERHEAD
+        Self::per_item_cost(item.encoded_len())
     }
 
     /// Inserts an item.
     pub fn push(&mut self, item: T) {
+        self.stats.insertions += 1;
+        self.insert(item);
+        self.stats.max_len = self.stats.max_len.max(self.len());
+    }
+
+    /// Puts a just-popped item back without counting it as a new
+    /// insertion: `insertions` and `max_len` are untouched (the item was
+    /// live moments ago, so the high-water mark already covers it). Used
+    /// when a stage boundary parks a popped head for the next stage.
+    pub fn reinsert(&mut self, item: T) {
+        self.insert(item);
+    }
+
+    fn insert(&mut self, item: T) {
         let key = item.key();
         assert!(key.is_finite(), "spill queue key must be finite, got {key}");
-        self.stats.insertions += 1;
         if let Some(front_lo) = self.segments.front().map(|s| s.lo) {
             if key >= front_lo {
                 self.append_to_segment(item, key);
-                self.stats.max_len = self.stats.max_len.max(self.len());
                 return;
             }
         }
@@ -266,7 +292,6 @@ impl<T: SpillItem> SpillQueue<T> {
         if self.heap_bytes > self.config.mem_budget && self.heap.len() > 1 {
             self.split();
         }
-        self.stats.max_len = self.stats.max_len.max(self.len());
     }
 
     /// Removes and returns the item with the smallest key, or `None` when
@@ -384,27 +409,27 @@ impl<T: SpillItem> SpillQueue<T> {
         }
 
         let mut kept = Vec::new();
-        let mut spilled_any = false;
+        let mut spill = Vec::new();
         for e in entries {
-            // Keep strictly-below-boundary items; when everything shares one
-            // key, `boundary == max == min` and we fall through to spilling
-            // half below.
             if e.key < boundary {
                 kept.push(e);
             } else {
-                self.heap_bytes -= Self::item_cost(&e.item);
-                self.append_to_segment(e.item, e.key);
-                spilled_any = true;
+                spill.push(e);
             }
         }
-        if !spilled_any {
-            // All keys equal: forcibly spill the newer half for progress.
-            kept.sort_by_key(|e| e.seq);
-            let half = kept.len() / 2;
-            for e in kept.drain(half..) {
-                self.heap_bytes -= Self::item_cost(&e.item);
-                self.append_to_segment(e.item, e.key);
-            }
+        if kept.is_empty() {
+            // Degenerate split: every entry shares one key, so
+            // `boundary == min == max` rejected them all. Keep the *older*
+            // half in memory — the heap must stay non-empty or every
+            // subsequent pop swaps straight back in from disk — and
+            // forcibly spill only the newer half.
+            spill.sort_by_key(|e| e.seq);
+            let keep = spill.len() / 2;
+            kept = spill.drain(..keep.max(1)).collect();
+        }
+        for e in spill {
+            self.heap_bytes -= Self::item_cost(&e.item);
+            self.append_to_segment(e.item, e.key);
         }
         self.heap = kept.into();
     }
@@ -475,14 +500,19 @@ impl<T: SpillItem> SpillQueue<T> {
                 let mut chunk: Option<Segment> = None;
                 let mut chunk_cost = 0usize;
                 for it in rest {
-                    if chunk.is_none() || chunk_cost > self.config.mem_budget {
+                    // Close the chunk *before* an item would push it past
+                    // the budget, so every re-spilled chunk fits in memory
+                    // and its own swap-in never re-splits it. (A single
+                    // over-budget item still gets a chunk of its own.)
+                    let cost = Self::item_cost(&it);
+                    if chunk.is_none() || chunk_cost + cost > self.config.mem_budget {
                         if let Some(done) = chunk.take() {
                             chunks.push(done);
                         }
                         chunk = Some(Segment::new(it.key(), page_size));
                         chunk_cost = 0;
                     }
-                    chunk_cost += Self::item_cost(&it);
+                    chunk_cost += cost;
                     let seg = chunk.as_mut().expect("just created");
                     Self::append_into(seg, &mut self.disk, it, page_size);
                     self.stats.items_spilled += 1;
@@ -734,6 +764,78 @@ mod tests {
     }
 
     #[test]
+    fn equal_key_split_keeps_older_half_in_memory() {
+        // Regression: the degenerate split (all heap keys equal) used to
+        // spill *every* entry — `boundary == min == max` rejected them all
+        // and the forced-half branch was unreachable — leaving the heap
+        // empty so each pop swapped straight back in from disk.
+        let mut cfg = SpillQueueConfig::budgeted(200, vec![]);
+        cfg.cost.page_size = 128;
+        let mut q = SpillQueue::new(cfg);
+        // item_cost = 16 encoded + 24 overhead = 40; the sixth push
+        // overflows the 200-byte budget and triggers the only split.
+        for i in 0..100 {
+            q.push(Item { key: 7.0, id: i });
+        }
+        assert_eq!(q.stats().splits, 1);
+        assert!(
+            q.mem_bytes() > 0,
+            "equal-key split must leave the heap non-empty"
+        );
+        // The forced-half branch kept floor(6/2) = 3 of the six resident
+        // entries; everything after the split appends to the segment, so
+        // exactly 97 items ever hit disk.
+        assert_eq!(q.heap.len(), 3);
+        assert_eq!(q.stats().items_spilled, 97);
+        // The older entries are the ones that stayed resident.
+        let resident: Vec<u64> = q.heap.iter().map(|e| e.item.id).collect();
+        assert!(resident.iter().all(|&id| id < 3), "kept {resident:?}");
+        let keys = pop_keys(&mut q);
+        assert_eq!(keys.len(), 100);
+        assert!(keys.iter().all(|&k| k == 7.0));
+    }
+
+    #[test]
+    fn reinsert_skips_insertion_stats() {
+        let mut q = SpillQueue::new(SpillQueueConfig::unbounded());
+        for it in items(&[3.0, 1.0, 2.0]) {
+            q.push(it);
+        }
+        let head = q.pop().expect("non-empty");
+        let before = q.stats();
+        q.reinsert(head);
+        let after = q.stats();
+        assert_eq!(after.insertions, before.insertions, "reinsert counted");
+        assert_eq!(after.max_len, before.max_len, "reinsert moved max_len");
+        assert_eq!(q.len(), 3);
+        assert_eq!(pop_keys(&mut q), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn reinsert_routes_to_segment_when_range_is_spilled() {
+        // A reinserted head whose key falls in a disk-resident range must
+        // append to that segment like any insert would, still uncounted.
+        let mut cfg = SpillQueueConfig::budgeted(200, vec![]);
+        cfg.cost.page_size = 128;
+        let mut q = SpillQueue::new(cfg);
+        for i in 0..50 {
+            q.push(Item {
+                key: i as f64,
+                id: i,
+            });
+        }
+        assert!(q.segment_count() > 0);
+        let insertions = q.stats().insertions;
+        let head = q.pop().expect("non-empty");
+        q.reinsert(Item { key: 40.0, ..head });
+        assert_eq!(q.stats().insertions, insertions);
+        assert_eq!(q.len(), 50);
+        let keys = pop_keys(&mut q);
+        assert_eq!(keys.len(), 50);
+        assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
     fn len_and_empty_track_contents() {
         let mut q = SpillQueue::new(SpillQueueConfig::unbounded());
         assert!(q.is_empty());
@@ -786,5 +888,60 @@ mod tests {
         // The budget fits ~6 items; the heap must never have exceeded it by
         // more than one item's cost during the drain.
         assert!(q.mem_bytes() == 0);
+    }
+
+    #[test]
+    fn respill_chunks_respect_budget() {
+        // Regression: the re-spill loop used to check `chunk_cost >
+        // mem_budget` *before* appending, so a chunk could exceed the
+        // budget by one item and its own swap-in would re-split it.
+        let budget = 400; // ten items at cost 40
+        let cfg = SpillQueueConfig {
+            mem_budget: budget,
+            boundaries: Vec::new(),
+            cost: CostModel {
+                page_size: 4096,
+                ..CostModel::free()
+            },
+        };
+        let mut q: SpillQueue<Item> = SpillQueue::new(cfg);
+        // Hand-build one oversized front segment (25 items against a
+        // ten-item budget) so the first pop must partially swap it in.
+        let page_size = q.disk.page_size();
+        let mut seg = Segment::new(5.0, page_size);
+        for i in 0..25u64 {
+            SpillQueue::append_into(
+                &mut seg,
+                &mut q.disk,
+                Item {
+                    key: 5.0 + i as f64,
+                    id: i,
+                },
+                page_size,
+            );
+        }
+        q.segments.push_front(seg);
+        let first = q.pop().expect("segment holds items");
+        assert_eq!(first.key, 5.0);
+        assert_eq!(q.stats().swap_ins, 1);
+        // Ten stayed in memory (one popped); the other 15 were re-spilled
+        // into chunks that each fit the budget — so no later swap-in of a
+        // re-spilled chunk ever re-splits.
+        let cost = SpillQueue::<Item>::per_item_cost(16);
+        for s in &q.segments {
+            assert!(
+                s.count as usize * cost <= budget,
+                "re-spilled chunk of {} items exceeds the budget",
+                s.count
+            );
+        }
+        let mut rest = vec![first.key];
+        rest.extend(pop_keys(&mut q));
+        let want: Vec<f64> = (0..25).map(|i| 5.0 + i as f64).collect();
+        assert_eq!(rest, want);
+        // The chunks of ten and five items swap in whole: three swap-ins
+        // for the drain, no splits triggered by re-spilled chunks.
+        assert_eq!(q.stats().swap_ins, 3);
+        assert_eq!(q.stats().splits, 0);
     }
 }

@@ -45,6 +45,86 @@ fn ops() -> impl Strategy<Value = Vec<Op>> {
     )
 }
 
+/// Duplicate-heavy interleavings: a handful of distinct keys forces the
+/// equal-key degenerate split over and over.
+fn dup_ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![3 => (0u16..4).prop_map(Op::Push), 2 => Just(Op::Pop)],
+        1..400,
+    )
+}
+
+/// One `Item` costs this much heap memory inside the queue.
+fn item_cost() -> usize {
+    SpillQueue::<Item>::per_item_cost(16)
+}
+
+/// The queue may exceed its budget only transiently, by the one item a
+/// push adds before the split runs (and a split needs two residents).
+fn assert_budget(q: &SpillQueue<Item>, mem: usize) -> Result<(), TestCaseError> {
+    prop_assert!(
+        q.mem_bytes() <= mem + item_cost(),
+        "heap holds {} bytes against a budget of {}",
+        q.mem_bytes(),
+        mem
+    );
+    Ok(())
+}
+
+fn run_against_reference(
+    ops: Vec<Op>,
+    mem: usize,
+    page: usize,
+    boundaries: Vec<f64>,
+) -> Result<(), TestCaseError> {
+    let cost = CostModel {
+        page_size: page,
+        ..CostModel::paper_1999_disk()
+    };
+    let mut q = SpillQueue::new(SpillQueueConfig {
+        mem_budget: mem,
+        boundaries,
+        cost,
+    });
+    let mut reference: Vec<u16> = Vec::new();
+    let mut id = 0u64;
+    for op in ops {
+        match op {
+            Op::Push(k) => {
+                q.push(Item { key: k as f64, id });
+                id += 1;
+                reference.push(k);
+            }
+            Op::Pop => {
+                let got = q.pop().map(|i| i.key);
+                let want = if reference.is_empty() {
+                    None
+                } else {
+                    let min = *reference.iter().min().expect("non-empty");
+                    let pos = reference.iter().position(|&v| v == min).expect("present");
+                    reference.swap_remove(pos);
+                    Some(min as f64)
+                };
+                prop_assert_eq!(got, want);
+            }
+        }
+        assert_budget(&q, mem)?;
+    }
+    prop_assert_eq!(q.len() as usize, reference.len());
+    // Drain the remainder: must come out sorted and complete, never
+    // blowing the budget along the way.
+    let mut rest: Vec<f64> = Vec::new();
+    while let Some(i) = q.pop() {
+        rest.push(i.key);
+        assert_budget(&q, mem)?;
+    }
+    let mut want: Vec<f64> = reference.iter().map(|&v| v as f64).collect();
+    want.sort_unstable_by(f64::total_cmp);
+    prop_assert!(rest.windows(2).all(|w| w[0] <= w[1]));
+    prop_assert_eq!(rest, want);
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
 
@@ -56,41 +136,23 @@ proptest! {
         nbounds in 0usize..8,
     ) {
         let boundaries: Vec<f64> = (1..=nbounds).map(|i| (i * 60) as f64).collect();
-        let cost = CostModel { page_size: page, ..CostModel::paper_1999_disk() };
-        let mut q = SpillQueue::new(SpillQueueConfig { mem_budget: mem, boundaries, cost });
-        let mut reference: Vec<u16> = Vec::new();
-        let mut id = 0u64;
-        for op in ops {
-            match op {
-                Op::Push(k) => {
-                    q.push(Item { key: k as f64, id });
-                    id += 1;
-                    reference.push(k);
-                }
-                Op::Pop => {
-                    let got = q.pop().map(|i| i.key);
-                    let want = if reference.is_empty() {
-                        None
-                    } else {
-                        let min = *reference.iter().min().expect("non-empty");
-                        let pos = reference.iter().position(|&v| v == min).expect("present");
-                        reference.swap_remove(pos);
-                        Some(min as f64)
-                    };
-                    prop_assert_eq!(got, want);
-                }
-            }
-        }
-        prop_assert_eq!(q.len() as usize, reference.len());
-        // Drain the remainder: must come out sorted and complete.
-        let mut rest: Vec<f64> = Vec::new();
-        while let Some(i) = q.pop() {
-            rest.push(i.key);
-        }
-        let mut want: Vec<f64> = reference.iter().map(|&v| v as f64).collect();
-        want.sort_unstable_by(f64::total_cmp);
-        prop_assert!(rest.windows(2).all(|w| w[0] <= w[1]));
-        prop_assert_eq!(rest, want);
+        run_against_reference(ops, mem, page, boundaries)?;
+    }
+
+    /// Duplicate-heavy keys under tiny budgets: every split is (or soon
+    /// becomes) the equal-key degenerate case, and the budget fits only a
+    /// couple of items, so pops constantly swap segments back in.
+    #[test]
+    fn spill_queue_survives_duplicate_keys_and_tiny_budgets(
+        ops in dup_ops(),
+        mem in 40usize..200,
+        page in 64usize..256,
+        with_bounds in any::<bool>(),
+    ) {
+        // Boundaries between the four live keys, so configured-boundary
+        // splits and median splits both get exercised.
+        let boundaries = if with_bounds { vec![0.5, 1.5, 2.5, 3.5] } else { Vec::new() };
+        run_against_reference(ops, mem, page, boundaries)?;
     }
 
     #[test]

@@ -16,7 +16,7 @@
 //! measure-zero).
 
 use amdj_core::engine::{self, Aggressive, Exact, Parallel, Sequential};
-use amdj_core::{AmIdjOptions, JoinConfig, ResultPair, TestSchedule};
+use amdj_core::{AmIdjOptions, JoinConfig, Partition, ResultPair, TestSchedule};
 use amdj_geom::Rect;
 use amdj_rtree::{RTree, RTreeParams};
 use proptest::prelude::*;
@@ -121,20 +121,24 @@ proptest! {
         seed in any::<u64>(),
     ) {
         let (r, s) = trees(&a, &b);
-        let cfg = JoinConfig::unbounded();
-        let reference = canonical(engine::kdj(&r, &s, k, &cfg, &Exact, &Sequential).results);
+        let reference = canonical(
+            engine::kdj(&r, &s, k, &JoinConfig::unbounded(), &Exact, &Sequential).results,
+        );
         let scale = reference.last().map_or(1.0, |p| p.dist);
         for (name, policy) in policy_cells(scale) {
             for threads in THREADS {
-                let backend = stealing(threads, seed);
-                let out = match policy {
-                    None => engine::kdj(&r, &s, k, &cfg, &Exact, &backend),
-                    Some(e) => {
-                        engine::kdj(&r, &s, k, &cfg, &Aggressive { edmax_override: e }, &backend)
-                    }
-                };
-                let label = format!("{name} × {threads}t seed={seed}");
-                assert_identical(&label, &reference, &canonical(out.results))?;
+                for partition in [Partition::Locality, Partition::RoundRobin] {
+                    let cfg = JoinConfig { partition, ..JoinConfig::unbounded() };
+                    let backend = stealing(threads, seed);
+                    let out = match policy {
+                        None => engine::kdj(&r, &s, k, &cfg, &Exact, &backend),
+                        Some(e) => engine::kdj(
+                            &r, &s, k, &cfg, &Aggressive { edmax_override: e }, &backend,
+                        ),
+                    };
+                    let label = format!("{name} × {threads}t part={partition:?} seed={seed}");
+                    assert_identical(&label, &reference, &canonical(out.results))?;
+                }
             }
         }
     }
@@ -150,13 +154,17 @@ proptest! {
         seed in any::<u64>(),
     ) {
         let (r, s) = trees(&a, &b);
-        let cfg = JoinConfig::unbounded();
         let opts = AmIdjOptions { initial_k, growth: 2.0, ..AmIdjOptions::default() };
-        let reference = canonical(engine::idj(&r, &s, take, &cfg, &opts, &Sequential).results);
+        let reference = canonical(
+            engine::idj(&r, &s, take, &JoinConfig::unbounded(), &opts, &Sequential).results,
+        );
         for threads in THREADS {
-            let out = engine::idj(&r, &s, take, &cfg, &opts, &stealing(threads, seed));
-            let label = format!("idj × {threads}t seed={seed}");
-            assert_identical(&label, &reference, &canonical(out.results))?;
+            for partition in [Partition::Locality, Partition::RoundRobin] {
+                let cfg = JoinConfig { partition, ..JoinConfig::unbounded() };
+                let out = engine::idj(&r, &s, take, &cfg, &opts, &stealing(threads, seed));
+                let label = format!("idj × {threads}t part={partition:?} seed={seed}");
+                assert_identical(&label, &reference, &canonical(out.results))?;
+            }
         }
     }
 }
