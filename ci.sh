@@ -26,26 +26,54 @@ BENCH_SMOKE_JSON="$(mktemp -t bench_smoke.XXXXXX.json)"
 trap 'rm -f "$BENCH_SMOKE_JSON"' EXIT
 cargo run --release -q -p amdj-bench --bin amdj -- \
     bench --n 300 --k 20 --json "$BENCH_SMOKE_JSON" 2>/dev/null
-grep -q '"schema_version": 4' "$BENCH_SMOKE_JSON" \
-    || { echo "bench smoke: schema_version != 4"; exit 1; }
+grep -q '"schema_version": 5' "$BENCH_SMOKE_JSON" \
+    || { echo "bench smoke: schema_version != 5"; exit 1; }
 for col in op algo threads steal partition k wall_time_s node_accesses \
            pairs_computed results pairs_stolen steal_attempts barrier_idle_ns \
-           buffer_hits buffer_misses buffer_hits_by_worker buffer_misses_by_worker; do
+           buffer_hits buffer_misses buffer_hits_by_worker buffer_misses_by_worker \
+           checkpoints_written; do
     grep -q "\"$col\":" "$BENCH_SMOKE_JSON" \
         || { echo "bench smoke: missing column '$col'"; exit 1; }
 done
 grep -q '"partition": "rr"' "$BENCH_SMOKE_JSON" \
     || { echo "bench smoke: missing round-robin ablation rows"; exit 1; }
-echo "bench smoke: schema_version 4 with all required columns"
+grep -q '"algo": "am-ckpt"' "$BENCH_SMOKE_JSON" \
+    || { echo "bench smoke: missing am-ckpt checkpoint-overhead row"; exit 1; }
+echo "bench smoke: schema_version 5 with all required columns"
+
+echo "== checkpoint smoke: interrupt, resume, compare =="
+# An interrupted join must exit 75 with a checkpoint on disk, and the
+# resumed run must finish with the uninterrupted run's exact results.
+CKPT_DIR="$(mktemp -d -t ckpt_smoke.XXXXXX)"
+trap 'rm -f "$BENCH_SMOKE_JSON"; rm -rf "$CKPT_DIR"' EXIT
+AMDJ="cargo run --release -q -p amdj-bench --bin amdj --"
+$AMDJ generate --kind uniform --n 1500 --seed 7 --out "$CKPT_DIR/a.csv" >/dev/null
+$AMDJ generate --kind clustered --n 1500 --seed 8 --out "$CKPT_DIR/b.csv" >/dev/null
+$AMDJ build --input "$CKPT_DIR/a.csv" --out "$CKPT_DIR/a.amdj" >/dev/null
+$AMDJ build --input "$CKPT_DIR/b.csv" --out "$CKPT_DIR/b.amdj" >/dev/null
+$AMDJ kdj --r "$CKPT_DIR/a.amdj" --s "$CKPT_DIR/b.amdj" --k 100 --algo am \
+    > "$CKPT_DIR/ref.txt" 2>/dev/null
+rc=0
+AMDJ_INTERRUPT_AFTER=25 $AMDJ kdj --r "$CKPT_DIR/a.amdj" --s "$CKPT_DIR/b.amdj" \
+    --k 100 --algo am --checkpoint-path "$CKPT_DIR/run.snap" --checkpoint-every 10 \
+    >/dev/null 2>&1 || rc=$?
+[ "$rc" = "75" ] || { echo "checkpoint smoke: interrupted exit $rc != 75"; exit 1; }
+[ -f "$CKPT_DIR/run.snap" ] || { echo "checkpoint smoke: no checkpoint written"; exit 1; }
+$AMDJ kdj --r "$CKPT_DIR/a.amdj" --s "$CKPT_DIR/b.amdj" --k 100 --algo par-am \
+    --threads 4 --resume "$CKPT_DIR/run.snap" > "$CKPT_DIR/res.txt" 2>/dev/null
+diff <(grep -v '^#' "$CKPT_DIR/ref.txt") <(grep -v '^#' "$CKPT_DIR/res.txt") \
+    || { echo "checkpoint smoke: resumed results differ"; exit 1; }
+echo "checkpoint smoke: interrupt exited 75, resume bit-identical"
 
 # Stress tier (opt-in: STRESS=1 ./ci.sh): rerun the engine-matrix and
 # schedule-perturbation properties in release mode with 4× the proptest
 # cases. Both suites include 8-thread cells, so this is where racy
 # work-stealing regressions that survive the quick tier get shaken out.
 if [ "${STRESS:-0}" = "1" ]; then
-    echo "== stress tier: engine_matrix + steal_schedules, 4x cases =="
+    echo "== stress tier: engine_matrix + steal_schedules + checkpoint_resume, 4x cases =="
     AMDJ_PROPTEST_CASES=48 cargo test -q --release \
-        --package amdj-tests --test engine_matrix --test steal_schedules
+        --package amdj-tests --test engine_matrix --test steal_schedules \
+        --test checkpoint_resume
 fi
 
 echo "ci.sh: all checks passed"

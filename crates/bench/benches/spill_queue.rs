@@ -22,11 +22,11 @@ impl SpillItem for Item {
         put_f64(out, self.key);
         put_u64(out, self.id);
     }
-    fn decode(r: &mut Reader<'_>) -> Self {
-        Item {
-            key: r.f64(),
-            id: r.u64(),
-        }
+    fn try_decode(r: &mut Reader<'_>) -> Result<Self, amdj_storage::codec::CodecError> {
+        Ok(Item {
+            key: r.try_f64("item key")?,
+            id: r.try_u64("item id")?,
+        })
     }
 }
 

@@ -6,7 +6,9 @@
 //! amdj generate --kind tiger-streets|tiger-hydro|uniform|clustered --n N [--seed S] --out data.csv
 //! amdj build    --input data.csv --out index.amdj
 //! amdj kdj      --r a.amdj --s b.amdj --k K [--algo am|b|hs|par|par-am] [--threads T]
+//!               [--checkpoint-path P] [--checkpoint-every N] [--resume P]
 //! amdj idj      --r a.amdj --s b.amdj --take N [--batch B] [--algo am|par-am] [--threads T]
+//!               [--checkpoint-path P] [--checkpoint-every N] [--resume P]
 //! amdj within   --r a.amdj --s b.amdj --dist D
 //! amdj knn      --r a.amdj --s b.amdj --k K
 //! amdj bench    [--n N] [--k K] [--seed S] [--json [FILE]]
@@ -14,14 +16,28 @@
 //!
 //! CSV rows are `lo_x,lo_y,hi_x,hi_y,id`. Index files are the persistent
 //! R*-tree format of `amdj-rtree` (4 KB pages, paper configuration).
+//!
+//! With `--checkpoint-path`, a `kdj`/`idj` run becomes resumable: every
+//! `--checkpoint-every` expansions (and on SIGINT) the engine's complete
+//! state is written atomically to the given path, and a later run with
+//! `--resume <path>` continues from it — at any thread count — producing
+//! the exact result stream the uninterrupted run would have. An
+//! interrupted run exits with code 75 after writing its final
+//! checkpoint. `AMDJ_INTERRUPT_AFTER=<n>` simulates an interrupt after
+//! `n` expansions of the current episode (used by `ci.sh`'s resume
+//! smoke test).
 
 use std::collections::HashMap;
 use std::io::{BufRead, BufWriter, Write};
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 use amdj_core::{
-    am_kdj, b_kdj, hs_kdj, knn_join, par_am_idj, par_am_kdj, par_b_kdj, sj_sort, within_join,
-    AmIdj, AmIdjOptions, AmKdjOptions, HsIdj, JoinConfig, JoinOutput, Partition,
+    am_kdj, b_kdj, hs_kdj, idj_resumable, kdj_resumable, knn_join, par_am_idj, par_am_kdj,
+    par_b_kdj, read_checkpoint, sj_sort, within_join, write_checkpoint, AmIdj, AmIdjOptions,
+    AmKdjOptions, Checkpointed, EngineSnapshot, HsIdj, JoinConfig, JoinOutput, Partition, PauseCtl,
+    SnapshotError,
 };
 use amdj_datagen::{clustered_points, tiger::Geography, uniform_points, unit_universe, Dataset};
 use amdj_geom::Rect;
@@ -29,9 +45,160 @@ use amdj_rtree::{RTree, RTreeParams};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  amdj generate --kind tiger-streets|tiger-hydro|uniform|clustered --n N [--seed S] --out data.csv\n  amdj build    --input data.csv --out index.amdj\n  amdj kdj      --r a.amdj --s b.amdj --k K [--algo am|b|hs|par|par-am] [--threads T]\n  amdj idj      --r a.amdj --s b.amdj --take N [--batch B] [--algo am|par-am] [--threads T]\n  amdj within   --r a.amdj --s b.amdj --dist D\n  amdj knn      --r a.amdj --s b.amdj --k K\n  amdj bench    [--n N] [--k K] [--seed S] [--json [FILE]]"
+        "usage:\n  amdj generate --kind tiger-streets|tiger-hydro|uniform|clustered --n N [--seed S] --out data.csv\n  amdj build    --input data.csv --out index.amdj\n  amdj kdj      --r a.amdj --s b.amdj --k K [--algo am|b|hs|par|par-am] [--threads T]\n                [--checkpoint-path P] [--checkpoint-every N] [--resume P]\n  amdj idj      --r a.amdj --s b.amdj --take N [--batch B] [--algo am|par-am] [--threads T]\n                [--checkpoint-path P] [--checkpoint-every N] [--resume P]\n  amdj within   --r a.amdj --s b.amdj --dist D\n  amdj knn      --r a.amdj --s b.amdj --k K\n  amdj bench    [--n N] [--k K] [--seed S] [--json [FILE]]"
     );
     ExitCode::from(2)
+}
+
+/// Set by the SIGINT handler; the watcher thread translates it into a
+/// pause request so the running join suspends at a consistent cut.
+static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+/// Exit code of an interrupted run that wrote its final checkpoint
+/// (EX_TEMPFAIL: rerunning with `--resume` finishes the job).
+const EXIT_INTERRUPTED: u8 = 75;
+
+extern "C" fn on_sigint(_sig: i32) {
+    INTERRUPTED.store(true, Ordering::SeqCst);
+}
+
+/// Installs `on_sigint` for SIGINT through the C `signal` entry point,
+/// declared directly — the binary links libc anyway and the library
+/// crates stay free of signal handling (and of `unsafe`).
+fn install_sigint_handler() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    unsafe {
+        signal(SIGINT, on_sigint as extern "C" fn(i32) as usize);
+    }
+}
+
+/// The checkpoint/resume flags shared by `kdj` and `idj`.
+struct CkptCli {
+    path: Option<String>,
+    every: u64,
+    resume: Option<String>,
+}
+
+/// Returns `None` when no checkpoint flag is present (the command runs
+/// its ordinary non-resumable path).
+fn parse_ckpt(flags: &HashMap<String, String>) -> Result<Option<CkptCli>, String> {
+    let path = flags.get("checkpoint-path").cloned();
+    let resume = flags.get("resume").cloned();
+    let every: u64 = flags
+        .get("checkpoint-every")
+        .map_or(Ok(0), |v| v.parse())
+        .map_err(|e| format!("--checkpoint-every: {e}"))?;
+    if path.is_none() && resume.is_none() && every == 0 {
+        return Ok(None);
+    }
+    if every > 0 && path.is_none() {
+        return Err("--checkpoint-every requires --checkpoint-path".to_string());
+    }
+    Ok(Some(CkptCli {
+        path,
+        every,
+        resume,
+    }))
+}
+
+/// Loads and validates a `--resume` snapshot; corruption surfaces as a
+/// clean error naming the file, byte offset, and expected field.
+fn load_resume(resume: &Option<String>) -> Result<Option<EngineSnapshot<2>>, String> {
+    let Some(p) = resume else { return Ok(None) };
+    let snap = read_checkpoint::<2>(p)
+        .map_err(|e| format!("{p}: {e}"))?
+        .map_err(|e| format!("{p}: {e}"))?;
+    eprintln!(
+        "# resuming from {p}: stage {}, {} results, {} frontier pairs, {} compensation entries",
+        snap.stage(),
+        snap.results_len(),
+        snap.frontier_len(),
+        snap.comps_len()
+    );
+    Ok(Some(snap))
+}
+
+/// Runs a resumable join as a sequence of episodes: run until the pause
+/// control fires, write a checkpoint, then either continue in-process
+/// (a periodic `--checkpoint-every` pause) or stop (SIGINT or the
+/// `AMDJ_INTERRUPT_AFTER` hook). Returns `None` when interrupted — the
+/// final checkpoint is on disk and the caller exits with
+/// [`EXIT_INTERRUPTED`].
+#[allow(clippy::type_complexity)]
+fn run_episodes(
+    ckpt: &CkptCli,
+    mut resume: Option<EngineSnapshot<2>>,
+    run: &dyn Fn(Option<EngineSnapshot<2>>, &PauseCtl) -> Result<Checkpointed<2>, SnapshotError>,
+) -> Result<Option<JoinOutput>, String> {
+    install_sigint_handler();
+    let interrupt_after: Option<u64> = match std::env::var("AMDJ_INTERRUPT_AFTER") {
+        Ok(v) => Some(
+            v.parse()
+                .map_err(|e| format!("AMDJ_INTERRUPT_AFTER: {e}"))?,
+        ),
+        Err(_) => None,
+    };
+    // The hook counts expansions across the whole run; each episode gets
+    // a fresh pause control, so carry the completed episodes' total.
+    let mut prior_expansions = 0u64;
+    loop {
+        let ctl = Arc::new(PauseCtl::every(ckpt.every));
+        let episode_done = Arc::new(AtomicBool::new(false));
+        // The join's workers only observe the pause control; this
+        // watcher turns external signals into pause requests.
+        let watcher = std::thread::spawn({
+            let ctl = Arc::clone(&ctl);
+            let episode_done = Arc::clone(&episode_done);
+            move || {
+                while !episode_done.load(Ordering::SeqCst) {
+                    if interrupt_after.is_some_and(|n| prior_expansions + ctl.expansions() >= n) {
+                        INTERRUPTED.store(true, Ordering::SeqCst);
+                    }
+                    if INTERRUPTED.load(Ordering::SeqCst) {
+                        ctl.request_stop();
+                        return;
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+            }
+        });
+        let outcome = run(resume.take(), &ctl);
+        episode_done.store(true, Ordering::SeqCst);
+        let _ = watcher.join();
+        prior_expansions += ctl.expansions();
+        match outcome.map_err(|e| e.to_string())? {
+            Checkpointed::Done(out) => return Ok(Some(out)),
+            Checkpointed::Suspended(snap) => {
+                let path = ckpt.path.as_deref().ok_or(
+                    "join paused without --checkpoint-path; set it to make interrupts resumable",
+                )?;
+                write_checkpoint(path, snap.as_ref()).map_err(|e| format!("{path}: {e}"))?;
+                eprintln!(
+                    "# checkpoint: {path} (stage {}, {} results, {} frontier pairs)",
+                    snap.stage(),
+                    snap.results_len(),
+                    snap.frontier_len()
+                );
+                if INTERRUPTED.load(Ordering::SeqCst) {
+                    return Ok(None);
+                }
+                resume = Some(*snap);
+            }
+        }
+    }
+}
+
+/// Resolves `--threads` the way the parallel entry points do: 0 means
+/// one worker per available core.
+fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        threads
+    }
 }
 
 fn parse_flags(args: &[String]) -> Option<HashMap<String, String>> {
@@ -99,7 +266,7 @@ fn open_tree(path: &str) -> Result<RTree<2>, String> {
     RTree::load_from_path(path, RTreeParams::paper_defaults()).map_err(|e| format!("{path}: {e}"))
 }
 
-fn run() -> Result<(), String> {
+fn run() -> Result<ExitCode, String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
         return Err("missing command".into());
@@ -157,6 +324,47 @@ fn run() -> Result<(), String> {
             if threads != 0 && algo != "par" && algo != "par-am" {
                 return Err("--threads only applies to --algo par or par-am".to_string());
             }
+            if let Some(ckpt) = parse_ckpt(&flags)? {
+                let aggressive = match algo {
+                    "am" | "par-am" => true,
+                    "b" | "par" => false,
+                    other => {
+                        return Err(format!("--algo {other} does not support checkpointing"));
+                    }
+                };
+                let threads = match algo {
+                    "par" | "par-am" => resolve_threads(threads),
+                    _ => 1,
+                };
+                let resume = load_resume(&ckpt.resume)?;
+                let Some(out) = run_episodes(&ckpt, resume, &|resume, ctl| {
+                    kdj_resumable(
+                        &r,
+                        &s,
+                        k,
+                        &cfg,
+                        aggressive,
+                        threads,
+                        None,
+                        resume,
+                        Some(ctl),
+                    )
+                })?
+                else {
+                    eprintln!("# interrupted; rerun with --resume to finish");
+                    return Ok(ExitCode::from(EXIT_INTERRUPTED));
+                };
+                for p in &out.results {
+                    println!("{},{},{}", p.r, p.s, p.dist);
+                }
+                eprintln!(
+                    "# {} results, {} distance computations, {:.3}s modeled response",
+                    out.results.len(),
+                    out.stats.real_dist,
+                    out.stats.response_time()
+                );
+                return Ok(ExitCode::SUCCESS);
+            }
             let out = match algo {
                 "am" => am_kdj(&r, &s, k, &cfg, &AmKdjOptions::default()),
                 "b" => b_kdj(&r, &s, k, &cfg),
@@ -191,6 +399,34 @@ fn run() -> Result<(), String> {
             if threads != 0 && algo != "par-am" {
                 return Err("--threads only applies to --algo par-am".to_string());
             }
+            if let Some(ckpt) = parse_ckpt(&flags)? {
+                let threads = match algo {
+                    "am" => 1,
+                    "par-am" => resolve_threads(threads),
+                    other => {
+                        return Err(format!("--algo {other} does not support checkpointing"));
+                    }
+                };
+                let opts = AmIdjOptions::default();
+                let resume = load_resume(&ckpt.resume)?;
+                let Some(out) = run_episodes(&ckpt, resume, &|resume, ctl| {
+                    idj_resumable(&r, &s, take, &cfg, &opts, threads, None, resume, Some(ctl))
+                })?
+                else {
+                    eprintln!("# interrupted; rerun with --resume to finish");
+                    return Ok(ExitCode::from(EXIT_INTERRUPTED));
+                };
+                for p in &out.results {
+                    println!("{},{},{}", p.r, p.s, p.dist);
+                }
+                eprintln!(
+                    "# {} pairs ({} stages, {} bound tightenings)",
+                    out.results.len(),
+                    out.stats.stages,
+                    out.stats.bound_tightenings
+                );
+                return Ok(ExitCode::SUCCESS);
+            }
             if algo == "par-am" {
                 let out = par_am_idj(&r, &s, take, &cfg, &AmIdjOptions::default(), threads);
                 for p in &out.results {
@@ -202,7 +438,7 @@ fn run() -> Result<(), String> {
                     out.stats.stages,
                     out.stats.bound_tightenings
                 );
-                return Ok(());
+                return Ok(ExitCode::SUCCESS);
             }
             if algo != "am" {
                 return Err(format!("unknown algo '{algo}'"));
@@ -219,7 +455,7 @@ fn run() -> Result<(), String> {
                         }
                         None => {
                             eprintln!("# exhausted after {produced} pairs");
-                            return Ok(());
+                            return Ok(ExitCode::SUCCESS);
                         }
                     }
                 }
@@ -300,7 +536,7 @@ fn run() -> Result<(), String> {
         }
         _ => return Err(format!("unknown command '{cmd}'")),
     }
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
 /// One measured cell of the benchmark matrix.
@@ -323,6 +559,9 @@ struct BenchRow {
     barrier_idle_ns: u64,
     buffer_hits: u64,
     buffer_misses: u64,
+    /// Snapshots written during the run (non-zero only for the
+    /// checkpoint-overhead rows).
+    checkpoints: u64,
     /// Per-worker buffer hits, trimmed to the row's thread count — the
     /// cache-residency split the locality partitioner exists to improve.
     hits_by_worker: Vec<u64>,
@@ -364,6 +603,8 @@ fn run_bench_matrix(n: usize, k: usize, seed: u64, cfg: &JoinConfig) -> Vec<Benc
         cells
     };
     let mut rows = Vec::new();
+    // Set by the checkpoint-overhead runs, harvested (and reset) per row.
+    let ckpt_written = std::cell::Cell::new(0u64);
     let mut record =
         |op, algo, threads: usize, steal, partition, run: &mut dyn FnMut() -> JoinOutput| {
             let start = std::time::Instant::now();
@@ -386,6 +627,7 @@ fn run_bench_matrix(n: usize, k: usize, seed: u64, cfg: &JoinConfig) -> Vec<Benc
                 barrier_idle_ns: out.stats.barrier_idle_ns,
                 buffer_hits: out.stats.buffer_hits,
                 buffer_misses: out.stats.buffer_misses,
+                checkpoints: ckpt_written.take(),
                 hits_by_worker: out.stats.buffer_hits_by_worker[..trim].to_vec(),
                 misses_by_worker: out.stats.buffer_misses_by_worker[..trim].to_vec(),
             });
@@ -419,6 +661,33 @@ fn run_bench_matrix(n: usize, k: usize, seed: u64, cfg: &JoinConfig) -> Vec<Benc
             });
         }
     }
+    // The checkpoint-overhead row: the same aggressive kdj as the "am"
+    // row above, but run through the resumable episode loop, pausing
+    // every few thousand expansions to serialize and write a snapshot.
+    // Comparing its wall time against "am" prices checkpointing.
+    let ckpt_path =
+        std::env::temp_dir().join(format!("amdj-bench-ckpt-{}.snap", std::process::id()));
+    record("kdj", "am-ckpt", 1, false, "locality", &mut || {
+        let mut resume = None;
+        let mut written = 0u64;
+        loop {
+            let ctl = PauseCtl::every(5_000);
+            match kdj_resumable(&r, &s, k, cfg, true, 1, None, resume.take(), Some(&ctl))
+                .expect("fresh or self-produced snapshot is always valid")
+            {
+                Checkpointed::Done(out) => {
+                    ckpt_written.set(written);
+                    return out;
+                }
+                Checkpointed::Suspended(snap) => {
+                    write_checkpoint(&ckpt_path, snap.as_ref()).expect("checkpoint write");
+                    written += 1;
+                    resume = Some(*snap);
+                }
+            }
+        }
+    });
+    let _ = std::fs::remove_file(&ckpt_path);
     record("idj", "hs", 1, false, "locality", &mut || {
         let mut cursor = HsIdj::new(&r, &s, cfg);
         let mut results = Vec::with_capacity(k);
@@ -473,15 +742,16 @@ fn bench_rows_json(n: usize, k: usize, seed: u64, rows: &[BenchRow]) -> String {
     // counters (pairs_stolen / steal_attempts / barrier_idle_ns), and the
     // 8-thread steal-on vs steal-off rows; 4 added the partition column,
     // the buffer hit/miss totals with their per-worker breakdowns, and
-    // the 8-thread locality vs round-robin rows.
-    out.push_str("  \"schema_version\": 4,\n");
+    // the 8-thread locality vs round-robin rows; 5 added the am-ckpt
+    // checkpoint-overhead row and the checkpoints_written column.
+    out.push_str("  \"schema_version\": 5,\n");
     out.push_str(&format!(
         "  \"workload\": {{ \"n\": {n}, \"k\": {k}, \"seed\": {seed}, \"r\": \"uniform\", \"s\": \"clustered\" }},\n"
     ));
     out.push_str("  \"runs\": [\n");
     for (i, row) in rows.iter().enumerate() {
         out.push_str(&format!(
-            "    {{ \"op\": \"{}\", \"algo\": \"{}\", \"threads\": {}, \"steal\": {}, \"partition\": \"{}\", \"k\": {}, \"wall_time_s\": {:.6}, \"node_accesses\": {}, \"pairs_computed\": {}, \"results\": {}, \"pairs_stolen\": {}, \"steal_attempts\": {}, \"barrier_idle_ns\": {}, \"buffer_hits\": {}, \"buffer_misses\": {}, \"buffer_hits_by_worker\": {}, \"buffer_misses_by_worker\": {} }}{}\n",
+            "    {{ \"op\": \"{}\", \"algo\": \"{}\", \"threads\": {}, \"steal\": {}, \"partition\": \"{}\", \"k\": {}, \"wall_time_s\": {:.6}, \"node_accesses\": {}, \"pairs_computed\": {}, \"results\": {}, \"pairs_stolen\": {}, \"steal_attempts\": {}, \"barrier_idle_ns\": {}, \"buffer_hits\": {}, \"buffer_misses\": {}, \"checkpoints_written\": {}, \"buffer_hits_by_worker\": {}, \"buffer_misses_by_worker\": {} }}{}\n",
             row.op,
             row.algo,
             row.threads,
@@ -497,6 +767,7 @@ fn bench_rows_json(n: usize, k: usize, seed: u64, rows: &[BenchRow]) -> String {
             row.barrier_idle_ns,
             row.buffer_hits,
             row.buffer_misses,
+            row.checkpoints,
             json_u64_array(&row.hits_by_worker),
             json_u64_array(&row.misses_by_worker),
             if i + 1 == rows.len() { "" } else { "," }
@@ -508,7 +779,7 @@ fn bench_rows_json(n: usize, k: usize, seed: u64, rows: &[BenchRow]) -> String {
 
 fn main() -> ExitCode {
     match run() {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(e) => {
             eprintln!("error: {e}");
             usage()

@@ -33,6 +33,7 @@ use crate::mainq::MainQueue;
 use crate::{DistanceQueue, Estimator, ItemRef, JoinConfig, JoinStats, Pair, ResultPair};
 
 use super::bound::MinBound;
+use super::checkpoint::PauseCtl;
 use super::sweep::{CompEntry, CompQueue, MarkMode, SweepScratch, SweepSink};
 
 /// The engine's one sweep sink. `axis` selects the cutoff shape:
@@ -122,7 +123,9 @@ pub(crate) fn to_result<const D: usize>(pair: &Pair<D>) -> ResultPair {
 /// What a stage-one driver hands back to a parallel backend: its results,
 /// the prunable remainder of its frontier, its parked compensation
 /// entries, and the distances its queue retained (pooled into the global
-/// bound and into stage-two workers' queues).
+/// bound and into stage-two workers' queues). Suspended drivers (a fired
+/// [`PauseCtl`]) come back through the same shape with `suspended` set
+/// and their whole sub-bound frontier in `leftovers`.
 pub(crate) struct StageOnePool<const D: usize> {
     pub(crate) results: Vec<ResultPair>,
     pub(crate) leftovers: Vec<Pair<D>>,
@@ -130,6 +133,11 @@ pub(crate) struct StageOnePool<const D: usize> {
     pub(crate) dists: Vec<f64>,
     pub(crate) stats: JoinStats,
     pub(crate) queue_io: f64,
+    /// The driver's final (ratcheted) `eDmax`; `+∞` under exact pruning.
+    pub(crate) edmax: f64,
+    /// Whether the driver stopped on a fired pause rather than running
+    /// out of claimable work.
+    pub(crate) suspended: bool,
 }
 
 /// One expansion loop over one frontier: queues, sweep scratch, cutoffs,
@@ -151,6 +159,10 @@ pub(crate) struct ExpansionDriver<'x, const D: usize> {
     results: Vec<ResultPair>,
     pub(crate) stats: JoinStats,
     tightenings: u64,
+    /// Cooperative pause signal of a resumable join; checked at the loop
+    /// tops, ticked once per expansion or compensation replay.
+    pause: Option<&'x PauseCtl>,
+    suspended: bool,
 }
 
 impl<'x, const D: usize> ExpansionDriver<'x, D> {
@@ -183,6 +195,28 @@ impl<'x, const D: usize> ExpansionDriver<'x, D> {
                 ..JoinStats::default()
             },
             tightenings: 0,
+            pause: None,
+            suspended: false,
+        }
+    }
+
+    /// Attaches the pause control of a resumable join.
+    pub(crate) fn set_pause(&mut self, pause: Option<&'x PauseCtl>) {
+        self.pause = pause;
+    }
+
+    /// Whether the last stage loop stopped on a fired pause.
+    pub(crate) fn suspended(&self) -> bool {
+        self.suspended
+    }
+
+    fn pause_fired(&self) -> bool {
+        self.pause.is_some_and(|p| p.should_pause())
+    }
+
+    fn note_expansion(&self) {
+        if let Some(p) = self.pause {
+            p.note_expansion();
         }
     }
 
@@ -202,6 +236,18 @@ impl<'x, const D: usize> ExpansionDriver<'x, D> {
             if is_result {
                 self.distq.insert(dist);
             }
+        }
+    }
+
+    /// Seeds a resumed stage-one driver with snapshot frontier pairs.
+    /// Uncounted, and — unlike [`seed_counted`](Self::seed_counted) —
+    /// *without* distance-queue insertion: a snapshot result-pair's
+    /// distance already lives in the snapshot's `dists` evidence, and
+    /// inserting it again would double-count that pair once the pools
+    /// merge, yielding an unsoundly tight bound.
+    pub(crate) fn seed_resumed(&mut self, pairs: Vec<Pair<D>>) {
+        for pair in pairs {
+            self.mainq.unpop(pair);
         }
     }
 
@@ -281,6 +327,10 @@ impl<'x, const D: usize> ExpansionDriver<'x, D> {
 
     fn stage_one_loop(&mut self, past_k: bool) {
         loop {
+            if self.pause_fired() {
+                self.suspended = true;
+                break;
+            }
             if self.results.len() >= self.k {
                 if !past_k {
                     break;
@@ -313,6 +363,7 @@ impl<'x, const D: usize> ExpansionDriver<'x, D> {
                 self.scratch
                     .expand(self.r, self.s, &pair, self.edmax, self.cfg);
                 self.stats.stage1_expansions += 1;
+                self.note_expansion();
                 let mut sink = EngineSink {
                     mainq: &mut self.mainq,
                     distq: &mut self.distq,
@@ -330,6 +381,7 @@ impl<'x, const D: usize> ExpansionDriver<'x, D> {
                 let cutoff = self.cutoff();
                 self.scratch.expand(self.r, self.s, &pair, cutoff, self.cfg);
                 self.stats.stage1_expansions += 1;
+                self.note_expansion();
                 let mut sink = EngineSink {
                     mainq: &mut self.mainq,
                     distq: &mut self.distq,
@@ -368,6 +420,10 @@ impl<'x, const D: usize> ExpansionDriver<'x, D> {
 
     fn stage_two_loop(&mut self, past_k: bool) {
         loop {
+            if self.pause_fired() {
+                self.suspended = true;
+                break;
+            }
             if !past_k && self.results.len() >= self.k {
                 break;
             }
@@ -393,6 +449,7 @@ impl<'x, const D: usize> ExpansionDriver<'x, D> {
                 let cutoff = self.cutoff();
                 self.scratch.expand(self.r, self.s, &pair, cutoff, self.cfg);
                 self.stats.stage2_expansions += 1;
+                self.note_expansion();
                 let mut sink = EngineSink {
                     mainq: &mut self.mainq,
                     distq: &mut self.distq,
@@ -413,6 +470,7 @@ impl<'x, const D: usize> ExpansionDriver<'x, D> {
                 };
                 self.scratch
                     .compensate(&mut entry, &mut sink, &mut self.stats);
+                self.note_expansion();
             }
         }
     }
@@ -426,11 +484,13 @@ impl<'x, const D: usize> ExpansionDriver<'x, D> {
     }
 
     /// Finalizes a stage-one worker for pooling. With `drain_leftovers`
-    /// (aggressive policy), the remaining frontier below the shared bound
-    /// and the surviving compensation entries come along; anything at a
-    /// key strictly above the bound is provably outside the answer. The
-    /// retain comparisons are `<=` — a strict `<` would falsely dismiss
-    /// work exactly at the bound.
+    /// (aggressive policy, or any suspended driver), the remaining
+    /// frontier below the shared bound and the surviving compensation
+    /// entries come along; anything at a key strictly above the bound is
+    /// provably outside the answer (the shared bound only ever holds
+    /// published `qDmax` values — the k-th of k real distinct-pair
+    /// distances). The retain comparisons are `<=` — a strict `<` would
+    /// falsely dismiss work exactly at the bound.
     pub(crate) fn into_pool(mut self, drain_leftovers: bool) -> StageOnePool<D> {
         let mut leftovers = Vec::new();
         let mut comps = Vec::new();
@@ -456,6 +516,8 @@ impl<'x, const D: usize> ExpansionDriver<'x, D> {
             dists,
             stats: self.stats,
             queue_io,
+            edmax: self.edmax,
+            suspended: self.suspended,
         }
     }
 }

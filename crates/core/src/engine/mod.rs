@@ -28,16 +28,22 @@
 mod backend;
 pub(crate) mod batch;
 mod bound;
+mod checkpoint;
 mod driver;
 mod partition;
 mod policy;
+mod snapshot;
 mod stage;
 mod steal;
 pub(crate) mod sweep;
 
 pub use backend::{ExecBackend, Parallel, Sequential};
 pub use bound::MinBound;
+pub use checkpoint::{
+    idj_resumable, kdj_resumable, read_checkpoint, write_checkpoint, Checkpointed, PauseCtl,
+};
 pub use policy::{Aggressive, Exact, PruningPolicy};
+pub use snapshot::{EngineSnapshot, SnapshotError, SnapshotKind};
 pub use stage::StageDriver;
 pub use steal::TestSchedule;
 

@@ -17,8 +17,9 @@ use crate::{
 };
 
 use super::bound::MinBound;
+use super::checkpoint::PauseCtl;
 use super::driver::{push_roots, to_result};
-use super::sweep::{CompQueue, MarkMode, SweepScratch, SweepSink};
+use super::sweep::{CompEntry, CompQueue, MarkMode, SweepScratch, SweepSink};
 
 /// Sink for incremental sweeps: the stage's `eDmax` is the only cutoff
 /// (§4.2), for both the axis and the real distance. Both are frozen for
@@ -76,6 +77,33 @@ pub struct StageDriver<'a, const D: usize> {
     r_io0: f64,
     s_io0: f64,
     buf0: (u64, u64),
+    /// Cooperative pause signal of a resumable join; checked once per
+    /// step-loop iteration, ticked per expansion/compensation.
+    pause: Option<&'a PauseCtl>,
+}
+
+/// One advance of the stage loop, pause-aware (the resumable incremental
+/// join drives the cursor through this instead of
+/// [`StageDriver::next`]).
+pub(crate) enum Step {
+    /// The next nearest pair.
+    Pair(ResultPair),
+    /// Every pair has been produced (or provably passed the shared
+    /// bound).
+    Done,
+    /// The pause control fired; suspend the cursor.
+    Paused,
+}
+
+/// Everything a paused incremental cursor owes the snapshot: its pruned
+/// frontier and compensation entries plus the stage-loop scalars.
+pub(crate) struct IdjSuspend<const D: usize> {
+    pub(crate) frontier: Vec<Pair<D>>,
+    pub(crate) comps: Vec<CompEntry<D>>,
+    pub(crate) stage: u32,
+    pub(crate) edmax: f64,
+    pub(crate) k_target: u64,
+    pub(crate) last_dist: f64,
 }
 
 impl<'a, const D: usize> StageDriver<'a, D> {
@@ -162,6 +190,42 @@ impl<'a, const D: usize> StageDriver<'a, D> {
             r_io0,
             s_io0,
             buf0,
+            pause: None,
+        }
+    }
+
+    /// Attaches the pause control of a resumable join. Only
+    /// [`next_step`](Self::next_step) observes it.
+    pub(crate) fn set_pause(&mut self, pause: Option<&'a PauseCtl>) {
+        self.pause = pause;
+    }
+
+    /// Overwrites the stage-loop scalars from a snapshot's canonical
+    /// merge. All of these steer heuristics (stage numbering, `k_target`
+    /// growth, corrections) — none affect which pairs are ultimately
+    /// producible, so the merged values only need to be plausible, not
+    /// per-worker exact.
+    pub(crate) fn restore_state(
+        &mut self,
+        stage: u32,
+        edmax: f64,
+        k_target: u64,
+        emitted: u64,
+        last_dist: f64,
+    ) {
+        self.counters.stages = stage.max(1);
+        self.edmax = edmax.min(self.max_possible);
+        self.k_target = k_target.max(1);
+        self.emitted = emitted;
+        self.last_dist = last_dist;
+    }
+
+    /// Re-seeds parked compensation entries from a snapshot, uncounted:
+    /// each entry was counted when it was first parked, before the
+    /// suspension.
+    pub(crate) fn seed_comps(&mut self, comps: Vec<CompEntry<D>>) {
+        for entry in comps {
+            self.compq.seed(entry);
         }
     }
 
@@ -214,18 +278,31 @@ impl<'a, const D: usize> StageDriver<'a, D> {
     /// `None` when every pair has been produced.
     #[allow(clippy::should_implement_trait)] // deliberate cursor API; &mut borrows preclude Iterator
     pub fn next(&mut self) -> Option<ResultPair> {
+        match self.next_step() {
+            Step::Pair(p) => Some(p),
+            Step::Done | Step::Paused => None,
+        }
+    }
+
+    /// Pause-aware advance: like [`next`](Self::next), but distinguishes
+    /// exhaustion from a fired pause control so the resumable backend can
+    /// suspend the cursor instead of discarding it.
+    pub(crate) fn next_step(&mut self) -> Step {
         let started = std::time::Instant::now();
         let out = self.step();
         self.counters.cpu_seconds += started.elapsed().as_secs_f64();
         out
     }
 
-    fn step(&mut self) -> Option<ResultPair> {
+    fn step(&mut self) -> Step {
         loop {
+            if self.pause.is_some_and(|p| p.should_pause()) {
+                return Step::Paused;
+            }
             let main_key = self.mainq.peek_min();
             let comp_key = self.compq.peek_key();
             let (take_main, key) = match (main_key, comp_key) {
-                (None, None) => return None,
+                (None, None) => return Step::Done,
                 (Some(m), None) => (true, m),
                 (None, Some(c)) => (false, c),
                 (Some(m), Some(c)) => (m <= c, m.min(c)),
@@ -237,7 +314,7 @@ impl<'a, const D: usize> StageDriver<'a, D> {
                 // now — advancing stages cannot help, because the sweep
                 // cutoff stays clamped to the shared bound and the parked
                 // entries would never clear.
-                return None;
+                return Step::Done;
             }
             if key > self.edmax {
                 // Everything still queued lies beyond the stage cutoff:
@@ -251,7 +328,7 @@ impl<'a, const D: usize> StageDriver<'a, D> {
                     self.emitted += 1;
                     self.last_dist = pair.dist;
                     self.counters.results += 1;
-                    return Some(to_result(&pair));
+                    return Step::Pair(to_result(&pair));
                 }
                 let cutoff = self.clamped_edmax();
                 self.scratch
@@ -260,6 +337,9 @@ impl<'a, const D: usize> StageDriver<'a, D> {
                     self.counters.stage1_expansions += 1;
                 } else {
                     self.counters.stage2_expansions += 1;
+                }
+                if let Some(p) = self.pause {
+                    p.note_expansion();
                 }
                 let mut sink = IdjSink {
                     mainq: &mut self.mainq,
@@ -284,6 +364,9 @@ impl<'a, const D: usize> StageDriver<'a, D> {
                 };
                 self.scratch
                     .compensate(&mut entry, &mut sink, &mut self.counters);
+                if let Some(p) = self.pause {
+                    p.note_expansion();
+                }
                 if !entry
                     .marks
                     .exhausted(entry.left.entries.len(), entry.right.entries.len())
@@ -331,6 +414,44 @@ impl<'a, const D: usize> StageDriver<'a, D> {
             Some(e) => e.corrected(self.k_target, self.emitted, self.last_dist, corr),
             None => self.max_possible,
         }
+    }
+
+    /// Consumes a paused cursor, draining its queues into owned data for
+    /// an [`EngineSnapshot`](super::snapshot::EngineSnapshot).
+    ///
+    /// The main queue pops in ascending distance order, so the drain can
+    /// stop at the first pair beyond the shared bound — everything after
+    /// it is provably outside the global result set (the bound is a real
+    /// published distance of the `take`-th best candidate). Parked
+    /// compensation entries whose key exceeds the bound are dropped on
+    /// the same argument: the key lower-bounds every pair their marks can
+    /// still recover. Standalone cursors (no shared bound) keep
+    /// everything.
+    pub(crate) fn suspend(mut self) -> (IdjSuspend<D>, JoinStats, f64) {
+        let bound = self.shared.map_or(f64::INFINITY, |b| b.get());
+        let mut frontier = Vec::new();
+        while let Some(pair) = self.mainq.pop() {
+            if pair.dist > bound {
+                break;
+            }
+            frontier.push(pair);
+        }
+        let mut comps = self.compq.drain_sorted();
+        comps.retain(|c| c.key <= bound);
+        let mut stats = self.counters;
+        let queue_io = self.mainq.account(&mut stats);
+        (
+            IdjSuspend {
+                frontier,
+                comps,
+                stage: stats.stages,
+                edmax: self.edmax,
+                k_target: self.k_target,
+                last_dist: self.last_dist,
+            },
+            stats,
+            queue_io,
+        )
     }
 
     /// Consumes the cursor, folding its queue work into the returned

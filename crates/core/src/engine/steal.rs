@@ -78,10 +78,12 @@ use crate::{
 
 use super::backend::{barrier_idle, seed_frontier, sort_canonical};
 use super::bound::MinBound;
+use super::checkpoint::{Checkpointed, PauseCtl};
 use super::driver::{ExpansionDriver, StageOnePool};
 use super::partition::{partition, PartitionItem};
 use super::policy::PruningPolicy;
-use super::stage::StageDriver;
+use super::snapshot::{EngineSnapshot, SnapshotKind};
+use super::stage::{IdjSuspend, StageDriver, Step};
 use super::sweep::CompEntry;
 
 /// Deterministic schedule perturbation for the work-stealing backend.
@@ -274,6 +276,15 @@ fn frontier_target(threads: usize) -> usize {
 /// `qDmax` for exact policies, the ratcheted `eDmax` for aggressive ones
 /// (seeds beyond it could not be emitted in stage one anyway; leaving
 /// them unclaimed routes them straight to stage two).
+///
+/// `resumed` marks a run seeded from a snapshot frontier: claims then
+/// enter through [`ExpansionDriver::seed_resumed`] — uncounted (each
+/// pair was counted when first enqueued, before the suspension) and
+/// without distance-queue insertion (a resumed result-pair's distance
+/// already lives in the snapshot's `dists` evidence; inserting it again
+/// would double-count that pair once the pools merge). A fired `pause`
+/// suspends the driver, and [`ExpansionDriver::into_pool`] then drains
+/// its whole sub-bound frontier for the snapshot regardless of policy.
 #[allow(clippy::too_many_arguments)]
 fn stage_one_worker<const D: usize, P: PruningPolicy>(
     r: &RTree<D>,
@@ -286,10 +297,16 @@ fn stage_one_worker<const D: usize, P: PruningPolicy>(
     edmax0: f64,
     shared: &MinBound,
     schedule: Option<TestSchedule>,
+    pause: Option<&PauseCtl>,
+    resumed: bool,
 ) -> StageOnePool<D> {
     let mut drv = ExpansionDriver::new(r, s, cfg, k, est, P::AGGRESSIVE, edmax0, Some(shared));
+    drv.set_pause(pause);
     let mut step = 0u64;
     loop {
+        if drv.suspended() {
+            break;
+        }
         step += 1;
         if let Some(sch) = &schedule {
             if sch.stall(w, step) {
@@ -309,10 +326,15 @@ fn stage_one_worker<const D: usize, P: PruningPolicy>(
         ) else {
             break;
         };
-        drv.seed_counted(claimed);
+        if resumed {
+            drv.seed_resumed(claimed);
+        } else {
+            drv.seed_counted(claimed);
+        }
         drv.run_stage_one_stealing();
     }
-    drv.into_pool(P::AGGRESSIVE)
+    let drain = P::AGGRESSIVE || drv.suspended();
+    drv.into_pool(drain)
 }
 
 /// A stage-two work item, keyed for the pool's ascending deques. The
@@ -357,6 +379,14 @@ impl<const D: usize> PartitionItem<D> for Work<D> {
 /// whole-partition seeding, which is what keeps one-thread runs
 /// counter-identical — later claims (after steals) use the exact
 /// `qDmax`-clamped bound.
+///
+/// Returns through [`StageOnePool`]: a normally finished worker comes
+/// back with empty `leftovers`/`comps` (exactly `finish`'s accounting),
+/// a suspended one (fired `pause`) drains its sub-bound remainder for
+/// the snapshot. Its `dists` are the seed slice plus its own new
+/// insertions — the runner discards them (every worker was seeded the
+/// same slice, so pooling them would double-count; the snapshot keeps
+/// the seed slice itself, unchanged).
 #[allow(clippy::too_many_arguments)]
 fn stage_two_worker<const D: usize>(
     r: &RTree<D>,
@@ -369,12 +399,17 @@ fn stage_two_worker<const D: usize>(
     dists: &[f64],
     shared: &MinBound,
     schedule: Option<TestSchedule>,
-) -> (Vec<ResultPair>, JoinStats, f64) {
+    pause: Option<&PauseCtl>,
+) -> StageOnePool<D> {
     let mut drv = ExpansionDriver::new(r, s, cfg, k, est, false, f64::INFINITY, Some(shared));
+    drv.set_pause(pause);
     drv.seed_replayed(Vec::new(), Vec::new(), dists);
     let mut first = true;
     let mut step = 0u64;
     loop {
+        if drv.suspended() {
+            break;
+        }
         step += 1;
         if let Some(sch) = &schedule {
             if sch.stall(w, step) {
@@ -413,7 +448,48 @@ fn stage_two_worker<const D: usize>(
         drv.seed_counted(unclaimed);
         drv.run_stage_two_stealing();
     }
-    drv.finish()
+    let drain = drv.suspended();
+    drv.into_pool(drain)
+}
+
+/// Pumps one incremental cursor while its next emission can still beat
+/// the shared bound, publishing each emission's distance. Returns `true`
+/// when the cursor's pause control fired (suspend it), `false` when it
+/// merely ran out of claimable work (the outer claim loop decides).
+fn pump_idj<const D: usize>(
+    cursor: &mut StageDriver<'_, D>,
+    distq: &mut DistanceQueue,
+    shared: &MinBound,
+    results: &mut Vec<ResultPair>,
+    tightenings: &mut u64,
+) -> bool {
+    loop {
+        // The cursor's minimum queue key lower-bounds every future
+        // emission: stop before doing the work once it passes the
+        // bound.
+        match cursor.peek_key() {
+            Some(key) if key <= shared.get() => {}
+            _ => return false,
+        }
+        match cursor.next_step() {
+            Step::Pair(pair) => {
+                if pair.dist > shared.get() {
+                    // The stream is ascending; everything later is farther
+                    // still (and a tighter bound may admit new claims,
+                    // which the outer loop handles).
+                    return false;
+                }
+                distq.insert(pair.dist);
+                let q = distq.qdmax();
+                if q.is_finite() && shared.tighten(q) {
+                    *tightenings += 1;
+                }
+                results.push(pair);
+            }
+            Step::Done => return false,
+            Step::Paused => return true,
+        }
+    }
 }
 
 /// One worker of the stealing incremental join: a [`StageDriver`] cursor
@@ -422,6 +498,16 @@ fn stage_two_worker<const D: usize>(
 /// insertions the worker's own published `qDmax` caps it through the
 /// shared bound, and a cap on locally-claimed work would be wrong anyway
 /// once seeds move between workers.
+///
+/// A resumed worker starts from the snapshot's cut: its stage-loop
+/// scalars are `restore`d, it is dealt a share of the snapshot's parked
+/// compensation entries (`seed_comps` — the pool only carries pairs),
+/// and its distance queue is pre-seeded (uncounted) with the snapshot's
+/// distance evidence so its published bound starts as tight as the
+/// suspended run's. The pre-claim pump drains that seeded work even when
+/// the pool has nothing left to claim. A fired `pause` suspends the
+/// cursor instead of finishing it; the drained cut comes back as the
+/// fourth return.
 #[allow(clippy::too_many_arguments)]
 fn idj_worker<const D: usize>(
     r: &RTree<D>,
@@ -433,14 +519,37 @@ fn idj_worker<const D: usize>(
     w: usize,
     shared: &MinBound,
     schedule: Option<TestSchedule>,
-) -> (Vec<ResultPair>, JoinStats, f64) {
+    pause: Option<&PauseCtl>,
+    restore: Option<(u32, f64, u64, u64, f64)>,
+    comps: Vec<CompEntry<D>>,
+    seed_dists: &[f64],
+) -> (Vec<ResultPair>, JoinStats, f64, Option<IdjSuspend<D>>) {
     let mut cursor = StageDriver::with_seeds(r, s, cfg, opts, Vec::new(), shared);
+    cursor.set_pause(pause);
+    if let Some((stage, edmax, k_target, emitted, last_dist)) = restore {
+        cursor.restore_state(stage, edmax, k_target, emitted, last_dist);
+    }
+    cursor.seed_comps(comps);
     let mut distq = DistanceQueue::new(take);
+    for &d in seed_dists {
+        distq.seed(d);
+    }
     let mut results = Vec::new();
     let mut tightenings = 0u64;
     let (mut stolen, mut attempts) = (0u64, 0u64);
     let mut step = 0u64;
-    loop {
+    let mut paused = pump_idj(
+        &mut cursor,
+        &mut distq,
+        shared,
+        &mut results,
+        &mut tightenings,
+    );
+    while !paused {
+        if pause.is_some_and(|p| p.should_pause()) {
+            paused = true;
+            break;
+        }
         step += 1;
         if let Some(sch) = &schedule {
             if sch.stall(w, step) {
@@ -460,40 +569,33 @@ fn idj_worker<const D: usize>(
             break;
         };
         cursor.push_seeds(claimed);
-        loop {
-            // The cursor's minimum queue key lower-bounds every future
-            // emission: stop before doing the work once it passes the
-            // bound.
-            match cursor.peek_key() {
-                Some(key) if key <= shared.get() => {}
-                _ => break,
-            }
-            let Some(pair) = cursor.next() else { break };
-            if pair.dist > shared.get() {
-                // The stream is ascending; everything later is farther
-                // still (and a tighter bound may admit new claims, which
-                // the outer loop handles).
-                break;
-            }
-            distq.insert(pair.dist);
-            let q = distq.qdmax();
-            if q.is_finite() && shared.tighten(q) {
-                tightenings += 1;
-            }
-            results.push(pair);
-        }
+        paused = pump_idj(
+            &mut cursor,
+            &mut distq,
+            shared,
+            &mut results,
+            &mut tightenings,
+        );
     }
-    let (mut stats, queue_io) = cursor.finish_worker();
+    let (mut stats, queue_io, suspend) = if paused {
+        let (sus, st, io) = cursor.suspend();
+        (st, io, Some(sus))
+    } else {
+        let (st, io) = cursor.finish_worker();
+        (st, io, None)
+    };
     stats.bound_tightenings += tightenings;
     stats.distq_insertions += distq.insertions();
     stats.pairs_stolen += stolen;
     stats.steal_attempts += attempts;
-    (results, stats, queue_io)
+    (results, stats, queue_io, suspend)
 }
 
 /// The stealing k-distance join: [`Parallel::run_kdj`] with the static
 /// partitioning replaced by [`StealPool`] claim rounds. `threads` is
-/// already resolved.
+/// already resolved. A thin shell over [`run_kdj_ckpt`] with no pause
+/// control and no snapshot — the uninterrupted join *is* the resumable
+/// join with the checkpoint machinery idle.
 ///
 /// [`Parallel::run_kdj`]: super::backend::Parallel
 pub(crate) fn run_kdj<const D: usize, P: PruningPolicy>(
@@ -505,141 +607,320 @@ pub(crate) fn run_kdj<const D: usize, P: PruningPolicy>(
     threads: usize,
     schedule: Option<TestSchedule>,
 ) -> JoinOutput {
+    match run_kdj_ckpt::<D, P>(r, s, k, cfg, policy, threads, schedule, None, None) {
+        Checkpointed::Done(out) => out,
+        Checkpointed::Suspended(_) => unreachable!("no pause control was attached"),
+    }
+}
+
+/// The checkpointable k-distance join. Without `resume` it starts from
+/// the root frontier; with it, from the snapshot's cut (stage 1 resumes
+/// re-partition the saved frontier, stage 2 resumes rebuild the
+/// [`Work`] pool from the saved frontier and compensation entries).
+/// Without `pause` it always returns [`Checkpointed::Done`]; with one,
+/// a fired pause drains every worker and the shared pool into one
+/// canonical [`EngineSnapshot`].
+///
+/// The snapshot's pruning is justified purely by `shared_bound` — a
+/// published `qDmax`, the k-th smallest of k real distinct-pair
+/// distances — so a cut taken at any thread count resumes at any other.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_kdj_ckpt<const D: usize, P: PruningPolicy>(
+    r: &RTree<D>,
+    s: &RTree<D>,
+    k: usize,
+    cfg: &JoinConfig,
+    policy: &P,
+    threads: usize,
+    schedule: Option<TestSchedule>,
+    resume: Option<EngineSnapshot<D>>,
+    pause: Option<&PauseCtl>,
+) -> Checkpointed<D> {
     let baseline = Baseline::capture(r, s);
     let mut stats = JoinStats {
         stages: 1,
         ..JoinStats::default()
     };
     let est = Estimator::from_trees(r, s);
-    let edmax0 = policy.initial_edmax(est.as_ref(), k);
-    let shared = MinBound::new(f64::INFINITY);
-    let mut results = Vec::new();
+    // Unpack the starting cut: the root frontier, or the snapshot's.
+    let (mut results, aside_dists, snap_frontier, aside_comps, stage0, edmax0, bound0, resumed) =
+        match resume {
+            None => (
+                Vec::new(),
+                Vec::new(),
+                None,
+                Vec::new(),
+                1u32,
+                policy.initial_edmax(est.as_ref(), k),
+                f64::INFINITY,
+                false,
+            ),
+            Some(snap) => (
+                snap.results,
+                snap.dists,
+                Some(snap.frontier),
+                snap.comps,
+                snap.stage,
+                snap.edmax,
+                snap.shared_bound,
+                true,
+            ),
+        };
+    let shared = MinBound::new(bound0);
     let mut queue_io = 0.0;
     if k > 0 {
-        let mut frontier = seed_frontier(r, s, cfg, frontier_target(threads), &mut stats);
-        frontier.sort_unstable_by(|a, b| a.dist.total_cmp(&b.dist));
-        let seeds = partition(frontier, threads, cfg.partition);
-        let pool = StealPool::new(seeds, |p: &Pair<D>| p.dist);
         let est = est.as_ref();
         let shared = &shared;
+        // Inputs to stage two, produced by stage one (or read straight
+        // from a stage-2 snapshot).
+        let mut work: Vec<Work<D>> = Vec::new();
+        let mut dists: Vec<f64> = Vec::new();
+        let mut edmax_now = edmax0;
 
-        // ---- Stage one: claim rounds over the frontier pool ----
-        let t0 = std::time::Instant::now();
-        let outcomes = {
-            let pool = &pool;
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..threads)
-                    .map(|w| {
-                        scope.spawn(move || {
-                            let span = WorkerBufferSpan::begin(w);
-                            let mut out = stage_one_worker::<D, P>(
-                                r, s, k, cfg, est, pool, w, edmax0, shared, schedule,
-                            );
-                            span.record(&mut out.stats);
-                            (out, t0.elapsed().as_nanos() as u64)
+        if stage0 <= 1 {
+            let mut frontier = match snap_frontier {
+                Some(f) => f,
+                None => seed_frontier(r, s, cfg, frontier_target(threads), &mut stats),
+            };
+            frontier.sort_unstable_by(|a, b| a.dist.total_cmp(&b.dist));
+            let seeds = partition(frontier, threads, cfg.partition);
+            let pool = StealPool::new(seeds, |p: &Pair<D>| p.dist);
+
+            // ---- Stage one: claim rounds over the frontier pool ----
+            let t0 = std::time::Instant::now();
+            let outcomes = {
+                let pool = &pool;
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..threads)
+                        .map(|w| {
+                            scope.spawn(move || {
+                                let span = WorkerBufferSpan::begin(w);
+                                let mut out = stage_one_worker::<D, P>(
+                                    r, s, k, cfg, est, pool, w, edmax0, shared, schedule, pause,
+                                    resumed,
+                                );
+                                span.record(&mut out.stats);
+                                (out, t0.elapsed().as_nanos() as u64)
+                            })
                         })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("worker panicked"))
-                    .collect::<Vec<_>>()
-            })
-        };
-        let finishes: Vec<u64> = outcomes.iter().map(|(_, ns)| *ns).collect();
-        stats.barrier_idle_ns += barrier_idle(&finishes);
-        let mut leftovers = Vec::new();
-        let mut comps = Vec::new();
-        let mut dists = Vec::new();
-        for (outcome, _) in outcomes {
-            results.extend(outcome.results);
-            leftovers.extend(outcome.leftovers);
-            comps.extend(outcome.comps);
-            dists.extend(outcome.dists);
-            stats.absorb_worker(&outcome.stats);
-            queue_io += outcome.queue_io;
-        }
-
-        if P::AGGRESSIVE {
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("worker panicked"))
+                        .collect::<Vec<_>>()
+                })
+            };
+            let finishes: Vec<u64> = outcomes.iter().map(|(_, ns)| *ns).collect();
+            stats.barrier_idle_ns += barrier_idle(&finishes);
+            let mut leftovers = Vec::new();
+            let mut comps = Vec::new();
+            let mut suspended = false;
+            let mut edmax_min = f64::INFINITY;
+            for (outcome, _) in outcomes {
+                results.extend(outcome.results);
+                leftovers.extend(outcome.leftovers);
+                comps.extend(outcome.comps);
+                dists.extend(outcome.dists);
+                stats.absorb_worker(&outcome.stats);
+                queue_io += outcome.queue_io;
+                suspended |= outcome.suspended;
+                edmax_min = edmax_min.min(outcome.edmax);
+            }
+            edmax_now = edmax_min;
+            // Snapshot evidence rides along: parked entries saved by the
+            // interrupted run still owe their compensation replay, and
+            // the saved distances stand in for the distance-queue entries
+            // resumed workers deliberately did not re-insert.
+            comps.extend(aside_comps);
+            dists.extend(aside_dists);
             // Pooled k-th smallest stage-one distance: the tightest proven
-            // bound stage one produced (see the static path).
+            // bound stage one produced (see the static path). Every entry
+            // is the distance of a *distinct* emitted pair (workers never
+            // re-insert resumed pairs), so the k-th is a true upper bound
+            // on the global Dmax(k).
             dists.sort_unstable_by(f64::total_cmp);
             dists.truncate(k);
-            if dists.len() == k {
-                let kth = dists[k - 1];
-                if kth.is_finite() && shared.tighten(kth) {
-                    stats.bound_tightenings += 1;
+
+            if suspended {
+                if dists.len() == k {
+                    let kth = dists[k - 1];
+                    if kth.is_finite() {
+                        // Stats die with the suspension; only the bound
+                        // (and through it the snapshot's pruning) matters.
+                        shared.tighten(kth);
+                    }
                 }
+                let bound = shared.get();
+                // Unlike a normal exit, nothing proves the pool remainder
+                // prunable (workers paused, they did not reject it) — the
+                // snapshot keeps everything at or below the proven bound.
+                let mut frontier = leftovers;
+                frontier.extend(pool.into_remaining());
+                frontier.retain(|p| p.dist <= bound);
+                frontier.sort_unstable_by(|a, b| a.dist.total_cmp(&b.dist));
+                comps.retain(|e| e.key <= bound);
+                comps.sort_by(|a, b| a.key.total_cmp(&b.key));
+                sort_canonical(&mut results);
+                return Checkpointed::Suspended(Box::new(EngineSnapshot {
+                    kind: SnapshotKind::Kdj {
+                        k: k as u64,
+                        aggressive: P::AGGRESSIVE,
+                    },
+                    stage: 1,
+                    edmax: edmax_now,
+                    shared_bound: bound,
+                    k_target: 0,
+                    emitted: 0,
+                    last_dist: 0.0,
+                    results,
+                    dists,
+                    frontier,
+                    comps,
+                }));
             }
-            let bound = shared.get();
-            leftovers.retain(|p| p.dist <= bound);
-            comps.retain(|e| e.key <= bound);
-            // Seeds no stage-one worker claimed (all beyond every ratcheted
-            // eDmax) still belong to stage two — they were rejected against
-            // an estimate, not a proven bound.
-            let mut unclaimed = pool.into_remaining();
-            unclaimed.retain(|p| p.dist <= bound);
 
-            let mut work: Vec<Work<D>> =
-                Vec::with_capacity(leftovers.len() + unclaimed.len() + comps.len());
-            work.extend(leftovers.into_iter().map(Work::Fresh));
-            work.extend(unclaimed.into_iter().map(Work::Unclaimed));
-            work.extend(comps.into_iter().map(Work::Comp));
-
-            // ---- Stage two: claim rounds over the work-item pool ----
-            if !work.is_empty() {
-                stats.stages = 2;
-                // Stable: parked compensation entries share equal keys en
-                // masse (all at `eDmax.next_up()`), and one-thread parity
-                // with the static path needs their original order kept.
-                work.sort_by(|a, b| work_key(a).total_cmp(&work_key(b)));
-                let wpool = StealPool::new(partition(work, threads, cfg.partition), work_key);
-                let dists = &dists[..];
-                let t0 = std::time::Instant::now();
-                let outputs = {
-                    let wpool = &wpool;
-                    std::thread::scope(|scope| {
-                        let handles: Vec<_> = (0..threads)
-                            .map(|w| {
-                                scope.spawn(move || {
-                                    let span = WorkerBufferSpan::begin(w);
-                                    let mut out = stage_two_worker(
-                                        r, s, k, cfg, est, wpool, w, dists, shared, schedule,
-                                    );
-                                    span.record(&mut out.1);
-                                    (out, t0.elapsed().as_nanos() as u64)
-                                })
-                            })
-                            .collect();
-                        handles
-                            .into_iter()
-                            .map(|h| h.join().expect("worker panicked"))
-                            .collect::<Vec<_>>()
-                    })
-                };
-                let finishes: Vec<u64> = outputs.iter().map(|(_, ns)| *ns).collect();
-                stats.barrier_idle_ns += barrier_idle(&finishes);
-                for ((mut part, wstats, wio), _) in outputs {
-                    results.append(&mut part);
-                    stats.absorb_worker(&wstats);
-                    queue_io += wio;
+            if P::AGGRESSIVE {
+                if dists.len() == k {
+                    let kth = dists[k - 1];
+                    if kth.is_finite() && shared.tighten(kth) {
+                        stats.bound_tightenings += 1;
+                    }
                 }
+                let bound = shared.get();
+                leftovers.retain(|p| p.dist <= bound);
+                comps.retain(|e| e.key <= bound);
+                // Seeds no stage-one worker claimed (all beyond every
+                // ratcheted eDmax) still belong to stage two — they were
+                // rejected against an estimate, not a proven bound.
+                let mut unclaimed = pool.into_remaining();
+                unclaimed.retain(|p| p.dist <= bound);
+
+                work.reserve(leftovers.len() + unclaimed.len() + comps.len());
+                work.extend(leftovers.into_iter().map(Work::Fresh));
+                if resumed {
+                    // A resumed pool's remainder is snapshot-frontier work:
+                    // counted before the pause, and its result distances
+                    // already sit in the pooled evidence. Re-entering it as
+                    // `Unclaimed` would insert those distances a second
+                    // time and over-tighten stage two's qDmax below the
+                    // true bound, silently dropping tail results.
+                    work.extend(unclaimed.into_iter().map(Work::Fresh));
+                } else {
+                    work.extend(unclaimed.into_iter().map(Work::Unclaimed));
+                }
+                work.extend(comps.into_iter().map(Work::Comp));
+            }
+            // Exact policies may leave unclaimed seeds behind: every worker
+            // rejected them against its qDmax-clamped exit bound, which
+            // upper-bounds the global Dmax(k), so they are provably outside
+            // the answer and the pool drops with them.
+        } else {
+            // Stage-2 snapshot: its saved frontier re-enters uncounted
+            // (`Fresh`), its parked entries replay (`Comp`), and its
+            // distance evidence seeds the workers' queues exactly as the
+            // stage-one pooling would have.
+            dists = aside_dists;
+            let frontier = snap_frontier.unwrap_or_default();
+            work.reserve(frontier.len() + aside_comps.len());
+            work.extend(frontier.into_iter().map(Work::Fresh));
+            work.extend(aside_comps.into_iter().map(Work::Comp));
+        }
+
+        // ---- Stage two: claim rounds over the work-item pool ----
+        if !work.is_empty() {
+            stats.stages = 2;
+            // Stable: parked compensation entries share equal keys en
+            // masse (all at `eDmax.next_up()`), and one-thread parity
+            // with the static path needs their original order kept.
+            work.sort_by(|a, b| work_key(a).total_cmp(&work_key(b)));
+            let wpool = StealPool::new(partition(work, threads, cfg.partition), work_key);
+            let dists = &dists[..];
+            let t0 = std::time::Instant::now();
+            let outputs = {
+                let wpool = &wpool;
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..threads)
+                        .map(|w| {
+                            scope.spawn(move || {
+                                let span = WorkerBufferSpan::begin(w);
+                                let mut out = stage_two_worker(
+                                    r, s, k, cfg, est, wpool, w, dists, shared, schedule, pause,
+                                );
+                                span.record(&mut out.stats);
+                                (out, t0.elapsed().as_nanos() as u64)
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("worker panicked"))
+                        .collect::<Vec<_>>()
+                })
+            };
+            let finishes: Vec<u64> = outputs.iter().map(|(_, ns)| *ns).collect();
+            stats.barrier_idle_ns += barrier_idle(&finishes);
+            let mut leftovers = Vec::new();
+            let mut comps = Vec::new();
+            let mut suspended = false;
+            for (outcome, _) in outputs {
+                results.extend(outcome.results);
+                leftovers.extend(outcome.leftovers);
+                comps.extend(outcome.comps);
+                stats.absorb_worker(&outcome.stats);
+                queue_io += outcome.queue_io;
+                suspended |= outcome.suspended;
+                // outcome.dists is the shared seed slice plus the worker's
+                // own insertions — pooling those would double-count the
+                // seeds, so they are deliberately dropped; `dists` itself
+                // is the snapshot's evidence.
+            }
+            if suspended {
+                let bound = shared.get();
+                let mut frontier = leftovers;
+                for item in wpool.into_remaining() {
+                    match item {
+                        // An unclaimed seed that never entered any queue
+                        // resumes as `Fresh`; the one-time counting it is
+                        // owed is a stats nicety the snapshot does not
+                        // carry (results stay bit-identical either way).
+                        Work::Fresh(p) | Work::Unclaimed(p) => frontier.push(p),
+                        Work::Comp(e) => comps.push(e),
+                    }
+                }
+                frontier.retain(|p| p.dist <= bound);
+                frontier.sort_unstable_by(|a, b| a.dist.total_cmp(&b.dist));
+                comps.retain(|e| e.key <= bound);
+                comps.sort_by(|a, b| a.key.total_cmp(&b.key));
+                sort_canonical(&mut results);
+                return Checkpointed::Suspended(Box::new(EngineSnapshot {
+                    kind: SnapshotKind::Kdj {
+                        k: k as u64,
+                        aggressive: P::AGGRESSIVE,
+                    },
+                    stage: 2,
+                    edmax: edmax_now,
+                    shared_bound: bound,
+                    k_target: 0,
+                    emitted: 0,
+                    last_dist: 0.0,
+                    results,
+                    dists: dists.to_vec(),
+                    frontier,
+                    comps,
+                }));
             }
         }
-        // Exact policies may leave unclaimed seeds behind: every worker
-        // rejected them against its qDmax-clamped exit bound, which
-        // upper-bounds the global Dmax(k), so they are provably outside
-        // the answer and the pool drops with them.
         sort_canonical(&mut results);
         results.truncate(k);
     }
     stats.results = results.len() as u64;
     baseline.finish(r, s, &mut stats, queue_io);
-    JoinOutput { results, stats }
+    Checkpointed::Done(JoinOutput { results, stats })
 }
 
 /// The stealing incremental join: [`Parallel::run_idj`] with claim rounds
-/// in place of the static seed partitioning.
+/// in place of the static seed partitioning. A thin shell over
+/// [`run_idj_ckpt`] with the checkpoint machinery idle.
 ///
 /// [`Parallel::run_idj`]: super::backend::Parallel
 pub(crate) fn run_idj<const D: usize>(
@@ -651,31 +932,90 @@ pub(crate) fn run_idj<const D: usize>(
     threads: usize,
     schedule: Option<TestSchedule>,
 ) -> JoinOutput {
+    match run_idj_ckpt(r, s, take, cfg, opts, threads, schedule, None, None) {
+        Checkpointed::Done(out) => out,
+        Checkpointed::Suspended(_) => unreachable!("no pause control was attached"),
+    }
+}
+
+/// The checkpointable incremental join. On resume, every worker's cursor
+/// restores the snapshot's stage-loop scalars, is dealt a share of the
+/// saved compensation entries (the pair pool cannot carry them), and
+/// pre-seeds its distance queue with the saved evidence — the `take`
+/// smallest result distances, all distinct pairs, so each worker's
+/// published bound is individually sound. On suspension the snapshot
+/// merges the cursors' cuts canonically: `edmax` the minimum (a smaller
+/// estimate only advances stages earlier — completeness is unaffected),
+/// `stage`/`k_target`/`last_dist` the maximum, `emitted` the global
+/// result count. All of these steer heuristics only.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_idj_ckpt<const D: usize>(
+    r: &RTree<D>,
+    s: &RTree<D>,
+    take: usize,
+    cfg: &JoinConfig,
+    opts: &AmIdjOptions,
+    threads: usize,
+    schedule: Option<TestSchedule>,
+    resume: Option<EngineSnapshot<D>>,
+    pause: Option<&PauseCtl>,
+) -> Checkpointed<D> {
     let baseline = Baseline::capture(r, s);
     let mut stats = JoinStats {
         stages: 1,
         ..JoinStats::default()
     };
-    let shared = MinBound::new(f64::INFINITY);
-    let mut results = Vec::new();
+    let (mut results, seed_dists, snap_frontier, snap_comps, restore, bound0) = match resume {
+        None => (
+            Vec::new(),
+            Vec::new(),
+            None,
+            Vec::new(),
+            None,
+            f64::INFINITY,
+        ),
+        Some(snap) => (
+            snap.results,
+            snap.dists,
+            Some(snap.frontier),
+            snap.comps,
+            Some((
+                snap.stage,
+                snap.edmax,
+                snap.k_target,
+                snap.emitted,
+                snap.last_dist,
+            )),
+            snap.shared_bound,
+        ),
+    };
+    let shared = MinBound::new(bound0);
     let mut queue_io = 0.0;
     if take > 0 {
-        let mut frontier = seed_frontier(r, s, cfg, frontier_target(threads), &mut stats);
+        let mut frontier = match snap_frontier {
+            Some(f) => f,
+            None => seed_frontier(r, s, cfg, frontier_target(threads), &mut stats),
+        };
         frontier.sort_unstable_by(|a, b| a.dist.total_cmp(&b.dist));
         let seeds = partition(frontier, threads, cfg.partition);
         let pool = StealPool::new(seeds, |p: &Pair<D>| p.dist);
+        let comp_shares = partition(snap_comps, threads, cfg.partition);
+        let seed_dists = &seed_dists[..];
         let shared = &shared;
         let t0 = std::time::Instant::now();
         let outputs = {
             let pool = &pool;
             std::thread::scope(|scope| {
                 let handles: Vec<_> = (0..threads)
-                    .map(|w| {
+                    .zip(comp_shares)
+                    .map(|(w, comps_w)| {
                         let opts = opts.clone();
                         scope.spawn(move || {
                             let span = WorkerBufferSpan::begin(w);
-                            let mut out =
-                                idj_worker(r, s, take, cfg, opts, pool, w, shared, schedule);
+                            let mut out = idj_worker(
+                                r, s, take, cfg, opts, pool, w, shared, schedule, pause, restore,
+                                comps_w, seed_dists,
+                            );
                             span.record(&mut out.1);
                             (out, t0.elapsed().as_nanos() as u64)
                         })
@@ -689,16 +1029,61 @@ pub(crate) fn run_idj<const D: usize>(
         };
         let finishes: Vec<u64> = outputs.iter().map(|(_, ns)| *ns).collect();
         stats.barrier_idle_ns += barrier_idle(&finishes);
-        for ((mut part, wstats, wio), _) in outputs {
+        let mut sus_frontier: Vec<Pair<D>> = Vec::new();
+        let mut sus_comps: Vec<CompEntry<D>> = Vec::new();
+        let mut suspended = false;
+        let (mut edmax_min, mut stage_max, mut k_target_max, mut last_max) =
+            (f64::INFINITY, 1u32, opts.initial_k, 0.0f64);
+        for ((mut part, wstats, wio, suspend), _) in outputs {
             results.append(&mut part);
             stats.stages = stats.stages.max(wstats.stages);
             stats.absorb_worker(&wstats);
             queue_io += wio;
+            if let Some(sus) = suspend {
+                suspended = true;
+                sus_frontier.extend(sus.frontier);
+                sus_comps.extend(sus.comps);
+                edmax_min = edmax_min.min(sus.edmax);
+                stage_max = stage_max.max(sus.stage);
+                k_target_max = k_target_max.max(sus.k_target);
+                last_max = last_max.max(sus.last_dist);
+            }
+        }
+        if suspended {
+            let bound = shared.get();
+            sus_frontier.extend(pool.into_remaining());
+            sus_frontier.retain(|p| p.dist <= bound);
+            sus_frontier.sort_unstable_by(|a, b| a.dist.total_cmp(&b.dist));
+            sus_comps.retain(|e| e.key <= bound);
+            sus_comps.sort_by(|a, b| a.key.total_cmp(&b.key));
+            sort_canonical(&mut results);
+            // Results beyond the proven bound can never make the final
+            // `take`; dropping them bounds the snapshot's size.
+            results.retain(|p| p.dist <= bound);
+            // The evidence re-seeded into every resumed worker: the `take`
+            // smallest result distances. Each result is a distinct emitted
+            // pair, so any worker's published bound over (seed ∪ its own
+            // later emissions) stays sound.
+            let dists: Vec<f64> = results.iter().map(|p| p.dist).take(take).collect();
+            let emitted = results.len() as u64;
+            return Checkpointed::Suspended(Box::new(EngineSnapshot {
+                kind: SnapshotKind::Idj { take: take as u64 },
+                stage: stage_max,
+                edmax: edmax_min,
+                shared_bound: bound,
+                k_target: k_target_max,
+                emitted,
+                last_dist: last_max,
+                results,
+                dists,
+                frontier: sus_frontier,
+                comps: sus_comps,
+            }));
         }
         sort_canonical(&mut results);
         results.truncate(take);
     }
     stats.results = results.len() as u64;
     baseline.finish(r, s, &mut stats, queue_io);
-    JoinOutput { results, stats }
+    Checkpointed::Done(JoinOutput { results, stats })
 }

@@ -38,7 +38,7 @@ use crate::{ItemRef, JoinConfig, JoinStats, Pair};
 
 /// A child entry prepared for sweeping: its MBR, its child id, and the
 /// (direction-folded) sort key along the sweep axis.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub(crate) struct SweepEntry<const D: usize> {
     pub mbr: Rect<D>,
     pub child: u64,
@@ -47,7 +47,7 @@ pub(crate) struct SweepEntry<const D: usize> {
 
 /// One side's children, sorted along the sweep axis — the *owned* form,
 /// used when an expansion outlives its scratch (parked [`CompEntry`]s).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub(crate) struct SweepList<const D: usize> {
     pub entries: Vec<SweepEntry<D>>,
     /// Whether the children are objects (parent was a leaf, or the side
@@ -206,7 +206,7 @@ pub(crate) enum MarkMode {
 
 /// A pair that passed the axis check but failed an *estimated* real
 /// cutoff; re-offered on every later stage until it passes.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub(crate) struct Reject {
     pub(crate) left: u32,
     pub(crate) right: u32,
@@ -221,7 +221,7 @@ pub(crate) struct Reject {
 /// unexamined); symmetrically for `right_stops`. Anchors that never ran
 /// (the tail of one list once the other was exhausted) have no entry —
 /// their pairings were all covered by the other side's anchors.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub(crate) struct SweepMarks {
     pub left_stops: Vec<u32>,
     pub right_stops: Vec<u32>,
@@ -690,7 +690,7 @@ fn compensation_sweep_into<const D: usize>(
 
 /// A parked expansion awaiting compensation: the sorted lists, the marks,
 /// and a key lower-bounding every unexamined pair's distance.
-#[derive(Debug)]
+#[derive(Debug, PartialEq)]
 pub(crate) struct CompEntry<const D: usize> {
     pub key: f64,
     pub axis: usize,

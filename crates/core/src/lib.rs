@@ -87,7 +87,10 @@ pub use bkdj::b_kdj;
 pub use concurrent::{par_am_idj, par_am_kdj, par_b_kdj};
 pub use config::{AmIdjOptions, AmKdjOptions, Correction, EdmaxPolicy, JoinConfig, Partition};
 pub use distq::DistanceQueue;
-pub use engine::{MinBound, TestSchedule};
+pub use engine::{
+    idj_resumable, kdj_resumable, read_checkpoint, write_checkpoint, Checkpointed, EngineSnapshot,
+    MinBound, PauseCtl, SnapshotError, SnapshotKind, TestSchedule,
+};
 pub use estimate::Estimator;
 pub use histogram::HistogramEstimator;
 pub use hs::{hs_kdj, HsIdj};

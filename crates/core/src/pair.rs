@@ -1,5 +1,5 @@
 use amdj_geom::Rect;
-use amdj_storage::codec::{put_f64, put_u32, put_u64, put_u8, Reader};
+use amdj_storage::codec::{put_f64, put_u32, put_u64, put_u8, CodecError, Reader};
 use amdj_storage::SpillItem;
 
 /// One side of a main-queue pair: an R-tree node or a data object.
@@ -71,14 +71,18 @@ fn encode_ref(out: &mut Vec<u8>, r: &ItemRef) {
     }
 }
 
-fn decode_ref(r: &mut Reader<'_>) -> ItemRef {
-    let tag = r.u8();
-    let id = r.u64();
-    let level = r.u32();
+fn try_decode_ref(r: &mut Reader<'_>) -> Result<ItemRef, CodecError> {
+    let at = r.position();
+    let tag = r.try_u8("pair ref tag")?;
+    let id = r.try_u64("pair ref id")?;
+    let level = r.try_u32("pair ref level")?;
     match tag {
-        0 => ItemRef::Node { page: id, level },
-        1 => ItemRef::Object { oid: id },
-        t => panic!("corrupt pair record: ref tag {t}"),
+        0 => Ok(ItemRef::Node { page: id, level }),
+        1 => Ok(ItemRef::Object { oid: id }),
+        _ => Err(CodecError {
+            offset: at,
+            expected: "pair ref tag 0 or 1",
+        }),
     }
 }
 
@@ -91,16 +95,25 @@ fn encode_rect<const D: usize>(out: &mut Vec<u8>, rect: &Rect<D>) {
     }
 }
 
-fn decode_rect<const D: usize>(r: &mut Reader<'_>) -> Rect<D> {
+fn try_decode_rect<const D: usize>(r: &mut Reader<'_>) -> Result<Rect<D>, CodecError> {
+    let start = r.position();
     let mut lo = [0.0; D];
     let mut hi = [0.0; D];
     for slot in lo.iter_mut() {
-        *slot = r.f64();
+        *slot = r.try_f64("rect lo coordinate")?;
     }
     for slot in hi.iter_mut() {
-        *slot = r.f64();
+        *slot = r.try_f64("rect hi coordinate")?;
     }
-    Rect::new(lo, hi)
+    // Rect::new panics on inverted or non-finite bounds; corrupt bytes
+    // must surface as a decode error instead.
+    if (0..D).any(|d| !lo[d].is_finite() || !hi[d].is_finite() || lo[d] > hi[d]) {
+        return Err(CodecError {
+            offset: start,
+            expected: "well-formed rect bounds",
+        });
+    }
+    Ok(Rect::new(lo, hi))
 }
 
 impl<const D: usize> SpillItem for Pair<D> {
@@ -120,19 +133,19 @@ impl<const D: usize> SpillItem for Pair<D> {
         encode_rect(out, &self.b_mbr);
     }
 
-    fn decode(r: &mut Reader<'_>) -> Self {
-        let dist = r.f64();
-        let a = decode_ref(r);
-        let b = decode_ref(r);
-        let a_mbr = decode_rect(r);
-        let b_mbr = decode_rect(r);
-        Pair {
+    fn try_decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let dist = r.try_f64("pair dist")?;
+        let a = try_decode_ref(r)?;
+        let b = try_decode_ref(r)?;
+        let a_mbr = try_decode_rect(r)?;
+        let b_mbr = try_decode_rect(r)?;
+        Ok(Pair {
             dist,
             a,
             b,
             a_mbr,
             b_mbr,
-        }
+        })
     }
 }
 
@@ -173,6 +186,21 @@ mod tests {
         p.a = ItemRef::Object { oid: 1 };
         assert!(p.is_result());
         assert!(p.a.is_object());
+    }
+
+    #[test]
+    fn try_decode_rejects_bad_tag_and_truncation() {
+        let p = sample();
+        let mut buf = Vec::new();
+        p.encode(&mut buf);
+        buf[8] = 9; // first ref tag
+        let err = Pair::<2>::try_decode(&mut Reader::new(&buf)).unwrap_err();
+        assert_eq!(err.offset, 8);
+        assert_eq!(err.expected, "pair ref tag 0 or 1");
+        let mut short = Vec::new();
+        p.encode(&mut short);
+        short.truncate(short.len() - 1);
+        assert!(Pair::<2>::try_decode(&mut Reader::new(&short)).is_err());
     }
 
     #[test]

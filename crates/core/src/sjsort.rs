@@ -35,12 +35,12 @@ impl SpillItem for Candidate {
         put_u64(out, self.r);
         put_u64(out, self.s);
     }
-    fn decode(rd: &mut Reader<'_>) -> Self {
-        Candidate {
-            dist: rd.f64(),
-            r: rd.u64(),
-            s: rd.u64(),
-        }
+    fn try_decode(rd: &mut Reader<'_>) -> Result<Self, amdj_storage::codec::CodecError> {
+        Ok(Candidate {
+            dist: rd.try_f64("candidate dist")?,
+            r: rd.try_u64("candidate r id")?,
+            s: rd.try_u64("candidate s id")?,
+        })
     }
 }
 

@@ -28,10 +28,40 @@ pub fn put_f64(out: &mut Vec<u8>, v: f64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
+/// A decode failure: the input ended (or was malformed) where a field was
+/// expected.
+///
+/// Carries the byte offset at which the read was attempted and the name of
+/// the field being decoded, so a corrupt *file* (a checkpoint snapshot, as
+/// opposed to a page the storage layer itself just wrote) can be reported
+/// as a clean error rather than a panic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CodecError {
+    /// Byte offset at which the failed read started.
+    pub offset: usize,
+    /// The field that was being decoded.
+    pub expected: &'static str,
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "truncated or corrupt record at byte {}: expected {}",
+            self.offset, self.expected
+        )
+    }
+}
+
+impl std::error::Error for CodecError {}
+
 /// A cursor over an encoded byte slice.
 ///
-/// Reads panic on truncated input: the storage layer writes complete
-/// records, so a short read is a logic error, not a recoverable condition.
+/// The plain reads (`u8`, `u32`, …) panic on truncated input: the storage
+/// layer writes complete records, so a short read there is a logic error,
+/// not a recoverable condition. The `try_*` variants return a
+/// [`CodecError`] instead — for input that crosses a trust boundary, such
+/// as a checkpoint file supplied on the command line.
 #[derive(Debug)]
 pub struct Reader<'a> {
     buf: &'a [u8],
@@ -64,6 +94,18 @@ impl<'a> Reader<'a> {
         s
     }
 
+    fn try_take(&mut self, n: usize, expected: &'static str) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError {
+                offset: self.pos,
+                expected,
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
     /// Reads a `u8`.
     #[inline]
     pub fn u8(&mut self) -> u8 {
@@ -86,6 +128,36 @@ impl<'a> Reader<'a> {
     #[inline]
     pub fn f64(&mut self) -> f64 {
         f64::from_le_bytes(self.take(8).try_into().expect("8 bytes"))
+    }
+
+    /// Fallibly reads a `u8`; `expected` names the field for the error.
+    #[inline]
+    pub fn try_u8(&mut self, expected: &'static str) -> Result<u8, CodecError> {
+        Ok(self.try_take(1, expected)?[0])
+    }
+
+    /// Fallibly reads a little-endian `u32`.
+    #[inline]
+    pub fn try_u32(&mut self, expected: &'static str) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(
+            self.try_take(4, expected)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    /// Fallibly reads a little-endian `u64`.
+    #[inline]
+    pub fn try_u64(&mut self, expected: &'static str) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(
+            self.try_take(8, expected)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Fallibly reads a little-endian `f64`.
+    #[inline]
+    pub fn try_f64(&mut self, expected: &'static str) -> Result<f64, CodecError> {
+        Ok(f64::from_le_bytes(
+            self.try_take(8, expected)?.try_into().expect("8 bytes"),
+        ))
     }
 }
 
@@ -126,6 +198,40 @@ mod tests {
         let buf = vec![1, 2];
         let mut r = Reader::new(&buf);
         let _ = r.u32();
+    }
+
+    #[test]
+    fn try_reads_roundtrip_and_report_offsets() {
+        let mut buf = Vec::new();
+        put_u8(&mut buf, 9);
+        put_u32(&mut buf, 77);
+        put_u64(&mut buf, 1 << 40);
+        put_f64(&mut buf, 2.5);
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.try_u8("tag"), Ok(9));
+        assert_eq!(r.try_u32("count"), Ok(77));
+        assert_eq!(r.try_u64("id"), Ok(1 << 40));
+        assert_eq!(r.try_f64("dist"), Ok(2.5));
+        // Exhausted: the error carries the attempted offset and field.
+        let err = r.try_u32("next").unwrap_err();
+        assert_eq!(
+            err,
+            CodecError {
+                offset: buf.len(),
+                expected: "next"
+            }
+        );
+        assert!(err.to_string().contains("next"));
+        assert!(err.to_string().contains(&buf.len().to_string()));
+    }
+
+    #[test]
+    fn try_read_failure_does_not_advance() {
+        let buf = vec![1u8, 2];
+        let mut r = Reader::new(&buf);
+        assert!(r.try_u64("wide").is_err());
+        assert_eq!(r.position(), 0);
+        assert_eq!(r.try_u8("narrow"), Ok(1));
     }
 
     #[test]

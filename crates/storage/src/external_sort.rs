@@ -247,11 +247,11 @@ mod tests {
             put_f64(out, self.key);
             put_u64(out, self.id);
         }
-        fn decode(r: &mut Reader<'_>) -> Self {
-            Item {
-                key: r.f64(),
-                id: r.u64(),
-            }
+        fn try_decode(r: &mut Reader<'_>) -> Result<Self, crate::codec::CodecError> {
+            Ok(Item {
+                key: r.try_f64("item key")?,
+                id: r.try_u64("item id")?,
+            })
         }
     }
 

@@ -39,4 +39,7 @@ pub use disk::{DiskStats, PageId, VirtualDisk};
 pub use external_sort::ExternalSorter;
 pub use lru::ByteLru;
 pub use sharded::ShardedLru;
-pub use spill::{SpillItem, SpillQueue, SpillQueueConfig, SpillQueueStats, HEAP_ENTRY_OVERHEAD};
+pub use spill::{
+    encode_page_framed, try_decode_page_framed, SpillItem, SpillQueue, SpillQueueConfig,
+    SpillQueueStats, HEAP_ENTRY_OVERHEAD,
+};

@@ -17,7 +17,7 @@
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, VecDeque};
 
-use crate::codec::Reader;
+use crate::codec::{put_u32, put_u64, CodecError, Reader};
 use crate::{CostModel, DiskStats, PageId, VirtualDisk};
 
 /// Bookkeeping overhead charged per item resident in the in-memory heap, on
@@ -50,8 +50,92 @@ pub trait SpillItem: Sized {
     fn encoded_len(&self) -> usize;
     /// Appends the serialized form to `out`.
     fn encode(&self, out: &mut Vec<u8>);
-    /// Decodes one item.
-    fn decode(r: &mut Reader<'_>) -> Self;
+    /// Fallibly decodes one item — the path for input that crosses a trust
+    /// boundary (a checkpoint file). Implementations report truncation or
+    /// malformed fields as a [`CodecError`] instead of panicking.
+    fn try_decode(r: &mut Reader<'_>) -> Result<Self, CodecError>;
+    /// Decodes one item the storage layer itself wrote; a failure here is
+    /// a logic error, so it panics.
+    fn decode(r: &mut Reader<'_>) -> Self {
+        match Self::try_decode(r) {
+            Ok(item) => item,
+            Err(e) => panic!("codec: {e}"),
+        }
+    }
+}
+
+/// Serializes `items` in the spill segment page format: a `u64` item
+/// count, then a run of pages, each a `u32` body length followed by that
+/// many bytes of packed [`SpillItem`] encodings. Bodies hold at most
+/// `page_size - PAGE_HEADER` bytes, exactly like an on-disk segment page
+/// (minus the zero padding, which a byte stream has no use for).
+///
+/// This is the one serialization of "a queue's contents" in the
+/// workspace: [`SpillQueue::save_contents`] writes it, engine snapshots
+/// embed it, and [`try_decode_page_framed`] reads it back.
+pub fn encode_page_framed<T: SpillItem>(items: &[T], page_size: usize, out: &mut Vec<u8>) {
+    let capacity = page_size.saturating_sub(PAGE_HEADER).max(1);
+    put_u64(out, items.len() as u64);
+    let mut body: Vec<u8> = Vec::new();
+    for item in items {
+        let encoded = item.encoded_len();
+        assert!(
+            encoded <= capacity,
+            "spill item of {encoded} bytes exceeds page capacity"
+        );
+        if body.len() + encoded > capacity {
+            put_u32(out, body.len() as u32);
+            out.extend_from_slice(&body);
+            body.clear();
+        }
+        item.encode(&mut body);
+    }
+    if !body.is_empty() {
+        put_u32(out, body.len() as u32);
+        out.extend_from_slice(&body);
+    }
+}
+
+/// Decodes a page-framed run written by [`encode_page_framed`], verifying
+/// the declared item count and page framing. Errors carry the absolute
+/// byte offset within `r`'s buffer.
+pub fn try_decode_page_framed<T: SpillItem>(r: &mut Reader<'_>) -> Result<Vec<T>, CodecError> {
+    let declared = r.try_u64("queue item count")?;
+    if declared > r.remaining() as u64 {
+        // Each item encodes to at least one byte, so a count beyond the
+        // remaining input is corrupt — reject before allocating for it.
+        return Err(CodecError {
+            offset: r.position().saturating_sub(8),
+            expected: "plausible queue item count",
+        });
+    }
+    let mut items = Vec::with_capacity(declared as usize);
+    while (items.len() as u64) < declared {
+        let body_len = r.try_u32("page body length")? as usize;
+        if body_len > r.remaining() {
+            return Err(CodecError {
+                offset: r.position().saturating_sub(4),
+                expected: "page body within input",
+            });
+        }
+        let end = r.position() + body_len;
+        while r.position() < end {
+            items.push(T::try_decode(r)?);
+            if items.len() as u64 > declared {
+                return Err(CodecError {
+                    offset: r.position(),
+                    expected: "item count matching pages",
+                });
+            }
+        }
+        if r.position() != end {
+            return Err(CodecError {
+                offset: r.position(),
+                expected: "item aligned to page body",
+            });
+        }
+    }
+    Ok(items)
 }
 
 /// Configuration of a [`SpillQueue`].
@@ -332,6 +416,41 @@ impl<T: SpillItem> SpillQueue<T> {
         out
     }
 
+    /// Serializes and drains the queue's entire contents, appended to
+    /// `out` in the spill segment page format ([`encode_page_framed`]).
+    /// Items are written in ascending pop order — the order a continued
+    /// run would have consumed them, ties included — so restoring them in
+    /// sequence reproduces the queue's exact future behaviour. Returns the
+    /// number of items saved.
+    pub fn save_contents(&mut self, out: &mut Vec<u8>) -> u64 {
+        let items = self.drain_sorted();
+        encode_page_framed(&items, self.disk.page_size(), out);
+        items.len() as u64
+    }
+
+    /// Restores contents previously written by
+    /// [`save_contents`](SpillQueue::save_contents), re-inserting each
+    /// item in the saved order via the uncounted path (the items were
+    /// counted when they first entered the queue that saved them; a
+    /// restore is a continuation, not new work). Returns the number of
+    /// items restored.
+    pub fn restore_contents(&mut self, r: &mut Reader<'_>) -> Result<u64, CodecError> {
+        let items: Vec<T> = try_decode_page_framed(r)?;
+        for item in &items {
+            if !item.key().is_finite() {
+                return Err(CodecError {
+                    offset: r.position(),
+                    expected: "finite spill key",
+                });
+            }
+        }
+        let n = items.len() as u64;
+        for item in items {
+            self.reinsert(item);
+        }
+        Ok(n)
+    }
+
     fn append_to_segment(&mut self, item: T, key: f64) {
         // Find the last segment whose lo <= key (segments ascend by lo;
         // the front one exists and front.lo <= key by the caller's check).
@@ -577,11 +696,11 @@ mod tests {
             crate::codec::put_f64(out, self.key);
             crate::codec::put_u64(out, self.id);
         }
-        fn decode(r: &mut Reader<'_>) -> Self {
-            Item {
-                key: r.f64(),
-                id: r.u64(),
-            }
+        fn try_decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+            Ok(Item {
+                key: r.try_f64("item key")?,
+                id: r.try_u64("item id")?,
+            })
         }
     }
 
@@ -833,6 +952,109 @@ mod tests {
         let keys = pop_keys(&mut q);
         assert_eq!(keys.len(), 50);
         assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn save_restore_roundtrips_contents_in_pop_order() {
+        let mut cfg = SpillQueueConfig::budgeted(200, vec![]);
+        cfg.cost.page_size = 128;
+        let mut q = SpillQueue::new(cfg.clone());
+        for i in 0..300u64 {
+            q.push(Item {
+                key: ((i * 7919) % 500) as f64,
+                id: i,
+            });
+        }
+        assert!(q.segment_count() > 0, "spilled state must be covered");
+        let mut image = Vec::new();
+        assert_eq!(q.save_contents(&mut image), 300);
+        assert!(q.is_empty(), "save drains the queue");
+
+        let mut restored: SpillQueue<Item> = SpillQueue::new(cfg);
+        let mut r = Reader::new(&image);
+        assert_eq!(restored.restore_contents(&mut r), Ok(300));
+        assert_eq!(r.remaining(), 0);
+        assert_eq!(restored.stats().insertions, 0, "restore is uncounted");
+        // Same contents, same order — ties included (ids distinguish them).
+        let mut q2 = SpillQueue::new(SpillQueueConfig::unbounded());
+        for i in 0..300u64 {
+            q2.push(Item {
+                key: ((i * 7919) % 500) as f64,
+                id: i,
+            });
+        }
+        assert_eq!(restored.drain_sorted(), q2.drain_sorted());
+    }
+
+    #[test]
+    fn save_restore_empty_queue() {
+        let mut q: SpillQueue<Item> = SpillQueue::new(SpillQueueConfig::unbounded());
+        let mut image = Vec::new();
+        assert_eq!(q.save_contents(&mut image), 0);
+        let mut restored: SpillQueue<Item> = SpillQueue::new(SpillQueueConfig::unbounded());
+        assert_eq!(restored.restore_contents(&mut Reader::new(&image)), Ok(0));
+        assert!(restored.is_empty());
+    }
+
+    #[test]
+    fn restore_rejects_truncated_image() {
+        let mut q = SpillQueue::new(SpillQueueConfig::unbounded());
+        for it in items(&[1.0, 2.0, 3.0]) {
+            q.push(it);
+        }
+        let mut image = Vec::new();
+        q.save_contents(&mut image);
+        for cut in [image.len() - 1, image.len() / 2, 9, 3] {
+            let mut fresh: SpillQueue<Item> = SpillQueue::new(SpillQueueConfig::unbounded());
+            let err = fresh
+                .restore_contents(&mut Reader::new(&image[..cut]))
+                .expect_err("truncated image must fail cleanly");
+            assert!(err.offset <= cut, "offset {} past cut {}", err.offset, cut);
+        }
+    }
+
+    #[test]
+    fn restore_rejects_implausible_count() {
+        let mut image = Vec::new();
+        put_u64(&mut image, u64::MAX);
+        let mut q: SpillQueue<Item> = SpillQueue::new(SpillQueueConfig::unbounded());
+        let err = q
+            .restore_contents(&mut Reader::new(&image))
+            .expect_err("bogus count");
+        assert_eq!(err.expected, "plausible queue item count");
+    }
+
+    #[test]
+    fn restore_rejects_non_finite_key() {
+        let bad = Item {
+            key: 1.0,
+            id: u64::MAX,
+        };
+        let mut image = Vec::new();
+        encode_page_framed(&[bad], 128, &mut image);
+        // Corrupt the key bytes in place: body starts after the u64 count
+        // and u32 page header.
+        let key_at = 8 + 4;
+        image[key_at..key_at + 8].copy_from_slice(&f64::NAN.to_le_bytes());
+        let mut q: SpillQueue<Item> = SpillQueue::new(SpillQueueConfig::unbounded());
+        let err = q
+            .restore_contents(&mut Reader::new(&image))
+            .expect_err("NaN key");
+        assert_eq!(err.expected, "finite spill key");
+    }
+
+    #[test]
+    fn page_framed_splits_bodies_at_page_capacity() {
+        let many = items(&(0..100).map(|i| i as f64).collect::<Vec<_>>());
+        let mut image = Vec::new();
+        encode_page_framed(&many, 64, &mut image);
+        // 64-byte pages hold floor((64-4)/16) = 3 items per body.
+        let mut r = Reader::new(&image);
+        assert_eq!(r.u64(), 100);
+        let first_body = r.u32();
+        assert_eq!(first_body, 48);
+        let decoded: Vec<Item> = try_decode_page_framed(&mut Reader::new(&image)).unwrap();
+        assert_eq!(decoded, many);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! push/pop interleavings, budgets, and boundary sets; the external
 //! sorter must sort; the LRU must respect its budget.
 
-use amdj_storage::codec::{put_f64, put_u64, Reader};
+use amdj_storage::codec::{put_f64, put_u64, CodecError, Reader};
 use amdj_storage::{ByteLru, CostModel, ExternalSorter, SpillItem, SpillQueue, SpillQueueConfig};
 use proptest::prelude::*;
 
@@ -24,11 +24,11 @@ impl SpillItem for Item {
         put_f64(out, self.key);
         put_u64(out, self.id);
     }
-    fn decode(r: &mut Reader<'_>) -> Self {
-        Item {
-            key: r.f64(),
-            id: r.u64(),
-        }
+    fn try_decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(Item {
+            key: r.try_f64("item key")?,
+            id: r.try_u64("item id")?,
+        })
     }
 }
 
