@@ -26,10 +26,11 @@ BENCH_SMOKE_JSON="$(mktemp -t bench_smoke.XXXXXX.json)"
 trap 'rm -f "$BENCH_SMOKE_JSON"' EXIT
 cargo run --release -q -p amdj-bench --bin amdj -- \
     bench --n 300 --k 20 --json "$BENCH_SMOKE_JSON" 2>/dev/null
-grep -q '"schema_version": 5' "$BENCH_SMOKE_JSON" \
-    || { echo "bench smoke: schema_version != 5"; exit 1; }
-for col in op algo threads steal partition k wall_time_s node_accesses \
-           pairs_computed results pairs_stolen steal_attempts barrier_idle_ns \
+grep -q '"schema_version": 6' "$BENCH_SMOKE_JSON" \
+    || { echo "bench smoke: schema_version != 6"; exit 1; }
+for col in op algo threads steal partition prefilter k wall_time_s node_accesses \
+           pairs_computed quantized_rejects exact_dist_skipped results \
+           pairs_stolen steal_attempts barrier_idle_ns \
            buffer_hits buffer_misses buffer_hits_by_worker buffer_misses_by_worker \
            checkpoints_written; do
     grep -q "\"$col\":" "$BENCH_SMOKE_JSON" \
@@ -39,7 +40,11 @@ grep -q '"partition": "rr"' "$BENCH_SMOKE_JSON" \
     || { echo "bench smoke: missing round-robin ablation rows"; exit 1; }
 grep -q '"algo": "am-ckpt"' "$BENCH_SMOKE_JSON" \
     || { echo "bench smoke: missing am-ckpt checkpoint-overhead row"; exit 1; }
-echo "bench smoke: schema_version 5 with all required columns"
+grep -q '"prefilter": false' "$BENCH_SMOKE_JSON" \
+    || { echo "bench smoke: missing prefilter-off ablation row"; exit 1; }
+grep -Eq '"quantized_rejects": [1-9]' "$BENCH_SMOKE_JSON" \
+    || { echo "bench smoke: prefilter never rejected a candidate"; exit 1; }
+echo "bench smoke: schema_version 6 with all required columns"
 
 echo "== checkpoint smoke: interrupt, resume, compare =="
 # An interrupted join must exit 75 with a checkpoint on disk, and the
@@ -64,6 +69,18 @@ $AMDJ kdj --r "$CKPT_DIR/a.amdj" --s "$CKPT_DIR/b.amdj" --k 100 --algo par-am \
 diff <(grep -v '^#' "$CKPT_DIR/ref.txt") <(grep -v '^#' "$CKPT_DIR/res.txt") \
     || { echo "checkpoint smoke: resumed results differ"; exit 1; }
 echo "checkpoint smoke: interrupt exited 75, resume bit-identical"
+
+echo "== kernel ablation smoke: quantized prefilter on vs off =="
+# The same join with the quantized MBR prefilter on (default) and off
+# must print byte-identical results — the screen is an optimization, not
+# an approximation. Reuses the indexes the checkpoint smoke built.
+$AMDJ kdj --r "$CKPT_DIR/a.amdj" --s "$CKPT_DIR/b.amdj" --k 100 --algo am \
+    > "$CKPT_DIR/q_on.txt" 2>/dev/null
+$AMDJ kdj --r "$CKPT_DIR/a.amdj" --s "$CKPT_DIR/b.amdj" --k 100 --algo am \
+    --no-prefilter > "$CKPT_DIR/q_off.txt" 2>/dev/null
+diff <(grep -v '^#' "$CKPT_DIR/q_on.txt") <(grep -v '^#' "$CKPT_DIR/q_off.txt") \
+    || { echo "kernel ablation smoke: prefilter changed join results"; exit 1; }
+echo "kernel ablation smoke: prefilter on/off bit-identical"
 
 # Stress tier (opt-in: STRESS=1 ./ci.sh): rerun the engine-matrix and
 # schedule-perturbation properties in release mode with 4× the proptest

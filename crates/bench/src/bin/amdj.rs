@@ -45,7 +45,7 @@ use amdj_rtree::{RTree, RTreeParams};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  amdj generate --kind tiger-streets|tiger-hydro|uniform|clustered --n N [--seed S] --out data.csv\n  amdj build    --input data.csv --out index.amdj\n  amdj kdj      --r a.amdj --s b.amdj --k K [--algo am|b|hs|par|par-am] [--threads T]\n                [--checkpoint-path P] [--checkpoint-every N] [--resume P]\n  amdj idj      --r a.amdj --s b.amdj --take N [--batch B] [--algo am|par-am] [--threads T]\n                [--checkpoint-path P] [--checkpoint-every N] [--resume P]\n  amdj within   --r a.amdj --s b.amdj --dist D\n  amdj knn      --r a.amdj --s b.amdj --k K\n  amdj bench    [--n N] [--k K] [--seed S] [--json [FILE]]"
+        "usage:\n  amdj generate --kind tiger-streets|tiger-hydro|uniform|clustered --n N [--seed S] --out data.csv\n  amdj build    --input data.csv --out index.amdj\n  amdj kdj      --r a.amdj --s b.amdj --k K [--algo am|b|hs|par|par-am] [--threads T]\n                [--checkpoint-path P] [--checkpoint-every N] [--resume P]\n  amdj idj      --r a.amdj --s b.amdj --take N [--batch B] [--algo am|par-am] [--threads T]\n                [--checkpoint-path P] [--checkpoint-every N] [--resume P]\n  amdj within   --r a.amdj --s b.amdj --dist D\n  amdj knn      --r a.amdj --s b.amdj --k K\n  amdj bench    [--n N] [--k K] [--seed S] [--json [FILE]]\n  (any join command also accepts --no-prefilter to disable the quantized MBR prefilter)"
     );
     ExitCode::from(2)
 }
@@ -278,7 +278,13 @@ fn run() -> Result<ExitCode, String> {
             .cloned()
             .ok_or_else(|| format!("missing --{k}"))
     };
-    let cfg = JoinConfig::default();
+    let mut cfg = JoinConfig::default();
+    // `--no-prefilter` disables the quantized integer MBR prefilter in
+    // every join this invocation runs — the CI kernel-ablation smoke
+    // diffs a join against itself with the screen on and off.
+    if flags.contains_key("no-prefilter") {
+        cfg.quantized_prefilter = false;
+    }
 
     match cmd.as_str() {
         "generate" => {
@@ -511,16 +517,18 @@ fn run() -> Result<ExitCode, String> {
             let rows = run_bench_matrix(n, k, seed, &cfg);
             for row in &rows {
                 eprintln!(
-                    "# {:<4} {:<7} threads={} steal={} part={} k={} wall={:.4}s nodes={} dists={} results={} stolen={} idle={}ns buf={}h/{}m",
+                    "# {:<4} {:<7} threads={} steal={} part={} q={} k={} wall={:.4}s nodes={} dists={} qrej={} results={} stolen={} idle={}ns buf={}h/{}m",
                     row.op,
                     row.algo,
                     row.threads,
                     row.steal,
                     row.partition,
+                    row.prefilter,
                     row.k,
                     row.wall_time_s,
                     row.node_accesses,
                     row.pairs_computed,
+                    row.quantized_rejects,
                     row.results,
                     row.pairs_stolen,
                     row.barrier_idle_ns,
@@ -549,10 +557,15 @@ struct BenchRow {
     /// parallel rows (sequential rows report the default, which they
     /// never consult).
     partition: &'static str,
+    /// Whether the quantized integer MBR prefilter was armed for this
+    /// row (it is on by default; the "am" ablation row turns it off).
+    prefilter: bool,
     k: usize,
     wall_time_s: f64,
     node_accesses: u64,
     pairs_computed: u64,
+    quantized_rejects: u64,
+    exact_dist_skipped: u64,
     results: usize,
     pairs_stolen: u64,
     steal_attempts: u64,
@@ -605,60 +618,115 @@ fn run_bench_matrix(n: usize, k: usize, seed: u64, cfg: &JoinConfig) -> Vec<Benc
     let mut rows = Vec::new();
     // Set by the checkpoint-overhead runs, harvested (and reset) per row.
     let ckpt_written = std::cell::Cell::new(0u64);
-    let mut record =
-        |op, algo, threads: usize, steal, partition, run: &mut dyn FnMut() -> JoinOutput| {
-            let start = std::time::Instant::now();
-            let out = run();
-            let wall = start.elapsed().as_secs_f64();
-            let trim = threads.min(out.stats.buffer_hits_by_worker.len());
-            rows.push(BenchRow {
-                op,
-                algo,
-                threads,
-                steal,
-                partition,
-                k,
-                wall_time_s: wall,
-                node_accesses: out.stats.node_requests,
-                pairs_computed: out.stats.real_dist,
-                results: out.results.len(),
-                pairs_stolen: out.stats.pairs_stolen,
-                steal_attempts: out.stats.steal_attempts,
-                barrier_idle_ns: out.stats.barrier_idle_ns,
-                buffer_hits: out.stats.buffer_hits,
-                buffer_misses: out.stats.buffer_misses,
-                checkpoints: ckpt_written.take(),
-                hits_by_worker: out.stats.buffer_hits_by_worker[..trim].to_vec(),
-                misses_by_worker: out.stats.buffer_misses_by_worker[..trim].to_vec(),
-            });
-        };
-    record("kdj", "hs", 1, false, "locality", &mut || {
-        hs_kdj(&r, &s, k, cfg)
-    });
-    record("kdj", "b", 1, false, "locality", &mut || {
-        b_kdj(&r, &s, k, cfg)
-    });
-    record("kdj", "am", 1, false, "locality", &mut || {
-        am_kdj(&r, &s, k, cfg, &AmKdjOptions::default())
+    let mut record = |op,
+                      algo,
+                      threads: usize,
+                      steal,
+                      partition,
+                      prefilter: bool,
+                      run: &mut dyn FnMut() -> JoinOutput| {
+        let start = std::time::Instant::now();
+        let out = run();
+        let wall = start.elapsed().as_secs_f64();
+        let trim = threads.min(out.stats.buffer_hits_by_worker.len());
+        rows.push(BenchRow {
+            op,
+            algo,
+            threads,
+            steal,
+            partition,
+            prefilter,
+            k,
+            wall_time_s: wall,
+            node_accesses: out.stats.node_requests,
+            pairs_computed: out.stats.real_dist,
+            quantized_rejects: out.stats.quantized_rejects,
+            exact_dist_skipped: out.stats.exact_dist_skipped,
+            results: out.results.len(),
+            pairs_stolen: out.stats.pairs_stolen,
+            steal_attempts: out.stats.steal_attempts,
+            barrier_idle_ns: out.stats.barrier_idle_ns,
+            buffer_hits: out.stats.buffer_hits,
+            buffer_misses: out.stats.buffer_misses,
+            checkpoints: ckpt_written.take(),
+            hits_by_worker: out.stats.buffer_hits_by_worker[..trim].to_vec(),
+            misses_by_worker: out.stats.buffer_misses_by_worker[..trim].to_vec(),
+        });
+    };
+    record(
+        "kdj",
+        "hs",
+        1,
+        false,
+        "locality",
+        cfg.quantized_prefilter,
+        &mut || hs_kdj(&r, &s, k, cfg),
+    );
+    record(
+        "kdj",
+        "b",
+        1,
+        false,
+        "locality",
+        cfg.quantized_prefilter,
+        &mut || b_kdj(&r, &s, k, cfg),
+    );
+    record(
+        "kdj",
+        "am",
+        1,
+        false,
+        "locality",
+        cfg.quantized_prefilter,
+        &mut || am_kdj(&r, &s, k, cfg, &AmKdjOptions::default()),
+    );
+    // The prefilter ablation: the same aggressive kdj as "am" with the
+    // quantized screen forced off. Diffing the two rows' wall time and
+    // the on-row's quantized_rejects prices the prefilter on this
+    // workload.
+    let cfg_noq = JoinConfig {
+        quantized_prefilter: false,
+        ..cfg.clone()
+    };
+    record("kdj", "am", 1, false, "locality", false, &mut || {
+        am_kdj(&r, &s, k, &cfg_noq, &AmKdjOptions::default())
     });
     // SJ-SORT gets the paper's favorable oracle: the true k-th distance
     // (taken from an uncounted B-KDJ run before the measured one starts).
     let oracle_dmax = b_kdj(&r, &s, k, cfg).results.last().map_or(0.0, |p| p.dist);
-    record("kdj", "sjsort", 1, false, "locality", &mut || {
-        sj_sort(&r, &s, k, oracle_dmax, cfg)
-    });
+    record(
+        "kdj",
+        "sjsort",
+        1,
+        false,
+        "locality",
+        cfg.quantized_prefilter,
+        &mut || sj_sort(&r, &s, k, oracle_dmax, cfg),
+    );
     for t in thread_counts {
         for (steal, part, c) in sched_cells(t) {
-            record("kdj", "par", t, steal, part, &mut || {
-                par_b_kdj(&r, &s, k, &c, t)
-            });
+            record(
+                "kdj",
+                "par",
+                t,
+                steal,
+                part,
+                c.quantized_prefilter,
+                &mut || par_b_kdj(&r, &s, k, &c, t),
+            );
         }
     }
     for t in thread_counts {
         for (steal, part, c) in sched_cells(t) {
-            record("kdj", "par-am", t, steal, part, &mut || {
-                par_am_kdj(&r, &s, k, &c, &AmKdjOptions::default(), t)
-            });
+            record(
+                "kdj",
+                "par-am",
+                t,
+                steal,
+                part,
+                c.quantized_prefilter,
+                &mut || par_am_kdj(&r, &s, k, &c, &AmKdjOptions::default(), t),
+            );
         }
     }
     // The checkpoint-overhead row: the same aggressive kdj as the "am"
@@ -667,60 +735,90 @@ fn run_bench_matrix(n: usize, k: usize, seed: u64, cfg: &JoinConfig) -> Vec<Benc
     // Comparing its wall time against "am" prices checkpointing.
     let ckpt_path =
         std::env::temp_dir().join(format!("amdj-bench-ckpt-{}.snap", std::process::id()));
-    record("kdj", "am-ckpt", 1, false, "locality", &mut || {
-        let mut resume = None;
-        let mut written = 0u64;
-        loop {
-            let ctl = PauseCtl::every(5_000);
-            match kdj_resumable(&r, &s, k, cfg, true, 1, None, resume.take(), Some(&ctl))
-                .expect("fresh or self-produced snapshot is always valid")
-            {
-                Checkpointed::Done(out) => {
-                    ckpt_written.set(written);
-                    return out;
-                }
-                Checkpointed::Suspended(snap) => {
-                    write_checkpoint(&ckpt_path, snap.as_ref()).expect("checkpoint write");
-                    written += 1;
-                    resume = Some(*snap);
+    record(
+        "kdj",
+        "am-ckpt",
+        1,
+        false,
+        "locality",
+        cfg.quantized_prefilter,
+        &mut || {
+            let mut resume = None;
+            let mut written = 0u64;
+            loop {
+                let ctl = PauseCtl::every(5_000);
+                match kdj_resumable(&r, &s, k, cfg, true, 1, None, resume.take(), Some(&ctl))
+                    .expect("fresh or self-produced snapshot is always valid")
+                {
+                    Checkpointed::Done(out) => {
+                        ckpt_written.set(written);
+                        return out;
+                    }
+                    Checkpointed::Suspended(snap) => {
+                        write_checkpoint(&ckpt_path, snap.as_ref()).expect("checkpoint write");
+                        written += 1;
+                        resume = Some(*snap);
+                    }
                 }
             }
-        }
-    });
+        },
+    );
     let _ = std::fs::remove_file(&ckpt_path);
-    record("idj", "hs", 1, false, "locality", &mut || {
-        let mut cursor = HsIdj::new(&r, &s, cfg);
-        let mut results = Vec::with_capacity(k);
-        while results.len() < k {
-            match cursor.next() {
-                Some(p) => results.push(p),
-                None => break,
+    record(
+        "idj",
+        "hs",
+        1,
+        false,
+        "locality",
+        cfg.quantized_prefilter,
+        &mut || {
+            let mut cursor = HsIdj::new(&r, &s, cfg);
+            let mut results = Vec::with_capacity(k);
+            while results.len() < k {
+                match cursor.next() {
+                    Some(p) => results.push(p),
+                    None => break,
+                }
             }
-        }
-        JoinOutput {
-            results,
-            stats: cursor.stats(),
-        }
-    });
-    record("idj", "am", 1, false, "locality", &mut || {
-        let mut cursor = AmIdj::new(&r, &s, cfg, AmIdjOptions::default());
-        let mut results = Vec::with_capacity(k);
-        while results.len() < k {
-            match cursor.next() {
-                Some(p) => results.push(p),
-                None => break,
+            JoinOutput {
+                results,
+                stats: cursor.stats(),
             }
-        }
-        JoinOutput {
-            results,
-            stats: cursor.stats(),
-        }
-    });
+        },
+    );
+    record(
+        "idj",
+        "am",
+        1,
+        false,
+        "locality",
+        cfg.quantized_prefilter,
+        &mut || {
+            let mut cursor = AmIdj::new(&r, &s, cfg, AmIdjOptions::default());
+            let mut results = Vec::with_capacity(k);
+            while results.len() < k {
+                match cursor.next() {
+                    Some(p) => results.push(p),
+                    None => break,
+                }
+            }
+            JoinOutput {
+                results,
+                stats: cursor.stats(),
+            }
+        },
+    );
     for t in thread_counts {
         for (steal, part, c) in sched_cells(t) {
-            record("idj", "par-am", t, steal, part, &mut || {
-                par_am_idj(&r, &s, k, &c, &AmIdjOptions::default(), t)
-            });
+            record(
+                "idj",
+                "par-am",
+                t,
+                steal,
+                part,
+                c.quantized_prefilter,
+                &mut || par_am_idj(&r, &s, k, &c, &AmIdjOptions::default(), t),
+            );
         }
     }
     rows
@@ -743,24 +841,29 @@ fn bench_rows_json(n: usize, k: usize, seed: u64, rows: &[BenchRow]) -> String {
     // 8-thread steal-on vs steal-off rows; 4 added the partition column,
     // the buffer hit/miss totals with their per-worker breakdowns, and
     // the 8-thread locality vs round-robin rows; 5 added the am-ckpt
-    // checkpoint-overhead row and the checkpoints_written column.
-    out.push_str("  \"schema_version\": 5,\n");
+    // checkpoint-overhead row and the checkpoints_written column; 6 added
+    // the prefilter column, the quantized_rejects / exact_dist_skipped
+    // counters, and the kdj "am" prefilter-off ablation row.
+    out.push_str("  \"schema_version\": 6,\n");
     out.push_str(&format!(
         "  \"workload\": {{ \"n\": {n}, \"k\": {k}, \"seed\": {seed}, \"r\": \"uniform\", \"s\": \"clustered\" }},\n"
     ));
     out.push_str("  \"runs\": [\n");
     for (i, row) in rows.iter().enumerate() {
         out.push_str(&format!(
-            "    {{ \"op\": \"{}\", \"algo\": \"{}\", \"threads\": {}, \"steal\": {}, \"partition\": \"{}\", \"k\": {}, \"wall_time_s\": {:.6}, \"node_accesses\": {}, \"pairs_computed\": {}, \"results\": {}, \"pairs_stolen\": {}, \"steal_attempts\": {}, \"barrier_idle_ns\": {}, \"buffer_hits\": {}, \"buffer_misses\": {}, \"checkpoints_written\": {}, \"buffer_hits_by_worker\": {}, \"buffer_misses_by_worker\": {} }}{}\n",
+            "    {{ \"op\": \"{}\", \"algo\": \"{}\", \"threads\": {}, \"steal\": {}, \"partition\": \"{}\", \"prefilter\": {}, \"k\": {}, \"wall_time_s\": {:.6}, \"node_accesses\": {}, \"pairs_computed\": {}, \"quantized_rejects\": {}, \"exact_dist_skipped\": {}, \"results\": {}, \"pairs_stolen\": {}, \"steal_attempts\": {}, \"barrier_idle_ns\": {}, \"buffer_hits\": {}, \"buffer_misses\": {}, \"checkpoints_written\": {}, \"buffer_hits_by_worker\": {}, \"buffer_misses_by_worker\": {} }}{}\n",
             row.op,
             row.algo,
             row.threads,
             row.steal,
             row.partition,
+            row.prefilter,
             row.k,
             row.wall_time_s,
             row.node_accesses,
             row.pairs_computed,
+            row.quantized_rejects,
+            row.exact_dist_skipped,
             row.results,
             row.pairs_stolen,
             row.steal_attempts,

@@ -271,6 +271,9 @@ pub(crate) struct SweepScratch<const D: usize> {
     /// Taken from [`JoinConfig::batched_leaf_sweep`] at expansion time;
     /// gates the SoA leaf kernel so benches can ablate it.
     batch_enabled: bool,
+    /// Taken from [`JoinConfig::quantized_prefilter`] at expansion time;
+    /// arms the kernel's integer screen (see `engine::batch`).
+    prefilter_enabled: bool,
     batch: super::batch::BatchScratch,
 }
 
@@ -287,6 +290,7 @@ impl<const D: usize> SweepScratch<D> {
             marks: SweepMarks::default(),
             comp: CompScratch::default(),
             batch_enabled: true,
+            prefilter_enabled: true,
             batch: super::batch::BatchScratch::default(),
         }
     }
@@ -304,6 +308,7 @@ impl<const D: usize> SweepScratch<D> {
         let setup = choose_setup(&pair.a_mbr, &pair.b_mbr, cutoff, cfg);
         self.axis = setup.axis;
         self.batch_enabled = cfg.batched_leaf_sweep;
+        self.prefilter_enabled = cfg.quantized_prefilter;
         match pair.a {
             ItemRef::Node { page, .. } => {
                 let node = r.fetch(PageId(page));
@@ -353,6 +358,7 @@ impl<const D: usize> SweepScratch<D> {
     ) {
         self.axis = setup.axis;
         self.batch_enabled = cfg.batched_leaf_sweep;
+        self.prefilter_enabled = cfg.quantized_prefilter;
         fill_from_node(&mut self.left, nr, setup);
         self.left_objects = nr.is_leaf();
         self.left_child_level = nr.level.saturating_sub(1);
@@ -407,6 +413,7 @@ impl<const D: usize> SweepScratch<D> {
                     stats,
                     marks,
                     &mut self.batch,
+                    self.prefilter_enabled,
                 );
                 return;
             }
@@ -540,6 +547,15 @@ fn plane_sweep_into<const D: usize>(
 
 /// Scans partners for one anchor starting at `from` in the other list;
 /// returns the absolute index where the scan stopped (first unexamined).
+///
+/// With a frozen axis cutoff the window is fixed before any distance
+/// math, so the monotone axis-gap search runs as the same unroll-by-8
+/// lane pass the leaf kernel uses (over the AoS entries rather than SoA
+/// scratch) and the distance loop then walks the window without
+/// re-testing the axis — this is how interior-node sweeps under
+/// aggressive/frozen cutoffs get the lane treatment. Bit-identical to
+/// the live path: same gap expression, same break condition, same
+/// counting (the breaking partner counts as examined).
 #[allow(clippy::too_many_arguments)]
 fn scan<const D: usize>(
     anchor: &SweepEntry<D>,
@@ -558,6 +574,27 @@ fn scan<const D: usize>(
     } else {
         left.entries
     };
+    if let Some(w) = sink.fixed_axis_cutoff() {
+        let n = partners.len();
+        let stop = axis_window_stop(anchor, partners, from, axis, w);
+        stats.axis_dist += (if stop < n { stop + 1 } else { n } - from) as u64;
+        for (i, m) in partners.iter().enumerate().take(stop).skip(from) {
+            stats.real_dist += 1;
+            let real = anchor.mbr.min_dist(&m.mbr);
+            offer(
+                real,
+                i,
+                anchor,
+                anchor_idx,
+                anchor_is_left,
+                left,
+                right,
+                sink,
+                &mut marks,
+            );
+        }
+        return stop;
+    }
     for (i, m) in partners.iter().enumerate().skip(from) {
         stats.axis_dist += 1;
         let ad = anchor.mbr.axis_dist(&m.mbr, axis);
@@ -566,35 +603,108 @@ fn scan<const D: usize>(
         }
         stats.real_dist += 1;
         let real = anchor.mbr.min_dist(&m.mbr);
-        if real <= sink.real_cutoff() {
-            let (le, re) = if anchor_is_left {
-                (anchor, m)
-            } else {
-                (m, anchor)
-            };
-            sink.emit(Pair {
-                dist: real,
-                a: left.item_ref(le),
-                b: right.item_ref(re),
-                a_mbr: le.mbr,
-                b_mbr: re.mbr,
-            });
-        } else if let Some(m_) = marks.as_deref_mut() {
-            if m_.track_rejects {
-                let (li_, ri_) = if anchor_is_left {
-                    (anchor_idx, i)
-                } else {
-                    (i, anchor_idx)
-                };
-                m_.rejects.push(Reject {
-                    left: li_ as u32,
-                    right: ri_ as u32,
-                    dist: real,
-                });
-            }
-        }
+        offer(
+            real,
+            i,
+            anchor,
+            anchor_idx,
+            anchor_is_left,
+            left,
+            right,
+            sink,
+            &mut marks,
+        );
     }
     partners.len()
+}
+
+/// The unroll-by-[`LANES`](super::batch::LANES) axis window search over
+/// AoS entries: partners are sorted along `axis`, so the first one whose
+/// gap (same expression as [`Rect::axis_dist`]) exceeds `window` ends the
+/// scan. Lanes test eight partners per iteration into a bitmask; the
+/// first set bit locates the break exactly.
+fn axis_window_stop<const D: usize>(
+    anchor: &SweepEntry<D>,
+    partners: &[SweepEntry<D>],
+    from: usize,
+    axis: usize,
+    window: f64,
+) -> usize {
+    use super::batch::LANES;
+    let (a_lo, a_hi) = (anchor.mbr.lo()[axis], anchor.mbr.hi()[axis]);
+    let n = partners.len();
+    let mut j = from;
+    while j + LANES <= n {
+        let mut mask = 0u32;
+        for l in 0..LANES {
+            let m = &partners[j + l].mbr;
+            let gap = (a_lo - m.hi()[axis]).max(m.lo()[axis] - a_hi).max(0.0);
+            mask |= u32::from(gap > window) << l;
+        }
+        if mask != 0 {
+            return j + mask.trailing_zeros() as usize;
+        }
+        j += LANES;
+    }
+    while j < n {
+        let m = &partners[j].mbr;
+        let gap = (a_lo - m.hi()[axis]).max(m.lo()[axis] - a_hi).max(0.0);
+        if gap > window {
+            return j;
+        }
+        j += 1;
+    }
+    n
+}
+
+/// The per-candidate emit/reject decision shared by the scalar scan and
+/// the batched kernel's dense and sparse paths: compare against the
+/// *live* real cutoff, emit at or below it, record a reject (when
+/// tracking) above it.
+#[allow(clippy::too_many_arguments)]
+pub(super) fn offer<const D: usize>(
+    real: f64,
+    j: usize,
+    anchor: &SweepEntry<D>,
+    anchor_idx: usize,
+    anchor_is_left: bool,
+    left: SweepSide<'_, D>,
+    right: SweepSide<'_, D>,
+    sink: &mut impl SweepSink<D>,
+    marks: &mut Option<&mut SweepMarks>,
+) {
+    let partner = if anchor_is_left {
+        &right.entries[j]
+    } else {
+        &left.entries[j]
+    };
+    if real <= sink.real_cutoff() {
+        let (le, re) = if anchor_is_left {
+            (anchor, partner)
+        } else {
+            (partner, anchor)
+        };
+        sink.emit(Pair {
+            dist: real,
+            a: left.item_ref(le),
+            b: right.item_ref(re),
+            a_mbr: le.mbr,
+            b_mbr: re.mbr,
+        });
+    } else if let Some(m) = marks.as_deref_mut() {
+        if m.track_rejects {
+            let (li_, ri_) = if anchor_is_left {
+                (anchor_idx, j)
+            } else {
+                (j, anchor_idx)
+            };
+            m.rejects.push(Reject {
+                left: li_ as u32,
+                right: ri_ as u32,
+                dist: real,
+            });
+        }
+    }
 }
 
 /// Re-examines only the pairs a previous (aggressive) sweep skipped

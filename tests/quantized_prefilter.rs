@@ -1,0 +1,178 @@
+//! Join-level proofs for the quantized MBR prefilter: switching the
+//! integer screen on must never move a bit of any join's output, on
+//! random data *and* on the degenerate geometry the quantization grid
+//! has to survive — coincident rectangles, collinear points (a bounding
+//! box with a zero-width axis), and fully degenerate sweeps where every
+//! coordinate coincides and the grid disables itself.
+//!
+//! The kernel-level conservativeness property (the integer bound never
+//! exceeds the true `min_dist`) lives next to the kernel in
+//! `amdj-core`'s `engine::batch` tests; this suite pins the end-to-end
+//! consequence and the counter semantics:
+//! `real_dist(on) + exact_dist_skipped(on) == real_dist(off)`.
+
+use amdj_core::{am_kdj, sj_sort, within_join, AmKdjOptions, JoinConfig, ResultPair};
+use amdj_geom::Rect;
+use amdj_rtree::{RTree, RTreeParams};
+use proptest::prelude::*;
+
+fn trees(a: &[(Rect<2>, u64)], b: &[(Rect<2>, u64)]) -> (RTree<2>, RTree<2>) {
+    (
+        RTree::bulk_load(RTreeParams::for_tests(), a.to_vec()),
+        RTree::bulk_load(RTreeParams::for_tests(), b.to_vec()),
+    )
+}
+
+fn on_off() -> (JoinConfig, JoinConfig) {
+    let on = JoinConfig::unbounded();
+    let off = JoinConfig {
+        quantized_prefilter: false,
+        ..JoinConfig::unbounded()
+    };
+    (on, off)
+}
+
+fn assert_bit_identical(label: &str, want: &[ResultPair], got: &[ResultPair]) {
+    assert_eq!(want.len(), got.len(), "{label}: result count");
+    for (i, (a, b)) in want.iter().zip(got.iter()).enumerate() {
+        assert_eq!(
+            a.dist.to_bits(),
+            b.dist.to_bits(),
+            "{label}: rank {i} distance"
+        );
+        assert_eq!((a.r, a.s), (b.r, b.s), "{label}: rank {i} ids");
+    }
+}
+
+/// Runs every prefilter-sensitive join with the screen on and off and
+/// asserts bit-identity plus the counter ledger. `dmax` parameterizes
+/// the frozen-cutoff joins (within / SJ-SORT), `k` the adaptive one.
+fn check_all(label: &str, a: &[(Rect<2>, u64)], b: &[(Rect<2>, u64)], k: usize, dmax: f64) {
+    let (r, s) = trees(a, b);
+    let (on, off) = on_off();
+
+    let w_on = within_join(&r, &s, dmax, &on);
+    let w_off = within_join(&r, &s, dmax, &off);
+    assert_bit_identical(&format!("{label}: within"), &w_off.results, &w_on.results);
+    assert_eq!(
+        w_on.stats.real_dist + w_on.stats.exact_dist_skipped,
+        w_off.stats.real_dist,
+        "{label}: within counter ledger"
+    );
+    assert_eq!(w_on.stats.quantized_rejects, w_on.stats.exact_dist_skipped);
+    assert_eq!(w_off.stats.quantized_rejects, 0);
+
+    let sj_on = sj_sort(&r, &s, k, dmax, &on);
+    let sj_off = sj_sort(&r, &s, k, dmax, &off);
+    assert_bit_identical(
+        &format!("{label}: sj_sort"),
+        &sj_off.results,
+        &sj_on.results,
+    );
+
+    let am_on = am_kdj(&r, &s, k, &on, &AmKdjOptions::default());
+    let am_off = am_kdj(&r, &s, k, &off, &AmKdjOptions::default());
+    assert_bit_identical(&format!("{label}: am_kdj"), &am_off.results, &am_on.results);
+    assert_eq!(
+        am_on.stats.real_dist + am_on.stats.exact_dist_skipped,
+        am_off.stats.real_dist,
+        "{label}: am_kdj counter ledger"
+    );
+}
+
+/// Coincident points: the sweep bounding box is a single point, the grid
+/// refuses to build (`cw` would be zero), and the kernel must fall back
+/// to the dense path untouched.
+#[test]
+fn all_coincident_rectangles() {
+    let a: Vec<_> = (0..40)
+        .map(|i| (Rect::new([5.0, 5.0], [5.0, 5.0]), i))
+        .collect();
+    let b = a.clone();
+    check_all("coincident", &a, &b, 10, 0.5);
+}
+
+/// Collinear points: one bounding-box axis has zero width, so that
+/// dimension quantizes to cell 0 everywhere while the other carries all
+/// the rejection power.
+#[test]
+fn collinear_zero_width_axis() {
+    let a: Vec<_> = (0..60)
+        .map(|i| {
+            let x = i as f64 * 1.7;
+            (Rect::new([x, 3.0], [x, 3.0]), i)
+        })
+        .collect();
+    let b: Vec<_> = (0..60)
+        .map(|i| {
+            let x = i as f64 * 2.3 + 0.4;
+            (Rect::new([x, 3.0], [x, 3.0]), i)
+        })
+        .collect();
+    check_all("collinear", &a, &b, 15, 4.0);
+}
+
+/// The frozen-cutoff joins on a workload big enough that the screen
+/// actually fires: the prefilter must reject a healthy share of
+/// candidates (else it is dead code) while the ledger stays balanced.
+#[test]
+fn prefilter_actually_rejects() {
+    let a: Vec<_> = (0..1600)
+        .map(|i| {
+            let x = (i % 40) as f64 * 2.0 + ((i as f64) * 0.000137).sin() * 0.01;
+            let y = (i / 40) as f64 * 2.0 + ((i as f64) * 0.000271).cos() * 0.01;
+            (Rect::new([x, y], [x, y]), i as u64)
+        })
+        .collect();
+    let b: Vec<_> = (0..1600)
+        .map(|i| {
+            let x = (i % 40) as f64 * 2.0 + 0.9;
+            let y = (i / 40) as f64 * 2.0 + 0.7;
+            (Rect::new([x, y], [x, y]), i as u64)
+        })
+        .collect();
+    let (r, s) = trees(&a, &b);
+    let (on, off) = on_off();
+    let w_on = within_join(&r, &s, 1.3, &on);
+    let w_off = within_join(&r, &s, 1.3, &off);
+    assert_bit_identical("dense within", &w_off.results, &w_on.results);
+    assert!(
+        w_on.stats.quantized_rejects > 0,
+        "prefilter never fired on a workload built to trip it"
+    );
+    assert_eq!(
+        w_on.stats.real_dist + w_on.stats.exact_dist_skipped,
+        w_off.stats.real_dist
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: amdj_tests::proptest_cases(16),
+        ..ProptestConfig::default()
+    })]
+
+    /// Random rectangles with snapped coordinates (degenerate extents and
+    /// exact coincidences are common, not measure-zero): prefilter on is
+    /// bit-identical to prefilter off for every join that arms it.
+    #[test]
+    fn prefilter_bit_identical_random(
+        raw_a in prop::collection::vec(
+            (0i64..200, 0i64..200, 0i64..8, 0i64..8), 1..70),
+        raw_b in prop::collection::vec(
+            (0i64..200, 0i64..200, 0i64..8, 0i64..8), 1..70),
+        k in 1usize..60,
+        dmax_tenths in 1i64..120,
+    ) {
+        let snap = |raw: Vec<(i64, i64, i64, i64)>| -> Vec<(Rect<2>, u64)> {
+            raw.into_iter()
+                .enumerate()
+                .map(|(i, (x, y, w, h))| {
+                    let (x, y) = (x as f64 * 0.5, y as f64 * 0.5);
+                    (Rect::new([x, y], [x + w as f64, y + h as f64]), i as u64)
+                })
+                .collect()
+        };
+        check_all("random", &snap(raw_a), &snap(raw_b), k, dmax_tenths as f64 * 0.1);
+    }
+}
