@@ -6,7 +6,7 @@
 //! amdj generate --kind tiger-streets|tiger-hydro|uniform|clustered --n N [--seed S] --out data.csv
 //! amdj build    --input data.csv --out index.amdj
 //! amdj kdj      --r a.amdj --s b.amdj --k K [--algo am|b|hs|par|par-am] [--threads T]
-//!               [--checkpoint-path P] [--checkpoint-every N] [--resume P]
+//!               [--partitions P] [--checkpoint-path P] [--checkpoint-every N] [--resume P]
 //! amdj idj      --r a.amdj --s b.amdj --take N [--batch B] [--algo am|par-am] [--threads T]
 //!               [--checkpoint-path P] [--checkpoint-every N] [--resume P]
 //! amdj within   --r a.amdj --s b.amdj --dist D
@@ -39,13 +39,17 @@ use amdj_core::{
     AmKdjOptions, Checkpointed, EngineSnapshot, HsIdj, JoinConfig, JoinOutput, Partition, PauseCtl,
     SnapshotError,
 };
-use amdj_datagen::{clustered_points, tiger::Geography, uniform_points, unit_universe, Dataset};
+use amdj_datagen::{
+    clustered_points,
+    tiger::{self, Geography},
+    uniform_points, unit_universe, Dataset,
+};
 use amdj_geom::Rect;
 use amdj_rtree::{RTree, RTreeParams};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  amdj generate --kind tiger-streets|tiger-hydro|uniform|clustered --n N [--seed S] --out data.csv\n  amdj build    --input data.csv --out index.amdj\n  amdj kdj      --r a.amdj --s b.amdj --k K [--algo am|b|hs|par|par-am] [--threads T]\n                [--checkpoint-path P] [--checkpoint-every N] [--resume P]\n  amdj idj      --r a.amdj --s b.amdj --take N [--batch B] [--algo am|par-am] [--threads T]\n                [--checkpoint-path P] [--checkpoint-every N] [--resume P]\n  amdj within   --r a.amdj --s b.amdj --dist D\n  amdj knn      --r a.amdj --s b.amdj --k K\n  amdj bench    [--n N] [--k K] [--seed S] [--json [FILE]]\n  (any join command also accepts --no-prefilter to disable the quantized MBR prefilter)"
+        "usage:\n  amdj generate --kind tiger-streets|tiger-hydro|uniform|clustered --n N [--seed S] --out data.csv\n  amdj build    --input data.csv --out index.amdj\n  amdj kdj      --r a.amdj --s b.amdj --k K [--algo am|b|hs|par|par-am] [--threads T]\n                [--partitions P] [--checkpoint-path P] [--checkpoint-every N] [--resume P]\n  amdj idj      --r a.amdj --s b.amdj --take N [--batch B] [--algo am|par-am] [--threads T]\n                [--checkpoint-path P] [--checkpoint-every N] [--resume P]\n  amdj within   --r a.amdj --s b.amdj --dist D\n  amdj knn      --r a.amdj --s b.amdj --k K\n  amdj bench    [--n N] [--k K] [--seed S] [--json [FILE]]\n  (any join command also accepts --no-prefilter to disable the quantized MBR prefilter)"
     );
     ExitCode::from(2)
 }
@@ -330,7 +334,29 @@ fn run() -> Result<ExitCode, String> {
             if threads != 0 && algo != "par" && algo != "par-am" {
                 return Err("--threads only applies to --algo par or par-am".to_string());
             }
+            // `--partitions P` (P ≥ 2) runs the join as a partitioned
+            // plan: STR tiling, bounds-only partition-pair pruning, one
+            // engine invocation per surviving pair. Engine algorithms
+            // only — `hs` has its own driver — and not combinable with
+            // checkpointing (the plan is not resumable).
+            let partitions: usize = flags
+                .get("partitions")
+                .map_or(Ok(0), |v| v.parse())
+                .map_err(|e| format!("--partitions: {e}"))?;
+            if partitions > 1 {
+                if algo == "hs" {
+                    return Err("--partitions does not apply to --algo hs".to_string());
+                }
+                cfg.partitions = Some(partitions);
+            }
             if let Some(ckpt) = parse_ckpt(&flags)? {
+                if cfg.partitions.is_some() {
+                    return Err(
+                        "--partitions cannot be combined with checkpoint flags: the \
+                         partitioned plan is not resumable"
+                            .to_string(),
+                    );
+                }
                 let aggressive = match algo {
                     "am" | "par-am" => true,
                     "b" | "par" => false,
@@ -517,9 +543,11 @@ fn run() -> Result<ExitCode, String> {
             let rows = run_bench_matrix(n, k, seed, &cfg);
             for row in &rows {
                 eprintln!(
-                    "# {:<4} {:<7} threads={} steal={} part={} q={} k={} wall={:.4}s nodes={} dists={} qrej={} results={} stolen={} idle={}ns buf={}h/{}m",
+                    "# {:<4} {:<7} ds={} parts={} threads={} steal={} part={} q={} k={} wall={:.4}s nodes={} dists={} qrej={} results={} stolen={} idle={}ns buf={}h/{}m ppruned={}",
                     row.op,
                     row.algo,
+                    row.dataset,
+                    row.partitions,
                     row.threads,
                     row.steal,
                     row.partition,
@@ -533,7 +561,8 @@ fn run() -> Result<ExitCode, String> {
                     row.pairs_stolen,
                     row.barrier_idle_ns,
                     row.buffer_hits,
-                    row.buffer_misses
+                    row.buffer_misses,
+                    row.partition_pairs_pruned
                 );
             }
             if let Some(path) = json_out {
@@ -551,6 +580,10 @@ fn run() -> Result<ExitCode, String> {
 struct BenchRow {
     op: &'static str,
     algo: &'static str,
+    /// Which workload the row ran on: the default `uniform-clustered`
+    /// pairing, or one of the partition-ablation distributions
+    /// (`clustered`, `arizona`).
+    dataset: &'static str,
     threads: usize,
     steal: bool,
     /// `"locality"` or `"rr"` — the seed/work partitioner of the
@@ -575,6 +608,16 @@ struct BenchRow {
     /// Snapshots written during the run (non-zero only for the
     /// checkpoint-overhead rows).
     checkpoints: u64,
+    /// Per-side STR tile target of the partitioned plan (0 = monolithic).
+    partitions: usize,
+    /// The partitioned plan's ledger: pairs enumerated, pruned by the
+    /// bounds-only pre-filter, replayed when the proven bound demanded
+    /// it, and conclusively discarded. All zero on monolithic rows;
+    /// `pruned == replayed + never_needed` always.
+    partition_pairs_total: u64,
+    partition_pairs_pruned: u64,
+    partition_pairs_replayed: u64,
+    partition_pairs_never_needed: u64,
     /// Per-worker buffer hits, trimmed to the row's thread count — the
     /// cache-residency split the locality partitioner exists to improve.
     hits_by_worker: Vec<u64>,
@@ -618,6 +661,11 @@ fn run_bench_matrix(n: usize, k: usize, seed: u64, cfg: &JoinConfig) -> Vec<Benc
     let mut rows = Vec::new();
     // Set by the checkpoint-overhead runs, harvested (and reset) per row.
     let ckpt_written = std::cell::Cell::new(0u64);
+    // Row provenance for the partition-ablation section: every `record`
+    // call stamps the current dataset label and partition count. The
+    // defaults cover the whole classic matrix above it.
+    let cur_dataset = std::cell::Cell::new("uniform-clustered");
+    let cur_partitions = std::cell::Cell::new(0usize);
     let mut record = |op,
                       algo,
                       threads: usize,
@@ -632,6 +680,7 @@ fn run_bench_matrix(n: usize, k: usize, seed: u64, cfg: &JoinConfig) -> Vec<Benc
         rows.push(BenchRow {
             op,
             algo,
+            dataset: cur_dataset.get(),
             threads,
             steal,
             partition,
@@ -649,6 +698,11 @@ fn run_bench_matrix(n: usize, k: usize, seed: u64, cfg: &JoinConfig) -> Vec<Benc
             buffer_hits: out.stats.buffer_hits,
             buffer_misses: out.stats.buffer_misses,
             checkpoints: ckpt_written.take(),
+            partitions: cur_partitions.get(),
+            partition_pairs_total: out.stats.partition_pairs_total,
+            partition_pairs_pruned: out.stats.partition_pairs_pruned,
+            partition_pairs_replayed: out.stats.partition_pairs_replayed,
+            partition_pairs_never_needed: out.stats.partition_pairs_never_needed,
             hits_by_worker: out.stats.buffer_hits_by_worker[..trim].to_vec(),
             misses_by_worker: out.stats.buffer_misses_by_worker[..trim].to_vec(),
         });
@@ -821,6 +875,43 @@ fn run_bench_matrix(n: usize, k: usize, seed: u64, cfg: &JoinConfig) -> Vec<Benc
             );
         }
     }
+    // Partitioned-vs-monolithic ablation, on distributions where the
+    // bounds-only partition-pair pre-filter actually fires: two
+    // independent clustered sets, and the TIGER-like Arizona streets ×
+    // hydrography workload (scaled so streets ≈ n). Each dataset gets
+    // the aggressive kdj monolithically and again as an 8-partition
+    // plan — diffing the row pair prices STR tiling plus pruning, and
+    // because the plan is bit-identical their `results` must agree.
+    let (az_streets, az_hydro) = tiger::arizona_workload(n as f64 / 633_461.0, seed + 2);
+    let part_workloads: [(&'static str, Dataset, Dataset); 2] = [
+        (
+            "clustered",
+            clustered_points(n, 16, 0.02, unit_universe(), seed + 3),
+            clustered_points(n, 16, 0.02, unit_universe(), seed + 4),
+        ),
+        ("arizona", az_streets, az_hydro),
+    ];
+    for (label, ra, sb) in part_workloads {
+        let rp = RTree::bulk_load(RTreeParams::paper_defaults(), ra);
+        let sp = RTree::bulk_load(RTreeParams::paper_defaults(), sb);
+        cur_dataset.set(label);
+        for parts in [0usize, 8] {
+            cur_partitions.set(parts);
+            let c = JoinConfig {
+                partitions: (parts > 1).then_some(parts),
+                ..cfg.clone()
+            };
+            record(
+                "kdj",
+                "am",
+                1,
+                false,
+                "locality",
+                c.quantized_prefilter,
+                &mut || am_kdj(&rp, &sp, k, &c, &AmKdjOptions::default()),
+            );
+        }
+    }
     rows
 }
 
@@ -843,22 +934,27 @@ fn bench_rows_json(n: usize, k: usize, seed: u64, rows: &[BenchRow]) -> String {
     // the 8-thread locality vs round-robin rows; 5 added the am-ckpt
     // checkpoint-overhead row and the checkpoints_written column; 6 added
     // the prefilter column, the quantized_rejects / exact_dist_skipped
-    // counters, and the kdj "am" prefilter-off ablation row.
-    out.push_str("  \"schema_version\": 6,\n");
+    // counters, and the kdj "am" prefilter-off ablation row; 7 added the
+    // dataset and partitions columns, the partition_pairs_* ledger
+    // counters, and the partitioned-vs-monolithic ablation rows on the
+    // clustered and arizona workloads.
+    out.push_str("  \"schema_version\": 7,\n");
     out.push_str(&format!(
         "  \"workload\": {{ \"n\": {n}, \"k\": {k}, \"seed\": {seed}, \"r\": \"uniform\", \"s\": \"clustered\" }},\n"
     ));
     out.push_str("  \"runs\": [\n");
     for (i, row) in rows.iter().enumerate() {
         out.push_str(&format!(
-            "    {{ \"op\": \"{}\", \"algo\": \"{}\", \"threads\": {}, \"steal\": {}, \"partition\": \"{}\", \"prefilter\": {}, \"k\": {}, \"wall_time_s\": {:.6}, \"node_accesses\": {}, \"pairs_computed\": {}, \"quantized_rejects\": {}, \"exact_dist_skipped\": {}, \"results\": {}, \"pairs_stolen\": {}, \"steal_attempts\": {}, \"barrier_idle_ns\": {}, \"buffer_hits\": {}, \"buffer_misses\": {}, \"checkpoints_written\": {}, \"buffer_hits_by_worker\": {}, \"buffer_misses_by_worker\": {} }}{}\n",
+            "    {{ \"op\": \"{}\", \"algo\": \"{}\", \"dataset\": \"{}\", \"threads\": {}, \"steal\": {}, \"partition\": \"{}\", \"prefilter\": {}, \"k\": {}, \"partitions\": {}, \"wall_time_s\": {:.6}, \"node_accesses\": {}, \"pairs_computed\": {}, \"quantized_rejects\": {}, \"exact_dist_skipped\": {}, \"results\": {}, \"pairs_stolen\": {}, \"steal_attempts\": {}, \"barrier_idle_ns\": {}, \"buffer_hits\": {}, \"buffer_misses\": {}, \"checkpoints_written\": {}, \"partition_pairs_total\": {}, \"partition_pairs_pruned\": {}, \"partition_pairs_replayed\": {}, \"partition_pairs_never_needed\": {}, \"buffer_hits_by_worker\": {}, \"buffer_misses_by_worker\": {} }}{}\n",
             row.op,
             row.algo,
+            row.dataset,
             row.threads,
             row.steal,
             row.partition,
             row.prefilter,
             row.k,
+            row.partitions,
             row.wall_time_s,
             row.node_accesses,
             row.pairs_computed,
@@ -871,6 +967,10 @@ fn bench_rows_json(n: usize, k: usize, seed: u64, rows: &[BenchRow]) -> String {
             row.buffer_hits,
             row.buffer_misses,
             row.checkpoints,
+            row.partition_pairs_total,
+            row.partition_pairs_pruned,
+            row.partition_pairs_replayed,
+            row.partition_pairs_never_needed,
             json_u64_array(&row.hits_by_worker),
             json_u64_array(&row.misses_by_worker),
             if i + 1 == rows.len() { "" } else { "," }

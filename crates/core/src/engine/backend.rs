@@ -3,9 +3,18 @@
 //!
 //! [`Sequential`] runs one [`ExpansionDriver`] (or one
 //! [`StageDriver`](super::stage::StageDriver)) to completion.
-//! [`Parallel`] partitions the pair space across workers that share both
-//! trees through `&RTree` and one global CAS-min pruning bound
-//! ([`MinBound`]).
+//! [`Parallel`] runs the claim-round scheduler of the
+//! [`steal`](super::steal) module: the frontier lives in per-worker
+//! ascending deques that workers claim prefixes of, and — when
+//! [`JoinConfig::steal`] is on, the default — drained workers steal the
+//! tail half of a loaded peer's claimable prefix instead of idling at the
+//! stage barrier. With stealing off the same scheduler runs without peer
+//! probes: each worker consumes only its own statically partitioned
+//! deque, `JoinStats::pairs_stolen`/`steal_attempts` stay zero, and
+//! [`JoinStats::barrier_idle_ns`] measures the idle time the static
+//! split imposes. Either way the path is the checkpointable one — a
+//! fired [`PauseCtl`](super::checkpoint::PauseCtl) drains every worker
+//! into one canonical frontier snapshot (DESIGN.md §9).
 //!
 //! # Exactness of the parallel backend
 //!
@@ -32,6 +41,15 @@
 //! *larger* bound: reads can be `Relaxed` and correctness never depends
 //! on timing.
 //!
+//! The bound can also be supplied from *outside* the run
+//! ([`ExecBackend::run_kdj_bounded`]): the partitioned execution plan
+//! ([`plan`](super::plan)) threads one `MinBound` through every
+//! per-partition-pair engine invocation, so a pair that finishes early
+//! tightens the cutoff of every pair still running. The soundness
+//! argument is unchanged — published values are still k-th-of-k real
+//! distinct-pair distances, now drawn from a partition of the same
+//! object-pair space.
+//!
 //! Under the aggressive policy, each worker parks its skipped-pair
 //! bookkeeping in a *per-worker* compensation queue (no contention). When
 //! every worker has finished its aggressive stage, the leftovers — parked
@@ -44,40 +62,22 @@
 //! the pooled k smallest stage-one distances, so their `qDmax` starts
 //! tight instead of at infinity.
 //!
-//! # Work stealing
-//!
-//! [`Parallel`] has two scheduling modes, selected by
-//! [`JoinConfig::steal`]. With stealing off, this module's static path
-//! runs: the frontier is partitioned once (per
-//! [`JoinConfig::partition`](crate::JoinConfig::partition)) and a drained
-//! worker idles at the stage barrier ([`JoinStats::barrier_idle_ns`]
-//! measures exactly that idle time). With stealing on (the default), the
-//! [`steal`](super::steal) module keeps the frontier in per-worker deques
-//! that drained workers steal from — same drivers, same shared bound,
-//! same pooled compensation hand-off; only the distribution of seeds to
-//! workers becomes dynamic. Results are bit-identical either way, which
-//! `tests/steal_schedules.rs` pins under adversarial
-//! [`TestSchedule`](super::steal::TestSchedule) perturbations. See
-//! DESIGN.md §7 for the full design.
-//!
 //! [`JoinConfig::steal`]: crate::JoinConfig::steal
 //! [`JoinStats::barrier_idle_ns`]: crate::JoinStats::barrier_idle_ns
 
 use amdj_rtree::RTree;
 
-use crate::stats::{Baseline, WorkerBufferSpan};
+use crate::stats::Baseline;
 use crate::{
-    AmIdjOptions, DistanceQueue, Estimator, ItemRef, JoinConfig, JoinOutput, JoinStats, Pair,
-    ResultPair,
+    AmIdjOptions, Estimator, ItemRef, JoinConfig, JoinOutput, JoinStats, Pair, ResultPair,
 };
 
 use super::bound::MinBound;
-use super::driver::{ExpansionDriver, StageOnePool};
-use super::partition::partition;
+use super::driver::ExpansionDriver;
 use super::policy::PruningPolicy;
 use super::stage::StageDriver;
 use super::steal::{self, TestSchedule};
-use super::sweep::{CompEntry, MarkMode, SweepScratch, SweepSink};
+use super::sweep::{MarkMode, SweepScratch, SweepSink};
 
 /// How a join executes: one driver, or a fleet of frontier-partitioned
 /// workers. Backends own thread management, work distribution between
@@ -92,6 +92,23 @@ pub trait ExecBackend {
         k: usize,
         cfg: &JoinConfig,
         policy: &P,
+    ) -> JoinOutput {
+        self.run_kdj_bounded(r, s, k, cfg, policy, None)
+    }
+
+    /// [`run_kdj`](Self::run_kdj), with the run's cutoffs clamped to (and
+    /// its proven `qDmax` published into) an externally owned shared
+    /// [`MinBound`]. This is the seam the partitioned execution plan
+    /// (`engine::plan`) links per-partition-pair invocations through;
+    /// monolithic joins pass `None` and own a private bound.
+    fn run_kdj_bounded<const D: usize, P: PruningPolicy>(
+        &self,
+        r: &RTree<D>,
+        s: &RTree<D>,
+        k: usize,
+        cfg: &JoinConfig,
+        policy: &P,
+        shared: Option<&MinBound>,
     ) -> JoinOutput;
 
     /// Runs the incremental distance join, materializing its first `take`
@@ -111,18 +128,20 @@ pub trait ExecBackend {
 pub struct Sequential;
 
 impl ExecBackend for Sequential {
-    fn run_kdj<const D: usize, P: PruningPolicy>(
+    fn run_kdj_bounded<const D: usize, P: PruningPolicy>(
         &self,
         r: &RTree<D>,
         s: &RTree<D>,
         k: usize,
         cfg: &JoinConfig,
         policy: &P,
+        shared: Option<&MinBound>,
     ) -> JoinOutput {
         let baseline = Baseline::capture(r, s);
         let est = Estimator::from_trees(r, s);
         let edmax0 = policy.initial_edmax(est.as_ref(), k);
-        let mut drv = ExpansionDriver::new(r, s, cfg, k, est.as_ref(), P::AGGRESSIVE, edmax0, None);
+        let mut drv =
+            ExpansionDriver::new(r, s, cfg, k, est.as_ref(), P::AGGRESSIVE, edmax0, shared);
         if k > 0 {
             drv.seed_roots();
         }
@@ -160,12 +179,13 @@ impl ExecBackend for Sequential {
 /// pooled compensation queues between the stages. `threads == 0` uses
 /// [`std::thread::available_parallelism`]. Workers steal from each other
 /// unless [`JoinConfig::steal`](crate::JoinConfig::steal) turns the
-/// dynamic scheduling off.
+/// dynamic scheduling off (the claim-round machinery then runs without
+/// peer probes — see the module docs).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct Parallel {
     /// Worker count; `0` resolves to the machine's available parallelism.
     pub threads: usize,
-    /// Deterministic schedule perturbation for the work-stealing path —
+    /// Deterministic schedule perturbation for the claim/steal protocol —
     /// test-only machinery; leave `None` in production use.
     pub schedule: Option<TestSchedule>,
 }
@@ -181,139 +201,17 @@ impl Parallel {
 }
 
 impl ExecBackend for Parallel {
-    fn run_kdj<const D: usize, P: PruningPolicy>(
+    fn run_kdj_bounded<const D: usize, P: PruningPolicy>(
         &self,
         r: &RTree<D>,
         s: &RTree<D>,
         k: usize,
         cfg: &JoinConfig,
         policy: &P,
+        shared: Option<&MinBound>,
     ) -> JoinOutput {
         let threads = resolve_threads(self.threads);
-        if cfg.steal {
-            return steal::run_kdj::<D, P>(r, s, k, cfg, policy, threads, self.schedule);
-        }
-        let baseline = Baseline::capture(r, s);
-        let mut stats = JoinStats {
-            stages: 1,
-            ..JoinStats::default()
-        };
-        let est = Estimator::from_trees(r, s);
-        let edmax0 = policy.initial_edmax(est.as_ref(), k);
-        let shared = MinBound::new(f64::INFINITY);
-        let mut results = Vec::new();
-        let mut queue_io = 0.0;
-        if k > 0 {
-            let mut frontier = seed_frontier(r, s, cfg, frontier_target(threads), &mut stats);
-            // Ascending by distance, then partitioned per `cfg.partition`
-            // (each share stays ascending either way).
-            frontier.sort_unstable_by(|a, b| a.dist.total_cmp(&b.dist));
-            let seeds = partition(frontier, threads, cfg.partition);
-            let est = est.as_ref();
-            let shared = &shared;
-
-            // ---- Stage one, in parallel ----
-            let t0 = std::time::Instant::now();
-            let outcomes = std::thread::scope(|scope| {
-                let handles: Vec<_> = seeds
-                    .into_iter()
-                    .enumerate()
-                    .filter(|(_, seed)| !seed.is_empty())
-                    .map(|(w, seed)| {
-                        scope.spawn(move || {
-                            let span = WorkerBufferSpan::begin(w);
-                            let mut out =
-                                stage_one_worker::<D, P>(r, s, k, cfg, est, seed, edmax0, shared);
-                            span.record(&mut out.stats);
-                            (out, t0.elapsed().as_nanos() as u64)
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("worker panicked"))
-                    .collect::<Vec<_>>()
-            });
-            let finishes: Vec<u64> = outcomes.iter().map(|(_, ns)| *ns).collect();
-            stats.barrier_idle_ns += barrier_idle(&finishes);
-            let mut leftovers = Vec::new();
-            let mut comps = Vec::new();
-            let mut pool = Vec::new();
-            for (outcome, _) in outcomes {
-                results.extend(outcome.results);
-                leftovers.extend(outcome.leftovers);
-                comps.extend(outcome.comps);
-                pool.extend(outcome.dists);
-                stats.absorb_worker(&outcome.stats);
-                queue_io += outcome.queue_io;
-            }
-
-            if P::AGGRESSIVE {
-                // Pool the workers' retained distance queues: their merged
-                // k-th smallest is the tightest proven bound stage one
-                // produced (every retained distance is a real pair
-                // distance of a distinct pair), so publish it once more
-                // before pruning the pooled leftovers.
-                pool.sort_unstable_by(f64::total_cmp);
-                pool.truncate(k);
-                if pool.len() == k {
-                    let kth = pool[k - 1];
-                    if kth.is_finite() && shared.tighten(kth) {
-                        stats.bound_tightenings += 1;
-                    }
-                }
-                let bound = shared.get();
-                leftovers.retain(|p| p.dist <= bound);
-                comps.retain(|e| e.key <= bound);
-
-                // ---- Stage two: compensation, in parallel ----
-                if !leftovers.is_empty() || !comps.is_empty() {
-                    stats.stages = 2;
-                    leftovers.sort_unstable_by(|a, b| a.dist.total_cmp(&b.dist));
-                    comps.sort_unstable_by(|a, b| a.key.total_cmp(&b.key));
-                    let work: Vec<_> = partition(leftovers, threads, cfg.partition)
-                        .into_iter()
-                        .zip(partition(comps, threads, cfg.partition))
-                        .collect();
-                    let pool = &pool;
-                    let t0 = std::time::Instant::now();
-                    let comp_outputs = std::thread::scope(|scope| {
-                        let handles: Vec<_> = work
-                            .into_iter()
-                            .enumerate()
-                            .filter(|(_, (pairs, entries))| {
-                                !pairs.is_empty() || !entries.is_empty()
-                            })
-                            .map(|(w, work)| {
-                                scope.spawn(move || {
-                                    let span = WorkerBufferSpan::begin(w);
-                                    let mut out =
-                                        stage_two_worker(r, s, k, cfg, est, work, pool, shared);
-                                    span.record(&mut out.1);
-                                    (out, t0.elapsed().as_nanos() as u64)
-                                })
-                            })
-                            .collect();
-                        handles
-                            .into_iter()
-                            .map(|h| h.join().expect("worker panicked"))
-                            .collect::<Vec<_>>()
-                    });
-                    let finishes: Vec<u64> = comp_outputs.iter().map(|(_, ns)| *ns).collect();
-                    stats.barrier_idle_ns += barrier_idle(&finishes);
-                    for ((mut part, wstats, wio), _) in comp_outputs {
-                        results.append(&mut part);
-                        stats.absorb_worker(&wstats);
-                        queue_io += wio;
-                    }
-                }
-            }
-            sort_canonical(&mut results);
-            results.truncate(k);
-        }
-        stats.results = results.len() as u64;
-        baseline.finish(r, s, &mut stats, queue_io);
-        JoinOutput { results, stats }
+        steal::run_kdj::<D, P>(r, s, k, cfg, policy, threads, self.schedule, shared)
     }
 
     fn run_idj<const D: usize>(
@@ -325,142 +223,8 @@ impl ExecBackend for Parallel {
         opts: &AmIdjOptions,
     ) -> JoinOutput {
         let threads = resolve_threads(self.threads);
-        if cfg.steal {
-            return steal::run_idj(r, s, take, cfg, opts, threads, self.schedule);
-        }
-        let baseline = Baseline::capture(r, s);
-        let mut stats = JoinStats {
-            stages: 1,
-            ..JoinStats::default()
-        };
-        let shared = MinBound::new(f64::INFINITY);
-        let mut results = Vec::new();
-        let mut queue_io = 0.0;
-        if take > 0 {
-            let mut frontier = seed_frontier(r, s, cfg, frontier_target(threads), &mut stats);
-            frontier.sort_unstable_by(|a, b| a.dist.total_cmp(&b.dist));
-            let seeds = partition(frontier, threads, cfg.partition);
-            let shared = &shared;
-            let t0 = std::time::Instant::now();
-            let worker_outputs = std::thread::scope(|scope| {
-                let handles: Vec<_> = seeds
-                    .into_iter()
-                    .enumerate()
-                    .filter(|(_, seed)| !seed.is_empty())
-                    .map(|(w, seed)| {
-                        let opts = opts.clone();
-                        scope.spawn(move || {
-                            let span = WorkerBufferSpan::begin(w);
-                            let mut out = idj_worker(r, s, take, cfg, opts, seed, shared);
-                            span.record(&mut out.1);
-                            (out, t0.elapsed().as_nanos() as u64)
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("worker panicked"))
-                    .collect::<Vec<_>>()
-            });
-            let finishes: Vec<u64> = worker_outputs.iter().map(|(_, ns)| *ns).collect();
-            stats.barrier_idle_ns += barrier_idle(&finishes);
-            for ((mut part, wstats, wio), _) in worker_outputs {
-                results.append(&mut part);
-                stats.stages = stats.stages.max(wstats.stages);
-                stats.absorb_worker(&wstats);
-                queue_io += wio;
-            }
-            sort_canonical(&mut results);
-            results.truncate(take);
-        }
-        stats.results = results.len() as u64;
-        baseline.finish(r, s, &mut stats, queue_io);
-        JoinOutput { results, stats }
+        steal::run_idj(r, s, take, cfg, opts, threads, self.schedule)
     }
-}
-
-/// One worker's stage one: an [`ExpansionDriver`] over a frontier
-/// partition, clamped to (and publishing into) the shared bound. Exact
-/// workers finish their partition outright and return no pooled work.
-#[allow(clippy::too_many_arguments)]
-fn stage_one_worker<const D: usize, P: PruningPolicy>(
-    r: &RTree<D>,
-    s: &RTree<D>,
-    k: usize,
-    cfg: &JoinConfig,
-    est: Option<&Estimator<D>>,
-    seed: Vec<Pair<D>>,
-    edmax0: f64,
-    shared: &MinBound,
-) -> StageOnePool<D> {
-    let mut drv = ExpansionDriver::new(r, s, cfg, k, est, P::AGGRESSIVE, edmax0, Some(shared));
-    drv.seed_counted(seed);
-    drv.run_stage_one();
-    drv.into_pool(P::AGGRESSIVE)
-}
-
-/// One worker's compensation stage: replays redistributed leftovers and
-/// parked entries with exact (`min(qDmax, shared)`) cutoffs, its distance
-/// queue pre-seeded with the pooled stage-one distances.
-#[allow(clippy::too_many_arguments)] // internal worker; mirrors stage_one_worker
-fn stage_two_worker<const D: usize>(
-    r: &RTree<D>,
-    s: &RTree<D>,
-    k: usize,
-    cfg: &JoinConfig,
-    est: Option<&Estimator<D>>,
-    work: (Vec<Pair<D>>, Vec<CompEntry<D>>),
-    pool: &[f64],
-    shared: &MinBound,
-) -> (Vec<ResultPair>, JoinStats, f64) {
-    let (pairs, comps) = work;
-    let mut drv = ExpansionDriver::new(r, s, cfg, k, est, false, f64::INFINITY, Some(shared));
-    drv.seed_replayed(pairs, comps, pool);
-    drv.run_stage_two();
-    drv.finish()
-}
-
-/// One worker of the parallel incremental join: a [`StageDriver`] cursor
-/// over a partition, consuming until it has `take` pairs or its stream
-/// provably passed the shared bound.
-fn idj_worker<const D: usize>(
-    r: &RTree<D>,
-    s: &RTree<D>,
-    take: usize,
-    cfg: &JoinConfig,
-    opts: AmIdjOptions,
-    seed: Vec<Pair<D>>,
-    shared: &MinBound,
-) -> (Vec<ResultPair>, JoinStats, f64) {
-    let mut cursor = StageDriver::with_seeds(r, s, cfg, opts, seed, shared);
-    // A worker's `take`-th smallest distance bounds the global one (its
-    // emitted pairs are a candidate set), so it is publishable.
-    let mut distq = DistanceQueue::new(take);
-    let mut results = Vec::new();
-    let mut tightenings = 0u64;
-    while results.len() < take {
-        // The cursor's minimum queue key lower-bounds every future
-        // emission: stop before doing the work once it passes the bound.
-        match cursor.peek_key() {
-            Some(key) if key <= shared.get() => {}
-            _ => break,
-        }
-        let Some(pair) = cursor.next() else { break };
-        if pair.dist > shared.get() {
-            // The stream is ascending; everything later is farther still.
-            break;
-        }
-        distq.insert(pair.dist);
-        let q = distq.qdmax();
-        if q.is_finite() && shared.tighten(q) {
-            tightenings += 1;
-        }
-        results.push(pair);
-    }
-    let (mut stats, queue_io) = cursor.finish_worker();
-    stats.bound_tightenings += tightenings;
-    stats.distq_insertions += distq.insertions();
-    (results, stats, queue_io)
 }
 
 /// Collects every swept pair, pruning nothing — used to split frontier
@@ -546,18 +310,7 @@ fn pair_level<const D: usize>(p: &Pair<D>) -> u32 {
     side(p.a).max(side(p.b))
 }
 
-/// On one thread the frontier stays the root pair alone, so the single
-/// worker replays the sequential join bit for bit (and counter for
-/// counter). More threads get `4×` oversplit for balance.
-fn frontier_target(threads: usize) -> usize {
-    if threads == 1 {
-        1
-    } else {
-        threads * 4
-    }
-}
-
-fn resolve_threads(threads: usize) -> usize {
+pub(crate) fn resolve_threads(threads: usize) -> usize {
     if threads == 0 {
         std::thread::available_parallelism().map_or(1, |n| n.get())
     } else {

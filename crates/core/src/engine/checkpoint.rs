@@ -151,9 +151,12 @@ pub fn kdj_resumable<const D: usize>(
             schedule,
             resume,
             pause,
+            None,
         )
     } else {
-        steal::run_kdj_ckpt::<D, Exact>(r, s, k, cfg, &Exact, threads, schedule, resume, pause)
+        steal::run_kdj_ckpt::<D, Exact>(
+            r, s, k, cfg, &Exact, threads, schedule, resume, pause, None,
+        )
     })
 }
 

@@ -1,0 +1,299 @@
+//! Partitioned execution plans: STR tiling, bounds-only partition-pair
+//! pruning, and per-pair engine invocations under one shared bound.
+//!
+//! A monolithic join is a *plan of one pair*: the whole R tree joined
+//! against the whole S tree. With [`JoinConfig::partitions`] ≥ 2 the plan
+//! grows: both datasets are STR-tiled into disjoint object partitions
+//! (summarized as MBR + count), every partition pair is enumerated, and
+//! each surviving pair runs as an *independent* engine invocation —
+//! its own sub-trees, its own driver — through
+//! [`ExecBackend::run_kdj_bounded`], all sharing one CAS-min
+//! [`MinBound`] so a pair that finishes early tightens the cutoff of
+//! every pair still to run. This is the seam sharded execution grows
+//! from: a partition pair needs nothing but two self-contained trees and
+//! the scalar bound.
+//!
+//! # The bounds-only pre-filter
+//!
+//! Before any point data is touched, a partition pair `(i, j)` is
+//! discarded when `mindist(mbr_i, mbr_j) > eDmax` — the Equation (3)
+//! estimate of the k-th join distance (or the aggressive policy's
+//! override). The test reads only the partition *summaries*, never the
+//! tiles' contents, which is what makes it viable across shards. The
+//! estimate proves nothing, so exactness is restored the same way the
+//! aggressive policy restores it inside a single driver: every pruned
+//! pair is remembered as a partition-level compensation entry.
+//!
+//! # Replay soundness
+//!
+//! After all surviving pairs ran, the merged k-th result distance is a
+//! *proven* bound: it is the k-th smallest of k real distances of
+//! distinct object pairs (tiles are disjoint index-range chunks, so no
+//! object pair lives in two partition pairs), and the k-th smallest of
+//! any k real distinct-pair distances upper-bounds the global `Dmax(k)`
+//! — the argument is identical to the shared-bound publication rule in
+//! [`backend`](super::backend), and notably *not* circular: it holds
+//! whether or not the survivors contained the true k nearest. A pruned
+//! pair whose mindist exceeds that proven bound therefore cannot contain
+//! a result and is conclusively discarded
+//! (`partition_pairs_never_needed`); the rest are replayed ascending by
+//! mindist (`partition_pairs_replayed`), each replay tightening the
+//! bound further. The ledger
+//! `partition_pairs_pruned == partition_pairs_replayed +
+//! partition_pairs_never_needed` always balances, and the final merge is
+//! bit-identical to the monolithic plan: both compute the exact global
+//! top k, distances are pure functions of the object MBRs (sub-tree
+//! shape never enters a distance), and both truncate in canonical
+//! `(dist, r, s)` order.
+//!
+//! # Empty inputs and skewed tiles
+//!
+//! An empty dataset yields no partitions and the plan returns an empty
+//! result cleanly; STR tiling chunks *index ranges* of the sorted object
+//! list, so skewed data can shrink tiles but never produces an empty one
+//! (empty chunks are dropped before summaries are built).
+//!
+//! [`JoinConfig::partitions`]: crate::JoinConfig::partitions
+//! [`ExecBackend::run_kdj_bounded`]: super::backend::ExecBackend::run_kdj_bounded
+
+use amdj_geom::Rect;
+use amdj_rtree::{thread_buffer_counters, RTree};
+
+use crate::stats::Baseline;
+use crate::{Estimator, JoinConfig, JoinOutput, JoinStats, ResultPair};
+
+use super::backend::{sort_canonical, ExecBackend};
+use super::bound::MinBound;
+use super::policy::PruningPolicy;
+
+/// A bounds-only partition summary: everything the pre-filter may read.
+struct Summary<const D: usize> {
+    mbr: Rect<D>,
+    count: u64,
+}
+
+/// One STR tile: its summary plus a self-contained sub-tree over exactly
+/// the tile's objects.
+struct Tile<const D: usize> {
+    summary: Summary<D>,
+    tree: RTree<D>,
+}
+
+/// One partition pair of the plan, keyed by the bounds-only mindist.
+#[derive(Clone, Copy)]
+struct PlanPair {
+    ri: usize,
+    si: usize,
+    mindist: f64,
+}
+
+/// Runs a k-distance join as a partitioned plan (see module docs).
+/// `parts` is the per-side tile target, already validated ≥ 2.
+pub(crate) fn run_partitioned_kdj<const D: usize, P: PruningPolicy, B: ExecBackend>(
+    r: &RTree<D>,
+    s: &RTree<D>,
+    k: usize,
+    cfg: &JoinConfig,
+    policy: &P,
+    backend: &B,
+    parts: usize,
+) -> JoinOutput {
+    let baseline = Baseline::capture(r, s);
+    let mut stats = JoinStats {
+        stages: 1,
+        ..JoinStats::default()
+    };
+    let mut results: Vec<ResultPair> = Vec::new();
+
+    let r_tiles = str_tiles(r, parts);
+    let s_tiles = str_tiles(s, parts);
+    if k == 0 || r_tiles.is_empty() || s_tiles.is_empty() {
+        baseline.finish(r, s, &mut stats, 0.0);
+        return JoinOutput { results, stats };
+    }
+
+    // The bounds-only prune threshold: the policy's own initial eDmax
+    // when it has one (the aggressive estimate, or a Figure-14 override),
+    // else the Equation (3) estimate directly — the exact policy prunes
+    // on qDmax alone *inside* a pair, but the partition-level pre-filter
+    // still wants the estimate. Infinite when no estimate exists
+    // (degenerate inputs): nothing is pruned, everything runs.
+    let est = Estimator::from_trees(r, s);
+    let e0 = policy.initial_edmax(est.as_ref(), k);
+    let threshold = if e0.is_finite() {
+        e0
+    } else {
+        est.as_ref().map_or(f64::INFINITY, |e| e.initial(k as u64))
+    };
+
+    // Every partition pair, ascending by bounds-only mindist (ties broken
+    // by index so the plan order is deterministic).
+    let mut pairs: Vec<PlanPair> = Vec::with_capacity(r_tiles.len() * s_tiles.len());
+    for (ri, rt) in r_tiles.iter().enumerate() {
+        for (si, st) in s_tiles.iter().enumerate() {
+            pairs.push(PlanPair {
+                ri,
+                si,
+                mindist: rt.summary.mbr.min_dist(&st.summary.mbr),
+            });
+        }
+    }
+    pairs.sort_unstable_by(|a, b| {
+        a.mindist
+            .total_cmp(&b.mindist)
+            .then_with(|| a.ri.cmp(&b.ri))
+            .then_with(|| a.si.cmp(&b.si))
+    });
+    stats.partition_pairs_total = pairs.len() as u64;
+
+    // Per-pair invocations must not re-partition.
+    let inner_cfg = JoinConfig {
+        partitions: None,
+        ..cfg.clone()
+    };
+    let shared = MinBound::new(f64::INFINITY);
+    let run_pair = |pp: &PlanPair, results: &mut Vec<ResultPair>, stats: &mut JoinStats| {
+        // The inner run's own Baseline attributes this thread's buffer
+        // traffic to its stats; the outer baseline will observe the same
+        // thread-local delta again at finish, so cancel one of the two.
+        let (h0, m0) = thread_buffer_counters();
+        let out = backend.run_kdj_bounded(
+            &r_tiles[pp.ri].tree,
+            &s_tiles[pp.si].tree,
+            k,
+            &inner_cfg,
+            policy,
+            Some(&shared),
+        );
+        let (h1, m1) = thread_buffer_counters();
+        stats.absorb_worker(&out.stats);
+        stats.buffer_hits -= h1 - h0;
+        stats.buffer_misses -= m1 - m0;
+        stats.node_requests += out.stats.node_requests;
+        stats.node_disk_reads += out.stats.node_disk_reads;
+        stats.io_seconds += out.stats.io_seconds;
+        stats.barrier_idle_ns += out.stats.barrier_idle_ns;
+        stats.stages = stats.stages.max(out.stats.stages);
+        results.extend(out.results);
+        sort_canonical(results);
+        results.truncate(k);
+        if results.len() == k {
+            // The merged k-th distance is the k-th smallest of k real
+            // distinct-pair distances: a proven upper bound on the global
+            // Dmax(k), publishable into the cross-pair bound.
+            let kth = results[k - 1].dist;
+            if kth.is_finite() && shared.tighten(kth) {
+                stats.bound_tightenings += 1;
+            }
+        }
+    };
+
+    // Survivors run ascending by mindist — near pairs first, so the
+    // shared bound tightens as early as possible; pruned pairs are parked
+    // as partition-level compensation entries.
+    let mut comps: Vec<PlanPair> = Vec::new();
+    for pp in &pairs {
+        if pp.mindist > threshold {
+            comps.push(*pp);
+        } else {
+            run_pair(pp, &mut results, &mut stats);
+        }
+    }
+    stats.partition_pairs_pruned = comps.len() as u64;
+
+    // Compensation replay: the bound is now *proven* (or infinite, when
+    // fewer than k results exist — then everything replays). `comps` is
+    // ascending and the bound only tightens, so the replay loop is the
+    // partition-level analogue of the aggressive policy's stage two.
+    for pp in &comps {
+        if pp.mindist <= shared.get() {
+            stats.partition_pairs_replayed += 1;
+            stats.stages = stats.stages.max(2);
+            run_pair(pp, &mut results, &mut stats);
+        } else {
+            stats.partition_pairs_never_needed += 1;
+        }
+    }
+    debug_assert_eq!(
+        stats.partition_pairs_pruned,
+        stats.partition_pairs_replayed + stats.partition_pairs_never_needed
+    );
+
+    sort_canonical(&mut results);
+    results.truncate(k);
+    stats.results = results.len() as u64;
+    baseline.finish(r, s, &mut stats, 0.0);
+    JoinOutput { results, stats }
+}
+
+/// STR-tiles a tree's objects into roughly `target` disjoint tiles, each
+/// rebuilt as a self-contained sub-tree with the parent's parameters.
+/// Empty trees yield no tiles; skew shrinks tiles but never empties one.
+fn str_tiles<const D: usize>(tree: &RTree<D>, target: usize) -> Vec<Tile<D>> {
+    let Some(bounds) = tree.bounds() else {
+        return Vec::new();
+    };
+    let objs: Vec<(Rect<D>, u64)> = tree
+        .range_query(&bounds)
+        .into_iter()
+        .map(|(oid, mbr)| (mbr, oid))
+        .collect();
+    let mut chunks = Vec::new();
+    tile_rec(objs, 0, target, &mut chunks);
+    chunks.retain(|c| !c.is_empty());
+    let tiles: Vec<Tile<D>> = chunks
+        .into_iter()
+        .map(|items| {
+            let mut mbr = items[0].0;
+            for (rect, _) in &items[1..] {
+                mbr.union_assign(rect);
+            }
+            let count = items.len() as u64;
+            Tile {
+                summary: Summary { mbr, count },
+                tree: RTree::bulk_load(tree.params().clone(), items),
+            }
+        })
+        .collect();
+    debug_assert_eq!(
+        tiles.iter().map(|t| t.summary.count).sum::<u64>(),
+        tree.len(),
+        "STR tiling must cover every object exactly once"
+    );
+    tiles
+}
+
+/// Sort-Tile-Recursive over index ranges: sort by center along `dim`,
+/// cut into `⌈target^(1/dims_left)⌉` equal-count slices, recurse on the
+/// next dimension. Index-range chunking makes the tiles disjoint by
+/// construction — no boundary duplication, whatever the geometry.
+fn tile_rec<const D: usize>(
+    mut objs: Vec<(Rect<D>, u64)>,
+    dim: usize,
+    target: usize,
+    out: &mut Vec<Vec<(Rect<D>, u64)>>,
+) {
+    if target <= 1 || objs.len() <= 1 || dim >= D {
+        out.push(objs);
+        return;
+    }
+    let dims_left = (D - dim) as f64;
+    let slices = ((target as f64).powf(1.0 / dims_left).ceil() as usize)
+        .min(target)
+        .clamp(1, objs.len());
+    objs.sort_unstable_by(|a, b| {
+        a.0.center()[dim]
+            .total_cmp(&b.0.center()[dim])
+            .then_with(|| a.1.cmp(&b.1))
+    });
+    let chunk = objs.len().div_ceil(slices);
+    let sub_target = target.div_ceil(slices);
+    let mut iter = objs.into_iter();
+    loop {
+        let items: Vec<_> = iter.by_ref().take(chunk).collect();
+        if items.is_empty() {
+            break;
+        }
+        tile_rec(items, dim + 1, sub_target, out);
+    }
+}

@@ -1,15 +1,22 @@
-//! The work-stealing execution path of the [`Parallel`] backend.
+//! The claim-round execution path of the [`Parallel`] backend — with
+//! peer stealing on ([`JoinConfig::steal`], the default) or off.
 //!
-//! The static round-robin scheme in `backend.rs` partitions the frontier
-//! once and lets a drained worker idle at the stage barrier — on skewed
-//! frontiers (a clustered partition next to a uniform one) that idle time
-//! dominates wall clock. Here the frontier lives in a [`StealPool`]: one
-//! deque per worker, each sorted ascending by key. A worker repeatedly
-//! *claims* a prefix of its own deque and runs its driver over it; once
-//! its deque holds nothing below its claim bound it scans the peers
-//! (most-loaded first) and steals the *tail* half of a victim's claimable
-//! prefix — the victim keeps the near pairs it is about to process, the
-//! thief takes the far ones.
+//! A statically partitioned frontier lets a drained worker idle at the
+//! stage barrier — on skewed frontiers (a clustered partition next to a
+//! uniform one) that idle time dominates wall clock. Here the frontier
+//! lives in a [`StealPool`]: one deque per worker, each sorted ascending
+//! by key. A worker repeatedly *claims* a prefix of its own deque and
+//! runs its driver over it; once its deque holds nothing below its claim
+//! bound it scans the peers (most-loaded first) and steals the *tail*
+//! half of a victim's claimable prefix — the victim keeps the near pairs
+//! it is about to process, the thief takes the far ones. With
+//! [`JoinConfig::steal`] off the peer scan is disabled: each worker
+//! consumes exactly its own statically partitioned deque (incrementally,
+//! through the same claim rounds) and idles once it drains, which is the
+//! static-partitioning ablation `JoinStats::pairs_stolen == 0` pins.
+//! Both modes share every other line — including the
+//! drain-to-canonical-frontier suspend path, so `steal=false` joins are
+//! checkpointable too.
 //!
 //! # Why dynamic claiming stays exact
 //!
@@ -33,9 +40,13 @@
 //!   and the incremental join that bound clamps to a published `qDmax` —
 //!   the k-th smallest of k real pair distances, hence an upper bound on
 //!   the global `Dmax(k)` — so the seeds are provably outside the answer.
-//!   For aggressive stage one the bound is the (ratcheted) `eDmax`, which
-//!   proves nothing; unclaimed seeds are routed to stage two as
-//!   [`Work::Unclaimed`] items instead of being dropped.
+//!   With stealing off the same holds per deque: a seed left in worker
+//!   `w`'s deque can only ever be processed by `w`, and `w` rejected it
+//!   against its own `qDmax`-clamped exit bound, which upper-bounds the
+//!   global `Dmax(k)` all by itself. For aggressive stage one the bound
+//!   is the (ratcheted) `eDmax`, which proves nothing; unclaimed seeds
+//!   are routed to stage two as [`Work::Unclaimed`] items instead of
+//!   being dropped.
 //!
 //! # Counter discipline
 //!
@@ -61,6 +72,7 @@
 //! ratchet — while every decision stays reproducible.
 //!
 //! [`Parallel`]: super::backend::Parallel
+//! [`JoinConfig::steal`]: crate::JoinConfig::steal
 //! [`ExpansionDriver::run_stage_one_stealing`]: ExpansionDriver::run_stage_one_stealing
 //! [`run_stage_two_stealing`]: ExpansionDriver::run_stage_two_stealing
 
@@ -228,15 +240,28 @@ impl<T> StealPool<T> {
 /// decision can never fabricate an early exit). `None` means both the own
 /// claim and a scan of every peer found nothing at or below `bound`:
 /// since the pool only shrinks, the worker may exit.
+///
+/// With `steal` off the round never probes a peer (and ignores `forced`,
+/// which only makes sense with stealing): the worker claims its own
+/// statically partitioned deque incrementally and exits once *it* holds
+/// nothing at or below `bound` — sound, because no other worker can
+/// process that deque either, and the bound itself justifies dropping
+/// what remains (module docs).
+#[allow(clippy::too_many_arguments)]
 fn claim_round<T>(
     pool: &StealPool<T>,
     w: usize,
     bound: f64,
     all_own: bool,
     forced: bool,
+    steal: bool,
     stolen: &mut u64,
     attempts: &mut u64,
 ) -> Option<Vec<T>> {
+    if !steal {
+        let own = pool.claim_own(w, bound, all_own);
+        return if own.is_empty() { None } else { Some(own) };
+    }
     if !forced {
         let own = pool.claim_own(w, bound, all_own);
         if !own.is_empty() {
@@ -321,6 +346,7 @@ fn stage_one_worker<const D: usize, P: PruningPolicy>(
             bound,
             false,
             forced,
+            cfg.steal,
             &mut drv.stats.pairs_stolen,
             &mut drv.stats.steal_attempts,
         ) else {
@@ -428,6 +454,7 @@ fn stage_two_worker<const D: usize>(
             bound,
             first,
             forced,
+            cfg.steal,
             &mut drv.stats.pairs_stolen,
             &mut drv.stats.steal_attempts,
         ) else {
@@ -563,6 +590,7 @@ fn idj_worker<const D: usize>(
             shared.get(),
             false,
             forced,
+            cfg.steal,
             &mut stolen,
             &mut attempts,
         ) else {
@@ -598,6 +626,7 @@ fn idj_worker<const D: usize>(
 /// join with the checkpoint machinery idle.
 ///
 /// [`Parallel::run_kdj`]: super::backend::Parallel
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_kdj<const D: usize, P: PruningPolicy>(
     r: &RTree<D>,
     s: &RTree<D>,
@@ -606,8 +635,11 @@ pub(crate) fn run_kdj<const D: usize, P: PruningPolicy>(
     policy: &P,
     threads: usize,
     schedule: Option<TestSchedule>,
+    ext_bound: Option<&MinBound>,
 ) -> JoinOutput {
-    match run_kdj_ckpt::<D, P>(r, s, k, cfg, policy, threads, schedule, None, None) {
+    match run_kdj_ckpt::<D, P>(
+        r, s, k, cfg, policy, threads, schedule, None, None, ext_bound,
+    ) {
         Checkpointed::Done(out) => out,
         Checkpointed::Suspended(_) => unreachable!("no pause control was attached"),
     }
@@ -624,6 +656,10 @@ pub(crate) fn run_kdj<const D: usize, P: PruningPolicy>(
 /// The snapshot's pruning is justified purely by `shared_bound` — a
 /// published `qDmax`, the k-th smallest of k real distinct-pair
 /// distances — so a cut taken at any thread count resumes at any other.
+///
+/// `ext_bound`, when set, replaces the run's private shared bound with a
+/// caller-owned one (the partitioned plan's cross-pair bound); a
+/// snapshot's saved `shared_bound` is folded into it on resume.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_kdj_ckpt<const D: usize, P: PruningPolicy>(
     r: &RTree<D>,
@@ -635,6 +671,7 @@ pub(crate) fn run_kdj_ckpt<const D: usize, P: PruningPolicy>(
     schedule: Option<TestSchedule>,
     resume: Option<EngineSnapshot<D>>,
     pause: Option<&PauseCtl>,
+    ext_bound: Option<&MinBound>,
 ) -> Checkpointed<D> {
     let baseline = Baseline::capture(r, s);
     let mut stats = JoinStats {
@@ -666,11 +703,19 @@ pub(crate) fn run_kdj_ckpt<const D: usize, P: PruningPolicy>(
                 true,
             ),
         };
-    let shared = MinBound::new(bound0);
+    let local = MinBound::new(bound0);
+    let shared: &MinBound = match ext_bound {
+        Some(ext) => {
+            if bound0.is_finite() {
+                ext.tighten(bound0);
+            }
+            ext
+        }
+        None => &local,
+    };
     let mut queue_io = 0.0;
     if k > 0 {
         let est = est.as_ref();
-        let shared = &shared;
         // Inputs to stage two, produced by stage one (or read straight
         // from a stage-2 snapshot).
         let mut work: Vec<Work<D>> = Vec::new();

@@ -223,13 +223,20 @@ proptest! {
         for aggressive in [false, true] {
             let reference = canonical(uninterrupted_kdj(&r, &s, k, aggressive).results);
             for cycle in CYCLES {
-                let cfg = JoinConfig::unbounded();
-                let (out, _log) =
-                    kdj_episodes(&r, &s, k, &cfg, aggressive, budget, cycle, schedule);
-                let label = format!(
-                    "kdj agg={aggressive} budget={budget} cycle={cycle:?} seed={seed}"
-                );
-                assert_identical(&label, &reference, &canonical(out.results))?;
+                // steal=false is the static-partition backend: it rides
+                // the same drain-to-canonical-frontier suspend path, so
+                // it must be just as resumable (forced steals in the
+                // schedule are ignored when stealing is off).
+                for steal in [true, false] {
+                    let cfg = JoinConfig { steal, ..JoinConfig::unbounded() };
+                    let (out, _log) =
+                        kdj_episodes(&r, &s, k, &cfg, aggressive, budget, cycle, schedule);
+                    let label = format!(
+                        "kdj agg={aggressive} steal={steal} budget={budget} \
+                         cycle={cycle:?} seed={seed}"
+                    );
+                    assert_identical(&label, &reference, &canonical(out.results))?;
+                }
             }
         }
     }
@@ -264,10 +271,13 @@ proptest! {
             force_steal_one_in: 3,
         });
         for cycle in CYCLES {
-            let (out, _log) =
-                idj_episodes(&r, &s, take, &cfg, &opts, budget, cycle, schedule);
-            let label = format!("idj budget={budget} cycle={cycle:?} seed={seed}");
-            assert_identical(&label, &reference, &canonical(out.results))?;
+            for steal in [true, false] {
+                let cfg = JoinConfig { steal, ..JoinConfig::unbounded() };
+                let (out, _log) =
+                    idj_episodes(&r, &s, take, &cfg, &opts, budget, cycle, schedule);
+                let label = format!("idj steal={steal} budget={budget} cycle={cycle:?} seed={seed}");
+                assert_identical(&label, &reference, &canonical(out.results))?;
+            }
         }
     }
 }
@@ -322,6 +332,26 @@ fn interrupts_land_in_both_stages() {
         "no snapshot was cut in stage two: {:?}",
         log.stages
     );
+}
+
+/// The static-partition backend (steal=false) rides the same
+/// drain-to-canonical-frontier suspend path as the stealing one: an
+/// interrupted static run resumes bit-identically across thread counts,
+/// and no episode ever steals a pair.
+#[test]
+fn static_backend_checkpoint_resume_bit_identical() {
+    let (r, s) = trees(&grid(12, 0.4), &grid(12, 1.3));
+    let k = 120;
+    let reference = canonical(uninterrupted_kdj(&r, &s, k, true).results);
+    let cfg = JoinConfig {
+        steal: false,
+        ..JoinConfig::unbounded()
+    };
+    let (out, log) = kdj_episodes(&r, &s, k, &cfg, true, 7, &[2, 4, 1], None);
+    assert_eq!(canonical(out.results), reference);
+    assert!(log.suspensions > 0, "pause budget never fired");
+    assert_eq!(out.stats.pairs_stolen, 0, "steal=false must never steal");
+    assert_eq!(out.stats.steal_attempts, 0, "steal=false must never probe");
 }
 
 /// A snapshot survives the disk: write-then-rename out, validated read

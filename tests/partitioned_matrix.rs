@@ -1,0 +1,319 @@
+//! The partitioned plan matrix: with [`JoinConfig::partitions`] set, the
+//! k-distance join executes as STR tiles × bounds-only partition-pair
+//! pruning × per-pair engine invocations — and must stay bit-identical
+//! to the monolithic plan across every partition count × pruning policy
+//! × execution backend cell, while the pruned-pair ledger
+//! (`pruned == replayed + never_needed`) balances in every cell. Unit
+//! tests pin the two compensation regimes the property sweep cannot
+//! force deterministically: a deliberately under-estimated bound that
+//! prunes every pair and must replay them all to stay exact, and an
+//! over-estimated-but-sufficient bound whose pruned pairs are all
+//! conclusively discarded against the proven merged k-th distance.
+//!
+//! [`JoinConfig::partitions`]: amdj_core::JoinConfig::partitions
+
+use amdj_core::engine::{self, Aggressive, Exact, Parallel, Sequential};
+use amdj_core::{bruteforce, JoinConfig, JoinOutput, ResultPair};
+use amdj_geom::Rect;
+use amdj_rtree::{RTree, RTreeParams};
+use proptest::prelude::*;
+
+fn arb_dataset(max_n: usize) -> impl Strategy<Value = Vec<(Rect<2>, u64)>> {
+    prop::collection::vec(
+        (0.0..1000.0f64, 0.0..1000.0f64, 0.0..5.0f64, 0.0..5.0f64),
+        1..max_n,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (x, y, w, h))| (Rect::new([x, y], [x + w, y + h]), i as u64))
+            .collect()
+    })
+}
+
+fn trees(a: &[(Rect<2>, u64)], b: &[(Rect<2>, u64)]) -> (RTree<2>, RTree<2>) {
+    (
+        RTree::bulk_load(RTreeParams::for_tests(), a.to_vec()),
+        RTree::bulk_load(RTreeParams::for_tests(), b.to_vec()),
+    )
+}
+
+fn canonical(mut v: Vec<ResultPair>) -> Vec<ResultPair> {
+    v.sort_by(|a, b| {
+        a.dist
+            .total_cmp(&b.dist)
+            .then_with(|| a.r.cmp(&b.r))
+            .then_with(|| a.s.cmp(&b.s))
+    });
+    v
+}
+
+/// Canonical results reduced to comparable bits: exact distance bits
+/// plus both ids, so `assert_eq!` on two of these is the bit-identity
+/// contract.
+fn bits(v: &[ResultPair]) -> Vec<(u64, u64, u64)> {
+    v.iter().map(|p| (p.dist.to_bits(), p.r, p.s)).collect()
+}
+
+/// Policy cells: `None` is [`Exact`]; `Some(e)` is [`Aggressive`] with
+/// that `edmax_override` (`Some(None)` uses the Equation 3 estimator).
+fn run_cell(
+    r: &RTree<2>,
+    s: &RTree<2>,
+    k: usize,
+    cfg: &JoinConfig,
+    policy: Option<Option<f64>>,
+    threads: Option<usize>,
+) -> JoinOutput {
+    match (policy, threads) {
+        (None, None) => engine::kdj(r, s, k, cfg, &Exact, &Sequential),
+        (None, Some(t)) => engine::kdj(r, s, k, cfg, &Exact, &Parallel::new(t)),
+        (Some(e), None) => {
+            engine::kdj(r, s, k, cfg, &Aggressive { edmax_override: e }, &Sequential)
+        }
+        (Some(e), Some(t)) => engine::kdj(
+            r,
+            s,
+            k,
+            cfg,
+            &Aggressive { edmax_override: e },
+            &Parallel::new(t),
+        ),
+    }
+}
+
+fn policy_cells(scale: f64) -> Vec<(String, Option<Option<f64>>)> {
+    let mut cells: Vec<(String, Option<Option<f64>>)> =
+        vec![("exact".into(), None), ("agg[est]".into(), Some(None))];
+    // Adversarial eDmax: zero and badly under-estimated force heavy
+    // partition-pair compensation replay; over-estimated makes the
+    // bounds-only pre-filter near-transparent.
+    for factor in [0.0, 0.1, 0.5, 1.5] {
+        cells.push((format!("agg[{factor}×]"), Some(Some(scale * factor))));
+    }
+    cells
+}
+
+const BACKENDS: [Option<usize>; 5] = [None, Some(1), Some(2), Some(3), Some(8)];
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: amdj_tests::proptest_cases(8),
+        ..ProptestConfig::default()
+    })]
+
+    /// Every (partition count × policy × backend) cell equals the
+    /// monolithic sequential exact reference bit for bit, and the
+    /// pruned-pair ledger balances in every cell.
+    #[test]
+    fn partitioned_kdj_bit_identical(
+        a in arb_dataset(60),
+        b in arb_dataset(60),
+        k in 1usize..80,
+    ) {
+        let want = bruteforce::k_closest_pairs(&a, &b, k);
+        let (r, s) = trees(&a, &b);
+        let reference =
+            canonical(run_cell(&r, &s, k, &JoinConfig::unbounded(), None, None).results);
+        prop_assert_eq!(reference.len(), want.len());
+        for (g, w) in reference.iter().zip(want.iter()) {
+            prop_assert!((g.dist - w.dist).abs() < 1e-9, "{} != {}", g.dist, w.dist);
+        }
+        let scale = want.last().map_or(1.0, |p| p.dist);
+        for parts in [2usize, 4, 8] {
+            for (name, policy) in policy_cells(scale) {
+                for threads in BACKENDS {
+                    let cfg = JoinConfig {
+                        partitions: Some(parts),
+                        ..JoinConfig::unbounded()
+                    };
+                    let label = format!("parts={parts} {name} × {threads:?}");
+                    let out = run_cell(&r, &s, k, &cfg, policy, threads);
+                    prop_assert!(
+                        out.stats.partition_pairs_total >= 1,
+                        "{}: plan must enumerate pairs",
+                        label
+                    );
+                    prop_assert_eq!(
+                        out.stats.partition_pairs_pruned,
+                        out.stats.partition_pairs_replayed
+                            + out.stats.partition_pairs_never_needed,
+                        "{}: ledger must balance",
+                        label
+                    );
+                    let got = canonical(out.results);
+                    prop_assert_eq!(
+                        bits(&reference),
+                        bits(&got),
+                        "{}: partitioned != monolithic",
+                        label
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Deterministic tie-free point scatter: `n` points spread over a
+/// `span × span` box at `origin`, jittered by `phase`. Irregular
+/// coordinates keep pair distances distinct, so bit-identity compares
+/// are exact (regular grids would tie at the truncation boundary, where
+/// id order may legitimately differ).
+fn scatter(n: usize, origin: [f64; 2], span: f64, phase: f64) -> Vec<Rect<2>> {
+    (0..n)
+        .map(|i| {
+            let t = i as f64;
+            let x = origin[0] + (0.5 + 0.5 * (t * 0.734 + phase).sin()) * span;
+            let y = origin[1] + (0.5 + 0.5 * (t * 1.271 + phase * 1.7).cos()) * span;
+            Rect::new([x, y], [x, y])
+        })
+        .collect()
+}
+
+fn with_ids(rects: Vec<Rect<2>>) -> Vec<(Rect<2>, u64)> {
+    rects
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| (r, i as u64))
+        .collect()
+}
+
+/// A deliberately under-estimated bound (`edmax_override` of `1e-6`
+/// against clusters ~13 apart) prunes *every* partition pair; with no
+/// survivors the bound starts infinite, so the plan must replay at
+/// least the nearest pruned pair — whose k results then prove the rest
+/// unnecessary — and still come out bit-identical to the monolithic
+/// run.
+#[test]
+fn underestimated_bound_replays_pruned_pairs() {
+    let a = with_ids(scatter(16, [0.0, 0.0], 1.0, 0.1));
+    let b = with_ids(scatter(16, [10.0, 10.0], 1.0, 0.5));
+    let (r, s) = trees(&a, &b);
+    let k = 5;
+    let policy = Some(Some(1e-6));
+    let mono = canonical(run_cell(&r, &s, k, &JoinConfig::unbounded(), policy, None).results);
+    let want = bruteforce::k_closest_pairs(&a, &b, k);
+    assert_eq!(mono.len(), want.len());
+    for (g, w) in mono.iter().zip(want.iter()) {
+        assert!((g.dist - w.dist).abs() < 1e-9);
+    }
+    for threads in [None, Some(4)] {
+        let cfg = JoinConfig {
+            partitions: Some(4),
+            ..JoinConfig::unbounded()
+        };
+        let out = run_cell(&r, &s, k, &cfg, policy, threads);
+        let st = &out.stats;
+        assert!(st.partition_pairs_total >= 4, "plan too small to exercise");
+        assert_eq!(
+            st.partition_pairs_pruned, st.partition_pairs_total,
+            "every pair sits beyond the tiny bound"
+        );
+        assert!(
+            st.partition_pairs_replayed > 0,
+            "an all-pruned plan must replay to produce any result"
+        );
+        assert_eq!(
+            st.partition_pairs_pruned,
+            st.partition_pairs_replayed + st.partition_pairs_never_needed
+        );
+        assert_eq!(bits(&mono), bits(&canonical(out.results)));
+    }
+}
+
+/// An over-estimated-but-sufficient bound (`edmax_override` of `5.0`
+/// against cross-cluster gaps of ~99) prunes the cross-cluster pairs,
+/// and the survivors' merged k-th distance proves they were never
+/// needed: no replays, every pruned pair conclusively discarded.
+#[test]
+fn proven_bound_discards_pruned_pairs_without_replay() {
+    let mut pts = scatter(25, [0.0, 0.0], 1.0, 0.3);
+    pts.extend(scatter(25, [100.0, 100.0], 1.0, 0.7));
+    let mut other = scatter(25, [0.0, 0.0], 1.0, 1.9);
+    other.extend(scatter(25, [100.0, 100.0], 1.0, 2.3));
+    let a = with_ids(pts);
+    let b = with_ids(other);
+    let (r, s) = trees(&a, &b);
+    let k = 8;
+    let policy = Some(Some(5.0));
+    let mono = canonical(run_cell(&r, &s, k, &JoinConfig::unbounded(), policy, None).results);
+    let cfg = JoinConfig {
+        partitions: Some(4),
+        ..JoinConfig::unbounded()
+    };
+    let out = run_cell(&r, &s, k, &cfg, policy, None);
+    let st = &out.stats;
+    assert!(
+        st.partition_pairs_pruned > 0,
+        "cross-cluster pairs must be pruned"
+    );
+    assert_eq!(st.partition_pairs_replayed, 0);
+    assert_eq!(st.partition_pairs_never_needed, st.partition_pairs_pruned);
+    assert_eq!(bits(&mono), bits(&canonical(out.results)));
+}
+
+/// The exact policy has no eDmax of its own, so the partition-level
+/// pre-filter falls back to the Equation 3 estimate — which on widely
+/// separated clusters still prunes the cross-cluster pairs.
+#[test]
+fn exact_policy_prunes_on_the_estimator() {
+    let mut pts = scatter(25, [0.0, 0.0], 1.0, 0.3);
+    pts.extend(scatter(25, [100.0, 100.0], 1.0, 0.7));
+    let mut other = scatter(25, [0.0, 0.0], 1.0, 1.9);
+    other.extend(scatter(25, [100.0, 100.0], 1.0, 2.3));
+    let a = with_ids(pts);
+    let b = with_ids(other);
+    let (r, s) = trees(&a, &b);
+    let k = 8;
+    let mono = canonical(run_cell(&r, &s, k, &JoinConfig::unbounded(), None, None).results);
+    let cfg = JoinConfig {
+        partitions: Some(4),
+        ..JoinConfig::unbounded()
+    };
+    let out = run_cell(&r, &s, k, &cfg, None, None);
+    let st = &out.stats;
+    assert!(st.partition_pairs_pruned > 0, "estimator must prune");
+    assert_eq!(
+        st.partition_pairs_pruned,
+        st.partition_pairs_replayed + st.partition_pairs_never_needed
+    );
+    assert_eq!(bits(&mono), bits(&canonical(out.results)));
+}
+
+/// `partitions: None` and `partitions: Some(1)` are both the monolithic
+/// plan: no pairs enumerated, no partition counters.
+#[test]
+fn one_partition_is_monolithic() {
+    let a = with_ids(scatter(16, [0.0, 0.0], 4.0, 0.2));
+    let b = with_ids(scatter(16, [2.0, 2.0], 4.0, 0.8));
+    let (r, s) = trees(&a, &b);
+    let mono = run_cell(&r, &s, 6, &JoinConfig::unbounded(), None, None);
+    assert_eq!(mono.stats.partition_pairs_total, 0);
+    let cfg = JoinConfig {
+        partitions: Some(1),
+        ..JoinConfig::unbounded()
+    };
+    let one = run_cell(&r, &s, 6, &cfg, None, None);
+    assert_eq!(one.stats.partition_pairs_total, 0);
+    assert_eq!(bits(&mono.results), bits(&one.results));
+}
+
+/// The partitioned plan composes with the static (steal=false) parallel
+/// backend: per-pair invocations run claim-own-only and still merge
+/// bit-identically.
+#[test]
+fn partitioned_with_static_parallel_backend() {
+    let a = with_ids(scatter(36, [0.0, 0.0], 9.0, 0.2));
+    let b = with_ids(scatter(36, [3.0, 1.0], 9.0, 0.8));
+    let (r, s) = trees(&a, &b);
+    let k = 12;
+    let mono = canonical(run_cell(&r, &s, k, &JoinConfig::unbounded(), None, None).results);
+    let cfg = JoinConfig {
+        partitions: Some(4),
+        steal: false,
+        ..JoinConfig::unbounded()
+    };
+    let out = run_cell(&r, &s, k, &cfg, None, Some(4));
+    assert_eq!(out.stats.pairs_stolen, 0, "steal=false must never steal");
+    assert_eq!(bits(&mono), bits(&canonical(out.results)));
+}
