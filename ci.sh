@@ -26,13 +26,14 @@ BENCH_SMOKE_JSON="$(mktemp -t bench_smoke.XXXXXX.json)"
 trap 'rm -f "$BENCH_SMOKE_JSON"' EXIT
 cargo run --release -q -p amdj-bench --bin amdj -- \
     bench --n 300 --k 20 --json "$BENCH_SMOKE_JSON" 2>/dev/null
-grep -q '"schema_version": 7' "$BENCH_SMOKE_JSON" \
-    || { echo "bench smoke: schema_version != 7"; exit 1; }
-for col in op algo dataset threads steal partition prefilter k partitions \
+grep -q '"schema_version": 8' "$BENCH_SMOKE_JSON" \
+    || { echo "bench smoke: schema_version != 8"; exit 1; }
+for col in op algo dataset query_id threads steal partition prefilter k partitions \
            wall_time_s node_accesses \
            pairs_computed quantized_rejects exact_dist_skipped results \
            pairs_stolen steal_attempts barrier_idle_ns \
-           buffer_hits buffer_misses buffer_hits_by_worker buffer_misses_by_worker \
+           buffer_hits buffer_misses queue_wait_ns admission_rejections \
+           buffer_hits_by_worker buffer_misses_by_worker \
            checkpoints_written partition_pairs_total partition_pairs_pruned \
            partition_pairs_replayed partition_pairs_never_needed; do
     grep -q "\"$col\":" "$BENCH_SMOKE_JSON" \
@@ -59,7 +60,12 @@ part_results=$(grep '"dataset": "clustered"' "$BENCH_SMOKE_JSON" \
     | grep '"partitions": 8,' | grep -o '"results": [0-9]*')
 [ -n "$mono_results" ] && [ "$mono_results" = "$part_results" ] \
     || { echo "bench smoke: partitioned results ($part_results) != monolithic ($mono_results)"; exit 1; }
-echo "bench smoke: schema_version 7 with all required columns, partition pruning fired"
+# The serve section runs 32 concurrent mixed queries through an
+# in-process server (bit-identity is asserted inside the bench itself)
+# and emits one op="serve" row per query.
+grep -q '"op": "serve"' "$BENCH_SMOKE_JSON" \
+    || { echo "bench smoke: missing serve rows"; exit 1; }
+echo "bench smoke: schema_version 8 with all required columns, partition pruning fired"
 
 echo "== checkpoint smoke: interrupt, resume, compare =="
 # An interrupted join must exit 75 with a checkpoint on disk, and the
@@ -113,15 +119,110 @@ if $AMDJ kdj --r "$CKPT_DIR/a.amdj" --s "$CKPT_DIR/b.amdj" --k 100 --algo am \
 fi
 echo "partitioned plan smoke: partitioned results bit-identical to monolithic"
 
+echo "== serve smoke: concurrent protocol queries over one shared index =="
+# Drive `amdj serve` over the protocol: three concurrent kdj queries,
+# then an IDJ cursor suspended across a server restart, each diffed
+# against the one-shot CLI. Uses the release binary directly (not
+# `cargo run`) so SIGINT reaches the server, not the cargo wrapper.
+# Dependent requests on one cursor are driven in lockstep — a cursor is
+# checked out per request and concurrent ops on it fail fast by design.
+SERVE_DIR="$CKPT_DIR/serve"
+mkdir -p "$SERVE_DIR/state"
+AMDJ_BIN="target/release/amdj"
+[ -x "$AMDJ_BIN" ] || cargo build --release -q -p amdj-bench --bin amdj
+# Turns a serve Results line into the CLI's r,s,dist lines.
+serve_pairs() {
+    grep -o '"r":[0-9]*,"s":[0-9]*,"dist":[0-9.e-]*' | sed 's/"[a-z]*"://g'
+}
+await_lines() {  # lockstep: wait until $2 holds at least $1 response lines
+    for _ in $(seq 1 200); do
+        [ "$(wc -l < "$2")" -ge "$1" ] && return 0
+        sleep 0.05
+    done
+    echo "serve smoke: timed out waiting for $1 responses in $2"; exit 1
+}
+mkfifo "$SERVE_DIR/in1"
+"$AMDJ_BIN" serve --r "$CKPT_DIR/a.amdj" --s "$CKPT_DIR/b.amdj" \
+    --state-dir "$SERVE_DIR/state" \
+    < "$SERVE_DIR/in1" > "$SERVE_DIR/out1.jsonl" 2>/dev/null &
+SERVE_PID=$!
+exec 3> "$SERVE_DIR/in1"
+# Three concurrent kdj queries with distinct ids, fired back-to-back.
+printf '%s\n' \
+    '{"op":"kdj","id":"q1","k":50}' \
+    '{"op":"kdj","id":"q2","k":50,"aggressive":false}' \
+    '{"op":"kdj","id":"q3","k":50,"threads":2}' >&3
+await_lines 3 "$SERVE_DIR/out1.jsonl"
+# An IDJ cursor: open, pull a prefix, leave it open for the shutdown
+# checkpoint into --state-dir.
+printf '%s\n' '{"op":"idj_open","id":"c1","take":40}' >&3
+await_lines 4 "$SERVE_DIR/out1.jsonl"
+printf '%s\n' '{"op":"idj_pull","id":"c1","n":25}' >&3
+await_lines 5 "$SERVE_DIR/out1.jsonl"
+printf '%s\n' '{"op":"shutdown"}' >&3
+exec 3>&-
+wait "$SERVE_PID" || { echo "serve smoke: shutdown exit $?"; exit 1; }
+if grep -q '"ok":false' "$SERVE_DIR/out1.jsonl"; then
+    echo "serve smoke: a request failed"
+    grep '"ok":false' "$SERVE_DIR/out1.jsonl"
+    exit 1
+fi
+# Each concurrent kdj answer must match the one-shot CLI bit for bit.
+$AMDJ kdj --r "$CKPT_DIR/a.amdj" --s "$CKPT_DIR/b.amdj" --k 50 --algo am \
+    > "$SERVE_DIR/kdj_am.txt" 2>/dev/null
+$AMDJ kdj --r "$CKPT_DIR/a.amdj" --s "$CKPT_DIR/b.amdj" --k 50 --algo b \
+    > "$SERVE_DIR/kdj_b.txt" 2>/dev/null
+for q in q1:kdj_am q2:kdj_b q3:kdj_am; do
+    id="${q%%:*}"; ref="${q##*:}"
+    diff <(grep "\"id\":\"$id\"" "$SERVE_DIR/out1.jsonl" | serve_pairs) \
+         <(grep -v '^#' "$SERVE_DIR/$ref.txt") \
+        || { echo "serve smoke: $id differs from one-shot CLI"; exit 1; }
+done
+# Restart with the same --state-dir: c1 resumes at 25 delivered; the
+# remainder plus the first window must equal the one-shot IDJ stream.
+mkfifo "$SERVE_DIR/in2"
+"$AMDJ_BIN" serve --r "$CKPT_DIR/a.amdj" --s "$CKPT_DIR/b.amdj" \
+    --state-dir "$SERVE_DIR/state" \
+    < "$SERVE_DIR/in2" > "$SERVE_DIR/out2.jsonl" 2>/dev/null &
+SERVE_PID=$!
+exec 3> "$SERVE_DIR/in2"
+printf '%s\n' '{"op":"idj_pull","id":"c1","n":15}' >&3
+await_lines 1 "$SERVE_DIR/out2.jsonl"
+printf '%s\n' '{"op":"shutdown"}' >&3
+exec 3>&-
+wait "$SERVE_PID" || { echo "serve smoke: restart shutdown exit $?"; exit 1; }
+$AMDJ idj --r "$CKPT_DIR/a.amdj" --s "$CKPT_DIR/b.amdj" --take 40 --algo am \
+    > "$SERVE_DIR/idj.txt" 2>/dev/null
+diff <(cat <(grep '"op":"idj_pull"' "$SERVE_DIR/out1.jsonl" | serve_pairs) \
+           <(grep '"op":"idj_pull"' "$SERVE_DIR/out2.jsonl" | serve_pairs)) \
+     <(grep -v '^#' "$SERVE_DIR/idj.txt") \
+    || { echo "serve smoke: suspended+resumed cursor stream differs"; exit 1; }
+# SIGINT must drain, checkpoint open cursors, and exit 75.
+mkfifo "$SERVE_DIR/in3"
+"$AMDJ_BIN" serve --r "$CKPT_DIR/a.amdj" --s "$CKPT_DIR/b.amdj" \
+    --state-dir "$SERVE_DIR/state3" \
+    < "$SERVE_DIR/in3" > "$SERVE_DIR/out3.jsonl" 2>/dev/null &
+SERVE_PID=$!
+exec 3> "$SERVE_DIR/in3"
+printf '%s\n' '{"op":"idj_open","id":"sig","take":30}' >&3
+await_lines 1 "$SERVE_DIR/out3.jsonl"
+kill -INT "$SERVE_PID"
+rc=0; wait "$SERVE_PID" || rc=$?
+exec 3>&-
+[ "$rc" = "75" ] || { echo "serve smoke: SIGINT exit $rc != 75"; exit 1; }
+[ -f "$SERVE_DIR/state3/sig.snap" ] \
+    || { echo "serve smoke: SIGINT left no cursor checkpoint"; exit 1; }
+echo "serve smoke: concurrent queries bit-identical, cursor survived restart, SIGINT exited 75"
+
 # Stress tier (opt-in: STRESS=1 ./ci.sh): rerun the engine-matrix and
 # schedule-perturbation properties in release mode with 4× the proptest
 # cases. Both suites include 8-thread cells, so this is where racy
 # work-stealing regressions that survive the quick tier get shaken out.
 if [ "${STRESS:-0}" = "1" ]; then
-    echo "== stress tier: engine_matrix + steal_schedules + checkpoint_resume + partitioned_matrix, 4x cases =="
+    echo "== stress tier: engine_matrix + steal_schedules + checkpoint_resume + partitioned_matrix + serve_concurrent, 4x cases =="
     AMDJ_PROPTEST_CASES=48 cargo test -q --release \
         --package amdj-tests --test engine_matrix --test steal_schedules \
-        --test checkpoint_resume --test partitioned_matrix
+        --test checkpoint_resume --test partitioned_matrix --test serve_concurrent
 fi
 
 echo "ci.sh: all checks passed"

@@ -12,6 +12,8 @@
 //! amdj within   --r a.amdj --s b.amdj --dist D
 //! amdj knn      --r a.amdj --s b.amdj --k K
 //! amdj bench    [--n N] [--k K] [--seed S] [--json [FILE]]
+//! amdj serve    --r a.amdj --s b.amdj [--mem-budget BYTES] [--max-waiting N]
+//!               [--episode-expansions N] [--max-request-bytes N] [--state-dir DIR]
 //! ```
 //!
 //! CSV rows are `lo_x,lo_y,hi_x,hi_y,id`. Index files are the persistent
@@ -26,18 +28,30 @@
 //! checkpoint. `AMDJ_INTERRUPT_AFTER=<n>` simulates an interrupt after
 //! `n` expansions of the current episode (used by `ci.sh`'s resume
 //! smoke test).
+//!
+//! `serve` loads both trees once and then answers any number of
+//! concurrent KDJ/IDJ queries over them through the line-delimited JSON
+//! protocol of [`amdj_core::serve`] (one request per stdin line, one
+//! response per stdout line; see DESIGN.md §12). Executing queries are
+//! admission-controlled against `--mem-budget` in units of the engine's
+//! own queue memory budget. On SIGINT the server stops accepting
+//! requests, drains the in-flight ones, checkpoints every open IDJ
+//! cursor into `--state-dir`, and exits 75; a restart with the same
+//! `--state-dir` resumes those cursors at their recorded delivery
+//! positions.
 
 use std::collections::HashMap;
 use std::io::{BufRead, BufWriter, Write};
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
+use amdj_core::serve::{codec::QuerySpec, ServeOptions, Server};
 use amdj_core::{
     am_kdj, b_kdj, hs_kdj, idj_resumable, kdj_resumable, knn_join, par_am_idj, par_am_kdj,
     par_b_kdj, read_checkpoint, sj_sort, within_join, write_checkpoint, AmIdj, AmIdjOptions,
     AmKdjOptions, Checkpointed, EngineSnapshot, HsIdj, JoinConfig, JoinOutput, Partition, PauseCtl,
-    SnapshotError,
+    ResultPair, SnapshotError,
 };
 use amdj_datagen::{
     clustered_points,
@@ -49,7 +63,7 @@ use amdj_rtree::{RTree, RTreeParams};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  amdj generate --kind tiger-streets|tiger-hydro|uniform|clustered --n N [--seed S] --out data.csv\n  amdj build    --input data.csv --out index.amdj\n  amdj kdj      --r a.amdj --s b.amdj --k K [--algo am|b|hs|par|par-am] [--threads T]\n                [--partitions P] [--checkpoint-path P] [--checkpoint-every N] [--resume P]\n  amdj idj      --r a.amdj --s b.amdj --take N [--batch B] [--algo am|par-am] [--threads T]\n                [--checkpoint-path P] [--checkpoint-every N] [--resume P]\n  amdj within   --r a.amdj --s b.amdj --dist D\n  amdj knn      --r a.amdj --s b.amdj --k K\n  amdj bench    [--n N] [--k K] [--seed S] [--json [FILE]]\n  (any join command also accepts --no-prefilter to disable the quantized MBR prefilter)"
+        "usage:\n  amdj generate --kind tiger-streets|tiger-hydro|uniform|clustered --n N [--seed S] --out data.csv\n  amdj build    --input data.csv --out index.amdj\n  amdj kdj      --r a.amdj --s b.amdj --k K [--algo am|b|hs|par|par-am] [--threads T]\n                [--partitions P] [--checkpoint-path P] [--checkpoint-every N] [--resume P]\n  amdj idj      --r a.amdj --s b.amdj --take N [--batch B] [--algo am|par-am] [--threads T]\n                [--checkpoint-path P] [--checkpoint-every N] [--resume P]\n  amdj within   --r a.amdj --s b.amdj --dist D\n  amdj knn      --r a.amdj --s b.amdj --k K\n  amdj bench    [--n N] [--k K] [--seed S] [--json [FILE]]\n  amdj serve    --r a.amdj --s b.amdj [--mem-budget BYTES] [--max-waiting N]\n                [--episode-expansions N] [--max-request-bytes N] [--state-dir DIR]\n  (any join command also accepts --no-prefilter to disable the quantized MBR prefilter)"
     );
     ExitCode::from(2)
 }
@@ -175,7 +189,7 @@ fn run_episodes(
         prior_expansions += ctl.expansions();
         match outcome.map_err(|e| e.to_string())? {
             Checkpointed::Done(out) => return Ok(Some(out)),
-            Checkpointed::Suspended(snap) => {
+            Checkpointed::Suspended(snap, _) => {
                 let path = ckpt.path.as_deref().ok_or(
                     "join paused without --checkpoint-path; set it to make interrupts resumable",
                 )?;
@@ -520,6 +534,31 @@ fn run() -> Result<ExitCode, String> {
             }
             eprintln!("# {} R-objects × {k} neighbours", out.groups.len());
         }
+        "serve" => {
+            let r = open_tree(&get("r")?)?;
+            let s = open_tree(&get("s")?)?;
+            let mut sopts = ServeOptions {
+                base_config: cfg.clone(),
+                ..ServeOptions::default()
+            };
+            if let Some(v) = flags.get("mem-budget") {
+                sopts.mem_budget_bytes = v.parse().map_err(|e| format!("--mem-budget: {e}"))?;
+            }
+            if let Some(v) = flags.get("max-waiting") {
+                sopts.max_waiting = v.parse().map_err(|e| format!("--max-waiting: {e}"))?;
+            }
+            if let Some(v) = flags.get("episode-expansions") {
+                sopts.episode_expansions = v
+                    .parse()
+                    .map_err(|e| format!("--episode-expansions: {e}"))?;
+            }
+            if let Some(v) = flags.get("max-request-bytes") {
+                sopts.max_request_bytes =
+                    v.parse().map_err(|e| format!("--max-request-bytes: {e}"))?;
+            }
+            let state_dir = flags.get("state-dir").map(std::path::PathBuf::from);
+            return serve_loop(&r, &s, sopts, state_dir);
+        }
         "bench" => {
             let n: usize = flags
                 .get("n")
@@ -576,6 +615,125 @@ fn run() -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// Re-opens cursors checkpointed into `dir` by a previous serve run's
+/// shutdown: reads the `cursors.txt` manifest and resumes each snapshot
+/// at its recorded delivery position. A missing manifest means a fresh
+/// start; a corrupt snapshot is a clean startup error.
+fn resume_cursors(server: &Server<'_, 2>, dir: &std::path::Path) -> Result<(), String> {
+    let manifest = dir.join("cursors.txt");
+    let Ok(text) = std::fs::read_to_string(&manifest) else {
+        return Ok(());
+    };
+    for line in text.lines() {
+        let Some((id, delivered)) = line.split_once('\t') else {
+            return Err(format!(
+                "{}: malformed manifest line {line:?}",
+                manifest.display()
+            ));
+        };
+        let delivered: u64 = delivered
+            .parse()
+            .map_err(|e| format!("{}: {e}", manifest.display()))?;
+        let name: String = id
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                    c
+                } else {
+                    '_'
+                }
+            })
+            .collect();
+        let path = dir.join(format!("{name}.snap"));
+        let bytes = std::fs::read(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        server
+            .idj_resume(id, &bytes, delivered, QuerySpec::default())
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        eprintln!("# resumed cursor `{id}` at {delivered} delivered");
+    }
+    Ok(())
+}
+
+/// The `serve` command: one shared [`Server`] over the two trees, fed
+/// by a stdin reader thread, answered by one handler thread per
+/// request. glibc installs SIGINT handlers with `SA_RESTART`, so a
+/// blocked stdin read would never observe Ctrl-C — reading happens on
+/// a detached thread and this loop polls the channel, so an interrupt
+/// always gets its chance to drain, checkpoint, and exit 75.
+fn serve_loop(
+    r: &RTree<2>,
+    s: &RTree<2>,
+    opts: ServeOptions,
+    state_dir: Option<std::path::PathBuf>,
+) -> Result<ExitCode, String> {
+    install_sigint_handler();
+    let server = Server::new(r, s, opts);
+    if let Some(dir) = &state_dir {
+        resume_cursors(&server, dir)?;
+    }
+    let (tx, rx) = std::sync::mpsc::channel::<String>();
+    std::thread::spawn(move || {
+        let stdin = std::io::stdin();
+        for line in stdin.lock().lines() {
+            let Ok(line) = line else { return };
+            if tx.send(line).is_err() {
+                return;
+            }
+        }
+    });
+    let stdout = Mutex::new(std::io::stdout());
+    let shutdown = AtomicBool::new(false);
+    eprintln!(
+        "# serving {} x {} objects; one JSON request per line on stdin",
+        r.len(),
+        s.len()
+    );
+    std::thread::scope(|scope| {
+        loop {
+            if INTERRUPTED.load(Ordering::SeqCst) || shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let line = match rx.recv_timeout(std::time::Duration::from_millis(50)) {
+                Ok(line) => line,
+                Err(std::sync::mpsc::RecvTimeoutError::Timeout) => continue,
+                // stdin reached EOF: no more requests can arrive.
+                Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => break,
+            };
+            if line.trim().is_empty() {
+                continue;
+            }
+            let (server, stdout, shutdown) = (&server, &stdout, &shutdown);
+            scope.spawn(move || {
+                let (resp, stop) = server.handle_line(line.as_bytes());
+                if stop {
+                    shutdown.store(true, Ordering::SeqCst);
+                }
+                let mut out = stdout.lock().expect("stdout poisoned");
+                let _ = writeln!(out, "{}", resp.encode());
+                let _ = out.flush();
+            });
+        }
+        // Leaving the scope joins every in-flight handler: the drain.
+    });
+    if let Some(dir) = &state_dir {
+        let ids = server
+            .checkpoint_open_cursors(dir)
+            .map_err(|e| format!("{}: {e}", dir.display()))?;
+        if !ids.is_empty() {
+            eprintln!(
+                "# checkpointed {} open cursor(s) into {}",
+                ids.len(),
+                dir.display()
+            );
+        }
+    }
+    if INTERRUPTED.load(Ordering::SeqCst) {
+        eprintln!("# interrupted; restart with the same --state-dir to resume open cursors");
+        return Ok(ExitCode::from(EXIT_INTERRUPTED));
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
 /// One measured cell of the benchmark matrix.
 struct BenchRow {
     op: &'static str,
@@ -622,6 +780,14 @@ struct BenchRow {
     /// cache-residency split the locality partitioner exists to improve.
     hits_by_worker: Vec<u64>,
     misses_by_worker: Vec<u64>,
+    /// Admission queue wait of a serve-mode query (0 off serve rows).
+    queue_wait_ns: u64,
+    /// Serve-wide admission rejections observed by the row's server
+    /// (0 off serve rows).
+    admission_rejections: u64,
+    /// The serve-mode query id this row attributes (empty off serve
+    /// rows).
+    query_id: String,
 }
 
 /// Runs every kdj/idj algorithm (sequential and parallel at several thread
@@ -705,6 +871,9 @@ fn run_bench_matrix(n: usize, k: usize, seed: u64, cfg: &JoinConfig) -> Vec<Benc
             partition_pairs_never_needed: out.stats.partition_pairs_never_needed,
             hits_by_worker: out.stats.buffer_hits_by_worker[..trim].to_vec(),
             misses_by_worker: out.stats.buffer_misses_by_worker[..trim].to_vec(),
+            queue_wait_ns: 0,
+            admission_rejections: 0,
+            query_id: String::new(),
         });
     };
     record(
@@ -808,7 +977,7 @@ fn run_bench_matrix(n: usize, k: usize, seed: u64, cfg: &JoinConfig) -> Vec<Benc
                         ckpt_written.set(written);
                         return out;
                     }
-                    Checkpointed::Suspended(snap) => {
+                    Checkpointed::Suspended(snap, _) => {
                         write_checkpoint(&ckpt_path, snap.as_ref()).expect("checkpoint write");
                         written += 1;
                         resume = Some(*snap);
@@ -912,6 +1081,183 @@ fn run_bench_matrix(n: usize, k: usize, seed: u64, cfg: &JoinConfig) -> Vec<Benc
             );
         }
     }
+    // The serve section: 32 concurrent mixed queries — one-shot KDJ at
+    // several knob settings plus pull-driven IDJ cursors — through one
+    // in-process `serve::Server` over the shared trees. Every query's
+    // result stream is asserted bit-identical to its serial one-shot
+    // equivalent before its row is recorded; the row then carries the
+    // per-query attribution (buffer hits/misses, admission queue wait)
+    // the server exists to provide.
+    enum ServeKind {
+        Kdj { k: usize, spec: QuerySpec },
+        Idj { take: usize, batch: usize },
+    }
+    let mut cells = Vec::new();
+    for i in 0..32usize {
+        let kind = match i % 4 {
+            0 => ServeKind::Kdj {
+                k: (k / (1 + i % 3)).max(1),
+                spec: QuerySpec::default(),
+            },
+            1 => ServeKind::Kdj {
+                k: (k / 2).max(1),
+                spec: QuerySpec {
+                    aggressive: false,
+                    threads: 2,
+                    ..QuerySpec::default()
+                },
+            },
+            2 => ServeKind::Idj {
+                take: k.max(3),
+                batch: (k / 3).max(1),
+            },
+            _ => ServeKind::Kdj {
+                k: (k / 4).max(1),
+                spec: QuerySpec {
+                    threads: 2,
+                    ..QuerySpec::default()
+                },
+            },
+        };
+        cells.push((format!("q{i:02}"), kind));
+    }
+    // Serial expectations through the ordinary one-shot entry points.
+    let expected: Vec<Vec<ResultPair>> = cells
+        .iter()
+        .map(|(_, kind)| match kind {
+            ServeKind::Kdj { k, spec } => {
+                let mut c = cfg.clone();
+                if let Some(steal) = spec.steal {
+                    c.steal = steal;
+                }
+                c.partitions = (spec.partitions > 1).then_some(spec.partitions as usize);
+                let t = (spec.threads as usize).max(1);
+                match (spec.aggressive, t > 1) {
+                    (true, false) => am_kdj(&r, &s, *k, &c, &AmKdjOptions::default()).results,
+                    (true, true) => par_am_kdj(&r, &s, *k, &c, &AmKdjOptions::default(), t).results,
+                    (false, false) => b_kdj(&r, &s, *k, &c).results,
+                    (false, true) => par_b_kdj(&r, &s, *k, &c, t).results,
+                }
+            }
+            ServeKind::Idj { take, .. } => {
+                let mut cursor = AmIdj::new(&r, &s, cfg, AmIdjOptions::default());
+                let mut out = Vec::with_capacity(*take);
+                while out.len() < *take {
+                    match cursor.next() {
+                        Some(p) => out.push(p),
+                        None => break,
+                    }
+                }
+                out
+            }
+        })
+        .collect();
+    let server = Server::new(
+        &r,
+        &s,
+        ServeOptions {
+            base_config: cfg.clone(),
+            ..ServeOptions::default()
+        },
+    );
+    let measured: Vec<(f64, Vec<ResultPair>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = cells
+            .iter()
+            .map(|(id, kind)| {
+                let server = &server;
+                scope.spawn(move || {
+                    let start = std::time::Instant::now();
+                    let results = match kind {
+                        ServeKind::Kdj { k, spec } => {
+                            server
+                                .kdj(id, *k, spec)
+                                .expect("bench serve kdj admitted")
+                                .0
+                                .results
+                        }
+                        ServeKind::Idj { take, batch } => {
+                            server
+                                .idj_open(id, *take, QuerySpec::default())
+                                .expect("bench serve cursor opens");
+                            let mut out = Vec::with_capacity(*take);
+                            loop {
+                                let (chunk, done, _) =
+                                    server.idj_pull(id, *batch).expect("bench serve pull");
+                                out.extend(chunk);
+                                if done || out.len() >= *take {
+                                    break;
+                                }
+                            }
+                            server.idj_close(id).expect("bench serve cursor closes");
+                            out
+                        }
+                    };
+                    (start.elapsed().as_secs_f64(), results)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("serve query panicked"))
+            .collect()
+    });
+    for (((id, _), (_, got)), want) in cells.iter().zip(&measured).zip(&expected) {
+        assert_eq!(
+            got.len(),
+            want.len(),
+            "serve query {id}: result count diverged from the serial equivalent"
+        );
+        for (a, b) in got.iter().zip(want) {
+            assert!(
+                a.r == b.r && a.s == b.s && a.dist.to_bits() == b.dist.to_bits(),
+                "serve query {id} diverged from its serial equivalent"
+            );
+        }
+    }
+    let reports = server.query_reports();
+    let rejections = server.admission_rejections();
+    for (((id, kind), (wall, _)), want) in cells.iter().zip(&measured).zip(&expected) {
+        let (algo, rep_op, kq, threads): (&'static str, &'static str, usize, usize) = match kind {
+            ServeKind::Kdj { k, spec } => ("kdj", "kdj", *k, (spec.threads as usize).max(1)),
+            ServeKind::Idj { take, .. } => ("idj", "idj", *take, 1),
+        };
+        let rep = reports
+            .iter()
+            .find(|r| r.id == *id && r.op == rep_op)
+            .expect("every serve query leaves a report");
+        rows.push(BenchRow {
+            op: "serve",
+            algo,
+            dataset: "uniform-clustered",
+            threads,
+            steal: cfg.steal,
+            partition: "locality",
+            prefilter: cfg.quantized_prefilter,
+            k: kq,
+            wall_time_s: *wall,
+            node_accesses: 0,
+            pairs_computed: 0,
+            quantized_rejects: 0,
+            exact_dist_skipped: 0,
+            results: want.len(),
+            pairs_stolen: 0,
+            steal_attempts: 0,
+            barrier_idle_ns: 0,
+            buffer_hits: rep.buffer_hits,
+            buffer_misses: rep.buffer_misses,
+            checkpoints: 0,
+            partitions: 0,
+            partition_pairs_total: 0,
+            partition_pairs_pruned: 0,
+            partition_pairs_replayed: 0,
+            partition_pairs_never_needed: 0,
+            hits_by_worker: Vec::new(),
+            misses_by_worker: Vec::new(),
+            queue_wait_ns: rep.queue_wait_ns,
+            admission_rejections: rejections,
+            query_id: id.clone(),
+        });
+    }
     rows
 }
 
@@ -937,18 +1283,23 @@ fn bench_rows_json(n: usize, k: usize, seed: u64, rows: &[BenchRow]) -> String {
     // counters, and the kdj "am" prefilter-off ablation row; 7 added the
     // dataset and partitions columns, the partition_pairs_* ledger
     // counters, and the partitioned-vs-monolithic ablation rows on the
-    // clustered and arizona workloads.
-    out.push_str("  \"schema_version\": 7,\n");
+    // clustered and arizona workloads; 8 added the serve section (32
+    // concurrent mixed queries through the in-process join server, one
+    // op="serve" row per query, bit-identity asserted against serial
+    // equivalents) and the query_id / queue_wait_ns /
+    // admission_rejections columns.
+    out.push_str("  \"schema_version\": 8,\n");
     out.push_str(&format!(
         "  \"workload\": {{ \"n\": {n}, \"k\": {k}, \"seed\": {seed}, \"r\": \"uniform\", \"s\": \"clustered\" }},\n"
     ));
     out.push_str("  \"runs\": [\n");
     for (i, row) in rows.iter().enumerate() {
         out.push_str(&format!(
-            "    {{ \"op\": \"{}\", \"algo\": \"{}\", \"dataset\": \"{}\", \"threads\": {}, \"steal\": {}, \"partition\": \"{}\", \"prefilter\": {}, \"k\": {}, \"partitions\": {}, \"wall_time_s\": {:.6}, \"node_accesses\": {}, \"pairs_computed\": {}, \"quantized_rejects\": {}, \"exact_dist_skipped\": {}, \"results\": {}, \"pairs_stolen\": {}, \"steal_attempts\": {}, \"barrier_idle_ns\": {}, \"buffer_hits\": {}, \"buffer_misses\": {}, \"checkpoints_written\": {}, \"partition_pairs_total\": {}, \"partition_pairs_pruned\": {}, \"partition_pairs_replayed\": {}, \"partition_pairs_never_needed\": {}, \"buffer_hits_by_worker\": {}, \"buffer_misses_by_worker\": {} }}{}\n",
+            "    {{ \"op\": \"{}\", \"algo\": \"{}\", \"dataset\": \"{}\", \"query_id\": \"{}\", \"threads\": {}, \"steal\": {}, \"partition\": \"{}\", \"prefilter\": {}, \"k\": {}, \"partitions\": {}, \"wall_time_s\": {:.6}, \"node_accesses\": {}, \"pairs_computed\": {}, \"quantized_rejects\": {}, \"exact_dist_skipped\": {}, \"results\": {}, \"pairs_stolen\": {}, \"steal_attempts\": {}, \"barrier_idle_ns\": {}, \"buffer_hits\": {}, \"buffer_misses\": {}, \"queue_wait_ns\": {}, \"admission_rejections\": {}, \"checkpoints_written\": {}, \"partition_pairs_total\": {}, \"partition_pairs_pruned\": {}, \"partition_pairs_replayed\": {}, \"partition_pairs_never_needed\": {}, \"buffer_hits_by_worker\": {}, \"buffer_misses_by_worker\": {} }}{}\n",
             row.op,
             row.algo,
             row.dataset,
+            row.query_id,
             row.threads,
             row.steal,
             row.partition,
@@ -966,6 +1317,8 @@ fn bench_rows_json(n: usize, k: usize, seed: u64, rows: &[BenchRow]) -> String {
             row.barrier_idle_ns,
             row.buffer_hits,
             row.buffer_misses,
+            row.queue_wait_ns,
+            row.admission_rejections,
             row.checkpoints,
             row.partition_pairs_total,
             row.partition_pairs_pruned,

@@ -90,8 +90,13 @@ impl PauseCtl {
 pub enum Checkpointed<const D: usize> {
     /// The join ran to completion.
     Done(JoinOutput),
-    /// The pause fired; resume by passing the snapshot back in.
-    Suspended(Box<EngineSnapshot<D>>),
+    /// The pause fired; resume by passing the snapshot back in. The
+    /// [`JoinStats`](crate::JoinStats) cover *this episode only* (work
+    /// and buffer attribution since the run or resume began), so a
+    /// multi-episode caller — the CLI's episode loop, a serve-mode
+    /// cursor — can accumulate exact per-query totals across
+    /// suspensions instead of losing the interrupted episode's counts.
+    Suspended(Box<EngineSnapshot<D>>, crate::JoinStats),
 }
 
 /// Runs (or resumes) a checkpointable k-distance join on the

@@ -641,7 +641,7 @@ pub(crate) fn run_kdj<const D: usize, P: PruningPolicy>(
         r, s, k, cfg, policy, threads, schedule, None, None, ext_bound,
     ) {
         Checkpointed::Done(out) => out,
-        Checkpointed::Suspended(_) => unreachable!("no pause control was attached"),
+        Checkpointed::Suspended(..) => unreachable!("no pause control was attached"),
     }
 }
 
@@ -790,8 +790,6 @@ pub(crate) fn run_kdj_ckpt<const D: usize, P: PruningPolicy>(
                 if dists.len() == k {
                     let kth = dists[k - 1];
                     if kth.is_finite() {
-                        // Stats die with the suspension; only the bound
-                        // (and through it the snapshot's pruning) matters.
                         shared.tighten(kth);
                     }
                 }
@@ -806,7 +804,8 @@ pub(crate) fn run_kdj_ckpt<const D: usize, P: PruningPolicy>(
                 comps.retain(|e| e.key <= bound);
                 comps.sort_by(|a, b| a.key.total_cmp(&b.key));
                 sort_canonical(&mut results);
-                return Checkpointed::Suspended(Box::new(EngineSnapshot {
+                baseline.finish(r, s, &mut stats, queue_io);
+                let snap = Box::new(EngineSnapshot {
                     kind: SnapshotKind::Kdj {
                         k: k as u64,
                         aggressive: P::AGGRESSIVE,
@@ -821,7 +820,8 @@ pub(crate) fn run_kdj_ckpt<const D: usize, P: PruningPolicy>(
                     dists,
                     frontier,
                     comps,
-                }));
+                });
+                return Checkpointed::Suspended(snap, stats);
             }
 
             if P::AGGRESSIVE {
@@ -937,7 +937,8 @@ pub(crate) fn run_kdj_ckpt<const D: usize, P: PruningPolicy>(
                 comps.retain(|e| e.key <= bound);
                 comps.sort_by(|a, b| a.key.total_cmp(&b.key));
                 sort_canonical(&mut results);
-                return Checkpointed::Suspended(Box::new(EngineSnapshot {
+                baseline.finish(r, s, &mut stats, queue_io);
+                let snap = Box::new(EngineSnapshot {
                     kind: SnapshotKind::Kdj {
                         k: k as u64,
                         aggressive: P::AGGRESSIVE,
@@ -952,7 +953,8 @@ pub(crate) fn run_kdj_ckpt<const D: usize, P: PruningPolicy>(
                     dists: dists.to_vec(),
                     frontier,
                     comps,
-                }));
+                });
+                return Checkpointed::Suspended(snap, stats);
             }
         }
         sort_canonical(&mut results);
@@ -979,7 +981,7 @@ pub(crate) fn run_idj<const D: usize>(
 ) -> JoinOutput {
     match run_idj_ckpt(r, s, take, cfg, opts, threads, schedule, None, None) {
         Checkpointed::Done(out) => out,
-        Checkpointed::Suspended(_) => unreachable!("no pause control was attached"),
+        Checkpointed::Suspended(..) => unreachable!("no pause control was attached"),
     }
 }
 
@@ -1111,7 +1113,8 @@ pub(crate) fn run_idj_ckpt<const D: usize>(
             // later emissions) stays sound.
             let dists: Vec<f64> = results.iter().map(|p| p.dist).take(take).collect();
             let emitted = results.len() as u64;
-            return Checkpointed::Suspended(Box::new(EngineSnapshot {
+            baseline.finish(r, s, &mut stats, queue_io);
+            let snap = Box::new(EngineSnapshot {
                 kind: SnapshotKind::Idj { take: take as u64 },
                 stage: stage_max,
                 edmax: edmax_min,
@@ -1123,7 +1126,8 @@ pub(crate) fn run_idj_ckpt<const D: usize>(
                 dists,
                 frontier: sus_frontier,
                 comps: sus_comps,
-            }));
+            });
+            return Checkpointed::Suspended(snap, stats);
         }
         sort_canonical(&mut results);
         results.truncate(take);

@@ -77,6 +77,7 @@ mod hs;
 mod knnjoin;
 mod mainq;
 mod pair;
+pub mod serve;
 mod sjsort;
 mod stats;
 mod within;

@@ -1,0 +1,306 @@
+//! Admission control for concurrent serve-mode queries.
+//!
+//! Every executing query charges its [`JoinConfig::queue_mem_bytes`]
+//! budget against one shared serve-wide memory budget — the same unit
+//! the paper's main queue is bounded by, so "how many queries fit" is
+//! answered by the knob that already exists. Requests that do not fit
+//! wait in a bounded FIFO line; when the line is full they are rejected
+//! outright with a structured error (load shedding, not queueing
+//! collapse).
+//!
+//! The decision logic lives in [`AdmissionCore`], a pure deterministic
+//! state machine with no clocks or threads — the admission proptest
+//! (`tests/serve_admission.rs`) drives it through random
+//! admit/complete sequences and checks the budget, liveness, and
+//! FIFO invariants on the model alone. [`Admission`] wraps the core in
+//! a mutex + condvar for the real server, measuring each query's queue
+//! wait.
+//!
+//! [`JoinConfig::queue_mem_bytes`]: crate::JoinConfig::queue_mem_bytes
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// A granted admission's identity, used to match condvar wakeups to
+/// waiters. Monotone per [`AdmissionCore`].
+pub type Ticket = u64;
+
+/// The outcome of an admission request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Admit {
+    /// The query fits now; it may start immediately.
+    Admitted(Ticket),
+    /// The budget is full but the waiting line has room; the ticket is
+    /// granted in FIFO order by a later [`AdmissionCore::complete`].
+    Queued(Ticket),
+    /// The waiting line is full (or the query could never fit the
+    /// budget at all); the caller must give up.
+    Rejected,
+}
+
+/// The deterministic admission state machine: a byte budget, the bytes
+/// charged by running queries, and a bounded FIFO of waiting requests.
+///
+/// Invariants (pinned by `tests/serve_admission.rs`):
+///
+/// * `in_use ≤ budget` after every transition;
+/// * grants are strictly FIFO — a waiter is never overtaken by a
+///   later-queued waiter;
+/// * every queued request is eventually granted once enough completions
+///   occur (no deadlock, no lost wakeup at the model level).
+#[derive(Debug)]
+pub struct AdmissionCore {
+    budget: u64,
+    in_use: u64,
+    max_waiting: usize,
+    waiting: VecDeque<(Ticket, u64)>,
+    next_ticket: Ticket,
+    rejections: u64,
+}
+
+impl AdmissionCore {
+    /// A controller over `budget` bytes with at most `max_waiting`
+    /// requests allowed to wait.
+    pub fn new(budget: u64, max_waiting: usize) -> Self {
+        AdmissionCore {
+            budget,
+            in_use: 0,
+            max_waiting,
+            waiting: VecDeque::new(),
+            next_ticket: 0,
+            rejections: 0,
+        }
+    }
+
+    /// Requests admission for a query charging `cost` bytes.
+    ///
+    /// A `cost` larger than the whole budget is rejected immediately —
+    /// it could never be granted, and queueing it would deadlock the
+    /// line behind it. Queries are otherwise admitted when they fit
+    /// *and* no earlier request is still waiting (FIFO — a small query
+    /// must not overtake a large one, or the large one starves).
+    pub fn request(&mut self, cost: u64) -> Admit {
+        if cost > self.budget {
+            self.rejections += 1;
+            return Admit::Rejected;
+        }
+        let ticket = self.next_ticket;
+        if self.waiting.is_empty() && self.in_use + cost <= self.budget {
+            self.next_ticket += 1;
+            self.in_use += cost;
+            return Admit::Admitted(ticket);
+        }
+        if self.waiting.len() < self.max_waiting {
+            self.next_ticket += 1;
+            self.waiting.push_back((ticket, cost));
+            return Admit::Queued(ticket);
+        }
+        self.rejections += 1;
+        Admit::Rejected
+    }
+
+    /// Releases `cost` bytes of a finished (previously admitted) query
+    /// and grants the longest FIFO prefix of the waiting line that now
+    /// fits. Returns the granted tickets, in grant order.
+    pub fn complete(&mut self, cost: u64) -> Vec<Ticket> {
+        debug_assert!(self.in_use >= cost, "completing more than admitted");
+        self.in_use -= cost;
+        let mut granted = Vec::new();
+        while let Some(&(ticket, c)) = self.waiting.front() {
+            if self.in_use + c > self.budget {
+                break;
+            }
+            self.waiting.pop_front();
+            self.in_use += c;
+            granted.push(ticket);
+        }
+        granted
+    }
+
+    /// Bytes charged by currently admitted queries.
+    pub fn in_use(&self) -> u64 {
+        self.in_use
+    }
+
+    /// The configured budget.
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// Requests currently waiting.
+    pub fn waiting_len(&self) -> usize {
+        self.waiting.len()
+    }
+
+    /// Requests rejected so far (line full or cost larger than the
+    /// whole budget).
+    pub fn rejections(&self) -> u64 {
+        self.rejections
+    }
+}
+
+/// What a blocking [`Admission::acquire`] returned with.
+#[derive(Debug)]
+pub struct AdmitGuard<'a> {
+    admission: &'a Admission,
+    cost: u64,
+    /// Nanoseconds this request spent waiting in the admission line
+    /// (zero when admitted immediately).
+    pub queue_wait_ns: u64,
+}
+
+impl Drop for AdmitGuard<'_> {
+    fn drop(&mut self) {
+        let mut inner = self.admission.inner.lock().expect("admission poisoned");
+        let granted = inner.core.complete(self.cost);
+        inner.granted.extend(granted);
+        drop(inner);
+        self.admission.cv.notify_all();
+    }
+}
+
+#[derive(Debug)]
+struct AdmissionInner {
+    core: AdmissionCore,
+    /// Tickets granted by completions whose waiters have not woken yet.
+    granted: std::collections::HashSet<Ticket>,
+}
+
+/// The blocking admission controller the server runs: [`AdmissionCore`]
+/// behind a mutex, with a condvar carrying grants to waiting handler
+/// threads. Dropping the returned [`AdmitGuard`] releases the budget
+/// and wakes waiters.
+#[derive(Debug)]
+pub struct Admission {
+    inner: Mutex<AdmissionInner>,
+    cv: Condvar,
+}
+
+impl Admission {
+    /// A blocking controller over `budget` bytes with at most
+    /// `max_waiting` waiters.
+    pub fn new(budget: u64, max_waiting: usize) -> Self {
+        Admission {
+            inner: Mutex::new(AdmissionInner {
+                core: AdmissionCore::new(budget, max_waiting),
+                granted: std::collections::HashSet::new(),
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Blocks until `cost` bytes are admitted, or returns `None` when
+    /// the request is rejected (line full / cost larger than the
+    /// budget). The guard's `queue_wait_ns` records the time spent in
+    /// the line.
+    pub fn acquire(&self, cost: u64) -> Option<AdmitGuard<'_>> {
+        let mut inner = self.inner.lock().expect("admission poisoned");
+        match inner.core.request(cost) {
+            Admit::Admitted(_) => Some(AdmitGuard {
+                admission: self,
+                cost,
+                queue_wait_ns: 0,
+            }),
+            Admit::Rejected => None,
+            Admit::Queued(ticket) => {
+                let started = std::time::Instant::now();
+                loop {
+                    if inner.granted.remove(&ticket) {
+                        return Some(AdmitGuard {
+                            admission: self,
+                            cost,
+                            queue_wait_ns: started.elapsed().as_nanos() as u64,
+                        });
+                    }
+                    inner = self.cv.wait(inner).expect("admission poisoned");
+                }
+            }
+        }
+    }
+
+    /// Bytes charged by currently admitted queries.
+    pub fn in_use(&self) -> u64 {
+        self.inner.lock().expect("admission poisoned").core.in_use()
+    }
+
+    /// Requests rejected so far.
+    pub fn rejections(&self) -> u64 {
+        self.inner
+            .lock()
+            .expect("admission poisoned")
+            .core
+            .rejections()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admits_until_budget_then_queues_then_rejects() {
+        let mut a = AdmissionCore::new(100, 2);
+        assert!(matches!(a.request(60), Admit::Admitted(_)));
+        assert!(matches!(a.request(60), Admit::Queued(_)));
+        assert!(
+            matches!(a.request(10), Admit::Queued(_)),
+            "FIFO: no overtaking"
+        );
+        assert!(matches!(a.request(10), Admit::Rejected));
+        assert_eq!(a.rejections(), 1);
+        assert!(a.in_use() <= a.budget());
+    }
+
+    #[test]
+    fn complete_grants_fifo_prefix() {
+        let mut a = AdmissionCore::new(100, 8);
+        let Admit::Admitted(_) = a.request(100) else {
+            panic!("first fits")
+        };
+        let Admit::Queued(t1) = a.request(40) else {
+            panic!("queues")
+        };
+        let Admit::Queued(t2) = a.request(40) else {
+            panic!("queues")
+        };
+        let Admit::Queued(_) = a.request(40) else {
+            panic!("queues")
+        };
+        assert_eq!(a.complete(100), vec![t1, t2], "two fit, third must wait");
+        assert_eq!(a.in_use(), 80);
+    }
+
+    #[test]
+    fn oversized_request_rejected_not_queued() {
+        let mut a = AdmissionCore::new(100, 8);
+        assert_eq!(a.request(101), Admit::Rejected);
+        assert_eq!(a.waiting_len(), 0);
+    }
+
+    #[test]
+    fn blocking_acquire_waits_for_release() {
+        let adm = Admission::new(100, 4);
+        let first = adm.acquire(100).expect("fits");
+        std::thread::scope(|scope| {
+            let adm = &adm;
+            let h = scope.spawn(move || {
+                let g = adm.acquire(50).expect("granted after release");
+                g.queue_wait_ns
+            });
+            // Give the waiter time to enter the line, then release.
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            drop(first);
+            let waited = h.join().expect("waiter panicked");
+            assert!(waited > 0, "queued waiter must measure its wait");
+        });
+        assert_eq!(adm.in_use(), 0, "all guards dropped");
+    }
+
+    #[test]
+    fn blocking_rejects_when_line_full() {
+        let adm = Admission::new(10, 0);
+        let _g = adm.acquire(10).expect("fits");
+        assert!(adm.acquire(1).is_none(), "no line, no admission");
+        assert_eq!(adm.rejections(), 1);
+    }
+}

@@ -1,0 +1,498 @@
+//! The concurrent join server: many KDJ/IDJ queries over one shared
+//! pair of trees.
+//!
+//! [`Server`] is the transport-independent core of `amdj serve`
+//! (DESIGN.md §12): it owns no sockets and spawns no threads — callers
+//! (the CLI's stdin/stdout loop, the concurrency tests, the bench serve
+//! section) bring their own threads and drive it through either the
+//! typed methods ([`Server::kdj`], [`Server::idj_pull`], …) or the wire
+//! seam ([`Server::handle_line`]), which decodes one request line,
+//! dispatches, and encodes one response line without ever panicking.
+//!
+//! Three subsystems compose it:
+//!
+//! * **admission** ([`admission`]) — every executing query charges the
+//!   engine's own `queue_mem_bytes` unit against one serve-wide memory
+//!   budget; overflow waits in a bounded FIFO line, and a full line is
+//!   a structured rejection. Blocking happens on the *handler thread*
+//!   (one per in-flight request), so admitted queries always progress;
+//! * **sessions** ([`session`]) — IDJ cursors are suspended
+//!   [`EngineSnapshot`](crate::EngineSnapshot)s behind ids, with
+//!   checkout semantics so concurrent requests against one cursor fail
+//!   fast instead of racing;
+//! * **codec** ([`codec`]) — the line-delimited JSON protocol, with
+//!   every malformed input reported as a byte-offset error in the
+//!   storage codec's style.
+//!
+//! Every query's buffer traffic is attributed to its id: the engine's
+//! `Baseline` captures the coordinating handler thread, worker spans
+//! capture the join's own workers, and suspended episodes return their
+//! stats through [`Checkpointed::Suspended`](crate::Checkpointed) — so
+//! the per-query counters in the `stats` response sum exactly to the
+//! shared buffer's global deltas (`tests/serve_concurrent.rs`).
+
+pub mod admission;
+pub mod codec;
+pub mod session;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use amdj_rtree::RTree;
+
+use crate::engine::{self, Aggressive, Exact, Parallel, Sequential};
+use crate::{AmIdjOptions, JoinConfig, JoinOutput, SnapshotError};
+
+use admission::Admission;
+use codec::{QueryReport, QuerySpec, Request, RequestError, Response};
+use session::{Cursor, CursorTable};
+
+/// Serve-mode tuning knobs.
+#[derive(Clone, Debug)]
+pub struct ServeOptions {
+    /// Total admission budget, bytes. Each executing query charges
+    /// `base_config.queue_mem_bytes`; the default admits 8 at once.
+    pub mem_budget_bytes: u64,
+    /// Requests allowed to wait for admission before rejection.
+    pub max_waiting: usize,
+    /// Expansion budget per cursor episode (`0` = run to completion in
+    /// one episode; pulls then never suspend mid-join).
+    pub episode_expansions: u64,
+    /// Request line size cap, bytes.
+    pub max_request_bytes: usize,
+    /// The engine configuration queries start from (per-query knobs
+    /// override `steal`/`partitions`).
+    pub base_config: JoinConfig,
+    /// Incremental-join stage schedule options.
+    pub idj_opts: AmIdjOptions,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        let base_config = JoinConfig::default();
+        ServeOptions {
+            mem_budget_bytes: 8 * base_config.queue_mem_bytes as u64,
+            max_waiting: 64,
+            episode_expansions: 512,
+            max_request_bytes: 1 << 20,
+            base_config,
+            idj_opts: AmIdjOptions::default(),
+        }
+    }
+}
+
+/// Why a serve request failed.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The admission controller rejected the query (waiting line full,
+    /// or the query could never fit the budget).
+    Rejected {
+        /// Bytes the query would have charged.
+        cost: u64,
+        /// The serve-wide budget.
+        budget: u64,
+    },
+    /// `idj_open`/`idj_resume` against an id that already exists.
+    CursorExists(String),
+    /// A cursor op against an unknown id.
+    UnknownCursor(String),
+    /// A cursor op while another request holds the cursor.
+    CursorBusy(String),
+    /// A snapshot failed to decode or validate.
+    Snapshot(SnapshotError),
+    /// The request line itself was malformed.
+    BadRequest(RequestError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Rejected { cost, budget } => write!(
+                f,
+                "admission rejected: {cost} bytes against a {budget}-byte budget with a full waiting line"
+            ),
+            ServeError::CursorExists(id) => write!(f, "cursor `{id}` already exists"),
+            ServeError::UnknownCursor(id) => write!(f, "no cursor `{id}`"),
+            ServeError::CursorBusy(id) => {
+                write!(f, "cursor `{id}` is busy serving another request")
+            }
+            ServeError::Snapshot(e) => write!(f, "{e}"),
+            ServeError::BadRequest(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<SnapshotError> for ServeError {
+    fn from(e: SnapshotError) -> Self {
+        ServeError::Snapshot(e)
+    }
+}
+
+impl From<RequestError> for ServeError {
+    fn from(e: RequestError) -> Self {
+        ServeError::BadRequest(e)
+    }
+}
+
+/// The transport-independent join server over one shared tree pair.
+/// All methods take `&self`; the shared buffer synchronizes internally,
+/// so any number of handler threads may call in concurrently.
+#[derive(Debug)]
+pub struct Server<'t, const D: usize> {
+    r: &'t RTree<D>,
+    s: &'t RTree<D>,
+    opts: ServeOptions,
+    admission: Admission,
+    cursors: CursorTable<D>,
+    reports: Mutex<Vec<QueryReport>>,
+    queries: AtomicU64,
+}
+
+impl<'t, const D: usize> Server<'t, D> {
+    /// A server over `r` and `s` (loaded/persisted once by the caller).
+    pub fn new(r: &'t RTree<D>, s: &'t RTree<D>, opts: ServeOptions) -> Self {
+        let admission = Admission::new(opts.mem_budget_bytes, opts.max_waiting);
+        Server {
+            r,
+            s,
+            opts,
+            admission,
+            cursors: CursorTable::new(),
+            reports: Mutex::new(Vec::new()),
+            queries: AtomicU64::new(0),
+        }
+    }
+
+    /// The serve options in effect.
+    pub fn options(&self) -> &ServeOptions {
+        &self.opts
+    }
+
+    /// The per-query engine configuration: the base config with the
+    /// request's overrides applied.
+    fn config_for(&self, spec: &QuerySpec) -> JoinConfig {
+        let mut cfg = self.opts.base_config.clone();
+        if let Some(steal) = spec.steal {
+            cfg.steal = steal;
+        }
+        cfg.partitions = (spec.partitions > 1).then_some(spec.partitions as usize);
+        cfg
+    }
+
+    /// Admission cost of one query under `cfg` — the engine's own
+    /// queue memory budget, the unit the paper bounds a join by.
+    fn cost_of(&self, cfg: &JoinConfig) -> u64 {
+        cfg.queue_mem_bytes as u64
+    }
+
+    fn admit(&self, cost: u64) -> Result<admission::AdmitGuard<'_>, ServeError> {
+        self.admission.acquire(cost).ok_or(ServeError::Rejected {
+            cost,
+            budget: self.opts.mem_budget_bytes,
+        })
+    }
+
+    /// Folds one finished request's attribution into the per-query log
+    /// (one row per id+op, deltas summed across a cursor's pulls).
+    fn record(
+        &self,
+        id: &str,
+        op: &'static str,
+        wait_ns: u64,
+        hits: u64,
+        misses: u64,
+        results: u64,
+    ) {
+        let mut log = self.reports.lock().expect("report log poisoned");
+        if let Some(row) = log.iter_mut().find(|r| r.id == id && r.op == op) {
+            row.queue_wait_ns += wait_ns;
+            row.buffer_hits = hits;
+            row.buffer_misses = misses;
+            row.results = results;
+        } else {
+            log.push(QueryReport {
+                id: id.to_string(),
+                op,
+                queue_wait_ns: wait_ns,
+                buffer_hits: hits,
+                buffer_misses: misses,
+                results,
+            });
+        }
+        self.queries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Runs one k-distance join under admission control, returning the
+    /// results and the query's attribution report.
+    pub fn kdj(
+        &self,
+        id: &str,
+        k: usize,
+        spec: &QuerySpec,
+    ) -> Result<(JoinOutput, QueryReport), ServeError> {
+        let cfg = self.config_for(spec);
+        let guard = self.admit(self.cost_of(&cfg))?;
+        let threads = (spec.threads as usize).max(1);
+        let out = if spec.aggressive {
+            if threads > 1 {
+                engine::kdj(
+                    self.r,
+                    self.s,
+                    k,
+                    &cfg,
+                    &Aggressive::default(),
+                    &Parallel::new(threads),
+                )
+            } else {
+                engine::kdj(self.r, self.s, k, &cfg, &Aggressive::default(), &Sequential)
+            }
+        } else if threads > 1 {
+            engine::kdj(self.r, self.s, k, &cfg, &Exact, &Parallel::new(threads))
+        } else {
+            engine::kdj(self.r, self.s, k, &cfg, &Exact, &Sequential)
+        };
+        let wait_ns = guard.queue_wait_ns;
+        drop(guard);
+        let report = QueryReport {
+            id: id.to_string(),
+            op: "kdj",
+            queue_wait_ns: wait_ns,
+            buffer_hits: out.stats.buffer_hits,
+            buffer_misses: out.stats.buffer_misses,
+            results: out.results.len() as u64,
+        };
+        self.record(
+            id,
+            "kdj",
+            wait_ns,
+            out.stats.buffer_hits,
+            out.stats.buffer_misses,
+            out.results.len() as u64,
+        );
+        Ok((out, report))
+    }
+
+    /// Opens an incremental-join cursor (no engine work yet).
+    pub fn idj_open(&self, id: &str, take: usize, spec: QuerySpec) -> Result<(), ServeError> {
+        self.cursors.insert(id, Cursor::open(take, spec))
+    }
+
+    /// Re-creates a cursor from checkpoint snapshot bytes; `delivered`
+    /// pairs are skipped on the next pull. Corrupt or truncated bytes
+    /// are a clean error.
+    pub fn idj_resume(
+        &self,
+        id: &str,
+        snapshot: &[u8],
+        delivered: u64,
+        spec: QuerySpec,
+    ) -> Result<(), ServeError> {
+        let snap = crate::EngineSnapshot::<D>::decode(snapshot).map_err(ServeError::Snapshot)?;
+        let cursor = Cursor::resume(snap, delivered, spec)?;
+        self.cursors.insert(id, cursor)
+    }
+
+    /// Pulls the next `n` pairs from a cursor, running resumable
+    /// episodes under admission control until the window is stable.
+    /// Returns the pairs, whether the cursor is exhausted, and the
+    /// total delivered so far.
+    pub fn idj_pull(
+        &self,
+        id: &str,
+        n: usize,
+    ) -> Result<(Vec<crate::ResultPair>, bool, u64), ServeError> {
+        let mut cursor = self.cursors.checkout(id)?;
+        let cfg = self.config_for(cursor.spec());
+        let outcome = match self.admit(self.cost_of(&cfg)) {
+            Err(e) => Err(e),
+            Ok(guard) => {
+                cursor.queue_wait_ns += guard.queue_wait_ns;
+                let res = cursor.pull(
+                    self.r,
+                    self.s,
+                    &cfg,
+                    &self.opts.idj_opts,
+                    self.opts.episode_expansions,
+                    n,
+                );
+                drop(guard);
+                res
+            }
+        };
+        let wait_ns = cursor.queue_wait_ns;
+        let hits = cursor.stats.buffer_hits;
+        let misses = cursor.stats.buffer_misses;
+        let delivered = cursor.delivered();
+        self.cursors.checkin(id, cursor);
+        let (results, done) = outcome?;
+        self.record(id, "idj", wait_ns, hits, misses, delivered);
+        Ok((results, done, delivered))
+    }
+
+    /// Serializes a cursor to snapshot bytes plus its delivery
+    /// position. The cursor stays open.
+    pub fn idj_checkpoint(&self, id: &str) -> Result<(Vec<u8>, u64), ServeError> {
+        let mut cursor = self.cursors.checkout(id)?;
+        let cfg = self.config_for(cursor.spec());
+        let outcome = cursor.checkpoint(self.r, self.s, &cfg, &self.opts.idj_opts);
+        self.cursors.checkin(id, cursor);
+        outcome
+    }
+
+    /// Closes a cursor, dropping its state.
+    pub fn idj_close(&self, id: &str) -> Result<(), ServeError> {
+        self.cursors.remove(id).map(drop)
+    }
+
+    /// Checkpoints every idle cursor into `dir` as `<id>.snap` files
+    /// plus a `cursors.txt` manifest (`id<TAB>delivered` per line) —
+    /// the graceful-shutdown path: call after draining in-flight
+    /// requests, so every cursor is idle. Returns the checkpointed ids.
+    pub fn checkpoint_open_cursors(&self, dir: &std::path::Path) -> std::io::Result<Vec<String>> {
+        std::fs::create_dir_all(dir)?;
+        let mut manifest = String::new();
+        let mut ids = Vec::new();
+        for (id, mut cursor) in self.cursors.drain() {
+            let cfg = self.config_for(cursor.spec());
+            let (bytes, delivered) = cursor
+                .checkpoint(self.r, self.s, &cfg, &self.opts.idj_opts)
+                .map_err(|e| std::io::Error::other(e.to_string()))?;
+            let name: String = id
+                .chars()
+                .map(|c| {
+                    if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                        c
+                    } else {
+                        '_'
+                    }
+                })
+                .collect();
+            std::fs::write(dir.join(format!("{name}.snap")), &bytes)?;
+            manifest.push_str(&format!("{id}\t{delivered}\n"));
+            ids.push(id);
+        }
+        std::fs::write(dir.join("cursors.txt"), manifest)?;
+        Ok(ids)
+    }
+
+    /// The server's statistics response: global buffer counters for
+    /// both trees plus the per-query attribution log.
+    pub fn stats(&self) -> Response {
+        Response::Stats {
+            queries: self.queries.load(Ordering::Relaxed),
+            admission_rejections: self.admission.rejections(),
+            mem_in_use: self.admission.in_use(),
+            buffer_hits: self.r.buffer_hits() + self.s.buffer_hits(),
+            buffer_misses: self.r.buffer_misses() + self.s.buffer_misses(),
+            buffer_evictions: self.r.buffer_evictions() + self.s.buffer_evictions(),
+            reports: self.reports.lock().expect("report log poisoned").clone(),
+        }
+    }
+
+    /// A clone of the per-query attribution log.
+    pub fn query_reports(&self) -> Vec<QueryReport> {
+        self.reports.lock().expect("report log poisoned").clone()
+    }
+
+    /// Requests the admission controller rejected.
+    pub fn admission_rejections(&self) -> u64 {
+        self.admission.rejections()
+    }
+
+    /// Decodes one request line, dispatches it, and encodes the
+    /// response. Returns the response plus whether the request asked
+    /// the server to shut down. Every failure — malformed line,
+    /// unknown cursor, rejected admission, corrupt snapshot — is a
+    /// structured [`Response::Error`]; this seam never panics
+    /// (`tests/serve_codec.rs` fuzzes it).
+    pub fn handle_line(&self, line: &[u8]) -> (Response, bool) {
+        let req = match Request::decode(line, self.opts.max_request_bytes) {
+            Ok(req) => req,
+            Err(e) => {
+                return (
+                    Response::Error {
+                        id: None,
+                        error: e.to_string(),
+                    },
+                    false,
+                )
+            }
+        };
+        let (id, resp) = match req {
+            Request::Kdj { id, k, spec } => {
+                let resp =
+                    self.kdj(&id, k as usize, &spec)
+                        .map(|(out, report)| Response::Results {
+                            id: id.clone(),
+                            op: "kdj",
+                            done: true,
+                            delivered_total: out.results.len() as u64,
+                            queue_wait_ns: report.queue_wait_ns,
+                            results: out.results,
+                        });
+                (id, resp)
+            }
+            Request::IdjOpen { id, take, spec } => {
+                let resp = self
+                    .idj_open(&id, take as usize, spec)
+                    .map(|()| Response::Opened {
+                        id: id.clone(),
+                        op: "idj_open",
+                    });
+                (id, resp)
+            }
+            Request::IdjPull { id, n } => {
+                let resp =
+                    self.idj_pull(&id, n as usize)
+                        .map(|(results, done, delivered_total)| Response::Results {
+                            id: id.clone(),
+                            op: "idj_pull",
+                            done,
+                            delivered_total,
+                            queue_wait_ns: 0,
+                            results,
+                        });
+                (id, resp)
+            }
+            Request::IdjCheckpoint { id } => {
+                let resp =
+                    self.idj_checkpoint(&id)
+                        .map(|(snapshot, delivered)| Response::Snapshot {
+                            id: id.clone(),
+                            snapshot,
+                            delivered,
+                        });
+                (id, resp)
+            }
+            Request::IdjResume {
+                id,
+                snapshot,
+                delivered,
+                spec,
+            } => {
+                let resp =
+                    self.idj_resume(&id, &snapshot, delivered, spec)
+                        .map(|()| Response::Opened {
+                            id: id.clone(),
+                            op: "idj_resume",
+                        });
+                (id, resp)
+            }
+            Request::IdjClose { id } => {
+                let resp = self
+                    .idj_close(&id)
+                    .map(|()| Response::Closed { id: id.clone() });
+                (id, resp)
+            }
+            Request::Stats => return (self.stats(), false),
+            Request::Shutdown => return (Response::Shutdown, true),
+        };
+        let resp = resp.unwrap_or_else(|e| Response::Error {
+            id: Some(id),
+            error: e.to_string(),
+        });
+        (resp, false)
+    }
+}

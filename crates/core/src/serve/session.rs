@@ -1,0 +1,350 @@
+//! Serve-mode cursor sessions: suspended incremental joins behind ids.
+//!
+//! An open IDJ cursor is, between pulls, nothing but an
+//! [`EngineSnapshot`] — the same consistent cut the checkpoint/resume
+//! machinery writes to disk — plus the client's delivery position. A
+//! pull runs resumable episodes ([`idj_resumable`] with a fresh
+//! [`PauseCtl`] per episode) until enough of the result stream is
+//! *stable*, then hands the next slice out.
+//!
+//! # Stable-prefix rule
+//!
+//! A mid-join snapshot's `results` are canonically sorted but not final:
+//! a pending frontier pair or parked compensation entry may still
+//! produce a closer pair. What makes a prefix deliverable is the
+//! engine's own lower-bound discipline — every frontier pair's `dist`
+//! lower-bounds all its descendants' distances, and every compensation
+//! entry's key lower-bounds every pair its replay can recover (the
+//! CompQueue invariant in `engine/sweep.rs`). Therefore every result
+//! *strictly* below the minimum pending lower bound is immutable: no
+//! remaining work can emit a pair that sorts at or before it.
+//! (`Strictly`, because an equal-distance pair with smaller ids would
+//! sort earlier in canonical order.) `tests/serve_cursor.rs` pins that
+//! pulled prefixes are bit-identical to the uninterrupted stream.
+
+use amdj_rtree::RTree;
+
+use crate::engine::{idj_resumable, Checkpointed, EngineSnapshot, PauseCtl, SnapshotKind};
+use crate::{AmIdjOptions, JoinConfig, JoinStats, ResultPair};
+
+use super::codec::QuerySpec;
+use super::ServeError;
+
+/// A cursor's engine state between pulls.
+#[derive(Debug)]
+enum CursorState<const D: usize> {
+    /// Opened, no episode run yet.
+    Fresh,
+    /// Suspended mid-join.
+    Live(Box<EngineSnapshot<D>>),
+    /// The join finished; the full result stream is known.
+    Done(Vec<ResultPair>),
+}
+
+/// One open incremental-join cursor: target size, per-query engine
+/// knobs, delivery position, suspended engine state, and the stats
+/// accumulated across its episodes (per-query buffer attribution).
+#[derive(Debug)]
+pub struct Cursor<const D: usize> {
+    take: usize,
+    spec: QuerySpec,
+    delivered: u64,
+    state: CursorState<D>,
+    /// Counters accumulated across every episode this cursor ran —
+    /// including episodes that ended in suspension, whose stats ride
+    /// the [`Checkpointed::Suspended`] variant.
+    pub stats: JoinStats,
+    /// Total admission queue wait across this cursor's pulls, ns.
+    pub queue_wait_ns: u64,
+}
+
+/// Folds one episode's stats into a cursor's running totals. Work
+/// counters sum; `stages` keeps the maximum; driver scalars
+/// (`results`) are positional and taken from the final episode.
+fn accumulate(total: &mut JoinStats, episode: &JoinStats) {
+    let stages = total.stages.max(episode.stages);
+    total.absorb_worker(episode);
+    total.node_requests += episode.node_requests;
+    total.node_disk_reads += episode.node_disk_reads;
+    total.cpu_seconds += episode.cpu_seconds;
+    total.io_seconds += episode.io_seconds;
+    total.barrier_idle_ns += episode.barrier_idle_ns;
+    total.stages = stages;
+    total.results = episode.results;
+}
+
+/// How many of a suspended snapshot's results are final (stable): the
+/// count of results strictly below every pending frontier pair's
+/// distance and every parked compensation entry's key, capped at the
+/// cursor's `take`. Both vectors are kept ascending by the suspension
+/// path, so the minimum pending lower bound is their front elements'.
+fn stable_len<const D: usize>(snap: &EngineSnapshot<D>, take: usize) -> usize {
+    let mut pending_min = f64::INFINITY;
+    if let Some(p) = snap.frontier.first() {
+        pending_min = pending_min.min(p.dist);
+    }
+    if let Some(e) = snap.comps.first() {
+        pending_min = pending_min.min(e.key);
+    }
+    let stable = snap.results.partition_point(|p| p.dist < pending_min);
+    stable.min(take)
+}
+
+impl<const D: usize> Cursor<D> {
+    /// A fresh cursor for `take` pairs under the given knobs.
+    pub fn open(take: usize, spec: QuerySpec) -> Self {
+        Cursor {
+            take,
+            spec,
+            delivered: 0,
+            state: CursorState::Fresh,
+            stats: JoinStats::default(),
+            queue_wait_ns: 0,
+        }
+    }
+
+    /// Re-creates a cursor from a checkpoint snapshot, resuming
+    /// delivery after `delivered` already-received pairs. The
+    /// snapshot's kind must be an incremental join (its embedded `take`
+    /// becomes the cursor's); corruption surfaces as a clean error.
+    pub fn resume(
+        snap: EngineSnapshot<D>,
+        delivered: u64,
+        spec: QuerySpec,
+    ) -> Result<Self, ServeError> {
+        let SnapshotKind::Idj { take } = snap.kind() else {
+            return Err(ServeError::Snapshot(crate::SnapshotError::Invalid(
+                "k-distance-join snapshot passed to an incremental cursor",
+            )));
+        };
+        if delivered > snap.results_len() as u64 {
+            return Err(ServeError::Snapshot(crate::SnapshotError::Invalid(
+                "delivered position beyond the snapshot's results",
+            )));
+        }
+        Ok(Cursor {
+            take: take as usize,
+            spec,
+            delivered,
+            state: CursorState::Live(Box::new(snap)),
+            stats: JoinStats::default(),
+            queue_wait_ns: 0,
+        })
+    }
+
+    /// Total pairs delivered to the client so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// The cursor's total result budget.
+    pub fn take(&self) -> usize {
+        self.take
+    }
+
+    /// The engine knobs the cursor runs with.
+    pub fn spec(&self) -> &QuerySpec {
+        &self.spec
+    }
+
+    /// Runs one resumable episode of at most `episode_expansions`
+    /// expansions (`0` = run to completion), advancing the state.
+    fn run_episode(
+        &mut self,
+        r: &RTree<D>,
+        s: &RTree<D>,
+        cfg: &JoinConfig,
+        opts: &AmIdjOptions,
+        episode_expansions: u64,
+        stop_immediately: bool,
+    ) -> Result<(), ServeError> {
+        let resume = match std::mem::replace(&mut self.state, CursorState::Fresh) {
+            CursorState::Fresh => None,
+            CursorState::Live(snap) => Some(*snap),
+            done @ CursorState::Done(_) => {
+                self.state = done;
+                return Ok(());
+            }
+        };
+        let ctl = PauseCtl::every(episode_expansions);
+        if stop_immediately {
+            ctl.request_stop();
+        }
+        let threads = (self.spec.threads as usize).max(1);
+        match idj_resumable(
+            r,
+            s,
+            self.take,
+            cfg,
+            opts,
+            threads,
+            None,
+            resume,
+            Some(&ctl),
+        )
+        .map_err(ServeError::Snapshot)?
+        {
+            Checkpointed::Done(out) => {
+                accumulate(&mut self.stats, &out.stats);
+                self.state = CursorState::Done(out.results);
+            }
+            Checkpointed::Suspended(snap, stats) => {
+                accumulate(&mut self.stats, &stats);
+                self.state = CursorState::Live(snap);
+            }
+        }
+        Ok(())
+    }
+
+    /// Pulls the next `n` pairs, running as many episodes as needed
+    /// until the delivery window is stable (or the join finishes).
+    /// Returns the slice and whether the cursor is exhausted.
+    pub fn pull(
+        &mut self,
+        r: &RTree<D>,
+        s: &RTree<D>,
+        cfg: &JoinConfig,
+        opts: &AmIdjOptions,
+        episode_expansions: u64,
+        n: usize,
+    ) -> Result<(Vec<ResultPair>, bool), ServeError> {
+        let want = (self.delivered as usize).saturating_add(n).min(self.take);
+        loop {
+            match &self.state {
+                CursorState::Done(results) => {
+                    let end = want.min(results.len()).min(self.take);
+                    let from = (self.delivered as usize).min(end);
+                    let slice = results[from..end].to_vec();
+                    self.delivered = end as u64;
+                    let exhausted = end >= results.len().min(self.take);
+                    return Ok((slice, exhausted));
+                }
+                CursorState::Live(snap) if stable_len(snap, self.take) >= want => {
+                    let from = self.delivered as usize;
+                    let slice = snap.results[from..want].to_vec();
+                    self.delivered = want as u64;
+                    // Stable but suspended: more results may follow —
+                    // unless the delivery budget itself is spent.
+                    return Ok((slice, want >= self.take));
+                }
+                _ => self.run_episode(r, s, cfg, opts, episode_expansions, false)?,
+            }
+        }
+    }
+
+    /// Serializes the cursor to snapshot bytes plus the delivery
+    /// position a resume must pass back. A fresh cursor runs one
+    /// immediately-paused episode to obtain a consistent cut; a
+    /// finished cursor synthesizes a resume-to-done snapshot (empty
+    /// frontier, full results), so checkpointing always succeeds.
+    pub fn checkpoint(
+        &mut self,
+        r: &RTree<D>,
+        s: &RTree<D>,
+        cfg: &JoinConfig,
+        opts: &AmIdjOptions,
+    ) -> Result<(Vec<u8>, u64), ServeError> {
+        if matches!(self.state, CursorState::Fresh) {
+            self.run_episode(r, s, cfg, opts, 0, true)?;
+        }
+        let bytes = match &self.state {
+            CursorState::Fresh => unreachable!("episode above left Fresh"),
+            CursorState::Live(snap) => snap.encode(),
+            CursorState::Done(results) => {
+                let results: Vec<ResultPair> = results.iter().take(self.take).copied().collect();
+                let dists: Vec<f64> = results.iter().map(|p| p.dist).collect();
+                let snap = EngineSnapshot::<D> {
+                    kind: SnapshotKind::Idj {
+                        take: self.take as u64,
+                    },
+                    stage: self.stats.stages.max(1),
+                    edmax: f64::INFINITY,
+                    shared_bound: f64::INFINITY,
+                    k_target: self.take as u64,
+                    emitted: results.len() as u64,
+                    last_dist: results.last().map(|p| p.dist).unwrap_or(0.0),
+                    results,
+                    dists,
+                    frontier: Vec::new(),
+                    comps: Vec::new(),
+                };
+                snap.encode()
+            }
+        };
+        Ok((bytes, self.delivered))
+    }
+}
+
+/// The serve-mode session table: cursor id → cursor, with checkout
+/// semantics so two concurrent requests against the same cursor fail
+/// fast (`CursorBusy`) instead of racing or deadlocking.
+#[derive(Debug, Default)]
+pub struct CursorTable<const D: usize> {
+    /// `None` marks a cursor checked out by an executing request.
+    map: std::sync::Mutex<std::collections::HashMap<String, Option<Cursor<D>>>>,
+}
+
+impl<const D: usize> CursorTable<D> {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a new cursor under `id`.
+    pub fn insert(&self, id: &str, cursor: Cursor<D>) -> Result<(), ServeError> {
+        let mut map = self.map.lock().expect("cursor table poisoned");
+        if map.contains_key(id) {
+            return Err(ServeError::CursorExists(id.to_string()));
+        }
+        map.insert(id.to_string(), Some(cursor));
+        Ok(())
+    }
+
+    /// Checks a cursor out for exclusive use by one request.
+    pub fn checkout(&self, id: &str) -> Result<Cursor<D>, ServeError> {
+        let mut map = self.map.lock().expect("cursor table poisoned");
+        match map.get_mut(id) {
+            None => Err(ServeError::UnknownCursor(id.to_string())),
+            Some(slot) => slot
+                .take()
+                .ok_or_else(|| ServeError::CursorBusy(id.to_string())),
+        }
+    }
+
+    /// Returns a checked-out cursor to the table.
+    pub fn checkin(&self, id: &str, cursor: Cursor<D>) {
+        let mut map = self.map.lock().expect("cursor table poisoned");
+        if let Some(slot) = map.get_mut(id) {
+            *slot = Some(cursor);
+        }
+    }
+
+    /// Removes a cursor (it must not be checked out).
+    pub fn remove(&self, id: &str) -> Result<Cursor<D>, ServeError> {
+        let mut map = self.map.lock().expect("cursor table poisoned");
+        match map.get(id) {
+            None => return Err(ServeError::UnknownCursor(id.to_string())),
+            Some(None) => return Err(ServeError::CursorBusy(id.to_string())),
+            Some(Some(_)) => {}
+        }
+        Ok(map
+            .remove(id)
+            .flatten()
+            .expect("checked present and idle above"))
+    }
+
+    /// Drains every idle cursor (shutdown: in-flight requests have
+    /// already finished, so after the drain the table is empty).
+    pub fn drain(&self) -> Vec<(String, Cursor<D>)> {
+        let mut map = self.map.lock().expect("cursor table poisoned");
+        map.drain()
+            .filter_map(|(id, slot)| slot.map(|c| (id, c)))
+            .collect()
+    }
+
+    /// Open cursor ids (idle and busy).
+    pub fn ids(&self) -> Vec<String> {
+        let map = self.map.lock().expect("cursor table poisoned");
+        map.keys().cloned().collect()
+    }
+}

@@ -131,6 +131,12 @@ impl<const D: usize> BufferManager<D> {
         self.cache.misses()
     }
 
+    /// Pages evicted from the node buffer to make room — the eviction-
+    /// pressure signal serve mode watches for cross-query thrashing.
+    pub fn cache_evictions(&self) -> u64 {
+        self.cache.evictions()
+    }
+
     /// Clears node-access and disk statistics (lock-free).
     pub fn reset_stats(&self) {
         self.requests.store(0, Ordering::Relaxed);

@@ -123,6 +123,24 @@ impl<const D: usize> RTree<D> {
         self.pages.disk().stats()
     }
 
+    /// Node-buffer hits as counted by the shared cache itself
+    /// (process-wide, unlike the per-thread
+    /// [`thread_buffer_counters`](crate::thread_buffer_counters)).
+    pub fn buffer_hits(&self) -> u64 {
+        self.pages.cache_hits()
+    }
+
+    /// Node-buffer misses as counted by the shared cache itself.
+    pub fn buffer_misses(&self) -> u64 {
+        self.pages.cache_misses()
+    }
+
+    /// Pages evicted from the node buffer to make room — the
+    /// eviction-pressure signal serve mode reports per query batch.
+    pub fn buffer_evictions(&self) -> u64 {
+        self.pages.cache_evictions()
+    }
+
     /// Clears access and disk statistics — typically called after building
     /// an index so measurements cover queries only. Lock-free.
     pub fn reset_stats(&self) {

@@ -20,6 +20,7 @@ pub struct ByteLru<K, V> {
     order: BTreeMap<u64, K>,
     hits: u64,
     misses: u64,
+    evictions: u64,
 }
 
 #[derive(Debug)]
@@ -41,6 +42,7 @@ impl<K: Hash + Eq + Clone, V> ByteLru<K, V> {
             order: BTreeMap::new(),
             hits: 0,
             misses: 0,
+            evictions: 0,
         }
     }
 
@@ -72,6 +74,13 @@ impl<K: Hash + Eq + Clone, V> ByteLru<K, V> {
     /// Cache misses observed by [`get`](ByteLru::get).
     pub fn misses(&self) -> u64 {
         self.misses
+    }
+
+    /// Entries evicted by [`insert`](ByteLru::insert) to make room —
+    /// the buffer-pressure signal: a high rate relative to hits means
+    /// the working set does not fit the budget.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
     }
 
     fn touch(&mut self, key: &K) {
@@ -114,6 +123,7 @@ impl<K: Hash + Eq + Clone, V> ByteLru<K, V> {
             let victim = self.order.remove(&tick).expect("tick present");
             let slot = self.map.remove(&victim).expect("victim present");
             self.used -= slot.bytes;
+            self.evictions += 1;
         }
         self.tick += 1;
         self.order.insert(self.tick, key.clone());
@@ -201,6 +211,20 @@ mod tests {
         assert_eq!(c.len(), 1);
         assert!(c.get(&4).is_some());
         assert_eq!(c.used_bytes(), 30);
+    }
+
+    #[test]
+    fn eviction_counter_tracks_victims() {
+        let mut c: ByteLru<u32, u32> = ByteLru::new(30);
+        c.insert(1, 1, 10);
+        c.insert(2, 2, 10);
+        c.insert(3, 3, 10);
+        assert_eq!(c.evictions(), 0);
+        c.insert(4, 4, 30); // must evict all three
+        assert_eq!(c.evictions(), 3);
+        // Re-inserting an existing key is a replacement, not an eviction.
+        c.insert(4, 5, 30);
+        assert_eq!(c.evictions(), 3);
     }
 
     #[test]

@@ -106,6 +106,16 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedLru<K, V> {
         self.misses.load(Ordering::Relaxed)
     }
 
+    /// Entries evicted across all shards to make room — the buffer's
+    /// eviction-pressure signal. Summed from the shards under their
+    /// locks (eviction is rare relative to stats reads in serve mode).
+    pub fn evictions(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("shard poisoned").evictions())
+            .sum()
+    }
+
     /// Resets the hit/miss counters (contents are untouched).
     pub fn reset_stats(&self) {
         self.hits.store(0, Ordering::Relaxed);

@@ -115,7 +115,7 @@ fn kdj_episodes(
         .expect("episode snapshot must validate");
         match out {
             Checkpointed::Done(out) => return (out, log),
-            Checkpointed::Suspended(snap) => {
+            Checkpointed::Suspended(snap, _) => {
                 log.suspensions += 1;
                 log.stages.push(snap.stage());
                 let decoded =
@@ -162,7 +162,7 @@ fn idj_episodes(
         .expect("episode snapshot must validate");
         match out {
             Checkpointed::Done(out) => return (out, log),
-            Checkpointed::Suspended(snap) => {
+            Checkpointed::Suspended(snap, _) => {
                 log.suspensions += 1;
                 log.stages.push(snap.stage());
                 let decoded =
@@ -189,7 +189,7 @@ fn uninterrupted_kdj(r: &RTree<2>, s: &RTree<2>, k: usize, aggressive: bool) -> 
     .expect("no snapshot to validate")
     {
         Checkpointed::Done(out) => out,
-        Checkpointed::Suspended(_) => unreachable!("no pause control was attached"),
+        Checkpointed::Suspended(..) => unreachable!("no pause control was attached"),
     }
 }
 
@@ -261,7 +261,7 @@ proptest! {
                 .expect("no snapshot to validate");
             match out {
                 Checkpointed::Done(out) => canonical(out.results),
-                Checkpointed::Suspended(_) => unreachable!("no pause control was attached"),
+                Checkpointed::Suspended(..) => unreachable!("no pause control was attached"),
             }
         };
         let schedule = Some(TestSchedule {
@@ -368,7 +368,7 @@ fn disk_roundtrip_and_resume_validation() {
     let snap = match kdj_resumable(&r, &s, k, &cfg, true, 2, None, None, Some(&ctl))
         .expect("nothing to validate")
     {
-        Checkpointed::Suspended(snap) => *snap,
+        Checkpointed::Suspended(snap, _) => *snap,
         Checkpointed::Done(_) => panic!("join outran a 5-expansion pause budget"),
     };
 
@@ -422,7 +422,7 @@ fn disk_roundtrip_and_resume_validation() {
         .expect("snapshot must validate")
     {
         Checkpointed::Done(out) => out,
-        Checkpointed::Suspended(_) => unreachable!("no pause control on the resume"),
+        Checkpointed::Suspended(..) => unreachable!("no pause control on the resume"),
     };
     assert_eq!(canonical(out.results), reference);
 }

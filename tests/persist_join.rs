@@ -59,7 +59,7 @@ fn resumable_kdj(
         .expect("no snapshot to validate")
     {
         Checkpointed::Done(out) => out,
-        Checkpointed::Suspended(_) => unreachable!("no pause control was attached"),
+        Checkpointed::Suspended(..) => unreachable!("no pause control was attached"),
     }
 }
 
@@ -106,7 +106,7 @@ fn reloaded_trees_join_bit_identically() {
         .expect("no snapshot to validate")
         {
             Checkpointed::Done(out) => out,
-            Checkpointed::Suspended(_) => unreachable!("no pause control was attached"),
+            Checkpointed::Suspended(..) => unreachable!("no pause control was attached"),
         }
     };
     assert_bit_identical("idj stream", &idj(&r, &s).results, &idj(&r2, &s2).results);
@@ -127,7 +127,7 @@ fn checkpoint_resumes_against_reloaded_trees() {
     let snap = match kdj_resumable(&r, &s, k, &cfg, true, 2, None, None, Some(&ctl))
         .expect("nothing to validate")
     {
-        Checkpointed::Suspended(snap) => *snap,
+        Checkpointed::Suspended(snap, _) => *snap,
         Checkpointed::Done(_) => panic!("join outran a 10-expansion pause budget"),
     };
 
@@ -137,7 +137,7 @@ fn checkpoint_resumes_against_reloaded_trees() {
         .expect("snapshot must validate")
     {
         Checkpointed::Done(out) => out,
-        Checkpointed::Suspended(_) => unreachable!("no pause control on the resume"),
+        Checkpointed::Suspended(..) => unreachable!("no pause control on the resume"),
     };
     assert_bit_identical("resume on reloaded trees", &reference.results, &out.results);
 }

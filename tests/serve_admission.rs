@@ -1,0 +1,142 @@
+//! Model-checking the serve-mode admission controller.
+//!
+//! [`AdmissionCore`] is a pure deterministic state machine — no clocks,
+//! no threads — so its invariants can be checked exhaustively against a
+//! shadow model under random admit/complete sequences:
+//!
+//! * **budget**: `in_use ≤ budget` after every transition;
+//! * **FIFO**: completions grant waiting tickets strictly in queue
+//!   order — a later request never overtakes an earlier one;
+//! * **liveness**: when everything admitted completes, every queued
+//!   request has been granted and the controller drains to empty (no
+//!   deadlock, no lost grant) — in a bounded number of steps;
+//! * **load shedding**: an oversized request (cost > budget) and a
+//!   request arriving at a full waiting line are rejected, never
+//!   queued.
+
+use std::collections::VecDeque;
+
+use amdj_core::serve::admission::{AdmissionCore, Admit, Ticket};
+use proptest::prelude::*;
+
+/// One scripted step: `Request(cost)` or `Complete(index)` (an index
+/// into the currently running set, taken modulo its size).
+#[derive(Clone, Debug)]
+enum Step {
+    Request(u64),
+    Complete(usize),
+}
+
+fn arb_steps() -> impl Strategy<Value = Vec<Step>> {
+    prop::collection::vec(
+        prop_oneof![
+            (1u64..40).prop_map(Step::Request),
+            (0usize..16).prop_map(Step::Complete),
+        ],
+        1..200,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: amdj_tests::proptest_cases(96),
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn admission_model_invariants(
+        budget in 4u64..32,
+        max_waiting in 0usize..8,
+        steps in arb_steps(),
+    ) {
+        let mut core = AdmissionCore::new(budget, max_waiting);
+        // The shadow model: running (ticket, cost) pairs, the expected
+        // waiting line, and the expected rejection count.
+        let mut running: Vec<(Ticket, u64)> = Vec::new();
+        let mut waiting: VecDeque<(Ticket, u64)> = VecDeque::new();
+        let mut next_ticket: Ticket = 0;
+        let mut in_use: u64 = 0;
+        let mut rejections: u64 = 0;
+
+        let drive = |core: &mut AdmissionCore,
+                         running: &mut Vec<(Ticket, u64)>,
+                         waiting: &mut VecDeque<(Ticket, u64)>,
+                         in_use: &mut u64,
+                         idx: usize|
+         -> Result<(), TestCaseError> {
+            // Complete the running query at `idx`; the controller must
+            // grant exactly the FIFO prefix of waiters that now fits.
+            let (_, cost) = running.remove(idx % running.len());
+            *in_use -= cost;
+            let granted = core.complete(cost);
+            for ticket in granted {
+                let Some(&(expect, wcost)) = waiting.front() else {
+                    return Err(TestCaseError::fail("granted with an empty line"));
+                };
+                prop_assert_eq!(ticket, expect, "grants must be FIFO");
+                prop_assert!(
+                    *in_use + wcost <= core.budget(),
+                    "grant must fit the budget"
+                );
+                waiting.pop_front();
+                *in_use += wcost;
+                running.push((ticket, wcost));
+            }
+            // Nothing grantable may be left stranded (no lost wakeup).
+            if let Some(&(_, wcost)) = waiting.front() {
+                prop_assert!(
+                    *in_use + wcost > core.budget(),
+                    "front waiter fits but was not granted"
+                );
+            }
+            Ok(())
+        };
+
+        for step in steps {
+            match step {
+                Step::Request(cost) => {
+                    let got = core.request(cost);
+                    if cost > budget {
+                        prop_assert_eq!(got, Admit::Rejected, "oversized must be rejected");
+                        rejections += 1;
+                    } else if waiting.is_empty() && in_use + cost <= budget {
+                        prop_assert_eq!(got, Admit::Admitted(next_ticket));
+                        running.push((next_ticket, cost));
+                        in_use += cost;
+                        next_ticket += 1;
+                    } else if waiting.len() < max_waiting {
+                        prop_assert_eq!(got, Admit::Queued(next_ticket));
+                        waiting.push_back((next_ticket, cost));
+                        next_ticket += 1;
+                    } else {
+                        prop_assert_eq!(got, Admit::Rejected, "full line must shed load");
+                        rejections += 1;
+                    }
+                }
+                Step::Complete(idx) => {
+                    if !running.is_empty() {
+                        drive(&mut core, &mut running, &mut waiting, &mut in_use, idx)?;
+                    }
+                }
+            }
+            prop_assert_eq!(core.in_use(), in_use, "in_use tracks the model");
+            prop_assert!(core.in_use() <= budget, "budget invariant");
+            prop_assert_eq!(core.waiting_len(), waiting.len(), "line tracks the model");
+            prop_assert_eq!(core.rejections(), rejections, "rejections track the model");
+        }
+
+        // Liveness: completing everything admitted drains the line —
+        // every queued request is eventually granted, in bounded steps
+        // (each completion strictly shrinks running+waiting).
+        let bound = running.len() + waiting.len() + 1;
+        let mut steps_taken = 0usize;
+        while !running.is_empty() {
+            drive(&mut core, &mut running, &mut waiting, &mut in_use, 0)?;
+            steps_taken += 1;
+            prop_assert!(steps_taken <= bound, "drain must terminate");
+        }
+        prop_assert_eq!(core.in_use(), 0, "everything released");
+        prop_assert_eq!(core.waiting_len(), 0, "no waiter stranded after drain");
+        prop_assert!(waiting.is_empty(), "model agrees the line drained");
+    }
+}

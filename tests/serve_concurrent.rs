@@ -1,0 +1,204 @@
+//! Concurrency proofs for the serve-mode [`Server`]: N concurrent mixed
+//! KDJ/IDJ queries over one shared tree pair must each return the exact
+//! result stream its serial one-shot equivalent returns — bit for bit —
+//! and the per-query buffer attribution must account for every fetch.
+//!
+//! The attribution invariant is the sharp one: each query's
+//! `buffer_hits`/`buffer_misses` combine the coordinating handler
+//! thread's deltas (the engine's `Baseline`), its workers' deltas
+//! (worker spans), and — for cursors — every suspended episode's stats
+//! (which ride `Checkpointed::Suspended`). Summing the per-query rows
+//! must therefore reproduce the shared buffer's global counter deltas
+//! exactly: nothing double-counted, nothing dropped.
+
+use amdj_core::serve::{codec::QuerySpec, ServeOptions, Server};
+use amdj_core::{
+    am_kdj, b_kdj, par_am_kdj, par_b_kdj, AmIdj, AmIdjOptions, AmKdjOptions, JoinConfig, ResultPair,
+};
+use amdj_datagen::{clustered_points, uniform_points, unit_universe};
+use amdj_rtree::RTree;
+use amdj_tests::build_trees;
+
+/// One concurrent query of the mixed workload.
+enum Kind {
+    Kdj { k: usize, spec: QuerySpec },
+    Idj { take: usize, batch: usize },
+}
+
+/// The deterministic mixed workload: a cycle of aggressive sequential
+/// KDJ, exact 2-thread KDJ, pull-driven IDJ cursors, and aggressive
+/// 2-thread KDJ, with varying k.
+fn cells(n_queries: usize, k: usize) -> Vec<(String, Kind)> {
+    (0..n_queries)
+        .map(|i| {
+            let kind = match i % 4 {
+                0 => Kind::Kdj {
+                    k: (k / (1 + i % 3)).max(1),
+                    spec: QuerySpec::default(),
+                },
+                1 => Kind::Kdj {
+                    k: (k / 2).max(1),
+                    spec: QuerySpec {
+                        aggressive: false,
+                        threads: 2,
+                        ..QuerySpec::default()
+                    },
+                },
+                2 => Kind::Idj {
+                    take: k.max(3),
+                    batch: (k / 3).max(1),
+                },
+                _ => Kind::Kdj {
+                    k: (k / 4).max(1),
+                    spec: QuerySpec {
+                        threads: 2,
+                        ..QuerySpec::default()
+                    },
+                },
+            };
+            (format!("q{i:02}"), kind)
+        })
+        .collect()
+}
+
+/// The serial one-shot equivalent of one query, through the ordinary
+/// library entry points.
+fn serial(r: &RTree<2>, s: &RTree<2>, cfg: &JoinConfig, kind: &Kind) -> Vec<ResultPair> {
+    match kind {
+        Kind::Kdj { k, spec } => {
+            let mut c = cfg.clone();
+            if let Some(steal) = spec.steal {
+                c.steal = steal;
+            }
+            c.partitions = (spec.partitions > 1).then_some(spec.partitions as usize);
+            let t = (spec.threads as usize).max(1);
+            match (spec.aggressive, t > 1) {
+                (true, false) => am_kdj(r, s, *k, &c, &AmKdjOptions::default()).results,
+                (true, true) => par_am_kdj(r, s, *k, &c, &AmKdjOptions::default(), t).results,
+                (false, false) => b_kdj(r, s, *k, &c).results,
+                (false, true) => par_b_kdj(r, s, *k, &c, t).results,
+            }
+        }
+        Kind::Idj { take, .. } => {
+            let mut cursor = AmIdj::new(r, s, cfg, AmIdjOptions::default());
+            let mut out = Vec::with_capacity(*take);
+            while out.len() < *take {
+                match cursor.next() {
+                    Some(p) => out.push(p),
+                    None => break,
+                }
+            }
+            out
+        }
+    }
+}
+
+fn assert_identical(label: &str, want: &[ResultPair], got: &[ResultPair]) {
+    assert_eq!(want.len(), got.len(), "{label}: result count");
+    for (i, (a, b)) in want.iter().zip(got.iter()).enumerate() {
+        assert_eq!(
+            a.dist.to_bits(),
+            b.dist.to_bits(),
+            "{label}: rank {i} distance"
+        );
+        assert_eq!((a.r, a.s), (b.r, b.s), "{label}: rank {i} ids");
+    }
+}
+
+/// Runs `n_queries` concurrent mixed queries through one server and
+/// checks bit-identity against serial plus the counter-sum invariant.
+fn run_mixed(n_queries: usize) {
+    let a = uniform_points(600, unit_universe(), 11);
+    let b = clustered_points(600, 16, 0.02, unit_universe(), 12);
+    let (r, s) = build_trees(&a, &b);
+    let cfg = JoinConfig::default();
+    let cells = cells(n_queries, 60);
+    // Serial expectations first: their buffer traffic must not land in
+    // the window the global-counter delta is measured over.
+    let expected: Vec<Vec<ResultPair>> = cells
+        .iter()
+        .map(|(_, kind)| serial(&r, &s, &cfg, kind))
+        .collect();
+    let hits_before = r.buffer_hits() + s.buffer_hits();
+    let misses_before = r.buffer_misses() + s.buffer_misses();
+    let server = Server::new(
+        &r,
+        &s,
+        ServeOptions {
+            base_config: cfg.clone(),
+            ..ServeOptions::default()
+        },
+    );
+    let measured: Vec<Vec<ResultPair>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = cells
+            .iter()
+            .map(|(id, kind)| {
+                let server = &server;
+                scope.spawn(move || match kind {
+                    Kind::Kdj { k, spec } => server.kdj(id, *k, spec).expect("admitted").0.results,
+                    Kind::Idj { take, batch } => {
+                        server
+                            .idj_open(id, *take, QuerySpec::default())
+                            .expect("cursor opens");
+                        let mut out = Vec::with_capacity(*take);
+                        loop {
+                            let (chunk, done, _) = server.idj_pull(id, *batch).expect("pull");
+                            out.extend(chunk);
+                            if done || out.len() >= *take {
+                                break;
+                            }
+                        }
+                        server.idj_close(id).expect("cursor closes");
+                        out
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("query panicked"))
+            .collect()
+    });
+    for (((id, _), got), want) in cells.iter().zip(&measured).zip(&expected) {
+        assert_identical(id, want, got);
+    }
+    // The counter-sum invariant: per-query attribution reproduces the
+    // shared buffer's global deltas exactly.
+    let reports = server.query_reports();
+    assert_eq!(reports.len(), cells.len(), "one report per query");
+    let sum_hits: u64 = reports.iter().map(|rep| rep.buffer_hits).sum();
+    let sum_misses: u64 = reports.iter().map(|rep| rep.buffer_misses).sum();
+    let global_hits = r.buffer_hits() + s.buffer_hits() - hits_before;
+    let global_misses = r.buffer_misses() + s.buffer_misses() - misses_before;
+    assert_eq!(
+        sum_hits, global_hits,
+        "per-query hits sum to the global delta"
+    );
+    assert_eq!(
+        sum_misses, global_misses,
+        "per-query misses sum to the global delta"
+    );
+    // Every report delivered what its query's serial equivalent did.
+    for ((id, _), want) in cells.iter().zip(&expected) {
+        let rep = reports
+            .iter()
+            .find(|rep| rep.id == *id)
+            .expect("report exists");
+        assert_eq!(rep.results, want.len() as u64, "{id}: reported results");
+    }
+}
+
+#[test]
+fn two_concurrent_queries_bit_identical_and_attributed() {
+    run_mixed(2);
+}
+
+#[test]
+fn eight_concurrent_queries_bit_identical_and_attributed() {
+    run_mixed(8);
+}
+
+#[test]
+fn thirty_two_concurrent_queries_bit_identical_and_attributed() {
+    run_mixed(32);
+}

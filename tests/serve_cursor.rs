@@ -1,0 +1,231 @@
+//! The serve-mode IDJ cursor lifecycle: open → pull → checkpoint →
+//! server "restart" → resume → the remaining stream is bit-identical to
+//! the uninterrupted one. Plus the failure modes: corrupt or truncated
+//! snapshots, wrong-kind snapshots, and impossible delivery positions
+//! are clean structured errors — never panics.
+
+use amdj_core::serve::{codec::QuerySpec, ServeError, ServeOptions, Server};
+use amdj_core::{
+    kdj_resumable, AmIdj, AmIdjOptions, Checkpointed, JoinConfig, PauseCtl, ResultPair,
+};
+use amdj_datagen::{clustered_points, uniform_points, unit_universe};
+use amdj_rtree::RTree;
+use amdj_tests::build_trees;
+
+fn workload() -> (RTree<2>, RTree<2>) {
+    let a = uniform_points(500, unit_universe(), 21);
+    let b = clustered_points(500, 16, 0.02, unit_universe(), 22);
+    build_trees(&a, &b)
+}
+
+/// The uninterrupted incremental stream, straight from the library
+/// cursor.
+fn reference(r: &RTree<2>, s: &RTree<2>, cfg: &JoinConfig, take: usize) -> Vec<ResultPair> {
+    let mut cursor = AmIdj::new(r, s, cfg, AmIdjOptions::default());
+    let mut out = Vec::with_capacity(take);
+    while out.len() < take {
+        match cursor.next() {
+            Some(p) => out.push(p),
+            None => break,
+        }
+    }
+    out
+}
+
+fn serve_opts(cfg: &JoinConfig) -> ServeOptions {
+    ServeOptions {
+        base_config: cfg.clone(),
+        // Small episodes so pulls and checkpoints exercise real
+        // mid-join suspensions, not run-to-completion shortcuts.
+        episode_expansions: 64,
+        ..ServeOptions::default()
+    }
+}
+
+fn assert_identical(label: &str, want: &[ResultPair], got: &[ResultPair]) {
+    assert_eq!(want.len(), got.len(), "{label}: result count");
+    for (i, (a, b)) in want.iter().zip(got.iter()).enumerate() {
+        assert_eq!(
+            a.dist.to_bits(),
+            b.dist.to_bits(),
+            "{label}: rank {i} distance"
+        );
+        assert_eq!((a.r, a.s), (b.r, b.s), "{label}: rank {i} ids");
+    }
+}
+
+#[test]
+fn checkpoint_restart_resume_is_bit_identical() {
+    let (r, s) = workload();
+    let cfg = JoinConfig::default();
+    let take = 60;
+    let want = reference(&r, &s, &cfg, take);
+    assert_eq!(want.len(), take, "workload yields a full stream");
+
+    let server1 = Server::new(&r, &s, serve_opts(&cfg));
+    server1
+        .idj_open("c", take, QuerySpec::default())
+        .expect("opens");
+    let (first, done, delivered) = server1.idj_pull("c", 25).expect("first pull");
+    assert!(!done, "stream not exhausted at 25 of 60");
+    assert_eq!(delivered, 25);
+    assert_identical("first window", &want[..25], &first);
+    let (bytes, at) = server1.idj_checkpoint("c").expect("checkpoint");
+    assert_eq!(at, 25, "checkpoint records the delivery position");
+
+    // "Restart": a brand-new server over the same trees, fed only the
+    // snapshot bytes and the delivery position a client would replay.
+    let server2 = Server::new(&r, &s, serve_opts(&cfg));
+    server2
+        .idj_resume("c", &bytes, at, QuerySpec::default())
+        .expect("resumes");
+    let mut rest = Vec::new();
+    loop {
+        let (chunk, done, _) = server2.idj_pull("c", 10).expect("resumed pull");
+        rest.extend(chunk);
+        if done || rest.len() >= take - 25 {
+            break;
+        }
+    }
+    assert_identical("resumed remainder", &want[25..], &rest);
+}
+
+#[test]
+fn fresh_and_exhausted_cursors_checkpoint_cleanly() {
+    let (r, s) = workload();
+    let cfg = JoinConfig::default();
+    let take = 40;
+    let want = reference(&r, &s, &cfg, take);
+
+    // A cursor checkpointed before its first pull must resume into the
+    // full stream.
+    let server1 = Server::new(&r, &s, serve_opts(&cfg));
+    server1
+        .idj_open("fresh", take, QuerySpec::default())
+        .expect("opens");
+    let (bytes, at) = server1.idj_checkpoint("fresh").expect("fresh checkpoint");
+    assert_eq!(at, 0);
+    let server2 = Server::new(&r, &s, serve_opts(&cfg));
+    server2
+        .idj_resume("fresh", &bytes, at, QuerySpec::default())
+        .expect("resumes");
+    let mut all = Vec::new();
+    loop {
+        let (chunk, done, _) = server2.idj_pull("fresh", 15).expect("pull");
+        all.extend(chunk);
+        if done || all.len() >= take {
+            break;
+        }
+    }
+    assert_identical("fresh-checkpoint stream", &want, &all);
+
+    // A fully exhausted cursor still checkpoints (a resume-to-done
+    // snapshot) and resumes into an immediately-done cursor.
+    let (_, done, delivered) = server2.idj_pull("fresh", take).expect("drain");
+    assert!(done, "cursor exhausted");
+    assert_eq!(delivered as usize, want.len());
+    let (bytes, at) = server2.idj_checkpoint("fresh").expect("done checkpoint");
+    let server3 = Server::new(&r, &s, serve_opts(&cfg));
+    server3
+        .idj_resume("done", &bytes, at, QuerySpec::default())
+        .expect("resumes done");
+    let (chunk, done, _) = server3.idj_pull("done", 10).expect("pull after done");
+    assert!(chunk.is_empty(), "nothing left to deliver");
+    assert!(done, "resumed cursor knows it is exhausted");
+}
+
+#[test]
+fn corrupt_and_truncated_snapshots_are_clean_errors() {
+    let (r, s) = workload();
+    let cfg = JoinConfig::default();
+    let server = Server::new(&r, &s, serve_opts(&cfg));
+    server
+        .idj_open("c", 50, QuerySpec::default())
+        .expect("opens");
+    server.idj_pull("c", 20).expect("pull");
+    let (bytes, at) = server.idj_checkpoint("c").expect("checkpoint");
+
+    // Truncations at every interesting length: magic, header, body.
+    for len in [0, 4, 8, bytes.len() / 2, bytes.len() - 1] {
+        let err = server
+            .idj_resume("t", &bytes[..len], 0, QuerySpec::default())
+            .expect_err("truncated snapshot must not resume");
+        assert!(
+            matches!(err, ServeError::Snapshot(_)),
+            "truncation at {len}: structured snapshot error, got {err}"
+        );
+    }
+    // A flipped magic byte is corruption, not a panic.
+    let mut flipped = bytes.clone();
+    flipped[0] ^= 0xff;
+    let err = server
+        .idj_resume("f", &flipped, 0, QuerySpec::default())
+        .expect_err("corrupt magic must not resume");
+    assert!(matches!(err, ServeError::Snapshot(_)));
+
+    // A delivery position beyond the snapshot's results is impossible.
+    let err = server
+        .idj_resume("far", &bytes, u64::MAX, QuerySpec::default())
+        .expect_err("impossible delivery position");
+    assert!(matches!(err, ServeError::Snapshot(_)));
+
+    // A KDJ snapshot is the wrong kind for an incremental cursor.
+    let ctl = PauseCtl::every(8);
+    let Checkpointed::Suspended(kdj_snap, _) =
+        kdj_resumable(&r, &s, 40, &cfg, true, 1, None, None, Some(&ctl)).expect("suspends")
+    else {
+        panic!("a tiny pause budget must suspend the kdj");
+    };
+    let err = server
+        .idj_resume("k", &kdj_snap.encode(), 0, QuerySpec::default())
+        .expect_err("kdj snapshot must be refused");
+    assert!(matches!(err, ServeError::Snapshot(_)));
+
+    // The original, untampered snapshot still resumes fine.
+    server
+        .idj_resume("ok", &bytes, at, QuerySpec::default())
+        .expect("pristine snapshot resumes");
+}
+
+#[test]
+fn shutdown_checkpoint_directory_roundtrips() {
+    let (r, s) = workload();
+    let cfg = JoinConfig::default();
+    let dir = std::env::temp_dir().join(format!("amdj-serve-cursor-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let server1 = Server::new(&r, &s, serve_opts(&cfg));
+    server1
+        .idj_open("alpha", 45, QuerySpec::default())
+        .expect("opens");
+    server1.idj_pull("alpha", 18).expect("pull");
+    server1
+        .idj_open("beta/odd id", 30, QuerySpec::default())
+        .expect("opens");
+    let mut ids = server1
+        .checkpoint_open_cursors(&dir)
+        .expect("shutdown checkpoint");
+    ids.sort();
+    assert_eq!(ids, vec!["alpha".to_string(), "beta/odd id".to_string()]);
+    let manifest = std::fs::read_to_string(dir.join("cursors.txt")).expect("manifest");
+    assert!(manifest.contains("alpha\t18"), "manifest: {manifest}");
+
+    // Resume "alpha" on a fresh server from the on-disk snapshot; the
+    // remainder must match the uninterrupted stream.
+    let want = reference(&r, &s, &cfg, 45);
+    let bytes = std::fs::read(dir.join("alpha.snap")).expect("snapshot file");
+    let server2 = Server::new(&r, &s, serve_opts(&cfg));
+    server2
+        .idj_resume("alpha", &bytes, 18, QuerySpec::default())
+        .expect("resumes from disk");
+    let mut rest = Vec::new();
+    loop {
+        let (chunk, done, _) = server2.idj_pull("alpha", 12).expect("pull");
+        rest.extend(chunk);
+        if done || rest.len() >= 45 - 18 {
+            break;
+        }
+    }
+    assert_identical("disk-resumed remainder", &want[18..], &rest);
+    let _ = std::fs::remove_dir_all(&dir);
+}
