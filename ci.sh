@@ -210,7 +210,9 @@ kill -INT "$SERVE_PID"
 rc=0; wait "$SERVE_PID" || rc=$?
 exec 3>&-
 [ "$rc" = "75" ] || { echo "serve smoke: SIGINT exit $rc != 75"; exit 1; }
-[ -f "$SERVE_DIR/state3/sig.snap" ] \
+# Snapshot files are named by the hex of the cursor id ("sig" = 736967),
+# so arbitrary ids neither collide nor corrupt the manifest.
+[ -f "$SERVE_DIR/state3/736967.snap" ] \
     || { echo "serve smoke: SIGINT left no cursor checkpoint"; exit 1; }
 echo "serve smoke: concurrent queries bit-identical, cursor survived restart, SIGINT exited 75"
 

@@ -14,6 +14,7 @@
 //! amdj bench    [--n N] [--k K] [--seed S] [--json [FILE]]
 //! amdj serve    --r a.amdj --s b.amdj [--mem-budget BYTES] [--max-waiting N]
 //!               [--episode-expansions N] [--max-request-bytes N] [--state-dir DIR]
+//!               [--max-threads N] [--max-partitions N]
 //! ```
 //!
 //! CSV rows are `lo_x,lo_y,hi_x,hi_y,id`. Index files are the persistent
@@ -34,7 +35,9 @@
 //! protocol of [`amdj_core::serve`] (one request per stdin line, one
 //! response per stdout line; see DESIGN.md §12). Executing queries are
 //! admission-controlled against `--mem-budget` in units of the engine's
-//! own queue memory budget. On SIGINT the server stops accepting
+//! own queue memory budget, and per-query `threads`/`partitions` are
+//! bounded by `--max-threads`/`--max-partitions` (out-of-range values
+//! are structured error responses). On SIGINT the server stops accepting
 //! requests, drains the in-flight ones, checkpoints every open IDJ
 //! cursor into `--state-dir`, and exits 75; a restart with the same
 //! `--state-dir` resumes those cursors at their recorded delivery
@@ -46,7 +49,10 @@ use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 
-use amdj_core::serve::{codec::QuerySpec, ServeOptions, Server};
+use amdj_core::serve::{
+    codec::{hex_decode, QuerySpec},
+    snap_file_name, ServeOptions, Server,
+};
 use amdj_core::{
     am_kdj, b_kdj, hs_kdj, idj_resumable, kdj_resumable, knn_join, par_am_idj, par_am_kdj,
     par_b_kdj, read_checkpoint, sj_sort, within_join, write_checkpoint, AmIdj, AmIdjOptions,
@@ -556,6 +562,12 @@ fn run() -> Result<ExitCode, String> {
                 sopts.max_request_bytes =
                     v.parse().map_err(|e| format!("--max-request-bytes: {e}"))?;
             }
+            if let Some(v) = flags.get("max-threads") {
+                sopts.max_threads = v.parse().map_err(|e| format!("--max-threads: {e}"))?;
+            }
+            if let Some(v) = flags.get("max-partitions") {
+                sopts.max_partitions = v.parse().map_err(|e| format!("--max-partitions: {e}"))?;
+            }
             let state_dir = flags.get("state-dir").map(std::path::PathBuf::from);
             return serve_loop(&r, &s, sopts, state_dir);
         }
@@ -616,38 +628,38 @@ fn run() -> Result<ExitCode, String> {
 }
 
 /// Re-opens cursors checkpointed into `dir` by a previous serve run's
-/// shutdown: reads the `cursors.txt` manifest and resumes each snapshot
-/// at its recorded delivery position. A missing manifest means a fresh
-/// start; a corrupt snapshot is a clean startup error.
+/// shutdown: reads the `cursors.txt` manifest (`hex(id)<TAB>delivered`
+/// per line, snapshots under the hex name so arbitrary ids neither
+/// collide nor corrupt the manifest) and resumes each snapshot at its
+/// recorded delivery position. A missing manifest means a fresh start;
+/// a corrupt snapshot is a clean startup error.
 fn resume_cursors(server: &Server<'_, 2>, dir: &std::path::Path) -> Result<(), String> {
     let manifest = dir.join("cursors.txt");
     let Ok(text) = std::fs::read_to_string(&manifest) else {
         return Ok(());
     };
     for line in text.lines() {
-        let Some((id, delivered)) = line.split_once('\t') else {
+        let Some((hex_id, delivered)) = line.split_once('\t') else {
             return Err(format!(
                 "{}: malformed manifest line {line:?}",
                 manifest.display()
             ));
         };
+        let id = hex_decode(hex_id)
+            .and_then(|b| String::from_utf8(b).ok())
+            .ok_or_else(|| {
+                format!(
+                    "{}: malformed cursor id {hex_id:?} (expected hex)",
+                    manifest.display()
+                )
+            })?;
         let delivered: u64 = delivered
             .parse()
             .map_err(|e| format!("{}: {e}", manifest.display()))?;
-        let name: String = id
-            .chars()
-            .map(|c| {
-                if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
-                    c
-                } else {
-                    '_'
-                }
-            })
-            .collect();
-        let path = dir.join(format!("{name}.snap"));
+        let path = dir.join(snap_file_name(&id));
         let bytes = std::fs::read(&path).map_err(|e| format!("{}: {e}", path.display()))?;
         server
-            .idj_resume(id, &bytes, delivered, QuerySpec::default())
+            .idj_resume(&id, &bytes, delivered, QuerySpec::default())
             .map_err(|e| format!("{}: {e}", path.display()))?;
         eprintln!("# resumed cursor `{id}` at {delivered} delivered");
     }

@@ -60,6 +60,16 @@ pub struct ServeOptions {
     pub episode_expansions: u64,
     /// Request line size cap, bytes.
     pub max_request_bytes: usize,
+    /// Per-query `threads` cap. The engine spawns exactly that many OS
+    /// threads, so an uncapped wire value is a resource-exhaustion
+    /// vector; requests beyond the cap are rejected with a structured
+    /// error. Default: 4× the machine's available parallelism, at
+    /// least 16.
+    pub max_threads: u64,
+    /// Per-query `partitions` cap (the plan enumerates up to
+    /// `partitions²` partition pairs). Requests beyond it are rejected
+    /// with a structured error.
+    pub max_partitions: u64,
     /// The engine configuration queries start from (per-query knobs
     /// override `steal`/`partitions`).
     pub base_config: JoinConfig,
@@ -70,11 +80,14 @@ pub struct ServeOptions {
 impl Default for ServeOptions {
     fn default() -> Self {
         let base_config = JoinConfig::default();
+        let cores = std::thread::available_parallelism().map_or(4, |n| n.get() as u64);
         ServeOptions {
             mem_budget_bytes: 8 * base_config.queue_mem_bytes as u64,
             max_waiting: 64,
             episode_expansions: 512,
             max_request_bytes: 1 << 20,
+            max_threads: (4 * cores).max(16),
+            max_partitions: 256,
             base_config,
             idj_opts: AmIdjOptions::default(),
         }
@@ -102,6 +115,15 @@ pub enum ServeError {
     Snapshot(SnapshotError),
     /// The request line itself was malformed.
     BadRequest(RequestError),
+    /// A per-query knob exceeded the server's configured cap.
+    SpecOutOfRange {
+        /// The knob (`"threads"` or `"partitions"`).
+        knob: &'static str,
+        /// The requested value.
+        got: u64,
+        /// The server's cap.
+        max: u64,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -118,6 +140,9 @@ impl std::fmt::Display for ServeError {
             }
             ServeError::Snapshot(e) => write!(f, "{e}"),
             ServeError::BadRequest(e) => write!(f, "{e}"),
+            ServeError::SpecOutOfRange { knob, got, max } => {
+                write!(f, "per-query `{knob}` {got} exceeds the server cap {max}")
+            }
         }
     }
 }
@@ -134,6 +159,16 @@ impl From<RequestError> for ServeError {
     fn from(e: RequestError) -> Self {
         ServeError::BadRequest(e)
     }
+}
+
+/// The on-disk snapshot file name for a checkpointed cursor id:
+/// lowercase hex of the id's bytes plus `.snap`. Hex is injective, so
+/// distinct ids — `"a.b"` versus `"a_b"`, say — can never collide on
+/// one file, and ids containing separators or control characters stay
+/// inert. Shared by [`Server::checkpoint_open_cursors`] and the CLI's
+/// restart-resume path so both ends agree on the naming.
+pub fn snap_file_name(id: &str) -> String {
+    format!("{}.snap", codec::hex_encode(id.as_bytes()))
 }
 
 /// The transport-independent join server over one shared tree pair.
@@ -170,6 +205,28 @@ impl<'t, const D: usize> Server<'t, D> {
         &self.opts
     }
 
+    /// Bounds the per-query knobs that come straight off the wire:
+    /// `threads` spawns that many OS threads and `partitions` fans a
+    /// plan out quadratically, so arbitrary u64s must be refused as
+    /// structured errors before any dispatch.
+    fn check_spec(&self, spec: &QuerySpec) -> Result<(), ServeError> {
+        if spec.threads > self.opts.max_threads {
+            return Err(ServeError::SpecOutOfRange {
+                knob: "threads",
+                got: spec.threads,
+                max: self.opts.max_threads,
+            });
+        }
+        if spec.partitions > self.opts.max_partitions {
+            return Err(ServeError::SpecOutOfRange {
+                knob: "partitions",
+                got: spec.partitions,
+                max: self.opts.max_partitions,
+            });
+        }
+        Ok(())
+    }
+
     /// The per-query engine configuration: the base config with the
     /// request's overrides applied.
     fn config_for(&self, spec: &QuerySpec) -> JoinConfig {
@@ -195,7 +252,15 @@ impl<'t, const D: usize> Server<'t, D> {
     }
 
     /// Folds one finished request's attribution into the per-query log
-    /// (one row per id+op, deltas summed across a cursor's pulls).
+    /// (one row per id+op). The two ops report differently and must
+    /// not mix: a cursor (`cumulative`) carries running totals across
+    /// its whole lifetime, so its row is *replaced* — adding would
+    /// double-count earlier pulls; a kdj request reports this query's
+    /// deltas, so a reused id *sums* — replacing would drop the
+    /// earlier queries' traffic. Either way every buffer fetch lands
+    /// in exactly one row exactly once, preserving the rows-sum-to-
+    /// global-deltas invariant (`tests/serve_concurrent.rs`).
+    #[allow(clippy::too_many_arguments)]
     fn record(
         &self,
         id: &str,
@@ -204,13 +269,21 @@ impl<'t, const D: usize> Server<'t, D> {
         hits: u64,
         misses: u64,
         results: u64,
+        cumulative: bool,
     ) {
         let mut log = self.reports.lock().expect("report log poisoned");
         if let Some(row) = log.iter_mut().find(|r| r.id == id && r.op == op) {
-            row.queue_wait_ns += wait_ns;
-            row.buffer_hits = hits;
-            row.buffer_misses = misses;
-            row.results = results;
+            if cumulative {
+                row.queue_wait_ns = wait_ns;
+                row.buffer_hits = hits;
+                row.buffer_misses = misses;
+                row.results = results;
+            } else {
+                row.queue_wait_ns += wait_ns;
+                row.buffer_hits += hits;
+                row.buffer_misses += misses;
+                row.results += results;
+            }
         } else {
             log.push(QueryReport {
                 id: id.to_string(),
@@ -232,6 +305,7 @@ impl<'t, const D: usize> Server<'t, D> {
         k: usize,
         spec: &QuerySpec,
     ) -> Result<(JoinOutput, QueryReport), ServeError> {
+        self.check_spec(spec)?;
         let cfg = self.config_for(spec);
         let guard = self.admit(self.cost_of(&cfg))?;
         let threads = (spec.threads as usize).max(1);
@@ -270,12 +344,14 @@ impl<'t, const D: usize> Server<'t, D> {
             out.stats.buffer_hits,
             out.stats.buffer_misses,
             out.results.len() as u64,
+            false,
         );
         Ok((out, report))
     }
 
     /// Opens an incremental-join cursor (no engine work yet).
     pub fn idj_open(&self, id: &str, take: usize, spec: QuerySpec) -> Result<(), ServeError> {
+        self.check_spec(&spec)?;
         self.cursors.insert(id, Cursor::open(take, spec))
     }
 
@@ -289,6 +365,7 @@ impl<'t, const D: usize> Server<'t, D> {
         delivered: u64,
         spec: QuerySpec,
     ) -> Result<(), ServeError> {
+        self.check_spec(&spec)?;
         let snap = crate::EngineSnapshot::<D>::decode(snapshot).map_err(ServeError::Snapshot)?;
         let cursor = Cursor::resume(snap, delivered, spec)?;
         self.cursors.insert(id, cursor)
@@ -327,7 +404,7 @@ impl<'t, const D: usize> Server<'t, D> {
         let delivered = cursor.delivered();
         self.cursors.checkin(id, cursor);
         let (results, done) = outcome?;
-        self.record(id, "idj", wait_ns, hits, misses, delivered);
+        self.record(id, "idj", wait_ns, hits, misses, delivered, true);
         Ok((results, done, delivered))
     }
 
@@ -346,10 +423,16 @@ impl<'t, const D: usize> Server<'t, D> {
         self.cursors.remove(id).map(drop)
     }
 
-    /// Checkpoints every idle cursor into `dir` as `<id>.snap` files
-    /// plus a `cursors.txt` manifest (`id<TAB>delivered` per line) —
-    /// the graceful-shutdown path: call after draining in-flight
-    /// requests, so every cursor is idle. Returns the checkpointed ids.
+    /// Checkpoints every idle cursor into `dir` as
+    /// [`snap_file_name`]`(id)` files plus a `cursors.txt` manifest
+    /// (`hex(id)<TAB>delivered` per line) — the graceful-shutdown
+    /// path: call after draining in-flight requests, so every cursor
+    /// is idle. Returns the checkpointed ids.
+    ///
+    /// Ids are hex-encoded in both places: the encoding is injective,
+    /// so distinct ids can never share a snapshot file, and no id byte
+    /// (tab, newline, path separator — all legal in JSON strings) can
+    /// corrupt the manifest or escape the directory.
     pub fn checkpoint_open_cursors(&self, dir: &std::path::Path) -> std::io::Result<Vec<String>> {
         std::fs::create_dir_all(dir)?;
         let mut manifest = String::new();
@@ -359,18 +442,11 @@ impl<'t, const D: usize> Server<'t, D> {
             let (bytes, delivered) = cursor
                 .checkpoint(self.r, self.s, &cfg, &self.opts.idj_opts)
                 .map_err(|e| std::io::Error::other(e.to_string()))?;
-            let name: String = id
-                .chars()
-                .map(|c| {
-                    if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
-                        c
-                    } else {
-                        '_'
-                    }
-                })
-                .collect();
-            std::fs::write(dir.join(format!("{name}.snap")), &bytes)?;
-            manifest.push_str(&format!("{id}\t{delivered}\n"));
+            std::fs::write(dir.join(snap_file_name(&id)), &bytes)?;
+            manifest.push_str(&format!(
+                "{}\t{delivered}\n",
+                codec::hex_encode(id.as_bytes())
+            ));
             ids.push(id);
         }
         std::fs::write(dir.join("cursors.txt"), manifest)?;

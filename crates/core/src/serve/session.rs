@@ -90,6 +90,18 @@ fn stable_len<const D: usize>(snap: &EngineSnapshot<D>, take: usize) -> usize {
     stable.min(take)
 }
 
+/// The structured refusal for a delivery position ahead of what the
+/// result stream can replay. Unreachable through honest resumes (the
+/// checks in [`Cursor::resume`] bound `delivered`), but an adversarial
+/// snapshot whose claimed results later shrink under the proven bound
+/// must surface here as an error — never as a slice panic, which would
+/// tear down the whole `serve` thread scope.
+fn position_error() -> ServeError {
+    ServeError::Snapshot(crate::SnapshotError::Invalid(
+        "cursor delivery position is ahead of the result stream",
+    ))
+}
+
 impl<const D: usize> Cursor<D> {
     /// A fresh cursor for `take` pairs under the given knobs.
     pub fn open(take: usize, spec: QuerySpec) -> Self {
@@ -117,6 +129,17 @@ impl<const D: usize> Cursor<D> {
                 "k-distance-join snapshot passed to an incremental cursor",
             )));
         };
+        // A suspended snapshot may retain more than `take` results
+        // (everything under the proven bound rides along as resume
+        // evidence), but a client can only ever have received pairs
+        // from the stable prefix, which pull() caps at `take` — so a
+        // `delivered` beyond either bound is a lie, and accepting it
+        // would make pull() slice backwards.
+        if delivered > take {
+            return Err(ServeError::Snapshot(crate::SnapshotError::Invalid(
+                "delivered position beyond the cursor's result budget",
+            )));
+        }
         if delivered > snap.results_len() as u64 {
             return Err(ServeError::Snapshot(crate::SnapshotError::Invalid(
                 "delivered position beyond the snapshot's results",
@@ -213,7 +236,14 @@ impl<const D: usize> Cursor<D> {
             match &self.state {
                 CursorState::Done(results) => {
                     let end = want.min(results.len()).min(self.take);
-                    let from = (self.delivered as usize).min(end);
+                    let from = self.delivered as usize;
+                    // `from > end` means the delivery position claims
+                    // pairs the stream cannot replay (an inconsistent
+                    // resume): refuse rather than rewind `delivered`
+                    // and re-label old pairs as new.
+                    if from > end {
+                        return Err(position_error());
+                    }
                     let slice = results[from..end].to_vec();
                     self.delivered = end as u64;
                     let exhausted = end >= results.len().min(self.take);
@@ -221,6 +251,9 @@ impl<const D: usize> Cursor<D> {
                 }
                 CursorState::Live(snap) if stable_len(snap, self.take) >= want => {
                     let from = self.delivered as usize;
+                    if from > want {
+                        return Err(position_error());
+                    }
                     let slice = snap.results[from..want].to_vec();
                     self.delivered = want as u64;
                     // Stable but suspended: more results may follow —

@@ -11,7 +11,7 @@
 //! must therefore reproduce the shared buffer's global counter deltas
 //! exactly: nothing double-counted, nothing dropped.
 
-use amdj_core::serve::{codec::QuerySpec, ServeOptions, Server};
+use amdj_core::serve::{codec::QuerySpec, ServeError, ServeOptions, Server};
 use amdj_core::{
     am_kdj, b_kdj, par_am_kdj, par_b_kdj, AmIdj, AmIdjOptions, AmKdjOptions, JoinConfig, ResultPair,
 };
@@ -201,4 +201,131 @@ fn eight_concurrent_queries_bit_identical_and_attributed() {
 #[test]
 fn thirty_two_concurrent_queries_bit_identical_and_attributed() {
     run_mixed(32);
+}
+
+/// Per-query `threads`/`partitions` come straight off the wire as
+/// arbitrary u64s; the engine spawns exactly `threads` OS threads, so
+/// out-of-range values must be structured rejections at every
+/// join-bearing entry point — never a million `thread::spawn`s.
+#[test]
+fn wire_thread_and_partition_caps_are_enforced() {
+    let a = uniform_points(200, unit_universe(), 31);
+    let b = clustered_points(200, 8, 0.02, unit_universe(), 32);
+    let (r, s) = build_trees(&a, &b);
+    let server = Server::new(&r, &s, ServeOptions::default());
+    let max_threads = server.options().max_threads;
+    let max_partitions = server.options().max_partitions;
+
+    let over_threads = QuerySpec {
+        threads: max_threads + 1,
+        ..QuerySpec::default()
+    };
+    let err = server.kdj("t", 5, &over_threads).expect_err("over cap");
+    assert!(
+        matches!(
+            err,
+            ServeError::SpecOutOfRange {
+                knob: "threads",
+                ..
+            }
+        ),
+        "kdj rejects over-cap threads, got {err}"
+    );
+    let err = server
+        .idj_open("t", 5, over_threads.clone())
+        .expect_err("over cap");
+    assert!(
+        matches!(
+            err,
+            ServeError::SpecOutOfRange {
+                knob: "threads",
+                ..
+            }
+        ),
+        "idj_open rejects over-cap threads, got {err}"
+    );
+    let err = server
+        .idj_resume("t", &[], 0, over_threads)
+        .expect_err("over cap");
+    assert!(
+        matches!(
+            err,
+            ServeError::SpecOutOfRange {
+                knob: "threads",
+                ..
+            }
+        ),
+        "idj_resume rejects the spec before touching the snapshot, got {err}"
+    );
+
+    let over_parts = QuerySpec {
+        partitions: max_partitions + 1,
+        ..QuerySpec::default()
+    };
+    let err = server.kdj("p", 5, &over_parts).expect_err("over cap");
+    assert!(
+        matches!(
+            err,
+            ServeError::SpecOutOfRange {
+                knob: "partitions",
+                ..
+            }
+        ),
+        "kdj rejects over-cap partitions, got {err}"
+    );
+
+    // Through the wire seam the rejection is a structured error line,
+    // not a panic that would abort the serve thread scope.
+    let line = format!(
+        "{{\"op\":\"kdj\",\"id\":\"w\",\"k\":5,\"threads\":{}}}",
+        u64::MAX
+    );
+    let (resp, stop) = server.handle_line(line.as_bytes());
+    assert!(!stop);
+    assert!(
+        resp.encode().contains("\"ok\":false"),
+        "wire rejection is structured: {}",
+        resp.encode()
+    );
+
+    // In-range specs still run.
+    server
+        .kdj(
+            "ok",
+            5,
+            &QuerySpec {
+                threads: 2,
+                partitions: 2,
+                ..QuerySpec::default()
+            },
+        )
+        .expect("in-range spec runs");
+}
+
+/// A reused kdj id must accumulate its queries' buffer deltas in its
+/// report row; replacing them would break the rows-sum-to-global-
+/// deltas invariant the serve stats advertise.
+#[test]
+fn reused_kdj_id_accumulates_attribution() {
+    let a = uniform_points(300, unit_universe(), 41);
+    let b = clustered_points(300, 8, 0.02, unit_universe(), 42);
+    let (r, s) = build_trees(&a, &b);
+    let server = Server::new(&r, &s, ServeOptions::default());
+    let (_, rep1) = server
+        .kdj("dup", 20, &QuerySpec::default())
+        .expect("first query");
+    let (_, rep2) = server
+        .kdj("dup", 35, &QuerySpec::default())
+        .expect("second query");
+    let reports = server.query_reports();
+    assert_eq!(reports.len(), 1, "one row per id+op");
+    let row = &reports[0];
+    assert_eq!(row.buffer_hits, rep1.buffer_hits + rep2.buffer_hits);
+    assert_eq!(row.buffer_misses, rep1.buffer_misses + rep2.buffer_misses);
+    assert_eq!(row.results, rep1.results + rep2.results);
+    assert_eq!(
+        row.queue_wait_ns,
+        rep1.queue_wait_ns + rep2.queue_wait_ns,
+        "waits are per-request deltas and sum"
+    );
 }

@@ -4,7 +4,10 @@
 //! snapshots, wrong-kind snapshots, and impossible delivery positions
 //! are clean structured errors — never panics.
 
-use amdj_core::serve::{codec::QuerySpec, ServeError, ServeOptions, Server};
+use amdj_core::serve::{
+    codec::{hex_decode, QuerySpec},
+    snap_file_name, ServeError, ServeOptions, Server,
+};
 use amdj_core::{
     kdj_resumable, AmIdj, AmIdjOptions, Checkpointed, JoinConfig, PauseCtl, ResultPair,
 };
@@ -188,6 +191,49 @@ fn corrupt_and_truncated_snapshots_are_clean_errors() {
 }
 
 #[test]
+fn inflated_delivered_position_is_refused_not_a_panic() {
+    let (r, s) = workload();
+    let cfg = JoinConfig::default();
+    let server = Server::new(&r, &s, serve_opts(&cfg));
+    let take = 10;
+    server
+        .idj_open("c", take, QuerySpec::default())
+        .expect("opens");
+    server.idj_pull("c", 4).expect("pull");
+    let (bytes, at) = server.idj_checkpoint("c").expect("checkpoint");
+
+    // A suspended snapshot may retain more results than `take` (resume
+    // evidence under the proven bound), so `delivered ≤ results_len`
+    // alone does not make a position honest: any position past `take`
+    // must be refused at resume time, before a pull can slice
+    // `results[from..want]` with `from > want` and panic the handler.
+    let snap = amdj_core::EngineSnapshot::<2>::decode(&bytes).expect("own snapshot decodes");
+    for delivered in [take as u64 + 1, snap.results_len() as u64, u64::MAX] {
+        if delivered <= take as u64 {
+            continue; // small snapshot: position is honest, not inflated
+        }
+        let err = server
+            .idj_resume("far", &bytes, delivered, QuerySpec::default())
+            .expect_err("inflated delivery position must not resume");
+        assert!(
+            matches!(err, ServeError::Snapshot(_)),
+            "structured error, got {err}"
+        );
+        // The failed resume left no cursor behind to pull on.
+        assert!(matches!(
+            server.idj_pull("far", 1),
+            Err(ServeError::UnknownCursor(_))
+        ));
+    }
+
+    // The honest position still resumes and pulls fine.
+    server
+        .idj_resume("ok", &bytes, at, QuerySpec::default())
+        .expect("honest position resumes");
+    server.idj_pull("ok", 3).expect("resumed cursor pulls");
+}
+
+#[test]
 fn shutdown_checkpoint_directory_roundtrips() {
     let (r, s) = workload();
     let cfg = JoinConfig::default();
@@ -199,21 +245,50 @@ fn shutdown_checkpoint_directory_roundtrips() {
         .idj_open("alpha", 45, QuerySpec::default())
         .expect("opens");
     server1.idj_pull("alpha", 18).expect("pull");
-    server1
-        .idj_open("beta/odd id", 30, QuerySpec::default())
-        .expect("opens");
+    // Ids that the old lossy [A-Za-z0-9_-] sanitization would have
+    // collided onto one file ("a.b" vs "a_b") or whose bytes would
+    // have corrupted the tab/newline manifest ("beta/odd id",
+    // "tab\tid"): each must land in its own snapshot file.
+    for id in ["beta/odd id", "a.b", "a_b", "tab\tid"] {
+        server1
+            .idj_open(id, 30, QuerySpec::default())
+            .expect("opens");
+    }
     let mut ids = server1
         .checkpoint_open_cursors(&dir)
         .expect("shutdown checkpoint");
     ids.sort();
-    assert_eq!(ids, vec!["alpha".to_string(), "beta/odd id".to_string()]);
+    assert_eq!(
+        ids,
+        vec!["a.b", "a_b", "alpha", "beta/odd id", "tab\tid"],
+        "every id checkpointed"
+    );
+    for id in &ids {
+        assert!(
+            dir.join(snap_file_name(id)).is_file(),
+            "{id:?} has its own snapshot file"
+        );
+    }
     let manifest = std::fs::read_to_string(dir.join("cursors.txt")).expect("manifest");
-    assert!(manifest.contains("alpha\t18"), "manifest: {manifest}");
+    assert_eq!(manifest.lines().count(), ids.len(), "one line per cursor");
+    for line in manifest.lines() {
+        let (hex_id, delivered) = line.split_once('\t').expect("hex(id)<TAB>delivered");
+        let id = hex_decode(hex_id)
+            .and_then(|b| String::from_utf8(b).ok())
+            .expect("manifest ids decode");
+        assert!(ids.contains(&id), "manifest id {id:?} was checkpointed");
+        let _: u64 = delivered.parse().expect("delivery position parses");
+    }
+    let alpha_hex: String = "alpha".bytes().map(|b| format!("{b:02x}")).collect();
+    assert!(
+        manifest.contains(&format!("{alpha_hex}\t18")),
+        "alpha's delivery position survives: {manifest}"
+    );
 
     // Resume "alpha" on a fresh server from the on-disk snapshot; the
     // remainder must match the uninterrupted stream.
     let want = reference(&r, &s, &cfg, 45);
-    let bytes = std::fs::read(dir.join("alpha.snap")).expect("snapshot file");
+    let bytes = std::fs::read(dir.join(snap_file_name("alpha"))).expect("snapshot file");
     let server2 = Server::new(&r, &s, serve_opts(&cfg));
     server2
         .idj_resume("alpha", &bytes, 18, QuerySpec::default())
