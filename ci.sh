@@ -26,13 +26,15 @@ BENCH_SMOKE_JSON="$(mktemp -t bench_smoke.XXXXXX.json)"
 trap 'rm -f "$BENCH_SMOKE_JSON"' EXIT
 cargo run --release -q -p amdj-bench --bin amdj -- \
     bench --n 300 --k 20 --json "$BENCH_SMOKE_JSON" 2>/dev/null
-grep -q '"schema_version": 8' "$BENCH_SMOKE_JSON" \
-    || { echo "bench smoke: schema_version != 8"; exit 1; }
-for col in op algo dataset query_id threads steal partition prefilter k partitions \
+grep -q '"schema_version": 9' "$BENCH_SMOKE_JSON" \
+    || { echo "bench smoke: schema_version != 9"; exit 1; }
+for col in op algo dataset query_id transport connections threads steal partition \
+           prefilter k partitions \
            wall_time_s node_accesses \
            pairs_computed quantized_rejects exact_dist_skipped results \
            pairs_stolen steal_attempts barrier_idle_ns \
-           buffer_hits buffer_misses queue_wait_ns admission_rejections \
+           buffer_hits buffer_misses buffer_evictions buffer_hit_rate \
+           queue_wait_ns admission_rejections \
            buffer_hits_by_worker buffer_misses_by_worker \
            checkpoints_written partition_pairs_total partition_pairs_pruned \
            partition_pairs_replayed partition_pairs_never_needed; do
@@ -60,12 +62,21 @@ part_results=$(grep '"dataset": "clustered"' "$BENCH_SMOKE_JSON" \
     | grep '"partitions": 8,' | grep -o '"results": [0-9]*')
 [ -n "$mono_results" ] && [ "$mono_results" = "$part_results" ] \
     || { echo "bench smoke: partitioned results ($part_results) != monolithic ($mono_results)"; exit 1; }
-# The serve section runs 32 concurrent mixed queries through an
-# in-process server (bit-identity is asserted inside the bench itself)
-# and emits one op="serve" row per query.
+# The serve section runs 144 mixed queries over 16 concurrent TCP
+# connections (bit-identity against serial is asserted inside the bench
+# itself) and emits one op="serve" row per query, tagged with the
+# transport. Against the default 8-slot admission budget, 16 connections
+# guarantee some query visibly queued.
 grep -q '"op": "serve"' "$BENCH_SMOKE_JSON" \
     || { echo "bench smoke: missing serve rows"; exit 1; }
-echo "bench smoke: schema_version 8 with all required columns, partition pruning fired"
+# Single greps, not `grep | grep -q` pipelines: under pipefail, -q
+# exiting at the first match SIGPIPEs the upstream grep across 144
+# serve rows. Each row is one line, with op before the other columns.
+grep -Eq '"op": "serve".*"transport": "tcp"' "$BENCH_SMOKE_JSON" \
+    || { echo "bench smoke: serve rows not tagged with the tcp transport"; exit 1; }
+grep -Eq '"op": "serve".*"queue_wait_ns": [1-9]' "$BENCH_SMOKE_JSON" \
+    || { echo "bench smoke: no serve row reports a nonzero queue wait"; exit 1; }
+echo "bench smoke: schema_version 9 with all required columns, partition pruning fired"
 
 echo "== checkpoint smoke: interrupt, resume, compare =="
 # An interrupted join must exit 75 with a checkpoint on disk, and the
@@ -215,6 +226,72 @@ exec 3>&-
 [ -f "$SERVE_DIR/state3/736967.snap" ] \
     || { echo "serve smoke: SIGINT left no cursor checkpoint"; exit 1; }
 echo "serve smoke: concurrent queries bit-identical, cursor survived restart, SIGINT exited 75"
+
+echo "== socket smoke: amdj serve --listen over TCP =="
+# The same protocol over a real socket: kdj and an IDJ cursor driven
+# through bash's /dev/tcp, diffed against the one-shot CLI; then SIGINT
+# must drain the connection, checkpoint the open cursor, and exit 75;
+# a restarted server must resume the cursor over a fresh connection.
+SOCK_DIR="$CKPT_DIR/sock"
+mkdir -p "$SOCK_DIR/state"
+await_port() {  # parse the ephemeral port from the "# listening on" line
+    for _ in $(seq 1 200); do
+        PORT="$(sed -n 's/^# listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' "$1")"
+        [ -n "$PORT" ] && return 0
+        sleep 0.05
+    done
+    echo "socket smoke: server never printed its listening address"; exit 1
+}
+"$AMDJ_BIN" serve --r "$CKPT_DIR/a.amdj" --s "$CKPT_DIR/b.amdj" \
+    --state-dir "$SOCK_DIR/state" --listen 127.0.0.1:0 --max-conns 64 \
+    2> "$SOCK_DIR/err1.txt" &
+SERVE_PID=$!
+await_port "$SOCK_DIR/err1.txt"
+exec 4<>"/dev/tcp/127.0.0.1/$PORT"
+printf '%s\n' '{"op":"kdj","id":"t1","k":50}' >&4
+IFS= read -r resp <&4
+printf '%s\n' "$resp" | grep -q '"ok":true' \
+    || { echo "socket smoke: kdj over tcp failed: $resp"; exit 1; }
+diff <(printf '%s\n' "$resp" | serve_pairs) \
+     <(grep -v '^#' "$SERVE_DIR/kdj_am.txt") \
+    || { echo "socket smoke: kdj over tcp differs from one-shot CLI"; exit 1; }
+printf '%s\n' '{"op":"idj_open","id":"tc","take":40}' >&4
+IFS= read -r resp <&4
+printf '%s\n' "$resp" | grep -q '"ok":true' \
+    || { echo "socket smoke: idj_open over tcp failed: $resp"; exit 1; }
+printf '%s\n' '{"op":"idj_pull","id":"tc","n":25}' >&4
+IFS= read -r pull1 <&4
+printf '%s\n' "$pull1" | grep -q '"ok":true' \
+    || { echo "socket smoke: idj_pull over tcp failed: $pull1"; exit 1; }
+# SIGINT with the connection open and the cursor mid-stream: drain,
+# checkpoint into --state-dir, exit 75.
+kill -INT "$SERVE_PID"
+rc=0; wait "$SERVE_PID" || rc=$?
+exec 4>&- 4<&-
+[ "$rc" = "75" ] || { echo "socket smoke: SIGINT exit $rc != 75"; exit 1; }
+# "tc" hex-encodes to 7463.
+[ -f "$SOCK_DIR/state/7463.snap" ] \
+    || { echo "socket smoke: SIGINT left no cursor checkpoint"; exit 1; }
+# Restart over a fresh socket; the resumed cursor's remainder plus the
+# first window must equal the one-shot IDJ stream.
+"$AMDJ_BIN" serve --r "$CKPT_DIR/a.amdj" --s "$CKPT_DIR/b.amdj" \
+    --state-dir "$SOCK_DIR/state" --listen 127.0.0.1:0 \
+    2> "$SOCK_DIR/err2.txt" &
+SERVE_PID=$!
+await_port "$SOCK_DIR/err2.txt"
+exec 4<>"/dev/tcp/127.0.0.1/$PORT"
+printf '%s\n' '{"op":"idj_pull","id":"tc","n":15}' >&4
+IFS= read -r pull2 <&4
+printf '%s\n' "$pull2" | grep -q '"ok":true' \
+    || { echo "socket smoke: resumed pull over tcp failed: $pull2"; exit 1; }
+printf '%s\n' '{"op":"shutdown"}' >&4
+IFS= read -r resp <&4
+exec 4>&- 4<&-
+wait "$SERVE_PID" || { echo "socket smoke: shutdown exit $?"; exit 1; }
+diff <(printf '%s\n%s\n' "$pull1" "$pull2" | serve_pairs) \
+     <(grep -v '^#' "$SERVE_DIR/idj.txt") \
+    || { echo "socket smoke: suspended+resumed tcp cursor stream differs"; exit 1; }
+echo "socket smoke: tcp queries bit-identical, SIGINT exited 75, cursor resumed over a fresh socket"
 
 # Stress tier (opt-in: STRESS=1 ./ci.sh): rerun the engine-matrix and
 # schedule-perturbation properties in release mode with 4× the proptest

@@ -15,6 +15,7 @@
 //! amdj serve    --r a.amdj --s b.amdj [--mem-budget BYTES] [--max-waiting N]
 //!               [--episode-expansions N] [--max-request-bytes N] [--state-dir DIR]
 //!               [--max-threads N] [--max-partitions N]
+//!               [--listen ADDR] [--max-conns N] [--idle-timeout-ms N]
 //! ```
 //!
 //! CSV rows are `lo_x,lo_y,hi_x,hi_y,id`. Index files are the persistent
@@ -32,16 +33,21 @@
 //!
 //! `serve` loads both trees once and then answers any number of
 //! concurrent KDJ/IDJ queries over them through the line-delimited JSON
-//! protocol of [`amdj_core::serve`] (one request per stdin line, one
-//! response per stdout line; see DESIGN.md §12). Executing queries are
+//! protocol of [`amdj_core::serve`] (one request per line, one response
+//! line per request; see DESIGN.md §12–§13). By default requests arrive
+//! on stdin and responses leave on stdout; with `--listen ADDR` the same
+//! protocol is served over TCP instead, one handler per connection, with
+//! `--max-conns` bounding concurrent connections (excess ones get a
+//! structured error line and are closed) and `--idle-timeout-ms`
+//! disconnecting clients that go silent. Executing queries are
 //! admission-controlled against `--mem-budget` in units of the engine's
 //! own queue memory budget, and per-query `threads`/`partitions` are
 //! bounded by `--max-threads`/`--max-partitions` (out-of-range values
 //! are structured error responses). On SIGINT the server stops accepting
-//! requests, drains the in-flight ones, checkpoints every open IDJ
-//! cursor into `--state-dir`, and exits 75; a restart with the same
-//! `--state-dir` resumes those cursors at their recorded delivery
-//! positions.
+//! requests, drains the in-flight ones across all connections,
+//! checkpoints every open IDJ cursor into `--state-dir`, and exits 75; a
+//! restart with the same `--state-dir` resumes those cursors at their
+//! recorded delivery positions.
 
 use std::collections::HashMap;
 use std::io::{BufRead, BufWriter, Write};
@@ -50,8 +56,9 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 
 use amdj_core::serve::{
-    codec::{hex_decode, QuerySpec},
-    snap_file_name, ServeOptions, Server,
+    codec::QuerySpec,
+    transport::{serve_listener, TransportOptions},
+    ServeOptions, Server,
 };
 use amdj_core::{
     am_kdj, b_kdj, hs_kdj, idj_resumable, kdj_resumable, knn_join, par_am_idj, par_am_kdj,
@@ -69,7 +76,7 @@ use amdj_rtree::{RTree, RTreeParams};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  amdj generate --kind tiger-streets|tiger-hydro|uniform|clustered --n N [--seed S] --out data.csv\n  amdj build    --input data.csv --out index.amdj\n  amdj kdj      --r a.amdj --s b.amdj --k K [--algo am|b|hs|par|par-am] [--threads T]\n                [--partitions P] [--checkpoint-path P] [--checkpoint-every N] [--resume P]\n  amdj idj      --r a.amdj --s b.amdj --take N [--batch B] [--algo am|par-am] [--threads T]\n                [--checkpoint-path P] [--checkpoint-every N] [--resume P]\n  amdj within   --r a.amdj --s b.amdj --dist D\n  amdj knn      --r a.amdj --s b.amdj --k K\n  amdj bench    [--n N] [--k K] [--seed S] [--json [FILE]]\n  amdj serve    --r a.amdj --s b.amdj [--mem-budget BYTES] [--max-waiting N]\n                [--episode-expansions N] [--max-request-bytes N] [--state-dir DIR]\n  (any join command also accepts --no-prefilter to disable the quantized MBR prefilter)"
+        "usage:\n  amdj generate --kind tiger-streets|tiger-hydro|uniform|clustered --n N [--seed S] --out data.csv\n  amdj build    --input data.csv --out index.amdj\n  amdj kdj      --r a.amdj --s b.amdj --k K [--algo am|b|hs|par|par-am] [--threads T]\n                [--partitions P] [--checkpoint-path P] [--checkpoint-every N] [--resume P]\n  amdj idj      --r a.amdj --s b.amdj --take N [--batch B] [--algo am|par-am] [--threads T]\n                [--checkpoint-path P] [--checkpoint-every N] [--resume P]\n  amdj within   --r a.amdj --s b.amdj --dist D\n  amdj knn      --r a.amdj --s b.amdj --k K\n  amdj bench    [--n N] [--k K] [--seed S] [--json [FILE]]\n  amdj serve    --r a.amdj --s b.amdj [--mem-budget BYTES] [--max-waiting N]\n                [--episode-expansions N] [--max-request-bytes N] [--state-dir DIR]\n                [--listen ADDR] [--max-conns N] [--idle-timeout-ms N]\n  (any join command also accepts --no-prefilter to disable the quantized MBR prefilter)"
     );
     ExitCode::from(2)
 }
@@ -569,7 +576,21 @@ fn run() -> Result<ExitCode, String> {
                 sopts.max_partitions = v.parse().map_err(|e| format!("--max-partitions: {e}"))?;
             }
             let state_dir = flags.get("state-dir").map(std::path::PathBuf::from);
-            return serve_loop(&r, &s, sopts, state_dir);
+            let listen = match flags.get("listen") {
+                None => None,
+                Some(addr) => {
+                    let mut topts = TransportOptions::default();
+                    if let Some(v) = flags.get("max-conns") {
+                        topts.max_conns = v.parse().map_err(|e| format!("--max-conns: {e}"))?;
+                    }
+                    if let Some(v) = flags.get("idle-timeout-ms") {
+                        let ms: u64 = v.parse().map_err(|e| format!("--idle-timeout-ms: {e}"))?;
+                        topts.idle_timeout = std::time::Duration::from_millis(ms);
+                    }
+                    Some((addr.clone(), topts))
+                }
+            };
+            return serve_loop(&r, &s, sopts, state_dir, listen);
         }
         "bench" => {
             let n: usize = flags
@@ -594,7 +615,7 @@ fn run() -> Result<ExitCode, String> {
             let rows = run_bench_matrix(n, k, seed, &cfg);
             for row in &rows {
                 eprintln!(
-                    "# {:<4} {:<7} ds={} parts={} threads={} steal={} part={} q={} k={} wall={:.4}s nodes={} dists={} qrej={} results={} stolen={} idle={}ns buf={}h/{}m ppruned={}",
+                    "# {:<4} {:<7} ds={} parts={} threads={} steal={} part={} q={} k={} wall={:.4}s nodes={} dists={} qrej={} results={} stolen={} idle={}ns buf={}h/{}m/{}e ppruned={}",
                     row.op,
                     row.algo,
                     row.dataset,
@@ -613,6 +634,7 @@ fn run() -> Result<ExitCode, String> {
                     row.barrier_idle_ns,
                     row.buffer_hits,
                     row.buffer_misses,
+                    row.buffer_evictions,
                     row.partition_pairs_pruned
                 );
             }
@@ -627,62 +649,61 @@ fn run() -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
-/// Re-opens cursors checkpointed into `dir` by a previous serve run's
-/// shutdown: reads the `cursors.txt` manifest (`hex(id)<TAB>delivered`
-/// per line, snapshots under the hex name so arbitrary ids neither
-/// collide nor corrupt the manifest) and resumes each snapshot at its
-/// recorded delivery position. A missing manifest means a fresh start;
-/// a corrupt snapshot is a clean startup error.
-fn resume_cursors(server: &Server<'_, 2>, dir: &std::path::Path) -> Result<(), String> {
-    let manifest = dir.join("cursors.txt");
-    let Ok(text) = std::fs::read_to_string(&manifest) else {
-        return Ok(());
-    };
-    for line in text.lines() {
-        let Some((hex_id, delivered)) = line.split_once('\t') else {
-            return Err(format!(
-                "{}: malformed manifest line {line:?}",
-                manifest.display()
-            ));
-        };
-        let id = hex_decode(hex_id)
-            .and_then(|b| String::from_utf8(b).ok())
-            .ok_or_else(|| {
-                format!(
-                    "{}: malformed cursor id {hex_id:?} (expected hex)",
-                    manifest.display()
-                )
-            })?;
-        let delivered: u64 = delivered
-            .parse()
-            .map_err(|e| format!("{}: {e}", manifest.display()))?;
-        let path = dir.join(snap_file_name(&id));
-        let bytes = std::fs::read(&path).map_err(|e| format!("{}: {e}", path.display()))?;
-        server
-            .idj_resume(&id, &bytes, delivered, QuerySpec::default())
-            .map_err(|e| format!("{}: {e}", path.display()))?;
-        eprintln!("# resumed cursor `{id}` at {delivered} delivered");
-    }
-    Ok(())
-}
-
-/// The `serve` command: one shared [`Server`] over the two trees, fed
-/// by a stdin reader thread, answered by one handler thread per
-/// request. glibc installs SIGINT handlers with `SA_RESTART`, so a
-/// blocked stdin read would never observe Ctrl-C — reading happens on
-/// a detached thread and this loop polls the channel, so an interrupt
-/// always gets its chance to drain, checkpoint, and exit 75.
+/// The `serve` command: one shared [`Server`] over the two trees,
+/// driven either by stdin (the default) or, with `--listen`, by the TCP
+/// transport of [`amdj_core::serve::transport`]. Both paths share the
+/// resume-on-start and checkpoint-on-exit bracket around `--state-dir`.
+///
+/// On the stdin path, glibc installs SIGINT handlers with `SA_RESTART`,
+/// so a blocked stdin read would never observe Ctrl-C — reading happens
+/// on a detached thread and the loop polls the channel, so an interrupt
+/// always gets its chance to drain, checkpoint, and exit 75. The TCP
+/// path polls its sockets on short timeouts for the same reason.
 fn serve_loop(
     r: &RTree<2>,
     s: &RTree<2>,
     opts: ServeOptions,
     state_dir: Option<std::path::PathBuf>,
+    listen: Option<(String, TransportOptions)>,
 ) -> Result<ExitCode, String> {
     install_sigint_handler();
     let server = Server::new(r, s, opts);
     if let Some(dir) = &state_dir {
-        resume_cursors(&server, dir)?;
+        let ids = server
+            .resume_cursors_from(dir)
+            .map_err(|e| format!("{}: {e}", dir.display()))?;
+        for id in &ids {
+            eprintln!("# resumed cursor `{id}`");
+        }
     }
+    if let Some((addr, topts)) = listen {
+        serve_tcp(&server, r, s, &addr, &topts)?;
+    } else {
+        serve_stdin(&server, r, s);
+    }
+    if let Some(dir) = &state_dir {
+        let ids = server
+            .checkpoint_open_cursors(dir)
+            .map_err(|e| format!("{}: {e}", dir.display()))?;
+        if !ids.is_empty() {
+            eprintln!(
+                "# checkpointed {} open cursor(s) into {}",
+                ids.len(),
+                dir.display()
+            );
+        }
+    }
+    if INTERRUPTED.load(Ordering::SeqCst) {
+        eprintln!("# interrupted; restart with the same --state-dir to resume open cursors");
+        return Ok(ExitCode::from(EXIT_INTERRUPTED));
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// The stdin transport: a reader thread feeds a channel, the loop polls
+/// it, and each request line gets its own handler thread writing the
+/// response line under a stdout lock.
+fn serve_stdin(server: &Server<'_, 2>, r: &RTree<2>, s: &RTree<2>) {
     let (tx, rx) = std::sync::mpsc::channel::<String>();
     std::thread::spawn(move || {
         let stdin = std::io::stdin();
@@ -714,7 +735,7 @@ fn serve_loop(
             if line.trim().is_empty() {
                 continue;
             }
-            let (server, stdout, shutdown) = (&server, &stdout, &shutdown);
+            let (server, stdout, shutdown) = (server, &stdout, &shutdown);
             scope.spawn(move || {
                 let (resp, stop) = server.handle_line(line.as_bytes());
                 if stop {
@@ -727,23 +748,39 @@ fn serve_loop(
         }
         // Leaving the scope joins every in-flight handler: the drain.
     });
-    if let Some(dir) = &state_dir {
-        let ids = server
-            .checkpoint_open_cursors(dir)
-            .map_err(|e| format!("{}: {e}", dir.display()))?;
-        if !ids.is_empty() {
-            eprintln!(
-                "# checkpointed {} open cursor(s) into {}",
-                ids.len(),
-                dir.display()
-            );
-        }
-    }
-    if INTERRUPTED.load(Ordering::SeqCst) {
-        eprintln!("# interrupted; restart with the same --state-dir to resume open cursors");
-        return Ok(ExitCode::from(EXIT_INTERRUPTED));
-    }
-    Ok(ExitCode::SUCCESS)
+}
+
+/// The TCP transport: bind, announce the bound address on stderr (port
+/// 0 requests an ephemeral port, so scripts parse it from here), and
+/// hand the listener to the core transport until SIGINT or a client's
+/// `shutdown` op stops it.
+fn serve_tcp(
+    server: &Server<'_, 2>,
+    r: &RTree<2>,
+    s: &RTree<2>,
+    addr: &str,
+    topts: &TransportOptions,
+) -> Result<(), String> {
+    let listener = std::net::TcpListener::bind(addr).map_err(|e| format!("{addr}: {e}"))?;
+    let bound = listener.local_addr().map_err(|e| e.to_string())?;
+    eprintln!(
+        "# serving {} x {} objects; one JSON request per line per connection",
+        r.len(),
+        s.len()
+    );
+    eprintln!("# listening on {bound}");
+    let stats = serve_listener(server, listener, topts, &INTERRUPTED)
+        .map_err(|e| format!("{addr}: {e}"))?;
+    eprintln!(
+        "# served {} request(s) over {} connection(s); rejected {} over the {}-connection cap, dropped {} idle and {} oversized",
+        stats.requests,
+        stats.accepted,
+        stats.rejected,
+        topts.max_conns,
+        stats.idle_disconnects,
+        stats.oversize_disconnects,
+    );
+    Ok(())
 }
 
 /// One measured cell of the benchmark matrix.
@@ -775,6 +812,12 @@ struct BenchRow {
     barrier_idle_ns: u64,
     buffer_hits: u64,
     buffer_misses: u64,
+    /// Shared-buffer evictions this row's inserts caused — the
+    /// cross-query thrashing pressure signal of the serve rows, and the
+    /// buffer-budget pressure of the one-shot rows.
+    buffer_evictions: u64,
+    /// `hits / (hits + misses)`, 0 when the row touched no pages.
+    buffer_hit_rate: f64,
     /// Snapshots written during the run (non-zero only for the
     /// checkpoint-overhead rows).
     checkpoints: u64,
@@ -800,6 +843,21 @@ struct BenchRow {
     /// The serve-mode query id this row attributes (empty off serve
     /// rows).
     query_id: String,
+    /// How the serve row's query reached the server (`"tcp"`; empty
+    /// off serve rows).
+    transport: &'static str,
+    /// Concurrent client connections of the serve section (0 off serve
+    /// rows).
+    connections: usize,
+}
+
+/// `hits / (hits + misses)`, 0 when nothing was fetched.
+fn hit_rate(hits: u64, misses: u64) -> f64 {
+    if hits + misses == 0 {
+        0.0
+    } else {
+        hits as f64 / (hits + misses) as f64
+    }
 }
 
 /// Runs every kdj/idj algorithm (sequential and parallel at several thread
@@ -875,6 +933,8 @@ fn run_bench_matrix(n: usize, k: usize, seed: u64, cfg: &JoinConfig) -> Vec<Benc
             barrier_idle_ns: out.stats.barrier_idle_ns,
             buffer_hits: out.stats.buffer_hits,
             buffer_misses: out.stats.buffer_misses,
+            buffer_evictions: out.stats.buffer_evictions,
+            buffer_hit_rate: hit_rate(out.stats.buffer_hits, out.stats.buffer_misses),
             checkpoints: ckpt_written.take(),
             partitions: cur_partitions.get(),
             partition_pairs_total: out.stats.partition_pairs_total,
@@ -886,6 +946,8 @@ fn run_bench_matrix(n: usize, k: usize, seed: u64, cfg: &JoinConfig) -> Vec<Benc
             queue_wait_ns: 0,
             admission_rejections: 0,
             query_id: String::new(),
+            transport: "",
+            connections: 0,
         });
     };
     record(
@@ -1093,19 +1155,24 @@ fn run_bench_matrix(n: usize, k: usize, seed: u64, cfg: &JoinConfig) -> Vec<Benc
             );
         }
     }
-    // The serve section: 32 concurrent mixed queries — one-shot KDJ at
-    // several knob settings plus pull-driven IDJ cursors — through one
-    // in-process `serve::Server` over the shared trees. Every query's
-    // result stream is asserted bit-identical to its serial one-shot
-    // equivalent before its row is recorded; the row then carries the
-    // per-query attribution (buffer hits/misses, admission queue wait)
-    // the server exists to provide.
+    // The serve section: 144 concurrent mixed queries — one-shot KDJ
+    // at several knob settings plus pull-driven IDJ cursors — driven
+    // over a real TCP listener in front of one `serve::Server`, 16
+    // client connections each carrying its share of the queries
+    // serially. Every query's result stream is re-parsed off the wire
+    // (the protocol prints distances in shortest round-trip form) and
+    // asserted bit-identical to its serial one-shot equivalent before
+    // its row is recorded; the row then carries the per-query
+    // attribution (buffer hits/misses/evictions, admission queue wait)
+    // and the transport provenance.
     enum ServeKind {
         Kdj { k: usize, spec: QuerySpec },
         Idj { take: usize, batch: usize },
     }
+    const SERVE_QUERIES: usize = 144;
+    const SERVE_CONNS: usize = 16;
     let mut cells = Vec::new();
-    for i in 0..32usize {
+    for i in 0..SERVE_QUERIES {
         let kind = match i % 4 {
             0 => ServeKind::Kdj {
                 k: (k / (1 + i % 3)).max(1),
@@ -1131,7 +1198,7 @@ fn run_bench_matrix(n: usize, k: usize, seed: u64, cfg: &JoinConfig) -> Vec<Benc
                 },
             },
         };
-        cells.push((format!("q{i:02}"), kind));
+        cells.push((format!("q{i:03}"), kind));
     }
     // Serial expectations through the ordinary one-shot entry points.
     let expected: Vec<Vec<ResultPair>> = cells
@@ -1142,7 +1209,11 @@ fn run_bench_matrix(n: usize, k: usize, seed: u64, cfg: &JoinConfig) -> Vec<Benc
                 if let Some(steal) = spec.steal {
                     c.steal = steal;
                 }
-                c.partitions = (spec.partitions > 1).then_some(spec.partitions as usize);
+                // Mirror the server's `config_for`: 0 keeps the base
+                // config's partitioning, nonzero overrides it.
+                if spec.partitions > 0 {
+                    c.partitions = (spec.partitions > 1).then_some(spec.partitions as usize);
+                }
                 let t = (spec.threads as usize).max(1);
                 match (spec.aggressive, t > 1) {
                     (true, false) => am_kdj(&r, &s, *k, &c, &AmKdjOptions::default()).results,
@@ -1172,47 +1243,84 @@ fn run_bench_matrix(n: usize, k: usize, seed: u64, cfg: &JoinConfig) -> Vec<Benc
             ..ServeOptions::default()
         },
     );
-    let measured: Vec<(f64, Vec<ResultPair>)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = cells
-            .iter()
-            .map(|(id, kind)| {
-                let server = &server;
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bench serve bind");
+    let addr = listener.local_addr().expect("bench serve local addr");
+    let topts = TransportOptions::default();
+    let stop = AtomicBool::new(false);
+    type QuerySlot = Option<(f64, Vec<ResultPair>)>;
+    let slots: Mutex<Vec<QuerySlot>> = Mutex::new((0..cells.len()).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        let lh = scope.spawn(|| serve_listener(&server, listener, &topts, &stop));
+        let clients: Vec<_> = (0..SERVE_CONNS)
+            .map(|c| {
+                let (cells, slots) = (&cells, &slots);
                 scope.spawn(move || {
-                    let start = std::time::Instant::now();
-                    let results = match kind {
-                        ServeKind::Kdj { k, spec } => {
-                            server
-                                .kdj(id, *k, spec)
-                                .expect("bench serve kdj admitted")
-                                .0
-                                .results
-                        }
-                        ServeKind::Idj { take, batch } => {
-                            server
-                                .idj_open(id, *take, QuerySpec::default())
-                                .expect("bench serve cursor opens");
-                            let mut out = Vec::with_capacity(*take);
-                            loop {
-                                let (chunk, done, _) =
-                                    server.idj_pull(id, *batch).expect("bench serve pull");
-                                out.extend(chunk);
-                                if done || out.len() >= *take {
-                                    break;
-                                }
-                            }
-                            server.idj_close(id).expect("bench serve cursor closes");
-                            out
-                        }
+                    let stream = std::net::TcpStream::connect(addr).expect("bench serve connect");
+                    stream.set_nodelay(true).expect("bench serve nodelay");
+                    let mut reader =
+                        std::io::BufReader::new(stream.try_clone().expect("bench serve clone"));
+                    let mut stream = stream;
+                    let mut request = |line: String| -> String {
+                        stream
+                            .write_all(line.as_bytes())
+                            .and_then(|()| stream.write_all(b"\n"))
+                            .expect("bench serve write");
+                        let mut resp = String::new();
+                        reader.read_line(&mut resp).expect("bench serve read");
+                        assert!(
+                            resp.contains("\"ok\":true"),
+                            "bench serve request failed: {resp}"
+                        );
+                        resp
                     };
-                    (start.elapsed().as_secs_f64(), results)
+                    for (i, (id, kind)) in cells.iter().enumerate() {
+                        if i % SERVE_CONNS != c {
+                            continue;
+                        }
+                        let start = std::time::Instant::now();
+                        let results = match kind {
+                            ServeKind::Kdj { k, spec } => {
+                                parse_wire_results(&request(kdj_request_line(id, *k, spec)))
+                            }
+                            ServeKind::Idj { take, batch } => {
+                                request(format!(
+                                    "{{\"op\":\"idj_open\",\"id\":\"{id}\",\"take\":{take}}}"
+                                ));
+                                let mut out = Vec::with_capacity(*take);
+                                loop {
+                                    let resp = request(format!(
+                                        "{{\"op\":\"idj_pull\",\"id\":\"{id}\",\"n\":{batch}}}"
+                                    ));
+                                    let done = resp.contains("\"done\":true");
+                                    out.extend(parse_wire_results(&resp));
+                                    if done || out.len() >= *take {
+                                        break;
+                                    }
+                                }
+                                request(format!("{{\"op\":\"idj_close\",\"id\":\"{id}\"}}"));
+                                out
+                            }
+                        };
+                        slots.lock().expect("bench serve slots")[i] =
+                            Some((start.elapsed().as_secs_f64(), results));
+                    }
                 })
             })
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("serve query panicked"))
-            .collect()
+        for h in clients {
+            h.join().expect("bench serve client panicked");
+        }
+        stop.store(true, Ordering::SeqCst);
+        lh.join()
+            .expect("bench serve listener panicked")
+            .expect("bench serve transport");
     });
+    let measured: Vec<(f64, Vec<ResultPair>)> = slots
+        .into_inner()
+        .expect("bench serve slots")
+        .into_iter()
+        .map(|slot| slot.expect("every serve query measured"))
+        .collect();
     for (((id, _), (_, got)), want) in cells.iter().zip(&measured).zip(&expected) {
         assert_eq!(
             got.len(),
@@ -1222,7 +1330,7 @@ fn run_bench_matrix(n: usize, k: usize, seed: u64, cfg: &JoinConfig) -> Vec<Benc
         for (a, b) in got.iter().zip(want) {
             assert!(
                 a.r == b.r && a.s == b.s && a.dist.to_bits() == b.dist.to_bits(),
-                "serve query {id} diverged from its serial equivalent"
+                "serve query {id} diverged from its serial equivalent over the wire"
             );
         }
     }
@@ -1257,6 +1365,8 @@ fn run_bench_matrix(n: usize, k: usize, seed: u64, cfg: &JoinConfig) -> Vec<Benc
             barrier_idle_ns: 0,
             buffer_hits: rep.buffer_hits,
             buffer_misses: rep.buffer_misses,
+            buffer_evictions: rep.buffer_evictions,
+            buffer_hit_rate: hit_rate(rep.buffer_hits, rep.buffer_misses),
             checkpoints: 0,
             partitions: 0,
             partition_pairs_total: 0,
@@ -1268,9 +1378,58 @@ fn run_bench_matrix(n: usize, k: usize, seed: u64, cfg: &JoinConfig) -> Vec<Benc
             queue_wait_ns: rep.queue_wait_ns,
             admission_rejections: rejections,
             query_id: id.clone(),
+            transport: "tcp",
+            connections: SERVE_CONNS,
         });
     }
     rows
+}
+
+/// Formats a serve-protocol kdj request line from a bench cell's spec;
+/// default knobs stay off the wire, exactly like a real client.
+fn kdj_request_line(id: &str, k: usize, spec: &QuerySpec) -> String {
+    let mut line = format!("{{\"op\":\"kdj\",\"id\":\"{id}\",\"k\":{k}");
+    if !spec.aggressive {
+        line.push_str(",\"aggressive\":false");
+    }
+    if spec.threads != 1 {
+        line.push_str(&format!(",\"threads\":{}", spec.threads));
+    }
+    if spec.partitions != 0 {
+        line.push_str(&format!(",\"partitions\":{}", spec.partitions));
+    }
+    if let Some(steal) = spec.steal {
+        line.push_str(&format!(",\"steal\":{steal}"));
+    }
+    line.push('}');
+    line
+}
+
+/// Scans the `results` array off a serve Results response line. The
+/// protocol prints distances in shortest round-trip form, so the f64s
+/// recovered here are bit-identical to the server's.
+fn parse_wire_results(line: &str) -> Vec<ResultPair> {
+    let Some(arr) = line.split("\"results\":[").nth(1) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    let mut rest = arr;
+    while let Some(idx) = rest.find("\"r\":") {
+        rest = &rest[idx + 4..];
+        let comma = rest.find(',').expect("wire pair: r unterminated");
+        let r: u64 = rest[..comma].parse().expect("wire pair: r");
+        let idx = rest.find("\"s\":").expect("wire pair: no s");
+        rest = &rest[idx + 4..];
+        let comma = rest.find(',').expect("wire pair: s unterminated");
+        let s: u64 = rest[..comma].parse().expect("wire pair: s");
+        let idx = rest.find("\"dist\":").expect("wire pair: no dist");
+        rest = &rest[idx + 7..];
+        let end = rest.find('}').expect("wire pair: dist unterminated");
+        let dist: f64 = rest[..end].parse().expect("wire pair: dist");
+        out.push(ResultPair { r, s, dist });
+        rest = &rest[end..];
+    }
+    out
 }
 
 /// `[a, b, c]` — no JSON dependency, numbers only.
@@ -1299,19 +1458,24 @@ fn bench_rows_json(n: usize, k: usize, seed: u64, rows: &[BenchRow]) -> String {
     // concurrent mixed queries through the in-process join server, one
     // op="serve" row per query, bit-identity asserted against serial
     // equivalents) and the query_id / queue_wait_ns /
-    // admission_rejections columns.
-    out.push_str("  \"schema_version\": 8,\n");
+    // admission_rejections columns; 9 moved the serve section onto the
+    // TCP transport (144 queries over 16 concurrent connections,
+    // bit-identity re-parsed off the wire) and added the transport /
+    // connections / buffer_evictions / buffer_hit_rate columns.
+    out.push_str("  \"schema_version\": 9,\n");
     out.push_str(&format!(
         "  \"workload\": {{ \"n\": {n}, \"k\": {k}, \"seed\": {seed}, \"r\": \"uniform\", \"s\": \"clustered\" }},\n"
     ));
     out.push_str("  \"runs\": [\n");
     for (i, row) in rows.iter().enumerate() {
         out.push_str(&format!(
-            "    {{ \"op\": \"{}\", \"algo\": \"{}\", \"dataset\": \"{}\", \"query_id\": \"{}\", \"threads\": {}, \"steal\": {}, \"partition\": \"{}\", \"prefilter\": {}, \"k\": {}, \"partitions\": {}, \"wall_time_s\": {:.6}, \"node_accesses\": {}, \"pairs_computed\": {}, \"quantized_rejects\": {}, \"exact_dist_skipped\": {}, \"results\": {}, \"pairs_stolen\": {}, \"steal_attempts\": {}, \"barrier_idle_ns\": {}, \"buffer_hits\": {}, \"buffer_misses\": {}, \"queue_wait_ns\": {}, \"admission_rejections\": {}, \"checkpoints_written\": {}, \"partition_pairs_total\": {}, \"partition_pairs_pruned\": {}, \"partition_pairs_replayed\": {}, \"partition_pairs_never_needed\": {}, \"buffer_hits_by_worker\": {}, \"buffer_misses_by_worker\": {} }}{}\n",
+            "    {{ \"op\": \"{}\", \"algo\": \"{}\", \"dataset\": \"{}\", \"query_id\": \"{}\", \"transport\": \"{}\", \"connections\": {}, \"threads\": {}, \"steal\": {}, \"partition\": \"{}\", \"prefilter\": {}, \"k\": {}, \"partitions\": {}, \"wall_time_s\": {:.6}, \"node_accesses\": {}, \"pairs_computed\": {}, \"quantized_rejects\": {}, \"exact_dist_skipped\": {}, \"results\": {}, \"pairs_stolen\": {}, \"steal_attempts\": {}, \"barrier_idle_ns\": {}, \"buffer_hits\": {}, \"buffer_misses\": {}, \"buffer_evictions\": {}, \"buffer_hit_rate\": {:.6}, \"queue_wait_ns\": {}, \"admission_rejections\": {}, \"checkpoints_written\": {}, \"partition_pairs_total\": {}, \"partition_pairs_pruned\": {}, \"partition_pairs_replayed\": {}, \"partition_pairs_never_needed\": {}, \"buffer_hits_by_worker\": {}, \"buffer_misses_by_worker\": {} }}{}\n",
             row.op,
             row.algo,
             row.dataset,
             row.query_id,
+            row.transport,
+            row.connections,
             row.threads,
             row.steal,
             row.partition,
@@ -1329,6 +1493,8 @@ fn bench_rows_json(n: usize, k: usize, seed: u64, rows: &[BenchRow]) -> String {
             row.barrier_idle_ns,
             row.buffer_hits,
             row.buffer_misses,
+            row.buffer_evictions,
+            row.buffer_hit_rate,
             row.queue_wait_ns,
             row.admission_rejections,
             row.checkpoints,

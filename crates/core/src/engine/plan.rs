@@ -57,7 +57,7 @@
 //! [`ExecBackend::run_kdj_bounded`]: super::backend::ExecBackend::run_kdj_bounded
 
 use amdj_geom::Rect;
-use amdj_rtree::{thread_buffer_counters, RTree};
+use amdj_rtree::{thread_buffer_stats, RTree};
 
 use crate::stats::Baseline;
 use crate::{Estimator, JoinConfig, JoinOutput, JoinStats, ResultPair};
@@ -156,7 +156,7 @@ pub(crate) fn run_partitioned_kdj<const D: usize, P: PruningPolicy, B: ExecBacke
         // The inner run's own Baseline attributes this thread's buffer
         // traffic to its stats; the outer baseline will observe the same
         // thread-local delta again at finish, so cancel one of the two.
-        let (h0, m0) = thread_buffer_counters();
+        let (h0, m0, e0) = thread_buffer_stats();
         let out = backend.run_kdj_bounded(
             &r_tiles[pp.ri].tree,
             &s_tiles[pp.si].tree,
@@ -165,10 +165,11 @@ pub(crate) fn run_partitioned_kdj<const D: usize, P: PruningPolicy, B: ExecBacke
             policy,
             Some(&shared),
         );
-        let (h1, m1) = thread_buffer_counters();
+        let (h1, m1, e1) = thread_buffer_stats();
         stats.absorb_worker(&out.stats);
         stats.buffer_hits -= h1 - h0;
         stats.buffer_misses -= m1 - m0;
+        stats.buffer_evictions -= e1 - e0;
         stats.node_requests += out.stats.node_requests;
         stats.node_disk_reads += out.stats.node_disk_reads;
         stats.io_seconds += out.stats.io_seconds;

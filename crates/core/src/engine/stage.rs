@@ -76,7 +76,7 @@ pub struct StageDriver<'a, const D: usize> {
     s_acc0: AccessStats,
     r_io0: f64,
     s_io0: f64,
-    buf0: (u64, u64),
+    buf0: (u64, u64, u64),
     /// Cooperative pause signal of a resumable join; checked once per
     /// step-loop iteration, ticked per expansion/compensation.
     pause: Option<&'a PauseCtl>,
@@ -144,7 +144,7 @@ impl<'a, const D: usize> StageDriver<'a, D> {
         // report identical node_requests either way.
         let (r_acc0, s_acc0) = (r.access_stats(), s.access_stats());
         let (r_io0, s_io0) = (r.disk_stats().io_seconds, s.disk_stats().io_seconds);
-        let buf0 = amdj_rtree::thread_buffer_counters();
+        let buf0 = amdj_rtree::thread_buffer_stats();
         let est = Estimator::from_trees(r, s);
         let mut mainq = MainQueue::new(cfg, est.as_ref());
         match seeds {
@@ -483,9 +483,10 @@ impl<'a, const D: usize> StageDriver<'a, D> {
         // Only valid standalone: a parallel worker's cursor reports no
         // tree/buffer deltas (see `finish_worker`), so this snapshot path
         // may assume every fetch since `buf0` happened on this thread.
-        let (h, m) = amdj_rtree::thread_buffer_counters();
+        let (h, m, e) = amdj_rtree::thread_buffer_stats();
         st.buffer_hits = h - self.buf0.0;
         st.buffer_misses = m - self.buf0.1;
+        st.buffer_evictions = e - self.buf0.2;
         st
     }
 }

@@ -34,7 +34,7 @@ pub struct HsIdj<'a, const D: usize> {
     s_acc0: AccessStats,
     r_io0: f64,
     s_io0: f64,
-    buf0: (u64, u64),
+    buf0: (u64, u64, u64),
 }
 
 impl<'a, const D: usize> HsIdj<'a, D> {
@@ -83,7 +83,7 @@ impl<'a, const D: usize> HsIdj<'a, D> {
             s_acc0,
             r_io0,
             s_io0,
-            buf0: amdj_rtree::thread_buffer_counters(),
+            buf0: amdj_rtree::thread_buffer_stats(),
         }
     }
 
@@ -206,9 +206,10 @@ impl<'a, const D: usize> HsIdj<'a, D> {
             + qd.io_seconds;
         // Single-threaded cursor: every fetch since construction happened
         // on this thread.
-        let (h, m) = amdj_rtree::thread_buffer_counters();
+        let (h, m, e) = amdj_rtree::thread_buffer_stats();
         st.buffer_hits = h - self.buf0.0;
         st.buffer_misses = m - self.buf0.1;
+        st.buffer_evictions = e - self.buf0.2;
         st
     }
 }

@@ -604,6 +604,9 @@ pub struct QueryReport {
     pub buffer_hits: u64,
     /// Shared-buffer misses attributed to this query's threads.
     pub buffer_misses: u64,
+    /// Shared-buffer evictions this query's inserts caused — its share
+    /// of cross-query thrashing pressure.
+    pub buffer_evictions: u64,
     /// Results delivered so far.
     pub results: u64,
 }
@@ -611,12 +614,13 @@ pub struct QueryReport {
 impl QueryReport {
     fn encode(&self) -> String {
         format!(
-            "{{\"id\":{},\"op\":\"{}\",\"queue_wait_ns\":{},\"buffer_hits\":{},\"buffer_misses\":{},\"results\":{}}}",
+            "{{\"id\":{},\"op\":\"{}\",\"queue_wait_ns\":{},\"buffer_hits\":{},\"buffer_misses\":{},\"buffer_evictions\":{},\"results\":{}}}",
             json_string(&self.id),
             self.op,
             self.queue_wait_ns,
             self.buffer_hits,
             self.buffer_misses,
+            self.buffer_evictions,
             self.results
         )
     }

@@ -34,6 +34,7 @@
 pub mod admission;
 pub mod codec;
 pub mod session;
+pub mod transport;
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -171,6 +172,36 @@ pub fn snap_file_name(id: &str) -> String {
     format!("{}.snap", codec::hex_encode(id.as_bytes()))
 }
 
+/// One [`Server::idj_pull`]'s outcome.
+#[derive(Clone, Debug)]
+pub struct Pull {
+    /// The delivered pairs, ascending by distance.
+    pub results: Vec<crate::ResultPair>,
+    /// Whether the cursor is exhausted.
+    pub done: bool,
+    /// Total pairs delivered to the client so far.
+    pub delivered: u64,
+    /// The cursor's *cumulative* admission wait across all its pulls,
+    /// ns — the queueing delay the wire response reports.
+    pub queue_wait_ns: u64,
+}
+
+/// Writes `bytes` to `path` atomically: write to a `.tmp` sibling,
+/// fsync, rename — the `engine/checkpoint.rs` pattern. A crash
+/// mid-write can leave a stale tmp file behind but never a truncated
+/// snapshot or manifest under the real name.
+fn write_atomic(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    use std::io::Write as _;
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    let mut f = std::fs::File::create(&tmp)?;
+    f.write_all(bytes)?;
+    f.sync_all()?;
+    drop(f);
+    std::fs::rename(&tmp, path)
+}
+
 /// The transport-independent join server over one shared tree pair.
 /// All methods take `&self`; the shared buffer synchronizes internally,
 /// so any number of handler threads may call in concurrently.
@@ -228,13 +259,19 @@ impl<'t, const D: usize> Server<'t, D> {
     }
 
     /// The per-query engine configuration: the base config with the
-    /// request's overrides applied.
+    /// request's overrides applied. Like `steal`, `partitions` is only
+    /// touched when the request actually carries it (the codec default
+    /// 0 means "unspecified"): `partitions ≥ 2` repartitions, an
+    /// explicit `partitions: 1` forces a monolithic run, and an omitted
+    /// knob keeps whatever the server's base config says.
     fn config_for(&self, spec: &QuerySpec) -> JoinConfig {
         let mut cfg = self.opts.base_config.clone();
         if let Some(steal) = spec.steal {
             cfg.steal = steal;
         }
-        cfg.partitions = (spec.partitions > 1).then_some(spec.partitions as usize);
+        if spec.partitions > 0 {
+            cfg.partitions = (spec.partitions > 1).then_some(spec.partitions as usize);
+        }
         cfg
     }
 
@@ -268,6 +305,7 @@ impl<'t, const D: usize> Server<'t, D> {
         wait_ns: u64,
         hits: u64,
         misses: u64,
+        evictions: u64,
         results: u64,
         cumulative: bool,
     ) {
@@ -277,11 +315,13 @@ impl<'t, const D: usize> Server<'t, D> {
                 row.queue_wait_ns = wait_ns;
                 row.buffer_hits = hits;
                 row.buffer_misses = misses;
+                row.buffer_evictions = evictions;
                 row.results = results;
             } else {
                 row.queue_wait_ns += wait_ns;
                 row.buffer_hits += hits;
                 row.buffer_misses += misses;
+                row.buffer_evictions += evictions;
                 row.results += results;
             }
         } else {
@@ -291,6 +331,7 @@ impl<'t, const D: usize> Server<'t, D> {
                 queue_wait_ns: wait_ns,
                 buffer_hits: hits,
                 buffer_misses: misses,
+                buffer_evictions: evictions,
                 results,
             });
         }
@@ -335,6 +376,7 @@ impl<'t, const D: usize> Server<'t, D> {
             queue_wait_ns: wait_ns,
             buffer_hits: out.stats.buffer_hits,
             buffer_misses: out.stats.buffer_misses,
+            buffer_evictions: out.stats.buffer_evictions,
             results: out.results.len() as u64,
         };
         self.record(
@@ -343,6 +385,7 @@ impl<'t, const D: usize> Server<'t, D> {
             wait_ns,
             out.stats.buffer_hits,
             out.stats.buffer_misses,
+            out.stats.buffer_evictions,
             out.results.len() as u64,
             false,
         );
@@ -373,13 +416,7 @@ impl<'t, const D: usize> Server<'t, D> {
 
     /// Pulls the next `n` pairs from a cursor, running resumable
     /// episodes under admission control until the window is stable.
-    /// Returns the pairs, whether the cursor is exhausted, and the
-    /// total delivered so far.
-    pub fn idj_pull(
-        &self,
-        id: &str,
-        n: usize,
-    ) -> Result<(Vec<crate::ResultPair>, bool, u64), ServeError> {
+    pub fn idj_pull(&self, id: &str, n: usize) -> Result<Pull, ServeError> {
         let mut cursor = self.cursors.checkout(id)?;
         let cfg = self.config_for(cursor.spec());
         let outcome = match self.admit(self.cost_of(&cfg)) {
@@ -401,11 +438,17 @@ impl<'t, const D: usize> Server<'t, D> {
         let wait_ns = cursor.queue_wait_ns;
         let hits = cursor.stats.buffer_hits;
         let misses = cursor.stats.buffer_misses;
+        let evictions = cursor.stats.buffer_evictions;
         let delivered = cursor.delivered();
         self.cursors.checkin(id, cursor);
         let (results, done) = outcome?;
-        self.record(id, "idj", wait_ns, hits, misses, delivered, true);
-        Ok((results, done, delivered))
+        self.record(id, "idj", wait_ns, hits, misses, evictions, delivered, true);
+        Ok(Pull {
+            results,
+            done,
+            delivered,
+            queue_wait_ns: wait_ns,
+        })
     }
 
     /// Serializes a cursor to snapshot bytes plus its delivery
@@ -427,7 +470,19 @@ impl<'t, const D: usize> Server<'t, D> {
     /// [`snap_file_name`]`(id)` files plus a `cursors.txt` manifest
     /// (`hex(id)<TAB>delivered` per line) — the graceful-shutdown
     /// path: call after draining in-flight requests, so every cursor
-    /// is idle. Returns the checkpointed ids.
+    /// is idle. Returns the checkpointed ids (sorted, so the on-disk
+    /// layout is deterministic).
+    ///
+    /// The shutdown is non-lossy: cursors leave the table only once
+    /// every snapshot *and* the manifest are safely on disk. If any
+    /// checkpoint or write fails mid-way, every cursor — including the
+    /// ones already written — is restored to the table and the error is
+    /// returned, so a caller can retry (or keep serving) without having
+    /// silently dropped the remaining cursors. Both the snapshots and
+    /// the manifest are written atomically (write-then-rename with an
+    /// fsync, the `engine/checkpoint.rs` pattern), so a crash mid-
+    /// shutdown never leaves a truncated manifest pointing at good
+    /// snapshots or vice versa.
     ///
     /// Ids are hex-encoded in both places: the encoding is injective,
     /// so distinct ids can never share a snapshot file, and no id byte
@@ -435,21 +490,65 @@ impl<'t, const D: usize> Server<'t, D> {
     /// corrupt the manifest or escape the directory.
     pub fn checkpoint_open_cursors(&self, dir: &std::path::Path) -> std::io::Result<Vec<String>> {
         std::fs::create_dir_all(dir)?;
-        let mut manifest = String::new();
+        let mut cursors = self.cursors.drain();
+        cursors.sort_by(|a, b| a.0.cmp(&b.0));
+        let attempt = (|| -> std::io::Result<Vec<String>> {
+            let mut manifest = String::new();
+            let mut ids = Vec::new();
+            for (id, cursor) in cursors.iter_mut() {
+                let cfg = self.config_for(cursor.spec());
+                let (bytes, delivered) = cursor
+                    .checkpoint(self.r, self.s, &cfg, &self.opts.idj_opts)
+                    .map_err(|e| std::io::Error::other(e.to_string()))?;
+                write_atomic(&dir.join(snap_file_name(id)), &bytes)?;
+                manifest.push_str(&format!(
+                    "{}\t{delivered}\n",
+                    codec::hex_encode(id.as_bytes())
+                ));
+                ids.push(id.clone());
+            }
+            write_atomic(&dir.join("cursors.txt"), manifest.as_bytes())?;
+            Ok(ids)
+        })();
+        if attempt.is_err() {
+            // Undo the drain: the cursors stay open and pullable, and a
+            // later shutdown attempt can checkpoint them again.
+            for (id, cursor) in cursors {
+                self.cursors.restore(id, cursor);
+            }
+        }
+        attempt
+    }
+
+    /// Re-opens every cursor a previous run's
+    /// [`checkpoint_open_cursors`](Server::checkpoint_open_cursors)
+    /// left in `dir`, resuming each snapshot at its recorded delivery
+    /// position. A missing manifest means a fresh start (returns no
+    /// ids); a malformed manifest or a corrupt snapshot is a clean
+    /// error. Returns the resumed ids in manifest order.
+    pub fn resume_cursors_from(&self, dir: &std::path::Path) -> std::io::Result<Vec<String>> {
+        let manifest = dir.join("cursors.txt");
+        let text = match std::fs::read_to_string(&manifest) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e),
+        };
+        let bad = |what: String| std::io::Error::other(format!("{}: {what}", manifest.display()));
         let mut ids = Vec::new();
-        for (id, mut cursor) in self.cursors.drain() {
-            let cfg = self.config_for(cursor.spec());
-            let (bytes, delivered) = cursor
-                .checkpoint(self.r, self.s, &cfg, &self.opts.idj_opts)
-                .map_err(|e| std::io::Error::other(e.to_string()))?;
-            std::fs::write(dir.join(snap_file_name(&id)), &bytes)?;
-            manifest.push_str(&format!(
-                "{}\t{delivered}\n",
-                codec::hex_encode(id.as_bytes())
-            ));
+        for line in text.lines() {
+            let (hex_id, delivered) = line
+                .split_once('\t')
+                .ok_or_else(|| bad(format!("malformed manifest line {line:?}")))?;
+            let id = codec::hex_decode(hex_id)
+                .and_then(|b| String::from_utf8(b).ok())
+                .ok_or_else(|| bad(format!("malformed cursor id {hex_id:?} (expected hex)")))?;
+            let delivered: u64 = delivered.parse().map_err(|e| bad(format!("{e}")))?;
+            let path = dir.join(snap_file_name(&id));
+            let bytes = std::fs::read(&path)?;
+            self.idj_resume(&id, &bytes, delivered, QuerySpec::default())
+                .map_err(|e| std::io::Error::other(format!("{}: {e}", path.display())))?;
             ids.push(id);
         }
-        std::fs::write(dir.join("cursors.txt"), manifest)?;
         Ok(ids)
     }
 
@@ -520,16 +619,16 @@ impl<'t, const D: usize> Server<'t, D> {
                 (id, resp)
             }
             Request::IdjPull { id, n } => {
-                let resp =
-                    self.idj_pull(&id, n as usize)
-                        .map(|(results, done, delivered_total)| Response::Results {
-                            id: id.clone(),
-                            op: "idj_pull",
-                            done,
-                            delivered_total,
-                            queue_wait_ns: 0,
-                            results,
-                        });
+                let resp = self
+                    .idj_pull(&id, n as usize)
+                    .map(|pull| Response::Results {
+                        id: id.clone(),
+                        op: "idj_pull",
+                        done: pull.done,
+                        delivered_total: pull.delivered,
+                        queue_wait_ns: pull.queue_wait_ns,
+                        results: pull.results,
+                    });
                 (id, resp)
             }
             Request::IdjCheckpoint { id } => {

@@ -366,6 +366,14 @@ impl<const D: usize> CursorTable<D> {
             .expect("checked present and idle above"))
     }
 
+    /// Puts a drained cursor back, even under an id that was removed in
+    /// between — the undo path of a failed shutdown checkpoint, which
+    /// must leave every cursor exactly as open as it found it.
+    pub fn restore(&self, id: String, cursor: Cursor<D>) {
+        let mut map = self.map.lock().expect("cursor table poisoned");
+        map.insert(id, Some(cursor));
+    }
+
     /// Drains every idle cursor (shutdown: in-flight requests have
     /// already finished, so after the drain the table is empty).
     pub fn drain(&self) -> Vec<(String, Cursor<D>)> {

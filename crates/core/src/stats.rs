@@ -1,4 +1,4 @@
-use amdj_rtree::{thread_buffer_counters, AccessStats, RTree};
+use amdj_rtree::{thread_buffer_stats, AccessStats, RTree};
 
 /// Worker slots tracked by the per-worker buffer counters in
 /// [`JoinStats`]. Joins running more workers fold the excess into the
@@ -83,6 +83,12 @@ pub struct JoinStats {
     pub buffer_hits: u64,
     /// R-tree buffer misses observed by this join's own threads.
     pub buffer_misses: u64,
+    /// Pages this join's own threads evicted from the shared node
+    /// buffer to make room for their fetches — the per-query share of
+    /// the buffer's eviction pressure. Like the hit/miss counters this
+    /// depends on buffer state carried across runs, so it is excluded
+    /// from cross-run parity comparisons.
+    pub buffer_evictions: u64,
     /// Per-worker buffer hits: slot `w` belongs to parallel worker `w`
     /// (workers past [`MAX_TRACKED_WORKERS`] fold into the last slot).
     /// The cache-residency figure locality partitioning exists to
@@ -189,6 +195,7 @@ impl JoinStats {
         self.queue_page_writes += w.queue_page_writes;
         self.buffer_hits += w.buffer_hits;
         self.buffer_misses += w.buffer_misses;
+        self.buffer_evictions += w.buffer_evictions;
         for (a, b) in self
             .buffer_hits_by_worker
             .iter_mut()
@@ -215,24 +222,27 @@ pub(crate) struct WorkerBufferSpan {
     worker: usize,
     hits0: u64,
     misses0: u64,
+    evictions0: u64,
 }
 
 impl WorkerBufferSpan {
     pub(crate) fn begin(worker: usize) -> Self {
-        let (hits0, misses0) = thread_buffer_counters();
+        let (hits0, misses0, evictions0) = thread_buffer_stats();
         WorkerBufferSpan {
             worker,
             hits0,
             misses0,
+            evictions0,
         }
     }
 
     pub(crate) fn record(self, stats: &mut JoinStats) {
-        let (h, m) = thread_buffer_counters();
+        let (h, m, e) = thread_buffer_stats();
         let (dh, dm) = (h - self.hits0, m - self.misses0);
         let slot = self.worker.min(MAX_TRACKED_WORKERS - 1);
         stats.buffer_hits += dh;
         stats.buffer_misses += dm;
+        stats.buffer_evictions += e - self.evictions0;
         stats.buffer_hits_by_worker[slot] += dh;
         stats.buffer_misses_by_worker[slot] += dm;
     }
@@ -256,12 +266,13 @@ pub(crate) struct Baseline {
     s_io: f64,
     buf_hits: u64,
     buf_misses: u64,
+    buf_evictions: u64,
     started: std::time::Instant,
 }
 
 impl Baseline {
     pub(crate) fn capture<const D: usize>(r: &RTree<D>, s: &RTree<D>) -> Self {
-        let (buf_hits, buf_misses) = thread_buffer_counters();
+        let (buf_hits, buf_misses, buf_evictions) = thread_buffer_stats();
         Baseline {
             r_acc: r.access_stats(),
             s_acc: s.access_stats(),
@@ -269,6 +280,7 @@ impl Baseline {
             s_io: s.disk_stats().io_seconds,
             buf_hits,
             buf_misses,
+            buf_evictions,
             started: std::time::Instant::now(),
         }
     }
@@ -294,9 +306,10 @@ impl Baseline {
         // The coordinating thread's own buffer traffic (sequential joins:
         // all of it; parallel joins: frontier seeding) — workers report
         // their per-thread deltas separately via `WorkerBufferSpan`.
-        let (h, m) = thread_buffer_counters();
+        let (h, m, e) = thread_buffer_stats();
         stats.buffer_hits += h - self.buf_hits;
         stats.buffer_misses += m - self.buf_misses;
+        stats.buffer_evictions += e - self.buf_evictions;
         stats.cpu_seconds += self.started.elapsed().as_secs_f64();
     }
 }

@@ -9,6 +9,7 @@ use crate::{AccessStats, Node};
 thread_local! {
     static TL_BUFFER_HITS: Cell<u64> = const { Cell::new(0) };
     static TL_BUFFER_MISSES: Cell<u64> = const { Cell::new(0) };
+    static TL_BUFFER_EVICTIONS: Cell<u64> = const { Cell::new(0) };
 }
 
 /// Cumulative buffer `(hits, misses)` observed by the *calling thread*,
@@ -22,6 +23,19 @@ thread_local! {
 /// cache-residency aggregates. Never reset; always cheap (no atomics).
 pub fn thread_buffer_counters() -> (u64, u64) {
     (TL_BUFFER_HITS.get(), TL_BUFFER_MISSES.get())
+}
+
+/// Cumulative buffer `(hits, misses, evictions)` observed (or, for
+/// evictions, *caused*) by the calling thread. The eviction count
+/// attributes buffer pressure the way the hit/miss counters attribute
+/// residency: every page this thread's inserts pushed out of a buffer,
+/// across every [`BufferManager`]. Never reset; always cheap.
+pub fn thread_buffer_stats() -> (u64, u64, u64) {
+    (
+        TL_BUFFER_HITS.get(),
+        TL_BUFFER_MISSES.get(),
+        TL_BUFFER_EVICTIONS.get(),
+    )
 }
 
 /// The shared-read page-access layer of an [`crate::RTree`]: a virtual
@@ -80,7 +94,8 @@ impl<const D: usize> BufferManager<D> {
         self.disk_reads.fetch_add(1, Ordering::Relaxed);
         TL_BUFFER_MISSES.set(TL_BUFFER_MISSES.get() + 1);
         let node = Arc::new(Node::decode(self.disk.read(pid)));
-        self.cache.insert(pid, Arc::clone(&node), self.page_size);
+        let evicted = self.cache.insert(pid, Arc::clone(&node), self.page_size);
+        TL_BUFFER_EVICTIONS.set(TL_BUFFER_EVICTIONS.get() + evicted);
         node
     }
 
@@ -101,8 +116,10 @@ impl<const D: usize> BufferManager<D> {
             node.entries.len()
         );
         self.disk.write(pid, &buf);
-        self.cache
+        let evicted = self
+            .cache
             .insert(pid, Arc::new(node.clone()), self.page_size);
+        TL_BUFFER_EVICTIONS.set(TL_BUFFER_EVICTIONS.get() + evicted);
     }
 
     /// Frees `pid` on the disk. A buffered copy may linger until LRU

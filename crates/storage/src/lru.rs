@@ -105,15 +105,18 @@ impl<K: Hash + Eq + Clone, V> ByteLru<K, V> {
 
     /// Inserts `key → value` charging `bytes`, evicting LRU entries as
     /// needed. An entry larger than the whole budget is not cached at all.
-    /// Re-inserting an existing key replaces its value and cost.
-    pub fn insert(&mut self, key: K, value: V, bytes: usize) {
+    /// Re-inserting an existing key replaces its value and cost. Returns
+    /// how many entries this insert evicted, so callers can attribute
+    /// eviction pressure to the thread that caused it.
+    pub fn insert(&mut self, key: K, value: V, bytes: usize) -> u64 {
         if let Some(old) = self.map.remove(&key) {
             self.order.remove(&old.tick);
             self.used -= old.bytes;
         }
         if bytes > self.budget {
-            return;
+            return 0;
         }
+        let mut evicted = 0u64;
         while self.used + bytes > self.budget {
             let (&tick, _) = self
                 .order
@@ -124,6 +127,7 @@ impl<K: Hash + Eq + Clone, V> ByteLru<K, V> {
             let slot = self.map.remove(&victim).expect("victim present");
             self.used -= slot.bytes;
             self.evictions += 1;
+            evicted += 1;
         }
         self.tick += 1;
         self.order.insert(self.tick, key.clone());
@@ -136,6 +140,7 @@ impl<K: Hash + Eq + Clone, V> ByteLru<K, V> {
             },
         );
         self.used += bytes;
+        evicted
     }
 
     /// Removes every entry (statistics are kept).

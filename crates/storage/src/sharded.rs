@@ -81,12 +81,14 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedLru<K, V> {
     }
 
     /// Inserts `key → value` charging `bytes` against the key's shard,
-    /// evicting that shard's LRU entries as needed.
-    pub fn insert(&self, key: K, value: V, bytes: usize) {
+    /// evicting that shard's LRU entries as needed. Returns how many
+    /// entries this insert evicted from its shard, so the calling
+    /// thread can attribute the eviction pressure it caused.
+    pub fn insert(&self, key: K, value: V, bytes: usize) -> u64 {
         self.shard(&key)
             .lock()
             .expect("shard poisoned")
-            .insert(key, value, bytes);
+            .insert(key, value, bytes)
     }
 
     /// Removes every entry (statistics are kept).

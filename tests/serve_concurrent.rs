@@ -11,7 +11,10 @@
 //! must therefore reproduce the shared buffer's global counter deltas
 //! exactly: nothing double-counted, nothing dropped.
 
-use amdj_core::serve::{codec::QuerySpec, ServeError, ServeOptions, Server};
+use amdj_core::serve::{
+    codec::{QuerySpec, Response},
+    ServeError, ServeOptions, Server,
+};
 use amdj_core::{
     am_kdj, b_kdj, par_am_kdj, par_b_kdj, AmIdj, AmIdjOptions, AmKdjOptions, JoinConfig, ResultPair,
 };
@@ -70,7 +73,11 @@ fn serial(r: &RTree<2>, s: &RTree<2>, cfg: &JoinConfig, kind: &Kind) -> Vec<Resu
             if let Some(steal) = spec.steal {
                 c.steal = steal;
             }
-            c.partitions = (spec.partitions > 1).then_some(spec.partitions as usize);
+            // Mirror the server's `config_for`: 0 keeps the base
+            // config's partitioning, nonzero overrides it.
+            if spec.partitions > 0 {
+                c.partitions = (spec.partitions > 1).then_some(spec.partitions as usize);
+            }
             let t = (spec.threads as usize).max(1);
             match (spec.aggressive, t > 1) {
                 (true, false) => am_kdj(r, s, *k, &c, &AmKdjOptions::default()).results,
@@ -121,6 +128,7 @@ fn run_mixed(n_queries: usize) {
         .collect();
     let hits_before = r.buffer_hits() + s.buffer_hits();
     let misses_before = r.buffer_misses() + s.buffer_misses();
+    let evictions_before = r.buffer_evictions() + s.buffer_evictions();
     let server = Server::new(
         &r,
         &s,
@@ -142,9 +150,9 @@ fn run_mixed(n_queries: usize) {
                             .expect("cursor opens");
                         let mut out = Vec::with_capacity(*take);
                         loop {
-                            let (chunk, done, _) = server.idj_pull(id, *batch).expect("pull");
-                            out.extend(chunk);
-                            if done || out.len() >= *take {
+                            let pull = server.idj_pull(id, *batch).expect("pull");
+                            out.extend(pull.results);
+                            if pull.done || out.len() >= *take {
                                 break;
                             }
                         }
@@ -168,8 +176,10 @@ fn run_mixed(n_queries: usize) {
     assert_eq!(reports.len(), cells.len(), "one report per query");
     let sum_hits: u64 = reports.iter().map(|rep| rep.buffer_hits).sum();
     let sum_misses: u64 = reports.iter().map(|rep| rep.buffer_misses).sum();
+    let sum_evictions: u64 = reports.iter().map(|rep| rep.buffer_evictions).sum();
     let global_hits = r.buffer_hits() + s.buffer_hits() - hits_before;
     let global_misses = r.buffer_misses() + s.buffer_misses() - misses_before;
+    let global_evictions = r.buffer_evictions() + s.buffer_evictions() - evictions_before;
     assert_eq!(
         sum_hits, global_hits,
         "per-query hits sum to the global delta"
@@ -177,6 +187,10 @@ fn run_mixed(n_queries: usize) {
     assert_eq!(
         sum_misses, global_misses,
         "per-query misses sum to the global delta"
+    );
+    assert_eq!(
+        sum_evictions, global_evictions,
+        "per-query evictions sum to the global delta"
     );
     // Every report delivered what its query's serial equivalent did.
     for ((id, _), want) in cells.iter().zip(&expected) {
@@ -327,5 +341,144 @@ fn reused_kdj_id_accumulates_attribution() {
         row.queue_wait_ns,
         rep1.queue_wait_ns + rep2.queue_wait_ns,
         "waits are per-request deltas and sum"
+    );
+}
+
+/// Pulls a u64 field off an encoded wire line.
+fn wire_field_u64(line: &str, name: &str) -> u64 {
+    let pat = format!("\"{name}\":");
+    let at = line
+        .find(&pat)
+        .unwrap_or_else(|| panic!("no {name} in {line}"));
+    let rest = &line[at + pat.len()..];
+    let end = rest.find([',', '}']).expect("field terminated");
+    rest[..end].parse().expect("u64 field")
+}
+
+/// Regression: `idj_pull` wire responses used to hard-code
+/// `queue_wait_ns: 0`, hiding real admission queueing from clients
+/// even while the per-query stats log recorded it. A pull that
+/// demonstrably waited for the budget must report a nonzero cumulative
+/// wait on its own wire response.
+#[test]
+fn contended_wire_pull_reports_nonzero_queue_wait() {
+    let a = uniform_points(600, unit_universe(), 51);
+    let b = clustered_points(600, 16, 0.02, unit_universe(), 52);
+    let (r, s) = build_trees(&a, &b);
+    let cfg = JoinConfig::default();
+    // One admission slot and a waiting line: while any query executes,
+    // a pull must queue.
+    let server = Server::new(
+        &r,
+        &s,
+        ServeOptions {
+            mem_budget_bytes: cfg.queue_mem_bytes as u64,
+            max_waiting: 8,
+            base_config: cfg.clone(),
+            ..ServeOptions::default()
+        },
+    );
+    server
+        .idj_open("c", 60, QuerySpec::default())
+        .expect("opens");
+    // The cursor's wire wait is cumulative across its pulls, so one
+    // contended round suffices; rounds guard against the holder
+    // finishing before the pull even asks for admission.
+    for round in 0..10 {
+        let waited = std::thread::scope(|scope| {
+            let server = &server;
+            let holder = scope.spawn(move || {
+                let id = format!("holder{round}");
+                server
+                    .kdj(&id, 200, &QuerySpec::default())
+                    .expect("holder admitted");
+            });
+            // Only pull once the holder demonstrably occupies the slot.
+            loop {
+                let Response::Stats { mem_in_use, .. } = server.stats() else {
+                    panic!("stats() returns Stats");
+                };
+                if mem_in_use > 0 {
+                    break;
+                }
+                if holder.is_finished() {
+                    return 0; // raced past us: retry the round
+                }
+                std::thread::yield_now();
+            }
+            let (resp, stop) = server.handle_line(b"{\"op\":\"idj_pull\",\"id\":\"c\",\"n\":3}");
+            assert!(!stop);
+            let line = resp.encode();
+            assert!(line.contains("\"ok\":true"), "pull succeeded: {line}");
+            wire_field_u64(&line, "queue_wait_ns")
+        });
+        if waited > 0 {
+            return;
+        }
+    }
+    panic!("ten contended pulls never reported a nonzero queue_wait_ns on the wire");
+}
+
+/// Regression: `config_for` used to overwrite the server's configured
+/// `base_config.partitions` with the wire default (0) whenever a
+/// request omitted the knob, silently demoting a partition-configured
+/// server to monolithic plans. A spec-silent query must inherit the
+/// base config's partitioning; explicit wire values must still
+/// override in both directions.
+#[test]
+fn wire_default_partitions_preserve_partitioned_base_config() {
+    let a = uniform_points(400, unit_universe(), 61);
+    let b = clustered_points(400, 8, 0.02, unit_universe(), 62);
+    let (r, s) = build_trees(&a, &b);
+    let cfg = JoinConfig {
+        partitions: Some(2),
+        ..JoinConfig::default()
+    };
+    let server = Server::new(
+        &r,
+        &s,
+        ServeOptions {
+            base_config: cfg.clone(),
+            ..ServeOptions::default()
+        },
+    );
+    // A request that says nothing about partitions (the codec default)
+    // must run the base config's partitioned plan.
+    let (out, _) = server
+        .kdj("silent", 30, &QuerySpec::default())
+        .expect("spec-silent query runs");
+    assert!(
+        out.stats.partition_pairs_total > 0,
+        "the server-configured partitioned plan survived wire defaults"
+    );
+    // An explicit `partitions: 1` is a real opt-out into monolithic…
+    let (out, _) = server
+        .kdj(
+            "mono",
+            30,
+            &QuerySpec {
+                partitions: 1,
+                ..QuerySpec::default()
+            },
+        )
+        .expect("explicit monolithic query runs");
+    assert_eq!(
+        out.stats.partition_pairs_total, 0,
+        "explicit partitions=1 overrides the partitioned base config"
+    );
+    // …and an explicit fan-out overrides the base config's own.
+    let (out, _) = server
+        .kdj(
+            "wide",
+            30,
+            &QuerySpec {
+                partitions: 3,
+                ..QuerySpec::default()
+            },
+        )
+        .expect("explicit partitioned query runs");
+    assert!(
+        out.stats.partition_pairs_total > 0,
+        "explicit partitions=3 repartitions"
     );
 }

@@ -69,10 +69,10 @@ fn checkpoint_restart_resume_is_bit_identical() {
     server1
         .idj_open("c", take, QuerySpec::default())
         .expect("opens");
-    let (first, done, delivered) = server1.idj_pull("c", 25).expect("first pull");
-    assert!(!done, "stream not exhausted at 25 of 60");
-    assert_eq!(delivered, 25);
-    assert_identical("first window", &want[..25], &first);
+    let first = server1.idj_pull("c", 25).expect("first pull");
+    assert!(!first.done, "stream not exhausted at 25 of 60");
+    assert_eq!(first.delivered, 25);
+    assert_identical("first window", &want[..25], &first.results);
     let (bytes, at) = server1.idj_checkpoint("c").expect("checkpoint");
     assert_eq!(at, 25, "checkpoint records the delivery position");
 
@@ -84,9 +84,9 @@ fn checkpoint_restart_resume_is_bit_identical() {
         .expect("resumes");
     let mut rest = Vec::new();
     loop {
-        let (chunk, done, _) = server2.idj_pull("c", 10).expect("resumed pull");
-        rest.extend(chunk);
-        if done || rest.len() >= take - 25 {
+        let pull = server2.idj_pull("c", 10).expect("resumed pull");
+        rest.extend(pull.results);
+        if pull.done || rest.len() >= take - 25 {
             break;
         }
     }
@@ -114,9 +114,9 @@ fn fresh_and_exhausted_cursors_checkpoint_cleanly() {
         .expect("resumes");
     let mut all = Vec::new();
     loop {
-        let (chunk, done, _) = server2.idj_pull("fresh", 15).expect("pull");
-        all.extend(chunk);
-        if done || all.len() >= take {
+        let pull = server2.idj_pull("fresh", 15).expect("pull");
+        all.extend(pull.results);
+        if pull.done || all.len() >= take {
             break;
         }
     }
@@ -124,17 +124,17 @@ fn fresh_and_exhausted_cursors_checkpoint_cleanly() {
 
     // A fully exhausted cursor still checkpoints (a resume-to-done
     // snapshot) and resumes into an immediately-done cursor.
-    let (_, done, delivered) = server2.idj_pull("fresh", take).expect("drain");
-    assert!(done, "cursor exhausted");
-    assert_eq!(delivered as usize, want.len());
+    let drain = server2.idj_pull("fresh", take).expect("drain");
+    assert!(drain.done, "cursor exhausted");
+    assert_eq!(drain.delivered as usize, want.len());
     let (bytes, at) = server2.idj_checkpoint("fresh").expect("done checkpoint");
     let server3 = Server::new(&r, &s, serve_opts(&cfg));
     server3
         .idj_resume("done", &bytes, at, QuerySpec::default())
         .expect("resumes done");
-    let (chunk, done, _) = server3.idj_pull("done", 10).expect("pull after done");
-    assert!(chunk.is_empty(), "nothing left to deliver");
-    assert!(done, "resumed cursor knows it is exhausted");
+    let after = server3.idj_pull("done", 10).expect("pull after done");
+    assert!(after.results.is_empty(), "nothing left to deliver");
+    assert!(after.done, "resumed cursor knows it is exhausted");
 }
 
 #[test]
@@ -295,12 +295,88 @@ fn shutdown_checkpoint_directory_roundtrips() {
         .expect("resumes from disk");
     let mut rest = Vec::new();
     loop {
-        let (chunk, done, _) = server2.idj_pull("alpha", 12).expect("pull");
-        rest.extend(chunk);
-        if done || rest.len() >= 45 - 18 {
+        let pull = server2.idj_pull("alpha", 12).expect("pull");
+        rest.extend(pull.results);
+        if pull.done || rest.len() >= 45 - 18 {
             break;
         }
     }
     assert_identical("disk-resumed remainder", &want[18..], &rest);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Regression: the shutdown checkpoint used to drain the cursor table
+/// destructively, so a write failure halfway through the loop lost
+/// every cursor not yet (and never to be) written — including the ones
+/// already flushed, whose manifest never landed. A failed checkpoint
+/// must leave the server exactly as it was: every cursor still open
+/// and pullable, no partial manifest, and a retry must succeed.
+#[test]
+fn failed_shutdown_checkpoint_loses_no_cursors() {
+    let (r, s) = workload();
+    let cfg = JoinConfig::default();
+    let dir = std::env::temp_dir().join(format!("amdj-serve-cursor-fail-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("state dir");
+
+    let server = Server::new(&r, &s, serve_opts(&cfg));
+    for id in ["a", "b", "c"] {
+        server
+            .idj_open(id, 40, QuerySpec::default())
+            .expect("opens");
+    }
+    let first = server.idj_pull("a", 10).expect("pull");
+    assert_eq!(first.delivered, 10);
+
+    // Checkpointing writes cursors in sorted id order, so planting a
+    // directory where "b"'s snapshot file must land makes the atomic
+    // rename fail deterministically *after* "a" was written.
+    std::fs::create_dir_all(dir.join(snap_file_name("b"))).expect("blocker");
+    server
+        .checkpoint_open_cursors(&dir)
+        .expect_err("checkpoint into a blocked path fails");
+
+    // No cursor was lost: all three still answer pulls...
+    for id in ["a", "b", "c"] {
+        server
+            .idj_pull(id, 1)
+            .unwrap_or_else(|e| panic!("cursor {id:?} survived the failed checkpoint: {e}"));
+    }
+    // ...and "a" kept its delivery position (10 before + 1 just now).
+    let (_, at) = server.idj_checkpoint("a").expect("checkpoint");
+    assert_eq!(at, 11, "delivery position survived the failed shutdown");
+    // The manifest never landed, so a restart would resume nothing
+    // stale.
+    assert!(
+        !dir.join("cursors.txt").exists(),
+        "no partial manifest after a failed checkpoint"
+    );
+
+    // Clear the blocker; the retry checkpoints everything.
+    std::fs::remove_dir_all(dir.join(snap_file_name("b"))).expect("unblock");
+    let mut ids = server
+        .checkpoint_open_cursors(&dir)
+        .expect("retry succeeds");
+    ids.sort();
+    assert_eq!(ids, vec!["a", "b", "c"], "every cursor checkpointed");
+    assert!(dir.join("cursors.txt").is_file(), "manifest landed");
+
+    // And the snapshots are live: resume "a" and check the stream picks
+    // up exactly where the pulls left off.
+    let want = reference(&r, &s, &cfg, 40);
+    let bytes = std::fs::read(dir.join(snap_file_name("a"))).expect("snapshot");
+    let server2 = Server::new(&r, &s, serve_opts(&cfg));
+    server2
+        .idj_resume("a", &bytes, 11, QuerySpec::default())
+        .expect("resumes");
+    let mut rest = Vec::new();
+    loop {
+        let pull = server2.idj_pull("a", 12).expect("pull");
+        rest.extend(pull.results);
+        if pull.done || rest.len() >= 40 - 11 {
+            break;
+        }
+    }
+    assert_identical("post-retry remainder", &want[11..], &rest);
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -1,0 +1,467 @@
+//! The TCP transport end to end: many concurrent connections drive the
+//! shared server over real sockets and every response is bit-identical
+//! to the serial equivalent; the connection cap, idle timeout, and
+//! request-size bound all fire as structured errors; and a stop →
+//! drain → checkpoint → restart → resume cycle over TCP loses nothing.
+//!
+//! Serial expectations come from a second `Server` over the same trees
+//! fed the same request lines through `handle_line` one at a time —
+//! the transport must add nothing and lose nothing relative to that.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use amdj_core::serve::{
+    transport::{serve_listener, TransportOptions, TransportStats},
+    ServeOptions, Server,
+};
+use amdj_core::JoinConfig;
+use amdj_datagen::{clustered_points, uniform_points, unit_universe};
+use amdj_rtree::RTree;
+use amdj_tests::build_trees;
+
+fn workload() -> (RTree<2>, RTree<2>) {
+    let a = uniform_points(600, unit_universe(), 71);
+    let b = clustered_points(600, 16, 0.02, unit_universe(), 72);
+    build_trees(&a, &b)
+}
+
+fn serve_opts(cfg: &JoinConfig) -> ServeOptions {
+    ServeOptions {
+        base_config: cfg.clone(),
+        // Small episodes so idj pulls suspend mid-join over the wire.
+        episode_expansions: 64,
+        ..ServeOptions::default()
+    }
+}
+
+/// Fast-polling transport options so tests don't wait on 25 ms ticks.
+fn fast_topts() -> TransportOptions {
+    TransportOptions {
+        poll_interval: Duration::from_millis(2),
+        ..TransportOptions::default()
+    }
+}
+
+/// One line-oriented client connection.
+struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).expect("nodelay");
+        let reader = BufReader::new(stream.try_clone().expect("clone"));
+        Client { stream, reader }
+    }
+
+    /// Sends one request line and reads one response line.
+    fn request(&mut self, line: &str) -> String {
+        self.send(line);
+        self.read_line().expect("response line")
+    }
+
+    fn send(&mut self, line: &str) {
+        self.stream.write_all(line.as_bytes()).expect("write");
+        self.stream.write_all(b"\n").expect("write newline");
+    }
+
+    /// Reads one response line; `None` on EOF.
+    fn read_line(&mut self) -> Option<String> {
+        let mut line = String::new();
+        match self.reader.read_line(&mut line) {
+            Ok(0) => None,
+            Ok(_) => Some(line.trim_end().to_string()),
+            Err(e) => panic!("read: {e}"),
+        }
+    }
+
+    /// True once the server has closed this connection.
+    fn at_eof(&mut self) -> bool {
+        let mut byte = [0u8; 1];
+        matches!(self.reader.read(&mut byte), Ok(0))
+    }
+}
+
+/// The deterministic tail of a response line: everything from
+/// `"results":` on. Bit-identity of distances falls out of the codec's
+/// shortest-round-trip float printing; what's excluded is only
+/// `queue_wait_ns`, which legitimately differs under contention.
+fn results_suffix(line: &str) -> &str {
+    let at = line
+        .find("\"results\":")
+        .unwrap_or_else(|| panic!("no results in {line}"));
+    &line[at..]
+}
+
+/// Runs `body` with a listener serving `server` on an ephemeral port,
+/// then stops the transport and returns its stats.
+fn with_listener<R>(
+    server: &Server<'_, 2>,
+    topts: &TransportOptions,
+    body: impl FnOnce(std::net::SocketAddr, &AtomicBool) -> R,
+) -> (TransportStats, R) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("local addr");
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let handle = {
+            let stop = &stop;
+            scope.spawn(move || serve_listener(server, listener, topts, stop))
+        };
+        // A panicking body must still stop the listener, or the scope's
+        // implicit join would hang the test instead of failing it.
+        let guard = StopOnDrop(&stop);
+        let out = body(addr, &stop);
+        drop(guard);
+        let stats = handle.join().expect("listener thread").expect("serve ok");
+        (stats, out)
+    })
+}
+
+struct StopOnDrop<'a>(&'a AtomicBool);
+
+impl Drop for StopOnDrop<'_> {
+    fn drop(&mut self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+}
+
+/// The request lines one query issues, in order. The mix cycles kdj
+/// (plain / aggressive / threaded) and idj open → pull → close, the
+/// same shapes the bench serves.
+fn query_lines(i: usize) -> Vec<String> {
+    let id = format!("q{i:03}");
+    match i % 4 {
+        0 => vec![format!("{{\"op\":\"kdj\",\"id\":\"{id}\",\"k\":64}}")],
+        1 => vec![format!(
+            "{{\"op\":\"kdj\",\"id\":\"{id}\",\"k\":32,\"aggressive\":true}}"
+        )],
+        2 => {
+            let mut lines = vec![format!(
+                "{{\"op\":\"idj_open\",\"id\":\"{id}\",\"take\":40}}"
+            )];
+            for _ in 0..3 {
+                lines.push(format!("{{\"op\":\"idj_pull\",\"id\":\"{id}\",\"n\":16}}"));
+            }
+            lines.push(format!("{{\"op\":\"idj_close\",\"id\":\"{id}\"}}"));
+            lines
+        }
+        _ => vec![format!(
+            "{{\"op\":\"kdj\",\"id\":\"{id}\",\"k\":16,\"threads\":2}}"
+        )],
+    }
+}
+
+/// 128 mixed queries over 16 concurrent socket connections, each
+/// response bit-identical to a serial server fed the same lines.
+#[test]
+fn concurrent_socket_queries_match_serial_bit_for_bit() {
+    const QUERIES: usize = 128;
+    const CONNS: usize = 16;
+    let (r, s) = workload();
+    let cfg = JoinConfig::default();
+
+    // Serial ground truth: same lines, one at a time, no transport.
+    let serial = Server::new(&r, &s, serve_opts(&cfg));
+    let mut want: Vec<Vec<String>> = Vec::with_capacity(QUERIES);
+    for i in 0..QUERIES {
+        let mut resps = Vec::new();
+        for line in query_lines(i) {
+            let (resp, stop) = serial.handle_line(line.as_bytes());
+            assert!(!stop);
+            let encoded = resp.encode();
+            assert!(encoded.contains("\"ok\":true"), "serial {i}: {encoded}");
+            resps.push(encoded);
+        }
+        want.push(resps);
+    }
+
+    let server = Server::new(&r, &s, serve_opts(&cfg));
+    let got: Mutex<Vec<Option<Vec<String>>>> = Mutex::new(vec![None; QUERIES]);
+    let (stats, ()) = with_listener(&server, &fast_topts(), |addr, _| {
+        std::thread::scope(|scope| {
+            for c in 0..CONNS {
+                let got = &got;
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr);
+                    for i in (0..QUERIES).filter(|i| i % CONNS == c) {
+                        let mut resps = Vec::new();
+                        for line in query_lines(i) {
+                            let resp = client.request(&line);
+                            assert!(resp.contains("\"ok\":true"), "query {i} over tcp: {resp}");
+                            resps.push(resp);
+                        }
+                        got.lock().unwrap()[i] = Some(resps);
+                    }
+                });
+            }
+        });
+    });
+    assert!(stats.accepted >= CONNS as u64, "all connections admitted");
+    assert_eq!(stats.rejected, 0, "nothing hit the cap");
+    assert!(
+        stats.requests >= QUERIES as u64,
+        "every query line counted: {stats:?}"
+    );
+
+    let got = got.into_inner().unwrap();
+    for (i, (want, got)) in want.iter().zip(got.iter()).enumerate() {
+        let got = got.as_ref().unwrap_or_else(|| panic!("query {i} ran"));
+        assert_eq!(want.len(), got.len(), "query {i}: response count");
+        for (w, g) in want.iter().zip(got) {
+            if let Some(suffix) = w.find("\"results\":").map(|_| results_suffix(w)) {
+                assert_eq!(
+                    suffix,
+                    results_suffix(g),
+                    "query {i}: socket results identical to serial"
+                );
+            } else {
+                // Lines without results (open/close acks) carry no
+                // contention-variable fields: full equality.
+                assert_eq!(w, g, "query {i}: ack identical to serial");
+            }
+        }
+    }
+}
+
+/// The `max_conns` cap refuses the excess connection with one
+/// structured error line, and a slot freed by a departing client is
+/// reusable.
+#[test]
+fn connection_cap_rejects_excess_then_recovers() {
+    let (r, s) = workload();
+    let cfg = JoinConfig::default();
+    let server = Server::new(&r, &s, serve_opts(&cfg));
+    let topts = TransportOptions {
+        max_conns: 2,
+        ..fast_topts()
+    };
+    let (stats, ()) = with_listener(&server, &topts, |addr, _| {
+        let mut a = Client::connect(addr);
+        let mut b = Client::connect(addr);
+        // A served response proves each occupies a handler slot.
+        assert!(a.request("{\"op\":\"stats\"}").contains("\"ok\":true"));
+        assert!(b.request("{\"op\":\"stats\"}").contains("\"ok\":true"));
+
+        let mut over = Client::connect(addr);
+        let refusal = over.read_line().expect("refusal line");
+        assert!(
+            refusal.contains("\"ok\":false")
+                && refusal.contains("server at capacity: 2 connections"),
+            "structured rejection: {refusal}"
+        );
+        assert!(over.at_eof(), "refused connection is closed");
+
+        // Free a slot; the next client must eventually be admitted
+        // (the handler notices the close on its next poll tick).
+        drop(a);
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let mut retry = Client::connect(addr);
+            let line = retry.read_line_or_request();
+            if line.contains("\"ok\":true") {
+                break;
+            }
+            assert!(
+                line.contains("server at capacity"),
+                "either admitted or capacity-refused: {line}"
+            );
+            assert!(
+                Instant::now() < deadline,
+                "freed slot never became reusable"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        drop(b);
+    });
+    assert!(stats.rejected >= 1, "the cap fired: {stats:?}");
+    assert!(stats.accepted >= 3, "admissions resumed: {stats:?}");
+}
+
+impl Client {
+    /// Sends a stats request best-effort and returns whatever line
+    /// comes back — the served response or a pre-queued refusal (whose
+    /// connection the server already closed, so the write may fail).
+    fn read_line_or_request(&mut self) -> String {
+        let _ = self.stream.write_all(b"{\"op\":\"stats\"}\n");
+        self.read_line().expect("some line")
+    }
+}
+
+/// A silent connection is told why and disconnected; the server keeps
+/// serving others.
+#[test]
+fn idle_connection_is_disconnected_with_a_structured_error() {
+    let (r, s) = workload();
+    let cfg = JoinConfig::default();
+    let server = Server::new(&r, &s, serve_opts(&cfg));
+    let topts = TransportOptions {
+        idle_timeout: Duration::from_millis(100),
+        ..fast_topts()
+    };
+    let (stats, ()) = with_listener(&server, &topts, |addr, _| {
+        let mut idle = Client::connect(addr);
+        assert!(idle.request("{\"op\":\"stats\"}").contains("\"ok\":true"));
+        // Now go silent; the server must speak first.
+        let line = idle.read_line().expect("timeout line");
+        assert!(
+            line.contains("\"ok\":false") && line.contains("idle timeout"),
+            "structured idle disconnect: {line}"
+        );
+        assert!(idle.at_eof(), "idle connection is closed");
+        // The transport is still alive for a prompt client.
+        let mut fresh = Client::connect(addr);
+        assert!(fresh.request("{\"op\":\"stats\"}").contains("\"ok\":true"));
+    });
+    assert!(stats.idle_disconnects >= 1, "idle timeout fired: {stats:?}");
+}
+
+/// `max_request_bytes` holds at the socket layer: a complete oversized
+/// line is a survivable structured error, an unterminated oversized
+/// stream is refused before it buffers without bound.
+#[test]
+fn oversized_requests_are_bounded_at_the_socket() {
+    let (r, s) = workload();
+    let cfg = JoinConfig::default();
+    let server = Server::new(
+        &r,
+        &s,
+        ServeOptions {
+            max_request_bytes: 256,
+            ..serve_opts(&cfg)
+        },
+    );
+    let (stats, ()) = with_listener(&server, &fast_topts(), |addr, _| {
+        // A complete-but-oversized line: the codec refuses it, the
+        // connection survives.
+        let mut client = Client::connect(addr);
+        let fat = format!("{{\"op\":\"kdj\",\"id\":\"{}\",\"k\":8}}", "x".repeat(300));
+        let resp = client.request(&fat);
+        assert!(
+            resp.contains("\"ok\":false") && resp.contains("exceeds the 256-byte cap"),
+            "structured oversize error: {resp}"
+        );
+        assert!(
+            client.request("{\"op\":\"stats\"}").contains("\"ok\":true"),
+            "connection survives a complete oversized line"
+        );
+
+        // An unterminated oversized stream: refused and disconnected
+        // before the line can grow without bound.
+        let mut hog = Client::connect(addr);
+        hog.stream
+            .write_all(&vec![b'x'; 1000])
+            .expect("write flood");
+        let line = hog.read_line().expect("refusal line");
+        assert!(
+            line.contains("\"ok\":false")
+                && line.contains("unterminated request exceeds 256 bytes"),
+            "structured flood refusal: {line}"
+        );
+        assert!(hog.at_eof(), "flooding connection is closed");
+    });
+    assert!(
+        stats.oversize_disconnects >= 1,
+        "flood disconnect counted: {stats:?}"
+    );
+}
+
+/// External stop (the CLI's SIGINT path) drains in-flight cursors into
+/// a checkpoint directory; a restarted server resumes them over a new
+/// socket and the remaining stream is bit-identical to the
+/// uninterrupted serial one.
+#[test]
+fn stop_checkpoint_restart_resume_over_tcp_is_bit_identical() {
+    let (r, s) = workload();
+    let cfg = JoinConfig::default();
+    let dir = std::env::temp_dir().join(format!("amdj-serve-socket-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Uninterrupted serial stream: open once, pull to exhaustion.
+    let serial = Server::new(&r, &s, serve_opts(&cfg));
+    let open = "{\"op\":\"idj_open\",\"id\":\"c\",\"take\":60}";
+    let pull = "{\"op\":\"idj_pull\",\"id\":\"c\",\"n\":15}";
+    let (resp, _) = serial.handle_line(open.as_bytes());
+    assert!(resp.encode().contains("\"ok\":true"));
+    let mut want = Vec::new();
+    loop {
+        let (resp, _) = serial.handle_line(pull.as_bytes());
+        let line = resp.encode();
+        assert!(line.contains("\"ok\":true"), "serial pull: {line}");
+        let done = line.contains("\"done\":true");
+        want.push(line);
+        if done {
+            break;
+        }
+    }
+    assert_eq!(want.len(), 4, "60 results in four 15-pulls");
+
+    // Live server 1: open and pull the first window over TCP, then the
+    // operator interrupts.
+    let server1 = Server::new(&r, &s, serve_opts(&cfg));
+    let (_, ()) = with_listener(&server1, &fast_topts(), |addr, _| {
+        let mut client = Client::connect(addr);
+        assert!(client.request(open).contains("\"ok\":true"));
+        let first = client.request(pull);
+        assert_eq!(
+            results_suffix(&want[0]),
+            results_suffix(&first),
+            "first window over tcp matches serial"
+        );
+        // with_listener raises the external stop on exit — the SIGINT
+        // path — and the scoped handlers drain before it returns.
+    });
+    let ids = server1
+        .checkpoint_open_cursors(&dir)
+        .expect("shutdown checkpoint");
+    assert_eq!(ids, vec!["c"], "the open cursor checkpointed");
+
+    // Restart: fresh server, resume from the state dir, keep pulling
+    // over a fresh socket.
+    let server2 = Server::new(&r, &s, serve_opts(&cfg));
+    let resumed = server2.resume_cursors_from(&dir).expect("resume");
+    assert_eq!(resumed, vec!["c"], "the checkpointed cursor resumed");
+    let (_, ()) = with_listener(&server2, &fast_topts(), |addr, _| {
+        let mut client = Client::connect(addr);
+        for expected in &want[1..] {
+            let resp = client.request(pull);
+            assert_eq!(
+                results_suffix(expected),
+                results_suffix(&resp),
+                "resumed window over tcp matches the uninterrupted stream"
+            );
+        }
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The `shutdown` op stops the whole transport from a client, without
+/// the external stop flag ever rising.
+#[test]
+fn shutdown_op_over_tcp_stops_the_listener() {
+    let (r, s) = workload();
+    let cfg = JoinConfig::default();
+    let server = Server::new(&r, &s, serve_opts(&cfg));
+    let (stats, ()) = with_listener(&server, &fast_topts(), |addr, stop| {
+        let mut client = Client::connect(addr);
+        assert!(client.request("{\"op\":\"stats\"}").contains("\"ok\":true"));
+        let ack = client.request("{\"op\":\"shutdown\"}");
+        assert_eq!(ack, "{\"ok\":true,\"op\":\"shutdown\"}");
+        assert!(client.at_eof(), "connection closed after shutdown ack");
+        // The listener must return on its own — the external stop (the
+        // SIGINT flag in the CLI) never rose, which is how the caller
+        // tells a client-requested shutdown (exit 0) from an interrupt
+        // (exit 75).
+        assert!(
+            !stop.load(Ordering::Relaxed),
+            "shutdown op does not involve the external stop flag"
+        );
+    });
+    assert!(stats.requests >= 2, "both requests served: {stats:?}");
+}
